@@ -1,0 +1,155 @@
+// Shared harness for the figure-reproduction benches.
+//
+// The paper's testbed was a 2007 dual-Xeon with 4 GiB RAM and a 2-disk
+// RAID-0 (120 MiB/s); experiments ran up to N = 2^30 keys (32 GiB of data,
+// 87 hours for the B-tree arm). We reproduce the *shape* of each figure at
+// laptop scale: N defaults to 2^21 and the DAM simulator's memory M is set
+// to data_size/8 at max N — the same data:memory ratio at which the paper's
+// structures fell out of core (N ~ 2^27 of 2^30).
+//
+// Each series reports, at every power-of-two N:
+//   * wall-clock inserts/sec (in-RAM execution speed), and
+//   * modeled disk-bound inserts/sec from the DAM transfer trace
+//     (seek + bandwidth model, dam/dam_mem_model.hpp).
+// The modeled rate is the paper-comparable number: the paper's figures are
+// disk-bound, and the 790x headline comes from random-seek vs streaming
+// economics that RAM timing cannot show.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "common/workload.hpp"
+#include "dam/dam_mem_model.hpp"
+
+namespace costream::bench {
+
+/// One measured series (a line in a paper figure).
+struct Series {
+  std::string name;
+  std::vector<std::uint64_t> n;          // x axis: inserts so far
+  std::vector<double> wall_rate;         // ops/sec, wall clock, cumulative
+  std::vector<double> modeled_rate;      // ops/sec, disk model, cumulative
+  std::vector<double> transfers_per_op;  // cumulative
+};
+
+/// DAM memory size giving the paper's out-of-core ratio at max_n.
+inline std::uint64_t scaled_memory_bytes(std::uint64_t max_n,
+                                         std::uint64_t element_bytes = 32) {
+  const std::uint64_t data = max_n * element_bytes;
+  return std::max<std::uint64_t>(data / 8, 64 * 4096);
+}
+
+/// Drive `structure.insert(key, i)` for keys from `ks`, recording cumulative
+/// rates at every power of two. `mm` must be the structure's own DAM model.
+template <class D>
+Series run_insert_series(const std::string& name, D& structure,
+                         dam::dam_mem_model& mm, const KeyStream& ks) {
+  Series s;
+  s.name = name;
+  Timer timer;
+  double wall_spent = 0.0;
+  for (std::uint64_t i = 0; i < ks.size(); ++i) {
+    structure.insert(ks.key_at(i), i);
+    const std::uint64_t done = i + 1;
+    if ((done & (done - 1)) == 0 && done >= 1024) {
+      wall_spent = timer.seconds();
+      const double modeled = mm.modeled_seconds();
+      s.n.push_back(done);
+      s.wall_rate.push_back(static_cast<double>(done) / wall_spent);
+      s.modeled_rate.push_back(modeled > 0 ? static_cast<double>(done) / modeled
+                                           : static_cast<double>(done));
+      s.transfers_per_op.push_back(static_cast<double>(mm.stats().transfers) /
+                                   static_cast<double>(done));
+    }
+  }
+  return s;
+}
+
+/// Print figure-style tables: one row per N, one column per series.
+inline void print_series_tables(const std::string& title,
+                                const std::vector<Series>& series) {
+  if (series.empty() || series.front().n.empty()) return;
+  std::printf("\n## %s\n", title.c_str());
+
+  std::printf("\n# modeled disk-bound ops/sec (paper-comparable)\n");
+  {
+    std::vector<std::string> headers{"N"};
+    for (const auto& s : series) headers.push_back(s.name);
+    Table t(std::move(headers));
+    for (std::size_t r = 0; r < series.front().n.size(); ++r) {
+      std::vector<std::string> row{pow2_label(series.front().n[r])};
+      for (const auto& s : series) row.push_back(format_rate(s.modeled_rate[r]));
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  std::printf("\n# block transfers per op (cumulative)\n");
+  {
+    std::vector<std::string> headers{"N"};
+    for (const auto& s : series) headers.push_back(s.name);
+    Table t(std::move(headers));
+    for (std::size_t r = 0; r < series.front().n.size(); ++r) {
+      std::vector<std::string> row{pow2_label(series.front().n[r])};
+      for (const auto& s : series) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.4f", s.transfers_per_op[r]);
+        row.emplace_back(buf);
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  std::printf("\n# wall-clock ops/sec (in-RAM execution)\n");
+  {
+    std::vector<std::string> headers{"N"};
+    for (const auto& s : series) headers.push_back(s.name);
+    Table t(std::move(headers));
+    for (std::size_t r = 0; r < series.front().n.size(); ++r) {
+      std::vector<std::string> row{pow2_label(series.front().n[r])};
+      for (const auto& s : series) row.push_back(format_rate(s.wall_rate[r]));
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+}
+
+/// Final-N ratio between two series' modeled rates (for headline lines).
+inline double final_ratio(const Series& a, const Series& b) {
+  if (a.modeled_rate.empty() || b.modeled_rate.empty()) return 0.0;
+  return a.modeled_rate.back() / b.modeled_rate.back();
+}
+
+/// Final-N ratio of wall-clock rates. The right comparison when the paper's
+/// arm was CPU-bound rather than disk-bound (sorted inserts keep both
+/// structures' working sets cached, so Figure 3's 3.1x is an in-core ratio).
+inline double final_wall_ratio(const Series& a, const Series& b) {
+  if (a.wall_rate.empty() || b.wall_rate.empty()) return 0.0;
+  return a.wall_rate.back() / b.wall_rate.back();
+}
+
+/// Effective rate: min(wall, modeled) — a structure runs at whichever
+/// resource binds, CPU or disk. The paper's out-of-core COLA was CPU-bound
+/// (~10^5 inserts/s, well under the 120 MiB/s streaming limit) while its
+/// B-tree was seek-bound, so the effective ratio is the one that matches
+/// the quoted 790x.
+inline double final_effective(const Series& s) {
+  if (s.wall_rate.empty()) return 0.0;
+  return std::min(s.wall_rate.back(), s.modeled_rate.back());
+}
+
+inline double final_effective_ratio(const Series& a, const Series& b) {
+  const double eb = final_effective(b);
+  return eb > 0 ? final_effective(a) / eb : 0.0;
+}
+
+}  // namespace costream::bench

@@ -1,0 +1,85 @@
+// PMA bench: amortized element moves per insert as N grows — the
+// O(log^2 N) bound the shuttle tree's layout maintenance (Lemma 10 / the
+// PMA citation [6]) relies on — plus rebalance/resize counts and transfer
+// behavior for sequential vs random insertion patterns.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "common/entry.hpp"
+#include "common/rng.hpp"
+#include "pma/pma.hpp"
+
+namespace cb = costream::bench;
+using namespace costream;
+
+namespace {
+
+struct Probe {
+  std::uint64_t n;
+  double moves_per_insert;
+  double log2n_sq;
+  std::uint64_t rebalances;
+  std::uint64_t resizes;
+};
+
+}  // namespace
+
+int main() {
+  const BenchOptions opts = BenchOptions::from_env(1ULL << 19);
+  std::printf("PMA: amortized moves/insert vs N (bound: O(log^2 N))\n\n");
+
+  // Appends (rank order): the classic PMA stress.
+  std::vector<Probe> probes;
+  {
+    pma::Pma<Entry<>> p;
+    auto s = p.insert_after(pma::Pma<Entry<>>::npos, Entry<>{0, 0});
+    std::uint64_t next_mark = 1024;
+    for (std::uint64_t i = 1; i < opts.max_n; ++i) {
+      s = p.insert_after(s, Entry<>{i, i});
+      if (i + 1 == next_mark) {
+        const double l = std::log2(static_cast<double>(i + 1));
+        probes.push_back(Probe{i + 1,
+                               static_cast<double>(p.stats().element_moves) /
+                                   static_cast<double>(i + 1),
+                               l * l, p.stats().rebalances, p.stats().resizes});
+        next_mark *= 2;
+      }
+    }
+  }
+  Table t({"N", "moves/insert", "log2(N)^2", "rebalances", "resizes"}, 16);
+  for (const Probe& pr : probes) {
+    char a[32], b[32];
+    std::snprintf(a, sizeof a, "%.2f", pr.moves_per_insert);
+    std::snprintf(b, sizeof b, "%.1f", pr.log2n_sq);
+    t.add_row({pow2_label(pr.n), a, b, std::to_string(pr.rebalances),
+               std::to_string(pr.resizes)});
+  }
+  t.print();
+
+  // Random-position inserts: cheaper than the worst case (inserts spread out).
+  {
+    pma::Pma<Entry<>> p;
+    Xoshiro256 rng(opts.seed);
+    p.insert_after(pma::Pma<Entry<>>::npos, Entry<>{0, 0});
+    const std::uint64_t n = opts.max_n / 4;
+    for (std::uint64_t i = 1; i < n; ++i) {
+      const auto slot = p.slot_of_rank(rng.below(p.size()));
+      p.insert_after(slot, Entry<>{rng(), i});
+    }
+    std::printf("\nrandom-position inserts (N=%llu): %.2f moves/insert\n",
+                static_cast<unsigned long long>(n),
+                static_cast<double>(p.stats().element_moves) / static_cast<double>(n));
+  }
+
+  // Transfer accounting for the append pattern.
+  {
+    pma::Pma<Entry<>, dam::dam_mem_model> p{dam::dam_mem_model(4096, 1 << 22)};
+    auto s = p.insert_after(pma::Pma<Entry<>, dam::dam_mem_model>::npos, Entry<>{0, 0});
+    for (std::uint64_t i = 1; i < opts.max_n; ++i) s = p.insert_after(s, Entry<>{i, i});
+    std::printf("append transfers/insert: %.4f (amortized O((log^2 N)/B))\n",
+                static_cast<double>(p.mm().stats().transfers) /
+                    static_cast<double>(opts.max_n));
+  }
+  return 0;
+}

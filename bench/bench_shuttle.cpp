@@ -1,0 +1,116 @@
+// Shuttle tree bench — the paper's Section 2 claims, measured:
+//
+//   * searches stay O(log_{B+1} N) (like the CO B-tree / B-tree);
+//   * inserts get cheaper than a plain SWBST / B-tree because elements move
+//     down in buffered bulk (the buffers-on ablation arm);
+//   * the Figure-1 layout: search transfers with vs without relayout().
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "btree/btree.hpp"
+#include "cob/cob_tree.hpp"
+#include "common/rng.hpp"
+#include "shuttle/shuttle_tree.hpp"
+
+namespace cb = costream::bench;
+using namespace costream;
+
+namespace {
+
+constexpr std::uint64_t kBlock = 4096;
+
+struct Row {
+  std::string name;
+  double insert_tpo;
+  double search_tpo;
+};
+
+template <class D>
+Row measure(const std::string& name, D& d, dam::dam_mem_model& mm,
+            const KeyStream& ks, std::uint64_t searches) {
+  for (std::uint64_t i = 0; i < ks.size(); ++i) d.insert(ks.key_at(i), i);
+  const double ins =
+      static_cast<double>(mm.stats().transfers) / static_cast<double>(ks.size());
+  Xoshiro256 rng(23);
+  std::uint64_t total = 0;
+  for (std::uint64_t q = 0; q < searches; ++q) {
+    mm.clear_cache();
+    mm.reset_stats();
+    (void)d.find(ks.key_at(rng.below(ks.size())));
+    total += mm.stats().transfers;
+  }
+  return Row{name, ins, static_cast<double>(total) / static_cast<double>(searches)};
+}
+
+}  // namespace
+
+int main() {
+  const BenchOptions opts = BenchOptions::from_env(1ULL << 19);
+  const std::uint64_t mem = cb::scaled_memory_bytes(opts.max_n);
+  const std::uint64_t searches = opts.fast ? 20 : 200;
+  const KeyStream ks(KeyOrder::kRandom, opts.max_n, opts.seed);
+  std::printf("Shuttle tree vs baselines, N=%llu, B=4096, M=%s\n\n",
+              static_cast<unsigned long long>(opts.max_n),
+              format_bytes(static_cast<double>(mem)).c_str());
+
+  std::vector<Row> rows;
+  std::uint64_t flushes = 0, buffered = 0;
+  {
+    shuttle::ShuttleTree<Key, Value, dam::dam_mem_model> d(
+        shuttle::ShuttleConfig{}, dam::dam_mem_model(kBlock, mem));
+    rows.push_back(measure("shuttle (buffers on)", d, d.mm(), ks, searches));
+    flushes = d.stats().buffer_flushes;
+    buffered = d.buffered_items();
+  }
+  {
+    shuttle::ShuttleConfig cfg;
+    cfg.use_buffers = false;
+    shuttle::ShuttleTree<Key, Value, dam::dam_mem_model> d(
+        cfg, dam::dam_mem_model(kBlock, mem));
+    rows.push_back(measure("SWBST (buffers off)", d, d.mm(), ks, searches));
+  }
+  {
+    cob::CobTree<Key, Value, dam::dam_mem_model> d{dam::dam_mem_model(kBlock, mem)};
+    rows.push_back(measure("CO B-tree", d, d.mm(), ks, searches));
+  }
+  {
+    btree::BTree<Key, Value, dam::dam_mem_model> d(kBlock, dam::dam_mem_model(kBlock, mem));
+    rows.push_back(measure("B-tree", d, d.mm(), ks, searches));
+  }
+
+  Table t({"structure", "insert transfers/op", "search transfers/op (cold)"}, 28);
+  for (const Row& r : rows) {
+    char a[32], b[32];
+    std::snprintf(a, sizeof a, "%.4f", r.insert_tpo);
+    std::snprintf(b, sizeof b, "%.2f", r.search_tpo);
+    t.add_row({r.name, a, b});
+  }
+  t.print();
+  std::printf("\nshuttle buffer flushes: %llu, items still buffered: %llu\n",
+              static_cast<unsigned long long>(flushes),
+              static_cast<unsigned long long>(buffered));
+
+  // Layout ablation: fresh-region addresses vs Figure-1 layout.
+  {
+    shuttle::ShuttleTree<Key, Value, dam::dam_mem_model> d(
+        shuttle::ShuttleConfig{}, dam::dam_mem_model(kBlock, mem));
+    for (std::uint64_t i = 0; i < ks.size(); ++i) d.insert(ks.key_at(i), i);
+    Xoshiro256 rng(29);
+    auto probe = [&](const char* label) {
+      std::uint64_t total = 0;
+      for (std::uint64_t q = 0; q < searches; ++q) {
+        d.mm().clear_cache();
+        d.mm().reset_stats();
+        (void)d.find(ks.key_at(rng.below(ks.size())));
+        total += d.mm().stats().transfers;
+      }
+      std::printf("search transfers %-28s %.2f\n", label,
+                  static_cast<double>(total) / static_cast<double>(searches));
+    };
+    probe("(incremental layout):");
+    d.relayout();
+    probe("(fresh Figure-1 relayout):");
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// The insert/search tradeoff curve (paper Section 3, "Cache-aware
+// update/query tradeoff"; Brodal-Fagerberg B^eps-tree bounds).
+//
+// Sweeping the lookahead array's growth factor g traces the curve from the
+// BRT point (g = 2: cheapest inserts, log2 N searches) toward the B-tree
+// point (g = B: log_{B+1} N searches, one transfer per insert). The BRT and
+// B-tree rows bracket the sweep.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cola/cola.hpp"
+#include "cola/lookahead_array.hpp"
+#include "common/rng.hpp"
+
+namespace cb = costream::bench;
+using namespace costream;
+
+namespace {
+
+constexpr std::uint64_t kBlock = 4096;
+
+struct Point {
+  std::string name;
+  double insert_tpo;
+  double search_tpo;
+  std::size_t levels;
+};
+
+template <class D>
+Point measure(const std::string& name, D& d, dam::dam_mem_model& mm,
+              const KeyStream& ks, std::uint64_t searches, std::size_t levels) {
+  for (std::uint64_t i = 0; i < ks.size(); ++i) d.insert(ks.key_at(i), i);
+  const double ins =
+      static_cast<double>(mm.stats().transfers) / static_cast<double>(ks.size());
+  Xoshiro256 rng(13);
+  std::uint64_t total = 0;
+  for (std::uint64_t q = 0; q < searches; ++q) {
+    mm.clear_cache();
+    mm.reset_stats();
+    (void)d.find(ks.key_at(rng.below(ks.size())));
+    total += mm.stats().transfers;
+  }
+  return Point{name, ins, static_cast<double>(total) / static_cast<double>(searches),
+               levels};
+}
+
+}  // namespace
+
+int main() {
+  const BenchOptions opts = BenchOptions::from_env(1ULL << 19);
+  const std::uint64_t mem = cb::scaled_memory_bytes(opts.max_n);
+  const std::uint64_t searches = opts.fast ? 20 : 200;
+  const KeyStream ks(KeyOrder::kRandom, opts.max_n, opts.seed);
+  const double b_elems = kBlock / 32.0;
+  std::printf("Insert/search tradeoff, N=%llu, B=%d elements\n",
+              static_cast<unsigned long long>(opts.max_n), static_cast<int>(b_elems));
+  std::printf("eps values map to growth factors: eps=0 -> g=2, eps=0.5 -> g=%u,"
+              " eps=1 -> g=%u\n\n",
+              cola::lookahead_growth(kBlock, 0.5), cola::lookahead_growth(kBlock, 1.0));
+
+  std::vector<Point> points;
+  for (const unsigned g : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    cola::Gcola<Key, Value, dam::dam_mem_model> d(cola::ColaConfig{g, 0.1},
+                                                  dam::dam_mem_model(kBlock, mem));
+    points.push_back(measure("LA g=" + std::to_string(g), d, d.mm(), ks, searches,
+                             d.level_count()));
+    points.back().levels = d.level_count();
+  }
+  {
+    brt::Brt<Key, Value, dam::dam_mem_model> d(kBlock, 4,
+                                               dam::dam_mem_model(kBlock, mem));
+    points.push_back(measure("BRT", d, d.mm(), ks, searches, 0));
+  }
+  {
+    btree::BTree<Key, Value, dam::dam_mem_model> d(kBlock,
+                                                   dam::dam_mem_model(kBlock, mem));
+    points.push_back(measure("B-tree", d, d.mm(), ks, searches, 0));
+  }
+
+  Table t({"structure", "insert transfers/op", "search transfers/op", "levels"}, 24);
+  for (const Point& p : points) {
+    char a[32], b[32];
+    std::snprintf(a, sizeof a, "%.4f", p.insert_tpo);
+    std::snprintf(b, sizeof b, "%.2f", p.search_tpo);
+    t.add_row({p.name, a, b, p.levels ? std::to_string(p.levels) : "-"});
+  }
+  t.print();
+  std::printf("\nexpected shape: inserts get more expensive and searches cheaper"
+              " monotonically as g grows; g=B approaches the B-tree row.\n");
+  return 0;
+}

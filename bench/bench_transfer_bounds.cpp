@@ -1,0 +1,111 @@
+// Theory-validation bench: measured block transfers per operation against
+// the bounds the paper states for each structure (Section 1's comparison
+// table, Lemmas 19/20, and the baselines' textbook bounds).
+//
+//   structure     insert (amortized)             search
+//   B-tree        O(log_{B+1} N)                 O(log_{B+1} N)
+//   BRT           O((log N)/B)                   O(log N)
+//   COLA          O((log N)/B)                   O(log N)
+//   basic COLA    O((log N)/B)                   O(log^2 N)
+//   CO B-tree     O(log_{B+1}N + (log^2 N)/B)    O(log_{B+1} N)
+//   shuttle tree  o(B-tree insert)               O(log_{B+1} N)
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cob/cob_tree.hpp"
+#include "cola/cola.hpp"
+#include "common/rng.hpp"
+#include "shuttle/shuttle_tree.hpp"
+
+namespace cb = costream::bench;
+using namespace costream;
+
+namespace {
+
+constexpr std::uint64_t kBlock = 4096;
+
+struct Row {
+  std::string name;
+  double insert_tpo;
+  double search_tpo;
+};
+
+template <class D>
+Row measure(const std::string& name, D& d, dam::dam_mem_model& mm,
+            const KeyStream& ks, std::uint64_t searches) {
+  for (std::uint64_t i = 0; i < ks.size(); ++i) d.insert(ks.key_at(i), i);
+  const double ins =
+      static_cast<double>(mm.stats().transfers) / static_cast<double>(ks.size());
+  Xoshiro256 rng(17);
+  std::uint64_t total = 0;
+  for (std::uint64_t q = 0; q < searches; ++q) {
+    mm.clear_cache();
+    mm.reset_stats();
+    (void)d.find(ks.key_at(rng.below(ks.size())));
+    total += mm.stats().transfers;
+  }
+  return Row{name, ins, static_cast<double>(total) / static_cast<double>(searches)};
+}
+
+}  // namespace
+
+int main() {
+  const BenchOptions opts = BenchOptions::from_env(1ULL << 19);
+  const std::uint64_t n = opts.max_n;
+  const std::uint64_t mem = cb::scaled_memory_bytes(n);
+  const std::uint64_t searches = opts.fast ? 20 : 200;
+  const KeyStream ks(KeyOrder::kRandom, n, opts.seed);
+  const double log2n = std::log2(static_cast<double>(n));
+  const double logbn = std::log(static_cast<double>(n)) / std::log(kBlock / 32.0);
+  std::printf("Transfer bounds at N=%llu, B=4096 (=%d elements), M=%s\n",
+              static_cast<unsigned long long>(n), 4096 / 32,
+              format_bytes(static_cast<double>(mem)).c_str());
+  std::printf("reference values: log2(N)=%.1f  log_B(N)=%.1f  log2(N)/B=%.4f\n\n",
+              log2n, logbn, log2n / (kBlock / 32.0));
+
+  std::vector<Row> rows;
+  {
+    btree::BTree<Key, Value, dam::dam_mem_model> d(kBlock, dam::dam_mem_model(kBlock, mem));
+    rows.push_back(measure("B-tree", d, d.mm(), ks, searches));
+  }
+  {
+    brt::Brt<Key, Value, dam::dam_mem_model> d(kBlock, 4, dam::dam_mem_model(kBlock, mem));
+    rows.push_back(measure("BRT", d, d.mm(), ks, searches));
+  }
+  {
+    cola::Gcola<Key, Value, dam::dam_mem_model> d(cola::ColaConfig{2, 0.1},
+                                                  dam::dam_mem_model(kBlock, mem));
+    rows.push_back(measure("COLA", d, d.mm(), ks, searches));
+  }
+  {
+    cola::Gcola<Key, Value, dam::dam_mem_model> d(cola::ColaConfig{2, 0.0},
+                                                  dam::dam_mem_model(kBlock, mem));
+    rows.push_back(measure("basic COLA", d, d.mm(), ks, searches));
+  }
+  {
+    cob::CobTree<Key, Value, dam::dam_mem_model> d{dam::dam_mem_model(kBlock, mem)};
+    rows.push_back(measure("CO B-tree", d, d.mm(), ks, searches));
+  }
+  {
+    shuttle::ShuttleTree<Key, Value, dam::dam_mem_model> d(
+        shuttle::ShuttleConfig{}, dam::dam_mem_model(kBlock, mem));
+    rows.push_back(measure("shuttle tree", d, d.mm(), ks, searches));
+  }
+
+  Table t({"structure", "insert transfers/op", "search transfers/op (cold)"}, 28);
+  for (const Row& r : rows) {
+    char a[32], b[32];
+    std::snprintf(a, sizeof a, "%.4f", r.insert_tpo);
+    std::snprintf(b, sizeof b, "%.2f", r.search_tpo);
+    t.add_row({r.name, a, b});
+  }
+  t.print();
+
+  std::printf("\nexpected shape: COLA/BRT inserts ~100x cheaper than B-tree;"
+              " B-tree/CO B-tree/shuttle searches ~log_B N;"
+              " COLA searches ~log_2 N; basic COLA worst.\n");
+  return 0;
+}

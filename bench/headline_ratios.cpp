@@ -1,0 +1,140 @@
+// The paper's Section-4 headline numbers, regenerated as one table:
+//
+//   "Our COLA implementation runs 790 times faster for random insertions,
+//    3.1 times slower for insertions of sorted data, and 3.5 times slower
+//    for searches."  (plus the 2-vs-4-vs-8-COLA ratios quoted in the text)
+//
+// This binary runs compact versions of the Figure 2-4 workloads and prints
+// paper-vs-measured rows; EXPERIMENTS.md records a full run.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "btree/btree.hpp"
+#include "cola/cola.hpp"
+#include "common/rng.hpp"
+
+namespace cb = costream::bench;
+using namespace costream;
+
+namespace {
+
+struct Measured {
+  double random_insert_cola_over_btree;   // paper: 790
+  double sorted_insert_btree_over_cola4;  // paper: 3.1
+  double search_btree_over_cola4;         // paper: 3.5
+  double random_cola4_over_cola2;         // paper: 1.1
+  double sorted_cola4_over_cola2;         // paper: 1.1
+  double random_cola4_over_cola8;         // paper: 1.4
+  double search_cola4_over_cola2;         // paper: 1.4
+};
+
+/// Effective rate = min(wall, modeled): the binding resource wins. The
+/// paper's out-of-core COLA was CPU-bound while its B-tree was seek-bound.
+template <class D>
+double effective_insert_rate(D& d, dam::dam_mem_model& mm, const KeyStream& ks) {
+  Timer t;
+  for (std::uint64_t i = 0; i < ks.size(); ++i) d.insert(ks.key_at(i), i);
+  const double wall = static_cast<double>(ks.size()) / t.seconds();
+  const double secs = mm.modeled_seconds();
+  const double modeled = secs > 0 ? static_cast<double>(ks.size()) / secs : wall;
+  return std::min(wall, modeled);
+}
+
+/// Wall-clock rate — the paper-comparable number for the CPU-bound arms
+/// (sorted inserts keep both structures' working sets cached; see Fig 3).
+template <class D>
+double wall_insert_rate(D& d, const KeyStream& ks) {
+  Timer t;
+  for (std::uint64_t i = 0; i < ks.size(); ++i) d.insert(ks.key_at(i), i);
+  return static_cast<double>(ks.size()) / t.seconds();
+}
+
+template <class D>
+double modeled_search_rate(const D& d, dam::dam_mem_model& mm, const KeyStream& built,
+                           std::uint64_t searches, std::uint64_t seed) {
+  mm.clear_cache();
+  mm.reset_stats();
+  Xoshiro256 rng(seed);
+  for (std::uint64_t q = 0; q < searches; ++q) {
+    (void)d.find(built.key_at(rng.below(built.size())));
+  }
+  const double secs = mm.modeled_seconds();
+  return secs > 0 ? static_cast<double>(searches) / secs : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const BenchOptions opts = BenchOptions::from_env(1ULL << 20);
+  const std::uint64_t mem = cb::scaled_memory_bytes(opts.max_n);
+  const std::uint64_t searches = std::min<std::uint64_t>(1ULL << 14, opts.max_n);
+  std::printf("Headline ratios at N=%llu (paper ran N=2^30; shapes, not absolutes)\n",
+              static_cast<unsigned long long>(opts.max_n));
+
+  Measured m{};
+  const KeyStream random_keys(KeyOrder::kRandom, opts.max_n, opts.seed);
+  const KeyStream sorted_keys(KeyOrder::kDescending, opts.max_n, opts.seed);
+
+  auto make_cola = [&](unsigned g) {
+    return cola::Gcola<Key, Value, dam::dam_mem_model>(
+        cola::ColaConfig{g, 0.1}, dam::dam_mem_model(4096, mem));
+  };
+
+  // Random inserts (Fig 2 arm): effective = min(wall, modeled).
+  double rate_cola2_rand, rate_cola4_rand, rate_cola8_rand, rate_btree_rand;
+  {
+    auto c2 = make_cola(2);
+    rate_cola2_rand = effective_insert_rate(c2, c2.mm(), random_keys);
+    auto c4 = make_cola(4);
+    rate_cola4_rand = effective_insert_rate(c4, c4.mm(), random_keys);
+    auto c8 = make_cola(8);
+    rate_cola8_rand = effective_insert_rate(c8, c8.mm(), random_keys);
+    btree::BTree<Key, Value, dam::dam_mem_model> b(4096, dam::dam_mem_model(4096, mem));
+    rate_btree_rand = effective_insert_rate(b, b.mm(), random_keys);
+  }
+  m.random_insert_cola_over_btree = rate_cola2_rand / rate_btree_rand;
+  m.random_cola4_over_cola2 = rate_cola4_rand / rate_cola2_rand;
+  m.random_cola4_over_cola8 = rate_cola4_rand / rate_cola8_rand;
+
+  // Sorted inserts (Fig 3 arm; CPU-bound in the paper, so wall clock) +
+  // searches on the sorted build (Fig 4 arm; disk-bound, so modeled).
+  {
+    auto c2 = make_cola(2);
+    const double sc2 = wall_insert_rate(c2, sorted_keys);
+    auto c4 = make_cola(4);
+    const double sc4 = wall_insert_rate(c4, sorted_keys);
+    btree::BTree<Key, Value, dam::dam_mem_model> b(4096, dam::dam_mem_model(4096, mem));
+    const double sb = wall_insert_rate(b, sorted_keys);
+    m.sorted_insert_btree_over_cola4 = sb / sc4;
+    m.sorted_cola4_over_cola2 = sc4 / sc2;
+
+    const double q_c2 = modeled_search_rate(c2, c2.mm(), sorted_keys, searches, 7);
+    const double q_c4 = modeled_search_rate(c4, c4.mm(), sorted_keys, searches, 7);
+    const double q_b = modeled_search_rate(b, b.mm(), sorted_keys, searches, 7);
+    m.search_btree_over_cola4 = q_b / q_c4;
+    m.search_cola4_over_cola2 = q_c4 / q_c2;
+  }
+
+  Table t({"metric", "paper", "measured"}, 44);
+  auto row = [&](const char* metric, const char* paper, double val) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", val);
+    t.add_row({metric, paper, buf});
+  };
+  row("random inserts: 2-COLA / B-tree", "790", m.random_insert_cola_over_btree);
+  row("sorted inserts: B-tree / 4-COLA", "3.1", m.sorted_insert_btree_over_cola4);
+  row("searches:       B-tree / 4-COLA", "3.5", m.search_btree_over_cola4);
+  row("random inserts: 4-COLA / 2-COLA", "1.1", m.random_cola4_over_cola2);
+  row("sorted inserts: 4-COLA / 2-COLA", "1.1", m.sorted_cola4_over_cola2);
+  row("random inserts: 4-COLA / 8-COLA", "1.4", m.random_cola4_over_cola8);
+  row("searches:       4-COLA / 2-COLA", "1.4", m.search_cola4_over_cola2);
+  std::printf("\n");
+  t.print();
+  std::printf("\nNote: the 790x magnitude depends on N/M and seek:bandwidth"
+              " ratios; at laptop scale the shape criterion is orders-of-"
+              "magnitude COLA advantage on random inserts, and single-digit"
+              " B-tree advantages on sorted inserts and searches.\n");
+  return 0;
+}

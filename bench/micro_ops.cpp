@@ -1,0 +1,97 @@
+// google-benchmark microbenchmarks: raw in-RAM operation costs for every
+// dictionary in the library. These complement the figure benches (which
+// model disk behavior) by showing CPU-side constants.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cob/cob_tree.hpp"
+#include "cola/cola.hpp"
+#include "cola/deamortized_cola.hpp"
+#include "common/rng.hpp"
+#include "common/workload.hpp"
+#include "shuttle/shuttle_tree.hpp"
+
+namespace {
+
+using namespace costream;
+
+template <class D>
+void fill(D& d, std::uint64_t n, std::uint64_t seed) {
+  const KeyStream ks(KeyOrder::kRandom, n, seed);
+  for (std::uint64_t i = 0; i < n; ++i) d.insert(ks.key_at(i), i);
+}
+
+template <class D>
+void bm_insert_random(benchmark::State& state, D (*make)()) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const KeyStream ks(KeyOrder::kRandom, n, 42);
+  for (auto _ : state) {
+    D d = make();
+    for (std::uint64_t i = 0; i < n; ++i) d.insert(ks.key_at(i), i);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+template <class D>
+void bm_find_hit(benchmark::State& state, D (*make)()) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  D d = make();
+  fill(d, n, 42);
+  const KeyStream ks(KeyOrder::kRandom, n, 42);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.find(ks.key_at(rng.below(n))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+template <class D>
+void bm_range_100(benchmark::State& state, D (*make)()) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  D d = make();
+  // Dense keys so ranges return ~100 entries.
+  for (std::uint64_t i = 0; i < n; ++i) d.insert(i, i);
+  Xoshiro256 rng(9);
+  for (auto _ : state) {
+    const Key lo = rng.below(n > 100 ? n - 100 : 1);
+    std::uint64_t sum = 0;
+    d.range_for_each(lo, lo + 99, [&](Key, Value v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+
+cola::Gcola<> make_cola2() { return cola::Gcola<>(cola::ColaConfig{2, 0.1}); }
+cola::Gcola<> make_cola4() { return cola::Gcola<>(cola::ColaConfig{4, 0.1}); }
+cola::Gcola<> make_basic() { return cola::Gcola<>(cola::ColaConfig{2, 0.0}); }
+cola::DeamortizedCola<> make_deam() { return cola::DeamortizedCola<>(); }
+btree::BTree<> make_btree() { return btree::BTree<>(4096); }
+brt::Brt<> make_brt() { return brt::Brt<>(4096); }
+cob::CobTree<> make_cob() { return cob::CobTree<>(); }
+shuttle::ShuttleTree<> make_shuttle() { return shuttle::ShuttleTree<>(); }
+
+constexpr std::int64_t kSmall = 1 << 13;
+constexpr std::int64_t kBig = 1 << 16;
+
+#define REGISTER_DICT(name, maker)                                                  \
+  BENCHMARK_CAPTURE(bm_insert_random, name, &maker)->Arg(kSmall)->Arg(kBig);        \
+  BENCHMARK_CAPTURE(bm_find_hit, name, &maker)->Arg(kBig);                          \
+  BENCHMARK_CAPTURE(bm_range_100, name, &maker)->Arg(kBig)
+
+REGISTER_DICT(cola2, make_cola2);
+REGISTER_DICT(cola4, make_cola4);
+REGISTER_DICT(basic_cola, make_basic);
+REGISTER_DICT(deamortized, make_deam);
+REGISTER_DICT(btree, make_btree);
+REGISTER_DICT(brt, make_brt);
+REGISTER_DICT(cob, make_cob);
+REGISTER_DICT(shuttle, make_shuttle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// External-memory graph traversal — the buffered repository tree's original
+// application (Buchsbaum et al. [12], the structure whose bounds the COLA
+// matches cache-obliviously).
+//
+//   build/examples/graph_traversal [vertices]
+//
+// Breadth-first search over a synthetic sparse graph stored as an edge
+// dictionary: edges keyed by (source << 32 | dest). The frontier expansion
+// does one range query per vertex (its adjacency list) and marks visits
+// with inserts. We run the identical traversal over the BRT, the COLA, and
+// the B-tree and compare DAM transfers — insert-heavy graph construction is
+// where the write-optimized structures win.
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cola/cola.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "dam/dam_mem_model.hpp"
+
+using namespace costream;
+
+namespace {
+
+constexpr std::uint64_t kEdgesPerVertex = 8;
+
+std::uint64_t edge_key(std::uint64_t src, std::uint64_t dst) {
+  return (src << 32) | dst;
+}
+
+// Build + BFS, generic over the dictionary type.
+template <class D>
+void run(const char* name, D& dict, dam::dam_mem_model& mm, std::uint64_t n) {
+  Timer timer;
+  // 1. Construction from an edge STREAM: edges arrive in arbitrary order
+  //    (crawler output, event logs), i.e. random (src, dst) pairs — the
+  //    insert pattern that motivates buffered structures. A backbone
+  //    v -> v+1 is woven in so the graph is connected.
+  Xoshiro256 rng(7);
+  const std::uint64_t total_edges = n * kEdgesPerVertex;
+  for (std::uint64_t e = 0; e < total_edges; ++e) {
+    if (e % kEdgesPerVertex == 0) {
+      const std::uint64_t v = e / kEdgesPerVertex;
+      dict.insert(edge_key(v, (v + 1) % n), 1);
+    } else {
+      dict.insert(edge_key(rng.below(n), rng.below(n)), 1);
+    }
+  }
+  const double build_s = timer.seconds();
+  const std::uint64_t build_transfers = mm.stats().transfers;
+
+  // 2. BFS from vertex 0 using range queries over adjacency lists.
+  timer.reset();
+  std::vector<std::uint8_t> visited(n, 0);
+  std::deque<std::uint64_t> frontier{0};
+  visited[0] = 1;
+  std::uint64_t reached = 1;
+  while (!frontier.empty()) {
+    const std::uint64_t v = frontier.front();
+    frontier.pop_front();
+    dict.range_for_each(edge_key(v, 0), edge_key(v, 0xffffffffULL),
+                        [&](Key k, Value) {
+                          const std::uint64_t dst = k & 0xffffffffULL;
+                          if (!visited[dst]) {
+                            visited[dst] = 1;
+                            ++reached;
+                            frontier.push_back(dst);
+                          }
+                        });
+  }
+  const double bfs_s = timer.seconds();
+
+  std::printf("%-8s build %.2fs (%.4f transfers/edge) | BFS %.2fs reached"
+              " %llu/%llu | total modeled disk %.1fs\n",
+              name, build_s,
+              static_cast<double>(build_transfers) /
+                  static_cast<double>(n * kEdgesPerVertex),
+              bfs_s, static_cast<unsigned long long>(reached),
+              static_cast<unsigned long long>(n), mm.modeled_seconds());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+  const std::uint64_t mem = 1 << 21;  // 2 MiB "RAM": the edge set spills
+  std::printf("External-memory BFS: %llu vertices, %llu edges each\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(kEdgesPerVertex));
+
+  {
+    brt::Brt<Key, Value, dam::dam_mem_model> d(4096, 4, dam::dam_mem_model(4096, mem));
+    run("BRT", d, d.mm(), n);
+  }
+  {
+    cola::Gcola<Key, Value, dam::dam_mem_model> d(cola::ColaConfig{4, 0.1},
+                                                  dam::dam_mem_model(4096, mem));
+    run("4-COLA", d, d.mm(), n);
+  }
+  {
+    btree::BTree<Key, Value, dam::dam_mem_model> d(4096, dam::dam_mem_model(4096, mem));
+    run("B-tree", d, d.mm(), n);
+  }
+
+  std::printf("\nexpected shape: BRT and COLA build the edge set with a"
+              " fraction of the B-tree's transfers (buffered/merged writes);"
+              " the COLA additionally keeps adjacency lists contiguous, so its"
+              " BFS range scans are competitive.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Log indexing — the workload that motivates streaming B-trees: a firehose
+// of events must be indexed at ingest rate, while dashboards run occasional
+// window queries.
+//
+//   build/examples/log_indexing [events]
+//
+// The catch that makes this a *streaming B-tree* problem is the secondary
+// index. The primary index (by timestamp) receives nearly-sorted keys — a
+// B-tree's best case (paper Figure 3). But any index by user, session, or
+// host receives effectively random keys, and a B-tree then pays ~one random
+// block write per event once the index exceeds RAM (paper Figure 2). This
+// example maintains both indexes over the same event stream with a 4-COLA
+// and with a B-tree, and compares ingest cost through the DAM model.
+#include <cstdio>
+#include <cstdlib>
+
+#include "btree/btree.hpp"
+#include "cola/cola.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "dam/dam_mem_model.hpp"
+
+using namespace costream;
+
+namespace {
+
+struct Event {
+  std::uint64_t time_key;  // (microseconds << 6) | source: nearly sorted
+  std::uint64_t user_key;  // (hashed user << 20) | time low bits: random
+  std::uint64_t payload;
+};
+
+Event make_event(std::uint64_t i, Xoshiro256& rng) {
+  const std::uint64_t base_us = i * 100 + rng.below(5'000);  // 5ms jitter
+  const std::uint64_t user = mix64(rng.below(1'000'000));    // 1M users
+  Event e;
+  e.time_key = (base_us << 6) | rng.below(64);
+  e.user_key = (user << 20) | (base_us & 0xfffff);
+  e.payload = rng();
+  return e;
+}
+
+template <class D>
+struct IndexPair {
+  D by_time;
+  D by_user;
+};
+
+template <class Primary, class Secondary>
+void ingest(const char* name, Primary& by_time, Secondary& by_user,
+            dam::dam_mem_model& mm_time, dam::dam_mem_model& mm_user,
+            std::uint64_t events, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Timer timer;
+  RunningStats window_sizes;
+  std::uint64_t next_query = 1 << 16;
+  std::uint64_t last_time_key = 0;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    const Event e = make_event(i, rng);
+    by_time.insert(e.time_key, e.payload);
+    by_user.insert(e.user_key, e.payload);
+    last_time_key = e.time_key;
+    if (i + 1 == next_query) {
+      next_query += 1 << 16;
+      // Dashboard query: the last ~1 second of events, via the time index.
+      const Key hi = last_time_key;
+      const Key lo = hi > (1'000'000ULL << 6) ? hi - (1'000'000ULL << 6) : 0;
+      std::uint64_t hits = 0;
+      by_time.range_for_each(lo, hi, [&](Key, Value) { ++hits; });
+      window_sizes.add(static_cast<double>(hits));
+    }
+  }
+  const double rate = static_cast<double>(events) / timer.seconds();
+  std::printf("%-8s ingest %s ev/s | time-index %.4f transfers/ev (%.1fs disk) |"
+              " user-index %.4f transfers/ev (%.1fs disk) | window avg %.0f\n",
+              name, format_rate(rate).c_str(),
+              static_cast<double>(mm_time.stats().transfers) /
+                  static_cast<double>(events),
+              mm_time.modeled_seconds(),
+              static_cast<double>(mm_user.stats().transfers) /
+                  static_cast<double>(events),
+              mm_user.modeled_seconds(), window_sizes.mean());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t events = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                        : 1'000'000;
+  const std::uint64_t mem = 1 << 22;  // 4 MiB "RAM" per index in the DAM model
+  std::printf("Indexing %llu log events: primary index by time (nearly sorted"
+              " keys), secondary index by user (random keys)\n\n",
+              static_cast<unsigned long long>(events));
+
+  {
+    cola::Gcola<Key, Value, dam::dam_mem_model> by_time(
+        cola::ColaConfig{4, 0.1}, dam::dam_mem_model(4096, mem));
+    cola::Gcola<Key, Value, dam::dam_mem_model> by_user(
+        cola::ColaConfig{4, 0.1}, dam::dam_mem_model(4096, mem));
+    ingest("4-COLA", by_time, by_user, by_time.mm(), by_user.mm(), events, 2024);
+  }
+  {
+    btree::BTree<Key, Value, dam::dam_mem_model> by_time(
+        4096, dam::dam_mem_model(4096, mem));
+    btree::BTree<Key, Value, dam::dam_mem_model> by_user(
+        4096, dam::dam_mem_model(4096, mem));
+    ingest("B-tree", by_time, by_user, by_time.mm(), by_user.mm(), events, 2024);
+  }
+
+  std::printf("\nreading the output: on the nearly-sorted time index the"
+              " B-tree is fine (its active path stays cached); on the random"
+              " user index it needs a disk seek per event once out of core,"
+              " while the COLA keeps absorbing events through sequential"
+              " merges — the reason streaming B-trees exist.\n");
+  return 0;
+}

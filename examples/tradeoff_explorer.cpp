@@ -1,0 +1,72 @@
+// Tradeoff explorer — an interactive-ish tour of the B^eps insert/search
+// tradeoff (paper Section 3, "Cache-aware update/query tradeoff").
+//
+//   build/examples/tradeoff_explorer [n] [block_bytes]
+//
+// For a sweep of eps values it instantiates the cache-aware lookahead array
+// with g = Theta(B^eps), measures insert and search transfers through the
+// DAM model, and prints the curve together with the closed-form bounds —
+// letting a user pick the right configuration for their workload's
+// read/write mix.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cola/cola.hpp"
+#include "cola/lookahead_array.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/workload.hpp"
+#include "dam/dam_mem_model.hpp"
+
+using namespace costream;
+
+int main(int argc, char** argv) {
+  const std::uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1 << 19;
+  const std::uint64_t block = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4096;
+  const std::uint64_t mem = std::max<std::uint64_t>(n * 32 / 8, 64 * block);
+  const double b_elems = static_cast<double>(block) / 32.0;
+  const KeyStream ks(KeyOrder::kRandom, n, 1);
+  std::printf("B^eps tradeoff explorer: N=%llu, B=%llu bytes (%.0f elements)\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(block), b_elems);
+  std::printf("bounds: insert O(log_{B^eps+1}N / B^(1-eps)),"
+              " search O(log_{B^eps+1}N)\n\n");
+
+  Table t({"eps", "g", "ins transfers/op", "search transfers/op",
+           "bound: ins", "bound: search"},
+          20);
+  for (const double eps : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const unsigned g = cola::lookahead_growth(block, eps);
+    auto la = cola::make_lookahead_array<Key, Value, dam::dam_mem_model>(
+        block, eps, 0.1, dam::dam_mem_model(block, mem));
+    for (std::uint64_t i = 0; i < n; ++i) la.insert(ks.key_at(i), i);
+    const double ins = static_cast<double>(la.mm().stats().transfers) /
+                       static_cast<double>(n);
+    Xoshiro256 rng(5);
+    std::uint64_t total = 0;
+    const int probes = 100;
+    for (int q = 0; q < probes; ++q) {
+      la.mm().clear_cache();
+      la.mm().reset_stats();
+      (void)la.find(ks.key_at(rng.below(n)));
+      total += la.mm().stats().transfers;
+    }
+    // Closed-form reference values (up to constants).
+    const double base = std::max(2.0, std::pow(b_elems, eps) + 1.0);
+    const double levels = std::log(static_cast<double>(n)) / std::log(base);
+    const double ins_bound = levels / std::pow(b_elems, 1.0 - eps);
+    char e[16], a[32], b[32], ib[32], sb[32];
+    std::snprintf(e, sizeof e, "%.2f", eps);
+    std::snprintf(a, sizeof a, "%.4f", ins);
+    std::snprintf(b, sizeof b, "%.2f", static_cast<double>(total) / probes);
+    std::snprintf(ib, sizeof ib, "%.4f", ins_bound);
+    std::snprintf(sb, sizeof sb, "%.1f", levels);
+    t.add_row({e, std::to_string(g), a, b, ib, sb});
+  }
+  t.print();
+  std::printf("\nreading the table: eps=0 is the COLA/BRT point (cheapest"
+              " inserts), eps=1 the B-tree point (cheapest searches); measured"
+              " columns should track the bound columns up to constants.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The unified dictionary facade.
+//
+// Every structure in the library implements the same informal interface:
+//
+//   void insert(const K&, const V&);          // upsert, newest wins
+//   void erase(const K&);                     // blind delete (tombstones in
+//                                             // the write-optimized ones)
+//   std::optional<V> find(const K&) const;
+//   template <class Fn> void range_for_each(const K& lo, const K& hi, Fn&&);
+//
+// The Dictionary concept below states that contract, and AnyDictionary
+// type-erases it so examples and integration tests can drive every structure
+// through one code path without templating the world.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/entry.hpp"
+
+namespace costream::api {
+
+template <class D, class K = Key, class V = Value>
+concept Dictionary = requires(D d, const D cd, K k, V v) {
+  { d.insert(k, v) };
+  { d.erase(k) };
+  { cd.find(k) } -> std::same_as<std::optional<V>>;
+};
+
+/// Type-erased dictionary over the default Key/Value types. Virtual dispatch
+/// is fine here: this wrapper exists for examples and integration tests, not
+/// for the benchmarked hot paths (benches use the concrete types directly).
+class AnyDictionary {
+ public:
+  using RangeFn = std::function<void(Key, Value)>;
+
+  template <class D>
+  AnyDictionary(std::string name, D dict)
+      : name_(std::move(name)), impl_(std::make_unique<Model<D>>(std::move(dict))) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  void insert(Key k, Value v) { impl_->insert(k, v); }
+  void erase(Key k) { impl_->erase(k); }
+  std::optional<Value> find(Key k) const { return impl_->find(k); }
+  void range_for_each(Key lo, Key hi, const RangeFn& fn) const {
+    impl_->range_for_each(lo, hi, fn);
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void insert(Key, Value) = 0;
+    virtual void erase(Key) = 0;
+    virtual std::optional<Value> find(Key) const = 0;
+    virtual void range_for_each(Key, Key, const RangeFn&) const = 0;
+  };
+
+  template <class D>
+  struct Model final : Concept {
+    explicit Model(D d) : dict(std::move(d)) {}
+    void insert(Key k, Value v) override { dict.insert(k, v); }
+    void erase(Key k) override { dict.erase(k); }
+    std::optional<Value> find(Key k) const override { return dict.find(k); }
+    void range_for_each(Key lo, Key hi, const RangeFn& fn) const override {
+      dict.range_for_each(lo, hi, fn);
+    }
+    D dict;
+  };
+
+  std::string name_;
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace costream::api

@@ -1,0 +1,100 @@
+// Dictionary serialization: a compact snapshot format usable by every
+// structure that offers `for_each` (dump) and `bulk_load` (restore).
+//
+// Format (little-endian):
+//   magic   u64  'COSTRM01'
+//   count   u64
+//   entries count x { key u64, value u64 }
+//   checksum u64  (xor-fold of all entry words, seeded)
+//
+// Snapshots are logical: tombstones and level/node structure are compacted
+// away on save, so loading yields an equivalent dictionary in its densest
+// form (for a COLA: one full level, the same state a full merge would
+// reach). Cross-structure restore is supported — a B-tree snapshot can be
+// loaded into a COLA and vice versa.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/entry.hpp"
+
+namespace costream::api {
+
+inline constexpr std::uint64_t kSnapshotMagic = 0x434f5354524d3031ULL;  // "COSTRM01"
+
+namespace detail {
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t fold(std::uint64_t acc, std::uint64_t v) {
+  // xor-rotate fold: order-sensitive, catches swapped/dropped words.
+  acc ^= v;
+  return (acc << 7) | (acc >> 57);
+}
+
+}  // namespace detail
+
+/// Snapshot the live contents of `dict` (ascending key order).
+template <class D>
+std::vector<std::uint8_t> snapshot(const D& dict) {
+  std::vector<std::uint8_t> out;
+  detail::put_u64(out, kSnapshotMagic);
+  detail::put_u64(out, 0);  // count patched below
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0x5eed;
+  dict.for_each([&](Key k, Value v) {
+    detail::put_u64(out, k);
+    detail::put_u64(out, v);
+    sum = detail::fold(sum, k);
+    sum = detail::fold(sum, v);
+    ++count;
+  });
+  // Patch the count in place.
+  for (int i = 0; i < 8; ++i) out[8 + i] = static_cast<std::uint8_t>(count >> (8 * i));
+  detail::put_u64(out, sum);
+  return out;
+}
+
+/// Restore a snapshot into `dict` via bulk_load, replacing its contents.
+/// Throws std::invalid_argument on malformed or corrupted input.
+template <class D>
+void restore(D& dict, const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 24) throw std::invalid_argument("snapshot: truncated header");
+  if (detail::get_u64(bytes.data()) != kSnapshotMagic) {
+    throw std::invalid_argument("snapshot: bad magic");
+  }
+  const std::uint64_t count = detail::get_u64(bytes.data() + 8);
+  const std::uint64_t expect_size = 16 + count * 16 + 8;
+  if (bytes.size() != expect_size) throw std::invalid_argument("snapshot: size mismatch");
+
+  std::vector<Entry<>> entries;
+  entries.reserve(count);
+  std::uint64_t sum = 0x5eed;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t k = detail::get_u64(bytes.data() + 16 + i * 16);
+    const std::uint64_t v = detail::get_u64(bytes.data() + 16 + i * 16 + 8);
+    sum = detail::fold(sum, k);
+    sum = detail::fold(sum, v);
+    if (i > 0 && !(entries.back().key < k)) {
+      throw std::invalid_argument("snapshot: keys not strictly ascending");
+    }
+    entries.push_back(Entry<>{k, v});
+  }
+  if (detail::get_u64(bytes.data() + 16 + count * 16) != sum) {
+    throw std::invalid_argument("snapshot: checksum mismatch");
+  }
+  dict.bulk_load(entries);
+}
+
+}  // namespace costream::api

@@ -1,0 +1,373 @@
+// Buffered repository tree (BRT) — Buchsbaum, Goldwasser,
+// Venkatasubramanian, Westbrook (reference [12] of the paper). The paper's
+// COLA "matches the bounds for a (cache-aware) buffered repository tree":
+// O((log N)/B) amortized transfers per insert, O(log N) per search. We build
+// it as the cache-aware insert-optimized comparison point.
+//
+// Structure: a constant-fanout search tree whose leaves store the elements
+// and whose every internal node carries an unsorted buffer of Theta(B)
+// elements. Inserts append to the root buffer; a full buffer is flushed by
+// distributing its elements to the children (paying O(1) transfers per block
+// of buffer, hence O(1/B) amortized per element per level). Searches walk
+// one root-to-leaf path and scan each buffer on it: O(log N) block transfers
+// because the fanout is constant.
+//
+// Each node occupies two logical blocks: routers+metadata, then the buffer.
+// Deletes are tombstones (annihilated when they reach a leaf), the same
+// extension we give the COLA.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/entry.hpp"
+#include "dam/mem_model.hpp"
+
+namespace costream::brt {
+
+struct BrtStats {
+  std::uint64_t flushes = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t buffered_elements_moved = 0;
+};
+
+template <class K = Key, class V = Value, class MM = dam::null_mem_model>
+class Brt {
+ public:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+
+  /// `block_bytes` sizes the buffers (Theta(B) elements each); `fanout` is
+  /// the BRT's constant degree bound.
+  explicit Brt(std::uint64_t block_bytes = 4096, std::size_t fanout = 4, MM mm = MM{})
+      : block_bytes_(block_bytes),
+        fanout_(std::max<std::size_t>(2, fanout)),
+        buf_cap_(std::max<std::size_t>(8, block_bytes / sizeof(Item))),
+        leaf_cap_(buf_cap_),
+        mm_(std::move(mm)) {
+    root_ = new_node(/*leaf=*/true);
+  }
+
+  MM& mm() noexcept { return mm_; }
+  const BrtStats& stats() const noexcept { return stats_; }
+
+  /// Count of physical items (leaf entries + buffered operations). The live
+  /// key count is not cheaply known under blind tombstones.
+  std::uint64_t item_count() const noexcept { return items_; }
+
+  void insert(const K& key, const V& value) { put(Item{key, value, /*tombstone=*/false}); }
+
+  /// Blind delete: enqueues a tombstone that annihilates at the leaves.
+  void erase(const K& key) { put(Item{key, V{}, /*tombstone=*/true}); }
+
+  std::optional<V> find(const K& key) const {
+    std::uint32_t id = root_;
+    while (true) {
+      const Node& n = node(id);
+      // Newest operations are at the back of each buffer, and buffers nearer
+      // the root are newer than anything below them.
+      touch_buffer(id, n.buffer.size());
+      for (auto it = n.buffer.rbegin(); it != n.buffer.rend(); ++it) {
+        if (it->key == key) {
+          if (it->tombstone) return std::nullopt;
+          return it->value;
+        }
+      }
+      if (n.leaf) {
+        const auto it = std::lower_bound(n.entries.begin(), n.entries.end(), key,
+                                         EntryKeyLess{});
+        if (it != n.entries.end() && it->key == key) return it->value;
+        return std::nullopt;
+      }
+      id = n.kids[child_index(n, key)];
+    }
+  }
+
+  /// Visit live entries with lo <= key <= hi ascending, newest value wins.
+  template <class Fn>
+  void range_for_each(const K& lo, const K& hi, Fn&& fn) const {
+    if (hi < lo) return;
+    std::vector<Ranked> found;
+    collect(root_, 0, lo, hi, found);
+    std::stable_sort(found.begin(), found.end(), [](const Ranked& a, const Ranked& b) {
+      if (a.item.key != b.item.key) return a.item.key < b.item.key;
+      return a.priority < b.priority;  // smaller priority = newer
+    });
+    bool have_last = false;
+    K last_key{};
+    for (const Ranked& r : found) {
+      if (have_last && r.item.key == last_key) continue;  // older duplicate
+      last_key = r.item.key;
+      have_last = true;
+      if (!r.item.tombstone) fn(r.item.key, r.item.value);
+    }
+  }
+
+  /// Structural checks for tests. Throws std::logic_error on violation.
+  void check_invariants() const {
+    std::uint64_t counted = 0;
+    int leaf_depth = -1;
+    check_rec(root_, 1, nullptr, nullptr, leaf_depth, counted);
+    if (counted != items_) throw std::logic_error("brt: item count drift");
+  }
+
+ private:
+  struct Item {
+    K key;
+    V value;
+    bool tombstone;
+  };
+
+  struct Node {
+    bool leaf = true;
+    std::vector<Item> buffer;          // internal only; unsorted arrival order
+    std::vector<K> keys;               // internal routers
+    std::vector<std::uint32_t> kids;   // internal children
+    std::vector<Entry<K, V>> entries;  // leaf payload, sorted
+  };
+
+  struct Ranked {
+    Item item;
+    std::uint64_t priority;  // smaller = newer
+  };
+
+  // Two blocks per node: [routers][buffer].
+  std::uint64_t offset(std::uint32_t id) const noexcept {
+    return static_cast<std::uint64_t>(id) * 2 * block_bytes_;
+  }
+
+  const Node& node(std::uint32_t id) const {
+    mm_.touch(offset(id), block_bytes_);
+    return nodes_[id];
+  }
+
+  Node& node_mut(std::uint32_t id) {
+    mm_.touch_write(offset(id), block_bytes_);
+    return nodes_[id];
+  }
+
+  void touch_buffer(std::uint32_t id, std::size_t n_items) const {
+    if (n_items == 0) return;
+    mm_.touch(offset(id) + block_bytes_, n_items * sizeof(Item));
+  }
+
+  std::uint32_t new_node(bool leaf) {
+    const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[id].leaf = leaf;
+    return id;
+  }
+
+  std::size_t child_index(const Node& n, const K& key) const {
+    return static_cast<std::size_t>(
+        std::upper_bound(n.keys.begin(), n.keys.end(), key) - n.keys.begin());
+  }
+
+  bool overfull(std::uint32_t id) const {
+    const Node& n = nodes_[id];
+    return n.leaf ? n.entries.size() > leaf_cap_ : n.kids.size() > fanout_;
+  }
+
+  void put(Item item) {
+    ++items_;
+    if (nodes_[root_].leaf) {
+      apply_to_leaf(root_, std::vector<Item>{std::move(item)});
+    } else {
+      touch_buffer(root_, 1);
+      node_mut(root_).buffer.push_back(std::move(item));
+      if (nodes_[root_].buffer.size() >= buf_cap_) flush(root_);
+    }
+    maybe_split_root();
+  }
+
+  /// Push every buffered element of internal node `id` one level down,
+  /// recursively flushing children whose buffers overflow, then split any
+  /// children that ended up overfull. May leave `id` itself overfull (its
+  /// parent — or maybe_split_root — fixes that).
+  void flush(std::uint32_t id) {
+    {
+      Node& n = node_mut(id);
+      assert(!n.leaf);
+      ++stats_.flushes;
+      std::vector<Item> buf = std::move(n.buffer);
+      n.buffer.clear();
+      touch_buffer(id, buf.size());
+      stats_.buffered_elements_moved += buf.size();
+
+      // Partition in arrival order so per-child order stays newest-last.
+      std::vector<std::vector<Item>> per_child(n.kids.size());
+      for (Item& it : buf) per_child[child_index(n, it.key)].push_back(std::move(it));
+
+      for (std::size_t c = 0; c < per_child.size(); ++c) {
+        if (per_child[c].empty()) continue;
+        const std::uint32_t kid = nodes_[id].kids[c];
+        if (nodes_[kid].leaf) {
+          apply_to_leaf(kid, std::move(per_child[c]));
+        } else {
+          Node& child = node_mut(kid);
+          touch_buffer(kid, per_child[c].size());
+          child.buffer.insert(child.buffer.end(),
+                              std::make_move_iterator(per_child[c].begin()),
+                              std::make_move_iterator(per_child[c].end()));
+          if (child.buffer.size() >= buf_cap_) flush(kid);
+        }
+      }
+    }
+    fix_children(id);
+  }
+
+  /// Split every overfull child of `id` (repeatedly; a big leaf batch can
+  /// need more than one split). Child indices shift right as splits insert
+  /// new siblings, which the loop handles by re-checking position c until it
+  /// fits before advancing.
+  void fix_children(std::uint32_t id) {
+    for (std::size_t c = 0; c < nodes_[id].kids.size(); ++c) {
+      while (overfull(nodes_[id].kids[c])) split_child(id, c);
+    }
+  }
+
+  /// Split child `c` of `parent` into two halves; the right half becomes
+  /// child c+1.
+  void split_child(std::uint32_t parent, std::size_t c) {
+    ++stats_.splits;
+    const std::uint32_t kid = nodes_[parent].kids[c];
+    const std::uint32_t right = new_node(nodes_[kid].leaf);
+    Node& l = node_mut(kid);
+    Node& r = node_mut(right);
+    K sep;
+    if (l.leaf) {
+      const std::size_t mid = l.entries.size() / 2;
+      r.entries.assign(l.entries.begin() + static_cast<std::ptrdiff_t>(mid),
+                       l.entries.end());
+      l.entries.resize(mid);
+      sep = r.entries.front().key;
+    } else {
+      const std::size_t mid = l.kids.size() / 2;
+      sep = l.keys[mid - 1];
+      r.keys.assign(l.keys.begin() + static_cast<std::ptrdiff_t>(mid), l.keys.end());
+      r.kids.assign(l.kids.begin() + static_cast<std::ptrdiff_t>(mid), l.kids.end());
+      l.keys.resize(mid - 1);
+      l.kids.resize(mid);
+      // Split the pending buffer by the separator, preserving arrival order.
+      std::vector<Item> keep, move;
+      for (Item& it : l.buffer) (it.key < sep ? keep : move).push_back(std::move(it));
+      l.buffer = std::move(keep);
+      r.buffer = std::move(move);
+    }
+    Node& p = node_mut(parent);
+    p.keys.insert(p.keys.begin() + static_cast<std::ptrdiff_t>(c), sep);
+    p.kids.insert(p.kids.begin() + static_cast<std::ptrdiff_t>(c) + 1, right);
+  }
+
+  /// While the root is overfull, wrap it under a fresh internal root and
+  /// split it — the only way the tree gains height.
+  void maybe_split_root() {
+    while (overfull(root_)) {
+      const std::uint32_t new_root = new_node(false);
+      node_mut(new_root).kids.push_back(root_);
+      root_ = new_root;
+      fix_children(root_);
+    }
+  }
+
+  /// Apply a batch of operations (arrival order) to a leaf: upserts replace,
+  /// tombstones remove; both consume the buffered item.
+  void apply_to_leaf(std::uint32_t id, std::vector<Item> batch) {
+    Node& leaf = node_mut(id);
+    touch_buffer(id, batch.size());
+    for (Item& it : batch) {
+      const auto pos = std::lower_bound(leaf.entries.begin(), leaf.entries.end(), it.key,
+                                        EntryKeyLess{});
+      const bool present = pos != leaf.entries.end() && pos->key == it.key;
+      if (it.tombstone) {
+        if (present) {
+          leaf.entries.erase(pos);
+          --items_;  // the erased entry
+        }
+        --items_;  // the tombstone itself is consumed
+      } else if (present) {
+        pos->value = it.value;
+        --items_;  // the superseded duplicate disappears
+      } else {
+        leaf.entries.insert(pos, Entry<K, V>{it.key, it.value});
+      }
+    }
+  }
+
+  void collect(std::uint32_t id, std::uint64_t depth, const K& lo, const K& hi,
+               std::vector<Ranked>& out) const {
+    const Node& n = node(id);
+    touch_buffer(id, n.buffer.size());
+    for (std::size_t i = 0; i < n.buffer.size(); ++i) {
+      const Item& it = n.buffer[i];
+      if (it.key < lo || hi < it.key) continue;
+      // Lower depth and later arrival are newer: compose (depth asc,
+      // arrival desc) into one ascending priority.
+      out.push_back(Ranked{it, (depth << 32) | (0xffffffffULL - i)});
+    }
+    if (n.leaf) {
+      auto it = std::lower_bound(n.entries.begin(), n.entries.end(), lo, EntryKeyLess{});
+      for (; it != n.entries.end() && !(hi < it->key); ++it) {
+        out.push_back(Ranked{Item{it->key, it->value, false}, ~0ULL});
+      }
+      return;
+    }
+    for (std::size_t c = 0; c < n.kids.size(); ++c) {
+      const K* clo = c == 0 ? nullptr : &n.keys[c - 1];
+      const K* chi = c == n.keys.size() ? nullptr : &n.keys[c];
+      if (clo != nullptr && hi < *clo) continue;
+      if (chi != nullptr && *chi <= lo) continue;
+      collect(n.kids[c], depth + 1, lo, hi, out);
+    }
+  }
+
+  void check_rec(std::uint32_t id, int depth, const K* lo, const K* hi, int& leaf_depth,
+                 std::uint64_t& counted) const {
+    const Node& n = nodes_[id];
+    counted += n.buffer.size();
+    // Between operations every buffer is strictly below capacity (a full
+    // buffer is flushed before the triggering operation returns).
+    if (n.buffer.size() >= buf_cap_) throw std::logic_error("brt: unflushed buffer");
+    for (const Item& it : n.buffer) {
+      if (lo != nullptr && it.key < *lo) throw std::logic_error("brt: buffer range lo");
+      if (hi != nullptr && !(it.key < *hi)) throw std::logic_error("brt: buffer range hi");
+    }
+    if (n.leaf) {
+      if (!n.buffer.empty()) throw std::logic_error("brt: leaf with buffer");
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (depth != leaf_depth) throw std::logic_error("brt: ragged leaves");
+      if (n.entries.size() > leaf_cap_) throw std::logic_error("brt: overfull leaf");
+      for (std::size_t i = 0; i < n.entries.size(); ++i) {
+        if (i > 0 && !(n.entries[i - 1].key < n.entries[i].key)) {
+          throw std::logic_error("brt: unsorted leaf");
+        }
+        if (lo != nullptr && n.entries[i].key < *lo) throw std::logic_error("brt: leaf lo");
+        if (hi != nullptr && !(n.entries[i].key < *hi)) throw std::logic_error("brt: leaf hi");
+      }
+      counted += n.entries.size();
+      return;
+    }
+    if (n.kids.size() != n.keys.size() + 1) throw std::logic_error("brt: arity");
+    if (n.kids.size() > fanout_) throw std::logic_error("brt: overfull internal");
+    for (std::size_t i = 0; i < n.kids.size(); ++i) {
+      const K* clo = i == 0 ? lo : &n.keys[i - 1];
+      const K* chi = i == n.keys.size() ? hi : &n.keys[i];
+      check_rec(n.kids[i], depth + 1, clo, chi, leaf_depth, counted);
+    }
+  }
+
+  std::uint64_t block_bytes_;
+  std::size_t fanout_;
+  std::size_t buf_cap_;
+  std::size_t leaf_cap_;
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = kNull;
+  std::uint64_t items_ = 0;
+  BrtStats stats_;
+  mutable MM mm_;
+};
+
+}  // namespace costream::brt

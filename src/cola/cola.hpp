@@ -1,0 +1,671 @@
+// Cache-oblivious lookahead array (COLA) — the paper's Section 3 and the
+// implementation its Section 4 benchmarks (the "g-COLA" with growth factor g
+// and pointer density p).
+//
+// Structure. Level 0 holds 1 element; level l > 0 holds up to
+// 2(g-1)g^(l-1) real elements plus floor(2p(g-1)g^(l-1)) redundant elements
+// (lookahead pointers sampling level l+1). Levels are stored contiguously
+// and each level keeps its occupied slots right-justified (paper Section 4),
+// which is what enables the "prepend" merge: when everything being merged
+// into a level sorts before the level's current contents, the existing
+// elements do not move — the mechanism behind Figure 5's descending-order
+// advantage.
+//
+// Inserts. A level is full after it has received g-1 merges. An insert that
+// cannot go straight into level 0 merges levels 0..t-1 plus the new element
+// into the first non-full level t (one cascading pass: O(k) work and O(k/B)
+// transfers for k items, Lemma 19 generalized to growth g as in the
+// cache-aware tradeoff of Section 3). With g = 2 and p > 0 this is the COLA
+// (O((log N)/B) amortized insert, O(log N) search, Lemmas 19-20); with p = 0
+// it is the "basic COLA" (O(log^2 N) search); with g = Theta(B^eps) it
+// matches the B^eps-tree bounds (see lookahead_array.hpp).
+//
+// Searches use fractional cascading: each level stores lookahead slots
+// (key + slot index in the next level) interleaved in key order, and every
+// slot knows the nearest lookahead slot at-or-left and at-or-right of it
+// (the paper's "duplicate lookahead pointers" folded into the 32-byte
+// element padding). A search therefore examines a constant-size window per
+// level after the first.
+//
+// Semantics. insert() is an upsert (newest wins; older duplicates are
+// discarded during merges). erase() is a blind tombstone — an extension the
+// paper does not cover — annihilated when a merge reaches the deepest level.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/entry.hpp"
+#include "dam/mem_model.hpp"
+
+namespace costream::cola {
+
+struct ColaConfig {
+  unsigned growth = 2;          // g >= 2
+  double pointer_density = 0.1; // p in [0, 0.5]; 0 disables lookahead pointers
+  bool enable_prepend = true;   // right-justified "prepend" merge fast path
+                                // (paper Section 4); off only for ablations
+};
+
+struct ColaStats {
+  std::uint64_t merges = 0;
+  std::uint64_t prepend_merges = 0;   // merges that left the target in place
+  std::uint64_t entries_merged = 0;   // real entries written by merges
+  std::uint64_t tombstones_dropped = 0;
+  std::uint64_t duplicates_dropped = 0;
+};
+
+template <class K = Key, class V = Value, class MM = dam::null_mem_model>
+class Gcola {
+ public:
+  static constexpr std::uint32_t kNoIdx = 0xffffffffu;
+
+  explicit Gcola(ColaConfig cfg = ColaConfig{}, MM mm = MM{})
+      : cfg_(cfg), mm_(std::move(mm)) {
+    if (cfg_.growth < 2) throw std::invalid_argument("cola: growth factor must be >= 2");
+    if (cfg_.pointer_density < 0.0 || cfg_.pointer_density > 0.5) {
+      throw std::invalid_argument("cola: pointer density must be in [0, 0.5]");
+    }
+  }
+
+  // -- observers --------------------------------------------------------------
+
+  const ColaConfig& config() const noexcept { return cfg_; }
+  const ColaStats& stats() const noexcept { return stats_; }
+  MM& mm() noexcept { return mm_; }
+  std::size_t level_count() const noexcept { return levels_.size(); }
+
+  /// Physical real entries (including not-yet-annihilated tombstones).
+  std::uint64_t item_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const Level& lv : levels_) n += lv.real_count;
+    return n;
+  }
+
+  /// Real entries in one level (tests).
+  std::uint64_t level_real_count(std::size_t l) const noexcept {
+    return l < levels_.size() ? levels_[l].real_count : 0;
+  }
+
+  /// Bytes of slot storage across all levels (space accounting).
+  std::uint64_t bytes() const noexcept {
+    std::uint64_t b = 0;
+    for (const Level& lv : levels_) b += lv.slots.size() * sizeof(Slot);
+    return b;
+  }
+
+  std::optional<V> find(const K& key) const {
+    // Window into the level being examined; kNoIdx means "whole level".
+    std::uint32_t wlo = kNoIdx, whi = kNoIdx;
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const Level& lv = levels_[l];
+      if (lv.occ_begin == lv.slots.size()) {  // empty level: reset the window
+        wlo = whi = kNoIdx;
+        continue;
+      }
+      const std::uint32_t S = lv.occ_begin;
+      const std::uint32_t E = static_cast<std::uint32_t>(lv.slots.size());
+      std::uint32_t lo = wlo == kNoIdx ? S : std::max(wlo, S);
+      std::uint32_t hi = whi == kNoIdx ? E : std::min(whi, E);
+
+      // First index in [lo, hi) with slot key > key.
+      std::uint32_t idx = level_upper_bound(l, lo, hi, key);
+
+      if (idx > lo) {
+        const Slot& pred = lv.slots[idx - 1];
+        touch_slot(l, idx - 1);
+        if (!pred.is_lookahead() && pred.key == key) {
+          if (pred.is_tombstone()) return std::nullopt;
+          return pred.value;
+        }
+      }
+      next_window(l, idx, lo, &wlo, &whi);
+    }
+    return std::nullopt;
+  }
+
+  /// Visit live entries with lo_key <= key <= hi_key ascending; newest value
+  /// wins, tombstoned keys are skipped.
+  template <class Fn>
+  void range_for_each(const K& lo_key, const K& hi_key, Fn&& fn) const {
+    if (hi_key < lo_key) return;
+    // Per-level cursors positioned at the first real slot with key >= lo_key.
+    std::vector<std::uint32_t> cur(levels_.size());
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const Level& lv = levels_[l];
+      const std::uint32_t S = lv.occ_begin;
+      const std::uint32_t E = static_cast<std::uint32_t>(lv.slots.size());
+      // lower_bound by key (lookahead slots skipped by advance_real).
+      std::uint32_t a = S, b = E;
+      while (a < b) {
+        const std::uint32_t mid = a + (b - a) / 2;
+        touch_slot(l, mid);
+        if (lv.slots[mid].key < lo_key) {
+          a = mid + 1;
+        } else {
+          b = mid;
+        }
+      }
+      cur[l] = advance_real(l, a);
+    }
+    while (true) {
+      // Pick the smallest key among cursors; ties resolved to the smallest
+      // level index (the newest copy).
+      std::size_t best = levels_.size();
+      for (std::size_t l = 0; l < levels_.size(); ++l) {
+        if (cur[l] == kNoIdx) continue;
+        const K& k = levels_[l].slots[cur[l]].key;
+        if (k > hi_key) {
+          cur[l] = kNoIdx;
+          continue;
+        }
+        if (best == levels_.size() || k < levels_[best].slots[cur[best]].key) best = l;
+      }
+      if (best == levels_.size()) return;
+      const Slot& s = levels_[best].slots[cur[best]];
+      const K k = s.key;
+      if (!s.is_tombstone()) fn(k, s.value);
+      // Consume this key from every level (older copies are shadowed).
+      for (std::size_t l = 0; l < levels_.size(); ++l) {
+        if (cur[l] != kNoIdx && levels_[l].slots[cur[l]].key == k) {
+          cur[l] = advance_real(l, cur[l] + 1);
+        }
+      }
+    }
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    range_for_each(std::numeric_limits<K>::min(), std::numeric_limits<K>::max(),
+                   static_cast<Fn&&>(fn));
+  }
+
+  // -- mutators ---------------------------------------------------------------
+
+  void insert(const K& key, const V& value) { put(key, value, /*tombstone=*/false); }
+
+  /// Blind delete (tombstone); O((log N)/B) amortized like insert.
+  void erase(const K& key) { put(key, V{}, /*tombstone=*/true); }
+
+  /// Build from entries sorted ascending by strictly increasing key,
+  /// replacing the current contents. Places everything in the shallowest
+  /// level that fits (one sequential write, O(n/B) transfers) and rebuilds
+  /// the lookahead chain — the COLA analogue of a B-tree bulk load.
+  void bulk_load(const std::vector<Entry<K, V>>& sorted) {
+    levels_.clear();
+    next_base_ = 0;
+    std::size_t t = 0;
+    while (real_cap(t) < sorted.size()) ++t;
+    ensure_level(t);
+    std::vector<Slot> content;
+    content.reserve(sorted.size());
+    for (const Entry<K, V>& e : sorted) {
+      Slot s{};
+      s.key = e.key;
+      s.value = e.value;
+      content.push_back(s);
+    }
+    write_level(t, content);
+    levels_[t].real_count = sorted.size();
+    // Mark the level full so future merges cascade past it correctly.
+    levels_[t].fills = cfg_.growth - 1;
+    for (std::size_t l = t; l-- > 1;) rebuild_lookahead(l);
+    stats_.entries_merged += sorted.size();
+  }
+
+  // -- verification -----------------------------------------------------------
+
+  /// Structural invariants; throws std::logic_error on violation. O(total).
+  void check_invariants() const {
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const Level& lv = levels_[l];
+      if (lv.slots.size() != real_cap(l) + la_cap(l)) {
+        throw std::logic_error("cola: level array size mismatch");
+      }
+      if (lv.fills >= cfg_.growth) throw std::logic_error("cola: fills out of range");
+      std::uint64_t reals = 0, las = 0;
+      std::uint32_t last_la = kNoIdx;
+      for (std::uint32_t i = lv.occ_begin; i < lv.slots.size(); ++i) {
+        const Slot& s = lv.slots[i];
+        if (i > lv.occ_begin) {
+          const Slot& p = lv.slots[i - 1];
+          if (s.key < p.key) throw std::logic_error("cola: level unsorted");
+          // Equal keys: any lookahead slots (there may be two — the next
+          // level can hold both a real and a lookahead with that key) must
+          // precede the single real slot, i.e. nothing follows a real.
+          if (s.key == p.key && !p.is_lookahead()) {
+            throw std::logic_error("cola: bad duplicate ordering in level");
+          }
+        }
+        if (s.is_lookahead()) {
+          ++las;
+          last_la = i;
+          if (l + 1 >= levels_.size()) throw std::logic_error("cola: lookahead at last level");
+          const Level& nxt = levels_[l + 1];
+          const std::uint32_t tgt = s.target;
+          if (tgt < nxt.occ_begin || tgt >= nxt.slots.size()) {
+            throw std::logic_error("cola: lookahead target out of range");
+          }
+          if (nxt.slots[tgt].key != s.key) {
+            throw std::logic_error("cola: lookahead key mismatch");
+          }
+        } else {
+          ++reals;
+        }
+        if (s.left_la != last_la) throw std::logic_error("cola: left_la wrong");
+      }
+      // Validate right_la with a reverse sweep.
+      std::uint32_t next_la = kNoIdx;
+      for (std::uint32_t i = static_cast<std::uint32_t>(lv.slots.size()); i-- > lv.occ_begin;) {
+        const Slot& s = lv.slots[i];
+        if (s.is_lookahead()) next_la = i;
+        if (s.right_la != next_la) throw std::logic_error("cola: right_la wrong");
+      }
+      if (reals != lv.real_count) throw std::logic_error("cola: real count drift");
+      if (reals > real_cap(l)) throw std::logic_error("cola: level overfull");
+      if (las > la_cap(l)) throw std::logic_error("cola: too many lookahead slots");
+      // Real keys are unique within a level.
+      for (std::uint32_t i = lv.occ_begin; i + 1 < lv.slots.size(); ++i) {
+        if (!lv.slots[i].is_lookahead() && !lv.slots[i + 1].is_lookahead() &&
+            lv.slots[i].key == lv.slots[i + 1].key) {
+          throw std::logic_error("cola: duplicate real key in level");
+        }
+      }
+    }
+  }
+
+ private:
+  enum : std::uint32_t { kFlagLookahead = 1u, kFlagTombstone = 2u };
+
+  struct Slot {
+    K key{};
+    V value{};
+    std::uint32_t left_la = kNoIdx;   // nearest lookahead slot at-or-left
+    std::uint32_t right_la = kNoIdx;  // nearest lookahead slot at-or-right
+    std::uint32_t flags = 0;
+    std::uint32_t target = kNoIdx;    // lookahead slots: slot index in next level
+
+    bool is_lookahead() const noexcept { return (flags & kFlagLookahead) != 0; }
+    bool is_tombstone() const noexcept { return (flags & kFlagTombstone) != 0; }
+  };
+
+  struct Level {
+    std::vector<Slot> slots;      // physical array; occupied = [occ_begin, size)
+    std::uint32_t occ_begin = 0;  // == slots.size() when empty
+    std::uint32_t fills = 0;      // merges received since last emptied
+    std::uint64_t real_count = 0;
+    std::uint64_t base_offset = 0;  // logical address of slots[0]
+  };
+
+  // -- geometry ---------------------------------------------------------------
+
+  std::uint64_t real_cap(std::size_t l) const noexcept {
+    if (l == 0) return 1;
+    std::uint64_t c = 2 * (cfg_.growth - 1);
+    for (std::size_t i = 1; i < l; ++i) c *= cfg_.growth;
+    return c;
+  }
+
+  // Paper Section 4: level l carries floor(2p(g-1)g^(l-1)) redundant
+  // elements, which equals floor(p * real_cap(l)).
+  std::uint64_t la_cap(std::size_t l) const noexcept {
+    return static_cast<std::uint64_t>(cfg_.pointer_density *
+                                      static_cast<double>(real_cap(l)));
+  }
+
+  void ensure_level(std::size_t l) {
+    while (levels_.size() <= l) {
+      const std::size_t i = levels_.size();
+      Level lv;
+      lv.slots.assign(real_cap(i) + la_cap(i), Slot{});
+      lv.occ_begin = static_cast<std::uint32_t>(lv.slots.size());
+      lv.base_offset = next_base_;
+      next_base_ += lv.slots.size() * sizeof(Slot);
+      levels_.push_back(std::move(lv));
+    }
+  }
+
+  bool level_full(std::size_t l) const noexcept {
+    if (l >= levels_.size()) return false;
+    if (l == 0) return levels_[0].real_count >= 1;
+    return levels_[l].fills >= cfg_.growth - 1;
+  }
+
+  // -- DAM accounting ---------------------------------------------------------
+
+  void touch_slot(std::size_t l, std::uint32_t i) const {
+    mm_.touch(levels_[l].base_offset + static_cast<std::uint64_t>(i) * sizeof(Slot),
+              sizeof(Slot));
+  }
+
+  void touch_region(std::size_t l, std::uint32_t i, std::uint64_t n, bool write) const {
+    if (n == 0) return;
+    const std::uint64_t off =
+        levels_[l].base_offset + static_cast<std::uint64_t>(i) * sizeof(Slot);
+    if (write) {
+      mm_.touch_write(off, n * sizeof(Slot));
+    } else {
+      mm_.touch(off, n * sizeof(Slot));
+    }
+  }
+
+  // -- search helpers ---------------------------------------------------------
+
+  std::uint32_t level_upper_bound(std::size_t l, std::uint32_t lo, std::uint32_t hi,
+                                  const K& key) const {
+    const Level& lv = levels_[l];
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      touch_slot(l, mid);
+      if (key < lv.slots[mid].key) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  /// Derive the next level's window from position `idx` (first slot with key
+  /// greater than the probe) and the predecessor at idx-1 (if >= lo).
+  void next_window(std::size_t l, std::uint32_t idx, std::uint32_t lo,
+                   std::uint32_t* wlo, std::uint32_t* whi) const {
+    const Level& lv = levels_[l];
+    const std::uint32_t E = static_cast<std::uint32_t>(lv.slots.size());
+    *wlo = *whi = kNoIdx;
+    if (idx > lo) {
+      const std::uint32_t la = lv.slots[idx - 1].left_la;
+      if (la != kNoIdx) *wlo = lv.slots[la].target;
+    }
+    if (idx < E) {
+      const std::uint32_t ra = lv.slots[idx].right_la;
+      if (ra != kNoIdx) *whi = lv.slots[ra].target;
+    }
+  }
+
+  /// First real (non-lookahead) slot at index >= i; kNoIdx past the end.
+  std::uint32_t advance_real(std::size_t l, std::uint32_t i) const {
+    const Level& lv = levels_[l];
+    for (; i < lv.slots.size(); ++i) {
+      touch_slot(l, i);
+      if (i >= lv.occ_begin && !lv.slots[i].is_lookahead()) return i;
+    }
+    return kNoIdx;
+  }
+
+  // -- insertion --------------------------------------------------------------
+
+  void put(const K& key, const V& value, bool tombstone) {
+    ensure_level(0);
+    if (!level_full(0)) {
+      Level& l0 = levels_[0];
+      l0.occ_begin = static_cast<std::uint32_t>(l0.slots.size() - 1);
+      Slot& s = l0.slots[l0.occ_begin];
+      s = Slot{};
+      s.key = key;
+      s.value = value;
+      s.flags = tombstone ? kFlagTombstone : 0u;
+      l0.real_count = 1;
+      l0.fills = 1;
+      touch_region(0, l0.occ_begin, 1, /*write=*/true);
+      return;
+    }
+
+    // Find the first non-full target level t; merge levels 0..t-1 + the new
+    // element into it.
+    std::size_t t = 1;
+    while (level_full(t)) ++t;
+    ensure_level(t);
+    merge_into(t, key, value, tombstone);
+  }
+
+  /// Extract the real entries of level l, oldest-compatible order (they are
+  /// key-sorted and deduplicated, so order by key is enough).
+  void extract_reals(std::size_t l, std::vector<Slot>& out) const {
+    const Level& lv = levels_[l];
+    touch_region(l, lv.occ_begin,
+                 static_cast<std::uint64_t>(lv.slots.size()) - lv.occ_begin,
+                 /*write=*/false);
+    for (std::uint32_t i = lv.occ_begin; i < lv.slots.size(); ++i) {
+      if (!lv.slots[i].is_lookahead()) out.push_back(lv.slots[i]);
+    }
+  }
+
+  /// Merge `newer` (takes precedence) with `older` into `out`; both inputs
+  /// sorted with unique keys. Older duplicates are dropped.
+  void merge_runs(const std::vector<Slot>& newer, const std::vector<Slot>& older,
+                  std::vector<Slot>& out) {
+    out.clear();
+    out.reserve(newer.size() + older.size());
+    std::size_t a = 0, b = 0;
+    while (a < newer.size() && b < older.size()) {
+      if (newer[a].key < older[b].key) {
+        out.push_back(newer[a++]);
+      } else if (older[b].key < newer[a].key) {
+        out.push_back(older[b++]);
+      } else {
+        out.push_back(newer[a++]);
+        ++b;  // shadowed older copy
+        ++stats_.duplicates_dropped;
+      }
+    }
+    while (a < newer.size()) out.push_back(newer[a++]);
+    while (b < older.size()) out.push_back(older[b++]);
+  }
+
+  std::size_t deepest_nonempty() const noexcept {
+    for (std::size_t l = levels_.size(); l-- > 0;) {
+      if (levels_[l].real_count > 0) return l;
+    }
+    return 0;
+  }
+
+  void merge_into(std::size_t t, const K& key, const V& value, bool tombstone) {
+    ++stats_.merges;
+    // Cascade: start with the new element (newest), fold in levels 0..t-1
+    // from newest to oldest. CPU cost O(k); transfer cost: each source level
+    // is read once, the target written once (the paper's merge pattern).
+    std::vector<Slot>& acc = scratch_a_;
+    std::vector<Slot>& tmp = scratch_b_;
+    std::vector<Slot>& src = scratch_c_;
+    acc.clear();
+    {
+      Slot s{};
+      s.key = key;
+      s.value = value;
+      s.flags = tombstone ? kFlagTombstone : 0u;
+      acc.push_back(s);
+    }
+    for (std::size_t l = 0; l < t; ++l) {
+      if (levels_[l].real_count == 0) continue;
+      src.clear();
+      extract_reals(l, src);
+      merge_runs(acc, src, tmp);
+      acc.swap(tmp);
+    }
+
+    Level& target = levels_[t];
+    // Tombstones can be discarded once no older copy of their key can exist,
+    // i.e. when merging into (or past) the deepest level holding real data.
+    const bool drop_tombstones = t >= deepest_nonempty();
+
+    // Prepend fast path: everything incoming sorts strictly before the
+    // target's current occupied region, so nothing in the target moves.
+    if (cfg_.enable_prepend && target.occ_begin < target.slots.size() && !acc.empty() &&
+        acc.back().key < target.slots[target.occ_begin].key &&
+        acc.size() <= target.occ_begin) {
+      prepend_into(t, acc, drop_tombstones);
+    } else {
+      full_merge_into(t, acc, drop_tombstones);
+    }
+
+    target.fills += 1;
+
+    // Clear the drained levels and rebuild their lookahead-only contents.
+    for (std::size_t l = 0; l < t; ++l) {
+      Level& lv = levels_[l];
+      lv.occ_begin = static_cast<std::uint32_t>(lv.slots.size());
+      lv.fills = 0;
+      lv.real_count = 0;
+    }
+    for (std::size_t l = t; l-- > 1;) rebuild_lookahead(l);
+  }
+
+  /// Drop tombstones from `run` in place (used when merging into the deepest
+  /// data so no older copy can resurface).
+  void strip_tombstones(std::vector<Slot>& run) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < run.size(); ++r) {
+      if (run[r].is_tombstone()) {
+        ++stats_.tombstones_dropped;
+        continue;
+      }
+      run[w++] = run[r];
+    }
+    run.resize(w);
+  }
+
+  /// Write `incoming` immediately left of the target's occupied region.
+  void prepend_into(std::size_t t, std::vector<Slot>& incoming, bool drop_tombstones) {
+    if (drop_tombstones) strip_tombstones(incoming);
+    ++stats_.prepend_merges;
+    Level& lv = levels_[t];
+    const std::uint32_t new_begin = lv.occ_begin - static_cast<std::uint32_t>(incoming.size());
+    // The first lookahead at-or-right of the new region is the old region's
+    // leading lookahead chain head.
+    const std::uint32_t old_first_ra =
+        lv.occ_begin < lv.slots.size() ? lv.slots[lv.occ_begin].right_la : kNoIdx;
+    std::uint32_t i = new_begin;
+    for (Slot& s : incoming) {
+      s.flags &= ~kFlagLookahead;
+      s.left_la = kNoIdx;  // no lookahead slots among the incoming entries
+      s.right_la = old_first_ra;
+      lv.slots[i++] = s;
+    }
+    touch_region(t, new_begin, incoming.size(), /*write=*/true);
+    lv.occ_begin = new_begin;
+    lv.real_count += incoming.size();
+    stats_.entries_merged += incoming.size();
+  }
+
+  /// Full rewrite of the target level: merge incoming entries with the
+  /// target's existing real entries, keep its existing lookahead slots
+  /// (their targets in level t+1 are unchanged), and re-justify right.
+  void full_merge_into(std::size_t t, std::vector<Slot>& incoming, bool drop_tombstones) {
+    Level& lv = levels_[t];
+    std::vector<Slot>& old_reals = scratch_b_;
+    std::vector<Slot>& merged = scratch_c_;
+    old_reals.clear();
+    std::vector<Slot> old_las;
+    touch_region(t, lv.occ_begin,
+                 static_cast<std::uint64_t>(lv.slots.size()) - lv.occ_begin,
+                 /*write=*/false);
+    for (std::uint32_t i = lv.occ_begin; i < lv.slots.size(); ++i) {
+      (lv.slots[i].is_lookahead() ? old_las : old_reals).push_back(lv.slots[i]);
+    }
+    merge_runs(incoming, old_reals, merged);
+    if (drop_tombstones) strip_tombstones(merged);
+
+    // Interleave merged reals with the preserved lookahead slots by key;
+    // equal keys order the lookahead first so searches land on the real.
+    std::vector<Slot> content;
+    content.reserve(merged.size() + old_las.size());
+    std::size_t a = 0, b = 0;
+    while (a < old_las.size() && b < merged.size()) {
+      if (old_las[a].key <= merged[b].key) {
+        content.push_back(old_las[a++]);
+      } else {
+        content.push_back(merged[b++]);
+      }
+    }
+    while (a < old_las.size()) content.push_back(old_las[a++]);
+    while (b < merged.size()) content.push_back(merged[b++]);
+
+    write_level(t, content);
+    lv.real_count = merged.size();
+    stats_.entries_merged += merged.size();
+  }
+
+  /// Right-justify `content` into level l's array and recompute the
+  /// left_la/right_la chains.
+  void write_level(std::size_t l, const std::vector<Slot>& content) {
+    Level& lv = levels_[l];
+    assert(content.size() <= lv.slots.size());
+    const std::uint32_t begin =
+        static_cast<std::uint32_t>(lv.slots.size() - content.size());
+    std::uint32_t last_la = kNoIdx;
+    for (std::uint32_t i = 0; i < content.size(); ++i) {
+      Slot s = content[i];
+      if (s.is_lookahead()) last_la = begin + i;
+      s.left_la = last_la;
+      lv.slots[begin + i] = s;
+    }
+    std::uint32_t next_la = kNoIdx;
+    for (std::uint32_t i = static_cast<std::uint32_t>(lv.slots.size()); i-- > begin;) {
+      if (lv.slots[i].is_lookahead()) next_la = i;
+      lv.slots[i].right_la = next_la;
+    }
+    lv.occ_begin = begin;
+    touch_region(l, begin, content.size(), /*write=*/true);
+  }
+
+  /// Rebuild level l as lookahead-only samples of level l+1 (level l's real
+  /// contents have just been drained by a merge).
+  void rebuild_lookahead(std::size_t l) {
+    Level& lv = levels_[l];
+    assert(lv.real_count == 0);
+    const std::uint64_t cap = la_cap(l);
+    if (cap == 0 || l + 1 >= levels_.size()) {
+      lv.occ_begin = static_cast<std::uint32_t>(lv.slots.size());
+      return;
+    }
+    const Level& nxt = levels_[l + 1];
+    const std::uint64_t navail =
+        static_cast<std::uint64_t>(nxt.slots.size()) - nxt.occ_begin;
+    if (navail == 0) {
+      lv.occ_begin = static_cast<std::uint32_t>(lv.slots.size());
+      return;
+    }
+    const std::uint64_t take = std::min<std::uint64_t>(cap, navail);
+    const std::uint64_t stride = navail / take;
+    std::vector<Slot> content;
+    content.reserve(take);
+    for (std::uint64_t i = 0; i < take; ++i) {
+      const std::uint32_t tgt =
+          nxt.occ_begin + static_cast<std::uint32_t>(i * stride + stride - 1);
+      touch_slot(l + 1, tgt);
+      Slot s{};
+      s.key = nxt.slots[tgt].key;
+      s.target = tgt;
+      s.flags = kFlagLookahead;
+      content.push_back(s);
+    }
+    write_level(l, content);
+  }
+
+  ColaConfig cfg_;
+  std::vector<Level> levels_;
+  std::uint64_t next_base_ = 0;
+  ColaStats stats_;
+  mutable MM mm_;
+  // Merge scratch, reused across inserts to avoid allocation churn.
+  std::vector<Slot> scratch_a_, scratch_b_, scratch_c_;
+};
+
+/// The paper's headline configuration: growth 2, pointer density 0.1.
+template <class K = Key, class V = Value, class MM = dam::null_mem_model>
+using Cola = Gcola<K, V, MM>;
+
+/// Basic COLA (Section 3 before fractional cascading): no lookahead
+/// pointers, O(log^2 N) searches.
+template <class K = Key, class V = Value, class MM = dam::null_mem_model>
+Gcola<K, V, MM> make_basic_cola(unsigned growth = 2, MM mm = MM{}) {
+  return Gcola<K, V, MM>(ColaConfig{growth, 0.0}, std::move(mm));
+}
+
+}  // namespace costream::cola

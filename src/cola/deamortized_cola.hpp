@@ -1,0 +1,363 @@
+// Deamortized (basic) COLA — paper Section 3, Lemma 21 / Theorem 22.
+//
+// The amortized COLA occasionally performs a merge that touches the entire
+// structure (Theta(N) work on one unlucky insert). The deamortization bounds
+// every insert by O(log N) moves while keeping the O((log N)/B) amortized
+// transfer cost:
+//
+//  * every level k keeps TWO arrays of capacity 2^k;
+//  * a level is "unsafe" while it holds items in both arrays; unsafe levels
+//    are merged incrementally into an empty array of the next level;
+//  * each insert places its item into level 0 and then spends a move budget
+//    of m = 2k+2 (k = number of levels) advancing merges, scanning unsafe
+//    levels left to right;
+//  * Lemma 21: with this budget two adjacent levels are never simultaneously
+//    unsafe, so a merge always finds an empty target array.
+//
+// Queries see only completed ("full") arrays: an in-progress merge copies
+// items, sources stay visible until the merge completes, and the partially
+// filled target is hidden — so a query never observes a half-merged level.
+// (This is the basic deamortization; the lookahead-pointer variant with
+// shadow/visible arrays, Theorem 24, is in deamortized_fc_cola.hpp.)
+//
+// Same upsert/tombstone semantics as Gcola. Arrays carry fill sequence
+// numbers so "newest wins" is well defined across the two arrays of a level.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/entry.hpp"
+#include "dam/mem_model.hpp"
+
+namespace costream::cola {
+
+struct DeamortizedStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t merges_started = 0;
+  std::uint64_t merges_completed = 0;
+  std::uint64_t total_moves = 0;
+  std::uint64_t max_moves_per_insert = 0;  // the worst-case bound under test
+};
+
+template <class K = Key, class V = Value, class MM = dam::null_mem_model>
+class DeamortizedCola {
+ public:
+  explicit DeamortizedCola(MM mm = MM{}) : mm_(std::move(mm)) { ensure_level(0); }
+
+  const DeamortizedStats& stats() const noexcept { return stats_; }
+  MM& mm() noexcept { return mm_; }
+  std::size_t level_count() const noexcept { return levels_.size(); }
+
+  /// Physical items currently held in full (queryable) arrays plus items in
+  /// unsafe sources not yet superseded. (Copies in in-progress merge targets
+  /// are not double counted: targets are invisible until completion.)
+  std::uint64_t item_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const Level& lv : levels_) {
+      for (int a = 0; a < 2; ++a) {
+        if (lv.state[a] == State::kFull) n += lv.arr[a].size();
+      }
+    }
+    return n;
+  }
+
+  void insert(const K& key, const V& value) { put(key, value, false); }
+  void erase(const K& key) { put(key, V{}, true); }
+
+  std::optional<V> find(const K& key) const {
+    // Newest wins: scan levels from the smallest, and within a level check
+    // the more recently filled array first.
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const Level& lv = levels_[l];
+      int order[2] = {0, 1};
+      if (lv.state[1] == State::kFull &&
+          (lv.state[0] != State::kFull || lv.seq[1] > lv.seq[0])) {
+        order[0] = 1;
+        order[1] = 0;
+      }
+      for (int oi = 0; oi < 2; ++oi) {
+        const int a = order[oi];
+        if (lv.state[a] != State::kFull) continue;
+        const auto& arr = lv.arr[a];
+        touch_binary_search(l, a, arr.size());
+        const auto it =
+            std::lower_bound(arr.begin(), arr.end(), key,
+                             [](const Item& e, const K& k) { return e.key < k; });
+        if (it != arr.end() && it->key == key) {
+          if (it->tombstone) return std::nullopt;
+          return it->value;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Visit live entries in [lo, hi] ascending, newest value per key.
+  template <class Fn>
+  void range_for_each(const K& lo, const K& hi, Fn&& fn) const {
+    if (hi < lo) return;
+    struct Cursor {
+      const std::vector<Item>* arr;
+      std::size_t i;
+      std::size_t level;
+      std::uint64_t seq;
+    };
+    std::vector<Cursor> cs;
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const Level& lv = levels_[l];
+      for (int a = 0; a < 2; ++a) {
+        if (lv.state[a] != State::kFull) continue;
+        const auto& arr = lv.arr[a];
+        const auto it = std::lower_bound(arr.begin(), arr.end(), lo,
+                                         [](const Item& e, const K& k) { return e.key < k; });
+        cs.push_back(Cursor{&arr, static_cast<std::size_t>(it - arr.begin()), l, lv.seq[a]});
+      }
+    }
+    while (true) {
+      std::size_t best = cs.size();
+      for (std::size_t c = 0; c < cs.size(); ++c) {
+        if (cs[c].i >= cs[c].arr->size()) continue;
+        const K& k = (*cs[c].arr)[cs[c].i].key;
+        if (hi < k) {
+          cs[c].i = cs[c].arr->size();
+          continue;
+        }
+        if (best == cs.size()) {
+          best = c;
+          continue;
+        }
+        const K& bk = (*cs[best].arr)[cs[best].i].key;
+        // Newest-wins tiebreak: copies only travel toward deeper levels, so
+        // the shallower level holds the newer copy; within a level the more
+        // recently filled array does. (Global fill sequence alone is NOT a
+        // freshness order: an old copy gets a fresh sequence each time a
+        // merge rewrites the array holding it.)
+        if (k < bk ||
+            (k == bk && (cs[c].level < cs[best].level ||
+                         (cs[c].level == cs[best].level && cs[c].seq > cs[best].seq)))) {
+          best = c;
+        }
+      }
+      if (best == cs.size()) return;
+      const Item& item = (*cs[best].arr)[cs[best].i];
+      const K k = item.key;
+      if (!item.tombstone) fn(k, item.value);
+      for (Cursor& c : cs) {
+        while (c.i < c.arr->size() && (*c.arr)[c.i].key == k) ++c.i;
+      }
+    }
+  }
+
+  /// Lemma 21 under test: no two adjacent unsafe levels; unsafe levels have
+  /// a consistent in-progress merge; arrays sorted with unique keys.
+  void check_invariants() const {
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const Level& lv = levels_[l];
+      if (lv.unsafe && l + 1 < levels_.size() && levels_[l + 1].unsafe) {
+        throw std::logic_error("deamortized cola: adjacent unsafe levels");
+      }
+      if (lv.unsafe) {
+        if (lv.state[0] != State::kFull || lv.state[1] != State::kFull) {
+          throw std::logic_error("deamortized cola: unsafe level without two full arrays");
+        }
+        if (l + 1 >= levels_.size()) {
+          throw std::logic_error("deamortized cola: unsafe level without target level");
+        }
+        const Level& nxt = levels_[l + 1];
+        if (nxt.state[lv.target_arr] != State::kFilling) {
+          throw std::logic_error("deamortized cola: merge target not filling");
+        }
+      }
+      for (int a = 0; a < 2; ++a) {
+        if (lv.state[a] == State::kEmpty && !lv.arr[a].empty()) {
+          throw std::logic_error("deamortized cola: nonempty empty array");
+        }
+        if (lv.arr[a].size() > (1ULL << l)) {
+          throw std::logic_error("deamortized cola: array overfull");
+        }
+        for (std::size_t i = 1; i < lv.arr[a].size(); ++i) {
+          if (!(lv.arr[a][i - 1].key < lv.arr[a][i].key)) {
+            throw std::logic_error("deamortized cola: array unsorted");
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  struct Item {
+    K key;
+    V value;
+    bool tombstone;
+  };
+
+  enum class State : std::uint8_t { kEmpty, kFull, kFilling };
+
+  struct Level {
+    std::vector<Item> arr[2];
+    State state[2] = {State::kEmpty, State::kEmpty};
+    std::uint64_t seq[2] = {0, 0};  // fill sequence; larger = newer
+    std::uint64_t base[2] = {0, 0}; // logical offsets for DAM accounting
+    // In-progress merge of THIS level's two arrays into the next level:
+    bool unsafe = false;
+    std::size_t pos_a = 0, pos_b = 0;  // cursors into arr[0] / arr[1]
+    int target_arr = 0;                // which array of level l+1 receives
+    bool drop_tombstones = false;      // decided when the merge starts
+  };
+
+  void ensure_level(std::size_t l) {
+    while (levels_.size() <= l) {
+      Level lv;
+      const std::uint64_t cap = 1ULL << levels_.size();
+      lv.base[0] = next_base_;
+      next_base_ += cap * sizeof(Item);
+      lv.base[1] = next_base_;
+      next_base_ += cap * sizeof(Item);
+      levels_.push_back(std::move(lv));
+    }
+  }
+
+  void touch_binary_search(std::size_t l, int a, std::size_t n) const {
+    // Account ~log2(n) probes of one Item each.
+    std::size_t probes = 1;
+    for (std::size_t m = n; m > 1; m >>= 1) ++probes;
+    for (std::size_t i = 0; i < probes; ++i) {
+      mm_.touch(levels_[l].base[a] + (n >> (i + 1)) * sizeof(Item), sizeof(Item));
+    }
+  }
+
+  void put(const K& key, const V& value, bool tombstone) {
+    ++stats_.inserts;
+    ensure_level(0);
+    Level& l0 = levels_[0];
+    int slot = -1;
+    for (int a = 0; a < 2; ++a) {
+      if (l0.state[a] == State::kEmpty) {
+        slot = a;
+        break;
+      }
+    }
+    // With budget m = 2k+2 >= 6, an unsafe level 0 always finishes its merge
+    // within one insert (2 moves), so a free array must exist here.
+    if (slot < 0) throw std::logic_error("deamortized cola: level 0 has no free array");
+    l0.arr[slot].clear();
+    l0.arr[slot].push_back(Item{key, value, tombstone});
+    l0.state[slot] = State::kFull;
+    l0.seq[slot] = ++seq_counter_;
+    mm_.touch_write(l0.base[slot], sizeof(Item));
+    maybe_start_merge(0);
+
+    // Spend the move budget on unsafe levels, left to right.
+    std::uint64_t budget = 2 * levels_.size() + 2;
+    std::uint64_t moves = 0;
+    for (std::size_t l = 0; l < levels_.size() && budget > 0; ++l) {
+      if (!levels_[l].unsafe) continue;
+      moves += advance_merge(l, &budget);
+    }
+    stats_.total_moves += moves;
+    stats_.max_moves_per_insert = std::max(stats_.max_moves_per_insert, moves);
+  }
+
+  /// If level l now holds items in both arrays, begin merging them into an
+  /// empty array of level l+1.
+  void maybe_start_merge(std::size_t l) {
+    if (levels_[l].unsafe) return;
+    if (levels_[l].state[0] != State::kFull || levels_[l].state[1] != State::kFull) return;
+    ensure_level(l + 1);  // may reallocate levels_: take references only after
+    Level& lv = levels_[l];
+    Level& nxt = levels_[l + 1];
+    int tgt = -1;
+    for (int a = 0; a < 2; ++a) {
+      if (nxt.state[a] == State::kEmpty) {
+        tgt = a;
+        break;
+      }
+    }
+    // Lemma 21: adjacent levels are never simultaneously unsafe, so an empty
+    // target must exist.
+    if (tgt < 0) throw std::logic_error("deamortized cola: no empty target array");
+    lv.unsafe = true;
+    lv.pos_a = lv.pos_b = 0;
+    lv.target_arr = tgt;
+    nxt.state[tgt] = State::kFilling;
+    nxt.arr[tgt].clear();
+    nxt.arr[tgt].reserve(lv.arr[0].size() + lv.arr[1].size());
+    // Tombstones may be discarded iff nothing deeper can hold their key:
+    // every level > l+1 empty and the sibling array at l+1 empty.
+    bool deeper_data = false;
+    for (std::size_t j = l + 1; j < levels_.size() && !deeper_data; ++j) {
+      for (int a = 0; a < 2; ++a) {
+        if (j == l + 1 && a == tgt) continue;
+        if (levels_[j].state[a] != State::kEmpty) deeper_data = true;
+      }
+    }
+    lv.drop_tombstones = !deeper_data;
+    ++stats_.merges_started;
+  }
+
+  /// Move up to *budget items of level l's merge; decrements *budget by the
+  /// moves performed and returns them. Completes the merge (and possibly
+  /// cascades a new unsafe level) when the sources drain.
+  std::uint64_t advance_merge(std::size_t l, std::uint64_t* budget) {
+    Level& lv = levels_[l];
+    Level& nxt = levels_[l + 1];
+    auto& a = lv.arr[0];
+    auto& b = lv.arr[1];
+    auto& out = nxt.arr[lv.target_arr];
+    // Which source is newer decides duplicate survival.
+    const bool a_newer = lv.seq[0] > lv.seq[1];
+    std::uint64_t moves = 0;
+
+    while (*budget > 0 && (lv.pos_a < a.size() || lv.pos_b < b.size())) {
+      Item item{};
+      if (lv.pos_a < a.size() && lv.pos_b < b.size() &&
+          a[lv.pos_a].key == b[lv.pos_b].key) {
+        item = a_newer ? a[lv.pos_a] : b[lv.pos_b];
+        ++lv.pos_a;
+        ++lv.pos_b;
+        mm_.touch(lv.base[0] + lv.pos_a * sizeof(Item), sizeof(Item));
+        mm_.touch(lv.base[1] + lv.pos_b * sizeof(Item), sizeof(Item));
+      } else if (lv.pos_b >= b.size() ||
+                 (lv.pos_a < a.size() && a[lv.pos_a].key < b[lv.pos_b].key)) {
+        item = a[lv.pos_a++];
+        mm_.touch(lv.base[0] + lv.pos_a * sizeof(Item), sizeof(Item));
+      } else {
+        item = b[lv.pos_b++];
+        mm_.touch(lv.base[1] + lv.pos_b * sizeof(Item), sizeof(Item));
+      }
+      if (!(item.tombstone && lv.drop_tombstones)) {
+        out.push_back(item);
+        mm_.touch_write(nxt.base[lv.target_arr] + out.size() * sizeof(Item), sizeof(Item));
+      }
+      --*budget;
+      ++moves;
+    }
+
+    if (lv.pos_a >= a.size() && lv.pos_b >= b.size()) {
+      // Merge complete: sources become empty, target becomes visible.
+      a.clear();
+      b.clear();
+      lv.state[0] = lv.state[1] = State::kEmpty;
+      lv.unsafe = false;
+      nxt.state[lv.target_arr] = State::kFull;
+      nxt.seq[lv.target_arr] = ++seq_counter_;
+      ++stats_.merges_completed;
+      maybe_start_merge(l + 1);
+    }
+    return moves;
+  }
+
+  std::vector<Level> levels_;
+  std::uint64_t next_base_ = 0;
+  std::uint64_t seq_counter_ = 0;
+  DeamortizedStats stats_;
+  mutable MM mm_;
+};
+
+}  // namespace costream::cola

@@ -1,0 +1,48 @@
+// Cache-aware lookahead array — paper Section 3, "Cache-aware update/query
+// tradeoff".
+//
+// The lookahead array generalizes the COLA by a growth factor g: with
+// g = Theta(B^eps) it matches the B^eps-tree of Brodal & Fagerberg:
+// O(log_{B^eps+1} N) transfers per query and O((log_{B^eps+1} N)/B^(1-eps))
+// per insert. The only cache-AWARE ingredient is the choice of g — the
+// machinery is the same Gcola, so this header is a thin policy wrapper that
+// converts (block size B, eps) into a growth factor.
+//
+//   eps = 0  -> g = 2            (the COLA / BRT point)
+//   eps = 1  -> g = B            (the B-tree point)
+//   eps = .5 -> g = sqrt(B)      (the classic compromise: searches ~2x
+//                                 slower, inserts ~sqrt(B)/2 faster than a
+//                                 B-tree)
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "cola/cola.hpp"
+
+namespace costream::cola {
+
+/// Growth factor for a lookahead array tuned to block size `block_bytes`
+/// and tradeoff exponent `eps` in [0, 1]. B is measured in elements, as in
+/// the paper's analysis.
+inline unsigned lookahead_growth(std::uint64_t block_bytes, double eps,
+                                 std::size_t element_bytes = 32) {
+  const double b_elems =
+      std::max<double>(2.0, static_cast<double>(block_bytes) /
+                                static_cast<double>(element_bytes));
+  const double g = std::pow(b_elems, eps);
+  return static_cast<unsigned>(std::clamp(g, 2.0, 65536.0));
+}
+
+/// Factory: a Gcola parametrized as the cache-aware lookahead array.
+template <class K = Key, class V = Value, class MM = dam::null_mem_model>
+Gcola<K, V, MM> make_lookahead_array(std::uint64_t block_bytes, double eps,
+                                     double pointer_density = 0.1, MM mm = MM{}) {
+  ColaConfig cfg;
+  cfg.growth = lookahead_growth(block_bytes, eps);
+  cfg.pointer_density = pointer_density;
+  return Gcola<K, V, MM>(cfg, std::move(mm));
+}
+
+}  // namespace costream::cola

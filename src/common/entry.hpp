@@ -1,0 +1,44 @@
+// The element type shared by every dictionary in the library.
+//
+// The paper's experimental setup (Section 4) stores 64-bit keys and 64-bit
+// values padded to 32 bytes per element, with some of the padding reused for
+// lookahead-pointer bookkeeping. We keep Entry minimal (key + value) and let
+// each structure add its own bookkeeping fields, which is equivalent and
+// keeps the public API clean.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace costream {
+
+using Key = std::uint64_t;
+using Value = std::uint64_t;
+
+/// A key/value pair. Ordered by key only: dictionaries never compare values.
+template <class K = Key, class V = Value>
+struct Entry {
+  K key{};
+  V value{};
+
+  friend constexpr bool operator==(const Entry& a, const Entry& b) noexcept {
+    return a.key == b.key;
+  }
+  friend constexpr auto operator<=>(const Entry& a, const Entry& b) noexcept {
+    return a.key <=> b.key;
+  }
+};
+
+/// Compare an entry against a bare key (heterogeneous lookups).
+struct EntryKeyLess {
+  template <class K, class V>
+  constexpr bool operator()(const Entry<K, V>& e, const K& k) const noexcept {
+    return e.key < k;
+  }
+  template <class K, class V>
+  constexpr bool operator()(const K& k, const Entry<K, V>& e) const noexcept {
+    return k < e.key;
+  }
+};
+
+}  // namespace costream

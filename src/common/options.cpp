@@ -1,0 +1,27 @@
+#include "common/options.hpp"
+
+#include <cstdlib>
+
+namespace costream {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+BenchOptions BenchOptions::from_env(std::uint64_t default_max_n) {
+  BenchOptions opts{};
+  const std::uint64_t scale = env_u64("REPRO_SCALE", 1);
+  opts.max_n = env_u64("REPRO_MAXN", default_max_n / (scale ? scale : 1));
+  opts.seed = env_u64("REPRO_SEED", 42);
+  opts.fast = env_u64("REPRO_FAST", 0) != 0;
+  if (opts.fast && opts.max_n > (1u << 16)) opts.max_n = 1u << 16;
+  if (opts.max_n < 16) opts.max_n = 16;
+  return opts;
+}
+
+}  // namespace costream

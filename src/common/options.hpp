@@ -1,0 +1,33 @@
+// Environment-driven options for the benchmark binaries.
+//
+// Every bench binary must run unattended (`for b in build/bench/*; do $b;
+// done`), so configuration comes from environment variables rather than
+// required CLI flags:
+//
+//   REPRO_SCALE   power-of-two divisor applied to the paper's N
+//                 (default 1 = the laptop-scale defaults documented per bench)
+//   REPRO_MAXN    override the maximum element count outright
+//   REPRO_SEED    workload seed (default 42)
+//   REPRO_FAST    if set nonzero, benches shrink to smoke-test size
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace costream {
+
+struct BenchOptions {
+  std::uint64_t max_n;     // largest N the bench will reach
+  std::uint64_t seed;      // workload seed
+  bool fast;               // smoke-test mode
+
+  /// Read options from the environment. `default_max_n` is the bench's
+  /// laptop-scale default before REPRO_* adjustments.
+  static BenchOptions from_env(std::uint64_t default_max_n);
+};
+
+/// Parse an unsigned integer environment variable, falling back to `fallback`
+/// when unset or malformed.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+}  // namespace costream

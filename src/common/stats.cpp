@@ -1,0 +1,86 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace costream {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void LatencyRecorder::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double LatencyRecorder::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("percentile of empty recorder");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  ensure_sorted();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double LatencyRecorder::max() const {
+  if (samples_.empty()) throw std::logic_error("max of empty recorder");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double LatencyRecorder::mean() const {
+  if (samples_.empty()) throw std::logic_error("mean of empty recorder");
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::string format_rate(double per_second) {
+  char buf[64];
+  if (per_second >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fG", per_second / 1e9);
+  } else if (per_second >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", per_second / 1e6);
+  } else if (per_second >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", per_second / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f", per_second);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  std::snprintf(buf, sizeof buf, "%.1f %s", bytes, units[u]);
+  return buf;
+}
+
+}  // namespace costream

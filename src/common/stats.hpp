@@ -1,0 +1,56 @@
+// Small statistics helpers used by the benchmark harness: running summaries
+// (mean/min/max), exact percentiles over recorded samples, and rate
+// formatting that matches the paper's "average inserts / second" plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace costream {
+
+/// Streaming summary without storing samples (Welford mean/variance).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // sample variance, 0 if n < 2
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Records every sample; supports exact percentiles. Used for the
+/// deamortization experiments, where tail latency is the entire point.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t reserve = 0) { samples_.reserve(reserve); }
+
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const noexcept { return samples_.size(); }
+  double percentile(double p) const;  // p in [0,100]
+  double max() const;
+  double mean() const;
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// "1.23M", "456k", "7.8" — compact rates for table columns.
+std::string format_rate(double per_second);
+
+/// "12.3 GiB", "4.0 KiB" — compact byte counts.
+std::string format_bytes(double bytes);
+
+}  // namespace costream

@@ -1,0 +1,57 @@
+// Fixed-width table printer for the figure benches. Each bench prints the
+// same rows/series the corresponding paper figure plots, e.g.
+//
+//   # Fig 2: COLA vs B-tree (random inserts)
+//   N        2-COLA     4-COLA     8-COLA     B-tree
+//   2^16     1.21M      1.34M      1.30M      401.2k
+//   ...
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace costream {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 14)
+      : headers_(std::move(headers)), col_width_(col_width) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::ostream& os = std::cout) const {
+    print_cells(os, headers_);
+    for (const auto& row : rows_) print_cells(os, row);
+    os.flush();
+  }
+
+ private:
+  void print_cells(std::ostream& os, const std::vector<std::string>& cells) const {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::string cell = cells[i];
+      if (static_cast<int>(cell.size()) < col_width_ && i + 1 != cells.size()) {
+        cell.append(static_cast<std::size_t>(col_width_) - cell.size(), ' ');
+      } else if (i + 1 != cells.size()) {
+        cell.push_back(' ');
+      }
+      os << cell;
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int col_width_;
+};
+
+/// "2^20" style labels for the x-axis of the figures.
+inline std::string pow2_label(std::uint64_t n) {
+  unsigned bit = 0;
+  while ((1ULL << (bit + 1)) <= n) ++bit;
+  if ((1ULL << bit) == n) return "2^" + std::to_string(bit);
+  return std::to_string(n);
+}
+
+}  // namespace costream

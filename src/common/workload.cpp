@@ -1,0 +1,90 @@
+#include "common/workload.hpp"
+
+#include <stdexcept>
+
+namespace costream {
+
+const char* to_string(KeyOrder order) noexcept {
+  switch (order) {
+    case KeyOrder::kRandom: return "random";
+    case KeyOrder::kAscending: return "ascending";
+    case KeyOrder::kDescending: return "descending";
+    case KeyOrder::kClustered: return "clustered";
+    case KeyOrder::kZipfHot: return "zipf-hot";
+  }
+  return "unknown";
+}
+
+KeyOrder key_order_from_string(const std::string& name) {
+  if (name == "random") return KeyOrder::kRandom;
+  if (name == "ascending") return KeyOrder::kAscending;
+  if (name == "descending") return KeyOrder::kDescending;
+  if (name == "clustered") return KeyOrder::kClustered;
+  if (name == "zipf-hot") return KeyOrder::kZipfHot;
+  throw std::invalid_argument("unknown key order: " + name);
+}
+
+KeyStream::KeyStream(KeyOrder order, std::uint64_t n, std::uint64_t seed)
+    : order_(order), n_(n), seed_(seed) {}
+
+std::uint64_t KeyStream::key_at(std::uint64_t i) const noexcept {
+  switch (order_) {
+    case KeyOrder::kRandom:
+      // Stateless: hash (seed, i). Matches the paper's "N random elements"
+      // (uniform 64-bit keys; collisions possible and handled as upserts).
+      return mix64(seed_ ^ mix64(i + 1));
+    case KeyOrder::kAscending:
+      return i;
+    case KeyOrder::kDescending:
+      return n_ - 1 - i;
+    case KeyOrder::kClustered: {
+      // Runs of 256 sequential keys from a hashed base: sequential locality
+      // with random placement, between the sorted and random extremes.
+      const std::uint64_t run = i / 256, off = i % 256;
+      return (mix64(seed_ ^ run) & ~0xffULL) | off;
+    }
+    case KeyOrder::kZipfHot: {
+      // 90% of keys land in a 2^16-element hot range; the rest are uniform.
+      const std::uint64_t h = mix64(seed_ ^ mix64(i + 0x5eedULL));
+      if (h % 10 != 0) return (h >> 32) & 0xffffULL;
+      return h | (1ULL << 63);
+    }
+  }
+  return i;
+}
+
+std::vector<std::uint64_t> KeyStream::take(std::uint64_t count) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) keys.push_back(key_at(i));
+  return keys;
+}
+
+std::vector<Op> generate_ops(std::uint64_t count, std::uint64_t key_universe,
+                             const OpMix& mix, std::uint64_t seed) {
+  if (key_universe == 0) throw std::invalid_argument("empty key universe");
+  std::vector<Op> ops;
+  ops.reserve(count);
+  Xoshiro256 rng(seed);
+  const double total = mix.insert + mix.erase + mix.find + mix.range;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const double pick = rng.unit() * total;
+    Op op{};
+    op.key = rng.below(key_universe);
+    op.value = rng();
+    if (pick < mix.insert) {
+      op.kind = OpKind::kInsert;
+    } else if (pick < mix.insert + mix.erase) {
+      op.kind = OpKind::kErase;
+    } else if (pick < mix.insert + mix.erase + mix.find) {
+      op.kind = OpKind::kFind;
+    } else {
+      op.kind = OpKind::kRange;
+      op.hi = op.key + rng.below(key_universe / 16 + 1);
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace costream

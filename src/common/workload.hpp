@@ -1,0 +1,77 @@
+// Workload generators for the paper's experiments (Section 4) and for the
+// property-test suites.
+//
+// The paper inserts three key orders into the dictionaries: random (Fig 2),
+// descending [N-1..0] (Fig 3, best case for the B-tree), and ascending
+// (Fig 5). We add a few extra distributions (clustered, zipf-like hotspots)
+// used by the ablation benches and the randomized tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace costream {
+
+enum class KeyOrder {
+  kRandom,      // uniform random 64-bit keys (duplicates possible, like the paper)
+  kAscending,   // 0, 1, 2, ...
+  kDescending,  // N-1, N-2, ..., 0
+  kClustered,   // runs of sequential keys starting at random bases
+  kZipfHot,     // 90% of inserts drawn from a small hot range, 10% uniform
+};
+
+/// Human-readable name, used in bench output headers.
+const char* to_string(KeyOrder order) noexcept;
+
+/// Parse a name as printed by to_string(); throws std::invalid_argument.
+KeyOrder key_order_from_string(const std::string& name);
+
+/// A reproducible stream of keys. Generation is O(1) per key with no large
+/// buffer, so benches can stream billions of keys if asked to.
+class KeyStream {
+ public:
+  KeyStream(KeyOrder order, std::uint64_t n, std::uint64_t seed = 42);
+
+  /// The i-th key of the stream (stateless for random orders, so the stream
+  /// can be replayed for verification).
+  std::uint64_t key_at(std::uint64_t i) const noexcept;
+
+  std::uint64_t size() const noexcept { return n_; }
+  KeyOrder order() const noexcept { return order_; }
+
+  /// Materialize the first `count` keys (tests and small benches).
+  std::vector<std::uint64_t> take(std::uint64_t count) const;
+
+ private:
+  KeyOrder order_;
+  std::uint64_t n_;
+  std::uint64_t seed_;
+};
+
+/// Mixed operation trace for integration tests: a reproducible sequence of
+/// insert/erase/find/range operations with tunable proportions.
+struct OpMix {
+  double insert = 0.70;
+  double erase = 0.10;
+  double find = 0.15;
+  double range = 0.05;
+};
+
+enum class OpKind { kInsert, kErase, kFind, kRange };
+
+struct Op {
+  OpKind kind;
+  std::uint64_t key;
+  std::uint64_t value;  // for inserts
+  std::uint64_t hi;     // for ranges: query [key, hi]
+};
+
+/// Generate `count` operations over a bounded key universe so erases and
+/// finds hit existing keys with reasonable probability.
+std::vector<Op> generate_ops(std::uint64_t count, std::uint64_t key_universe,
+                             const OpMix& mix, std::uint64_t seed);
+
+}  // namespace costream

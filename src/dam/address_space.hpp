@@ -1,0 +1,29 @@
+// A logical address space for structures that allocate regions (B-tree
+// nodes, shuttle-tree nodes and buffers). A bump allocator is enough: the
+// structures that care about *placement* (shuttle tree, CO B-tree) override
+// addresses with their layout pass; everything else only needs stable,
+// disjoint regions so the DAM cache sees distinct blocks.
+#pragma once
+
+#include <cstdint>
+
+namespace costream::dam {
+
+class AddressSpace {
+ public:
+  /// Allocate `bytes`, aligned to `align` (power of two). Returns the offset.
+  std::uint64_t allocate(std::uint64_t bytes, std::uint64_t align = 64) noexcept {
+    next_ = (next_ + align - 1) & ~(align - 1);
+    const std::uint64_t at = next_;
+    next_ += bytes;
+    return at;
+  }
+
+  std::uint64_t bytes_used() const noexcept { return next_; }
+  void reset() noexcept { next_ = 0; }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace costream::dam

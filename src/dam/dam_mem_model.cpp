@@ -1,0 +1,84 @@
+#include "dam/dam_mem_model.hpp"
+
+#include <stdexcept>
+
+namespace costream::dam {
+
+dam_mem_model::dam_mem_model(std::uint64_t block_bytes, std::uint64_t mem_bytes,
+                             DiskParams disk)
+    : block_bytes_(block_bytes),
+      capacity_blocks_(block_bytes ? mem_bytes / block_bytes : 0),
+      disk_(disk) {
+  if (block_bytes_ == 0) throw std::invalid_argument("block_bytes must be > 0");
+  if (capacity_blocks_ == 0) capacity_blocks_ = 1;
+  if (disk_.sequential_streams < 1) disk_.sequential_streams = 1;
+  index_.reserve(capacity_blocks_ * 2);
+  stream_tails_.assign(static_cast<std::size_t>(disk_.sequential_streams), ~0ULL);
+}
+
+void dam_mem_model::clear_cache() {
+  for (const CacheEntry& e : lru_) {
+    if (e.dirty) write_back(e.block);
+  }
+  lru_.clear();
+  index_.clear();
+  stream_tails_.assign(stream_tails_.size(), ~0ULL);
+  stream_victim_ = 0;
+}
+
+void dam_mem_model::access(std::uint64_t offset, std::uint64_t len, bool write) {
+  ++stats_.accesses;
+  if (len == 0) len = 1;
+  const std::uint64_t first = offset / block_bytes_;
+  const std::uint64_t last = (offset + len - 1) / block_bytes_;
+  for (std::uint64_t b = first; b <= last; ++b) {
+    ++stats_.blocks_touched;
+    fault(b, write);
+  }
+}
+
+void dam_mem_model::count_transfer(std::uint64_t block) {
+  // Sequential iff the block extends one of the tracked streams (~0 is the
+  // empty-sentinel; a stream at ~0 never matches because block ids are
+  // finite). A random transfer starts a new stream, evicting round-robin.
+  ++stats_.transfers;
+  for (std::uint64_t& tail : stream_tails_) {
+    if (tail != ~0ULL && block == tail + 1) {
+      ++stats_.sequential_transfers;
+      tail = block;
+      return;
+    }
+  }
+  ++stats_.random_transfers;
+  stream_tails_[stream_victim_] = block;
+  stream_victim_ = (stream_victim_ + 1) % stream_tails_.size();
+}
+
+void dam_mem_model::write_back(std::uint64_t block) {
+  ++stats_.writebacks;
+  count_transfer(block);
+}
+
+void dam_mem_model::fault(std::uint64_t block, bool write) {
+  auto it = index_.find(block);
+  if (it != index_.end()) {
+    // Hit: move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->dirty = it->second->dirty || write;
+    return;
+  }
+  // Miss: transfer the block in.
+  count_transfer(block);
+
+  if (lru_.size() >= capacity_blocks_) {
+    const CacheEntry victim = lru_.back();
+    lru_.pop_back();
+    index_.erase(victim.block);
+    ++stats_.evictions;
+    if (victim.dirty) write_back(victim.block);
+  }
+  lru_.push_front(CacheEntry{block, write});
+  index_.emplace(block, lru_.begin());
+}
+
+}  // namespace costream::dam

@@ -1,0 +1,43 @@
+// Memory-model policy shared by every data structure in the library.
+//
+// The paper analyzes all structures in the Disk Access Machine (DAM) model
+// [Aggarwal & Vitter]: an internal memory of M bytes organized into B-byte
+// blocks in front of an arbitrarily large external memory; cost = number of
+// block transfers. The *cache-oblivious* model is the same, except B and M
+// are unknown to the algorithm.
+//
+// We preserve cache-obliviousness by construction: each structure reports its
+// memory accesses (offset, length) against a logical address space that
+// mirrors its real layout, and never sees B or M. The policy decides what to
+// do with those reports:
+//
+//   * null_mem_model  — compiles to nothing; used for wall-clock benches.
+//   * dam_mem_model   — LRU cache of M bytes over B-byte blocks; counts
+//                       sequential and random transfers and models disk time
+//                       (dam/dam_mem_model.hpp).
+//
+// Structures take `MM` as a template parameter and call
+// `mm.touch(offset, len)` (read) / `mm.touch_write(offset, len)` (write).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace costream::dam {
+
+template <class MM>
+concept MemModel = requires(MM m, std::uint64_t off, std::uint64_t len) {
+  { m.touch(off, len) };
+  { m.touch_write(off, len) };
+};
+
+/// The zero-cost model: all accounting compiles away.
+struct null_mem_model {
+  static constexpr bool kCounting = false;
+  void touch(std::uint64_t, std::uint64_t) const noexcept {}
+  void touch_write(std::uint64_t, std::uint64_t) const noexcept {}
+};
+
+static_assert(MemModel<null_mem_model>);
+
+}  // namespace costream::dam

@@ -1,0 +1,100 @@
+#include "layout/fibonacci.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace costream::layout {
+
+namespace {
+
+constexpr std::array<std::uint64_t, kMaxFibIndex + 1> make_fib_table() {
+  std::array<std::uint64_t, kMaxFibIndex + 1> t{};
+  t[0] = 0;
+  t[1] = 1;
+  for (int i = 2; i <= kMaxFibIndex; ++i) t[i] = t[i - 1] + t[i - 2];
+  return t;
+}
+
+constexpr auto kFib = make_fib_table();
+
+}  // namespace
+
+std::uint64_t fib(int k) noexcept {
+  assert(k >= 0 && k <= kMaxFibIndex);
+  return kFib[static_cast<std::size_t>(k)];
+}
+
+bool is_fib(std::uint64_t n) noexcept {
+  if (n == 0) return true;
+  const auto it = std::lower_bound(kFib.begin() + 2, kFib.end(), n);
+  return it != kFib.end() && *it == n;
+}
+
+std::uint64_t largest_fib_below(std::uint64_t h) noexcept {
+  assert(h >= 2);
+  // First Fibonacci >= h, then step back past duplicates of value 1.
+  const auto it = std::lower_bound(kFib.begin() + 2, kFib.end(), h);
+  assert(it != kFib.begin() + 2);
+  return *(it - 1);
+}
+
+int fib_index_at_most(std::uint64_t n) noexcept {
+  assert(n >= 1);
+  const auto it = std::upper_bound(kFib.begin() + 2, kFib.end(), n);
+  return static_cast<int>((it - kFib.begin()) - 1);
+}
+
+std::uint64_t fibonacci_factor(std::uint64_t h) noexcept {
+  assert(h >= 1);
+  // Peel off the largest Fibonacci term until a Fibonacci number remains;
+  // this computes the smallest term of the Zeckendorf decomposition.
+  while (!is_fib(h)) h -= largest_fib_below(h);
+  return h;
+}
+
+int buffer_height_index(int j) noexcept {
+  assert(j >= 1);
+  // H(j) = j - ceil(2 log_phi j); phi = (1+sqrt5)/2.
+  static const double kLogPhi = std::log((1.0 + std::sqrt(5.0)) / 2.0);
+  const double two_log = 2.0 * std::log(static_cast<double>(j)) / kLogPhi;
+  return j - static_cast<int>(std::ceil(two_log - 1e-9));
+}
+
+namespace {
+
+template <class IndexFn>
+std::vector<std::uint64_t> buffer_heights_impl(std::uint64_t h, int j0,
+                                               std::uint64_t min_height,
+                                               IndexFn index_fn) {
+  std::vector<std::uint64_t> heights;
+  const std::uint64_t x = fibonacci_factor(h);
+  const int k = fib_index_at_most(x);
+  for (int j = j0; j <= k; ++j) {
+    const int hj = index_fn(j);
+    if (hj < 1 || hj > kMaxFibIndex) continue;
+    const std::uint64_t bh = fib(hj);
+    if (bh < min_height) continue;
+    heights.push_back(bh);
+  }
+  std::sort(heights.begin(), heights.end());
+  heights.erase(std::unique(heights.begin(), heights.end()), heights.end());
+  return heights;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> paper_buffer_heights(std::uint64_t h, int j0,
+                                                std::uint64_t min_height) {
+  return buffer_heights_impl(h, j0, min_height,
+                             [](int j) { return buffer_height_index(j); });
+}
+
+std::vector<std::uint64_t> practical_buffer_heights(std::uint64_t h, int delta,
+                                                    std::uint64_t min_height) {
+  return buffer_heights_impl(h, /*j0=*/delta + 1, min_height,
+                             [delta](int j) { return j - delta; });
+}
+
+}  // namespace costream::layout

@@ -1,0 +1,69 @@
+// Fibonacci machinery for the shuttle tree (paper, Section 2).
+//
+// The shuttle tree bases its buffer sizes and its van-Emde-Boas-style layout
+// on Fibonacci numbers:
+//
+//  * the vEB recursion splits a height-h tree at the largest Fibonacci
+//    number strictly below h (above the halfway point, unlike classic vEB);
+//  * the "Fibonacci factor" x(h) decides which buffers a node owns: if h is
+//    Fibonacci then x(h) = h, otherwise x(h) = x(h - f) for f the largest
+//    Fibonacci below h (x(h) is the smallest term of h's Zeckendorf
+//    decomposition);
+//  * a node whose child height h has x(h) = F_k owns buffers of heights
+//    F_H(j) for j = j0..k, where H(j) = j - ceil(2 log_phi j) is the paper's
+//    buffer-height-index function.
+//
+// H(j) is an asymptotic construct: it first goes positive around j = 12
+// (tree height F_12 = 144), far beyond any laptop-scale tree. The runnable
+// shuttle tree therefore accepts a configurable height-index offset
+// (practical_buffer_heights) that preserves the schedule's structure —
+// geometrically increasing buffer heights keyed by the Fibonacci factor —
+// at reachable scales. DESIGN.md documents this substitution; the paper's
+// exact H() is implemented and tested here as well.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace costream::layout {
+
+/// Largest index k such that F_k fits in uint64 (F_93 overflows).
+inline constexpr int kMaxFibIndex = 92;
+
+/// F_k with F_0 = 0, F_1 = 1. Precondition: 0 <= k <= kMaxFibIndex.
+std::uint64_t fib(int k) noexcept;
+
+/// True iff n is a Fibonacci number (n >= 1; F_1 = F_2 = 1 counts once).
+bool is_fib(std::uint64_t n) noexcept;
+
+/// Largest Fibonacci number strictly smaller than h. Precondition: h >= 2.
+/// This is the vEB split height for a height-h (sub)tree.
+std::uint64_t largest_fib_below(std::uint64_t h) noexcept;
+
+/// Index k (>= 2) of the largest Fibonacci number <= n. Precondition: n >= 1.
+/// (Index 2 is returned for n in [1,2) so that fib(result) is well defined
+/// and unique: we never return index 1.)
+int fib_index_at_most(std::uint64_t n) noexcept;
+
+/// The Fibonacci factor x(h) (paper, Section 2). Precondition: h >= 1.
+/// Always itself a Fibonacci number; equals the smallest Zeckendorf term.
+std::uint64_t fibonacci_factor(std::uint64_t h) noexcept;
+
+/// The paper's buffer-height-index function H(j) = j - ceil(2 log_phi j).
+/// May be negative for small j (meaning: no buffer at that index).
+int buffer_height_index(int j) noexcept;
+
+/// Buffer heights for a node whose child height is h, per the paper's exact
+/// schedule: { F_H(j) : j0 <= j <= k, F_H(j) >= min_height } where
+/// F_k = x(h). Sorted ascending, deduplicated.
+std::vector<std::uint64_t> paper_buffer_heights(std::uint64_t h, int j0 = 2,
+                                                std::uint64_t min_height = 2);
+
+/// The laptop-scale schedule used by the runnable shuttle tree: identical
+/// shape, but with H(j) replaced by j - delta so buffers exist at reachable
+/// tree heights. delta = 2 gives largest buffer height F_{k-2} (one "double
+/// step" below the subtree, mirroring the paper's F_{k - 2 ceil(log_phi k)}).
+std::vector<std::uint64_t> practical_buffer_heights(std::uint64_t h, int delta = 2,
+                                                    std::uint64_t min_height = 1);
+
+}  // namespace costream::layout

@@ -1,0 +1,177 @@
+// Static search tree in van Emde Boas layout (Prokop; used by the
+// cache-oblivious B-tree of Bender, Demaine, Farach-Colton — reference [6]
+// of the paper, and our CO B-tree baseline's index).
+//
+// A balanced binary search tree over m keys is serialized so that the top
+// half (by height) is stored first, followed by each bottom subtree in
+// left-to-right order, recursively. A root-to-leaf walk then crosses
+// O(log_B m) block boundaries for every block size B simultaneously — the
+// cache-oblivious search bound.
+//
+// The tree is static in *shape* but supports in-place key updates
+// (update_key): the CO B-tree stores one node per PMA segment and segment
+// leader keys change under rebalances while their relative order is
+// preserved, so patching keys in place keeps the BST property intact.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "dam/mem_model.hpp"
+
+namespace costream::layout {
+
+/// One laid-out node: 16 bytes so that a 4 KiB block holds 256 nodes.
+template <class K>
+struct VebNode {
+  K key;                 // search key (the rank-r leader)
+  std::uint32_t left;    // position in the layout array, kNull if none
+  std::uint32_t right;
+};
+
+template <class K, class MM = dam::null_mem_model>
+class VebStaticTree {
+ public:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+  using Node = VebNode<K>;
+
+  VebStaticTree() = default;
+
+  /// Rebuild the tree over `keys` (must be sorted ascending). `base_offset`
+  /// is where the node array lives in the owner's logical address space.
+  void build(const std::vector<K>& keys, std::uint64_t base_offset = 0) {
+    base_offset_ = base_offset;
+    nodes_.clear();
+    pos_of_rank_.assign(keys.size(), kNull);
+    root_ = kNull;
+    if (keys.empty()) return;
+
+    // 1. Build the shape: a balanced BST over ranks, in a scratch arena.
+    scratch_.clear();
+    scratch_.reserve(keys.size());
+    const std::int64_t root_scratch = build_shape(0, static_cast<std::int64_t>(keys.size()));
+
+    // 2. Serialize in vEB order.
+    nodes_.resize(keys.size());
+    next_pos_ = 0;
+    int height = 0;
+    for (std::size_t n = keys.size(); n > 0; n >>= 1) ++height;
+    std::vector<std::int64_t> frontier;
+    veb_place(root_scratch, height, frontier);
+
+    // 3. Resolve child pointers and keys.
+    for (const Scratch& s : scratch_) {
+      Node& node = nodes_[s.pos];
+      node.key = keys[static_cast<std::size_t>(s.rank)];
+      node.left = s.left >= 0 ? scratch_[static_cast<std::size_t>(s.left)].pos : kNull;
+      node.right = s.right >= 0 ? scratch_[static_cast<std::size_t>(s.right)].pos : kNull;
+      pos_of_rank_[static_cast<std::size_t>(s.rank)] = s.pos;
+    }
+    root_ = scratch_[static_cast<std::size_t>(root_scratch)].pos;
+    scratch_.clear();
+    scratch_.shrink_to_fit();
+    fill_rank_of_pos();
+  }
+
+  bool empty() const noexcept { return nodes_.empty(); }
+  std::size_t size() const noexcept { return nodes_.size(); }
+  std::uint64_t bytes() const noexcept { return nodes_.size() * sizeof(Node); }
+
+  /// Rank of the largest key <= `key` (predecessor rank), or -1 if `key` is
+  /// smaller than every key. Charges one MM touch per node visited.
+  std::int64_t predecessor_rank(const K& key, MM& mm) const {
+    std::uint32_t pos = root_;
+    std::int64_t best = -1;
+    while (pos != kNull) {
+      mm.touch(base_offset_ + pos * sizeof(Node), sizeof(Node));
+      const Node& n = nodes_[pos];
+      if (!(key < n.key)) {  // n.key <= key
+        best = rank_at(pos);
+        pos = n.right;
+      } else {
+        pos = n.left;
+      }
+    }
+    return best;
+  }
+
+  /// Patch the key of the rank-r node in place. The caller guarantees the
+  /// global order of keys is unchanged (PMA rebalances preserve order).
+  void update_key(std::size_t rank, const K& key, MM& mm) {
+    assert(rank < pos_of_rank_.size());
+    const std::uint32_t pos = pos_of_rank_[rank];
+    mm.touch_write(base_offset_ + pos * sizeof(Node), sizeof(Node));
+    nodes_[pos].key = key;
+  }
+
+  const K& key_of_rank(std::size_t rank) const {
+    return nodes_[pos_of_rank_[rank]].key;
+  }
+
+  /// For layout tests: the vEB position of the rank-r node.
+  std::uint32_t position_of_rank(std::size_t rank) const { return pos_of_rank_[rank]; }
+
+ private:
+  struct Scratch {
+    std::int64_t rank;
+    std::int64_t left = -1;   // scratch indices
+    std::int64_t right = -1;
+    std::uint32_t pos = kNull;  // final vEB position
+  };
+
+  /// Balanced BST over ranks [lo, hi); returns scratch index of the root.
+  std::int64_t build_shape(std::int64_t lo, std::int64_t hi) {
+    if (lo >= hi) return -1;
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    const std::int64_t me = static_cast<std::int64_t>(scratch_.size());
+    scratch_.push_back(Scratch{mid, -1, -1, kNull});
+    // Children are appended after, so `me` stays valid (indices, not refs).
+    const std::int64_t l = build_shape(lo, mid);
+    const std::int64_t r = build_shape(mid + 1, hi);
+    scratch_[static_cast<std::size_t>(me)].left = l;
+    scratch_[static_cast<std::size_t>(me)].right = r;
+    return me;
+  }
+
+  /// Emit the height-`h` subtree rooted at scratch index `t` in vEB order;
+  /// `frontier` collects the roots hanging below depth h.
+  void veb_place(std::int64_t t, int h, std::vector<std::int64_t>& frontier) {
+    if (t < 0) return;
+    if (h <= 1) {
+      scratch_[static_cast<std::size_t>(t)].pos = next_pos_++;
+      frontier.push_back(scratch_[static_cast<std::size_t>(t)].left);
+      frontier.push_back(scratch_[static_cast<std::size_t>(t)].right);
+      return;
+    }
+    const int top_h = h / 2;
+    const int bot_h = h - top_h;
+    std::vector<std::int64_t> mid;
+    veb_place(t, top_h, mid);
+    for (std::int64_t f : mid) veb_place(f, bot_h, frontier);
+  }
+
+  std::int64_t rank_at(std::uint32_t pos) const { return rank_of_pos_[pos]; }
+
+ public:
+  /// For tests: rank stored at a vEB position.
+  std::int64_t rank_of_position(std::uint32_t pos) const { return rank_of_pos_[pos]; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> pos_of_rank_;
+  std::vector<std::int64_t> rank_of_pos_;
+  std::vector<Scratch> scratch_;
+  std::uint32_t root_ = kNull;
+  std::uint32_t next_pos_ = 0;
+  std::uint64_t base_offset_ = 0;
+
+  void fill_rank_of_pos() {
+    rank_of_pos_.assign(nodes_.size(), -1);
+    for (std::size_t r = 0; r < pos_of_rank_.size(); ++r) {
+      rank_of_pos_[pos_of_rank_[r]] = static_cast<std::int64_t>(r);
+    }
+  }
+};
+
+}  // namespace costream::layout

@@ -1,0 +1,400 @@
+// Packed-memory array (PMA) — the dynamic-layout substrate of the shuttle
+// tree and of the cache-oblivious B-tree baseline (paper Section 2,
+// "Maintaining layout dynamically"; original construction in Bender, Demaine,
+// Farach-Colton, "Cache-oblivious B-trees").
+//
+// A PMA stores N elements in order in an array of Theta(N) slots, leaving
+// gaps so that an insertion only needs to shift elements locally. The array
+// is divided into segments of Theta(log N) slots; aligned groups of 2^d
+// segments form the windows of an implicit calibration tree. Each depth has
+// density thresholds, tighter toward the root:
+//
+//   upper: 1.00 at the leaves ... 0.75 at the root
+//   lower: 0.10 at the leaves ... 0.30 at the root
+//
+// An insert rebalances (evenly redistributes) the smallest enclosing window
+// that respects its upper threshold; if even the root is too dense the array
+// doubles. Deletes mirror this against the lower thresholds and halve the
+// array when the root is too sparse. This yields amortized O(log^2 N)
+// element moves per update, and any n consecutive elements occupy Theta(n)
+// slots — the property the shuttle tree's layout analysis relies on.
+//
+// The PMA is positional, not keyed: embedders (cob::CobTree) decide where an
+// element goes and may register a move listener to learn when rebalances
+// relocate elements — the analogue of the paper's parent-pointer updates.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "dam/mem_model.hpp"
+
+namespace costream::pma {
+
+/// Statistics used by the PMA benches/tests to validate the amortized
+/// O(log^2 N) move bound.
+struct PmaStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t rebalances = 0;
+  std::uint64_t element_moves = 0;  // elements relocated by rebalances
+  std::uint64_t resizes = 0;
+};
+
+template <class T, class MM = dam::null_mem_model>
+class Pma {
+ public:
+  using slot_t = std::uint64_t;
+  static constexpr slot_t npos = std::numeric_limits<slot_t>::max();
+
+  /// `mm` is the memory-model policy used for DAM accounting; element slot s
+  /// lives at logical offset s * sizeof(T).
+  explicit Pma(MM mm = MM{}) : mm_(std::move(mm)) { reset_layout(kMinCapacity); }
+
+  // -- observers --------------------------------------------------------------
+
+  std::uint64_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::uint64_t capacity() const noexcept { return static_cast<std::uint64_t>(data_.size()); }
+  std::uint64_t segment_slots() const noexcept { return seg_slots_; }
+  const PmaStats& stats() const noexcept { return stats_; }
+  MM& mm() noexcept { return mm_; }
+  const MM& mm() const noexcept { return mm_; }
+
+  bool occupied(slot_t s) const noexcept { return s < used_.size() && used_[s] != 0; }
+
+  const T& at(slot_t s) const {
+    assert(occupied(s));
+    mm_.touch(s * sizeof(T), sizeof(T));
+    return data_[s];
+  }
+
+  T& at(slot_t s) {
+    assert(occupied(s));
+    mm_.touch_write(s * sizeof(T), sizeof(T));
+    return data_[s];
+  }
+
+  /// First occupied slot, or npos when empty.
+  slot_t first() const noexcept { return scan_forward(0); }
+
+  /// Next occupied slot after `s`, or npos. Amortized O(1): gap lengths are
+  /// bounded by the lower density thresholds.
+  slot_t next(slot_t s) const noexcept { return scan_forward(s + 1); }
+
+  /// Previous occupied slot before `s`, or npos.
+  slot_t prev(slot_t s) const noexcept {
+    while (s-- > 0) {
+      mm_.touch(s * sizeof(T), sizeof(T));
+      if (used_[s]) return s;
+    }
+    return npos;
+  }
+
+  /// Called as listener(old_slot, new_slot) for every element a rebalance or
+  /// resize relocates. Embedders use this to patch external pointers.
+  /// Contract: all moves reported during one mutation refer to the slot
+  /// assignment *before* that mutation (the rebalance gathers, then
+  /// scatters), so listeners that maintain slot maps must apply a
+  /// mutation's moves as one batch, not incrementally.
+  void set_move_listener(std::function<void(slot_t, slot_t)> listener) {
+    on_move_ = std::move(listener);
+  }
+
+  /// Called after each rebalance/resize finishes. One mutation can trigger
+  /// more than one rebalance (a resize followed by a window rebalance), and
+  /// the second batch's `from` slots refer to the post-resize layout — this
+  /// hook marks the batch boundaries.
+  void set_rebalance_listener(std::function<void()> listener) {
+    on_rebalance_end_ = std::move(listener);
+  }
+
+  /// Slot range [lo, hi) of the most recent rebalance (embedders recompute
+  /// derived data, e.g. the CO B-tree's segment leaders, over this range).
+  std::pair<slot_t, slot_t> last_rebalanced_range() const noexcept {
+    return {last_reb_lo_, last_reb_hi_};
+  }
+
+  /// Bumped on every capacity change; embedders compare it to detect that a
+  /// full index rebuild is needed.
+  std::uint64_t resize_epoch() const noexcept { return resize_epoch_; }
+
+  // -- mutators ---------------------------------------------------------------
+
+  /// Insert `value` immediately after the element at slot `pred` in the
+  /// logical order (`pred == npos` inserts before everything). Returns the
+  /// slot where the new element landed. Other elements move only through
+  /// rebalances, reported via the move listener.
+  slot_t insert_after(slot_t pred, T value) {
+    assert(pred == npos || occupied(pred));
+    ++stats_.inserts;
+    const std::uint64_t home_seg = pred == npos ? 0 : pred / seg_slots_;
+
+    // Find the smallest enclosing window that can absorb one more element.
+    int depth = 0;
+    std::uint64_t seg_lo = home_seg, seg_span = 1;
+    while (true) {
+      const std::uint64_t cnt = window_count(seg_lo, seg_span);
+      const std::uint64_t slots = seg_span * seg_slots_;
+      if (static_cast<double>(cnt + 1) <=
+          upper_threshold(depth) * static_cast<double>(slots)) {
+        return rebalance_with_insert(seg_lo, seg_span, pred, std::move(value));
+      }
+      if (seg_span == segments()) {
+        // Even the root window is too dense: double the array. `pred`'s slot
+        // changes; recover it by rank.
+        const std::uint64_t pred_rank = pred == npos ? npos : rank_of(pred);
+        resize_to(capacity() * 2);
+        const slot_t new_pred = pred_rank == npos ? npos : slot_of_rank(pred_rank);
+        return insert_after(new_pred, std::move(value));
+      }
+      ++depth;
+      seg_span *= 2;
+      seg_lo = (seg_lo / seg_span) * seg_span;
+    }
+  }
+
+  /// Remove the element at slot `s`.
+  void erase(slot_t s) {
+    assert(occupied(s));
+    ++stats_.erases;
+    mm_.touch_write(s * sizeof(T), sizeof(T));
+    used_[s] = 0;
+    --seg_count_[s / seg_slots_];
+    --size_;
+
+    // Walk up until a window satisfies its lower threshold; rebalance it so
+    // the sparse region regains its gaps-everywhere shape.
+    int depth = 0;
+    std::uint64_t seg_lo = s / seg_slots_, seg_span = 1;
+    while (true) {
+      const std::uint64_t cnt = window_count(seg_lo, seg_span);
+      const std::uint64_t slots = seg_span * seg_slots_;
+      if (static_cast<double>(cnt) >=
+          lower_threshold(depth) * static_cast<double>(slots)) {
+        if (depth > 0) rebalance_window(seg_lo, seg_span);
+        return;
+      }
+      if (seg_span == segments()) {
+        if (capacity() > kMinCapacity &&
+            static_cast<double>(size_) <= 0.75 * static_cast<double>(capacity() / 2)) {
+          resize_to(capacity() / 2);
+        } else if (cnt > 0) {
+          rebalance_window(seg_lo, seg_span);
+        }
+        return;
+      }
+      ++depth;
+      seg_span *= 2;
+      seg_lo = (seg_lo / seg_span) * seg_span;
+    }
+  }
+
+  // -- verification -----------------------------------------------------------
+
+  /// Structural invariants; throws std::logic_error on violation. Intended
+  /// for tests (O(capacity)).
+  void check_invariants() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t seg = 0; seg < segments(); ++seg) {
+      std::uint64_t cnt = 0;
+      for (std::uint64_t s = seg * seg_slots_; s < (seg + 1) * seg_slots_; ++s) {
+        if (used_[s]) ++cnt;
+      }
+      if (cnt != seg_count_[seg]) throw std::logic_error("PMA: segment counter drift");
+      total += cnt;
+    }
+    if (total != size_) throw std::logic_error("PMA: size drift");
+    if (capacity() % seg_slots_ != 0) throw std::logic_error("PMA: ragged segments");
+    if ((capacity() & (capacity() - 1)) != 0) throw std::logic_error("PMA: capacity not pow2");
+    if (size_ > capacity()) throw std::logic_error("PMA: overfull");
+  }
+
+  /// Rank of slot `s` = number of occupied slots strictly before it. O(s).
+  std::uint64_t rank_of(slot_t s) const noexcept {
+    std::uint64_t r = 0;
+    for (std::uint64_t i = 0; i < s && i < capacity(); ++i) {
+      if (used_[i]) ++r;
+    }
+    return r;
+  }
+
+  /// Slot holding the element of rank `r` (0-based); npos if r >= size().
+  slot_t slot_of_rank(std::uint64_t r) const noexcept {
+    std::uint64_t seen = 0;
+    for (std::uint64_t s = 0; s < capacity(); ++s) {
+      if (!used_[s]) continue;
+      if (seen == r) return s;
+      ++seen;
+    }
+    return npos;
+  }
+
+ private:
+  static constexpr std::uint64_t kMinCapacity = 16;
+
+  std::uint64_t segments() const noexcept { return capacity() / seg_slots_; }
+
+  int levels() const noexcept {
+    int l = 0;
+    for (std::uint64_t s = segments(); s > 1; s >>= 1) ++l;
+    return l;
+  }
+
+  double upper_threshold(int depth) const noexcept {
+    const int l = levels();
+    if (l == 0) return 1.0;
+    return 1.0 - 0.25 * static_cast<double>(depth) / static_cast<double>(l);
+  }
+
+  double lower_threshold(int depth) const noexcept {
+    const int l = levels();
+    if (l == 0) return 0.0;
+    return 0.10 + 0.20 * static_cast<double>(depth) / static_cast<double>(l);
+  }
+
+  std::uint64_t window_count(std::uint64_t seg_lo, std::uint64_t seg_span) const noexcept {
+    std::uint64_t cnt = 0;
+    for (std::uint64_t s = seg_lo; s < seg_lo + seg_span; ++s) cnt += seg_count_[s];
+    return cnt;
+  }
+
+  slot_t scan_forward(slot_t s) const noexcept {
+    for (; s < capacity(); ++s) {
+      mm_.touch(s * sizeof(T), sizeof(T));
+      if (used_[s]) return s;
+    }
+    return npos;
+  }
+
+  /// Segment slot count: a power of two near log2(capacity).
+  static std::uint64_t pick_segment_slots(std::uint64_t cap) noexcept {
+    std::uint64_t lg = 0;
+    while ((1ULL << (lg + 1)) <= cap) ++lg;
+    std::uint64_t seg = 1;
+    while (seg < lg) seg <<= 1;
+    while (seg > cap) seg >>= 1;
+    return seg == 0 ? 1 : seg;
+  }
+
+  void reset_layout(std::uint64_t cap) {
+    data_.assign(cap, T{});
+    used_.assign(cap, 0);
+    seg_slots_ = pick_segment_slots(cap);
+    seg_count_.assign(cap / seg_slots_, 0);
+    size_ = 0;
+  }
+
+  /// Gather the occupied elements of [slot_lo, slot_hi) in order, clearing
+  /// the slots. Records the gathered index of slot `track` into *track_idx
+  /// and the original slot of every gathered element into *old_slots.
+  std::vector<T> gather(std::uint64_t slot_lo, std::uint64_t slot_hi, slot_t track,
+                        std::uint64_t* track_idx, std::vector<slot_t>* old_slots) {
+    std::vector<T> items;
+    for (std::uint64_t s = slot_lo; s < slot_hi; ++s) {
+      mm_.touch(s * sizeof(T), sizeof(T));
+      if (!used_[s]) continue;
+      if (s == track && track_idx != nullptr) *track_idx = items.size();
+      if (old_slots != nullptr) old_slots->push_back(s);
+      items.push_back(std::move(data_[s]));
+      used_[s] = 0;
+    }
+    return items;
+  }
+
+  /// Evenly redistribute `items` into [slot_lo, slot_hi). `old_slots` lists
+  /// the pre-gather slots of every item except the one at `new_item_idx`
+  /// (pass >= items.size() for "no new item"). Fires the move listener and
+  /// returns the slot given to the new item (npos if none).
+  slot_t scatter(std::uint64_t slot_lo, std::uint64_t slot_hi, std::vector<T>&& items,
+                 const std::vector<slot_t>& old_slots, std::uint64_t new_item_idx) {
+    const std::uint64_t w = slot_hi - slot_lo;
+    const std::uint64_t m = items.size();
+    assert(m <= w);
+    slot_t new_slot = npos;
+    std::uint64_t old_i = 0;
+    for (std::uint64_t i = 0; i < m; ++i) {
+      const std::uint64_t target = slot_lo + i * w / m;
+      assert(target < slot_hi && !used_[target]);
+      mm_.touch_write(target * sizeof(T), sizeof(T));
+      data_[target] = std::move(items[i]);
+      used_[target] = 1;
+      ++seg_count_[target / seg_slots_];
+      if (i == new_item_idx) {
+        new_slot = target;
+      } else {
+        const slot_t from = old_slots[old_i++];
+        ++stats_.element_moves;
+        if (on_move_ && from != target) on_move_(from, target);
+      }
+    }
+    if (on_rebalance_end_) on_rebalance_end_();
+    return new_slot;
+  }
+
+  void clear_window_counts(std::uint64_t seg_lo, std::uint64_t seg_span) noexcept {
+    for (std::uint64_t s = seg_lo; s < seg_lo + seg_span; ++s) seg_count_[s] = 0;
+  }
+
+  slot_t rebalance_with_insert(std::uint64_t seg_lo, std::uint64_t seg_span, slot_t pred,
+                               T value) {
+    ++stats_.rebalances;
+    const std::uint64_t lo = seg_lo * seg_slots_, hi = (seg_lo + seg_span) * seg_slots_;
+    last_reb_lo_ = lo;
+    last_reb_hi_ = hi;
+    std::uint64_t pred_idx = npos;
+    std::vector<slot_t> old_slots;
+    std::vector<T> items = gather(lo, hi, pred, &pred_idx, &old_slots);
+    clear_window_counts(seg_lo, seg_span);
+    const std::uint64_t insert_at = (pred == npos || pred_idx == npos) ? 0 : pred_idx + 1;
+    items.insert(items.begin() + static_cast<std::ptrdiff_t>(insert_at), std::move(value));
+    ++size_;
+    return scatter(lo, hi, std::move(items), old_slots, insert_at);
+  }
+
+  void rebalance_window(std::uint64_t seg_lo, std::uint64_t seg_span) {
+    ++stats_.rebalances;
+    const std::uint64_t lo = seg_lo * seg_slots_, hi = (seg_lo + seg_span) * seg_slots_;
+    last_reb_lo_ = lo;
+    last_reb_hi_ = hi;
+    std::vector<slot_t> old_slots;
+    std::vector<T> items = gather(lo, hi, npos, nullptr, &old_slots);
+    clear_window_counts(seg_lo, seg_span);
+    const std::uint64_t m = items.size();
+    scatter(lo, hi, std::move(items), old_slots, m);
+  }
+
+  void resize_to(std::uint64_t new_cap) {
+    ++stats_.resizes;
+    ++stats_.rebalances;
+    ++resize_epoch_;
+    std::vector<slot_t> old_slots;
+    std::vector<T> items = gather(0, capacity(), npos, nullptr, &old_slots);
+    const std::uint64_t m = items.size();
+    reset_layout(new_cap);
+    size_ = m;
+    last_reb_lo_ = 0;
+    last_reb_hi_ = new_cap;
+    scatter(0, new_cap, std::move(items), old_slots, m);
+  }
+
+  std::vector<T> data_;
+  std::vector<std::uint8_t> used_;
+  std::vector<std::uint32_t> seg_count_;
+  std::uint64_t seg_slots_ = 1;
+  std::uint64_t size_ = 0;
+  PmaStats stats_;
+  mutable MM mm_;
+  std::function<void(slot_t, slot_t)> on_move_;
+  std::function<void()> on_rebalance_end_;
+  slot_t last_reb_lo_ = 0;
+  slot_t last_reb_hi_ = 0;
+  std::uint64_t resize_epoch_ = 0;
+};
+
+}  // namespace costream::pma

@@ -1,0 +1,36 @@
+// Strongly weight-balanced search tree (SWBST) — the balanced-tree substrate
+// the shuttle tree is built on (paper Section 2; original construction in
+// Arge & Vitter, "Optimal external memory interval management").
+//
+// Invariant: for fanout parameter c > 1 and every node v, w(v) = Theta(c^h(v))
+// with all leaves at the same depth. Splitting a node that exceeds its
+// weight threshold keeps the invariant; Lemma 1 of the paper gives the
+// consequences (degree Theta(c), O(c^d) descendants of height >= h-d,
+// amortized O(1)/O(log N) split charges).
+//
+// Implementation-wise the SWBST is exactly the shuttle tree with buffers
+// disabled — every element travels straight to its leaf — so this header
+// provides the configured alias rather than a duplicate tree. Tests exercise
+// the weight invariant through ShuttleTree::check_invariants().
+#pragma once
+
+#include "shuttle/shuttle_tree.hpp"
+
+namespace costream::shuttle {
+
+template <class K = Key, class V = Value, class MM = dam::null_mem_model>
+class Swbst : public ShuttleTree<K, V, MM> {
+ public:
+  explicit Swbst(unsigned fanout = 4, MM mm = MM{})
+      : ShuttleTree<K, V, MM>(make_config(fanout), std::move(mm)) {}
+
+ private:
+  static ShuttleConfig make_config(unsigned fanout) {
+    ShuttleConfig cfg;
+    cfg.fanout = fanout;
+    cfg.use_buffers = false;
+    return cfg;
+  }
+};
+
+}  // namespace costream::shuttle

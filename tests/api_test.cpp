@@ -1,0 +1,64 @@
+// API-contract tests: the Dictionary concept is satisfied by every
+// structure (compile-time), and the type-erased AnyDictionary forwards all
+// operations faithfully.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "api/dictionary.hpp"
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cob/cob_tree.hpp"
+#include "cola/cola.hpp"
+#include "cola/deamortized_cola.hpp"
+#include "cola/deamortized_fc_cola.hpp"
+#include "shuttle/shuttle_tree.hpp"
+#include "shuttle/swbst.hpp"
+
+namespace costream::api {
+namespace {
+
+// The concept holds for every dictionary in the library — checked at
+// compile time, so a signature regression fails the build here.
+static_assert(Dictionary<cola::Gcola<>>);
+static_assert(Dictionary<cola::DeamortizedCola<>>);
+static_assert(Dictionary<cola::DeamortizedFcCola<>>);
+static_assert(Dictionary<btree::BTree<>>);
+static_assert(Dictionary<brt::Brt<>>);
+static_assert(Dictionary<cob::CobTree<>>);
+static_assert(Dictionary<shuttle::ShuttleTree<>>);
+static_assert(Dictionary<shuttle::Swbst<>>);
+
+TEST(AnyDictionary, ForwardsAllOperations) {
+  AnyDictionary d("cola", cola::Gcola<>{});
+  EXPECT_EQ(d.name(), "cola");
+  d.insert(1, 10);
+  d.insert(2, 20);
+  d.insert(3, 30);
+  d.erase(2);
+  EXPECT_EQ(d.find(1).value(), 10u);
+  EXPECT_FALSE(d.find(2).has_value());
+  std::vector<Key> seen;
+  d.range_for_each(0, 100, [&](Key k, Value) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<Key>{1, 3}));
+}
+
+TEST(AnyDictionary, MoveIntoContainer) {
+  std::vector<AnyDictionary> dicts;
+  dicts.emplace_back("a", btree::BTree<>{});
+  dicts.emplace_back("b", shuttle::ShuttleTree<>{});
+  for (auto& d : dicts) {
+    d.insert(5, 50);
+    EXPECT_EQ(d.find(5).value(), 50u) << d.name();
+  }
+}
+
+TEST(AnyDictionary, UpsertThroughErasure) {
+  AnyDictionary d("brt", brt::Brt<>{256});
+  for (std::uint64_t i = 0; i < 1'000; ++i) d.insert(7, i);
+  EXPECT_EQ(d.find(7).value(), 999u);
+}
+
+}  // namespace
+}  // namespace costream::api

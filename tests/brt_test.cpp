@@ -1,0 +1,116 @@
+// Buffered repository tree tests: differential testing with buffered
+// (deferred) operation semantics, buffer flush behavior, and the structural
+// invariants (bounded buffers, uniform leaf depth).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "brt/brt.hpp"
+#include "common/workload.hpp"
+#include "dam/dam_mem_model.hpp"
+#include "model_helpers.hpp"
+
+namespace costream::brt {
+namespace {
+
+TEST(Brt, EmptyFind) {
+  Brt<> t;
+  EXPECT_FALSE(t.find(1).has_value());
+  t.check_invariants();
+}
+
+TEST(Brt, InsertVisibleImmediately) {
+  // Buffered inserts must still be observable by searches right away.
+  Brt<> t(256);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    t.insert(i, i * 10);
+    ASSERT_EQ(t.find(i).value(), i * 10) << i;
+  }
+  t.check_invariants();
+}
+
+TEST(Brt, UpsertNewestWinsAcrossBufferAndLeaf) {
+  Brt<> t(256);
+  // Push enough data that early keys reach the leaves, then overwrite.
+  for (std::uint64_t i = 0; i < 2'000; ++i) t.insert(i, 1);
+  for (std::uint64_t i = 0; i < 100; ++i) t.insert(i, 2);
+  for (std::uint64_t i = 0; i < 100; ++i) ASSERT_EQ(t.find(i).value(), 2u) << i;
+  t.check_invariants();
+}
+
+TEST(Brt, TombstoneHidesImmediately) {
+  Brt<> t(256);
+  for (std::uint64_t i = 0; i < 2'000; ++i) t.insert(i, i);
+  t.erase(7);
+  EXPECT_FALSE(t.find(7).has_value());
+  // Deleting a never-inserted key is harmless.
+  t.erase(1 << 30);
+  EXPECT_FALSE(t.find(1 << 30).has_value());
+  t.check_invariants();
+}
+
+TEST(Brt, TombstoneThenReinsert) {
+  Brt<> t(256);
+  for (std::uint64_t i = 0; i < 2'000; ++i) t.insert(i, i);
+  t.erase(42);
+  t.insert(42, 999);
+  EXPECT_EQ(t.find(42).value(), 999u);
+}
+
+class BrtModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BrtModel, MixedTraceMatchesReference) {
+  Brt<> t(256);
+  const auto ops = generate_ops(6'000, 1'500, OpMix{}, GetParam());
+  testing::run_model_trace(t, ops, [&] { t.check_invariants(); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BrtModel, ::testing::Values(11, 12, 13, 14));
+
+TEST(Brt, RangeMergesBuffersAndLeaves) {
+  Brt<> t(256);
+  // Old data at the leaves, fresh overwrites still buffered.
+  for (std::uint64_t i = 0; i < 3'000; ++i) t.insert(i, 1);
+  for (std::uint64_t i = 10; i < 20; ++i) t.insert(i, 2);
+  t.erase(15);
+  std::map<Key, Value> got;
+  t.range_for_each(10, 20, [&](Key k, Value v) { got[k] = v; });
+  EXPECT_EQ(got.size(), 10u);  // 11 keys minus the tombstoned 15
+  EXPECT_EQ(got.count(15), 0u);
+  for (std::uint64_t i = 10; i <= 20; ++i) {
+    if (i == 15) continue;
+    ASSERT_EQ(got[i], i < 20 ? 2u : 1u) << i;
+  }
+}
+
+TEST(Brt, FlushesHappenAndMoveElements) {
+  Brt<> t(256);
+  for (std::uint64_t i = 0; i < 20'000; ++i) t.insert(mix64(i), i);
+  EXPECT_GT(t.stats().flushes, 0u);
+  EXPECT_GT(t.stats().buffered_elements_moved, 0u);
+  EXPECT_GT(t.stats().splits, 0u);
+  t.check_invariants();
+}
+
+TEST(Brt, InsertTransfersBeatBTreeShape) {
+  // The BRT's reason to exist: amortized O((log N)/B) insert transfers.
+  // Out-of-core random inserts must cost well under one transfer per insert.
+  Brt<Key, Value, dam::dam_mem_model> t(4096, 4, dam::dam_mem_model(4096, 1 << 18));
+  const std::uint64_t n = 1 << 16;
+  for (std::uint64_t i = 0; i < n; ++i) t.insert(mix64(i), i);
+  const double per_insert =
+      static_cast<double>(t.mm().stats().transfers) / static_cast<double>(n);
+  EXPECT_LT(per_insert, 0.5) << "buffering must batch block writes";
+}
+
+TEST(Brt, ItemCountTracksPhysicalItems) {
+  Brt<> t(256);
+  for (std::uint64_t i = 0; i < 1'000; ++i) t.insert(i, i);
+  EXPECT_EQ(t.item_count(), 1'000u);
+  t.insert(0, 5);  // duplicate: superseded copy disappears once applied
+  EXPECT_LE(t.item_count(), 1'001u);
+}
+
+}  // namespace
+}  // namespace costream::brt

@@ -1,0 +1,171 @@
+// B-tree baseline tests: model-based differential testing against std::map,
+// structural invariants under inserts/upserts/erases, bulk load, and the
+// DAM search bound that makes it the paper's search-optimal comparator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "btree/btree.hpp"
+#include "common/rng.hpp"
+#include "common/workload.hpp"
+#include "dam/dam_mem_model.hpp"
+#include "model_helpers.hpp"
+
+namespace costream::btree {
+namespace {
+
+TEST(BTree, EmptyFinds) {
+  BTree<> t;
+  EXPECT_FALSE(t.find(0).has_value());
+  EXPECT_EQ(t.size(), 0u);
+  t.check_invariants();
+}
+
+TEST(BTree, UpsertOverwrites) {
+  BTree<> t;
+  t.insert(5, 1);
+  t.insert(5, 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(5).value(), 2u);
+}
+
+TEST(BTree, EraseReturnsPresence) {
+  BTree<> t;
+  t.insert(5, 1);
+  EXPECT_TRUE(t.erase(5));
+  EXPECT_FALSE(t.erase(5));
+  EXPECT_FALSE(t.find(5).has_value());
+  t.check_invariants();
+}
+
+class BTreeOrders : public ::testing::TestWithParam<KeyOrder> {};
+
+TEST_P(BTreeOrders, BulkInsertAndVerify) {
+  // Small blocks force real tree depth at test sizes.
+  BTree<> t(256);
+  const KeyStream ks(GetParam(), 20'000, 11);
+  std::map<Key, Value> ref;
+  for (std::uint64_t i = 0; i < ks.size(); ++i) {
+    const Key k = ks.key_at(i);
+    t.insert(k, i);
+    ref[k] = i;
+  }
+  t.check_invariants();
+  EXPECT_EQ(t.size(), ref.size());
+  EXPECT_GE(t.height(), 2);
+  for (const auto& [k, v] : ref) {
+    ASSERT_EQ(t.find(k).value(), v) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BTreeOrders,
+                         ::testing::Values(KeyOrder::kRandom, KeyOrder::kAscending,
+                                           KeyOrder::kDescending, KeyOrder::kClustered),
+                         [](const auto& info) { return to_string(info.param); });
+
+class BTreeModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BTreeModel, MixedTraceMatchesReference) {
+  BTree<> t(256);
+  const auto ops = generate_ops(8'000, 2'000, OpMix{}, GetParam());
+  testing::run_model_trace(t, ops, [&] { t.check_invariants(); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeModel, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BTree, EraseHeavyShrinksHeight) {
+  BTree<> t(256);
+  for (std::uint64_t i = 0; i < 50'000; ++i) t.insert(i, i);
+  const int tall = t.height();
+  for (std::uint64_t i = 0; i < 49'990; ++i) ASSERT_TRUE(t.erase(i));
+  t.check_invariants();
+  EXPECT_LT(t.height(), tall);
+  EXPECT_EQ(t.size(), 10u);
+  for (std::uint64_t i = 49'990; i < 50'000; ++i) EXPECT_TRUE(t.find(i).has_value());
+}
+
+TEST(BTree, RangeQueryExactWindow) {
+  BTree<> t(256);
+  for (std::uint64_t i = 0; i < 1'000; ++i) t.insert(i * 2, i);  // even keys
+  std::vector<Key> got;
+  t.range_for_each(100, 120, [&](Key k, Value) { got.push_back(k); });
+  const std::vector<Key> want{100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120};
+  EXPECT_EQ(got, want);
+}
+
+TEST(BTree, RangeOnEmptyAndInverted) {
+  BTree<> t;
+  int count = 0;
+  t.range_for_each(0, 100, [&](Key, Value) { ++count; });
+  EXPECT_EQ(count, 0);
+  t.insert(5, 5);
+  t.range_for_each(10, 1, [&](Key, Value) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(BTree, ForEachVisitsAllInOrder) {
+  BTree<> t(256);
+  const KeyStream ks(KeyOrder::kRandom, 5'000, 2);
+  for (std::uint64_t i = 0; i < ks.size(); ++i) t.insert(ks.key_at(i), i);
+  Key prev = 0;
+  bool first = true;
+  std::uint64_t n = 0;
+  t.for_each([&](Key k, Value) {
+    if (!first) {
+      ASSERT_LT(prev, k);
+    }
+    prev = k;
+    first = false;
+    ++n;
+  });
+  EXPECT_EQ(n, t.size());
+}
+
+TEST(BTree, BulkLoadMatchesIncremental) {
+  std::vector<Entry<>> sorted;
+  for (std::uint64_t i = 0; i < 10'000; ++i) sorted.push_back(Entry<>{i * 3, i});
+  BTree<> bulk(256);
+  bulk.bulk_load(sorted);
+  bulk.check_invariants();
+  EXPECT_EQ(bulk.size(), sorted.size());
+  for (const auto& e : sorted) ASSERT_EQ(bulk.find(e.key).value(), e.value);
+  EXPECT_FALSE(bulk.find(1).has_value());
+  // Bulk-loaded trees remain mutable.
+  bulk.insert(1, 99);
+  EXPECT_EQ(bulk.find(1).value(), 99u);
+  bulk.check_invariants();
+}
+
+TEST(BTree, SearchTransfersAreLogBOfN) {
+  // Search cost O(log_{B+1} N): with 4 KiB blocks (256 entries/leaf) and
+  // N = 2^17, height is 3-ish; cold searches should transfer ~height blocks.
+  BTree<Key, Value, dam::dam_mem_model> t(4096, dam::dam_mem_model(4096, 1 << 20));
+  for (std::uint64_t i = 0; i < (1u << 17); ++i) t.insert(mix64(i), i);
+  Xoshiro256 rng(8);
+  std::uint64_t total = 0;
+  const int probes = 100;
+  for (int q = 0; q < probes; ++q) {
+    t.mm().clear_cache();
+    t.mm().reset_stats();
+    t.find(mix64(rng.below(1u << 17)));
+    total += t.mm().stats().transfers;
+  }
+  const double avg = static_cast<double>(total) / probes;
+  EXPECT_LE(avg, static_cast<double>(t.height()) + 0.5);
+  EXPECT_LE(t.height(), 4);
+}
+
+TEST(BTree, NodeCountTracksFrees) {
+  BTree<> t(256);
+  for (std::uint64_t i = 0; i < 10'000; ++i) t.insert(i, i);
+  const auto nodes_full = t.node_count();
+  for (std::uint64_t i = 0; i < 10'000; ++i) t.erase(i);
+  EXPECT_LT(t.node_count(), nodes_full);
+  t.check_invariants();
+}
+
+}  // namespace
+}  // namespace costream::btree

@@ -1,0 +1,162 @@
+// Tests for the DAM-model simulator: LRU behavior, transfer classification,
+// and the disk-time model that drives the figure benches.
+#include <gtest/gtest.h>
+
+#include "dam/dam_mem_model.hpp"
+
+namespace costream::dam {
+namespace {
+
+TEST(DamModel, FirstTouchIsATransfer) {
+  dam_mem_model mm(4096, 1 << 20);
+  mm.touch(0, 8);
+  EXPECT_EQ(mm.stats().transfers, 1u);
+  EXPECT_EQ(mm.stats().accesses, 1u);
+}
+
+TEST(DamModel, RepeatTouchHitsCache) {
+  dam_mem_model mm(4096, 1 << 20);
+  mm.touch(0, 8);
+  mm.touch(100, 8);
+  mm.touch(4000, 8);
+  EXPECT_EQ(mm.stats().transfers, 1u) << "same block, one transfer";
+}
+
+TEST(DamModel, StraddlingAccessTouchesTwoBlocks) {
+  dam_mem_model mm(4096, 1 << 20);
+  mm.touch(4090, 16);  // crosses the 4096 boundary
+  EXPECT_EQ(mm.stats().transfers, 2u);
+  EXPECT_EQ(mm.stats().blocks_touched, 2u);
+}
+
+TEST(DamModel, SequentialClassification) {
+  dam_mem_model mm(4096, 1 << 20);
+  for (int b = 0; b < 8; ++b) mm.touch(static_cast<std::uint64_t>(b) * 4096, 8);
+  EXPECT_EQ(mm.stats().transfers, 8u);
+  EXPECT_EQ(mm.stats().random_transfers, 1u) << "only the first miss is random";
+  EXPECT_EQ(mm.stats().sequential_transfers, 7u);
+}
+
+TEST(DamModel, RandomClassification) {
+  dam_mem_model mm(4096, 1 << 20);
+  mm.touch(0, 8);
+  mm.touch(10 * 4096, 8);
+  mm.touch(3 * 4096, 8);
+  EXPECT_EQ(mm.stats().random_transfers, 3u);
+  EXPECT_EQ(mm.stats().sequential_transfers, 0u);
+}
+
+TEST(DamModel, EvictsLruVictim) {
+  // Cache of 2 blocks.
+  dam_mem_model mm(4096, 2 * 4096);
+  mm.touch(0 * 4096, 8);  // A
+  mm.touch(1 * 4096, 8);  // B
+  mm.touch(0 * 4096, 8);  // A again: A is MRU
+  mm.touch(2 * 4096, 8);  // C evicts B
+  EXPECT_EQ(mm.stats().evictions, 1u);
+  mm.touch(0 * 4096, 8);  // A still cached
+  EXPECT_EQ(mm.stats().transfers, 3u);
+  mm.touch(1 * 4096, 8);  // B was evicted: transfer again
+  EXPECT_EQ(mm.stats().transfers, 4u);
+}
+
+TEST(DamModel, WorkingSetWithinMemoryNeverEvicts) {
+  dam_mem_model mm(4096, 64 * 4096);
+  for (int round = 0; round < 10; ++round) {
+    for (int b = 0; b < 64; ++b) mm.touch(static_cast<std::uint64_t>(b) * 4096, 4096);
+  }
+  EXPECT_EQ(mm.stats().transfers, 64u);
+  EXPECT_EQ(mm.stats().evictions, 0u);
+}
+
+TEST(DamModel, ClearCacheForcesColdStart) {
+  dam_mem_model mm(4096, 1 << 20);
+  mm.touch(0, 8);
+  mm.clear_cache();
+  mm.touch(0, 8);
+  EXPECT_EQ(mm.stats().transfers, 2u);
+  EXPECT_EQ(mm.cached_blocks(), 1u);
+}
+
+TEST(DamModel, ResetStatsKeepsCache) {
+  dam_mem_model mm(4096, 1 << 20);
+  mm.touch(0, 8);
+  mm.reset_stats();
+  mm.touch(0, 8);  // still cached
+  EXPECT_EQ(mm.stats().transfers, 0u);
+  EXPECT_EQ(mm.stats().accesses, 1u);
+}
+
+TEST(DamModel, ModeledTimeChargesSeeksOnlyForRandom) {
+  DiskParams disk;
+  disk.seek_seconds = 0.01;
+  disk.bandwidth_bytes_per_second = 4096.0 * 100;  // 100 blocks/s
+  dam_mem_model mm(4096, 1 << 20, disk);
+  for (int b = 0; b < 10; ++b) mm.touch(static_cast<std::uint64_t>(b) * 4096, 8);
+  // 1 random (0.01s seek) + 10 transfers * 0.01s bandwidth each.
+  EXPECT_NEAR(mm.modeled_seconds(), 0.01 + 10 * 0.01, 1e-9);
+}
+
+TEST(DamModel, MinimumOneBlockOfMemory) {
+  dam_mem_model mm(4096, 0);
+  mm.touch(0, 8);
+  mm.touch(4096, 8);
+  mm.touch(0, 8);
+  EXPECT_EQ(mm.stats().transfers, 3u) << "single-block cache thrashes";
+}
+
+TEST(DamModel, ZeroLengthTouchCountsOneByte) {
+  dam_mem_model mm(4096, 1 << 20);
+  mm.touch(0, 0);
+  EXPECT_EQ(mm.stats().blocks_touched, 1u);
+}
+
+TEST(DamModel, RejectsZeroBlockSize) {
+  EXPECT_THROW(dam_mem_model(0, 1 << 20), std::invalid_argument);
+}
+
+TEST(DamModel, LargeRangeTouchesEveryBlockOnce) {
+  dam_mem_model mm(4096, 1 << 30);
+  mm.touch(0, 64 * 4096);
+  EXPECT_EQ(mm.stats().transfers, 64u);
+  EXPECT_EQ(mm.stats().sequential_transfers, 63u);
+}
+
+TEST(DamModel, DirtyEvictionCostsAWriteback) {
+  dam_mem_model mm(4096, 2 * 4096);  // 2-block cache
+  mm.touch_write(0 * 4096, 8);       // A, dirty
+  mm.touch(1 * 4096, 8);             // B, clean
+  mm.touch(2 * 4096, 8);             // C evicts A (LRU) -> writeback
+  EXPECT_EQ(mm.stats().evictions, 1u);
+  EXPECT_EQ(mm.stats().writebacks, 1u);
+  EXPECT_EQ(mm.stats().transfers, 4u);  // 3 misses + 1 writeback
+}
+
+TEST(DamModel, CleanEvictionIsFree) {
+  dam_mem_model mm(4096, 2 * 4096);
+  mm.touch(0 * 4096, 8);
+  mm.touch(1 * 4096, 8);
+  mm.touch(2 * 4096, 8);  // evicts clean block 0
+  EXPECT_EQ(mm.stats().evictions, 1u);
+  EXPECT_EQ(mm.stats().writebacks, 0u);
+  EXPECT_EQ(mm.stats().transfers, 3u);
+}
+
+TEST(DamModel, ClearCacheFlushesDirtyBlocks) {
+  dam_mem_model mm(4096, 1 << 20);
+  mm.touch_write(0, 8);
+  mm.touch(4096, 8);
+  mm.clear_cache();
+  EXPECT_EQ(mm.stats().writebacks, 1u);
+  EXPECT_EQ(mm.stats().transfers, 3u);  // 2 misses + 1 flush writeback
+}
+
+TEST(DamModel, RewritingADirtyBlockWritesBackOnce) {
+  dam_mem_model mm(4096, 1 << 20);
+  for (int i = 0; i < 100; ++i) mm.touch_write(static_cast<std::uint64_t>(i) * 8, 8);
+  mm.clear_cache();
+  EXPECT_EQ(mm.stats().writebacks, 1u) << "dirtiness coalesces per block";
+}
+
+}  // namespace
+}  // namespace costream::dam

@@ -1,0 +1,153 @@
+// Deamortized COLA tests — Lemma 21 / Theorem 22. The whole point of the
+// structure is the worst-case insert bound, so these tests measure moves per
+// insert directly and check the no-two-adjacent-unsafe-levels invariant
+// after every operation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "cola/cola.hpp"
+#include "cola/deamortized_cola.hpp"
+#include "common/rng.hpp"
+#include "common/workload.hpp"
+#include "model_helpers.hpp"
+
+namespace costream::cola {
+namespace {
+
+TEST(DeamortizedCola, EmptyFind) {
+  DeamortizedCola<> c;
+  EXPECT_FALSE(c.find(1).has_value());
+  c.check_invariants();
+}
+
+TEST(DeamortizedCola, InsertAndFindAll) {
+  DeamortizedCola<> c;
+  const KeyStream ks(KeyOrder::kRandom, 20'000, 4);
+  std::map<Key, Value> ref;
+  for (std::uint64_t i = 0; i < ks.size(); ++i) {
+    c.insert(ks.key_at(i), i);
+    ref[ks.key_at(i)] = i;
+  }
+  c.check_invariants();
+  for (const auto& [k, v] : ref) ASSERT_EQ(c.find(k).value(), v) << k;
+}
+
+TEST(DeamortizedCola, InvariantHoldsAfterEveryInsert) {
+  DeamortizedCola<> c;
+  for (std::uint64_t i = 0; i < 4'096; ++i) {
+    c.insert(mix64(i), i);
+    ASSERT_NO_THROW(c.check_invariants()) << i;
+  }
+}
+
+TEST(DeamortizedCola, WorstCaseMovesAreLogarithmic) {
+  // Theorem 22: O(log N) worst-case. With m = 2k+2 the per-insert move count
+  // must never exceed 2*levels+2.
+  DeamortizedCola<> c;
+  const std::uint64_t n = 1 << 16;
+  for (std::uint64_t i = 0; i < n; ++i) c.insert(mix64(i), i);
+  const auto& st = c.stats();
+  EXPECT_LE(st.max_moves_per_insert, 2 * c.level_count() + 2);
+  EXPECT_LE(st.max_moves_per_insert,
+            2 * static_cast<std::uint64_t>(std::log2(static_cast<double>(n))) + 6);
+}
+
+TEST(DeamortizedCola, AmortizedMovesMatchAmortizedCola) {
+  // Deamortization must not change the amortized total: every item is moved
+  // O(log N) times overall, same as the amortized COLA.
+  DeamortizedCola<> c;
+  const std::uint64_t n = 1 << 15;
+  for (std::uint64_t i = 0; i < n; ++i) c.insert(mix64(i), i);
+  const double avg =
+      static_cast<double>(c.stats().total_moves) / static_cast<double>(n);
+  EXPECT_LT(avg, 2.0 * std::log2(static_cast<double>(n)));
+}
+
+TEST(DeamortizedCola, AmortizedColaHasLinearSpikesDeamortizedDoesNot) {
+  // The contrast the deamortization exists for: the amortized COLA's worst
+  // single insert rewrites Theta(N) entries; the deamortized one never
+  // exceeds its budget.
+  Gcola<> amortized(ColaConfig{2, 0.0});
+  std::uint64_t worst_merge = 0;
+  std::uint64_t prev_entries = 0;
+  const std::uint64_t n = 1 << 14;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    amortized.insert(mix64(i), i);
+    const std::uint64_t merged_now = amortized.stats().entries_merged - prev_entries;
+    prev_entries = amortized.stats().entries_merged;
+    worst_merge = std::max(worst_merge, merged_now);
+  }
+  DeamortizedCola<> deam;
+  for (std::uint64_t i = 0; i < n; ++i) deam.insert(mix64(i), i);
+
+  EXPECT_GE(worst_merge, n / 2) << "amortized COLA has a Theta(N) spike";
+  EXPECT_LE(deam.stats().max_moves_per_insert, 2 * deam.level_count() + 2);
+  EXPECT_LT(deam.stats().max_moves_per_insert, worst_merge / 64);
+}
+
+TEST(DeamortizedCola, UpsertNewestWins) {
+  DeamortizedCola<> c;
+  for (std::uint64_t round = 0; round < 50; ++round) {
+    for (std::uint64_t k = 0; k < 64; ++k) c.insert(k, round * 100 + k);
+  }
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    ASSERT_EQ(c.find(k).value(), 49 * 100 + k) << k;
+  }
+  c.check_invariants();
+}
+
+TEST(DeamortizedCola, TombstonesHideAndAnnihilate) {
+  DeamortizedCola<> c;
+  for (std::uint64_t i = 0; i < 1'024; ++i) c.insert(i, i);
+  for (std::uint64_t i = 0; i < 1'024; i += 2) c.erase(i);
+  for (std::uint64_t i = 0; i < 1'024; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_FALSE(c.find(i).has_value()) << i;
+    } else {
+      ASSERT_EQ(c.find(i).value(), i) << i;
+    }
+  }
+  c.check_invariants();
+}
+
+class DeamortizedModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeamortizedModel, MixedTraceMatchesReference) {
+  DeamortizedCola<> c;
+  const auto ops = generate_ops(5'000, 1'200, OpMix{}, GetParam());
+  testing::run_model_trace(c, ops, [&] { c.check_invariants(); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeamortizedModel, ::testing::Values(31, 32, 33, 34));
+
+TEST(DeamortizedCola, RangeQueryMergesVisibleArrays) {
+  DeamortizedCola<> c;
+  for (std::uint64_t i = 0; i < 1'000; ++i) c.insert(i, i * 2);
+  std::uint64_t count = 0;
+  Key prev = 0;
+  bool first = true;
+  c.range_for_each(100, 199, [&](Key k, Value v) {
+    ASSERT_EQ(v, k * 2);
+    if (!first) {
+      ASSERT_LT(prev, k);
+    }
+    prev = k;
+    first = false;
+    ++count;
+  });
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(DeamortizedCola, MergesCompleteEventually) {
+  DeamortizedCola<> c;
+  for (std::uint64_t i = 0; i < 10'000; ++i) c.insert(mix64(i), i);
+  EXPECT_GT(c.stats().merges_started, 0u);
+  // All but at most level_count merges (the in-flight frontier) completed.
+  EXPECT_GE(c.stats().merges_completed + c.level_count(), c.stats().merges_started);
+}
+
+}  // namespace
+}  // namespace costream::cola

@@ -1,0 +1,182 @@
+// Tests for the Fibonacci machinery underlying the shuttle tree's buffer
+// schedule and layout (paper Section 2).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "layout/fibonacci.hpp"
+
+namespace costream::layout {
+namespace {
+
+TEST(Fibonacci, BaseValues) {
+  EXPECT_EQ(fib(0), 0u);
+  EXPECT_EQ(fib(1), 1u);
+  EXPECT_EQ(fib(2), 1u);
+  EXPECT_EQ(fib(3), 2u);
+  EXPECT_EQ(fib(10), 55u);
+  EXPECT_EQ(fib(20), 6765u);
+}
+
+TEST(Fibonacci, RecurrenceHoldsEverywhere) {
+  for (int k = 2; k <= kMaxFibIndex; ++k) {
+    EXPECT_EQ(fib(k), fib(k - 1) + fib(k - 2)) << k;
+  }
+}
+
+TEST(Fibonacci, NoOverflowAtMaxIndex) {
+  EXPECT_GT(fib(kMaxFibIndex), fib(kMaxFibIndex - 1));
+}
+
+TEST(Fibonacci, IsFib) {
+  EXPECT_TRUE(is_fib(1));
+  EXPECT_TRUE(is_fib(2));
+  EXPECT_TRUE(is_fib(3));
+  EXPECT_FALSE(is_fib(4));
+  EXPECT_TRUE(is_fib(5));
+  EXPECT_FALSE(is_fib(6));
+  EXPECT_FALSE(is_fib(7));
+  EXPECT_TRUE(is_fib(8));
+  EXPECT_TRUE(is_fib(6765));
+  EXPECT_FALSE(is_fib(6766));
+}
+
+TEST(Fibonacci, LargestFibBelow) {
+  EXPECT_EQ(largest_fib_below(2), 1u);
+  EXPECT_EQ(largest_fib_below(3), 2u);
+  EXPECT_EQ(largest_fib_below(4), 3u);
+  EXPECT_EQ(largest_fib_below(5), 3u);
+  EXPECT_EQ(largest_fib_below(6), 5u);
+  EXPECT_EQ(largest_fib_below(8), 5u);
+  EXPECT_EQ(largest_fib_below(9), 8u);
+  EXPECT_EQ(largest_fib_below(100), 89u);
+}
+
+TEST(Fibonacci, SplitIsAboveHalfway) {
+  // The paper requires the vEB split height (largest Fibonacci below h) to
+  // be above the halfway point h/2 — the property that distinguishes the
+  // shuttle-tree layout from the classic vEB layout.
+  for (std::uint64_t h = 3; h <= 10'000; ++h) {
+    EXPECT_GE(2 * largest_fib_below(h), h) << h;
+  }
+}
+
+TEST(Fibonacci, FibIndexAtMost) {
+  EXPECT_EQ(fib_index_at_most(1), 2);
+  EXPECT_EQ(fib_index_at_most(2), 3);
+  EXPECT_EQ(fib_index_at_most(3), 4);
+  EXPECT_EQ(fib_index_at_most(4), 4);
+  EXPECT_EQ(fib_index_at_most(5), 5);
+  EXPECT_EQ(fib_index_at_most(12), 6);
+  EXPECT_EQ(fib_index_at_most(13), 7);
+}
+
+TEST(FibonacciFactor, FibonacciNumbersAreTheirOwnFactor) {
+  for (int k = 2; k <= 30; ++k) {
+    EXPECT_EQ(fibonacci_factor(fib(k)), fib(k)) << k;
+  }
+}
+
+TEST(FibonacciFactor, IsAlwaysAFibonacciNumber) {
+  for (std::uint64_t h = 1; h <= 20'000; ++h) {
+    EXPECT_TRUE(is_fib(fibonacci_factor(h))) << h;
+  }
+}
+
+TEST(FibonacciFactor, MatchesDefinitionByPeeling) {
+  // x(h) = x(h - f) for f the largest Fibonacci below h.
+  for (std::uint64_t h = 4; h <= 5'000; ++h) {
+    if (is_fib(h)) continue;
+    EXPECT_EQ(fibonacci_factor(h), fibonacci_factor(h - largest_fib_below(h))) << h;
+  }
+}
+
+TEST(FibonacciFactor, SmallValues) {
+  // x: 1->1, 2->2, 3->3, 4->x(1)=1, 5->5, 6->x(1)=1, 7->x(2)=2, 8->8,
+  // 9->x(1)=1, 10->x(2)=2, 11->x(3)=3, 12->x(4)=1, 13->13.
+  const std::uint64_t expect[] = {1, 2, 3, 1, 5, 1, 2, 8, 1, 2, 3, 1, 13};
+  for (std::uint64_t h = 1; h <= 13; ++h) {
+    EXPECT_EQ(fibonacci_factor(h), expect[h - 1]) << h;
+  }
+}
+
+// Lemma 15: along the root-to-leaf path of a height-F_k shuttle tree, the
+// number of nodes (one per height 1..F_k) with Fibonacci factor >= F_j is
+// exactly F_{k-j+2}.
+TEST(FibonacciFactor, Lemma15PathCounts) {
+  for (int k = 3; k <= 16; ++k) {
+    for (int j = 2; j <= k; ++j) {
+      std::uint64_t count = 0;
+      for (std::uint64_t h = 1; h <= fib(k); ++h) {
+        if (fibonacci_factor(h) >= fib(j)) ++count;
+      }
+      EXPECT_EQ(count, fib(k - j + 2)) << "k=" << k << " j=" << j;
+    }
+  }
+}
+
+TEST(BufferHeightIndex, PaperValues) {
+  // H(j) = j - ceil(2 log_phi j): negative/small until j ~ 12.
+  EXPECT_LT(buffer_height_index(4), 1);
+  EXPECT_LT(buffer_height_index(8), 1);
+  EXPECT_GE(buffer_height_index(12), 1);
+  // Monotone growth for large j (H(j+1) >= H(j) - allows equal).
+  for (int j = 12; j < 80; ++j) {
+    EXPECT_GE(buffer_height_index(j + 1), buffer_height_index(j)) << j;
+  }
+}
+
+TEST(BufferHeightIndex, DominatedByJ) {
+  // H(j) < j for j >= 2 (a buffer is strictly smaller than its subtree;
+  // j = 1 is degenerate since log 1 = 0).
+  for (int j = 2; j < 90; ++j) {
+    EXPECT_LT(buffer_height_index(j), j) << j;
+  }
+}
+
+TEST(BufferHeights, PaperScheduleEmptyAtSmallHeights) {
+  // With the paper's exact H, laptop-height trees have no buffers at all —
+  // the reason the runnable tree uses the practical offset (DESIGN.md 1.3).
+  for (std::uint64_t h = 1; h <= 55; ++h) {
+    EXPECT_TRUE(paper_buffer_heights(h).empty()) << h;
+  }
+}
+
+TEST(BufferHeights, PaperScheduleNonEmptyAtScale) {
+  // A node whose child height is F_14 = 377 owns buffers under exact H.
+  EXPECT_FALSE(paper_buffer_heights(fib(14)).empty());
+}
+
+TEST(BufferHeights, PracticalScheduleKeyedByFibonacciFactor) {
+  // Child height 8 = F_6: factor F_6, buffers F_{j-2} for j = 3..6:
+  // heights F_1..F_4 = 1, 1, 2, 3 -> deduplicated {1, 2, 3}.
+  const auto hs = practical_buffer_heights(8, 2);
+  ASSERT_EQ(hs.size(), 3u);
+  EXPECT_EQ(hs[0], 1u);
+  EXPECT_EQ(hs[1], 2u);
+  EXPECT_EQ(hs[2], 3u);
+}
+
+TEST(BufferHeights, PracticalScheduleAscendingAndGeometric) {
+  for (std::uint64_t h = 1; h <= 400; ++h) {
+    const auto hs = practical_buffer_heights(h, 2);
+    for (std::size_t i = 1; i < hs.size(); ++i) {
+      EXPECT_LT(hs[i - 1], hs[i]) << h;
+    }
+    // Largest buffer height stays below the Fibonacci factor itself.
+    if (!hs.empty()) {
+      EXPECT_LT(hs.back(), std::max<std::uint64_t>(fibonacci_factor(h), 2)) << h;
+    }
+  }
+}
+
+TEST(BufferHeights, NoBuffersWhenFactorTiny) {
+  // x(h) = 1 (h = 4, 6, 9, ...) yields no buffers: such nodes are roots, not
+  // leaves, of recursive subtrees (paper Lemma 3 discussion).
+  EXPECT_TRUE(practical_buffer_heights(4, 2).empty());
+  EXPECT_TRUE(practical_buffer_heights(6, 2).empty());
+  EXPECT_TRUE(practical_buffer_heights(9, 2).empty());
+}
+
+}  // namespace
+}  // namespace costream::layout

@@ -1,0 +1,128 @@
+// Genericity tests: the structures are templated on key/value types; prove
+// they work with a non-trivial ordered key (composite) and a non-POD value.
+// This guards against accidental uint64_t assumptions creeping into the
+// implementations (e.g. the COLA's lookahead machinery must not depend on
+// the value type, since targets moved to a dedicated field).
+#include <gtest/gtest.h>
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cola/cola.hpp"
+#include "cola/deamortized_cola.hpp"
+#include "shuttle/shuttle_tree.hpp"
+
+namespace costream {
+namespace {
+
+// A composite key: (shard, sequence). Ordered lexicographically.
+struct ShardKey {
+  std::uint32_t shard = 0;
+  std::uint64_t seq = 0;
+  friend constexpr auto operator<=>(const ShardKey&, const ShardKey&) = default;
+};
+
+// A value with real copy semantics.
+struct Payload {
+  std::string body;
+  friend bool operator==(const Payload& a, const Payload& b) { return a.body == b.body; }
+};
+
+ShardKey key_of(std::uint64_t i) {
+  return ShardKey{static_cast<std::uint32_t>(i % 7), i * 2654435761u};
+}
+
+Payload value_of(std::uint64_t i) { return Payload{"v" + std::to_string(i)}; }
+
+template <class D>
+void exercise_generic(D& d) {
+  std::map<ShardKey, Payload> ref;
+  for (std::uint64_t i = 0; i < 3'000; ++i) {
+    const ShardKey k = key_of(i);
+    const Payload v = value_of(i);
+    d.insert(k, v);
+    ref[k] = v;
+  }
+  for (const auto& [k, v] : ref) {
+    const auto got = d.find(k);
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(*got, v);
+  }
+  ASSERT_FALSE(d.find(ShardKey{99, 0}).has_value());
+  // Overwrite a band of keys.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    d.insert(key_of(i), Payload{"updated"});
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(d.find(key_of(i)).value().body, "updated");
+  }
+}
+
+TEST(GenericTypes, Cola) {
+  cola::Gcola<ShardKey, Payload> d;
+  exercise_generic(d);
+  d.check_invariants();
+}
+
+TEST(GenericTypes, BasicCola) {
+  cola::Gcola<ShardKey, Payload> d(cola::ColaConfig{4, 0.0});
+  exercise_generic(d);
+  d.check_invariants();
+}
+
+TEST(GenericTypes, DeamortizedCola) {
+  cola::DeamortizedCola<ShardKey, Payload> d;
+  exercise_generic(d);
+  d.check_invariants();
+}
+
+TEST(GenericTypes, BTree) {
+  btree::BTree<ShardKey, Payload> d(512);
+  exercise_generic(d);
+  d.check_invariants();
+}
+
+TEST(GenericTypes, Brt) {
+  brt::Brt<ShardKey, Payload> d(512);
+  exercise_generic(d);
+  d.check_invariants();
+}
+
+TEST(GenericTypes, Shuttle) {
+  shuttle::ShuttleTree<ShardKey, Payload> d;
+  exercise_generic(d);
+  d.check_invariants();
+}
+
+TEST(GenericTypes, ColaRangeOverComposite) {
+  cola::Gcola<ShardKey, Payload> d;
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    d.insert(ShardKey{static_cast<std::uint32_t>(i % 4), i}, value_of(i));
+  }
+  // Range = everything in shard 2.
+  std::uint64_t count = 0;
+  d.range_for_each(ShardKey{2, 0}, ShardKey{2, ~0ULL}, [&](const ShardKey& k, const Payload&) {
+    ASSERT_EQ(k.shard, 2u);
+    ++count;
+  });
+  EXPECT_EQ(count, 250u);
+}
+
+TEST(GenericTypes, BTreeEraseComposite) {
+  btree::BTree<ShardKey, Payload> d(512);
+  for (std::uint64_t i = 0; i < 2'000; ++i) d.insert(key_of(i), value_of(i));
+  for (std::uint64_t i = 0; i < 2'000; i += 2) {
+    ASSERT_TRUE(d.erase(key_of(i)));
+  }
+  d.check_invariants();
+  for (std::uint64_t i = 0; i < 2'000; ++i) {
+    EXPECT_EQ(d.find(key_of(i)).has_value(), i % 2 == 1) << i;
+  }
+}
+
+}  // namespace
+}  // namespace costream

@@ -1,0 +1,135 @@
+// Cross-structure integration tests: every dictionary in the library is
+// driven through identical traces via the type-erased facade and must agree
+// with the reference and with each other — the strongest end-to-end check
+// that the seven structures implement the same semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "api/dictionary.hpp"
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cob/cob_tree.hpp"
+#include "cola/cola.hpp"
+#include "cola/deamortized_cola.hpp"
+#include "cola/deamortized_fc_cola.hpp"
+#include "cola/lookahead_array.hpp"
+#include "common/workload.hpp"
+#include "model_helpers.hpp"
+#include "shuttle/shuttle_tree.hpp"
+
+namespace costream {
+namespace {
+
+std::vector<api::AnyDictionary> all_dictionaries() {
+  std::vector<api::AnyDictionary> ds;
+  ds.emplace_back("cola-g2", cola::Gcola<>{});
+  ds.emplace_back("cola-g4", cola::Gcola<>{cola::ColaConfig{4, 0.1}});
+  ds.emplace_back("basic-cola", cola::make_basic_cola<>());
+  ds.emplace_back("lookahead-array", cola::make_lookahead_array<>(4096, 0.5));
+  ds.emplace_back("deamortized-cola", cola::DeamortizedCola<>{});
+  ds.emplace_back("deamortized-fc-cola", cola::DeamortizedFcCola<>{});
+  ds.emplace_back("btree", btree::BTree<>{256});
+  ds.emplace_back("brt", brt::Brt<>{256});
+  ds.emplace_back("cob-tree", cob::CobTree<>{});
+  ds.emplace_back("shuttle", shuttle::ShuttleTree<>{});
+  return ds;
+}
+
+class IntegrationSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntegrationSeeds, AllStructuresAgreeOnMixedTrace) {
+  auto dicts = all_dictionaries();
+  testing::RefDict ref;
+  const auto ops = generate_ops(4'000, 1'000, OpMix{}, GetParam());
+  std::size_t i = 0;
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case OpKind::kInsert:
+        for (auto& d : dicts) d.insert(op.key, op.value);
+        ref.insert(op.key, op.value);
+        break;
+      case OpKind::kErase:
+        for (auto& d : dicts) d.erase(op.key);
+        ref.erase(op.key);
+        break;
+      case OpKind::kFind: {
+        const auto want = ref.find(op.key);
+        for (auto& d : dicts) {
+          const auto got = d.find(op.key);
+          ASSERT_EQ(got.has_value(), want.has_value())
+              << d.name() << " op " << i << " key " << op.key;
+          if (want) {
+            ASSERT_EQ(*got, *want) << d.name() << " op " << i;
+          }
+        }
+        break;
+      }
+      case OpKind::kRange: {
+        const auto want = ref.range(op.key, op.hi);
+        for (auto& d : dicts) {
+          std::vector<Entry<>> got;
+          d.range_for_each(op.key, op.hi,
+                           [&](Key k, Value v) { got.push_back(Entry<>{k, v}); });
+          ASSERT_EQ(got.size(), want.size()) << d.name() << " op " << i;
+          for (std::size_t j = 0; j < got.size(); ++j) {
+            ASSERT_EQ(got[j].key, want[j].key) << d.name();
+            ASSERT_EQ(got[j].value, want[j].value) << d.name();
+          }
+        }
+        break;
+      }
+    }
+    ++i;
+  }
+  // Final sweep: every structure agrees with the reference on every live key.
+  for (const auto& [k, v] : ref.map()) {
+    for (auto& d : dicts) {
+      const auto got = d.find(k);
+      ASSERT_TRUE(got.has_value()) << d.name() << " key " << k;
+      ASSERT_EQ(*got, v) << d.name() << " key " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationSeeds, ::testing::Values(101, 202, 303));
+
+TEST(Integration, InsertOnlyHeavy) {
+  auto dicts = all_dictionaries();
+  testing::RefDict ref;
+  const KeyStream ks(KeyOrder::kRandom, 8'000, 77);
+  for (std::uint64_t i = 0; i < ks.size(); ++i) {
+    for (auto& d : dicts) d.insert(ks.key_at(i), i);
+    ref.insert(ks.key_at(i), i);
+  }
+  for (const auto& [k, v] : ref.map()) {
+    for (auto& d : dicts) {
+      ASSERT_EQ(d.find(k).value(), v) << d.name();
+    }
+  }
+}
+
+TEST(Integration, FullRangeScanAgreesEverywhere) {
+  auto dicts = all_dictionaries();
+  testing::RefDict ref;
+  const KeyStream ks(KeyOrder::kRandom, 3'000, 88);
+  for (std::uint64_t i = 0; i < ks.size(); ++i) {
+    const Key k = ks.key_at(i) % 10'000;
+    for (auto& d : dicts) d.insert(k, i);
+    ref.insert(k, i);
+  }
+  const auto want = ref.range(0, 10'000);
+  for (auto& d : dicts) {
+    std::vector<Entry<>> got;
+    d.range_for_each(0, 10'000, [&](Key k, Value v) { got.push_back(Entry<>{k, v}); });
+    ASSERT_EQ(got.size(), want.size()) << d.name();
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      ASSERT_EQ(got[j].key, want[j].key) << d.name() << " pos " << j;
+      ASSERT_EQ(got[j].value, want[j].value) << d.name() << " pos " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace costream

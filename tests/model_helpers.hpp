@@ -1,0 +1,102 @@
+// Shared helpers for the model-based (randomized differential) tests: every
+// dictionary is driven through the same operation traces and compared
+// against a std::map reference with the library's semantics (upsert +
+// blind delete).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/entry.hpp"
+#include "common/workload.hpp"
+
+namespace costream::testing {
+
+/// Reference dictionary with the library's semantics.
+class RefDict {
+ public:
+  void insert(Key k, Value v) { m_[k] = v; }
+  void erase(Key k) { m_.erase(k); }
+  std::optional<Value> find(Key k) const {
+    const auto it = m_.find(k);
+    if (it == m_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::vector<Entry<>> range(Key lo, Key hi) const {
+    std::vector<Entry<>> out;
+    for (auto it = m_.lower_bound(lo); it != m_.end() && it->first <= hi; ++it) {
+      out.push_back(Entry<>{it->first, it->second});
+    }
+    return out;
+  }
+  const std::map<Key, Value>& map() const { return m_; }
+
+ private:
+  std::map<Key, Value> m_;
+};
+
+/// Collect a structure's range output into a vector.
+template <class D>
+std::vector<Entry<>> collect_range(const D& d, Key lo, Key hi) {
+  std::vector<Entry<>> out;
+  d.range_for_each(lo, hi, [&](Key k, Value v) { out.push_back(Entry<>{k, v}); });
+  return out;
+}
+
+/// Drive `dict` and the reference through the same trace; verify finds on
+/// every op, ranges periodically, and call `checker` (e.g. invariants) every
+/// `check_every` operations.
+template <class D, class Checker>
+void run_model_trace(D& dict, const std::vector<Op>& ops, Checker&& checker,
+                     std::size_t check_every = 64, bool use_ranges = true) {
+  RefDict ref;
+  std::size_t i = 0;
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case OpKind::kInsert:
+        dict.insert(op.key, op.value);
+        ref.insert(op.key, op.value);
+        break;
+      case OpKind::kErase:
+        dict.erase(op.key);
+        ref.erase(op.key);
+        break;
+      case OpKind::kFind: {
+        const auto got = dict.find(op.key);
+        const auto want = ref.find(op.key);
+        ASSERT_EQ(got.has_value(), want.has_value()) << "op " << i << " key " << op.key;
+        if (want) {
+          ASSERT_EQ(*got, *want) << "op " << i << " key " << op.key;
+        }
+        break;
+      }
+      case OpKind::kRange: {
+        if (!use_ranges) break;
+        const auto got = collect_range(dict, op.key, op.hi);
+        const auto want = ref.range(op.key, op.hi);
+        ASSERT_EQ(got.size(), want.size()) << "op " << i;
+        for (std::size_t j = 0; j < got.size(); ++j) {
+          ASSERT_EQ(got[j].key, want[j].key) << "op " << i << " pos " << j;
+          ASSERT_EQ(got[j].value, want[j].value) << "op " << i << " pos " << j;
+        }
+        break;
+      }
+    }
+    if (++i % check_every == 0) {
+      ASSERT_NO_THROW(checker()) << "op " << i;
+    }
+  }
+  // Final full verification against the reference.
+  ASSERT_NO_THROW(checker());
+  for (const auto& [k, v] : ref.map()) {
+    const auto got = dict.find(k);
+    ASSERT_TRUE(got.has_value()) << "final key " << k;
+    ASSERT_EQ(*got, v) << "final key " << k;
+  }
+}
+
+}  // namespace costream::testing

@@ -1,0 +1,217 @@
+// Deep property sweeps — heavier randomized invariants than the per-module
+// suites, run across structures and seeds:
+//
+//  * equivalence under permutation: any insertion order of the same key set
+//    yields the same queryable contents;
+//  * adversarial patterns (sawtooth, duplicate floods, delete-reinsert
+//    churn) keep invariants and correctness;
+//  * Gcola window soundness: find() (windowed search) must agree with an
+//    exhaustive level-by-level scan on every probe;
+//  * shuttle layout: relayout() assigns disjoint address ranges covering
+//    every node and buffer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "btree/btree.hpp"
+#include "cola/cola.hpp"
+#include "common/rng.hpp"
+#include "common/workload.hpp"
+#include "dam/dam_mem_model.hpp"
+#include "model_helpers.hpp"
+#include "shuttle/shuttle_tree.hpp"
+
+namespace costream {
+namespace {
+
+class PermutationEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationEquivalence, ColaSameContentsAnyOrder) {
+  // Same key/value set in two different insertion orders -> identical
+  // queryable state (the physical level layout may differ).
+  const std::uint64_t seed = GetParam();
+  std::vector<Entry<>> entries;
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < 5'000; ++i) entries.push_back(Entry<>{rng() | 1u, rng()});
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+
+  cola::Gcola<> forward, backward;
+  for (const auto& e : entries) forward.insert(e.key, e.value);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    backward.insert(it->key, it->value);
+  }
+  forward.check_invariants();
+  backward.check_invariants();
+  EXPECT_EQ(forward.item_count(), backward.item_count());
+  for (const auto& e : entries) {
+    ASSERT_EQ(forward.find(e.key).value(), e.value);
+    ASSERT_EQ(backward.find(e.key).value(), e.value);
+  }
+  // Full scans emit identical sequences.
+  const auto a = testing::collect_range(forward, 0, ~0ULL);
+  const auto b = testing::collect_range(backward, 0, ~0ULL);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].key, b[i].key);
+    ASSERT_EQ(a[i].value, b[i].value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationEquivalence, ::testing::Values(1, 2, 3));
+
+TEST(Adversarial, SawtoothKeys) {
+  // Alternating low/high keys defeat naive prepend/append fast paths.
+  cola::Gcola<> c(cola::ColaConfig{4, 0.1});
+  testing::RefDict ref;
+  for (std::uint64_t i = 0; i < 20'000; ++i) {
+    const Key k = (i % 2 == 0) ? i : (1ULL << 40) - i;
+    c.insert(k, i);
+    ref.insert(k, i);
+  }
+  c.check_invariants();
+  for (std::uint64_t i = 0; i < 20'000; i += 113) {
+    const Key k = (i % 2 == 0) ? i : (1ULL << 40) - i;
+    ASSERT_EQ(c.find(k).value(), *ref.find(k)) << i;
+  }
+}
+
+TEST(Adversarial, DuplicateFlood) {
+  // A single hot key hammered among background traffic: every structure
+  // must keep returning the newest value.
+  cola::Gcola<> c;
+  btree::BTree<> b(256);
+  shuttle::ShuttleTree<> s;
+  Xoshiro256 rng(5);
+  Value latest_hot = 0;
+  for (std::uint64_t i = 0; i < 30'000; ++i) {
+    if (i % 3 == 0) {
+      latest_hot = i;
+      c.insert(777, i);
+      b.insert(777, i);
+      s.insert(777, i);
+    } else {
+      const Key k = rng();
+      c.insert(k, i);
+      b.insert(k, i);
+      s.insert(k, i);
+    }
+    if (i % 4'096 == 0) {
+      ASSERT_EQ(c.find(777).value(), latest_hot);
+      ASSERT_EQ(b.find(777).value(), latest_hot);
+      ASSERT_EQ(s.find(777).value(), latest_hot);
+    }
+  }
+  c.check_invariants();
+  b.check_invariants();
+  s.check_invariants();
+}
+
+TEST(Adversarial, DeleteReinsertChurnOnSmallKeyspace) {
+  // Tombstone pile-up stress: 64 keys, 50k operations.
+  cola::Gcola<> c;
+  testing::RefDict ref;
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 50'000; ++i) {
+    const Key k = rng.below(64);
+    if (rng.below(2) == 0) {
+      c.erase(k);
+      ref.erase(k);
+    } else {
+      c.insert(k, static_cast<Value>(i));
+      ref.insert(k, static_cast<Value>(i));
+    }
+  }
+  c.check_invariants();
+  for (Key k = 0; k < 64; ++k) {
+    const auto got = c.find(k);
+    const auto want = ref.find(k);
+    ASSERT_EQ(got.has_value(), want.has_value()) << k;
+    if (want) ASSERT_EQ(*got, *want) << k;
+  }
+  // Tombstones must not have bloated the structure beyond ~the op count.
+  EXPECT_LT(c.item_count(), 70'000u);
+}
+
+// Gcola window soundness: a reference searcher that binary-searches every
+// level without windows must agree with find() on hits AND misses.
+class WindowSoundness
+    : public ::testing::TestWithParam<std::tuple<unsigned, double, std::uint64_t>> {};
+
+TEST_P(WindowSoundness, FindAgreesWithExhaustiveScan) {
+  const auto [g, p, seed] = GetParam();
+  cola::Gcola<> windowed(cola::ColaConfig{g, p});
+  auto exhaustive = cola::make_basic_cola<>(g);  // p = 0: plain binary search
+  const KeyStream ks(KeyOrder::kRandom, 30'000, seed);
+  for (std::uint64_t i = 0; i < ks.size(); ++i) {
+    windowed.insert(ks.key_at(i), i);
+    exhaustive.insert(ks.key_at(i), i);
+  }
+  Xoshiro256 rng(seed ^ 0xabcd);
+  for (int q = 0; q < 20'000; ++q) {
+    // Half hits, half near-misses (existing key +/- 1).
+    Key probe = ks.key_at(rng.below(ks.size()));
+    if (q % 2 == 1) probe += (q % 4 == 1) ? 1 : static_cast<Key>(-1);
+    const auto a = windowed.find(probe);
+    const auto b = exhaustive.find(probe);
+    ASSERT_EQ(a.has_value(), b.has_value()) << probe;
+    if (a) ASSERT_EQ(*a, *b) << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, WindowSoundness,
+                         ::testing::Combine(::testing::Values(2u, 4u),
+                                            ::testing::Values(0.05, 0.1, 0.25),
+                                            ::testing::Values(71u, 72u)));
+
+TEST(ShuttleLayout, AddressRangesDisjointAndComplete) {
+  // After relayout, walking the tree must find every node and buffer with
+  // an assigned, pairwise-disjoint address range.
+  shuttle::ShuttleTree<Key, Value, dam::dam_mem_model> t(
+      shuttle::ShuttleConfig{}, dam::dam_mem_model(4096, 1 << 22));
+  for (std::uint64_t i = 0; i < 60'000; ++i) t.insert(mix64(i), i);
+  t.relayout();
+  t.check_invariants();
+  // The layout cursor only grows; a fresh relayout after more inserts must
+  // remain valid too (addresses of new nodes park past the laid-out region).
+  for (std::uint64_t i = 0; i < 10'000; ++i) t.insert(mix64(1'000'000 + i), i);
+  t.check_invariants();
+  t.relayout();
+  t.check_invariants();
+  for (std::uint64_t i = 0; i < 60'000; i += 997) {
+    ASSERT_TRUE(t.find(mix64(i)).has_value()) << i;
+  }
+}
+
+TEST(BTreeProperty, BlockSizeSweepKeepsInvariants) {
+  for (const std::uint64_t block : {128ULL, 256ULL, 1024ULL, 4096ULL, 16384ULL}) {
+    btree::BTree<> t(block);
+    const KeyStream ks(KeyOrder::kRandom, 8'000, block);
+    for (std::uint64_t i = 0; i < ks.size(); ++i) t.insert(ks.key_at(i), i);
+    for (std::uint64_t i = 0; i < ks.size(); i += 2) t.erase(ks.key_at(i));
+    ASSERT_NO_THROW(t.check_invariants()) << block;
+    for (std::uint64_t i = 0; i < ks.size(); i += 401) {
+      ASSERT_EQ(t.find(ks.key_at(i)).has_value(), i % 2 == 1) << block << " " << i;
+    }
+  }
+}
+
+TEST(ColaProperty, LevelCountIsLogarithmic) {
+  for (const unsigned g : {2u, 4u, 8u}) {
+    cola::Gcola<> c(cola::ColaConfig{g, 0.1});
+    const std::uint64_t n = 100'000;
+    for (std::uint64_t i = 0; i < n; ++i) c.insert(mix64(i), i);
+    // levels ~ log_g(n) + O(1).
+    const double expect = std::log(static_cast<double>(n)) / std::log(static_cast<double>(g));
+    EXPECT_LE(c.level_count(), static_cast<std::size_t>(expect) + 4) << g;
+    EXPECT_GE(c.level_count(), static_cast<std::size_t>(expect) - 1) << g;
+  }
+}
+
+}  // namespace
+}  // namespace costream

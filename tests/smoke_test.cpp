@@ -1,0 +1,122 @@
+// Instantiates every structure in the library against both memory models and
+// runs a tiny end-to-end trace — the canary that catches template breakage.
+#include <gtest/gtest.h>
+
+#include "api/dictionary.hpp"
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cob/cob_tree.hpp"
+#include "cola/cola.hpp"
+#include "cola/deamortized_cola.hpp"
+#include "cola/lookahead_array.hpp"
+#include "dam/dam_mem_model.hpp"
+#include "layout/fibonacci.hpp"
+#include "layout/veb_static.hpp"
+#include "pma/pma.hpp"
+#include "shuttle/shuttle_tree.hpp"
+#include "shuttle/swbst.hpp"
+
+namespace costream {
+namespace {
+
+template <class D>
+void exercise(D& d) {
+  for (std::uint64_t i = 0; i < 200; ++i) d.insert(i * 7 % 211, i);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(d.find(i * 7 % 211).has_value()) << i;
+  }
+  EXPECT_FALSE(d.find(10'000).has_value());
+}
+
+TEST(Smoke, ColaNullModel) {
+  cola::Gcola<> d;
+  exercise(d);
+  d.check_invariants();
+}
+
+TEST(Smoke, ColaDamModel) {
+  cola::Gcola<Key, Value, dam::dam_mem_model> d(cola::ColaConfig{},
+                                                dam::dam_mem_model(4096, 1 << 20));
+  exercise(d);
+  d.check_invariants();
+  EXPECT_GT(d.mm().stats().accesses, 0u);
+}
+
+TEST(Smoke, BasicCola) {
+  auto d = cola::make_basic_cola<>();
+  exercise(d);
+  d.check_invariants();
+}
+
+TEST(Smoke, LookaheadArray) {
+  auto d = cola::make_lookahead_array<>(4096, 0.5);
+  exercise(d);
+  d.check_invariants();
+}
+
+TEST(Smoke, DeamortizedCola) {
+  cola::DeamortizedCola<> d;
+  exercise(d);
+  d.check_invariants();
+}
+
+TEST(Smoke, BTree) {
+  btree::BTree<> d;
+  exercise(d);
+  d.check_invariants();
+}
+
+TEST(Smoke, Brt) {
+  brt::Brt<> d;
+  exercise(d);
+  d.check_invariants();
+}
+
+TEST(Smoke, CobTree) {
+  cob::CobTree<> d;
+  exercise(d);
+  d.check_invariants();
+}
+
+TEST(Smoke, ShuttleTree) {
+  shuttle::ShuttleTree<> d;
+  exercise(d);
+  d.check_invariants();
+}
+
+TEST(Smoke, Swbst) {
+  shuttle::Swbst<> d;
+  exercise(d);
+  d.check_invariants();
+}
+
+TEST(Smoke, Pma) {
+  pma::Pma<Entry<>> p;
+  auto slot = p.insert_after(pma::Pma<Entry<>>::npos, Entry<>{5, 50});
+  slot = p.insert_after(slot, Entry<>{7, 70});
+  p.insert_after(slot, Entry<>{9, 90});
+  p.check_invariants();
+  EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(Smoke, VebStatic) {
+  layout::VebStaticTree<Key> t;
+  dam::null_mem_model mm;
+  std::vector<Key> keys{1, 3, 5, 7, 9};
+  t.build(keys);
+  EXPECT_EQ(t.predecessor_rank(6, mm), 2);
+  EXPECT_EQ(t.predecessor_rank(0, mm), -1);
+}
+
+TEST(Smoke, AnyDictionary) {
+  std::vector<api::AnyDictionary> dicts;
+  dicts.emplace_back("cola", cola::Gcola<>{});
+  dicts.emplace_back("btree", btree::BTree<>{});
+  for (auto& d : dicts) {
+    d.insert(1, 10);
+    EXPECT_EQ(d.find(1).value(), 10u) << d.name();
+  }
+}
+
+}  // namespace
+}  // namespace costream

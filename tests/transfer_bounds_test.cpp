@@ -1,0 +1,137 @@
+// DAM-model validation of the paper's headline bounds. These tests measure
+// block transfers through the simulator and assert the *relationships* the
+// theory predicts (who is cheaper, by at least roughly what factor) — the
+// same shapes the benches print, but in pass/fail form.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "btree/btree.hpp"
+#include "cola/cola.hpp"
+#include "common/rng.hpp"
+#include "dam/dam_mem_model.hpp"
+
+namespace costream {
+namespace {
+
+constexpr std::uint64_t kBlock = 4096;
+
+// Lemma 19: COLA inserts cost amortized O((log N)/B) transfers; the B-tree
+// pays ~1 random transfer per out-of-core insert. At N = 2^17 with a small
+// memory, the COLA must beat the B-tree by a wide margin.
+TEST(TransferBounds, ColaInsertsBeatBTreeOutOfCore) {
+  const std::uint64_t n = 1 << 17;
+  const std::uint64_t mem = 1 << 19;  // far smaller than the data
+  cola::Gcola<Key, Value, dam::dam_mem_model> c(cola::ColaConfig{2, 0.1},
+                                                dam::dam_mem_model(kBlock, mem));
+  btree::BTree<Key, Value, dam::dam_mem_model> b(kBlock,
+                                                 dam::dam_mem_model(kBlock, mem));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    c.insert(mix64(i), i);
+    b.insert(mix64(i), i);
+  }
+  const double cola_per_op =
+      static_cast<double>(c.mm().stats().transfers) / static_cast<double>(n);
+  const double btree_per_op =
+      static_cast<double>(b.mm().stats().transfers) / static_cast<double>(n);
+  EXPECT_LT(cola_per_op * 4.0, btree_per_op)
+      << "cola=" << cola_per_op << " btree=" << btree_per_op;
+  // And the absolute bound: (log2 N)/ (B in elements) * constant.
+  const double bound = std::log2(static_cast<double>(n)) / (kBlock / 32.0);
+  EXPECT_LT(cola_per_op, 16.0 * bound);
+}
+
+// Lemma 19's other face: COLA transfers are dominated by *sequential* block
+// moves (merges), while the out-of-core B-tree's are dominated by random
+// ones. This is what the disk-time model amplifies into the 790x figure.
+TEST(TransferBounds, ColaTransfersAreMostlySequential) {
+  const std::uint64_t n = 1 << 17;
+  cola::Gcola<Key, Value, dam::dam_mem_model> c(cola::ColaConfig{2, 0.1},
+                                                dam::dam_mem_model(kBlock, 1 << 19));
+  for (std::uint64_t i = 0; i < n; ++i) c.insert(mix64(i), i);
+  const auto& st = c.mm().stats();
+  EXPECT_GT(st.sequential_transfers, st.random_transfers)
+      << "merges scan levels sequentially";
+}
+
+TEST(TransferBounds, BTreeRandomInsertTransfersAreMostlyRandom) {
+  const std::uint64_t n = 1 << 16;
+  btree::BTree<Key, Value, dam::dam_mem_model> b(kBlock,
+                                                 dam::dam_mem_model(kBlock, 1 << 18));
+  for (std::uint64_t i = 0; i < n; ++i) b.insert(mix64(i), i);
+  const auto& st = b.mm().stats();
+  EXPECT_GT(st.random_transfers, st.sequential_transfers);
+}
+
+// Lemma 20: COLA searches cost O(log N) transfers. Verify cold-cache
+// searches stay within a constant of log2(N) blocks and above log_B(N)
+// (it really is a level-per-level walk, not a B-tree descent).
+TEST(TransferBounds, ColaSearchIsLogN) {
+  const std::uint64_t n = 1 << 17;
+  cola::Gcola<Key, Value, dam::dam_mem_model> c(cola::ColaConfig{2, 0.1},
+                                                dam::dam_mem_model(kBlock, 1 << 22));
+  for (std::uint64_t i = 0; i < n; ++i) c.insert(mix64(i), i);
+  Xoshiro256 rng(3);
+  std::uint64_t total = 0;
+  const int probes = 200;
+  for (int q = 0; q < probes; ++q) {
+    c.mm().clear_cache();
+    c.mm().reset_stats();
+    ASSERT_TRUE(c.find(mix64(rng.below(n))).has_value());
+    total += c.mm().stats().transfers;
+  }
+  const double avg = static_cast<double>(total) / probes;
+  const double log2n = std::log2(static_cast<double>(n));
+  EXPECT_LT(avg, 3.0 * log2n);
+  EXPECT_GT(avg, 0.3 * log2n);
+}
+
+// The insert/search tradeoff across the growth factor (Section 3 cache-aware
+// tradeoff): larger g means fewer levels (cheaper searches) but more merges
+// per element (costlier inserts).
+TEST(TransferBounds, GrowthFactorTradesInsertsForSearches) {
+  const std::uint64_t n = 1 << 16;
+  auto run = [&](unsigned g) {
+    cola::Gcola<Key, Value, dam::dam_mem_model> c(cola::ColaConfig{g, 0.1},
+                                                  dam::dam_mem_model(kBlock, 1 << 19));
+    for (std::uint64_t i = 0; i < n; ++i) c.insert(mix64(i), i);
+    const double ins =
+        static_cast<double>(c.mm().stats().transfers) / static_cast<double>(n);
+    Xoshiro256 rng(5);
+    c.mm().reset_stats();
+    std::uint64_t search_total = 0;
+    for (int q = 0; q < 100; ++q) {
+      c.mm().clear_cache();
+      c.mm().reset_stats();
+      c.find(mix64(rng.below(n)));
+      search_total += c.mm().stats().transfers;
+    }
+    return std::pair<double, double>(ins, static_cast<double>(search_total) / 100.0);
+  };
+  const auto [ins2, srch2] = run(2);
+  const auto [ins16, srch16] = run(16);
+  EXPECT_LT(ins2, ins16) << "g=2 inserts cheaper";
+  EXPECT_LT(srch16, srch2) << "g=16 searches cheaper";
+}
+
+// The paper's Figure 2/3 contrast in transfer terms: sorted (descending)
+// inserts make the B-tree cheap (its insertion path stays cached) — the
+// COLA's advantage should shrink dramatically versus the random case.
+TEST(TransferBounds, SortedInsertsShrinkTheColaAdvantage) {
+  const std::uint64_t n = 1 << 16;
+  const std::uint64_t mem = 1 << 18;
+  auto run_btree = [&](bool random) {
+    btree::BTree<Key, Value, dam::dam_mem_model> b(kBlock,
+                                                   dam::dam_mem_model(kBlock, mem));
+    for (std::uint64_t i = 0; i < n; ++i) b.insert(random ? mix64(i) : n - i, i);
+    return static_cast<double>(b.mm().stats().transfers) / static_cast<double>(n);
+  };
+  const double random_cost = run_btree(true);
+  const double sorted_cost = run_btree(false);
+  EXPECT_LT(sorted_cost * 8.0, random_cost)
+      << "sorted inserts are the B-tree's best case";
+}
+
+}  // namespace
+}  // namespace costream

@@ -1,0 +1,153 @@
+// Static vEB-layout search tree tests: correctness of predecessor queries,
+// the layout being a permutation, in-place key updates, and the
+// cache-oblivious block-crossing bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dam/dam_mem_model.hpp"
+#include "layout/veb_static.hpp"
+
+namespace costream::layout {
+namespace {
+
+using Tree = VebStaticTree<std::uint64_t>;
+
+std::vector<std::uint64_t> sorted_random_keys(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::set<std::uint64_t> s;
+  while (s.size() < n) s.insert(rng());
+  return {s.begin(), s.end()};
+}
+
+std::int64_t ref_predecessor(const std::vector<std::uint64_t>& keys, std::uint64_t q) {
+  const auto it = std::upper_bound(keys.begin(), keys.end(), q);
+  return static_cast<std::int64_t>(it - keys.begin()) - 1;
+}
+
+TEST(VebStatic, EmptyTree) {
+  Tree t;
+  dam::null_mem_model mm;
+  t.build({});
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.predecessor_rank(5, mm), -1);
+}
+
+TEST(VebStatic, SingleKey) {
+  Tree t;
+  dam::null_mem_model mm;
+  t.build({10});
+  EXPECT_EQ(t.predecessor_rank(9, mm), -1);
+  EXPECT_EQ(t.predecessor_rank(10, mm), 0);
+  EXPECT_EQ(t.predecessor_rank(11, mm), 0);
+}
+
+class VebSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VebSizes, PredecessorMatchesReference) {
+  const std::size_t n = GetParam();
+  const auto keys = sorted_random_keys(n, 0xabc + n);
+  Tree t;
+  dam::null_mem_model mm;
+  t.build(keys);
+  Xoshiro256 rng(99);
+  for (int q = 0; q < 2'000; ++q) {
+    const std::uint64_t probe = rng();
+    EXPECT_EQ(t.predecessor_rank(probe, mm), ref_predecessor(keys, probe)) << probe;
+  }
+  // Exact keys are their own predecessor.
+  for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 50)) {
+    EXPECT_EQ(t.predecessor_rank(keys[i], mm), static_cast<std::int64_t>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VebSizes,
+                         ::testing::Values(2, 3, 7, 8, 15, 64, 100, 1023, 4096, 10'000));
+
+TEST(VebStatic, LayoutIsAPermutation) {
+  const auto keys = sorted_random_keys(1'000, 5);
+  Tree t;
+  t.build(keys);
+  std::vector<bool> seen(keys.size(), false);
+  for (std::size_t r = 0; r < keys.size(); ++r) {
+    const auto pos = t.position_of_rank(r);
+    ASSERT_LT(pos, keys.size());
+    ASSERT_FALSE(seen[pos]) << "position reused";
+    seen[pos] = true;
+    EXPECT_EQ(t.rank_of_position(pos), static_cast<std::int64_t>(r));
+  }
+}
+
+TEST(VebStatic, RootIsFirstInLayout) {
+  // The vEB order always places the subtree root first.
+  const auto keys = sorted_random_keys(513, 6);
+  Tree t;
+  t.build(keys);
+  // The root is the middle rank of the balanced BST.
+  EXPECT_EQ(t.position_of_rank(keys.size() / 2), 0u);
+}
+
+TEST(VebStatic, UpdateKeyInPlace) {
+  auto keys = sorted_random_keys(300, 17);
+  Tree t;
+  dam::null_mem_model mm;
+  t.build(keys);
+  // Shift every key up by a constant (order preserved) and re-query.
+  for (std::size_t r = 0; r < keys.size(); ++r) {
+    keys[r] += 1000;
+    t.update_key(r, keys[r], mm);
+  }
+  Xoshiro256 rng(3);
+  for (int q = 0; q < 1'000; ++q) {
+    const std::uint64_t probe = rng();
+    EXPECT_EQ(t.predecessor_rank(probe, mm), ref_predecessor(keys, probe));
+  }
+}
+
+TEST(VebStatic, SearchTransfersAreLogBOfN) {
+  // The cache-oblivious bound: a root-to-leaf walk crosses O(log_B n) blocks.
+  // With n = 2^16 nodes of 16 bytes and B = 4096 (256 nodes/block),
+  // log_B n = log(65536)/log(257) ~ 2; allow a factor-3 constant. A pointer
+  // -chasing layout would pay ~log2(n) - 8 = 8+ transfers for the bottom
+  // levels alone.
+  const std::size_t n = 1 << 16;
+  const auto keys = sorted_random_keys(n, 123);
+  VebStaticTree<std::uint64_t, dam::dam_mem_model> t;
+  t.build(keys);
+  dam::dam_mem_model mm(4096, 1 << 20);
+  Xoshiro256 rng(4);
+  const int probes = 200;
+  std::uint64_t total = 0;
+  for (int q = 0; q < probes; ++q) {
+    mm.clear_cache();
+    mm.reset_stats();
+    t.predecessor_rank(rng(), mm);
+    total += mm.stats().transfers;
+  }
+  const double avg = static_cast<double>(total) / probes;
+  const double logb = std::log(static_cast<double>(n)) / std::log(4096.0 / 16.0);
+  EXPECT_LT(avg, 3.0 * logb + 2.0) << "avg transfers " << avg;
+}
+
+TEST(VebStatic, DuplicateKeysReturnRightmost) {
+  // Inherited segment leaders produce duplicate keys; predecessor must pick
+  // the rightmost rank with key <= probe for the CO B-tree's scan to start
+  // in the nearest segment.
+  std::vector<std::uint64_t> keys{5, 5, 5, 9, 9, 12};
+  Tree t;
+  dam::null_mem_model mm;
+  t.build(keys);
+  EXPECT_EQ(t.predecessor_rank(5, mm), 2);
+  EXPECT_EQ(t.predecessor_rank(8, mm), 2);
+  EXPECT_EQ(t.predecessor_rank(9, mm), 4);
+  EXPECT_EQ(t.predecessor_rank(100, mm), 5);
+  EXPECT_EQ(t.predecessor_rank(4, mm), -1);
+}
+
+}  // namespace
+}  // namespace costream::layout
