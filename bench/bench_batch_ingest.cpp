@@ -1,0 +1,274 @@
+// Batch-ingestion sweep: how much does the native insert_batch path gain
+// over the single-op loop, per structure, as the batch size grows 1 -> 4096?
+//
+// Every (structure, key order, batch size) cell ingests the same key stream
+// in chunks of the batch size (batch size 1 = the plain insert() loop
+// baseline). Each cell runs twice:
+//   * a null-memory-model run, timed — clean in-RAM wall-clock inserts/sec
+//     (the DAM LRU simulator would otherwise dominate the timed loop and
+//     flatten every ratio);
+//   * a DAM-model run, untimed — block transfers/op and modeled disk-bound
+//     inserts/sec.
+//
+// Key orders:
+//   random   unique 64-bit keys. Batch gains here are bounded by the data-
+//            movement ratio: both paths move the same deep-merge volume, the
+//            batch only skips the log2(k) shallowest levels (~1.2-1.6x for
+//            the COLA at k=1024, N=2^21).
+//   hot256   90% of draws from a 256-key hot set (graph-edge / metric-update
+//            shape). Batch dedup collapses most of the stream before it
+//            touches the structure; the single-op loop also annihilates
+//            duplicates early (shallow merges), so the net gain is larger
+//            but still bounded (~1.8x).
+//
+// Output: figure-style tables plus a JSON array between BEGIN_JSON /
+// END_JSON markers for downstream tooling.
+//
+// Environment:
+//   REPRO_MAXN     elements per cell (default 2^18; 2^21 for headline runs)
+//   REPRO_FAST     nonzero -> smoke-test size
+//   REPRO_STRUCTS  comma list filtering the structure set, e.g. "cola,shuttle"
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cob/cob_tree.hpp"
+#include "cola/cola.hpp"
+#include "cola/deamortized_cola.hpp"
+#include "cola/deamortized_fc_cola.hpp"
+#include "common/entry.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "common/workload.hpp"
+#include "dam/dam_mem_model.hpp"
+#include "shuttle/shuttle_tree.hpp"
+
+using namespace costream;
+
+namespace {
+
+struct Cell {
+  std::string structure;
+  std::string order;
+  std::uint64_t batch = 0;
+  std::uint64_t n = 0;
+  double wall_rate = 0.0;     // inserts/sec, wall clock, null memory model
+  double modeled_rate = 0.0;  // inserts/sec, DAM disk model
+  double transfers_per_op = 0.0;
+};
+
+/// i-th key of the named stream. "hot256": 90% of draws from a 256-key hot
+/// set, the rest uniform — the duplicate-heavy shape of real ingest feeds.
+std::uint64_t key_of(const std::string& order, const KeyStream& ks, std::uint64_t i) {
+  if (order == "hot256") {
+    const std::uint64_t h = mix64(i ^ 0xabcdef12345ULL);
+    if (h % 10 != 0) return h & 255ULL;
+    return h | (1ULL << 63);
+  }
+  return ks.key_at(i);
+}
+
+/// Ingest `n` keys into `d` in chunks of `batch` (1 = plain insert loop).
+template <class D>
+void ingest(D& d, const std::string& order, const KeyStream& ks, std::uint64_t n,
+            std::uint64_t batch) {
+  if (batch <= 1) {
+    for (std::uint64_t i = 0; i < n; ++i) d.insert(key_of(order, ks, i), i);
+    return;
+  }
+  std::vector<Entry<>> chunk;
+  chunk.reserve(batch);
+  for (std::uint64_t i = 0; i < n;) {
+    chunk.clear();
+    const std::uint64_t take = std::min<std::uint64_t>(batch, n - i);
+    for (std::uint64_t j = 0; j < take; ++j, ++i) {
+      chunk.push_back(Entry<>{key_of(order, ks, i), i});
+    }
+    d.insert_batch(chunk.data(), chunk.size());
+  }
+}
+
+/// Two-run measurement: wall clock against `dwall` (null model), transfers
+/// against `ddam` (DAM model).
+template <class DW, class DD>
+Cell run_cell(const std::string& name, const std::string& order, DW& dwall, DD& ddam,
+              dam::dam_mem_model& mm, const KeyStream& ks, std::uint64_t n,
+              std::uint64_t batch) {
+  Cell c;
+  c.structure = name;
+  c.order = order;
+  c.batch = batch;
+  c.n = n;
+  Timer timer;
+  ingest(dwall, order, ks, n, batch);
+  const double wall = timer.seconds();
+  ingest(ddam, order, ks, n, batch);
+  const double modeled = mm.modeled_seconds();
+  c.wall_rate = wall > 0 ? static_cast<double>(n) / wall : 0.0;
+  c.modeled_rate = modeled > 0 ? static_cast<double>(n) / modeled : c.wall_rate;
+  c.transfers_per_op =
+      static_cast<double>(mm.stats().transfers) / static_cast<double>(n);
+  return c;
+}
+
+bool structure_enabled(const char* name) {
+  const char* filter = std::getenv("REPRO_STRUCTS");
+  if (filter == nullptr || *filter == '\0') return true;
+  const std::string list(filter);
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    if (list.compare(pos, comma - pos, name) == 0) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  const BenchOptions opts = BenchOptions::from_env(1ULL << 18);
+  const std::uint64_t n = opts.fast ? (1ULL << 14) : opts.max_n;
+  const std::uint64_t mem = bench::scaled_memory_bytes(n);
+  const std::uint64_t block = 4096;
+  const KeyStream ks(KeyOrder::kRandom, n, opts.seed);
+
+  std::vector<std::uint64_t> batches{1, 4, 16, 64, 256, 1024, 4096};
+  std::vector<std::string> orders{"random", "hot256"};
+  if (opts.fast) {
+    batches = {1, 64, 1024};
+    orders = {"random"};
+  }
+
+  std::vector<Cell> cells;
+  for (const std::string& order : orders) {
+    for (const std::uint64_t b : batches) {
+      if (structure_enabled("cola")) {
+        cola::Gcola<> w;
+        cola::Gcola<Key, Value, dam::dam_mem_model> d(cola::ColaConfig{},
+                                                      dam::dam_mem_model(block, mem));
+        cells.push_back(run_cell("cola", order, w, d, d.mm(), ks, n, b));
+      }
+      if (structure_enabled("shuttle")) {
+        shuttle::ShuttleTree<> w;
+        shuttle::ShuttleTree<Key, Value, dam::dam_mem_model> d(
+            shuttle::ShuttleConfig{}, dam::dam_mem_model(block, mem));
+        cells.push_back(run_cell("shuttle", order, w, d, d.mm(), ks, n, b));
+      }
+      if (structure_enabled("brt")) {
+        brt::Brt<> w;
+        brt::Brt<Key, Value, dam::dam_mem_model> d(block, 4,
+                                                   dam::dam_mem_model(block, mem));
+        cells.push_back(run_cell("brt", order, w, d, d.mm(), ks, n, b));
+      }
+      if (structure_enabled("btree")) {
+        btree::BTree<> w;
+        btree::BTree<Key, Value, dam::dam_mem_model> d(block,
+                                                       dam::dam_mem_model(block, mem));
+        cells.push_back(run_cell("btree", order, w, d, d.mm(), ks, n, b));
+      }
+      if (structure_enabled("cob")) {
+        cob::CobTree<> w;
+        cob::CobTree<Key, Value, dam::dam_mem_model> d(dam::dam_mem_model(block, mem));
+        cells.push_back(run_cell("cob", order, w, d, d.mm(), ks, n, b));
+      }
+      if (structure_enabled("deam")) {
+        cola::DeamortizedCola<> w;
+        cola::DeamortizedCola<Key, Value, dam::dam_mem_model> d(
+            dam::dam_mem_model(block, mem));
+        cells.push_back(run_cell("deam", order, w, d, d.mm(), ks, n, b));
+      }
+      if (structure_enabled("fc-deam")) {
+        cola::DeamortizedFcCola<> w;
+        cola::DeamortizedFcCola<Key, Value, dam::dam_mem_model> d(
+            dam::dam_mem_model(block, mem));
+        cells.push_back(run_cell("fc-deam", order, w, d, d.mm(), ks, n, b));
+      }
+    }
+  }
+
+  std::vector<std::string> names;
+  for (const Cell& c : cells) {
+    bool seen = false;
+    for (const auto& s : names) seen = seen || s == c.structure;
+    if (!seen) names.push_back(c.structure);
+  }
+  const auto cell_at = [&](const std::string& s, const std::string& o,
+                           std::uint64_t b) -> const Cell* {
+    for (const Cell& c : cells) {
+      if (c.structure == s && c.order == o && c.batch == b) return &c;
+    }
+    return nullptr;
+  };
+
+  std::printf("## batch ingest sweep, N = %llu keys per cell\n",
+              static_cast<unsigned long long>(n));
+  const char* metric_names[3] = {"wall-clock inserts/sec (in-RAM, null model)",
+                                 "modeled disk-bound inserts/sec",
+                                 "block transfers per op"};
+  for (const std::string& order : orders) {
+    std::printf("\n### key order: %s\n", order.c_str());
+    for (int metric = 0; metric < 3; ++metric) {
+      std::printf("\n# %s\n", metric_names[metric]);
+      Table t([&] {
+        std::vector<std::string> headers{"batch"};
+        for (const auto& s : names) headers.push_back(s);
+        return headers;
+      }());
+      for (const std::uint64_t b : batches) {
+        std::vector<std::string> row{std::to_string(b)};
+        for (const auto& s : names) {
+          const Cell* c = cell_at(s, order, b);
+          if (c == nullptr) {
+            row.emplace_back("-");
+            continue;
+          }
+          char buf[32];
+          if (metric == 0) {
+            row.push_back(format_rate(c->wall_rate));
+          } else if (metric == 1) {
+            row.push_back(format_rate(c->modeled_rate));
+          } else {
+            std::snprintf(buf, sizeof buf, "%.4f", c->transfers_per_op);
+            row.emplace_back(buf);
+          }
+        }
+        t.add_row(std::move(row));
+      }
+      t.print();
+    }
+
+    std::printf("\n# wall-clock speedup at batch 1024 vs batch 1 (%s)\n",
+                order.c_str());
+    for (const auto& s : names) {
+      const Cell* one = cell_at(s, order, 1);
+      const Cell* kilo = cell_at(s, order, 1024);
+      if (one != nullptr && kilo != nullptr && one->wall_rate > 0) {
+        std::printf("  %-8s %.2fx\n", s.c_str(), kilo->wall_rate / one->wall_rate);
+      }
+    }
+  }
+
+  std::printf("\nBEGIN_JSON\n[");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::printf(
+        "%s\n  {\"structure\": \"%s\", \"order\": \"%s\", \"batch\": %llu, "
+        "\"n\": %llu, \"wall_rate\": %.1f, \"modeled_rate\": %.1f, "
+        "\"transfers_per_op\": %.6f}",
+        i == 0 ? "" : ",", c.structure.c_str(), c.order.c_str(),
+        static_cast<unsigned long long>(c.batch),
+        static_cast<unsigned long long>(c.n), c.wall_rate, c.modeled_rate,
+        c.transfers_per_op);
+  }
+  std::printf("\n]\nEND_JSON\n");
+  return 0;
+}

@@ -3,10 +3,27 @@
 // Every structure in the library implements the same informal interface:
 //
 //   void insert(const K&, const V&);          // upsert, newest wins
+//   void insert_batch(const Entry<K,V>*, n);  // bulk upsert (contract below)
 //   void erase(const K&);                     // blind delete (tombstones in
 //                                             // the write-optimized ones)
 //   std::optional<V> find(const K&) const;
 //   template <class Fn> void range_for_each(const K& lo, const K& hi, Fn&&);
+//
+// Batch contract (insert_batch):
+//   * The input run may be UNSORTED and may contain DUPLICATE keys; the
+//     structure sorts and deduplicates internally.
+//   * Within the batch the LAST occurrence of a key wins, and the batch as a
+//     whole is newer than everything already in the dictionary — so
+//     insert_batch(data, n) is observationally equivalent to calling
+//     insert(data[i].key, data[i].value) for i = 0..n-1 in order, including
+//     against previously tombstoned keys.
+//   * The write-optimized structures honor the equivalence with far fewer
+//     block transfers: the COLA runs ONE cascaded merge for the whole run
+//     instead of n independent cascades, the shuttle tree shuttles the whole
+//     sorted run down its edge buffers in one pass, and the BRT appends runs
+//     to the root buffer a block at a time.
+//   * insert_batch(data, 0) is a no-op; the pointer may be null only when
+//     n == 0.
 //
 // The Dictionary concept below states that contract, and AnyDictionary
 // type-erases it so examples and integration tests can drive every structure
@@ -27,8 +44,10 @@
 namespace costream::api {
 
 template <class D, class K = Key, class V = Value>
-concept Dictionary = requires(D d, const D cd, K k, V v) {
+concept Dictionary = requires(D d, const D cd, K k, V v, const Entry<K, V>* batch,
+                              std::size_t n) {
   { d.insert(k, v) };
+  { d.insert_batch(batch, n) };
   { d.erase(k) };
   { cd.find(k) } -> std::same_as<std::optional<V>>;
 };
@@ -47,6 +66,10 @@ class AnyDictionary {
   const std::string& name() const noexcept { return name_; }
 
   void insert(Key k, Value v) { impl_->insert(k, v); }
+  void insert_batch(const Entry<>* data, std::size_t n) { impl_->insert_batch(data, n); }
+  void insert_batch(const std::vector<Entry<>>& batch) {
+    impl_->insert_batch(batch.data(), batch.size());
+  }
   void erase(Key k) { impl_->erase(k); }
   std::optional<Value> find(Key k) const { return impl_->find(k); }
   void range_for_each(Key lo, Key hi, const RangeFn& fn) const {
@@ -57,6 +80,7 @@ class AnyDictionary {
   struct Concept {
     virtual ~Concept() = default;
     virtual void insert(Key, Value) = 0;
+    virtual void insert_batch(const Entry<>*, std::size_t) = 0;
     virtual void erase(Key) = 0;
     virtual std::optional<Value> find(Key) const = 0;
     virtual void range_for_each(Key, Key, const RangeFn&) const = 0;
@@ -66,6 +90,9 @@ class AnyDictionary {
   struct Model final : Concept {
     explicit Model(D d) : dict(std::move(d)) {}
     void insert(Key k, Value v) override { dict.insert(k, v); }
+    void insert_batch(const Entry<>* data, std::size_t n) override {
+      dict.insert_batch(data, n);
+    }
     void erase(Key k) override { dict.erase(k); }
     std::optional<Value> find(Key k) const override { return dict.find(k); }
     void range_for_each(Key lo, Key hi, const RangeFn& fn) const override {

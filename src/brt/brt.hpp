@@ -20,8 +20,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/entry.hpp"
@@ -62,6 +64,49 @@ class Brt {
 
   /// Blind delete: enqueues a tombstone that annihilates at the leaves.
   void erase(const K& key) { put(Item{key, V{}, /*tombstone=*/true}); }
+
+  /// Bulk upsert (batch contract in api/dictionary.hpp): append the run to
+  /// the root buffer a chunk at a time — one block touch per chunk instead
+  /// of one per element — flushing whenever the buffer fills. Arrival order
+  /// is preserved, so newest-wins matches repeated insert() exactly.
+  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+    if (n == 0) return;
+    std::size_t i = 0;
+    while (i < n && nodes_[root_].leaf) {
+      // Root still a leaf: deliver a leaf-capacity chunk and split before
+      // continuing, so a bulk load of a fresh tree grows it instead of
+      // quadratically re-inserting into one giant leaf. After the first
+      // split the root is internal and the buffered path below takes over.
+      std::vector<Item>& run = batch_scratch_;
+      run.clear();
+      const std::size_t take = std::min(leaf_cap_ + 1, n - i);
+      run.reserve(take);
+      for (std::size_t j = 0; j < take; ++j, ++i) {
+        run.push_back(Item{data[i].key, data[i].value, /*tombstone=*/false});
+      }
+      items_ += take;
+      apply_to_leaf(root_, run.data(), run.data() + run.size());
+      maybe_split_root();
+    }
+    while (i < n) {
+      Node& rn = node_mut(root_);
+      const std::size_t room =
+          buf_cap_ > rn.buffer.size() ? buf_cap_ - rn.buffer.size() : 0;
+      const std::size_t take = std::min(room, n - i);
+      if (take > 0) {
+        touch_buffer(root_, take);
+        for (std::size_t j = 0; j < take; ++j, ++i) {
+          rn.buffer.push_back(Item{data[i].key, data[i].value, /*tombstone=*/false});
+        }
+        items_ += take;
+      }
+      if (nodes_[root_].buffer.size() >= buf_cap_) {
+        flush(root_);
+        maybe_split_root();
+      }
+    }
+    maybe_split_root();
+  }
 
   std::optional<V> find(const K& key) const {
     std::uint32_t id = root_;
@@ -174,13 +219,27 @@ class Brt {
   void put(Item item) {
     ++items_;
     if (nodes_[root_].leaf) {
-      apply_to_leaf(root_, std::vector<Item>{std::move(item)});
+      apply_to_leaf(root_, &item, &item + 1);
     } else {
       touch_buffer(root_, 1);
       node_mut(root_).buffer.push_back(std::move(item));
       if (nodes_[root_].buffer.size() >= buf_cap_) flush(root_);
     }
     maybe_split_root();
+  }
+
+  /// Scratch for one flush invocation, indexed by recursion depth so nested
+  /// flushes reuse storage instead of allocating fresh vectors per flush.
+  /// Deque-backed: references stay valid when deeper recursion grows the
+  /// frame pool.
+  struct FlushFrame {
+    std::vector<Item> buf;
+    std::vector<std::vector<Item>> per_child;
+  };
+
+  FlushFrame& flush_frame() {
+    while (flush_depth_ >= flush_frames_.size()) flush_frames_.emplace_back();
+    return flush_frames_[flush_depth_];
   }
 
   /// Push every buffered element of internal node `id` one level down,
@@ -192,27 +251,38 @@ class Brt {
       Node& n = node_mut(id);
       assert(!n.leaf);
       ++stats_.flushes;
-      std::vector<Item> buf = std::move(n.buffer);
-      n.buffer.clear();
-      touch_buffer(id, buf.size());
-      stats_.buffered_elements_moved += buf.size();
+      FlushFrame& f = flush_frame();
+      f.buf.assign(std::make_move_iterator(n.buffer.begin()),
+                   std::make_move_iterator(n.buffer.end()));
+      n.buffer.clear();  // keeps capacity for the refill
+      touch_buffer(id, f.buf.size());
+      stats_.buffered_elements_moved += f.buf.size();
 
       // Partition in arrival order so per-child order stays newest-last.
-      std::vector<std::vector<Item>> per_child(n.kids.size());
-      for (Item& it : buf) per_child[child_index(n, it.key)].push_back(std::move(it));
+      const std::size_t kid_count = n.kids.size();
+      if (f.per_child.size() < kid_count) f.per_child.resize(kid_count);
+      for (auto& chunk : f.per_child) chunk.clear();
+      for (Item& it : f.buf) f.per_child[child_index(n, it.key)].push_back(std::move(it));
 
-      for (std::size_t c = 0; c < per_child.size(); ++c) {
-        if (per_child[c].empty()) continue;
+      // Note: `n` goes stale once recursion splits nodes; re-read through
+      // nodes_[id] below.
+      for (std::size_t c = 0; c < kid_count; ++c) {
+        auto& chunk = f.per_child[c];
+        if (chunk.empty()) continue;
         const std::uint32_t kid = nodes_[id].kids[c];
         if (nodes_[kid].leaf) {
-          apply_to_leaf(kid, std::move(per_child[c]));
+          apply_to_leaf(kid, chunk.data(), chunk.data() + chunk.size());
         } else {
           Node& child = node_mut(kid);
-          touch_buffer(kid, per_child[c].size());
+          touch_buffer(kid, chunk.size());
           child.buffer.insert(child.buffer.end(),
-                              std::make_move_iterator(per_child[c].begin()),
-                              std::make_move_iterator(per_child[c].end()));
-          if (child.buffer.size() >= buf_cap_) flush(kid);
+                              std::make_move_iterator(chunk.begin()),
+                              std::make_move_iterator(chunk.end()));
+          if (child.buffer.size() >= buf_cap_) {
+            ++flush_depth_;
+            flush(kid);
+            --flush_depth_;
+          }
         }
       }
     }
@@ -273,26 +343,26 @@ class Brt {
     }
   }
 
-  /// Apply a batch of operations (arrival order) to a leaf: upserts replace,
-  /// tombstones remove; both consume the buffered item.
-  void apply_to_leaf(std::uint32_t id, std::vector<Item> batch) {
+  /// Apply a run of operations [first, last) (arrival order) to a leaf:
+  /// upserts replace, tombstones remove; both consume the buffered item.
+  void apply_to_leaf(std::uint32_t id, Item* first, Item* last) {
     Node& leaf = node_mut(id);
-    touch_buffer(id, batch.size());
-    for (Item& it : batch) {
-      const auto pos = std::lower_bound(leaf.entries.begin(), leaf.entries.end(), it.key,
+    touch_buffer(id, static_cast<std::size_t>(last - first));
+    for (Item* it = first; it != last; ++it) {
+      const auto pos = std::lower_bound(leaf.entries.begin(), leaf.entries.end(), it->key,
                                         EntryKeyLess{});
-      const bool present = pos != leaf.entries.end() && pos->key == it.key;
-      if (it.tombstone) {
+      const bool present = pos != leaf.entries.end() && pos->key == it->key;
+      if (it->tombstone) {
         if (present) {
           leaf.entries.erase(pos);
           --items_;  // the erased entry
         }
         --items_;  // the tombstone itself is consumed
       } else if (present) {
-        pos->value = it.value;
+        pos->value = std::move(it->value);
         --items_;  // the superseded duplicate disappears
       } else {
-        leaf.entries.insert(pos, Entry<K, V>{it.key, it.value});
+        leaf.entries.insert(pos, Entry<K, V>{std::move(it->key), std::move(it->value)});
       }
     }
   }
@@ -366,6 +436,11 @@ class Brt {
   std::vector<Node> nodes_;
   std::uint32_t root_ = kNull;
   std::uint64_t items_ = 0;
+  // Reusable scratch: batch staging plus per-depth flush frames, so the
+  // steady-state insert path stops allocating once capacities stabilize.
+  std::vector<Item> batch_scratch_;
+  std::deque<FlushFrame> flush_frames_;
+  std::size_t flush_depth_ = 0;
   BrtStats stats_;
   mutable MM mm_;
 };

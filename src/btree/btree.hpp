@@ -113,6 +113,18 @@ class BTree {
     }
   }
 
+  /// Bulk upsert (batch contract in api/dictionary.hpp): normalize the run
+  /// once, then insert in ascending key order — successive inserts descend
+  /// into the same nodes, so the root-to-leaf path stays block-cached and
+  /// dedup happens once instead of via n upsert probes.
+  void insert_batch(const Ent* data, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Ent>& run = batch_scratch_;
+    run.assign(data, data + n);
+    sort_dedup_newest_wins(run, batch_sort_scratch_);
+    for (const Ent& e : run) insert(e.key, e.value);
+  }
+
   /// Remove `key`; returns true if it was present.
   bool erase(const K& key) {
     const bool removed = erase_rec(root_, key);
@@ -455,6 +467,7 @@ class BTree {
   std::uint32_t root_ = kNull;
   std::uint64_t size_ = 0;
   int height_ = 1;
+  std::vector<Ent> batch_scratch_, batch_sort_scratch_;  // insert_batch staging, reused
   BTreeStats stats_;
   mutable MM mm_;
 };

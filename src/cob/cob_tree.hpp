@@ -74,6 +74,25 @@ class CobTree {
     sync_index();
   }
 
+  /// Bulk upsert (batch contract in api/dictionary.hpp): normalize the run
+  /// once, then insert in ascending key order. Consecutive keys land in the
+  /// same or adjacent PMA segments, so rebalance windows overlap and the
+  /// vEB descent reuses the same root-to-segment path blocks. An empty
+  /// structure takes the pure bulk-load path: one rolling-predecessor PMA
+  /// placement and a single index rebuild.
+  void insert_batch(const Ent* data, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Ent>& run = batch_scratch_;
+    run.assign(data, data + n);
+    sort_dedup_newest_wins(run, batch_sort_scratch_);
+    if (pma_.empty()) {
+      pma_.insert_batch_after(npos, run.data(), run.size());
+      rebuild_index();
+      return;
+    }
+    for (const Ent& e : run) insert(e.key, e.value);
+  }
+
   /// Returns true if the key existed.
   bool erase(const K& key) {
     const slot_t s = predecessor_slot(key);
@@ -279,6 +298,7 @@ class CobTree {
   mutable P pma_;
   mutable layout::VebStaticTree<K, MM> index_;
   std::uint64_t index_epoch_ = ~0ULL;
+  std::vector<Ent> batch_scratch_, batch_sort_scratch_;  // insert_batch staging, reused
 };
 
 }  // namespace costream::cob

@@ -54,6 +54,7 @@ struct ColaConfig {
 
 struct ColaStats {
   std::uint64_t merges = 0;
+  std::uint64_t batch_merges = 0;     // cascades triggered by insert_batch
   std::uint64_t prepend_merges = 0;   // merges that left the target in place
   std::uint64_t entries_merged = 0;   // real entries written by merges
   std::uint64_t tombstones_dropped = 0;
@@ -134,55 +135,16 @@ class Gcola {
   template <class Fn>
   void range_for_each(const K& lo_key, const K& hi_key, Fn&& fn) const {
     if (hi_key < lo_key) return;
-    // Per-level cursors positioned at the first real slot with key >= lo_key.
-    std::vector<std::uint32_t> cur(levels_.size());
-    for (std::size_t l = 0; l < levels_.size(); ++l) {
-      const Level& lv = levels_[l];
-      const std::uint32_t S = lv.occ_begin;
-      const std::uint32_t E = static_cast<std::uint32_t>(lv.slots.size());
-      // lower_bound by key (lookahead slots skipped by advance_real).
-      std::uint32_t a = S, b = E;
-      while (a < b) {
-        const std::uint32_t mid = a + (b - a) / 2;
-        touch_slot(l, mid);
-        if (lv.slots[mid].key < lo_key) {
-          a = mid + 1;
-        } else {
-          b = mid;
-        }
-      }
-      cur[l] = advance_real(l, a);
-    }
-    while (true) {
-      // Pick the smallest key among cursors; ties resolved to the smallest
-      // level index (the newest copy).
-      std::size_t best = levels_.size();
-      for (std::size_t l = 0; l < levels_.size(); ++l) {
-        if (cur[l] == kNoIdx) continue;
-        const K& k = levels_[l].slots[cur[l]].key;
-        if (k > hi_key) {
-          cur[l] = kNoIdx;
-          continue;
-        }
-        if (best == levels_.size() || k < levels_[best].slots[cur[best]].key) best = l;
-      }
-      if (best == levels_.size()) return;
-      const Slot& s = levels_[best].slots[cur[best]];
-      const K k = s.key;
-      if (!s.is_tombstone()) fn(k, s.value);
-      // Consume this key from every level (older copies are shadowed).
-      for (std::size_t l = 0; l < levels_.size(); ++l) {
-        if (cur[l] != kNoIdx && levels_[l].slots[cur[l]].key == k) {
-          cur[l] = advance_real(l, cur[l] + 1);
-        }
-      }
-    }
+    scan(&lo_key, &hi_key, static_cast<Fn&&>(fn));
   }
 
+  /// Visit every live entry ascending. A dedicated unbounded scan, not a
+  /// range query with sentinel bounds: std::numeric_limits<K>::min() is the
+  /// smallest POSITIVE value for floating-point K and a default-constructed
+  /// object for composite keys, either of which would silently drop entries.
   template <class Fn>
   void for_each(Fn&& fn) const {
-    range_for_each(std::numeric_limits<K>::min(), std::numeric_limits<K>::max(),
-                   static_cast<Fn&&>(fn));
+    scan(nullptr, nullptr, static_cast<Fn&&>(fn));
   }
 
   // -- mutators ---------------------------------------------------------------
@@ -191,6 +153,52 @@ class Gcola {
 
   /// Blind delete (tombstone); O((log N)/B) amortized like insert.
   void erase(const K& key) { put(key, V{}, /*tombstone=*/true); }
+
+  /// Bulk upsert (batch contract in api/dictionary.hpp): sort + dedup the
+  /// run once, then execute ONE cascaded merge that carries the whole run
+  /// into the shallowest level with room, instead of n independent cascades.
+  /// A batch of n costs O((n + d)/B) transfers, d = displaced items — the
+  /// bulk movement across block boundaries the paper's analysis is built on.
+  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+    if (n == 0) return;
+    ensure_level(0);
+    std::vector<Slot>& run = scratch_batch_;
+    run.clear();
+    run.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot s{};
+      s.key = data[i].key;
+      s.value = data[i].value;
+      run.push_back(s);
+    }
+    const std::size_t before = run.size();
+    sort_dedup_newest_wins(run, scratch_a_);
+    stats_.duplicates_dropped += before - run.size();
+    // A singleton run with room in level 0 is exactly a single insert.
+    if (run.size() == 1 && !level_full(0)) {
+      put(run[0].key, run[0].value, /*tombstone=*/false);
+      return;
+    }
+    // Target selection generalizes the single-op rule: walk down from level
+    // 1, folding every level that is full or too small into the cascade,
+    // until a level can absorb the run plus everything displaced above it.
+    std::uint64_t carried = run.size() + levels_[0].real_count;
+    std::size_t t = 1;
+    while (true) {
+      if (t < levels_.size()) {
+        if (!level_full(t) && levels_[t].real_count + carried <= real_cap(t)) break;
+        carried += levels_[t].real_count;
+        ++t;
+      } else if (carried <= real_cap(t)) {
+        break;
+      } else {
+        ++t;
+      }
+    }
+    ensure_level(t);
+    ++stats_.batch_merges;
+    cascade_into(t, run);
+  }
 
   /// Build from entries sorted ascending by strictly increasing key,
   /// replacing the current contents. Places everything in the shallowest
@@ -398,6 +406,54 @@ class Gcola {
     return kNoIdx;
   }
 
+  /// Ordered multi-level scan; null bounds mean unbounded on that side.
+  template <class Fn>
+  void scan(const K* lo_key, const K* hi_key, Fn&& fn) const {
+    // Per-level cursors positioned at the first real slot with key >= lo_key
+    // (or the first real slot overall when unbounded below).
+    std::vector<std::uint32_t> cur(levels_.size());
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const Level& lv = levels_[l];
+      const std::uint32_t S = lv.occ_begin;
+      const std::uint32_t E = static_cast<std::uint32_t>(lv.slots.size());
+      std::uint32_t a = S, b = E;
+      while (lo_key != nullptr && a < b) {
+        const std::uint32_t mid = a + (b - a) / 2;
+        touch_slot(l, mid);
+        if (lv.slots[mid].key < *lo_key) {
+          a = mid + 1;
+        } else {
+          b = mid;
+        }
+      }
+      cur[l] = advance_real(l, a);
+    }
+    while (true) {
+      // Pick the smallest key among cursors; ties resolved to the smallest
+      // level index (the newest copy).
+      std::size_t best = levels_.size();
+      for (std::size_t l = 0; l < levels_.size(); ++l) {
+        if (cur[l] == kNoIdx) continue;
+        const K& k = levels_[l].slots[cur[l]].key;
+        if (hi_key != nullptr && *hi_key < k) {
+          cur[l] = kNoIdx;
+          continue;
+        }
+        if (best == levels_.size() || k < levels_[best].slots[cur[best]].key) best = l;
+      }
+      if (best == levels_.size()) return;
+      const Slot& s = levels_[best].slots[cur[best]];
+      const K k = s.key;
+      if (!s.is_tombstone()) fn(k, s.value);
+      // Consume this key from every level (older copies are shadowed).
+      for (std::size_t l = 0; l < levels_.size(); ++l) {
+        if (cur[l] != kNoIdx && levels_[l].slots[cur[l]].key == k) {
+          cur[l] = advance_real(l, cur[l] + 1);
+        }
+      }
+    }
+  }
+
   // -- insertion --------------------------------------------------------------
 
   void put(const K& key, const V& value, bool tombstone) {
@@ -424,38 +480,38 @@ class Gcola {
     merge_into(t, key, value, tombstone);
   }
 
-  /// Extract the real entries of level l, oldest-compatible order (they are
-  /// key-sorted and deduplicated, so order by key is enough).
-  void extract_reals(std::size_t l, std::vector<Slot>& out) const {
+  /// Merge `newer` (takes precedence) with level l's real entries — read in
+  /// place, lookahead slots skipped inline, no extraction copy — into `out`.
+  void merge_level_into(const std::vector<Slot>& newer, std::size_t l,
+                        std::vector<Slot>& out) {
     const Level& lv = levels_[l];
     touch_region(l, lv.occ_begin,
                  static_cast<std::uint64_t>(lv.slots.size()) - lv.occ_begin,
                  /*write=*/false);
-    for (std::uint32_t i = lv.occ_begin; i < lv.slots.size(); ++i) {
-      if (!lv.slots[i].is_lookahead()) out.push_back(lv.slots[i]);
-    }
-  }
-
-  /// Merge `newer` (takes precedence) with `older` into `out`; both inputs
-  /// sorted with unique keys. Older duplicates are dropped.
-  void merge_runs(const std::vector<Slot>& newer, const std::vector<Slot>& older,
-                  std::vector<Slot>& out) {
     out.clear();
-    out.reserve(newer.size() + older.size());
-    std::size_t a = 0, b = 0;
-    while (a < newer.size() && b < older.size()) {
-      if (newer[a].key < older[b].key) {
+    out.reserve(newer.size() + lv.real_count);
+    std::size_t a = 0;
+    std::uint32_t i = lv.occ_begin;
+    const std::uint32_t E = static_cast<std::uint32_t>(lv.slots.size());
+    while (true) {
+      while (i < E && lv.slots[i].is_lookahead()) ++i;
+      if (i >= E || a >= newer.size()) break;
+      const Slot& s = lv.slots[i];
+      if (newer[a].key < s.key) {
         out.push_back(newer[a++]);
-      } else if (older[b].key < newer[a].key) {
-        out.push_back(older[b++]);
+      } else if (s.key < newer[a].key) {
+        out.push_back(s);
+        ++i;
       } else {
         out.push_back(newer[a++]);
-        ++b;  // shadowed older copy
+        ++i;  // shadowed older copy
         ++stats_.duplicates_dropped;
       }
     }
     while (a < newer.size()) out.push_back(newer[a++]);
-    while (b < older.size()) out.push_back(older[b++]);
+    for (; i < E; ++i) {
+      if (!lv.slots[i].is_lookahead()) out.push_back(lv.slots[i]);
+    }
   }
 
   std::size_t deepest_nonempty() const noexcept {
@@ -466,26 +522,29 @@ class Gcola {
   }
 
   void merge_into(std::size_t t, const K& key, const V& value, bool tombstone) {
-    ++stats_.merges;
-    // Cascade: start with the new element (newest), fold in levels 0..t-1
-    // from newest to oldest. CPU cost O(k); transfer cost: each source level
-    // is read once, the target written once (the paper's merge pattern).
     std::vector<Slot>& acc = scratch_a_;
-    std::vector<Slot>& tmp = scratch_b_;
-    std::vector<Slot>& src = scratch_c_;
     acc.clear();
-    {
-      Slot s{};
-      s.key = key;
-      s.value = value;
-      s.flags = tombstone ? kFlagTombstone : 0u;
-      acc.push_back(s);
-    }
+    Slot s{};
+    s.key = key;
+    s.value = value;
+    s.flags = tombstone ? kFlagTombstone : 0u;
+    acc.push_back(s);
+    cascade_into(t, acc);
+  }
+
+  /// Merge `acc` (the newest run: sorted, unique keys) together with levels
+  /// 0..t-1 into level t — the shared engine behind the single-op cascade
+  /// and insert_batch. `acc` must not alias scratch_b_ (the cascade's merge
+  /// target) or scratch_content_ (full_merge_into's output).
+  void cascade_into(std::size_t t, std::vector<Slot>& acc) {
+    ++stats_.merges;
+    // Cascade: fold in levels 0..t-1 from newest to oldest. CPU cost O(k);
+    // transfer cost: each source level is read once, the target written once
+    // (the paper's merge pattern).
+    std::vector<Slot>& tmp = scratch_b_;
     for (std::size_t l = 0; l < t; ++l) {
       if (levels_[l].real_count == 0) continue;
-      src.clear();
-      extract_reals(l, src);
-      merge_runs(acc, src, tmp);
+      merge_level_into(acc, l, tmp);
       acc.swap(tmp);
     }
 
@@ -504,7 +563,17 @@ class Gcola {
       full_merge_into(t, acc, drop_tombstones);
     }
 
-    target.fills += 1;
+    // Fullness tracks merge count AND occupancy: a batch cascade can deliver
+    // several merges' worth of items at once, so a level must also read as
+    // full once another worst-case single-op cascade (< real_cap/(g-1)
+    // items) could overflow it. For pure single-op streams the occupancy
+    // term never exceeds the merge count, so behavior is unchanged there.
+    const std::uint64_t cap = real_cap(t);
+    const std::uint64_t occ_fills =
+        (target.real_count * (cfg_.growth - 1) + cap - 1) / cap;
+    target.fills = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        cfg_.growth - 1,
+        std::max<std::uint64_t>(target.fills + 1, occ_fills)));
 
     // Clear the drained levels and rebuild their lookahead-only contents.
     for (std::size_t l = 0; l < t; ++l) {
@@ -555,40 +624,65 @@ class Gcola {
 
   /// Full rewrite of the target level: merge incoming entries with the
   /// target's existing real entries, keep its existing lookahead slots
-  /// (their targets in level t+1 are unchanged), and re-justify right.
+  /// (their targets in level t+1 are unchanged), and re-justify right. One
+  /// fused pass over the target's slot array — the old slots are sorted with
+  /// lookahead slots interleaved before equal-key reals, so a sequential
+  /// walk merges reals and re-emits lookahead slots in their final order
+  /// without the extract / merge / interleave copies.
   void full_merge_into(std::size_t t, std::vector<Slot>& incoming, bool drop_tombstones) {
     Level& lv = levels_[t];
-    std::vector<Slot>& old_reals = scratch_b_;
-    std::vector<Slot>& merged = scratch_c_;
-    old_reals.clear();
-    std::vector<Slot> old_las;
     touch_region(t, lv.occ_begin,
                  static_cast<std::uint64_t>(lv.slots.size()) - lv.occ_begin,
                  /*write=*/false);
-    for (std::uint32_t i = lv.occ_begin; i < lv.slots.size(); ++i) {
-      (lv.slots[i].is_lookahead() ? old_las : old_reals).push_back(lv.slots[i]);
-    }
-    merge_runs(incoming, old_reals, merged);
-    if (drop_tombstones) strip_tombstones(merged);
-
-    // Interleave merged reals with the preserved lookahead slots by key;
-    // equal keys order the lookahead first so searches land on the real.
-    std::vector<Slot> content;
-    content.reserve(merged.size() + old_las.size());
-    std::size_t a = 0, b = 0;
-    while (a < old_las.size() && b < merged.size()) {
-      if (old_las[a].key <= merged[b].key) {
-        content.push_back(old_las[a++]);
+    std::vector<Slot>& content = scratch_content_;
+    content.clear();
+    content.reserve((lv.slots.size() - lv.occ_begin) + incoming.size());
+    std::uint64_t reals = 0;
+    std::size_t a = 0;
+    std::uint32_t i = lv.occ_begin;
+    const std::uint32_t E = static_cast<std::uint32_t>(lv.slots.size());
+    const auto push_real = [&](const Slot& s) {
+      if (drop_tombstones && s.is_tombstone()) {
+        ++stats_.tombstones_dropped;
+        return;
+      }
+      content.push_back(s);
+      ++reals;
+    };
+    while (i < E && a < incoming.size()) {
+      const Slot& s = lv.slots[i];
+      if (s.is_lookahead()) {
+        // Equal keys keep the lookahead before the real it shadows.
+        if (s.key <= incoming[a].key) {
+          content.push_back(s);
+          ++i;
+        } else {
+          push_real(incoming[a++]);
+        }
+      } else if (incoming[a].key < s.key) {
+        push_real(incoming[a++]);
+      } else if (s.key < incoming[a].key) {
+        push_real(s);
+        ++i;
       } else {
-        content.push_back(merged[b++]);
+        push_real(incoming[a++]);
+        ++i;  // shadowed older copy
+        ++stats_.duplicates_dropped;
       }
     }
-    while (a < old_las.size()) content.push_back(old_las[a++]);
-    while (b < merged.size()) content.push_back(merged[b++]);
+    for (; i < E; ++i) {
+      const Slot& s = lv.slots[i];
+      if (s.is_lookahead()) {
+        content.push_back(s);
+      } else {
+        push_real(s);
+      }
+    }
+    while (a < incoming.size()) push_real(incoming[a++]);
 
     write_level(t, content);
-    lv.real_count = merged.size();
-    stats_.entries_merged += merged.size();
+    lv.real_count = reals;
+    stats_.entries_merged += reals;
   }
 
   /// Right-justify `content` into level l's array and recompute the
@@ -633,7 +727,8 @@ class Gcola {
     }
     const std::uint64_t take = std::min<std::uint64_t>(cap, navail);
     const std::uint64_t stride = navail / take;
-    std::vector<Slot> content;
+    std::vector<Slot>& content = scratch_content_;
+    content.clear();
     content.reserve(take);
     for (std::uint64_t i = 0; i < take; ++i) {
       const std::uint32_t tgt =
@@ -653,8 +748,10 @@ class Gcola {
   std::uint64_t next_base_ = 0;
   ColaStats stats_;
   mutable MM mm_;
-  // Merge scratch, reused across inserts to avoid allocation churn.
-  std::vector<Slot> scratch_a_, scratch_b_, scratch_c_;
+  // Merge scratch, reused across inserts so the steady-state insert and
+  // batch paths perform zero heap allocations (capacities grow to the
+  // high-water mark of the deepest cascade seen, then stay).
+  std::vector<Slot> scratch_a_, scratch_b_, scratch_content_, scratch_batch_;
 };
 
 /// The paper's headline configuration: growth 2, pointer density 0.1.

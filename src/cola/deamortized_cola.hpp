@@ -70,6 +70,20 @@ class DeamortizedCola {
   void insert(const K& key, const V& value) { put(key, value, false); }
   void erase(const K& key) { put(key, V{}, true); }
 
+  /// Bulk upsert (batch contract in api/dictionary.hpp). The deamortized
+  /// machinery moves a budgeted number of items per operation — a batch
+  /// cannot shortcut the level walk without breaking the worst-case move
+  /// bound — so the batch is normalized once (sort + newest-wins dedup) and
+  /// fed through the budgeted path: duplicates are collapsed up front and
+  /// the incremental merges see sorted, cache-friendly input.
+  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Entry<K, V>>& run = batch_scratch_;
+    run.assign(data, data + n);
+    sort_dedup_newest_wins(run, batch_sort_scratch_);
+    for (const Entry<K, V>& e : run) put(e.key, e.value, false);
+  }
+
   std::optional<V> find(const K& key) const {
     // Newest wins: scan levels from the smallest, and within a level check
     // the more recently filled array first.
@@ -356,6 +370,7 @@ class DeamortizedCola {
   std::vector<Level> levels_;
   std::uint64_t next_base_ = 0;
   std::uint64_t seq_counter_ = 0;
+  std::vector<Entry<K, V>> batch_scratch_, batch_sort_scratch_;  // batch staging, reused
   DeamortizedStats stats_;
   mutable MM mm_;
 };

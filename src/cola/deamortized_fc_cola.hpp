@@ -67,6 +67,18 @@ class DeamortizedFcCola {
   void insert(const K& key, const V& value) { put(key, value, false); }
   void erase(const K& key) { put(key, V{}, true); }
 
+  /// Bulk upsert (batch contract in api/dictionary.hpp). As with the basic
+  /// deamortized COLA, the worst-case move budget forbids shortcutting the
+  /// level walk, so the batch is normalized once (sort + newest-wins dedup)
+  /// and fed through the budgeted path.
+  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Entry<K, V>>& run = batch_scratch_;
+    run.assign(data, data + n);
+    sort_dedup_newest_wins(run, batch_sort_scratch_);
+    for (const Entry<K, V>& e : run) put(e.key, e.value, false);
+  }
+
   std::optional<V> find(const K& key) const {
     // Per-array windows for the level being examined; refreshed from the
     // previous level's pointer buffer when it is current.
@@ -494,6 +506,7 @@ class DeamortizedFcCola {
   std::vector<Level> levels_;
   std::uint64_t next_base_ = 0;
   std::uint64_t seq_counter_ = 0;
+  std::vector<Entry<K, V>> batch_scratch_, batch_sort_scratch_;  // batch staging, reused
   DeamortizedFcStats stats_;
   mutable MM mm_;
 };

@@ -7,8 +7,11 @@
 // keeps the public API clean.
 #pragma once
 
+#include <algorithm>
 #include <compare>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace costream {
 
@@ -40,5 +43,50 @@ struct EntryKeyLess {
     return k < e.key;
   }
 };
+
+/// Stable bottom-up merge sort by `.key`, using caller-provided scratch
+/// instead of std::stable_sort's internal temporary buffer — the batch
+/// normalization path stays allocation-free once `scratch` reaches its
+/// high-water capacity. Ties keep input order.
+template <class It>
+void stable_sort_by_key(std::vector<It>& v, std::vector<It>& scratch) {
+  const std::size_t n = v.size();
+  scratch.resize(n);
+  for (std::size_t width = 1; width < n; width *= 2) {
+    for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+      const std::size_t mid = std::min(lo + width, n);
+      const std::size_t hi = std::min(lo + 2 * width, n);
+      std::size_t a = lo, b = mid, w = lo;
+      while (a < mid && b < hi) {
+        if (v[b].key < v[a].key) {
+          scratch[w++] = std::move(v[b++]);
+        } else {
+          scratch[w++] = std::move(v[a++]);  // left run first on ties: stable
+        }
+      }
+      while (a < mid) scratch[w++] = std::move(v[a++]);
+      while (b < hi) scratch[w++] = std::move(v[b++]);
+    }
+    v.swap(scratch);
+  }
+}
+
+/// Normalize an ingest batch in place: stable-sort by key ascending and
+/// collapse duplicate keys so the LAST occurrence in input order survives
+/// (newest wins — matching repeated insert() calls). Works on any element
+/// type with a `.key` member, so each structure can normalize batches of its
+/// internal item type (tombstones ride along untouched). `scratch` is the
+/// sort's merge buffer, reused across batches.
+template <class It>
+void sort_dedup_newest_wins(std::vector<It>& batch, std::vector<It>& scratch) {
+  stable_sort_by_key(batch, scratch);
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    if (r + 1 < batch.size() && batch[r + 1].key == batch[r].key) continue;
+    if (w != r) batch[w] = std::move(batch[r]);
+    ++w;
+  }
+  batch.resize(w);
+}
 
 }  // namespace costream

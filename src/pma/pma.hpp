@@ -159,6 +159,17 @@ class Pma {
     }
   }
 
+  /// Insert the run data[0..n) immediately after `pred` in logical order,
+  /// preserving the run's order (the positional analogue of insert_batch:
+  /// callers pass a sorted run and the PMA walks it with a rolling
+  /// predecessor, so successive placements hit the same or adjacent
+  /// segments and rebalance windows overlap). Returns the slot of the last
+  /// inserted element (or `pred` when n == 0).
+  slot_t insert_batch_after(slot_t pred, const T* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) pred = insert_after(pred, data[i]);
+    return pred;
+  }
+
   /// Remove the element at slot `s`.
   void erase(slot_t s) {
     assert(occupied(s));

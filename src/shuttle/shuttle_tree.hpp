@@ -37,9 +37,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/entry.hpp"
@@ -119,32 +121,39 @@ class ShuttleTree {
   template <class Fn>
   void range_for_each(const K& lo, const K& hi, Fn&& fn) const {
     if (hi < lo) return;
-    std::vector<Ranked> found;
-    collect(root_, 0, lo, hi, found);
-    std::stable_sort(found.begin(), found.end(), [](const Ranked& a, const Ranked& b) {
-      if (a.item.key != b.item.key) return a.item.key < b.item.key;
-      return a.priority < b.priority;
-    });
-    bool have_last = false;
-    K last{};
-    for (const Ranked& r : found) {
-      if (have_last && r.item.key == last) continue;
-      last = r.item.key;
-      have_last = true;
-      if (!r.item.tombstone) fn(r.item.key, r.item.value);
-    }
+    scan(&lo, &hi, static_cast<Fn&&>(fn));
   }
 
+  /// Visit every live entry ascending. A dedicated unbounded scan rather
+  /// than a range query with sentinel bounds: std::numeric_limits<K>::min()
+  /// is the smallest POSITIVE value for floating-point K and a
+  /// default-constructed object for composite keys, either of which would
+  /// silently drop entries.
   template <class Fn>
   void for_each(Fn&& fn) const {
-    range_for_each(std::numeric_limits<K>::min(), std::numeric_limits<K>::max(),
-                   static_cast<Fn&&>(fn));
+    scan(nullptr, nullptr, static_cast<Fn&&>(fn));
   }
 
   // -- mutators ---------------------------------------------------------------
 
   void insert(const K& key, const V& value) { put(Item{key, value, false}); }
   void erase(const K& key) { put(Item{key, V{}, true}); }
+
+  /// Bulk upsert (batch contract in api/dictionary.hpp). The internals have
+  /// always been batch-shaped — buffers pour whole contents downward — so
+  /// this simply normalizes the run once and shuttles it down the edge
+  /// buffers in a single root-to-leaf delivery instead of n of them.
+  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Item>& batch = batch_scratch_;
+    batch.clear();
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(Item{data[i].key, data[i].value, false});
+    }
+    sort_dedup_newest_wins(batch, put_scratch_);  // put() is idle here
+    ingest(batch);
+  }
 
   /// Recompute the Figure-1 recursive layout and reassign every node's and
   /// buffer's logical address (normally triggered automatically when the
@@ -287,9 +296,21 @@ class ShuttleTree {
   // -- insertion --------------------------------------------------------------
 
   void put(Item item) {
-    std::vector<Item> batch{std::move(item)};
+    // Reusable one-item batch: the single-op hot path allocates nothing in
+    // steady state.
+    std::vector<Item>& batch = put_scratch_;
+    batch.clear();
+    batch.push_back(std::move(item));
+    ingest(batch);
+  }
+
+  /// Deliver a normalized batch tree-wide, then restore balance and layout
+  /// invariants. `batch` contents are consumed; its storage is retained by
+  /// the caller's scratch.
+  void ingest(std::vector<Item>& batch) {
     dirty_leaves_.clear();
-    push_batch(root_, std::move(batch));
+    flush_depth_ = 0;
+    push_batch(root_, batch.data(), batch.data() + batch.size());
     for (const std::uint32_t leaf : dirty_leaves_) fix_upward(leaf);
     // Amortized layout maintenance: rebuild when the tree doubles.
     if (nodes_[root_].weight >= 2 * last_layout_weight_ &&
@@ -298,137 +319,191 @@ class ShuttleTree {
     }
   }
 
-  /// Deliver a sorted, unique-key batch (newest-wins already applied within
-  /// the batch) to node `id`. Structural fixes are deferred to fix_upward.
-  void push_batch(std::uint32_t id, std::vector<Item> batch) {
-    if (batch.empty()) return;
+  /// Carrier buffer for buffer-to-buffer pours. Two frames per recursion
+  /// depth (a pour can read from one carrier while writing the next), reused
+  /// so the cascade allocates nothing in steady state; deque-backed so
+  /// references stay valid when deeper recursion grows the pool.
+  std::vector<Item>& flush_frame(std::size_t slot) {
+    while (slot >= flush_frames_.size()) flush_frames_.emplace_back();
+    return flush_frames_[slot];
+  }
+
+  /// Deliver the sorted, unique-key run [first, last) (newest-wins already
+  /// applied within it) to node `id`. Structural fixes are deferred to
+  /// fix_upward.
+  void push_batch(std::uint32_t id, Item* first, Item* last) {
+    if (first == last) return;
     Node& n = nodes_[id];
     touch_node(id);
     if (n.height == 1) {
-      apply_leaf(id, std::move(batch));
+      apply_leaf(id, first, last);
       return;
     }
-    // Partition by routers (batch is sorted, so slices are contiguous).
-    std::size_t i = 0;
-    for (std::size_t e = 0; e < n.kids.size() && i < batch.size(); ++e) {
-      std::size_t j = batch.size();
+    // Partition by routers (the run is sorted, so slices are contiguous).
+    Item* it = first;
+    for (std::size_t e = 0; e < n.kids.size() && it != last; ++e) {
+      Item* stop = last;
       if (e < n.routers.size()) {
-        const K& sep = n.routers[e];
-        std::size_t a = i, b = batch.size();
-        while (a < b) {
-          const std::size_t mid = a + (b - a) / 2;
-          if (batch[mid].key < sep) {
-            a = mid + 1;
-          } else {
-            b = mid;
-          }
-        }
-        j = a;
+        stop = std::lower_bound(it, last, n.routers[e],
+                                [](const Item& a, const K& k) { return a.key < k; });
       }
-      if (j > i) {
-        std::vector<Item> sub(batch.begin() + static_cast<std::ptrdiff_t>(i),
-                              batch.begin() + static_cast<std::ptrdiff_t>(j));
-        deliver_to_edge(id, e, std::move(sub));
-      }
-      i = j;
+      if (stop != it) deliver_to_edge(id, e, it, stop);
+      it = stop;
     }
   }
 
-  /// Insert `items` (newer than everything in the edge's buffers) into the
-  /// smallest buffer; cascade overflows down the list and finally into the
-  /// child.
-  void deliver_to_edge(std::uint32_t id, std::size_t e, std::vector<Item> items) {
+  /// Number of keys present in both the run [first, last) and buffer `b`
+  /// (read-only two-pointer scan).
+  std::size_t count_dups(const Buffer& b, const Item* first, const Item* last) const {
+    std::size_t dups = 0, o = 0;
+    const Item* a = first;
+    while (a != last && o < b.items.size()) {
+      if (a->key < b.items[o].key) {
+        ++a;
+      } else if (b.items[o].key < a->key) {
+        ++o;
+      } else {
+        ++dups;
+        ++a;
+        ++o;
+      }
+    }
+    return dups;
+  }
+
+  /// Insert [first, last) (newer than everything in the edge's buffers)
+  /// into the smallest buffer that keeps it; when a tier would overflow,
+  /// merge that buffer and the incoming run straight into a carrier and keep
+  /// cascading — the overflowing intermediate is never written back, so a
+  /// run crossing j tiers costs one pass per tier (the same per-tier cost
+  /// the single-op trickle pays) instead of three.
+  void deliver_to_edge(std::uint32_t id, std::size_t e, Item* first, Item* last) {
     // Note: buffer flushes can trigger leaf applications deeper in the tree,
     // which only append to dirty_leaves_ (no structural changes here), so
     // iterating this node's edges in the caller stays valid.
     Node& n = nodes_[id];
     if (n.ebufs[e].empty()) {
-      push_batch(n.kids[e], std::move(items));
+      push_batch(n.kids[e], first, last);
       return;
     }
-    std::size_t level = 0;
-    while (true) {
+    const std::size_t tiers = n.ebufs[e].size();
+    for (std::size_t level = 0; level < tiers; ++level) {
       Buffer& b = nodes_[id].ebufs[e][level];
-      merge_into_buffer(b, std::move(items));
-      if (b.items.size() <= b.capacity) return;
-      // Overflow: the whole buffer pours into the next one (or the child).
+      const std::size_t added = static_cast<std::size_t>(last - first);
+      const std::size_t merged_n =
+          b.items.size() + added - count_dups(b, first, last);
+      if (merged_n <= b.capacity) {
+        merge_into_buffer(b, first, last, merged_n);
+        return;
+      }
+      // Overflow: pour buffer + run into a carrier and continue down.
       ++stats_.buffer_flushes;
       stats_.buffer_items_moved += b.items.size();
       buffered_items_ -= b.items.size();
-      items = std::move(b.items);
-      b.items.clear();
-      touch_buffer_write(b, items.size());
-      ++level;
-      if (level >= nodes_[id].ebufs[e].size()) {
-        push_batch(nodes_[id].kids[e], std::move(items));
-        return;
+      touch_buffer(b, b.items.size());
+      touch_buffer_write(b, b.items.size());
+      std::vector<Item>& carrier = flush_frame(2 * flush_depth_ + (level & 1));
+      carrier.clear();
+      carrier.reserve(merged_n);
+      Item* a = first;
+      std::size_t o = 0;
+      while (a != last && o < b.items.size()) {
+        if (a->key < b.items[o].key) {
+          carrier.push_back(std::move(*a++));
+        } else if (b.items[o].key < a->key) {
+          carrier.push_back(std::move(b.items[o++]));
+        } else {  // duplicate: the newer (incoming) copy wins
+          carrier.push_back(std::move(*a++));
+          ++o;
+        }
       }
+      while (a != last) carrier.push_back(std::move(*a++));
+      while (o < b.items.size()) carrier.push_back(std::move(b.items[o++]));
+      b.items.clear();  // keeps capacity for the refill
+      first = carrier.data();
+      last = first + carrier.size();
     }
+    // Fell past the largest buffer: the run goes to the child.
+    ++flush_depth_;  // deeper deliveries use their own carrier frames
+    push_batch(nodes_[id].kids[e], first, last);
+    --flush_depth_;
   }
 
-  /// Merge `newer` into buffer `b` (older), newest-wins on duplicates.
-  void merge_into_buffer(Buffer& b, std::vector<Item> newer) {
+  /// Merge the newer run [first, last) (sorted, unique keys) into buffer
+  /// `b`, newest-wins on duplicates; `merged_n` is the precomputed merged
+  /// size (old + added - dups, at most b.capacity). In-place backward merge:
+  /// duplicates only shrink the contribution of the NEWER run, so merged_n
+  /// is never below the old size and the writer can never overtake the
+  /// unread older tail. Allocation-free once b.items reaches its high-water
+  /// mark.
+  void merge_into_buffer(Buffer& b, Item* first, Item* last, std::size_t merged_n) {
+    if (first == last) return;
     touch_buffer(b, b.items.size());
-    touch_buffer_write(b, b.items.size() + newer.size());
-    std::vector<Item> merged;
-    merged.reserve(b.items.size() + newer.size());
-    std::size_t a = 0, o = 0;
-    std::uint64_t dropped = 0;
-    while (a < newer.size() && o < b.items.size()) {
-      if (newer[a].key < b.items[o].key) {
-        merged.push_back(std::move(newer[a++]));
-      } else if (b.items[o].key < newer[a].key) {
-        merged.push_back(std::move(b.items[o++]));
-      } else {
-        merged.push_back(std::move(newer[a++]));
-        ++o;
-        ++dropped;
+    touch_buffer_write(b, merged_n);
+    const std::size_t old_n = b.items.size();
+    b.items.resize(merged_n);
+    std::size_t w = merged_n, o = old_n;
+    Item* a = last;
+    while (a != first && o > 0) {
+      if (b.items[o - 1].key < a[-1].key) {
+        b.items[--w] = std::move(*--a);
+      } else if (a[-1].key < b.items[o - 1].key) {
+        --o;
+        --w;
+        if (w != o) b.items[w] = std::move(b.items[o]);
+      } else {  // duplicate: the newer copy wins, the older one is dropped
+        --o;
+        b.items[--w] = std::move(*--a);
       }
     }
-    while (a < newer.size()) merged.push_back(std::move(newer[a++]));
-    while (o < b.items.size()) merged.push_back(std::move(b.items[o++]));
-    buffered_items_ += merged.size() - b.items.size();
-    b.items = std::move(merged);
+    while (a != first) b.items[--w] = std::move(*--a);
+    // Any remaining older prefix is already in place (w == o here).
+    buffered_items_ += merged_n - old_n;
   }
 
-  /// Apply a sorted batch to a leaf: upserts replace or extend, tombstones
-  /// annihilate. Updates weights/min keys up the path; records the leaf for
-  /// the deferred split pass.
-  void apply_leaf(std::uint32_t id, std::vector<Item> batch) {
+  /// Apply the sorted run [first, last) to a leaf: upserts replace or
+  /// extend, tombstones annihilate. Updates weights/min keys up the path;
+  /// records the leaf for the deferred split pass. The merge target is a
+  /// reusable scratch (tombstones can shrink the result, which rules out the
+  /// in-place backward merge the buffers use).
+  void apply_leaf(std::uint32_t id, const Item* first, const Item* last) {
     ++stats_.leaf_batches;
     Node& leaf = nodes_[id];
     std::int64_t delta = 0;
-    std::vector<Entry<K, V>> merged;
-    merged.reserve(leaf.entries.size() + batch.size());
-    std::size_t a = 0, o = 0;
-    while (a < batch.size() && o < leaf.entries.size()) {
-      if (batch[a].key < leaf.entries[o].key) {
-        if (!batch[a].tombstone) {
-          merged.push_back(Entry<K, V>{batch[a].key, batch[a].value});
+    std::vector<Entry<K, V>>& merged = leaf_scratch_;
+    merged.clear();
+    merged.reserve(leaf.entries.size() + static_cast<std::size_t>(last - first));
+    const Item* a = first;
+    std::size_t o = 0;
+    while (a != last && o < leaf.entries.size()) {
+      if (a->key < leaf.entries[o].key) {
+        if (!a->tombstone) {
+          merged.push_back(Entry<K, V>{a->key, a->value});
           ++delta;
         }
         ++a;
-      } else if (leaf.entries[o].key < batch[a].key) {
-        merged.push_back(leaf.entries[o++]);
+      } else if (leaf.entries[o].key < a->key) {
+        merged.push_back(std::move(leaf.entries[o++]));
       } else {
-        if (batch[a].tombstone) {
+        if (a->tombstone) {
           --delta;  // annihilate
         } else {
-          merged.push_back(Entry<K, V>{batch[a].key, batch[a].value});
+          merged.push_back(Entry<K, V>{a->key, a->value});
         }
         ++a;
         ++o;
       }
     }
-    for (; a < batch.size(); ++a) {
-      if (!batch[a].tombstone) {
-        merged.push_back(Entry<K, V>{batch[a].key, batch[a].value});
+    for (; a != last; ++a) {
+      if (!a->tombstone) {
+        merged.push_back(Entry<K, V>{a->key, a->value});
         ++delta;
       }
     }
-    for (; o < leaf.entries.size(); ++o) merged.push_back(leaf.entries[o]);
+    for (; o < leaf.entries.size(); ++o) merged.push_back(std::move(leaf.entries[o]));
     mm_.touch_write(leaf.base == kNoAddr ? 0 : leaf.base, merged.size() * sizeof(Entry<K, V>));
-    leaf.entries = std::move(merged);
+    leaf.entries.assign(std::make_move_iterator(merged.begin()),
+                        std::make_move_iterator(merged.end()));
 
     // Weight/min-key propagation.
     if (!leaf.entries.empty()) leaf.min_key = leaf.entries.front().key;
@@ -593,13 +668,35 @@ class ShuttleTree {
 
   // -- range collection ---------------------------------------------------------
 
-  void collect(std::uint32_t id, std::uint64_t depth, const K& lo, const K& hi,
+  /// Ordered scan over [lo, hi]; null bounds mean unbounded on that side.
+  template <class Fn>
+  void scan(const K* lo, const K* hi, Fn&& fn) const {
+    std::vector<Ranked> found;
+    collect(root_, 0, lo, hi, found);
+    std::stable_sort(found.begin(), found.end(), [](const Ranked& a, const Ranked& b) {
+      if (a.item.key != b.item.key) return a.item.key < b.item.key;
+      return a.priority < b.priority;
+    });
+    bool have_last = false;
+    K last{};
+    for (const Ranked& r : found) {
+      if (have_last && r.item.key == last) continue;
+      last = r.item.key;
+      have_last = true;
+      if (!r.item.tombstone) fn(r.item.key, r.item.value);
+    }
+  }
+
+  void collect(std::uint32_t id, std::uint64_t depth, const K* lo, const K* hi,
                std::vector<Ranked>& out) const {
     const Node& n = nodes_[id];
     touch_node(id);
     if (n.height == 1) {
-      auto it = std::lower_bound(n.entries.begin(), n.entries.end(), lo, EntryKeyLess{});
-      for (; it != n.entries.end() && !(hi < it->key); ++it) {
+      auto it = lo != nullptr
+                    ? std::lower_bound(n.entries.begin(), n.entries.end(), *lo,
+                                       EntryKeyLess{})
+                    : n.entries.begin();
+      for (; it != n.entries.end() && (hi == nullptr || !(*hi < it->key)); ++it) {
         out.push_back(Ranked{Item{it->key, it->value, false}, ~0ULL});
       }
       return;
@@ -607,15 +704,18 @@ class ShuttleTree {
     for (std::size_t e = 0; e < n.kids.size(); ++e) {
       const K* clo = e == 0 ? nullptr : &n.routers[e - 1];
       const K* chi = e == n.routers.size() ? nullptr : &n.routers[e];
-      if (clo != nullptr && hi < *clo) continue;
-      if (chi != nullptr && *chi <= lo) continue;
+      if (clo != nullptr && hi != nullptr && *hi < *clo) continue;
+      if (chi != nullptr && lo != nullptr && *chi <= *lo) continue;
       for (std::size_t bi = 0; bi < n.ebufs[e].size(); ++bi) {
         const Buffer& b = n.ebufs[e][bi];
         if (b.items.empty()) continue;
         touch_buffer(b, b.items.size());
-        auto it = std::lower_bound(b.items.begin(), b.items.end(), lo,
-                                   [](const Item& a, const K& k) { return a.key < k; });
-        for (; it != b.items.end() && !(hi < it->key); ++it) {
+        auto it = lo != nullptr
+                      ? std::lower_bound(
+                            b.items.begin(), b.items.end(), *lo,
+                            [](const Item& a, const K& k) { return a.key < k; })
+                      : b.items.begin();
+        for (; it != b.items.end() && (hi == nullptr || !(*hi < it->key)); ++it) {
           out.push_back(Ranked{*it, depth * 256 + bi});
         }
       }
@@ -764,6 +864,13 @@ class ShuttleTree {
   std::uint32_t root_ = kNull;
   std::uint64_t buffered_items_ = 0;
   std::vector<std::uint32_t> dirty_leaves_;
+  // Reusable scratch: single-op batch, bulk batch, leaf merge target, and
+  // per-recursion-depth pour carriers — the steady-state insert path
+  // allocates nothing once these reach their high-water capacities.
+  std::vector<Item> put_scratch_, batch_scratch_;
+  std::vector<Entry<K, V>> leaf_scratch_;
+  std::deque<std::vector<Item>> flush_frames_;
+  std::size_t flush_depth_ = 0;
   ShuttleStats stats_;
   mutable MM mm_;
   // Layout state.

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "brt/brt.hpp"
 #include "btree/btree.hpp"
@@ -110,6 +111,61 @@ TEST(GenericTypes, ColaRangeOverComposite) {
     ++count;
   });
   EXPECT_EQ(count, 250u);
+}
+
+// Regression: for_each used std::numeric_limits<K>::min() as the scan's low
+// bound, which is the smallest POSITIVE value for floating-point K (and a
+// default-constructed object for composite keys) — negative keys were
+// silently dropped. for_each now uses a dedicated unbounded scan.
+TEST(GenericTypes, ColaForEachVisitsNegativeDoubleKeys) {
+  cola::Gcola<double, std::uint64_t> d;
+  d.insert(-7.5, 1);
+  d.insert(-1.25, 2);
+  d.insert(0.0, 3);
+  d.insert(3.5, 4);
+  std::vector<double> seen;
+  d.for_each([&](double k, std::uint64_t) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<double>{-7.5, -1.25, 0.0, 3.5}));
+}
+
+TEST(GenericTypes, ShuttleForEachVisitsNegativeDoubleKeys) {
+  shuttle::ShuttleTree<double, std::uint64_t> d;
+  for (int i = -50; i < 50; ++i) d.insert(i * 1.5, static_cast<std::uint64_t>(i + 50));
+  std::vector<double> seen;
+  d.for_each([&](double k, std::uint64_t) { seen.push_back(k); });
+  ASSERT_EQ(seen.size(), 100u);
+  for (int i = -50; i < 50; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i + 50)], i * 1.5);
+  }
+}
+
+// Composite keys have no numeric_limits specialization at all (min() and
+// max() both default-construct), so the old for_each visited nothing.
+TEST(GenericTypes, ForEachVisitsAllCompositeKeys) {
+  cola::Gcola<ShardKey, Payload> c;
+  shuttle::ShuttleTree<ShardKey, Payload> s;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    c.insert(key_of(i), value_of(i));
+    s.insert(key_of(i), value_of(i));
+  }
+  std::size_t cn = 0, sn = 0;
+  c.for_each([&](const ShardKey&, const Payload&) { ++cn; });
+  s.for_each([&](const ShardKey&, const Payload&) { ++sn; });
+  EXPECT_EQ(cn, 500u);
+  EXPECT_EQ(sn, 500u);
+}
+
+TEST(GenericTypes, InsertBatchOverCompositeKeys) {
+  cola::Gcola<ShardKey, Payload> d;
+  std::vector<Entry<ShardKey, Payload>> batch;
+  for (std::uint64_t i = 0; i < 800; ++i) {
+    batch.push_back(Entry<ShardKey, Payload>{key_of(i), value_of(i)});
+  }
+  d.insert_batch(batch.data(), batch.size());
+  d.check_invariants();
+  for (std::uint64_t i = 0; i < 800; i += 13) {
+    ASSERT_EQ(d.find(key_of(i)).value(), value_of(i));
+  }
 }
 
 TEST(GenericTypes, BTreeEraseComposite) {

@@ -132,7 +132,9 @@ TEST(Adversarial, DeleteReinsertChurnOnSmallKeyspace) {
     const auto got = c.find(k);
     const auto want = ref.find(k);
     ASSERT_EQ(got.has_value(), want.has_value()) << k;
-    if (want) ASSERT_EQ(*got, *want) << k;
+    if (want) {
+      ASSERT_EQ(*got, *want) << k;
+    }
   }
   // Tombstones must not have bloated the structure beyond ~the op count.
   EXPECT_LT(c.item_count(), 70'000u);
@@ -160,7 +162,9 @@ TEST_P(WindowSoundness, FindAgreesWithExhaustiveScan) {
     const auto a = windowed.find(probe);
     const auto b = exhaustive.find(probe);
     ASSERT_EQ(a.has_value(), b.has_value()) << probe;
-    if (a) ASSERT_EQ(*a, *b) << probe;
+    if (a) {
+      ASSERT_EQ(*a, *b) << probe;
+    }
   }
 }
 
