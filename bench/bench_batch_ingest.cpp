@@ -11,18 +11,25 @@
 //     inserts/sec.
 //
 // Key orders:
-//   random   unique 64-bit keys. Batch gains here are bounded by the data-
-//            movement ratio: both paths move the same deep-merge volume, the
-//            batch only skips the log2(k) shallowest levels (~1.2-1.6x for
-//            the COLA at k=1024, N=2^21).
+//   random   unique 64-bit keys. Batch gains for the UNSTAGED cola are
+//            bounded by the data-movement ratio: both paths move the same
+//            deep-merge volume, the batch only skips the log2(k) shallowest
+//            levels (~1.2-1.6x at k=1024, N=2^21). The staged growth-factor
+//            arms (cola-g*) break that bound: the L0 arena absorbs g*1024
+//            entries per cascade, so the deep-merge volume is paid once per
+//            g batches.
+//   sorted   ascending unique keys (log-structured source shape). Exercises
+//            the O(n) sortedness check that lets batch normalization skip
+//            its merge sort entirely.
 //   hot256   90% of draws from a 256-key hot set (graph-edge / metric-update
 //            shape). Batch dedup collapses most of the stream before it
-//            touches the structure; the single-op loop also annihilates
-//            duplicates early (shallow merges), so the net gain is larger
-//            but still bounded (~1.8x).
+//            touches the structure.
 //
 // Output: figure-style tables plus a JSON array between BEGIN_JSON /
-// END_JSON markers for downstream tooling.
+// END_JSON markers; --json-out PATH additionally writes the bare array to
+// PATH (the file the CI perf-regression job diffs against
+// bench/baselines/BENCH_baseline.json — see README "Bench JSON & the CI
+// baseline").
 //
 // Environment:
 //   REPRO_MAXN     elements per cell (default 2^18; 2^21 for headline runs)
@@ -59,6 +66,8 @@ struct Cell {
   std::string order;
   std::uint64_t batch = 0;
   std::uint64_t n = 0;
+  unsigned growth = 2;        // growth factor g of this arm
+  std::uint64_t staging = 0;  // staging arena entries (0 = unstaged)
   double wall_rate = 0.0;     // inserts/sec, wall clock, null memory model
   double modeled_rate = 0.0;  // inserts/sec, DAM disk model
   double transfers_per_op = 0.0;
@@ -66,33 +75,38 @@ struct Cell {
 
 /// i-th key of the named stream. "hot256": 90% of draws from a 256-key hot
 /// set, the rest uniform — the duplicate-heavy shape of real ingest feeds.
+/// "sorted": ascending unique keys — the presorted-feed fast path.
 std::uint64_t key_of(const std::string& order, const KeyStream& ks, std::uint64_t i) {
   if (order == "hot256") {
     const std::uint64_t h = mix64(i ^ 0xabcdef12345ULL);
     if (h % 10 != 0) return h & 255ULL;
     return h | (1ULL << 63);
   }
+  if (order == "sorted") return i * 3 + 1;
   return ks.key_at(i);
 }
 
 /// Ingest `n` keys into `d` in chunks of `batch` (1 = plain insert loop).
+/// Structures with a staging arena drain it at the end so the measured cost
+/// includes every deferred cascade — no hiding work in the arena.
 template <class D>
 void ingest(D& d, const std::string& order, const KeyStream& ks, std::uint64_t n,
             std::uint64_t batch) {
   if (batch <= 1) {
     for (std::uint64_t i = 0; i < n; ++i) d.insert(key_of(order, ks, i), i);
-    return;
-  }
-  std::vector<Entry<>> chunk;
-  chunk.reserve(batch);
-  for (std::uint64_t i = 0; i < n;) {
-    chunk.clear();
-    const std::uint64_t take = std::min<std::uint64_t>(batch, n - i);
-    for (std::uint64_t j = 0; j < take; ++j, ++i) {
-      chunk.push_back(Entry<>{key_of(order, ks, i), i});
+  } else {
+    std::vector<Entry<>> chunk;
+    chunk.reserve(batch);
+    for (std::uint64_t i = 0; i < n;) {
+      chunk.clear();
+      const std::uint64_t take = std::min<std::uint64_t>(batch, n - i);
+      for (std::uint64_t j = 0; j < take; ++j, ++i) {
+        chunk.push_back(Entry<>{key_of(order, ks, i), i});
+      }
+      d.insert_batch(chunk.data(), chunk.size());
     }
-    d.insert_batch(chunk.data(), chunk.size());
   }
+  if constexpr (requires { d.flush_stage(); }) d.flush_stage();
 }
 
 /// Two-run measurement: wall clock against `dwall` (null model), transfers
@@ -100,12 +114,14 @@ void ingest(D& d, const std::string& order, const KeyStream& ks, std::uint64_t n
 template <class DW, class DD>
 Cell run_cell(const std::string& name, const std::string& order, DW& dwall, DD& ddam,
               dam::dam_mem_model& mm, const KeyStream& ks, std::uint64_t n,
-              std::uint64_t batch) {
+              std::uint64_t batch, unsigned growth = 2, std::uint64_t staging = 0) {
   Cell c;
   c.structure = name;
   c.order = order;
   c.batch = batch;
   c.n = n;
+  c.growth = growth;
+  c.staging = staging;
   Timer timer;
   ingest(dwall, order, ks, n, batch);
   const double wall = timer.seconds();
@@ -134,7 +150,13 @@ bool structure_enabled(const char* name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    }
+  }
   const BenchOptions opts = BenchOptions::from_env(1ULL << 18);
   const std::uint64_t n = opts.fast ? (1ULL << 14) : opts.max_n;
   const std::uint64_t mem = bench::scaled_memory_bytes(n);
@@ -142,7 +164,7 @@ int main() {
   const KeyStream ks(KeyOrder::kRandom, n, opts.seed);
 
   std::vector<std::uint64_t> batches{1, 4, 16, 64, 256, 1024, 4096};
-  std::vector<std::string> orders{"random", "hot256"};
+  std::vector<std::string> orders{"random", "sorted", "hot256"};
   if (opts.fast) {
     batches = {1, 64, 1024};
     orders = {"random"};
@@ -156,6 +178,21 @@ int main() {
         cola::Gcola<Key, Value, dam::dam_mem_model> d(cola::ColaConfig{},
                                                       dam::dam_mem_model(block, mem));
         cells.push_back(run_cell("cola", order, w, d, d.mm(), ks, n, b));
+      }
+      // Staged growth-factor arms: the ingest-tuned presets (staging arena
+      // g*1024 entries). These are the tentpole sweep — the arena amortizes
+      // the deep-merge volume over g batches, which is what lifts the
+      // batch-1024 speedup past the unstaged movement bound.
+      for (const unsigned g : {2u, 4u, 8u, 16u}) {
+        char arm[16];
+        std::snprintf(arm, sizeof arm, "cola-g%u", g);
+        if (!structure_enabled(arm)) continue;
+        const cola::ColaConfig cfg = cola::ingest_tuned(g, 1024);
+        cola::Gcola<> w(cfg);
+        cola::Gcola<Key, Value, dam::dam_mem_model> d(cfg,
+                                                      dam::dam_mem_model(block, mem));
+        cells.push_back(
+            run_cell(arm, order, w, d, d.mm(), ks, n, b, g, cfg.staging_capacity));
       }
       if (structure_enabled("shuttle")) {
         shuttle::ShuttleTree<> w;
@@ -255,20 +292,51 @@ int main() {
         std::printf("  %-8s %.2fx\n", s.c_str(), kilo->wall_rate / one->wall_rate);
       }
     }
+
+    // The tentpole headline: staged growth-factor arms at batch 1024 against
+    // the plain COLA's single-op loop — the "speedup over single-op ingest"
+    // number the acceptance bar (>= 3x at g=16) tracks.
+    const Cell* base = cell_at("cola", order, 1);
+    if (base != nullptr && base->wall_rate > 0) {
+      std::printf(
+          "\n# g-sweep: batch-1024 wall speedup vs single-op plain cola (%s)\n",
+          order.c_str());
+      for (const auto& s : names) {
+        if (s.rfind("cola-g", 0) != 0) continue;
+        const Cell* kilo = cell_at(s, order, 1024);
+        if (kilo != nullptr) {
+          std::printf("  %-10s %.2fx\n", s.c_str(), kilo->wall_rate / base->wall_rate);
+        }
+      }
+    }
   }
 
-  std::printf("\nBEGIN_JSON\n[");
+  std::string json = "[";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
-    std::printf(
+    char buf[384];
+    std::snprintf(
+        buf, sizeof buf,
         "%s\n  {\"structure\": \"%s\", \"order\": \"%s\", \"batch\": %llu, "
-        "\"n\": %llu, \"wall_rate\": %.1f, \"modeled_rate\": %.1f, "
-        "\"transfers_per_op\": %.6f}",
+        "\"n\": %llu, \"growth\": %u, \"staging\": %llu, \"wall_rate\": %.1f, "
+        "\"modeled_rate\": %.1f, \"transfers_per_op\": %.6f}",
         i == 0 ? "" : ",", c.structure.c_str(), c.order.c_str(),
         static_cast<unsigned long long>(c.batch),
-        static_cast<unsigned long long>(c.n), c.wall_rate, c.modeled_rate,
+        static_cast<unsigned long long>(c.n), c.growth,
+        static_cast<unsigned long long>(c.staging), c.wall_rate, c.modeled_rate,
         c.transfers_per_op);
+    json += buf;
   }
-  std::printf("\n]\nEND_JSON\n");
+  json += "\n]\n";
+  std::printf("\nBEGIN_JSON\n%sEND_JSON\n", json.c_str());
+  if (json_out != nullptr) {
+    std::FILE* f = std::fopen(json_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_out);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
   return 0;
 }

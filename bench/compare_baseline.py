@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Compare a bench_batch_ingest JSON run against the committed baseline.
+
+Used by the CI perf-regression job (see .github/workflows/ci.yml) and by
+hand when investigating a regression. Two metric families, because CI
+runners are not the machine the baseline was recorded on:
+
+* DAM metrics (``transfers_per_op``, ``modeled_rate``) are DETERMINISTIC —
+  same code, same seed, same N gives bit-identical counts on any machine —
+  so they are compared absolutely: a cell regresses when its transfers rise
+  more than ``--threshold`` above baseline.
+
+* Wall-clock rates are machine-dependent, so raw rates are never compared
+  across machines. Instead each (structure, order) series is normalized to
+  its own batch=1 cell — the batch-speedup curve — and THAT shape is
+  compared. A slower runner scales every cell equally and cancels out; a
+  real regression (a batch path losing its advantage) does not.
+
+Exit status: 0 clean, 1 regression found, 2 usage/parse error.
+
+Regenerating the baseline (after an intentional perf change)::
+
+    cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-rel -j --target bench_batch_ingest
+    REPRO_MAXN=$((1<<18)) REPRO_STRUCTS=cola,cola-g2,cola-g4,cola-g8,cola-g16 \
+        ./build-rel/bench/bench_batch_ingest \
+        --json-out bench/baselines/BENCH_baseline.json
+
+or pass ``--update-baseline`` to this script to copy the current run over
+the baseline file once you have eyeballed the report.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_cells(path):
+    """Load a JSON cell array from a bare file or raw bench stdout."""
+    with open(path) as f:
+        text = f.read()
+    if "BEGIN_JSON" in text:
+        text = text.split("BEGIN_JSON", 1)[1].split("END_JSON", 1)[0]
+    cells = json.loads(text)
+    return {(c["structure"], c["order"], c["batch"]): c for c in cells}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument("--current", required=True,
+                    help="fresh run: bare JSON or raw bench stdout")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed relative regression (default 0.15)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="overwrite the baseline with the current run and exit")
+    args = ap.parse_args()
+
+    try:
+        current = load_cells(args.current)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot load current run: {e}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        cells = sorted(current.values(),
+                       key=lambda c: (c["structure"], c["order"], c["batch"]))
+        with open(args.baseline, "w") as f:
+            json.dump(cells, f, indent=2)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline} ({len(cells)} cells)")
+        return 0
+
+    try:
+        baseline = load_cells(args.baseline)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot load baseline: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    notes = []
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        failures.append(f"cells missing from current run: {missing[:8]}"
+                        + (" ..." if len(missing) > 8 else ""))
+
+    # Deterministic DAM comparison, cell by cell. Guard against comparing
+    # runs of different N first: transfers/op grows with N, so a baseline
+    # regenerated at the headline size would silently mask regressions.
+    for key in sorted(set(baseline) & set(current)):
+        b, c = baseline[key], current[key]
+        if b.get("n") != c.get("n"):
+            print(f"error: {key}: baseline n={b.get('n')} vs current "
+                  f"n={c.get('n')} — runs are not comparable", file=sys.stderr)
+            return 2
+        bt, ct = b["transfers_per_op"], c["transfers_per_op"]
+        if bt > 0 and ct > bt * (1 + args.threshold):
+            failures.append(
+                f"{key}: transfers_per_op {bt:.6f} -> {ct:.6f} "
+                f"(+{(ct / bt - 1) * 100:.1f}%)")
+        elif bt > 0 and ct < bt * (1 - args.threshold):
+            notes.append(
+                f"{key}: transfers_per_op improved {bt:.6f} -> {ct:.6f}; "
+                "consider refreshing the baseline")
+
+    # Wall-clock shape comparison: batch-speedup curves per (structure, order),
+    # aggregated as the geometric mean of per-batch ratio changes. Individual
+    # cells at reduced N are noisy well past any useful threshold; a real
+    # regression (a batch path losing its advantage) shifts the whole curve,
+    # which the aggregate catches while single-cell jitter averages out.
+    series = {}
+    for (s, o, batch), cell in baseline.items():
+        series.setdefault((s, o), {})[batch] = cell
+    for (s, o), cells in sorted(series.items()):
+        base1 = cells.get(1)
+        cur1 = current.get((s, o, 1))
+        if not base1 or not cur1 or base1["wall_rate"] <= 0 or cur1["wall_rate"] <= 0:
+            continue
+        log_sum, count = 0.0, 0
+        for batch, bcell in sorted(cells.items()):
+            if batch == 1:
+                continue
+            ccell = current.get((s, o, batch))
+            if not ccell or bcell["wall_rate"] <= 0 or ccell["wall_rate"] <= 0:
+                continue
+            bratio = bcell["wall_rate"] / base1["wall_rate"]
+            cratio = ccell["wall_rate"] / cur1["wall_rate"]
+            log_sum += math.log(cratio / bratio)
+            count += 1
+        if count == 0:
+            continue
+        gm = math.exp(log_sum / count)
+        if gm < 1 - args.threshold:
+            failures.append(
+                f"({s}, {o}): batch-speedup curve degraded {(gm - 1) * 100:.1f}% "
+                f"(geomean over {count} batch sizes)")
+
+    for n in notes:
+        print(f"note: {n}")
+    if failures:
+        print(f"PERF REGRESSION ({len(failures)} finding(s), "
+              f"threshold {args.threshold:.0%}):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"perf OK: {len(set(baseline) & set(current))} cells within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

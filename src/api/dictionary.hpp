@@ -52,6 +52,32 @@ concept Dictionary = requires(D d, const D cd, K k, V v, const Entry<K, V>* batc
   { cd.find(k) } -> std::same_as<std::optional<V>>;
 };
 
+/// Deployment-level ingest tuning, threaded into every structure that has a
+/// growth lever (api/presets.hpp maps it onto each structure's own config).
+///
+/// `growth` is the paper's g: the COLA family trades insert cost
+/// O(log_g N * g / B) against search cost O(log_g N); the shuttle tree
+/// scales its edge-buffer capacities by g/2; the deamortized variants keep
+/// g arrays per level. `batch_hint` sizes the COLA's staging L0 arena at
+/// g * batch_hint entries (0 disables staging). The presets g in
+/// {2, 4, 8, 16} cover the query-leaning .. ingest-leaning range; pick by
+/// feed shape, not hardware — the structures stay cache-oblivious.
+struct DictConfig {
+  unsigned growth = 2;            // g >= 2; 2 = the paper's headline geometry
+  std::size_t batch_hint = 1024;  // expected ingest batch size (staging = g * hint)
+  bool staging = false;           // unsorted L0 arena in front of the COLA levels
+  double pointer_density = 0.1;   // COLA fractional-cascading density
+
+  /// Ingest-tuned preset for growth factor g: staging on, arena g * hint.
+  static DictConfig ingest_tuned(unsigned g, std::size_t hint = 1024) {
+    DictConfig c;
+    c.growth = g;
+    c.batch_hint = hint;
+    c.staging = true;
+    return c;
+  }
+};
+
 /// Type-erased dictionary over the default Key/Value types. Virtual dispatch
 /// is fine here: this wrapper exists for examples and integration tests, not
 /// for the benchmarked hot paths (benches use the concrete types directly).

@@ -1,0 +1,61 @@
+// Config threading: map the deployment-level DictConfig onto each
+// structure's own config type, and build type-erased dictionaries from a
+// (kind, config) pair — the one place that knows every structure's
+// constructor shape, so examples, integration tests, and benches can sweep
+// growth presets without repeating it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "api/dictionary.hpp"
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cob/cob_tree.hpp"
+#include "cola/cola.hpp"
+#include "cola/deamortized_cola.hpp"
+#include "cola/deamortized_fc_cola.hpp"
+#include "shuttle/shuttle_tree.hpp"
+
+namespace costream::api {
+
+/// DictConfig -> the COLA family's config. Staging presets delegate to
+/// cola::ingest_tuned() — the single source of the arena-sizing/tiered/
+/// pointer-density mapping — so the two construction paths cannot diverge.
+inline cola::ColaConfig to_cola_config(const DictConfig& c) {
+  if (c.staging) return cola::ingest_tuned(c.growth, c.batch_hint);
+  cola::ColaConfig cfg;
+  cfg.growth = c.growth;
+  cfg.pointer_density = c.pointer_density;
+  return cfg;
+}
+
+/// DictConfig -> the shuttle tree's config (growth scales buffer sizing).
+inline shuttle::ShuttleConfig to_shuttle_config(const DictConfig& c) {
+  shuttle::ShuttleConfig cfg;
+  cfg.growth = c.growth;
+  return cfg;
+}
+
+/// Build a type-erased dictionary of the named kind with the config's
+/// growth tuning applied. Kinds: "cola", "shuttle", "deam", "fc-deam",
+/// "btree", "brt", "cob" (the last three have no growth lever and ignore
+/// the config). Throws std::invalid_argument on an unknown kind.
+inline AnyDictionary make_dictionary(const std::string& kind,
+                                     const DictConfig& cfg = DictConfig{}) {
+  if (kind == "cola") return AnyDictionary(kind, cola::Gcola<>(to_cola_config(cfg)));
+  if (kind == "shuttle") {
+    return AnyDictionary(kind, shuttle::ShuttleTree<>(to_shuttle_config(cfg)));
+  }
+  if (kind == "deam") return AnyDictionary(kind, cola::DeamortizedCola<>(cfg.growth));
+  if (kind == "fc-deam") {
+    return AnyDictionary(kind, cola::DeamortizedFcCola<>(cfg.growth));
+  }
+  if (kind == "btree") return AnyDictionary(kind, btree::BTree<>{});
+  if (kind == "brt") return AnyDictionary(kind, brt::Brt<>{});
+  if (kind == "cob") return AnyDictionary(kind, cob::CobTree<>{});
+  throw std::invalid_argument("make_dictionary: unknown kind " + kind);
+}
+
+}  // namespace costream::api

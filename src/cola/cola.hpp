@@ -30,6 +30,34 @@
 // Semantics. insert() is an upsert (newest wins; older duplicates are
 // discarded during merges). erase() is a blind tombstone — an extension the
 // paper does not cover — annihilated when a merge reaches the deepest level.
+//
+// Staging L0 (extension). With staging_capacity > 0 the structure keeps an
+// append arena in front of the levels: inserts, erases, and batches land in
+// the arena in O(1) (batches are normalized on arrival, so the arena is a
+// sequence of sorted runs) until it holds staging_capacity entries, at
+// which point the runs are merged once (newest-wins) and carried down by
+// ONE cascaded merge. This breaks the batch movement bound: a feed of
+// batches of size k with an arena of g*k entries pays the deep-merge volume
+// once per g batches instead of once per batch. Reads stay exact — find()
+// binary-searches the arena's runs newest-first before the levels, and the
+// ordered scans merge a sorted view of the arena as the newest source. The
+// cost is the arena probes on a cold find, the classic write-optimization
+// lever (cf. the g = Theta(B^eps) tradeoff).
+//
+// Tiered levels (extension, the ingest-tuned cascade core). The classic
+// cascade rewrites a level's whole contents on every merge it receives, so
+// a level is rewritten g-1 times before it drains and every element moves
+// Theta(g) times per level — which is why large g LOSES ingest throughput
+// in the classic geometry. With tiered = true each level instead holds up
+// to g-1 independent sorted SEGMENTS: an arriving run is appended as a new
+// segment (one sequential write, nothing rewritten), and only when a level
+// is out of segments or space does a drain g-way-merge its segments into a
+// single new segment one level down. Every element is then written O(1)
+// times per level — O(log_g N) moves total instead of O(g log_g N) — at
+// the price of searches probing up to g-1 segments per level (lookahead
+// pointers assume globally sorted levels and are disabled in this mode).
+// This is the LSM "size-tiered vs leveled" tradeoff inside the COLA
+// geometry; ingest_tuned() presets select it.
 #pragma once
 
 #include <algorithm>
@@ -50,7 +78,25 @@ struct ColaConfig {
   double pointer_density = 0.1; // p in [0, 0.5]; 0 disables lookahead pointers
   bool enable_prepend = true;   // right-justified "prepend" merge fast path
                                 // (paper Section 4); off only for ablations
+  std::size_t staging_capacity = 0;  // L0 staging arena entries; 0 disables
+  bool tiered = false;  // segmented levels (append segments, merge on drain);
+                        // disables lookahead pointers
 };
+
+/// Ingest-tuned preset: growth factor g, tiered (segmented) levels, and a
+/// staging arena sized to absorb g batches of `batch_hint` entries before
+/// the first cascaded merge. The deployment presets are g in {2, 4, 8, 16};
+/// larger g means fewer levels and bulkier, rarer drains — each element is
+/// moved O(log_g N) times — while searches pay up to g-1 segment probes per
+/// level plus the arena probes.
+inline ColaConfig ingest_tuned(unsigned g, std::size_t batch_hint = 1024) {
+  ColaConfig cfg;
+  cfg.growth = g;
+  cfg.staging_capacity = static_cast<std::size_t>(g) * batch_hint;
+  cfg.tiered = true;
+  cfg.pointer_density = 0.0;  // lookahead pointers need globally sorted levels
+  return cfg;
+}
 
 struct ColaStats {
   std::uint64_t merges = 0;
@@ -59,6 +105,8 @@ struct ColaStats {
   std::uint64_t entries_merged = 0;   // real entries written by merges
   std::uint64_t tombstones_dropped = 0;
   std::uint64_t duplicates_dropped = 0;
+  std::uint64_t stage_flushes = 0;    // staging-arena drains (one cascade each)
+  std::uint64_t stage_absorbed = 0;   // entries that landed in the arena
 };
 
 template <class K = Key, class V = Value, class MM = dam::null_mem_model>
@@ -81,26 +129,62 @@ class Gcola {
   MM& mm() noexcept { return mm_; }
   std::size_t level_count() const noexcept { return levels_.size(); }
 
-  /// Physical real entries (including not-yet-annihilated tombstones).
+  /// Physical real entries (including not-yet-annihilated tombstones and
+  /// entries still staged in the L0 arena).
   std::uint64_t item_count() const noexcept {
-    std::uint64_t n = 0;
+    std::uint64_t n = stage_.size();
     for (const Level& lv : levels_) n += lv.real_count;
     return n;
   }
+
+  /// Entries currently held in the staging arena (tests/benches).
+  std::size_t staged_count() const noexcept { return stage_.size(); }
+
+  /// Sorted runs currently in the arena; O(log occupancy) under single-op
+  /// feeds thanks to the binary-counter tail merge (tests).
+  std::size_t stage_run_count() const noexcept { return stage_runs_.size(); }
 
   /// Real entries in one level (tests).
   std::uint64_t level_real_count(std::size_t l) const noexcept {
     return l < levels_.size() ? levels_[l].real_count : 0;
   }
 
-  /// Bytes of slot storage across all levels (space accounting).
+  /// Bytes of slot storage across all levels plus the staging arena
+  /// reservation (space accounting). Tiered levels store compact items and
+  /// only their occupancy.
   std::uint64_t bytes() const noexcept {
-    std::uint64_t b = 0;
-    for (const Level& lv : levels_) b += lv.slots.size() * sizeof(Slot);
+    std::uint64_t b = cfg_.staging_capacity * sizeof(TItem);
+    for (const Level& lv : levels_) {
+      b += lv.slots.size() * sizeof(Slot) + lv.tslots.size() * sizeof(TItem);
+    }
     return b;
   }
 
   std::optional<V> find(const K& key) const {
+    // The staging arena is newer than every level; probe its sorted runs
+    // newest-first so the latest staged copy (or tombstone) wins.
+    for (std::size_t r = stage_runs_.size(); r-- > 0;) {
+      const std::uint32_t b = stage_runs_[r];
+      const std::uint32_t e = r + 1 < stage_runs_.size()
+                                  ? stage_runs_[r + 1]
+                                  : static_cast<std::uint32_t>(stage_.size());
+      std::uint32_t lo = b, hi = e;
+      while (lo < hi) {  // manual binary search so every probe is accounted
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        mm_.touch(stage_base_ + static_cast<std::uint64_t>(mid) * sizeof(TItem),
+                  sizeof(TItem));
+        if (stage_[mid].key < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < e && stage_[lo].key == key) {
+        if (stage_[lo].is_tombstone()) return std::nullopt;
+        return stage_[lo].value;
+      }
+    }
+    if (cfg_.tiered) return find_tiered(key);
     // Window into the level being examined; kNoIdx means "whole level".
     std::uint32_t wlo = kNoIdx, whi = kNoIdx;
     for (std::size_t l = 0; l < levels_.size(); ++l) {
@@ -161,7 +245,42 @@ class Gcola {
   /// bulk movement across block boundaries the paper's analysis is built on.
   void insert_batch(const Entry<K, V>* data, std::size_t n) {
     if (n == 0) return;
+    // Staging path: normalize the batch while it is small and cache-hot
+    // (sort + newest-wins dedup of k entries, not of the whole arena), then
+    // append it as one sorted run; the cascade only runs when the arena
+    // itself fills, and the flush merges presorted runs instead of sorting
+    // staging_capacity entries from scratch.
+    if (cfg_.staging_capacity > 0) {
+      ensure_stage_base();
+      // Normalize in Entry form (half the bytes of a Slot) before widening
+      // into the arena: the batch sort is the staged path's per-op hot loop.
+      std::vector<Entry<K, V>>& run = stage_entry_scratch_;
+      run.assign(data, data + n);
+      sort_dedup_newest_wins(run, stage_entry_sort_scratch_);
+      stats_.duplicates_dropped += n - run.size();
+      stage_.reserve(std::max(cfg_.staging_capacity, stage_.size() + run.size()));
+      stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
+      append_widened(run.data(), run.data() + run.size(), stage_);
+      mm_.touch_write(stage_base_ + (stage_.size() - run.size()) * sizeof(TItem),
+                      run.size() * sizeof(TItem));
+      stats_.stage_absorbed += n;
+      if (stage_.size() >= cfg_.staging_capacity) flush_stage();
+      return;
+    }
     ensure_level(0);
+    if (cfg_.tiered) {
+      std::vector<Entry<K, V>>& run = stage_entry_scratch_;
+      run.assign(data, data + n);
+      sort_dedup_newest_wins(run, stage_entry_sort_scratch_);
+      stats_.duplicates_dropped += n - run.size();
+      titem_run_.clear();
+      append_widened(run.data(), run.data() + run.size(), titem_run_);
+      ++stats_.batch_merges;
+      incoming_spans_.assign(
+          1, {titem_run_.data(), titem_run_.data() + titem_run_.size()});
+      cascade_run_tiered(titem_run_.size());
+      return;
+    }
     std::vector<Slot>& run = scratch_batch_;
     run.clear();
     run.reserve(n);
@@ -179,25 +298,49 @@ class Gcola {
       put(run[0].key, run[0].value, /*tombstone=*/false);
       return;
     }
-    // Target selection generalizes the single-op rule: walk down from level
-    // 1, folding every level that is full or too small into the cascade,
-    // until a level can absorb the run plus everything displaced above it.
-    std::uint64_t carried = run.size() + levels_[0].real_count;
-    std::size_t t = 1;
-    while (true) {
-      if (t < levels_.size()) {
-        if (!level_full(t) && levels_[t].real_count + carried <= real_cap(t)) break;
-        carried += levels_[t].real_count;
-        ++t;
-      } else if (carried <= real_cap(t)) {
-        break;
-      } else {
-        ++t;
-      }
-    }
-    ensure_level(t);
     ++stats_.batch_merges;
-    cascade_into(t, run);
+    cascade_run(run);
+  }
+
+  /// Drain the staging arena into the levels (normally automatic when the
+  /// arena fills; public so tests and checkpointing can force a flush).
+  void flush_stage() {
+    if (stage_.empty()) return;
+    ensure_level(0);
+    ++stats_.stage_flushes;
+    ++stats_.batch_merges;
+    mm_.touch(stage_base_, stage_.size() * sizeof(TItem));
+    if (cfg_.tiered) {
+      // Fused flush: the arena's sorted runs feed the cascade's collapse
+      // directly as spans (oldest first) — no separate normalization pass.
+      incoming_spans_.clear();
+      for (std::size_t r = 0; r < stage_runs_.size(); ++r) {
+        const std::uint32_t b = stage_runs_[r];
+        const std::uint32_t e = r + 1 < stage_runs_.size()
+                                    ? stage_runs_[r + 1]
+                                    : static_cast<std::uint32_t>(stage_.size());
+        incoming_spans_.emplace_back(stage_.data() + b, stage_.data() + e);
+      }
+      cascade_run_tiered(stage_.size());
+    } else {
+      const std::size_t before = stage_.size();
+      normalize_stage();
+      stats_.duplicates_dropped += before - stage_.size();
+      // Classic cascade works in Slot form; widen the normalized run once.
+      std::vector<Slot>& run = scratch_batch_;
+      run.clear();
+      run.reserve(stage_.size());
+      for (const TItem& t : stage_) {
+        Slot s{};
+        s.key = t.key;
+        s.value = t.value;
+        s.flags = t.flags;
+        run.push_back(s);
+      }
+      cascade_run(run);
+    }
+    stage_.clear();
+    stage_runs_.clear();
   }
 
   /// Build from entries sorted ascending by strictly increasing key,
@@ -206,23 +349,35 @@ class Gcola {
   /// the lookahead chain — the COLA analogue of a B-tree bulk load.
   void bulk_load(const std::vector<Entry<K, V>>& sorted) {
     levels_.clear();
+    stage_.clear();
+    stage_runs_.clear();
     next_base_ = 0;
+    stage_base_set_ = false;
+    bottom_relocated_ = false;
     std::size_t t = 0;
     while (real_cap(t) < sorted.size()) ++t;
     ensure_level(t);
-    std::vector<Slot> content;
-    content.reserve(sorted.size());
-    for (const Entry<K, V>& e : sorted) {
-      Slot s{};
-      s.key = e.key;
-      s.value = e.value;
-      content.push_back(s);
+    if (cfg_.tiered) {
+      Level& lv = levels_[t];
+      lv.tslots.clear();
+      append_widened(sorted.data(), sorted.data() + sorted.size(), lv.tslots);
+      lv.segs.assign(1, 0);
+      touch_titems(t, 0, lv.tslots.size(), /*write=*/true);
+    } else {
+      std::vector<Slot> content;
+      content.reserve(sorted.size());
+      for (const Entry<K, V>& e : sorted) {
+        Slot s{};
+        s.key = e.key;
+        s.value = e.value;
+        content.push_back(s);
+      }
+      write_level(t, content);
+      for (std::size_t l = t; l-- > 1;) rebuild_lookahead(l);
     }
-    write_level(t, content);
     levels_[t].real_count = sorted.size();
     // Mark the level full so future merges cascade past it correctly.
     levels_[t].fills = cfg_.growth - 1;
-    for (std::size_t l = t; l-- > 1;) rebuild_lookahead(l);
     stats_.entries_merged += sorted.size();
   }
 
@@ -230,6 +385,34 @@ class Gcola {
 
   /// Structural invariants; throws std::logic_error on violation. O(total).
   void check_invariants() const {
+    if (cfg_.staging_capacity == 0 && !stage_.empty()) {
+      throw std::logic_error("cola: staging disabled but arena nonempty");
+    }
+    if (cfg_.staging_capacity > 0 && stage_.size() >= cfg_.staging_capacity) {
+      throw std::logic_error("cola: staging arena overfull (missed flush)");
+    }
+    if (cfg_.staging_capacity > 0) {
+      if (stage_runs_.size() > stage_.size() ||
+          (!stage_.empty() && (stage_runs_.empty() || stage_runs_.front() != 0))) {
+        throw std::logic_error("cola: staging run boundaries inconsistent");
+      }
+      for (std::size_t r = 0; r < stage_runs_.size(); ++r) {
+        const std::uint32_t b = stage_runs_[r];
+        const std::uint32_t e = r + 1 < stage_runs_.size()
+                                    ? stage_runs_[r + 1]
+                                    : static_cast<std::uint32_t>(stage_.size());
+        if (b >= e) throw std::logic_error("cola: empty staging run");
+        for (std::uint32_t i = b + 1; i < e; ++i) {
+          if (!(stage_[i - 1].key < stage_[i].key)) {
+            throw std::logic_error("cola: staging run unsorted");
+          }
+        }
+      }
+    }
+    if (cfg_.tiered) {
+      check_invariants_tiered();
+      return;
+    }
     for (std::size_t l = 0; l < levels_.size(); ++l) {
       const Level& lv = levels_[l];
       if (lv.slots.size() != real_cap(l) + la_cap(l)) {
@@ -290,6 +473,47 @@ class Gcola {
  private:
   enum : std::uint32_t { kFlagLookahead = 1u, kFlagTombstone = 2u };
 
+  /// Tiered-mode invariants: left-justified occupancy, contiguous segments
+  /// each sorted with unique keys, no lookahead slots, counts consistent.
+  void check_invariants_tiered() const {
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const Level& lv = levels_[l];
+      if (!lv.slots.empty()) {
+        throw std::logic_error("cola: classic storage used in tiered mode");
+      }
+      if (lv.tslots.size() > real_cap(l)) {
+        throw std::logic_error("cola: tiered level overfull");
+      }
+      if (lv.segs.size() > cfg_.growth - 1) {
+        throw std::logic_error("cola: too many segments in level");
+      }
+      if (lv.tslots.size() != lv.real_count) {
+        throw std::logic_error("cola: tiered count drift");
+      }
+      if (lv.segs.empty()) {
+        if (lv.real_count != 0) {
+          throw std::logic_error("cola: empty tiered level with occupancy");
+        }
+        continue;
+      }
+      if (lv.segs.front() != 0) {
+        throw std::logic_error("cola: first segment not at offset 0");
+      }
+      for (std::size_t j = 0; j < lv.segs.size(); ++j) {
+        const std::uint32_t b = lv.segs[j];
+        const std::uint32_t e = j + 1 < lv.segs.size()
+                                    ? lv.segs[j + 1]
+                                    : static_cast<std::uint32_t>(lv.tslots.size());
+        if (b >= e) throw std::logic_error("cola: empty segment");
+        for (std::uint32_t i = b; i < e; ++i) {
+          if (i > b && !(lv.tslots[i - 1].key < lv.tslots[i].key)) {
+            throw std::logic_error("cola: segment unsorted");
+          }
+        }
+      }
+    }
+  }
+
   struct Slot {
     K key{};
     V value{};
@@ -302,12 +526,33 @@ class Gcola {
     bool is_tombstone() const noexcept { return (flags & kFlagTombstone) != 0; }
   };
 
+  /// Compact element for the tiered path (staging arena + segments): a
+  /// Slot without the lookahead bookkeeping — 24 bytes against 32. Every
+  /// tiered merge pass is memory- and copy-bound, so the narrower element
+  /// is a flat ~25% cut on the whole ingest hot path.
+  struct TItem {
+    K key{};
+    V value{};
+    std::uint32_t flags = 0;
+
+    bool is_tombstone() const noexcept { return (flags & kFlagTombstone) != 0; }
+  };
+
   struct Level {
     std::vector<Slot> slots;      // physical array; occupied = [occ_begin, size)
     std::uint32_t occ_begin = 0;  // == slots.size() when empty
     std::uint32_t fills = 0;      // merges received since last emptied
     std::uint64_t real_count = 0;
     std::uint64_t base_offset = 0;  // logical address of slots[0]
+    // Tiered mode only: compact storage (`tslots`, `slots` stays empty)
+    // plus begin offsets of the level's sorted segments, ascending —
+    // segment j spans [segs[j], segs[j+1]) with the last ending at
+    // tslots.size(), and the LAST segment is the newest. Tiered levels are
+    // left-justified and grow on demand (tslots.size() == occupancy, not
+    // capacity): preallocating a deep level to real_cap would zero-fill
+    // gigabytes the moment the cascade first reaches it.
+    std::vector<TItem> tslots;
+    std::vector<std::uint32_t> segs;
   };
 
   // -- geometry ---------------------------------------------------------------
@@ -320,8 +565,10 @@ class Gcola {
   }
 
   // Paper Section 4: level l carries floor(2p(g-1)g^(l-1)) redundant
-  // elements, which equals floor(p * real_cap(l)).
+  // elements, which equals floor(p * real_cap(l)). Tiered levels are not
+  // globally sorted, so they carry no lookahead slots.
   std::uint64_t la_cap(std::size_t l) const noexcept {
+    if (cfg_.tiered) return 0;
     return static_cast<std::uint64_t>(cfg_.pointer_density *
                                       static_cast<double>(real_cap(l)));
   }
@@ -330,10 +577,12 @@ class Gcola {
     while (levels_.size() <= l) {
       const std::size_t i = levels_.size();
       Level lv;
-      lv.slots.assign(real_cap(i) + la_cap(i), Slot{});
+      if (!cfg_.tiered) {
+        lv.slots.assign(real_cap(i) + la_cap(i), Slot{});
+      }
       lv.occ_begin = static_cast<std::uint32_t>(lv.slots.size());
       lv.base_offset = next_base_;
-      next_base_ += lv.slots.size() * sizeof(Slot);
+      next_base_ += (real_cap(i) + la_cap(i)) * sizeof(Slot);
       levels_.push_back(std::move(lv));
     }
   }
@@ -341,6 +590,7 @@ class Gcola {
   bool level_full(std::size_t l) const noexcept {
     if (l >= levels_.size()) return false;
     if (l == 0) return levels_[0].real_count >= 1;
+    if (cfg_.tiered) return levels_[l].segs.size() >= cfg_.growth - 1;
     return levels_[l].fills >= cfg_.growth - 1;
   }
 
@@ -359,6 +609,18 @@ class Gcola {
       mm_.touch_write(off, n * sizeof(Slot));
     } else {
       mm_.touch(off, n * sizeof(Slot));
+    }
+  }
+
+  /// DAM accounting for tiered (compact-item) level storage.
+  void touch_titems(std::size_t l, std::uint32_t i, std::uint64_t n, bool write) const {
+    if (n == 0) return;
+    const std::uint64_t off =
+        levels_[l].base_offset + static_cast<std::uint64_t>(i) * sizeof(TItem);
+    if (write) {
+      mm_.touch_write(off, n * sizeof(TItem));
+    } else {
+      mm_.touch(off, n * sizeof(TItem));
     }
   }
 
@@ -396,6 +658,89 @@ class Gcola {
     }
   }
 
+  /// Tiered find: binary-search each level's segments newest-first (the
+  /// last segment is the newest); the first hit wins.
+  std::optional<V> find_tiered(const K& key) const {
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const Level& lv = levels_[l];
+      for (std::size_t j = lv.segs.size(); j-- > 0;) {
+        const std::uint32_t b = lv.segs[j];
+        const std::uint32_t e = j + 1 < lv.segs.size()
+                                    ? lv.segs[j + 1]
+                                    : static_cast<std::uint32_t>(lv.tslots.size());
+        std::uint32_t lo = b, hi = e;
+        while (lo < hi) {
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          touch_titems(l, mid, 1, /*write=*/false);
+          if (lv.tslots[mid].key < key) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        if (lo < e && lv.tslots[lo].key == key) {
+          if (lv.tslots[lo].is_tombstone()) return std::nullopt;
+          return lv.tslots[lo].value;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Tiered ordered scan: one cursor per segment (plus the staged view as
+  /// the newest source), k-way minimum with newest-wins on ties. Priority
+  /// orders sources newest-first: the staged view, then levels shallow to
+  /// deep, then segments left (newest) to right within a level.
+  template <class Fn>
+  void scan_tiered(const K* lo_key, const K* hi_key, Fn&& fn) const {
+    struct Cursor {
+      const TItem* at;
+      const TItem* end;
+    };
+    std::vector<Cursor> cs;  // index order IS priority order (newest first)
+    const auto position = [&](const TItem* b, const TItem* e) {
+      if (lo_key != nullptr) {
+        b = std::lower_bound(
+            b, e, *lo_key, [](const TItem& s, const K& k) { return s.key < k; });
+      }
+      cs.push_back(Cursor{b, e});
+    };
+    if (!stage_.empty()) mm_.touch(stage_base_, stage_.size() * sizeof(TItem));
+    stage_view_.assign(stage_.begin(), stage_.end());
+    sort_dedup_newest_wins(stage_view_, stage_view_scratch_);
+    position(stage_view_.data(), stage_view_.data() + stage_view_.size());
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const Level& lv = levels_[l];
+      for (std::size_t j = lv.segs.size(); j-- > 0;) {  // newest (last) first
+        const std::uint32_t b = lv.segs[j];
+        const std::uint32_t e = j + 1 < lv.segs.size()
+                                    ? lv.segs[j + 1]
+                                    : static_cast<std::uint32_t>(lv.tslots.size());
+        touch_titems(l, b, e - b, /*write=*/false);
+        position(lv.tslots.data() + b, lv.tslots.data() + e);
+      }
+    }
+    while (true) {
+      std::size_t best = cs.size();
+      for (std::size_t c = 0; c < cs.size(); ++c) {
+        if (cs[c].at == cs[c].end) continue;
+        if (hi_key != nullptr && *hi_key < cs[c].at->key) {
+          cs[c].at = cs[c].end;
+          continue;
+        }
+        // Strict < keeps the lowest-index (newest) source on ties.
+        if (best == cs.size() || cs[c].at->key < cs[best].at->key) best = c;
+      }
+      if (best == cs.size()) return;
+      const TItem& s = *cs[best].at;
+      const K k = s.key;
+      if (!s.is_tombstone()) fn(k, s.value);
+      for (Cursor& c : cs) {
+        while (c.at != c.end && c.at->key == k) ++c.at;
+      }
+    }
+  }
+
   /// First real (non-lookahead) slot at index >= i; kNoIdx past the end.
   std::uint32_t advance_real(std::size_t l, std::uint32_t i) const {
     const Level& lv = levels_[l];
@@ -407,8 +752,24 @@ class Gcola {
   }
 
   /// Ordered multi-level scan; null bounds mean unbounded on that side.
+  /// An unflushed staging arena participates as the newest source: a sorted,
+  /// deduplicated view is built into mutable scratch and wins every key tie.
   template <class Fn>
   void scan(const K* lo_key, const K* hi_key, Fn&& fn) const {
+    if (cfg_.tiered) {
+      scan_tiered(lo_key, hi_key, static_cast<Fn&&>(fn));
+      return;
+    }
+    stage_view_.assign(stage_.begin(), stage_.end());
+    sort_dedup_newest_wins(stage_view_, stage_view_scratch_);
+    std::size_t sc = 0;
+    if (lo_key != nullptr) {
+      sc = static_cast<std::size_t>(
+          std::lower_bound(stage_view_.begin(), stage_view_.end(), *lo_key,
+                           [](const TItem& s, const K& k) { return s.key < k; }) -
+          stage_view_.begin());
+    }
+    if (!stage_.empty()) mm_.touch(stage_base_, stage_.size() * sizeof(TItem));
     // Per-level cursors positioned at the first real slot with key >= lo_key
     // (or the first real slot overall when unbounded below).
     std::vector<std::uint32_t> cur(levels_.size());
@@ -441,10 +802,25 @@ class Gcola {
         }
         if (best == levels_.size() || k < levels_[best].slots[cur[best]].key) best = l;
       }
-      if (best == levels_.size()) return;
-      const Slot& s = levels_[best].slots[cur[best]];
-      const K k = s.key;
-      if (!s.is_tombstone()) fn(k, s.value);
+      // The staging view outranks every level: it holds the newest copies.
+      if (sc < stage_view_.size() && hi_key != nullptr &&
+          *hi_key < stage_view_[sc].key) {
+        sc = stage_view_.size();
+      }
+      const bool stage_wins =
+          sc < stage_view_.size() &&
+          (best == levels_.size() ||
+           !(levels_[best].slots[cur[best]].key < stage_view_[sc].key));
+      if (best == levels_.size() && !stage_wins) return;
+      const K k = stage_wins ? stage_view_[sc].key : levels_[best].slots[cur[best]].key;
+      if (stage_wins) {
+        const TItem& s = stage_view_[sc];
+        if (!s.is_tombstone()) fn(k, s.value);
+        ++sc;
+      } else {
+        const Slot& s = levels_[best].slots[cur[best]];
+        if (!s.is_tombstone()) fn(k, s.value);
+      }
       // Consume this key from every level (older copies are shadowed).
       for (std::size_t l = 0; l < levels_.size(); ++l) {
         if (cur[l] != kNoIdx && levels_[l].slots[cur[l]].key == k) {
@@ -456,22 +832,257 @@ class Gcola {
 
   // -- insertion --------------------------------------------------------------
 
+  /// Collapse the arena's sorted runs into one sorted, newest-wins run in
+  /// stage_. Balanced rounds of pairwise merges: runs arrived oldest-first,
+  /// adjacent pairs merge with the RIGHT (later, newer) run winning ties,
+  /// which preserves the global recency order round over round. log2(#runs)
+  /// passes — for batch feeds that is log2(g) passes over cache-resident
+  /// data instead of a log2(capacity)-pass sort.
+  void normalize_stage() {
+    collapse_runs(stage_, stage_runs_, tfold_tmp_, stage_runs_scratch_);
+  }
+
+  /// Widen an Entry run into compact TItems, appending to `out` — the one
+  /// place that knows how an Entry maps onto the tiered element.
+  static void append_widened(const Entry<K, V>* b, const Entry<K, V>* e,
+                             std::vector<TItem>& out) {
+    out.reserve(out.size() + static_cast<std::size_t>(e - b));
+    for (; b != e; ++b) {
+      TItem s{};
+      s.key = b->key;
+      s.value = b->value;
+      out.push_back(s);
+    }
+  }
+
+  /// The branch-light newest-wins pair merge shared by every tiered merge
+  /// site: writes the merge of older [a, ae) and newer [b, be) to `w`
+  /// (newer wins key ties; both sides advance, dropping the older
+  /// duplicate) and returns one past the last element written.
+  static TItem* merge_pair_newest_wins(const TItem* a, const TItem* ae,
+                                       const TItem* b, const TItem* be, TItem* w) {
+    while (a != ae && b != be) {
+      const bool take_b = !(a->key < b->key);
+      const bool take_a = !(b->key < a->key);
+      const TItem* pick = take_b ? b : a;  // pointer select: cmov, no branch
+      *w++ = *pick;
+      a += take_a;
+      b += take_b;
+    }
+    w = std::copy(a, ae, w);
+    return std::copy(b, be, w);
+  }
+
+  /// Binary-counter compaction of the staging arena's tail: after a
+  /// singleton append, merge the last two runs while the older is no larger
+  /// than the newer. Keeps the arena at O(log capacity) runs under
+  /// single-op feeds — so find()'s run probes stay logarithmic — at an
+  /// amortized O(log capacity) moves per insert, the same work the flush
+  /// collapse would otherwise do all at once.
+  void counter_merge_stage_tail() {
+    while (stage_runs_.size() >= 2) {
+      const std::uint32_t b2 = stage_runs_.back();
+      const std::uint32_t b1 = stage_runs_[stage_runs_.size() - 2];
+      const std::size_t older = b2 - b1;
+      const std::size_t newer = stage_.size() - b2;
+      if (older > newer) break;
+      tfold_tmp_.resize(older + newer);
+      TItem* w = merge_pair_newest_wins(stage_.data() + b1, stage_.data() + b2,
+                                        stage_.data() + b2,
+                                        stage_.data() + stage_.size(),
+                                        tfold_tmp_.data());
+      const std::size_t merged = static_cast<std::size_t>(w - tfold_tmp_.data());
+      std::copy(tfold_tmp_.data(), tfold_tmp_.data() + merged,
+                stage_.begin() + b1);
+      stage_.resize(b1 + merged);
+      stage_runs_.pop_back();
+      stats_.duplicates_dropped += older + newer - merged;
+    }
+  }
+
+  /// Collapse a buffer of sorted runs (oldest run leftmost, newest
+  /// rightmost; `runs` holds each run's begin offset ascending) into one
+  /// sorted, newest-wins run left in `buf`. Balanced rounds of pairwise
+  /// merges — log2(#runs) passes — with the RIGHT (newer) run winning key
+  /// ties, which preserves the global recency order round over round.
+  void collapse_runs(std::vector<TItem>& buf, std::vector<std::uint32_t>& run_list,
+                     std::vector<TItem>& tmp, std::vector<std::uint32_t>& tmp_runs) {
+    if (run_list.size() <= 1) return;
+    std::vector<TItem>* src = &buf;
+    std::vector<TItem>* dst = &tmp;
+    std::vector<std::uint32_t>* runs = &run_list;
+    std::vector<std::uint32_t>* next_runs = &tmp_runs;
+    while (runs->size() > 1) {
+      dst->resize(src->size());
+      next_runs->clear();
+      TItem* w = dst->data();
+      for (std::size_t r = 0; r < runs->size(); r += 2) {
+        next_runs->push_back(static_cast<std::uint32_t>(w - dst->data()));
+        const std::uint32_t ab = (*runs)[r];
+        const std::uint32_t ae = r + 1 < runs->size()
+                                     ? (*runs)[r + 1]
+                                     : static_cast<std::uint32_t>(src->size());
+        if (r + 1 >= runs->size()) {  // odd run out: carry over
+          w = std::copy(src->data() + ab, src->data() + ae, w);
+          break;
+        }
+        const std::uint32_t be = r + 2 < runs->size()
+                                     ? (*runs)[r + 2]
+                                     : static_cast<std::uint32_t>(src->size());
+        w = merge_pair_newest_wins(src->data() + ab, src->data() + ae,
+                                   src->data() + ae, src->data() + be, w);
+      }
+      dst->resize(static_cast<std::size_t>(w - dst->data()));
+      std::swap(src, dst);
+      std::swap(runs, next_runs);
+    }
+    if (src != &buf) buf.swap(*src);
+    // Leave the boundary list describing the result (one run at offset 0),
+    // not whichever round's stale offsets the ping-pong ended on.
+    run_list.clear();
+    if (!buf.empty()) run_list.push_back(0);
+  }
+
+  /// Reserve a logical address region for the staging arena (lazy: only
+  /// configs with staging pay for it).
+  void ensure_stage_base() {
+    if (stage_base_set_ || cfg_.staging_capacity == 0) return;
+    stage_base_ = next_base_;
+    next_base_ += cfg_.staging_capacity * sizeof(TItem);
+    stage_base_set_ = true;
+  }
+
+  /// Carry the normalized run `run` (sorted, unique keys, newest overall)
+  /// into the shallowest level with room — the target walk shared by
+  /// insert_batch and the staging-arena flush. Folds every level that is
+  /// full or too small into the cascade until one can absorb the run plus
+  /// everything displaced above it.
+  void cascade_run(std::vector<Slot>& run) {
+    if (run.empty()) return;
+    const std::size_t t = select_cascade_target(run.size());
+    ensure_level(t);
+    cascade_into(t, run);
+  }
+
+  /// Shallowest level that can absorb an incoming run of `incoming` items
+  /// plus everything displaced above it (full or too-small levels fold into
+  /// the cascade).
+  std::size_t select_cascade_target(std::uint64_t incoming) const {
+    std::uint64_t carried = incoming + levels_[0].real_count;
+    std::size_t t = 1;
+    while (true) {
+      if (t < levels_.size()) {
+        if (!level_full(t) && levels_[t].real_count + carried <= real_cap(t)) break;
+        carried += levels_[t].real_count;
+        ++t;
+      } else if (carried <= real_cap(t)) {
+        break;
+      } else {
+        ++t;
+      }
+    }
+    return t;
+  }
+
+  /// Tiered cascade entry: pick the target for `incoming` staged/normalized
+  /// items (prepared in incoming_spans_, oldest -> newest) and run the
+  /// segment fold.
+  void cascade_run_tiered(std::uint64_t incoming) {
+    if (incoming == 0) return;
+    std::size_t t = select_cascade_target(incoming);
+    // Trivial move: when the cascade is about to drain the deepest data
+    // into virgin territory, the deepest level's segments are already
+    // sorted runs older than everything else — relocating them wholesale
+    // (vector swap, zero element movement) and retargeting the cascade
+    // shallower skips the largest merge the structure ever does. The same
+    // optimization LSM stores apply to bottom-level compactions.
+    //
+    // Gated to ALTERNATE with real bottom folds (bottom_relocated_): the
+    // relocation skips exactly the merge that strips tombstones and dedups
+    // shadowed copies, so taking it unconditionally would let a churn
+    // workload (bounded live set, endless upserts/erases) grow physical
+    // size without bound. Alternating keeps the pure-growth fast path —
+    // one relocation per deepest-level generation — while guaranteeing
+    // every other bottom drain compacts.
+    const std::size_t deepest = deepest_nonempty();
+    if (!bottom_relocated_ && t == deepest + 1 && levels_[deepest].real_count > 0) {
+      ensure_level(t);
+      Level& from = levels_[deepest];
+      Level& to = levels_[t];
+      if (to.real_count == 0) {
+        to.tslots.swap(from.tslots);
+        to.segs.swap(from.segs);
+        to.real_count = from.real_count;
+        to.fills = from.fills;
+        from.tslots.clear();
+        from.segs.clear();
+        from.real_count = 0;
+        from.fills = 0;
+        touch_titems(t, 0, to.tslots.size(), /*write=*/true);
+        bottom_relocated_ = true;
+        t = select_cascade_target(incoming);
+      }
+    }
+    ensure_level(t);
+    ++stats_.merges;
+    cascade_into_tiered(t);
+  }
+
   void put(const K& key, const V& value, bool tombstone) {
-    ensure_level(0);
-    if (!level_full(0)) {
-      Level& l0 = levels_[0];
-      l0.occ_begin = static_cast<std::uint32_t>(l0.slots.size() - 1);
-      Slot& s = l0.slots[l0.occ_begin];
-      s = Slot{};
+    if (cfg_.staging_capacity > 0) {
+      ensure_stage_base();
+      if (stage_.capacity() < cfg_.staging_capacity) {
+        stage_.reserve(cfg_.staging_capacity);
+      }
+      TItem s{};
       s.key = key;
       s.value = value;
       s.flags = tombstone ? kFlagTombstone : 0u;
+      stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
+      stage_.push_back(s);
+      mm_.touch_write(stage_base_ + (stage_.size() - 1) * sizeof(TItem), sizeof(TItem));
+      counter_merge_stage_tail();
+      ++stats_.stage_absorbed;
+      if (stage_.size() >= cfg_.staging_capacity) flush_stage();
+      return;
+    }
+    ensure_level(0);
+    if (!level_full(0)) {
+      Level& l0 = levels_[0];
+      if (cfg_.tiered) {
+        TItem s{};
+        s.key = key;
+        s.value = value;
+        s.flags = tombstone ? kFlagTombstone : 0u;
+        l0.tslots.assign(1, s);
+        l0.segs.assign(1, 0);
+        touch_titems(0, 0, 1, /*write=*/true);
+      } else {
+        Slot s{};
+        s.key = key;
+        s.value = value;
+        s.flags = tombstone ? kFlagTombstone : 0u;
+        l0.occ_begin = static_cast<std::uint32_t>(l0.slots.size() - 1);
+        l0.slots[l0.occ_begin] = s;
+        touch_region(0, l0.occ_begin, 1, /*write=*/true);
+      }
       l0.real_count = 1;
       l0.fills = 1;
-      touch_region(0, l0.occ_begin, 1, /*write=*/true);
       return;
     }
 
+    // Tiered: the target must have segment room AND slot space; reuse the
+    // capacity-aware walk with a singleton run.
+    if (cfg_.tiered) {
+      TItem s{};
+      s.key = key;
+      s.value = value;
+      s.flags = tombstone ? kFlagTombstone : 0u;
+      titem_run_.assign(1, s);
+      incoming_spans_.assign(1, {titem_run_.data(), titem_run_.data() + 1});
+      cascade_run_tiered(1);
+      return;
+    }
     // Find the first non-full target level t; merge levels 0..t-1 + the new
     // element into it.
     std::size_t t = 1;
@@ -532,6 +1143,209 @@ class Gcola {
     cascade_into(t, acc);
   }
 
+  /// Tiered cascade: gather the segments of levels 0..t-1 plus `acc` as a
+  /// run list ordered oldest -> newest (deeper level = older; within a
+  /// level the first segment is oldest; `acc` is newest of all), collapse
+  /// it with balanced pairwise rounds (log2(#runs) passes, newest-wins),
+  /// clear the sources, and APPEND the result as a new segment of level t —
+  /// the level's existing segments are untouched, which is the whole point:
+  /// an element is written once per level it passes, not once per merge the
+  /// level receives.
+  void cascade_into_tiered(std::size_t t) {
+    // Collect source spans oldest -> newest: deeper level = older, within a
+    // level the first segment is oldest, and the incoming spans (already
+    // ordered oldest -> newest by the caller) are newest of all.
+    std::vector<std::pair<const TItem*, const TItem*>>& spans = fold_spans_;
+    spans.clear();
+    std::size_t total = 0;
+    for (std::size_t l = t; l-- > 0;) {
+      const Level& lv = levels_[l];
+      if (lv.real_count == 0) continue;
+      touch_titems(l, 0, lv.tslots.size(), /*write=*/false);
+      for (std::size_t j = 0; j < lv.segs.size(); ++j) {  // oldest first
+        const std::uint32_t b = lv.segs[j];
+        const std::uint32_t e = j + 1 < lv.segs.size()
+                                    ? lv.segs[j + 1]
+                                    : static_cast<std::uint32_t>(lv.tslots.size());
+        spans.emplace_back(lv.tslots.data() + b, lv.tslots.data() + e);
+      }
+      total += lv.tslots.size();
+    }
+    for (const auto& s : incoming_spans_) {
+      spans.push_back(s);
+      total += static_cast<std::size_t>(s.second - s.first);
+    }
+    const bool drop_tombstones =
+        t >= deepest_nonempty() && levels_[t].real_count == 0;
+    // This fold IS a bottom compaction: the next deepest-level drain may
+    // take the trivial move again.
+    if (drop_tombstones) bottom_relocated_ = false;
+    const auto clear_sources = [&] {
+      for (std::size_t l = 0; l < t; ++l) {
+        Level& lv = levels_[l];
+        lv.segs.clear();
+        lv.tslots.clear();  // keeps capacity for the refill
+        lv.fills = 0;
+        lv.real_count = 0;
+      }
+    };
+    if (spans.size() == 1) {
+      // Single source run: it goes straight in (one sequential copy).
+      tfold_buf_.assign(spans[0].first, spans[0].second);
+      clear_sources();
+      if (drop_tombstones) strip_tombstones(tfold_buf_);
+      append_segment(t, tfold_buf_);
+      return;
+    }
+    if (total >= kKwayCutoff) {
+      // Deep drains run out of cache: pairwise rounds would stream the
+      // whole fold through DRAM log2(#spans) times. The one-pass tournament
+      // merge reads and writes each element exactly once at the price of
+      // log2(#spans) in-cache heap compares per element.
+      kway_merge_spans(spans, total, tfold_buf_);
+      clear_sources();
+      stats_.duplicates_dropped += total - tfold_buf_.size();
+      if (drop_tombstones) strip_tombstones(tfold_buf_);
+      append_segment(t, tfold_buf_);
+      return;
+    }
+    // Round zero merges adjacent span pairs straight from their source
+    // locations into the fold buffer — the gather pass and the first merge
+    // round are the same pass. Remaining rounds collapse in the buffer.
+    std::vector<TItem>& buf = tfold_buf_;
+    std::vector<std::uint32_t>& runs = fold_runs_;
+    buf.resize(total);
+    runs.clear();
+    TItem* w = buf.data();
+    for (std::size_t i = 0; i < spans.size(); i += 2) {
+      runs.push_back(static_cast<std::uint32_t>(w - buf.data()));
+      if (i + 1 >= spans.size()) {  // odd span out: carry over
+        w = std::copy(spans[i].first, spans[i].second, w);
+        break;
+      }
+      w = merge_pair_newest_wins(spans[i].first, spans[i].second,
+                                 spans[i + 1].first, spans[i + 1].second, w);
+    }
+    buf.resize(static_cast<std::size_t>(w - buf.data()));
+    clear_sources();
+    collapse_runs(buf, runs, tfold_tmp_, fold_runs_scratch_);
+    stats_.duplicates_dropped += total - buf.size();
+    // A tombstone can be discarded only when no older copy of its key can
+    // exist anywhere — deepest level AND no older segments in the target.
+    if (drop_tombstones) strip_tombstones(buf);
+    append_segment(t, buf);
+  }
+
+  // Fold totals at or above this run through the one-pass k-way merge
+  // instead of pairwise rounds (elements, ~1.5 MiB of TItems: past L2).
+  static constexpr std::size_t kKwayCutoff = std::size_t{1} << 16;
+
+  /// One-pass k-way merge of the sorted source spans (ordered oldest ->
+  /// newest) into `out`, newest-wins on duplicate keys. A loser tree with
+  /// KEYS CACHED in the internal nodes: each emitted element costs one
+  /// source deref plus log2(#spans) compares on in-cache key copies — no
+  /// pointer chasing on the replay path, which is what makes the big
+  /// DRAM-resident drains bandwidth-bound instead of latency-bound. Ties
+  /// order the NEWER (higher-index) span first, so duplicates of a key pop
+  /// newest-first and dedup is a last-emitted-key compare.
+  void kway_merge_spans(
+      const std::vector<std::pair<const TItem*, const TItem*>>& spans,
+      std::size_t total, std::vector<TItem>& out) {
+    out.resize(total);
+    const std::size_t ns = spans.size();
+    kway_cur_.resize(ns);
+    kway_end_.resize(ns);
+    for (std::size_t i = 0; i < ns; ++i) {
+      kway_cur_[i] = spans[i].first;
+      kway_end_[i] = spans[i].second;
+    }
+    std::size_t tsize = 1;
+    while (tsize < ns) tsize <<= 1;
+    // x beats y when it must pop first: alive, and smaller key — or the
+    // same key from a newer span.
+    const auto beats = [](bool xa, const K& xk, std::uint32_t xi, bool ya,
+                          const K& yk, std::uint32_t yi) {
+      if (!xa) return false;
+      if (!ya) return true;
+      if (xk < yk) return true;
+      if (yk < xk) return false;
+      return xi > yi;
+    };
+    // Bottom-up init: winner arrays over 2*tsize nodes; internal node n
+    // keeps its match's LOSER cached in loser_*_[n].
+    wkey_.assign(2 * tsize, K{});
+    widx_.assign(2 * tsize, 0);
+    walive_.assign(2 * tsize, 0);
+    loser_key_.assign(tsize, K{});
+    loser_idx_.assign(tsize, 0);
+    loser_alive_.assign(tsize, 0);
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (kway_cur_[i] == kway_end_[i]) continue;
+      wkey_[tsize + i] = kway_cur_[i]->key;
+      widx_[tsize + i] = static_cast<std::uint32_t>(i);
+      walive_[tsize + i] = 1;
+    }
+    for (std::size_t n2 = tsize; n2-- > 1;) {
+      const std::size_t a = 2 * n2, b = 2 * n2 + 1;
+      const bool bwins =
+          beats(walive_[b] != 0, wkey_[b], widx_[b], walive_[a] != 0, wkey_[a], widx_[a]);
+      const std::size_t win = bwins ? b : a, lose = bwins ? a : b;
+      wkey_[n2] = wkey_[win];
+      widx_[n2] = widx_[win];
+      walive_[n2] = walive_[win];
+      loser_key_[n2] = wkey_[lose];
+      loser_idx_[n2] = widx_[lose];
+      loser_alive_[n2] = walive_[lose];
+    }
+    bool wa = walive_[1] != 0;
+    std::uint32_t wi = widx_[1];
+    TItem* w = out.data();
+    const K* last_key = nullptr;
+    while (wa) {
+      const TItem& item = *kway_cur_[wi];
+      if (last_key == nullptr || *last_key < item.key) {
+        *w = item;
+        last_key = &w->key;
+        ++w;
+      }  // else: older duplicate of the key just emitted — dropped
+      ++kway_cur_[wi];
+      // Replay the path from this leaf: the new head (or "drained") plays
+      // each cached loser on the way to the root.
+      bool ca = kway_cur_[wi] != kway_end_[wi];
+      K ck = ca ? kway_cur_[wi]->key : K{};
+      std::uint32_t ci = wi;
+      for (std::size_t n2 = (tsize + wi) >> 1; n2 >= 1; n2 >>= 1) {
+        if (beats(loser_alive_[n2] != 0, loser_key_[n2], loser_idx_[n2], ca, ck, ci)) {
+          std::swap(ck, loser_key_[n2]);
+          std::swap(ci, loser_idx_[n2]);
+          const bool t = ca;
+          ca = loser_alive_[n2] != 0;
+          loser_alive_[n2] = t ? 1 : 0;
+        }
+      }
+      wa = ca;
+      wi = ci;
+    }
+    out.resize(static_cast<std::size_t>(w - out.data()));
+  }
+
+  /// Append `content` as the new (last) segment of level l. Tiered levels
+  /// are left-justified and grow on demand, so this is one amortized
+  /// sequential write with no rewrite of the level's existing segments.
+  void append_segment(std::size_t l, const std::vector<TItem>& content) {
+    if (content.empty()) return;
+    Level& lv = levels_[l];
+    assert(lv.tslots.size() + content.size() <= real_cap(l));
+    const std::uint32_t nb = static_cast<std::uint32_t>(lv.tslots.size());
+    lv.segs.push_back(nb);
+    lv.tslots.insert(lv.tslots.end(), content.begin(), content.end());
+    touch_titems(l, nb, content.size(), /*write=*/true);
+    lv.real_count += content.size();
+    lv.fills = static_cast<std::uint32_t>(
+        std::min<std::size_t>(lv.segs.size(), cfg_.growth - 1));
+    stats_.entries_merged += content.size();
+  }
+
   /// Merge `acc` (the newest run: sorted, unique keys) together with levels
   /// 0..t-1 into level t — the shared engine behind the single-op cascade
   /// and insert_batch. `acc` must not alias scratch_b_ (the cascade's merge
@@ -586,8 +1400,9 @@ class Gcola {
   }
 
   /// Drop tombstones from `run` in place (used when merging into the deepest
-  /// data so no older copy can resurface).
-  void strip_tombstones(std::vector<Slot>& run) {
+  /// data so no older copy can resurface). Works on Slot and TItem runs.
+  template <class T>
+  void strip_tombstones(std::vector<T>& run) {
     std::size_t w = 0;
     for (std::size_t r = 0; r < run.size(); ++r) {
       if (run[r].is_tombstone()) {
@@ -748,6 +1563,32 @@ class Gcola {
   std::uint64_t next_base_ = 0;
   ColaStats stats_;
   mutable MM mm_;
+  // Staging L0 arena: a sequence of sorted runs (batches normalized on
+  // arrival; single ops are 1-entry runs), flushed as one cascade when full.
+  std::vector<TItem> stage_;
+  std::vector<std::uint32_t> stage_runs_;  // begin offset of each run
+  std::vector<std::uint32_t> stage_runs_scratch_;
+  // Tiered cascade scratch: incoming run spans (prepared by callers of
+  // cascade_run_tiered), gathered source spans, run boundaries, fold
+  // buffers, and the singleton/unstaged run.
+  std::vector<std::pair<const TItem*, const TItem*>> incoming_spans_, fold_spans_;
+  std::vector<std::uint32_t> fold_runs_, fold_runs_scratch_;
+  std::vector<TItem> tfold_buf_, tfold_tmp_, titem_run_;
+  // k-way merge state (span cursors + loser-tree node caches).
+  std::vector<const TItem*> kway_cur_, kway_end_;
+  std::vector<K> wkey_, loser_key_;
+  std::vector<std::uint32_t> widx_, loser_idx_;
+  std::vector<std::uint8_t> walive_, loser_alive_;
+  // Staged-batch normalization scratch (Entry-sized: the narrowest form).
+  std::vector<Entry<K, V>> stage_entry_scratch_, stage_entry_sort_scratch_;
+  std::uint64_t stage_base_ = 0;
+  bool stage_base_set_ = false;
+  // Trivial-move alternation flag: set when the deepest level is relocated
+  // unmerged, cleared by the next true bottom fold (see cascade_run_tiered).
+  bool bottom_relocated_ = false;
+  // Sorted arena view for the ordered scans, rebuilt per scan (mutable: the
+  // scans are const and the view is pure scratch).
+  mutable std::vector<TItem> stage_view_, stage_view_scratch_;
   // Merge scratch, reused across inserts so the steady-state insert and
   // batch paths perform zero heap allocations (capacities grow to the
   // high-water mark of the deepest cascade seen, then stay).

@@ -1,18 +1,23 @@
-// Deamortized (basic) COLA — paper Section 3, Lemma 21 / Theorem 22.
+// Deamortized (basic) COLA — paper Section 3, Lemma 21 / Theorem 22,
+// generalized to a runtime growth factor g.
 //
 // The amortized COLA occasionally performs a merge that touches the entire
 // structure (Theta(N) work on one unlucky insert). The deamortization bounds
-// every insert by O(log N) moves while keeping the O((log N)/B) amortized
-// transfer cost:
+// every insert by O(g log_g N) moves while keeping the amortized transfer
+// cost:
 //
-//  * every level k keeps TWO arrays of capacity 2^k;
-//  * a level is "unsafe" while it holds items in both arrays; unsafe levels
-//    are merged incrementally into an empty array of the next level;
+//  * every level k keeps g arrays of capacity g^k (the paper's construction
+//    is the g = 2 point: two arrays of 2^k);
+//  * a level is "unsafe" while all g of its arrays hold items; unsafe levels
+//    are g-way merged incrementally into an empty array of the next level;
 //  * each insert places its item into level 0 and then spends a move budget
-//    of m = 2k+2 (k = number of levels) advancing merges, scanning unsafe
+//    of m = g*k + 2 (k = number of levels) advancing merges, scanning unsafe
 //    levels left to right;
-//  * Lemma 21: with this budget two adjacent levels are never simultaneously
-//    unsafe, so a merge always finds an empty target array.
+//  * Lemma 21 (generalized): with this budget two adjacent levels are never
+//    simultaneously unsafe, so a merge always finds an empty target array —
+//    a level refills only after g full deliveries from the level above,
+//    which takes at least as long as its own merge drains at g moves per
+//    insert.
 //
 // Queries see only completed ("full") arrays: an in-progress merge copies
 // items, sources stay visible until the merge completes, and the partially
@@ -21,7 +26,7 @@
 // shadow/visible arrays, Theorem 24, is in deamortized_fc_cola.hpp.)
 //
 // Same upsert/tombstone semantics as Gcola. Arrays carry fill sequence
-// numbers so "newest wins" is well defined across the two arrays of a level.
+// numbers so "newest wins" is well defined across the g arrays of a level.
 #pragma once
 
 #include <algorithm>
@@ -30,6 +35,7 @@
 #include <limits>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/entry.hpp"
@@ -48,8 +54,16 @@ struct DeamortizedStats {
 template <class K = Key, class V = Value, class MM = dam::null_mem_model>
 class DeamortizedCola {
  public:
-  explicit DeamortizedCola(MM mm = MM{}) : mm_(std::move(mm)) { ensure_level(0); }
+  explicit DeamortizedCola(unsigned growth = 2, MM mm = MM{})
+      : growth_(growth), mm_(std::move(mm)) {
+    if (growth_ < 2 || growth_ > 256) {
+      throw std::invalid_argument("deamortized cola: growth must be in [2, 256]");
+    }
+    ensure_level(0);
+  }
+  explicit DeamortizedCola(MM mm) : DeamortizedCola(2, std::move(mm)) {}
 
+  unsigned growth() const noexcept { return growth_; }
   const DeamortizedStats& stats() const noexcept { return stats_; }
   MM& mm() noexcept { return mm_; }
   std::size_t level_count() const noexcept { return levels_.size(); }
@@ -60,7 +74,7 @@ class DeamortizedCola {
   std::uint64_t item_count() const noexcept {
     std::uint64_t n = 0;
     for (const Level& lv : levels_) {
-      for (int a = 0; a < 2; ++a) {
+      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
         if (lv.state[a] == State::kFull) n += lv.arr[a].size();
       }
     }
@@ -86,18 +100,22 @@ class DeamortizedCola {
 
   std::optional<V> find(const K& key) const {
     // Newest wins: scan levels from the smallest, and within a level check
-    // the more recently filled array first.
+    // arrays in descending fill-sequence order. One pass collects the full
+    // arrays into reusable scratch, one sort orders them — O(g log g) per
+    // level, not O(g^2) of a repeated arg-max.
     for (std::size_t l = 0; l < levels_.size(); ++l) {
       const Level& lv = levels_[l];
-      int order[2] = {0, 1};
-      if (lv.state[1] == State::kFull &&
-          (lv.state[0] != State::kFull || lv.seq[1] > lv.seq[0])) {
-        order[0] = 1;
-        order[1] = 0;
+      auto& order = find_order_scratch_;
+      order.clear();
+      for (std::size_t i = 0; i < lv.arr.size(); ++i) {
+        if (lv.state[i] == State::kFull) {
+          order.emplace_back(lv.seq[i], static_cast<std::uint32_t>(i));
+        }
       }
-      for (int oi = 0; oi < 2; ++oi) {
-        const int a = order[oi];
-        if (lv.state[a] != State::kFull) continue;
+      std::sort(order.begin(), order.end(),
+                [](const auto& x, const auto& y) { return x.first > y.first; });
+      for (const auto& ord : order) {
+        const std::size_t a = ord.second;
         const auto& arr = lv.arr[a];
         touch_binary_search(l, a, arr.size());
         const auto it =
@@ -125,7 +143,7 @@ class DeamortizedCola {
     std::vector<Cursor> cs;
     for (std::size_t l = 0; l < levels_.size(); ++l) {
       const Level& lv = levels_[l];
-      for (int a = 0; a < 2; ++a) {
+      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
         if (lv.state[a] != State::kFull) continue;
         const auto& arr = lv.arr[a];
         const auto it = std::lower_bound(arr.begin(), arr.end(), lo,
@@ -177,8 +195,11 @@ class DeamortizedCola {
         throw std::logic_error("deamortized cola: adjacent unsafe levels");
       }
       if (lv.unsafe) {
-        if (lv.state[0] != State::kFull || lv.state[1] != State::kFull) {
-          throw std::logic_error("deamortized cola: unsafe level without two full arrays");
+        for (std::size_t a = 0; a < lv.arr.size(); ++a) {
+          if (lv.state[a] != State::kFull) {
+            throw std::logic_error(
+                "deamortized cola: unsafe level without all arrays full");
+          }
         }
         if (l + 1 >= levels_.size()) {
           throw std::logic_error("deamortized cola: unsafe level without target level");
@@ -188,11 +209,11 @@ class DeamortizedCola {
           throw std::logic_error("deamortized cola: merge target not filling");
         }
       }
-      for (int a = 0; a < 2; ++a) {
+      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
         if (lv.state[a] == State::kEmpty && !lv.arr[a].empty()) {
           throw std::logic_error("deamortized cola: nonempty empty array");
         }
-        if (lv.arr[a].size() > (1ULL << l)) {
+        if (lv.arr[a].size() > array_cap(l)) {
           throw std::logic_error("deamortized cola: array overfull");
         }
         for (std::size_t i = 1; i < lv.arr[a].size(); ++i) {
@@ -214,30 +235,47 @@ class DeamortizedCola {
   enum class State : std::uint8_t { kEmpty, kFull, kFilling };
 
   struct Level {
-    std::vector<Item> arr[2];
-    State state[2] = {State::kEmpty, State::kEmpty};
-    std::uint64_t seq[2] = {0, 0};  // fill sequence; larger = newer
-    std::uint64_t base[2] = {0, 0}; // logical offsets for DAM accounting
-    // In-progress merge of THIS level's two arrays into the next level:
+    // g arrays per level; parallel state/seq/base vectors (sized at
+    // ensure_level, never resized after).
+    std::vector<std::vector<Item>> arr;
+    std::vector<State> state;
+    std::vector<std::uint64_t> seq;   // fill sequence; larger = newer
+    std::vector<std::uint64_t> base;  // logical offsets for DAM accounting
+    // In-progress g-way merge of THIS level's arrays into the next level:
     bool unsafe = false;
-    std::size_t pos_a = 0, pos_b = 0;  // cursors into arr[0] / arr[1]
-    int target_arr = 0;                // which array of level l+1 receives
-    bool drop_tombstones = false;      // decided when the merge starts
+    std::vector<std::size_t> pos;  // cursor per source array
+    std::size_t target_arr = 0;    // which array of level l+1 receives
+    bool drop_tombstones = false;  // decided when the merge starts
   };
+
+  /// Capacity of one array of level l: g^l (saturating).
+  std::uint64_t array_cap(std::size_t l) const noexcept {
+    std::uint64_t c = 1;
+    for (std::size_t i = 0; i < l; ++i) {
+      if (c > (std::uint64_t{1} << 58) / growth_) return std::uint64_t{1} << 58;
+      c *= growth_;
+    }
+    return c;
+  }
 
   void ensure_level(std::size_t l) {
     while (levels_.size() <= l) {
       Level lv;
-      const std::uint64_t cap = 1ULL << levels_.size();
-      lv.base[0] = next_base_;
-      next_base_ += cap * sizeof(Item);
-      lv.base[1] = next_base_;
-      next_base_ += cap * sizeof(Item);
+      const std::uint64_t cap = array_cap(levels_.size());
+      lv.arr.resize(growth_);
+      lv.state.assign(growth_, State::kEmpty);
+      lv.seq.assign(growth_, 0);
+      lv.base.resize(growth_);
+      lv.pos.assign(growth_, 0);
+      for (unsigned a = 0; a < growth_; ++a) {
+        lv.base[a] = next_base_;
+        next_base_ += cap * sizeof(Item);
+      }
       levels_.push_back(std::move(lv));
     }
   }
 
-  void touch_binary_search(std::size_t l, int a, std::size_t n) const {
+  void touch_binary_search(std::size_t l, std::size_t a, std::size_t n) const {
     // Account ~log2(n) probes of one Item each.
     std::size_t probes = 1;
     for (std::size_t m = n; m > 1; m >>= 1) ++probes;
@@ -250,16 +288,18 @@ class DeamortizedCola {
     ++stats_.inserts;
     ensure_level(0);
     Level& l0 = levels_[0];
-    int slot = -1;
-    for (int a = 0; a < 2; ++a) {
+    std::size_t slot = l0.arr.size();
+    for (std::size_t a = 0; a < l0.arr.size(); ++a) {
       if (l0.state[a] == State::kEmpty) {
         slot = a;
         break;
       }
     }
-    // With budget m = 2k+2 >= 6, an unsafe level 0 always finishes its merge
-    // within one insert (2 moves), so a free array must exist here.
-    if (slot < 0) throw std::logic_error("deamortized cola: level 0 has no free array");
+    // With budget m = g*k + 2 >= g + 2, an unsafe level 0 always finishes its
+    // merge (g items) within one insert, so a free array must exist here.
+    if (slot == l0.arr.size()) {
+      throw std::logic_error("deamortized cola: level 0 has no free array");
+    }
     l0.arr[slot].clear();
     l0.arr[slot].push_back(Item{key, value, tombstone});
     l0.state[slot] = State::kFull;
@@ -268,7 +308,7 @@ class DeamortizedCola {
     maybe_start_merge(0);
 
     // Spend the move budget on unsafe levels, left to right.
-    std::uint64_t budget = 2 * levels_.size() + 2;
+    std::uint64_t budget = growth_ * levels_.size() + 2;
     std::uint64_t moves = 0;
     for (std::size_t l = 0; l < levels_.size() && budget > 0; ++l) {
       if (!levels_[l].unsafe) continue;
@@ -278,16 +318,18 @@ class DeamortizedCola {
     stats_.max_moves_per_insert = std::max(stats_.max_moves_per_insert, moves);
   }
 
-  /// If level l now holds items in both arrays, begin merging them into an
-  /// empty array of level l+1.
+  /// If level l now holds items in all g arrays, begin the g-way merge into
+  /// an empty array of level l+1.
   void maybe_start_merge(std::size_t l) {
     if (levels_[l].unsafe) return;
-    if (levels_[l].state[0] != State::kFull || levels_[l].state[1] != State::kFull) return;
+    for (std::size_t a = 0; a < levels_[l].arr.size(); ++a) {
+      if (levels_[l].state[a] != State::kFull) return;
+    }
     ensure_level(l + 1);  // may reallocate levels_: take references only after
     Level& lv = levels_[l];
     Level& nxt = levels_[l + 1];
-    int tgt = -1;
-    for (int a = 0; a < 2; ++a) {
+    std::size_t tgt = nxt.arr.size();
+    for (std::size_t a = 0; a < nxt.arr.size(); ++a) {
       if (nxt.state[a] == State::kEmpty) {
         tgt = a;
         break;
@@ -295,18 +337,22 @@ class DeamortizedCola {
     }
     // Lemma 21: adjacent levels are never simultaneously unsafe, so an empty
     // target must exist.
-    if (tgt < 0) throw std::logic_error("deamortized cola: no empty target array");
+    if (tgt == nxt.arr.size()) {
+      throw std::logic_error("deamortized cola: no empty target array");
+    }
     lv.unsafe = true;
-    lv.pos_a = lv.pos_b = 0;
+    std::fill(lv.pos.begin(), lv.pos.end(), std::size_t{0});
     lv.target_arr = tgt;
     nxt.state[tgt] = State::kFilling;
     nxt.arr[tgt].clear();
-    nxt.arr[tgt].reserve(lv.arr[0].size() + lv.arr[1].size());
+    std::size_t total = 0;
+    for (const auto& src : lv.arr) total += src.size();
+    nxt.arr[tgt].reserve(total);
     // Tombstones may be discarded iff nothing deeper can hold their key:
-    // every level > l+1 empty and the sibling array at l+1 empty.
+    // every level > l+1 empty and the sibling arrays at l+1 empty.
     bool deeper_data = false;
     for (std::size_t j = l + 1; j < levels_.size() && !deeper_data; ++j) {
-      for (int a = 0; a < 2; ++a) {
+      for (std::size_t a = 0; a < levels_[j].arr.size(); ++a) {
         if (j == l + 1 && a == tgt) continue;
         if (levels_[j].state[a] != State::kEmpty) deeper_data = true;
       }
@@ -315,49 +361,59 @@ class DeamortizedCola {
     ++stats_.merges_started;
   }
 
-  /// Move up to *budget items of level l's merge; decrements *budget by the
-  /// moves performed and returns them. Completes the merge (and possibly
-  /// cascades a new unsafe level) when the sources drain.
+  /// Advance level l's g-way merge by up to *budget steps; each step emits
+  /// the smallest remaining key (the newest copy by fill sequence) and
+  /// consumes every source copy of that key. Decrements *budget by the steps
+  /// performed and returns them. Completes the merge (and possibly cascades
+  /// a new unsafe level) when the sources drain.
   std::uint64_t advance_merge(std::size_t l, std::uint64_t* budget) {
     Level& lv = levels_[l];
     Level& nxt = levels_[l + 1];
-    auto& a = lv.arr[0];
-    auto& b = lv.arr[1];
     auto& out = nxt.arr[lv.target_arr];
-    // Which source is newer decides duplicate survival.
-    const bool a_newer = lv.seq[0] > lv.seq[1];
     std::uint64_t moves = 0;
 
-    while (*budget > 0 && (lv.pos_a < a.size() || lv.pos_b < b.size())) {
-      Item item{};
-      if (lv.pos_a < a.size() && lv.pos_b < b.size() &&
-          a[lv.pos_a].key == b[lv.pos_b].key) {
-        item = a_newer ? a[lv.pos_a] : b[lv.pos_b];
-        ++lv.pos_a;
-        ++lv.pos_b;
-        mm_.touch(lv.base[0] + lv.pos_a * sizeof(Item), sizeof(Item));
-        mm_.touch(lv.base[1] + lv.pos_b * sizeof(Item), sizeof(Item));
-      } else if (lv.pos_b >= b.size() ||
-                 (lv.pos_a < a.size() && a[lv.pos_a].key < b[lv.pos_b].key)) {
-        item = a[lv.pos_a++];
-        mm_.touch(lv.base[0] + lv.pos_a * sizeof(Item), sizeof(Item));
-      } else {
-        item = b[lv.pos_b++];
-        mm_.touch(lv.base[1] + lv.pos_b * sizeof(Item), sizeof(Item));
+    while (*budget > 0) {
+      // Smallest key among unfinished sources; ties resolved to the newest
+      // (largest seq) copy.
+      std::size_t win = lv.arr.size();
+      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
+        if (lv.pos[a] >= lv.arr[a].size()) continue;
+        if (win == lv.arr.size()) {
+          win = a;
+          continue;
+        }
+        const K& ka = lv.arr[a][lv.pos[a]].key;
+        const K& kw = lv.arr[win][lv.pos[win]].key;
+        if (ka < kw || (ka == kw && lv.seq[a] > lv.seq[win])) win = a;
+      }
+      if (win == lv.arr.size()) break;  // sources drained
+      const Item item = lv.arr[win][lv.pos[win]];
+      // Consume every copy of this key (the non-winners are shadowed).
+      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
+        if (lv.pos[a] < lv.arr[a].size() && lv.arr[a][lv.pos[a]].key == item.key) {
+          ++lv.pos[a];
+          mm_.touch(lv.base[a] + lv.pos[a] * sizeof(Item), sizeof(Item));
+        }
       }
       if (!(item.tombstone && lv.drop_tombstones)) {
         out.push_back(item);
-        mm_.touch_write(nxt.base[lv.target_arr] + out.size() * sizeof(Item), sizeof(Item));
+        mm_.touch_write(nxt.base[lv.target_arr] + out.size() * sizeof(Item),
+                        sizeof(Item));
       }
       --*budget;
       ++moves;
     }
 
-    if (lv.pos_a >= a.size() && lv.pos_b >= b.size()) {
+    bool drained = true;
+    for (std::size_t a = 0; a < lv.arr.size(); ++a) {
+      if (lv.pos[a] < lv.arr[a].size()) drained = false;
+    }
+    if (drained) {
       // Merge complete: sources become empty, target becomes visible.
-      a.clear();
-      b.clear();
-      lv.state[0] = lv.state[1] = State::kEmpty;
+      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
+        lv.arr[a].clear();
+        lv.state[a] = State::kEmpty;
+      }
       lv.unsafe = false;
       nxt.state[lv.target_arr] = State::kFull;
       nxt.seq[lv.target_arr] = ++seq_counter_;
@@ -367,10 +423,13 @@ class DeamortizedCola {
     return moves;
   }
 
+  unsigned growth_;
   std::vector<Level> levels_;
   std::uint64_t next_base_ = 0;
   std::uint64_t seq_counter_ = 0;
   std::vector<Entry<K, V>> batch_scratch_, batch_sort_scratch_;  // batch staging, reused
+  // find() array-ordering scratch (mutable: find is const, scratch reused).
+  mutable std::vector<std::pair<std::uint64_t, std::uint32_t>> find_order_scratch_;
   DeamortizedStats stats_;
   mutable MM mm_;
 };

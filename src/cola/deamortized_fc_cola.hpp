@@ -1,14 +1,14 @@
 // Deamortized COLA with lookahead pointers — paper Section 3,
-// Lemma 23 / Theorem 24.
+// Lemma 23 / Theorem 24 — generalized to a runtime growth factor g.
 //
 // The basic deamortization (deamortized_cola.hpp) bounds every insert by
-// O(log N) moves but loses fractional cascading: its queries binary-search
-// every level (O(log^2 N) probes). Theorem 24 restores O(log N)-probe
-// queries by maintaining lookahead pointers *incrementally*, using shadow
-// arrays so that "from the viewpoint of a query, no level will appear to be
-// in the middle of a merge":
+// O(g log_g N) moves but loses fractional cascading: its queries binary-
+// search every array of every level. Theorem 24 restores O(1)-probe-per-
+// level queries by maintaining lookahead pointers *incrementally*, using
+// shadow arrays so that "from the viewpoint of a query, no level will appear
+// to be in the middle of a merge":
 //
-//  * merges copy two full arrays of level k into a hidden array of level
+//  * merges copy the g full arrays of level k into a hidden array of level
 //    k+1, a budgeted number of items per insert;
 //  * when a merge completes, lookahead pointers (every 8th element) are
 //    copied back into level k — also budgeted, also into a hidden buffer;
@@ -17,8 +17,8 @@
 //    back to a plain binary search for that level), never a partial one.
 //
 // The per-insert budget covers merged items plus copied pointers, so the
-// worst-case insert stays O(log N) moves (Theorem 24), and searches probe
-// O(1) cells in each level whose pointer buffer is current.
+// worst-case insert stays O(g log_g N) moves (Theorem 24 at g = 2), and
+// searches probe O(1) cells in each level whose pointer buffer is current.
 //
 // Documented deviation from the paper's construction: lookahead pointers
 // live in per-level side buffers (double-buffered, epoch-validated) rather
@@ -36,6 +36,7 @@
 #include <limits>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/entry.hpp"
@@ -58,8 +59,16 @@ class DeamortizedFcCola {
  public:
   static constexpr int kSampleStride = 8;  // paper: every eighth element
 
-  explicit DeamortizedFcCola(MM mm = MM{}) : mm_(std::move(mm)) { ensure_level(0); }
+  explicit DeamortizedFcCola(unsigned growth = 2, MM mm = MM{})
+      : growth_(growth), mm_(std::move(mm)) {
+    if (growth_ < 2 || growth_ > 256) {
+      throw std::invalid_argument("fc-deam: growth must be in [2, 256]");
+    }
+    ensure_level(0);
+  }
+  explicit DeamortizedFcCola(MM mm) : DeamortizedFcCola(2, std::move(mm)) {}
 
+  unsigned growth() const noexcept { return growth_; }
   const DeamortizedFcStats& stats() const noexcept { return stats_; }
   MM& mm() noexcept { return mm_; }
   std::size_t level_count() const noexcept { return levels_.size(); }
@@ -81,20 +90,28 @@ class DeamortizedFcCola {
 
   std::optional<V> find(const K& key) const {
     // Per-array windows for the level being examined; refreshed from the
-    // previous level's pointer buffer when it is current.
-    Window win[2] = {Window{}, Window{}};
+    // previous level's pointer buffer when it is current. The window vectors
+    // are mutable scratch sized to g.
+    std::vector<Window>& win = win_cur_;
+    std::vector<Window>& next = win_next_;
+    win.assign(growth_, Window{});
     for (std::size_t l = 0; l < levels_.size(); ++l) {
       const Level& lv = levels_[l];
-      Window next[2] = {Window{}, Window{}};
-      // Search newest-first within the level.
-      int order[2] = {0, 1};
-      if (lv.state[1] == State::kFull &&
-          (lv.state[0] != State::kFull || lv.seq[1] > lv.seq[0])) {
-        std::swap(order[0], order[1]);
+      next.assign(growth_, Window{});
+      // Search arrays newest-first within the level: collect the full
+      // arrays once and sort by descending seq — O(g log g), not the
+      // O(g^2) of a repeated arg-max.
+      auto& order = find_order_scratch_;
+      order.clear();
+      for (std::size_t i = 0; i < lv.arr.size(); ++i) {
+        if (lv.state[i] == State::kFull) {
+          order.emplace_back(lv.seq[i], static_cast<std::uint32_t>(i));
+        }
       }
-      for (int oi = 0; oi < 2; ++oi) {
-        const int a = order[oi];
-        if (lv.state[a] != State::kFull) continue;
+      std::sort(order.begin(), order.end(),
+                [](const auto& x, const auto& y) { return x.first > y.first; });
+      for (const auto& ord : order) {
+        const std::size_t a = ord.second;
         const auto& arr = lv.arr[a];
         std::size_t lo = 0, hi = arr.size();
         if (win[a].valid && win[a].seq == lv.seq[a]) {
@@ -115,8 +132,7 @@ class DeamortizedFcCola {
         }
       }
       if (l + 1 < levels_.size()) derive_windows(l, key, next);
-      win[0] = next[0];
-      win[1] = next[1];
+      win.swap(next);
     }
     return std::nullopt;
   }
@@ -134,7 +150,7 @@ class DeamortizedFcCola {
     std::vector<Cursor> cs;
     for (std::size_t l = 0; l < levels_.size(); ++l) {
       const Level& lv = levels_[l];
-      for (int a = 0; a < 2; ++a) {
+      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
         if (lv.state[a] != State::kFull) continue;
         const auto& arr = lv.arr[a];
         const auto it = std::lower_bound(arr.begin(), arr.end(), lo,
@@ -179,13 +195,13 @@ class DeamortizedFcCola {
       if (lv.unsafe && l + 1 < levels_.size() && levels_[l + 1].unsafe) {
         throw std::logic_error("fc-deam: adjacent unsafe levels");
       }
-      for (int a = 0; a < 2; ++a) {
+      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
         for (std::size_t i = 1; i < lv.arr[a].size(); ++i) {
           if (!(lv.arr[a][i - 1].key < lv.arr[a][i].key)) {
             throw std::logic_error("fc-deam: array unsorted");
           }
         }
-        if (lv.arr[a].size() > (1ULL << l)) throw std::logic_error("fc-deam: overfull");
+        if (lv.arr[a].size() > array_cap(l)) throw std::logic_error("fc-deam: overfull");
       }
       // Active pointer buffer, when valid, must reference a current array
       // and be sorted with in-range indices.
@@ -197,7 +213,9 @@ class DeamortizedFcCola {
           if (i > 0 && la.entries[i - 1].key > e.key) {
             throw std::logic_error("fc-deam: pointer buffer unsorted");
           }
-          if (e.target_array > 1) throw std::logic_error("fc-deam: bad target array");
+          if (e.target_array >= nxt.arr.size()) {
+            throw std::logic_error("fc-deam: bad target array");
+          }
           if (la.target_seq[e.target_array] == nxt.seq[e.target_array] &&
               nxt.state[e.target_array] == State::kFull) {
             if (e.index >= nxt.arr[e.target_array].size()) {
@@ -213,6 +231,8 @@ class DeamortizedFcCola {
   }
 
  private:
+  static constexpr std::uint64_t kNoSeq = ~0ULL;
+
   struct Item {
     K key;
     V value;
@@ -221,7 +241,7 @@ class DeamortizedFcCola {
 
   struct LaEntry {
     K key;
-    std::uint32_t target_array;  // 0 or 1: which array of the next level
+    std::uint32_t target_array;  // which array of the next level
     std::uint32_t index;         // position within that array
   };
 
@@ -230,7 +250,7 @@ class DeamortizedFcCola {
   /// buffer self-invalidates when its target arrays' sequence numbers move.
   struct La {
     std::vector<LaEntry> entries;
-    std::uint64_t target_seq[2] = {~0ULL, ~0ULL};
+    std::vector<std::uint64_t> target_seq;  // per target array; kNoSeq = unset
     bool valid = false;
   };
 
@@ -240,40 +260,63 @@ class DeamortizedFcCola {
     bool valid = false;
     std::uint64_t seq = 0;
     std::size_t lo = 0, hi = 0;
+    // Scan bookkeeping for derive_windows: whether each bound has been
+    // tightened by a pointer already. Explicit flags, not sentinel values —
+    // a legitimate boundary pointer (predecessor at index 0, successor at
+    // the array end) must not be mistaken for "not found yet".
+    bool lo_set = false, hi_set = false;
   };
 
   struct Level {
-    std::vector<Item> arr[2];
-    State state[2] = {State::kEmpty, State::kEmpty};
-    std::uint64_t seq[2] = {0, 0};
-    std::uint64_t base[2] = {0, 0};
-    // In-progress merge into the next level.
+    std::vector<std::vector<Item>> arr;  // g arrays
+    std::vector<State> state;
+    std::vector<std::uint64_t> seq;
+    std::vector<std::uint64_t> base;
+    // In-progress g-way merge into the next level.
     bool unsafe = false;
-    std::size_t pos_a = 0, pos_b = 0;
-    int target_arr = 0;
+    std::vector<std::size_t> pos;
+    std::size_t target_arr = 0;
     bool drop_tombstones = false;
     // Lookahead buffers (double-buffered); rebuild state for the hidden one.
     La la[2];
     int active_la = 0;
     bool la_building = false;
-    std::size_t la_src_pos[2] = {0, 0};  // sample cursors into next level arrays
+    std::vector<std::size_t> la_src_pos;  // sample cursors into next level arrays
   };
 
   DeamortizedFcStats& stats_mut() const { return const_cast<DeamortizedFcStats&>(stats_); }
 
+  /// Capacity of one array of level l: g^l (saturating).
+  std::uint64_t array_cap(std::size_t l) const noexcept {
+    std::uint64_t c = 1;
+    for (std::size_t i = 0; i < l; ++i) {
+      if (c > (std::uint64_t{1} << 58) / growth_) return std::uint64_t{1} << 58;
+      c *= growth_;
+    }
+    return c;
+  }
+
   void ensure_level(std::size_t l) {
     while (levels_.size() <= l) {
       Level lv;
-      const std::uint64_t cap = 1ULL << levels_.size();
-      lv.base[0] = next_base_;
-      next_base_ += cap * sizeof(Item);
-      lv.base[1] = next_base_;
-      next_base_ += cap * sizeof(Item);
+      const std::uint64_t cap = array_cap(levels_.size());
+      lv.arr.resize(growth_);
+      lv.state.assign(growth_, State::kEmpty);
+      lv.seq.assign(growth_, 0);
+      lv.base.resize(growth_);
+      lv.pos.assign(growth_, 0);
+      lv.la_src_pos.assign(growth_, 0);
+      lv.la[0].target_seq.assign(growth_, kNoSeq);
+      lv.la[1].target_seq.assign(growth_, kNoSeq);
+      for (unsigned a = 0; a < growth_; ++a) {
+        lv.base[a] = next_base_;
+        next_base_ += cap * sizeof(Item);
+      }
       levels_.push_back(std::move(lv));
     }
   }
 
-  void touch_search(std::size_t l, int a, std::size_t lo, std::size_t hi) const {
+  void touch_search(std::size_t l, std::size_t a, std::size_t lo, std::size_t hi) const {
     std::size_t probes = 1;
     for (std::size_t m = hi - lo; m > 1; m >>= 1) ++probes;
     for (std::size_t i = 0; i < probes; ++i) {
@@ -285,14 +328,14 @@ class DeamortizedFcCola {
   /// Bound the next level's arrays from this level's pointer buffer:
   /// predecessor pointer -> window start, successor pointer -> window end
   /// (+stride slack, since pointers sample every 8th element).
-  void derive_windows(std::size_t l, const K& key, Window next[2]) const {
+  void derive_windows(std::size_t l, const K& key, std::vector<Window>& next) const {
     const Level& lv = levels_[l];
     const La& la = lv.la[lv.active_la];
     if (!la.valid || la.entries.empty()) return;
     const Level& nxt = levels_[l + 1];
     // Validate the buffer against the next level's current arrays.
-    for (int a = 0; a < 2; ++a) {
-      if (la.target_seq[a] != ~0ULL &&
+    for (std::size_t a = 0; a < nxt.arr.size(); ++a) {
+      if (la.target_seq[a] != kNoSeq &&
           (nxt.state[a] != State::kFull || la.target_seq[a] != nxt.seq[a])) {
         return;  // stale: caller falls back to full binary search
       }
@@ -302,35 +345,47 @@ class DeamortizedFcCola {
         [](const K& k, const LaEntry& e) { return k < e.key; });
     // Predecessor pointers give inclusive lower bounds per target array;
     // successor pointers give exclusive upper bounds.
-    for (int a = 0; a < 2; ++a) {
-      next[a].valid = la.target_seq[a] != ~0ULL;
+    for (std::size_t a = 0; a < nxt.arr.size(); ++a) {
+      next[a].valid = la.target_seq[a] != kNoSeq;
       next[a].seq = nxt.seq[a];
       next[a].lo = 0;
       next[a].hi = nxt.arr[a].size();
     }
     // Nearest pointer per target array on each side of the probe. Scans are
-    // bounded: entries for the two arrays interleave, so the nearest one is
-    // almost always within a few steps; an unbounded miss just leaves the
-    // (safe) full-array bound in place.
-    bool lo_found[2] = {false, false};
+    // bounded: entries for the g arrays interleave, so the nearest one is
+    // almost always within a few steps per array; an unbounded miss just
+    // leaves the (safe) full-array bound in place.
+    const int scan_limit = 16 * static_cast<int>(growth_);
+    // Early-exit counters track only windows that CAN be satisfied (valid
+    // targets); counting unsampled/empty arrays would force every scan to
+    // run to scan_limit while a level refills.
+    std::size_t satisfiable = 0;
+    for (std::size_t a = 0; a < nxt.arr.size(); ++a) {
+      if (next[a].valid) ++satisfiable;
+    }
+    std::size_t lo_missing = satisfiable;
     int scanned = 0;
-    for (auto back = it; back != la.entries.begin() && scanned < 32; ++scanned) {
+    for (auto back = it; back != la.entries.begin() && scanned < scan_limit &&
+                         lo_missing > 0;
+         ++scanned) {
       --back;
       Window& w = next[back->target_array];
-      if (w.valid && !lo_found[back->target_array]) {
+      if (w.valid && !w.lo_set) {
         w.lo = back->index;
-        lo_found[back->target_array] = true;
-        if (lo_found[0] && lo_found[1]) break;
+        w.lo_set = true;
+        --lo_missing;
       }
     }
-    bool hi_found[2] = {false, false};
+    std::size_t hi_found = 0;
     scanned = 0;
-    for (auto fwd = it; fwd != la.entries.end() && scanned < 32; ++fwd, ++scanned) {
+    for (auto fwd = it; fwd != la.entries.end() && scanned < scan_limit &&
+                        hi_found < satisfiable;
+         ++fwd, ++scanned) {
       Window& w = next[fwd->target_array];
-      if (w.valid && !hi_found[fwd->target_array]) {
+      if (w.valid && !w.hi_set) {
         w.hi = std::min<std::size_t>(w.hi, static_cast<std::size_t>(fwd->index) + 1);
-        hi_found[fwd->target_array] = true;
-        if (hi_found[0] && hi_found[1]) break;
+        w.hi_set = true;
+        ++hi_found;
       }
     }
   }
@@ -339,14 +394,16 @@ class DeamortizedFcCola {
     ++stats_.inserts;
     ensure_level(0);
     Level& l0 = levels_[0];
-    int slot = -1;
-    for (int a = 0; a < 2; ++a) {
+    std::size_t slot = l0.arr.size();
+    for (std::size_t a = 0; a < l0.arr.size(); ++a) {
       if (l0.state[a] == State::kEmpty) {
         slot = a;
         break;
       }
     }
-    if (slot < 0) throw std::logic_error("fc-deam: level 0 has no free array");
+    if (slot == l0.arr.size()) {
+      throw std::logic_error("fc-deam: level 0 has no free array");
+    }
     l0.arr[slot].clear();
     l0.arr[slot].push_back(Item{key, value, tombstone});
     l0.state[slot] = State::kFull;
@@ -355,9 +412,10 @@ class DeamortizedFcCola {
     maybe_start_merge(0);
 
     // Theorem 24's budget covers merged items AND copied pointers. The
-    // constant is a bit larger than the basic COLA's 2k+2 because each merge
-    // completion also schedules a pointer copy of 1/8 the merged size.
-    std::uint64_t budget = 3 * levels_.size() + 4;
+    // constant is one level-multiple larger than the basic COLA's g*k + 2
+    // because each merge completion also schedules a pointer copy of 1/8 the
+    // merged size.
+    std::uint64_t budget = (growth_ + 1) * levels_.size() + 4;
     std::uint64_t moves = 0;
     for (std::size_t l = 0; l < levels_.size() && budget > 0; ++l) {
       if (levels_[l].unsafe) moves += advance_merge(l, &budget);
@@ -369,27 +427,31 @@ class DeamortizedFcCola {
 
   void maybe_start_merge(std::size_t l) {
     if (levels_[l].unsafe) return;
-    if (levels_[l].state[0] != State::kFull || levels_[l].state[1] != State::kFull) return;
-    ensure_level(l + 1);
+    for (std::size_t a = 0; a < levels_[l].arr.size(); ++a) {
+      if (levels_[l].state[a] != State::kFull) return;
+    }
+    ensure_level(l + 1);  // may reallocate levels_: take references only after
     Level& lv = levels_[l];
     Level& nxt = levels_[l + 1];
-    int tgt = -1;
-    for (int a = 0; a < 2; ++a) {
+    std::size_t tgt = nxt.arr.size();
+    for (std::size_t a = 0; a < nxt.arr.size(); ++a) {
       if (nxt.state[a] == State::kEmpty) {
         tgt = a;
         break;
       }
     }
-    if (tgt < 0) throw std::logic_error("fc-deam: no empty target array");
+    if (tgt == nxt.arr.size()) throw std::logic_error("fc-deam: no empty target array");
     lv.unsafe = true;
-    lv.pos_a = lv.pos_b = 0;
+    std::fill(lv.pos.begin(), lv.pos.end(), std::size_t{0});
     lv.target_arr = tgt;
     nxt.state[tgt] = State::kFilling;
     nxt.arr[tgt].clear();
-    nxt.arr[tgt].reserve(lv.arr[0].size() + lv.arr[1].size());
+    std::size_t total = 0;
+    for (const auto& src : lv.arr) total += src.size();
+    nxt.arr[tgt].reserve(total);
     bool deeper_data = false;
     for (std::size_t j = l + 1; j < levels_.size() && !deeper_data; ++j) {
-      for (int a = 0; a < 2; ++a) {
+      for (std::size_t a = 0; a < levels_[j].arr.size(); ++a) {
         if (j == l + 1 && a == tgt) continue;
         if (levels_[j].state[a] != State::kEmpty) deeper_data = true;
       }
@@ -400,26 +462,29 @@ class DeamortizedFcCola {
   std::uint64_t advance_merge(std::size_t l, std::uint64_t* budget) {
     Level& lv = levels_[l];
     Level& nxt = levels_[l + 1];
-    auto& a = lv.arr[0];
-    auto& b = lv.arr[1];
     auto& out = nxt.arr[lv.target_arr];
-    const bool a_newer = lv.seq[0] > lv.seq[1];
     std::uint64_t moves = 0;
 
-    while (*budget > 0 && (lv.pos_a < a.size() || lv.pos_b < b.size())) {
-      Item item{};
-      if (lv.pos_a < a.size() && lv.pos_b < b.size() &&
-          a[lv.pos_a].key == b[lv.pos_b].key) {
-        item = a_newer ? a[lv.pos_a] : b[lv.pos_b];
-        ++lv.pos_a;
-        ++lv.pos_b;
-      } else if (lv.pos_b >= b.size() ||
-                 (lv.pos_a < a.size() && a[lv.pos_a].key < b[lv.pos_b].key)) {
-        item = a[lv.pos_a++];
-      } else {
-        item = b[lv.pos_b++];
+    while (*budget > 0) {
+      std::size_t win = lv.arr.size();
+      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
+        if (lv.pos[a] >= lv.arr[a].size()) continue;
+        if (win == lv.arr.size()) {
+          win = a;
+          continue;
+        }
+        const K& ka = lv.arr[a][lv.pos[a]].key;
+        const K& kw = lv.arr[win][lv.pos[win]].key;
+        if (ka < kw || (ka == kw && lv.seq[a] > lv.seq[win])) win = a;
       }
-      mm_.touch(lv.base[0] + lv.pos_a * sizeof(Item), sizeof(Item));
+      if (win == lv.arr.size()) break;
+      const Item item = lv.arr[win][lv.pos[win]];
+      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
+        if (lv.pos[a] < lv.arr[a].size() && lv.arr[a][lv.pos[a]].key == item.key) {
+          ++lv.pos[a];
+          mm_.touch(lv.base[a] + lv.pos[a] * sizeof(Item), sizeof(Item));
+        }
+      }
       if (!(item.tombstone && lv.drop_tombstones)) {
         out.push_back(item);
         mm_.touch_write(nxt.base[lv.target_arr] + out.size() * sizeof(Item),
@@ -429,10 +494,15 @@ class DeamortizedFcCola {
       ++moves;
     }
 
-    if (lv.pos_a >= a.size() && lv.pos_b >= b.size()) {
-      a.clear();
-      b.clear();
-      lv.state[0] = lv.state[1] = State::kEmpty;
+    bool drained = true;
+    for (std::size_t a = 0; a < lv.arr.size(); ++a) {
+      if (lv.pos[a] < lv.arr[a].size()) drained = false;
+    }
+    if (drained) {
+      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
+        lv.arr[a].clear();
+        lv.state[a] = State::kEmpty;
+      }
       lv.unsafe = false;
       // This level's arrays changed identity: its own pointer buffers (into
       // level l+1) survive, but the PREVIOUS level's buffers into l go stale
@@ -453,9 +523,9 @@ class DeamortizedFcCola {
     La& hidden = lv.la[1 - lv.active_la];
     hidden.entries.clear();
     hidden.valid = false;
-    hidden.target_seq[0] = hidden.target_seq[1] = ~0ULL;
+    std::fill(hidden.target_seq.begin(), hidden.target_seq.end(), kNoSeq);
     lv.la_building = true;
-    lv.la_src_pos[0] = lv.la_src_pos[1] = 0;
+    std::fill(lv.la_src_pos.begin(), lv.la_src_pos.end(), std::size_t{0});
   }
 
   /// Copy up to *budget pointers (every kSampleStride-th element of each
@@ -470,8 +540,7 @@ class DeamortizedFcCola {
     Level& nxt = levels_[l + 1];
     La& hidden = lv.la[1 - lv.active_la];
     std::uint64_t moves = 0;
-    bool done = true;
-    for (int a = 0; a < 2 && *budget > 0; ++a) {
+    for (std::size_t a = 0; a < nxt.arr.size() && *budget > 0; ++a) {
       if (nxt.state[a] != State::kFull) continue;
       const auto& arr = nxt.arr[a];
       std::size_t& pos = lv.la_src_pos[a];
@@ -484,10 +553,10 @@ class DeamortizedFcCola {
         ++moves;
         ++stats_.pointer_copies;
       }
-      if (pos < arr.size()) done = false;
       hidden.target_seq[a] = nxt.seq[a];
     }
-    for (int a = 0; a < 2; ++a) {
+    bool done = true;
+    for (std::size_t a = 0; a < nxt.arr.size(); ++a) {
       if (nxt.state[a] == State::kFull && lv.la_src_pos[a] < nxt.arr[a].size()) {
         done = false;
       }
@@ -503,10 +572,16 @@ class DeamortizedFcCola {
     return moves;
   }
 
+  unsigned growth_;
   std::vector<Level> levels_;
   std::uint64_t next_base_ = 0;
   std::uint64_t seq_counter_ = 0;
   std::vector<Entry<K, V>> batch_scratch_, batch_sort_scratch_;  // batch staging, reused
+  // Window scratch for find() (const hot path; avoids per-call allocation
+  // once the vectors reach capacity g).
+  mutable std::vector<Window> win_cur_, win_next_;
+  // find() array-ordering scratch (mutable: find is const, scratch reused).
+  mutable std::vector<std::pair<std::uint64_t, std::uint32_t>> find_order_scratch_;
   DeamortizedFcStats stats_;
   mutable MM mm_;
 };

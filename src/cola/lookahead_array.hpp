@@ -35,13 +35,20 @@ inline unsigned lookahead_growth(std::uint64_t block_bytes, double eps,
   return static_cast<unsigned>(std::clamp(g, 2.0, 65536.0));
 }
 
-/// Factory: a Gcola parametrized as the cache-aware lookahead array.
+/// Factory: a Gcola parametrized as the cache-aware lookahead array. A
+/// nonzero `batch_hint` additionally fronts the levels with a staging L0
+/// arena of g * batch_hint entries (cola.hpp), which pushes the insert
+/// bound's constant down by the number of batches the arena absorbs.
 template <class K = Key, class V = Value, class MM = dam::null_mem_model>
 Gcola<K, V, MM> make_lookahead_array(std::uint64_t block_bytes, double eps,
-                                     double pointer_density = 0.1, MM mm = MM{}) {
+                                     double pointer_density = 0.1, MM mm = MM{},
+                                     std::size_t batch_hint = 0) {
   ColaConfig cfg;
   cfg.growth = lookahead_growth(block_bytes, eps);
   cfg.pointer_density = pointer_density;
+  cfg.staging_capacity = batch_hint == 0
+                             ? 0
+                             : static_cast<std::size_t>(cfg.growth) * batch_hint;
   return Gcola<K, V, MM>(cfg, std::move(mm));
 }
 

@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <compare>
+#include <concepts>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -48,27 +50,90 @@ struct EntryKeyLess {
 /// instead of std::stable_sort's internal temporary buffer — the batch
 /// normalization path stays allocation-free once `scratch` reaches its
 /// high-water capacity. Ties keep input order.
+///
+/// The inner merge is branch-light (conditional select + pointer bumps
+/// instead of a taken/not-taken branch per element): merge passes over
+/// random keys are mispredict-bound, and this sort sits on every batch
+/// normalization hot path in the library.
 template <class It>
 void stable_sort_by_key(std::vector<It>& v, std::vector<It>& scratch) {
   const std::size_t n = v.size();
   scratch.resize(n);
+  It* src = v.data();
+  It* dst = scratch.data();
   for (std::size_t width = 1; width < n; width *= 2) {
     for (std::size_t lo = 0; lo < n; lo += 2 * width) {
       const std::size_t mid = std::min(lo + width, n);
       const std::size_t hi = std::min(lo + 2 * width, n);
-      std::size_t a = lo, b = mid, w = lo;
-      while (a < mid && b < hi) {
-        if (v[b].key < v[a].key) {
-          scratch[w++] = std::move(v[b++]);
-        } else {
-          scratch[w++] = std::move(v[a++]);  // left run first on ties: stable
-        }
+      It* a = src + lo;
+      It* ae = src + mid;
+      It* b = ae;
+      It* be = src + hi;
+      It* w = dst + lo;
+      while (a != ae && b != be) {
+        const bool take_b = b->key < a->key;  // left run first on ties: stable
+        It* pick = take_b ? b : a;            // pointer select: cmov, no branch
+        *w++ = std::move(*pick);
+        a += !take_b;
+        b += take_b;
       }
-      while (a < mid) scratch[w++] = std::move(v[a++]);
-      while (b < hi) scratch[w++] = std::move(v[b++]);
+      w = std::move(a, ae, w);
+      std::move(b, be, w);
     }
-    v.swap(scratch);
+    std::swap(src, dst);
   }
+  if (src != v.data()) v.swap(scratch);
+}
+
+/// True when the run is already sorted by key ascending (duplicates
+/// allowed). One O(n) pass — cheap insurance that lets presorted feeds
+/// (log-structured sources, merge outputs, replication streams) skip the
+/// merge sort entirely.
+template <class It>
+bool is_sorted_by_key(const std::vector<It>& v) noexcept {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i].key < v[i - 1].key) return false;
+  }
+  return true;
+}
+
+/// Stable LSD radix sort by an unsigned-integral `.key` — byte passes with
+/// counting scatters: zero comparisons, zero branch mispredicts, which on
+/// random keys beats any merge sort by ~3x. Passes whose byte is uniform
+/// across the run (common for small key ranges) are skipped. Used by
+/// sort_dedup_newest_wins when the key type allows; ties keep input order
+/// (counting sort is stable), so newest-wins dedup semantics are identical
+/// to the merge-sort path.
+template <class It>
+  requires std::unsigned_integral<decltype(It::key)>
+void radix_sort_by_key(std::vector<It>& v, std::vector<It>& scratch) {
+  using KeyT = decltype(It::key);
+  const std::size_t n = v.size();
+  if (n < 2) return;
+  scratch.resize(n);
+  It* src = v.data();
+  It* dst = scratch.data();
+  std::uint32_t hist[256];
+  for (std::size_t pass = 0; pass < sizeof(KeyT); ++pass) {
+    const unsigned shift = static_cast<unsigned>(pass * 8);
+    std::memset(hist, 0, sizeof hist);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++hist[static_cast<std::size_t>((src[i].key >> shift) & 0xff)];
+    }
+    // Uniform byte: every element lands in one bucket — nothing moves.
+    if (hist[static_cast<std::size_t>((src[0].key >> shift) & 0xff)] == n) continue;
+    std::uint32_t sum = 0;
+    for (std::uint32_t& h : hist) {
+      const std::uint32_t c = h;
+      h = sum;
+      sum += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[hist[static_cast<std::size_t>((src[i].key >> shift) & 0xff)]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != v.data()) v.swap(scratch);
 }
 
 /// Normalize an ingest batch in place: stable-sort by key ascending and
@@ -77,9 +142,26 @@ void stable_sort_by_key(std::vector<It>& v, std::vector<It>& scratch) {
 /// type with a `.key` member, so each structure can normalize batches of its
 /// internal item type (tombstones ride along untouched). `scratch` is the
 /// sort's merge buffer, reused across batches.
+///
+/// Presorted feeds are detected in O(n) and skip the sort: a stable sort of
+/// an already-sorted run is the identity, so dedup alone (equal keys are
+/// adjacent, last occurrence = newest) gives the identical result.
 template <class It>
 void sort_dedup_newest_wins(std::vector<It>& batch, std::vector<It>& scratch) {
-  stable_sort_by_key(batch, scratch);
+  if (!is_sorted_by_key(batch)) {
+    // Radix wins on larger runs of integral keys; below ~128 elements its
+    // per-pass histogram work (256 counters x key bytes) dominates and the
+    // merge sort is cheaper.
+    if constexpr (std::unsigned_integral<decltype(It::key)>) {
+      if (batch.size() >= 128) {
+        radix_sort_by_key(batch, scratch);
+      } else {
+        stable_sort_by_key(batch, scratch);
+      }
+    } else {
+      stable_sort_by_key(batch, scratch);
+    }
+  }
   std::size_t w = 0;
   for (std::size_t r = 0; r < batch.size(); ++r) {
     if (r + 1 < batch.size() && batch[r + 1].key == batch[r].key) continue;

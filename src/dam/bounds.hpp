@@ -1,0 +1,52 @@
+// Closed-form DAM transfer bounds for the growth-factor family — the
+// quantities the theory predicts and the simulator measures.
+//
+// The paper's Section 3 cache-aware tradeoff (lookahead array, growth g):
+//
+//   insert (amortized)  O(log_g N * g / B)   transfers
+//   search              O(log_g N)           transfers
+//
+// g = 2 is the COLA point (insert O((log N)/B), search O(log N));
+// g = Theta(B^eps) is the B^eps-tree point. A staging L0 arena of S entries
+// does not change the asymptotics — it divides the constant on the insert
+// bound by the number of batches it absorbs and adds O(S/B) to a cold
+// search, which is exactly the knob the ingest-tuned presets turn.
+//
+// These helpers return the bound WITHOUT the constant: callers (tests,
+// benches) compare measured transfers-per-op against `c * bound` for a
+// structure-specific constant c, the same shape the figure benches print.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace costream::dam {
+
+/// log base g of n, floored at 1 so degenerate small-n cases stay sane.
+inline double log_growth(double n, double growth) noexcept {
+  return std::max(1.0, std::log(std::max(2.0, n)) / std::log(std::max(2.0, growth)));
+}
+
+/// Amortized insert transfer bound for a growth-g lookahead array / COLA:
+/// log_g(N) * g / B, with B measured in elements. Each of the log_g N
+/// levels rewrites its contents g - 1 times before draining, so every
+/// element is moved Theta(g) times per level at streaming cost 1/B each.
+inline double cola_insert_transfer_bound(double n, double growth,
+                                         double block_elems) noexcept {
+  return log_growth(n, growth) * growth / std::max(1.0, block_elems);
+}
+
+/// Cold-search transfer bound for the same family: log_g N levels, and per
+/// level one bounded window (lookahead pointers, classic mode) or up to
+/// `segments_per_level` binary-searched segments (tiered mode: g - 1). A
+/// staging arena of `staged_elems` adds its probe cost.
+inline double cola_search_transfer_bound(double n, double growth,
+                                         double block_elems,
+                                         double staged_elems = 0.0,
+                                         double segments_per_level = 1.0) noexcept {
+  return log_growth(n, growth) * std::max(1.0, segments_per_level) +
+         staged_elems / std::max(1.0, block_elems);
+}
+
+}  // namespace costream::dam

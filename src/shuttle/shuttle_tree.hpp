@@ -55,6 +55,12 @@ struct ShuttleConfig {
   int buffer_delta = 2;    // practical buffer-height-index offset
   bool use_buffers = true; // false = plain SWBST
   std::uint64_t max_buffer_items = 1ULL << 22;  // safety clamp on c^F
+  // Ingest growth factor g (default 2 = the paper's geometry): edge-buffer
+  // capacities scale by g/2, so a g-tuned tree absorbs g/2 times more
+  // entries per buffer tier before pouring — the shuttle-tree analogue of
+  // the COLA's growth-factor lever. Search cost per buffer stays one binary
+  // search; pours get bulkier and rarer.
+  unsigned growth = 2;
 };
 
 struct ShuttleStats {
@@ -74,6 +80,7 @@ class ShuttleTree {
   explicit ShuttleTree(ShuttleConfig cfg = ShuttleConfig{}, MM mm = MM{})
       : cfg_(cfg), mm_(std::move(mm)) {
     if (cfg_.fanout < 2) throw std::invalid_argument("shuttle: fanout must be >= 2");
+    if (cfg_.growth < 2) throw std::invalid_argument("shuttle: growth must be >= 2");
     root_ = new_node(/*height=*/1);
   }
 
@@ -247,6 +254,18 @@ class ShuttleTree {
     return std::min<std::uint64_t>(r, cfg_.max_buffer_items);
   }
 
+  /// Edge-buffer capacity for a buffer standing for height `e`: the paper's
+  /// c^e schedule scaled by the ingest growth factor (g/2; identity at the
+  /// default g = 2). Multiply before dividing so odd factors scale too
+  /// (g = 3 -> 1.5x, not a silent no-op); base <= 2^22 and g <= 2^32 keep
+  /// the product well inside 64 bits.
+  std::uint64_t buffer_cap(std::uint64_t e) const noexcept {
+    const std::uint64_t base = cpow(e);
+    const std::uint64_t scaled = base * static_cast<std::uint64_t>(cfg_.growth) / 2;
+    return std::min<std::uint64_t>(std::max<std::uint64_t>(scaled, base),
+                                   cfg_.max_buffer_items);
+  }
+
   std::uint64_t weight_threshold(int height) const noexcept { return 2 * cpow(height); }
   std::size_t leaf_cap() const noexcept { return 2 * cfg_.fanout; }
 
@@ -258,7 +277,7 @@ class ShuttleTree {
          layout::practical_buffer_heights(parent_height - 1, cfg_.buffer_delta)) {
       Buffer b;
       b.height = bh;
-      b.capacity = cpow(bh);
+      b.capacity = buffer_cap(bh);
       list.push_back(std::move(b));
     }
     return list;

@@ -119,6 +119,43 @@ TEST(AllocFree, ColaSteadyStateBatches) {
   d.check_invariants();
 }
 
+TEST(AllocFree, ColaSteadyStateGrowthFactorCascades) {
+  // The g != 2 cascade reuses the same scratch contract. Large g merges into
+  // the deepest level far more often than g = 2 (its level count is tiny),
+  // and each such merge that pushes the level past its all-time high grows
+  // the content scratch once — a structural event, not a hot-loop leak. So:
+  // per-op, almost every insert must be allocation-free, and the residual
+  // total must stay within the deepest-merge growth budget.
+  for (const unsigned g : {4u, 16u}) {
+    cola::Gcola<> d(cola::ColaConfig{g, 0.1});
+    std::uint64_t s = 29 + g;
+    for (std::uint64_t i = 0; i < 70'000; ++i) d.insert(splitmix64(s), i);
+    std::uint64_t allocating_ops = 0, total = 0;
+    for (std::uint64_t i = 0; i < 4'000; ++i) {
+      const std::uint64_t a = count_allocs([&] { d.insert(splitmix64(s), i); });
+      if (a != 0) ++allocating_ops;
+      total += a;
+    }
+    EXPECT_LE(allocating_ops, 2u) << "g=" << g << " cascade allocates repeatedly";
+    EXPECT_LE(total, 4u) << "g=" << g << " residual exceeds structural budget";
+    d.check_invariants();
+  }
+}
+
+TEST(AllocFree, ColaStagingArenaSteadyState) {
+  // Staged inserts append into a reserved arena and flushes drain through
+  // the same scratch vectors — zero allocations once both have seen their
+  // high-water marks.
+  cola::Gcola<> d(cola::ingest_tuned(4, 64));  // arena = 256 entries
+  std::uint64_t s = 37;
+  for (std::uint64_t i = 0; i < 70'000; ++i) d.insert(splitmix64(s), i);
+  const std::uint64_t allocs = count_allocs([&] {
+    for (std::uint64_t i = 0; i < 4'000; ++i) d.insert(splitmix64(s), i);
+  });
+  EXPECT_EQ(allocs, 0u) << "staged insert path allocates in steady state";
+  d.check_invariants();
+}
+
 TEST(AllocFree, ShuttleSteadyStateSingleInserts) {
   shuttle::ShuttleTree<> d;
   std::uint64_t s = 17;

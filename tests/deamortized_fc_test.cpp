@@ -128,6 +128,32 @@ TEST_P(DeamortizedFcModel, MixedTraceMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeamortizedFcModel, ::testing::Values(61, 62, 63, 64));
 
+// Growth-factor generalization: g arrays per level, per-array lookahead
+// windows, budget (g+1)*k + 4.
+class DeamortizedFcGrowthModel : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DeamortizedFcGrowthModel, MixedTraceMatchesReference) {
+  DeamortizedFcCola<> c(GetParam());
+  const auto ops = generate_ops(5'000, 1'200, OpMix{}, 50 + GetParam());
+  testing::run_model_trace(c, ops, [&] { c.check_invariants(); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Growth, DeamortizedFcGrowthModel,
+                         ::testing::Values(4u, 8u, 16u));
+
+TEST(DeamortizedFc, GrowthWindowedSearchesStillDominate) {
+  // The pointer machinery must keep paying off at g != 2: on stable data
+  // most level searches use bounded windows, for every preset growth.
+  for (const unsigned g : {4u, 16u}) {
+    DeamortizedFcCola<> c(g);
+    for (std::uint64_t i = 0; i < 1 << 14; ++i) c.insert(mix64(i), i);
+    for (std::uint64_t q = 0; q < 2'000; ++q) (void)c.find(mix64(q * 7));
+    const auto& st = c.stats();
+    EXPECT_GT(st.windowed_level_searches, st.full_level_searches) << "g=" << g;
+    EXPECT_LE(st.max_moves_per_insert, (g + 1) * c.level_count() + 4) << "g=" << g;
+  }
+}
+
 TEST(DeamortizedFc, RangeQueryAscendingNewestWins) {
   DeamortizedFcCola<> c;
   for (std::uint64_t i = 0; i < 2'000; ++i) c.insert(i % 500, i);

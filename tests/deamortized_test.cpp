@@ -123,6 +123,29 @@ TEST_P(DeamortizedModel, MixedTraceMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeamortizedModel, ::testing::Values(31, 32, 33, 34));
 
+// Growth-factor generalization: g arrays per level, g-way budgeted merges.
+class DeamortizedGrowthModel : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DeamortizedGrowthModel, MixedTraceMatchesReference) {
+  DeamortizedCola<> c(GetParam());
+  const auto ops = generate_ops(5'000, 1'200, OpMix{}, 40 + GetParam());
+  testing::run_model_trace(c, ops, [&] { c.check_invariants(); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Growth, DeamortizedGrowthModel,
+                         ::testing::Values(4u, 8u, 16u));
+
+TEST(DeamortizedCola, GrowthBudgetBoundHolds) {
+  // The generalized Theorem 22: with budget m = g*k + 2 the per-insert move
+  // count never exceeds g * level_count + 2, for every preset g.
+  for (const unsigned g : {2u, 4u, 8u, 16u}) {
+    DeamortizedCola<> c(g);
+    for (std::uint64_t i = 0; i < 1 << 15; ++i) c.insert(mix64(i), i);
+    EXPECT_LE(c.stats().max_moves_per_insert, g * c.level_count() + 2) << "g=" << g;
+    c.check_invariants();
+  }
+}
+
 TEST(DeamortizedCola, RangeQueryMergesVisibleArrays) {
   DeamortizedCola<> c;
   for (std::uint64_t i = 0; i < 1'000; ++i) c.insert(i, i * 2);

@@ -10,6 +10,7 @@
 #include "btree/btree.hpp"
 #include "cola/cola.hpp"
 #include "common/rng.hpp"
+#include "dam/bounds.hpp"
 #include "dam/dam_mem_model.hpp"
 
 namespace costream {
@@ -37,9 +38,68 @@ TEST(TransferBounds, ColaInsertsBeatBTreeOutOfCore) {
       static_cast<double>(b.mm().stats().transfers) / static_cast<double>(n);
   EXPECT_LT(cola_per_op * 4.0, btree_per_op)
       << "cola=" << cola_per_op << " btree=" << btree_per_op;
-  // And the absolute bound: (log2 N)/ (B in elements) * constant.
-  const double bound = std::log2(static_cast<double>(n)) / (kBlock / 32.0);
+  // And the absolute bound: log_g(N) * g / (B in elements) * constant.
+  const double bound = dam::cola_insert_transfer_bound(
+      static_cast<double>(n), 2.0, kBlock / 32.0);
   EXPECT_LT(cola_per_op, 16.0 * bound);
+}
+
+// The generalized insert bound O(log_g N * g / B) across the preset growth
+// factors: measured transfers-per-op must stay within a constant of the
+// model for every g, with the SAME constant — i.e. the model captures how
+// cost scales with g, not just its order of magnitude at g = 2.
+TEST(TransferBounds, GrowthFamilyInsertBoundHolds) {
+  const std::uint64_t n = 1 << 16;
+  for (const unsigned g : {2u, 4u, 8u, 16u}) {
+    cola::Gcola<Key, Value, dam::dam_mem_model> c(
+        cola::ColaConfig{g, 0.1}, dam::dam_mem_model(kBlock, 1 << 19));
+    for (std::uint64_t i = 0; i < n; ++i) c.insert(mix64(i), i);
+    const double per_op =
+        static_cast<double>(c.mm().stats().transfers) / static_cast<double>(n);
+    const double bound = dam::cola_insert_transfer_bound(
+        static_cast<double>(n), static_cast<double>(g), kBlock / 32.0);
+    EXPECT_LT(per_op, 16.0 * bound) << "g=" << g;
+    EXPECT_GT(per_op, 0.05 * bound) << "g=" << g << " (model wildly loose)";
+  }
+}
+
+// Staging L0: absorbing a full arena before the first cascade must REDUCE
+// total insert transfers versus the unstaged structure (deep merges run
+// once per arena drain instead of once per batch), while a cold search pays
+// at most the arena's streaming scan on top of the level walk.
+TEST(TransferBounds, StagingArenaCutsInsertTransfers) {
+  const std::uint64_t n = 1 << 16;
+  const std::uint64_t mem = 1 << 19;
+  auto ingest = [&](cola::Gcola<Key, Value, dam::dam_mem_model>& c) {
+    std::vector<Entry<>> batch(1024);
+    for (std::uint64_t i = 0; i < n;) {
+      for (auto& e : batch) {
+        e = Entry<>{mix64(i), i};
+        ++i;
+      }
+      c.insert_batch(batch.data(), batch.size());
+    }
+    return static_cast<double>(c.mm().stats().transfers) / static_cast<double>(n);
+  };
+  cola::Gcola<Key, Value, dam::dam_mem_model> plain(
+      cola::ColaConfig{16, 0.1}, dam::dam_mem_model(kBlock, mem));
+  cola::ColaConfig staged_cfg = cola::ingest_tuned(16, 1024);
+  cola::Gcola<Key, Value, dam::dam_mem_model> staged(
+      staged_cfg, dam::dam_mem_model(kBlock, mem));
+  const double plain_tpo = ingest(plain);
+  const double staged_tpo = ingest(staged);
+  EXPECT_LT(staged_tpo, plain_tpo)
+      << "staged=" << staged_tpo << " plain=" << plain_tpo;
+  // Cold search: level walk (up to g-1 segments per tiered level) plus the
+  // arena probes, within a constant.
+  staged.mm().clear_cache();
+  staged.mm().reset_stats();
+  (void)staged.find(mix64(123));
+  const double search_bound = dam::cola_search_transfer_bound(
+      static_cast<double>(n), 16.0, kBlock / 32.0,
+      static_cast<double>(staged.staged_count()), /*segments_per_level=*/15.0);
+  EXPECT_LT(static_cast<double>(staged.mm().stats().transfers),
+            4.0 * search_bound + 4.0);
 }
 
 // Lemma 19's other face: COLA transfers are dominated by *sequential* block
