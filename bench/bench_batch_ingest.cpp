@@ -24,6 +24,15 @@
 //   hot256   90% of draws from a 256-key hot set (graph-edge / metric-update
 //            shape). Batch dedup collapses most of the stream before it
 //            touches the structure.
+//   eraseheavy  50% blind erases / 50% puts over a bounded universe (n/4
+//            keys), delivered through apply_batch — the mixed-op batch
+//            path. Tombstones ride the cascade like insertions and the
+//            tombstone-threshold policy bounds their retention, so this
+//            series must track the insert-only series closely (acceptance:
+//            within 20% of `random` at batch 1024).
+//   churn    endless delete/reinsert pairs over a fixed live set (n/16
+//            keys) — the space-bound workload. Throughput here is gated by
+//            annihilation keeping the structure small, not by growth.
 //
 // Output: figure-style tables plus a JSON array between BEGIN_JSON /
 // END_JSON markers; --json-out PATH additionally writes the bare array to
@@ -35,6 +44,7 @@
 //   REPRO_MAXN     elements per cell (default 2^18; 2^21 for headline runs)
 //   REPRO_FAST     nonzero -> smoke-test size
 //   REPRO_STRUCTS  comma list filtering the structure set, e.g. "cola,shuttle"
+//   REPRO_ORDERS   comma list filtering the key orders, e.g. "random,eraseheavy"
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -86,13 +96,57 @@ std::uint64_t key_of(const std::string& order, const KeyStream& ks, std::uint64_
   return ks.key_at(i);
 }
 
+bool is_mixed_order(const std::string& order) {
+  return order == "eraseheavy" || order == "churn";
+}
+
+/// i-th operation of the mixed-op streams. "eraseheavy": 50% blind erases
+/// over a bounded universe. "churn": delete/reinsert pairs over a fixed
+/// live set (every erase has a live victim, every put refills it).
+Op<> mixed_op_of(const std::string& order, std::uint64_t n, std::uint64_t i) {
+  if (order == "eraseheavy") {
+    const std::uint64_t h = mix64(i ^ 0x9e3779b97f4a7c15ULL);
+    const std::uint64_t universe = n / 4 + 1;
+    if (h & 1) return Op<>::del(h % universe);
+    return Op<>::put(h % universe, i);
+  }
+  const std::uint64_t live = n / 16 + 1;
+  const std::uint64_t k = (i / 2) % live;
+  if ((i & 1) == 0) return Op<>::del(k);
+  return Op<>::put(k, i);
+}
+
 /// Ingest `n` keys into `d` in chunks of `batch` (1 = plain insert loop).
-/// Structures with a staging arena drain it at the end so the measured cost
-/// includes every deferred cascade — no hiding work in the arena.
+/// Mixed-op orders run through apply_batch (erase/insert at batch 1); pure
+/// orders through insert_batch. Structures with a staging arena drain it at
+/// the end so the measured cost includes every deferred cascade — no hiding
+/// work in the arena.
 template <class D>
 void ingest(D& d, const std::string& order, const KeyStream& ks, std::uint64_t n,
             std::uint64_t batch) {
-  if (batch <= 1) {
+  if (is_mixed_order(order)) {
+    if (batch <= 1) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const Op<> o = mixed_op_of(order, n, i);
+        if (o.erase) {
+          d.erase(o.key);
+        } else {
+          d.insert(o.key, o.value);
+        }
+      }
+    } else {
+      std::vector<Op<>> chunk;
+      chunk.reserve(batch);
+      for (std::uint64_t i = 0; i < n;) {
+        chunk.clear();
+        const std::uint64_t take = std::min<std::uint64_t>(batch, n - i);
+        for (std::uint64_t j = 0; j < take; ++j, ++i) {
+          chunk.push_back(mixed_op_of(order, n, i));
+        }
+        d.apply_batch(chunk.data(), chunk.size());
+      }
+    }
+  } else if (batch <= 1) {
     for (std::uint64_t i = 0; i < n; ++i) d.insert(key_of(order, ks, i), i);
   } else {
     std::vector<Entry<>> chunk;
@@ -134,8 +188,8 @@ Cell run_cell(const std::string& name, const std::string& order, DW& dwall, DD& 
   return c;
 }
 
-bool structure_enabled(const char* name) {
-  const char* filter = std::getenv("REPRO_STRUCTS");
+bool in_env_list(const char* env, const std::string& name) {
+  const char* filter = std::getenv(env);
   if (filter == nullptr || *filter == '\0') return true;
   const std::string list(filter);
   std::size_t pos = 0;
@@ -147,6 +201,8 @@ bool structure_enabled(const char* name) {
   }
   return false;
 }
+
+bool structure_enabled(const char* name) { return in_env_list("REPRO_STRUCTS", name); }
 
 }  // namespace
 
@@ -164,11 +220,13 @@ int main(int argc, char** argv) {
   const KeyStream ks(KeyOrder::kRandom, n, opts.seed);
 
   std::vector<std::uint64_t> batches{1, 4, 16, 64, 256, 1024, 4096};
-  std::vector<std::string> orders{"random", "sorted", "hot256"};
+  std::vector<std::string> orders{"random", "sorted", "hot256", "eraseheavy", "churn"};
   if (opts.fast) {
     batches = {1, 64, 1024};
-    orders = {"random"};
+    orders = {"random", "eraseheavy"};
   }
+  std::erase_if(orders,
+                [](const std::string& o) { return !in_env_list("REPRO_ORDERS", o); });
 
   std::vector<Cell> cells;
   for (const std::string& order : orders) {
@@ -308,6 +366,22 @@ int main(int argc, char** argv) {
           std::printf("  %-10s %.2fx\n", s.c_str(), kilo->wall_rate / base->wall_rate);
         }
       }
+    }
+  }
+
+  // Mixed-op acceptance line: erase-heavy batch-1024 throughput relative to
+  // the insert-only random series per arm (bar: within 20%, i.e. >= 0.80x).
+  {
+    bool printed = false;
+    for (const auto& s : names) {
+      const Cell* ins = cell_at(s, "random", 1024);
+      const Cell* mix = cell_at(s, "eraseheavy", 1024);
+      if (ins == nullptr || mix == nullptr || ins->wall_rate <= 0) continue;
+      if (!printed) {
+        std::printf("\n# erase-heavy batch-1024 wall throughput vs insert-only\n");
+        printed = true;
+      }
+      std::printf("  %-10s %.2fx\n", s.c_str(), mix->wall_rate / ins->wall_rate);
     }
   }
 

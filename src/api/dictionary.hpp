@@ -6,23 +6,42 @@
 //   void insert_batch(const Entry<K,V>*, n);  // bulk upsert (contract below)
 //   void erase(const K&);                     // blind delete (tombstones in
 //                                             // the write-optimized ones)
+//   void erase_batch(const K*, n);            // bulk blind delete
+//   void apply_batch(const Op<K,V>*, n);      // mixed put/erase batch
 //   std::optional<V> find(const K&) const;
 //   template <class Fn> void range_for_each(const K& lo, const K& hi, Fn&&);
 //
-// Batch contract (insert_batch):
+// Batch contract (insert_batch / erase_batch / apply_batch):
 //   * The input run may be UNSORTED and may contain DUPLICATE keys; the
 //     structure sorts and deduplicates internally.
-//   * Within the batch the LAST occurrence of a key wins, and the batch as a
-//     whole is newer than everything already in the dictionary — so
-//     insert_batch(data, n) is observationally equivalent to calling
-//     insert(data[i].key, data[i].value) for i = 0..n-1 in order, including
-//     against previously tombstoned keys.
+//   * Within the batch the LAST operation on a key wins — for apply_batch
+//     that includes put-vs-erase shadowing: {put k, erase k} erases,
+//     {erase k, put k} leaves the put — and the batch as a whole is newer
+//     than everything already in the dictionary. Every batch call is
+//     therefore observationally equivalent to replaying its operations with
+//     insert()/erase() one at a time in input order, including against
+//     previously erased (tombstoned) keys.
+//   * erase_batch(keys, n) == apply_batch of n blind deletes. Erasing an
+//     absent key is a no-op (the tombstone annihilates unmatched); a later
+//     put of that key within the same batch or after it wins as usual.
+//   * Tombstone visibility: an erase is visible to find/range_for_each/
+//     for_each IMMEDIATELY after the mutator returns, even while the
+//     physical tombstone is still buffered (COLA staging arena or level
+//     segments, shuttle edge buffers, BRT node buffers). Readers never see
+//     a tombstone as an entry and never see the shadowed older value.
 //   * The write-optimized structures honor the equivalence with far fewer
-//     block transfers: the COLA runs ONE cascaded merge for the whole run
-//     instead of n independent cascades, the shuttle tree shuttles the whole
-//     sorted run down its edge buffers in one pass, and the BRT appends runs
-//     to the root buffer a block at a time.
-//   * insert_batch(data, 0) is a no-op; the pointer may be null only when
+//     block transfers: the COLA normalizes the whole mixed run once and
+//     carries it in ONE cascaded merge (tombstones ride the cascade exactly
+//     like insertions, per the paper's delete treatment), the shuttle tree
+//     shuttles the run — tombstones included — down its edge buffers in one
+//     pass, and the BRT appends runs to the root buffer a block at a time.
+//     In-place structures (B-tree, CO B-tree) apply normalized runs
+//     directly, with no tombstones. The deamortized COLAs feed the
+//     normalized run through their budgeted path: tombstones count as moved
+//     items, so the worst-case move bounds (g*k + 2 and (g+1)*k + 4 per
+//     op, Lemma 21 / Theorem 24 generalized) hold verbatim for mixed
+//     batches.
+//   * A batch of n == 0 is a no-op; the pointer may be null only when
 //     n == 0.
 //
 // The Dictionary concept below states that contract, and AnyDictionary
@@ -45,10 +64,12 @@ namespace costream::api {
 
 template <class D, class K = Key, class V = Value>
 concept Dictionary = requires(D d, const D cd, K k, V v, const Entry<K, V>* batch,
-                              std::size_t n) {
+                              const K* keys, const Op<K, V>* ops, std::size_t n) {
   { d.insert(k, v) };
   { d.insert_batch(batch, n) };
   { d.erase(k) };
+  { d.erase_batch(keys, n) };
+  { d.apply_batch(ops, n) };
   { cd.find(k) } -> std::same_as<std::optional<V>>;
 };
 
@@ -67,6 +88,14 @@ struct DictConfig {
   std::size_t batch_hint = 1024;  // expected ingest batch size (staging = g * hint)
   bool staging = false;           // unsorted L0 arena in front of the COLA levels
   double pointer_density = 0.1;   // COLA fractional-cascading density
+  // Tombstone retention bound for the COLA's tiered levels: when a level's
+  // tombstone fraction crosses this threshold, the next drain forces a real
+  // bottom fold (annihilation) instead of a trivial move, and the deepest
+  // level compacts in place — so a sustained erase-heavy feed keeps total
+  // physical slots within ~1/(1-threshold) of the live set plus the
+  // in-flight geometry. Values > 1.0 disable the forcing (retention then
+  // bounded only by the trivial-move/real-fold alternation).
+  double tombstone_threshold = 0.25;
 
   /// Ingest-tuned preset for growth factor g: staging on, arena g * hint.
   static DictConfig ingest_tuned(unsigned g, std::size_t hint = 1024) {
@@ -97,6 +126,14 @@ class AnyDictionary {
     impl_->insert_batch(batch.data(), batch.size());
   }
   void erase(Key k) { impl_->erase(k); }
+  void erase_batch(const Key* keys, std::size_t n) { impl_->erase_batch(keys, n); }
+  void erase_batch(const std::vector<Key>& keys) {
+    impl_->erase_batch(keys.data(), keys.size());
+  }
+  void apply_batch(const Op<>* ops, std::size_t n) { impl_->apply_batch(ops, n); }
+  void apply_batch(const std::vector<Op<>>& ops) {
+    impl_->apply_batch(ops.data(), ops.size());
+  }
   std::optional<Value> find(Key k) const { return impl_->find(k); }
   void range_for_each(Key lo, Key hi, const RangeFn& fn) const {
     impl_->range_for_each(lo, hi, fn);
@@ -108,6 +145,8 @@ class AnyDictionary {
     virtual void insert(Key, Value) = 0;
     virtual void insert_batch(const Entry<>*, std::size_t) = 0;
     virtual void erase(Key) = 0;
+    virtual void erase_batch(const Key*, std::size_t) = 0;
+    virtual void apply_batch(const Op<>*, std::size_t) = 0;
     virtual std::optional<Value> find(Key) const = 0;
     virtual void range_for_each(Key, Key, const RangeFn&) const = 0;
   };
@@ -120,6 +159,12 @@ class AnyDictionary {
       dict.insert_batch(data, n);
     }
     void erase(Key k) override { dict.erase(k); }
+    void erase_batch(const Key* keys, std::size_t n) override {
+      dict.erase_batch(keys, n);
+    }
+    void apply_batch(const Op<>* ops, std::size_t n) override {
+      dict.apply_batch(ops, n);
+    }
     std::optional<Value> find(Key k) const override { return dict.find(k); }
     void range_for_each(Key lo, Key hi, const RangeFn& fn) const override {
       dict.range_for_each(lo, hi, fn);

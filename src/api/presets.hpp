@@ -24,10 +24,15 @@ namespace costream::api {
 /// cola::ingest_tuned() — the single source of the arena-sizing/tiered/
 /// pointer-density mapping — so the two construction paths cannot diverge.
 inline cola::ColaConfig to_cola_config(const DictConfig& c) {
-  if (c.staging) return cola::ingest_tuned(c.growth, c.batch_hint);
+  if (c.staging) {
+    cola::ColaConfig cfg = cola::ingest_tuned(c.growth, c.batch_hint);
+    cfg.tombstone_threshold = c.tombstone_threshold;
+    return cfg;
+  }
   cola::ColaConfig cfg;
   cfg.growth = c.growth;
   cfg.pointer_density = c.pointer_density;
+  cfg.tombstone_threshold = c.tombstone_threshold;
   return cfg;
 }
 

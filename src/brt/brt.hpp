@@ -70,42 +70,26 @@ class Brt {
   /// of one per element — flushing whenever the buffer fills. Arrival order
   /// is preserved, so newest-wins matches repeated insert() exactly.
   void insert_batch(const Entry<K, V>* data, std::size_t n) {
-    if (n == 0) return;
-    std::size_t i = 0;
-    while (i < n && nodes_[root_].leaf) {
-      // Root still a leaf: deliver a leaf-capacity chunk and split before
-      // continuing, so a bulk load of a fresh tree grows it instead of
-      // quadratically re-inserting into one giant leaf. After the first
-      // split the root is internal and the buffered path below takes over.
-      std::vector<Item>& run = batch_scratch_;
-      run.clear();
-      const std::size_t take = std::min(leaf_cap_ + 1, n - i);
-      run.reserve(take);
-      for (std::size_t j = 0; j < take; ++j, ++i) {
-        run.push_back(Item{data[i].key, data[i].value, /*tombstone=*/false});
-      }
-      items_ += take;
-      apply_to_leaf(root_, run.data(), run.data() + run.size());
-      maybe_split_root();
-    }
-    while (i < n) {
-      Node& rn = node_mut(root_);
-      const std::size_t room =
-          buf_cap_ > rn.buffer.size() ? buf_cap_ - rn.buffer.size() : 0;
-      const std::size_t take = std::min(room, n - i);
-      if (take > 0) {
-        touch_buffer(root_, take);
-        for (std::size_t j = 0; j < take; ++j, ++i) {
-          rn.buffer.push_back(Item{data[i].key, data[i].value, /*tombstone=*/false});
-        }
-        items_ += take;
-      }
-      if (nodes_[root_].buffer.size() >= buf_cap_) {
-        flush(root_);
-        maybe_split_root();
-      }
-    }
-    maybe_split_root();
+    apply_batch_impl(n, [data](std::size_t i) {
+      return Item{data[i].key, data[i].value, /*tombstone=*/false};
+    });
+  }
+
+  /// Bulk blind delete: the tombstones ride the same chunked root-buffer
+  /// append as insert_batch (arrival order preserved — a later put of the
+  /// same key wins) and annihilate at the leaves.
+  void erase_batch(const K* keys, std::size_t n) {
+    apply_batch_impl(n, [keys](std::size_t i) {
+      return Item{keys[i], V{}, /*tombstone=*/true};
+    });
+  }
+
+  /// Mixed put/erase batch, equivalent to replaying the ops with
+  /// insert()/erase() one at a time at chunked-append cost.
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    apply_batch_impl(n, [ops](std::size_t i) {
+      return Item{ops[i].key, ops[i].value, ops[i].erase};
+    });
   }
 
   std::optional<V> find(const K& key) const {
@@ -214,6 +198,45 @@ class Brt {
   bool overfull(std::uint32_t id) const {
     const Node& n = nodes_[id];
     return n.leaf ? n.entries.size() > leaf_cap_ : n.kids.size() > fanout_;
+  }
+
+  /// Chunked delivery shared by every batch mutator: `item_at(i)` yields the
+  /// i-th operation as an Item (upsert or tombstone), appended in arrival
+  /// order so newest-wins matches the op sequence exactly.
+  template <class ItemAt>
+  void apply_batch_impl(std::size_t n, ItemAt&& item_at) {
+    if (n == 0) return;
+    std::size_t i = 0;
+    while (i < n && nodes_[root_].leaf) {
+      // Root still a leaf: deliver a leaf-capacity chunk and split before
+      // continuing, so a bulk load of a fresh tree grows it instead of
+      // quadratically re-inserting into one giant leaf. After the first
+      // split the root is internal and the buffered path below takes over.
+      std::vector<Item>& run = batch_scratch_;
+      run.clear();
+      const std::size_t take = std::min(leaf_cap_ + 1, n - i);
+      run.reserve(take);
+      for (std::size_t j = 0; j < take; ++j, ++i) run.push_back(item_at(i));
+      items_ += take;
+      apply_to_leaf(root_, run.data(), run.data() + run.size());
+      maybe_split_root();
+    }
+    while (i < n) {
+      Node& rn = node_mut(root_);
+      const std::size_t room =
+          buf_cap_ > rn.buffer.size() ? buf_cap_ - rn.buffer.size() : 0;
+      const std::size_t take = std::min(room, n - i);
+      if (take > 0) {
+        touch_buffer(root_, take);
+        for (std::size_t j = 0; j < take; ++j, ++i) rn.buffer.push_back(item_at(i));
+        items_ += take;
+      }
+      if (nodes_[root_].buffer.size() >= buf_cap_) {
+        flush(root_);
+        maybe_split_root();
+      }
+    }
+    maybe_split_root();
   }
 
   void put(Item item) {

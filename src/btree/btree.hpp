@@ -125,6 +125,36 @@ class BTree {
     for (const Ent& e : run) insert(e.key, e.value);
   }
 
+  /// Bulk delete (batch contract in api/dictionary.hpp): sort the keys once
+  /// and erase in ascending order, so successive descents reuse the same
+  /// root-to-leaf path blocks; duplicate keys collapse to one erase. The
+  /// in-place structure needs no tombstones — each erase rebalances fully.
+  void erase_batch(const K* keys, std::size_t n) {
+    if (n == 0) return;
+    std::vector<K>& ks = erase_scratch_;
+    ks.assign(keys, keys + n);
+    std::sort(ks.begin(), ks.end());
+    ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+    for (const K& k : ks) erase(k);
+  }
+
+  /// Mixed put/erase batch: normalize once (the LAST op on a key wins,
+  /// put-vs-erase included), then apply in ascending key order — upserts
+  /// insert, deletes erase directly with full rebalancing.
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Op<K, V>>& run = op_scratch_;
+    run.assign(ops, ops + n);
+    sort_dedup_newest_wins(run, op_sort_scratch_);
+    for (const Op<K, V>& o : run) {
+      if (o.erase) {
+        erase(o.key);
+      } else {
+        insert(o.key, o.value);
+      }
+    }
+  }
+
   /// Remove `key`; returns true if it was present.
   bool erase(const K& key) {
     const bool removed = erase_rec(root_, key);
@@ -468,6 +498,8 @@ class BTree {
   std::uint64_t size_ = 0;
   int height_ = 1;
   std::vector<Ent> batch_scratch_, batch_sort_scratch_;  // insert_batch staging, reused
+  std::vector<K> erase_scratch_;                         // erase_batch staging, reused
+  std::vector<Op<K, V>> op_scratch_, op_sort_scratch_;   // apply_batch staging, reused
   BTreeStats stats_;
   mutable MM mm_;
 };

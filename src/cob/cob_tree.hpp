@@ -20,6 +20,7 @@
 // per update.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <optional>
@@ -91,6 +92,36 @@ class CobTree {
       return;
     }
     for (const Ent& e : run) insert(e.key, e.value);
+  }
+
+  /// Bulk delete (batch contract in api/dictionary.hpp): sort the keys once
+  /// and erase ascending — successive keys hit the same or adjacent PMA
+  /// segments, so the vEB descents and rebalance windows overlap. Duplicate
+  /// keys collapse to one erase; absent keys are no-ops.
+  void erase_batch(const K* keys, std::size_t n) {
+    if (n == 0) return;
+    std::vector<K>& ks = erase_scratch_;
+    ks.assign(keys, keys + n);
+    std::sort(ks.begin(), ks.end());
+    ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+    for (const K& k : ks) erase(k);
+  }
+
+  /// Mixed put/erase batch: normalize once (the LAST op on a key wins),
+  /// apply ascending — upserts through insert(), deletes through erase(),
+  /// no tombstones anywhere in the PMA.
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Op<K, V>>& run = op_scratch_;
+    run.assign(ops, ops + n);
+    sort_dedup_newest_wins(run, op_sort_scratch_);
+    for (const Op<K, V>& o : run) {
+      if (o.erase) {
+        erase(o.key);
+      } else {
+        insert(o.key, o.value);
+      }
+    }
   }
 
   /// Returns true if the key existed.
@@ -299,6 +330,8 @@ class CobTree {
   mutable layout::VebStaticTree<K, MM> index_;
   std::uint64_t index_epoch_ = ~0ULL;
   std::vector<Ent> batch_scratch_, batch_sort_scratch_;  // insert_batch staging, reused
+  std::vector<K> erase_scratch_;                         // erase_batch staging, reused
+  std::vector<Op<K, V>> op_scratch_, op_sort_scratch_;   // apply_batch staging, reused
 };
 
 }  // namespace costream::cob

@@ -28,8 +28,16 @@
 // level after the first.
 //
 // Semantics. insert() is an upsert (newest wins; older duplicates are
-// discarded during merges). erase() is a blind tombstone — an extension the
-// paper does not cover — annihilated when a merge reaches the deepest level.
+// discarded during merges). erase() is a blind tombstone — the paper treats
+// deletes as tombstoned insertions riding the same cascade — annihilated
+// when a merge reaches the deepest level. erase_batch()/apply_batch()
+// extend the batch contract (api/dictionary.hpp) to deletes and mixed
+// put/erase runs: one normalized run, one cascade, tombstones carried like
+// insertions. Tiered levels additionally keep per-segment live/tombstone
+// counts and bound retention via ColaConfig::tombstone_threshold: past the
+// threshold the deepest level is folded in place (annihilating) and the
+// trivial-move fast path is vetoed, so sustained erase-heavy feeds stay
+// space-bounded.
 //
 // Staging L0 (extension). With staging_capacity > 0 the structure keeps an
 // append arena in front of the levels: inserts, erases, and batches land in
@@ -81,6 +89,16 @@ struct ColaConfig {
   std::size_t staging_capacity = 0;  // L0 staging arena entries; 0 disables
   bool tiered = false;  // segmented levels (append segments, merge on drain);
                         // disables lookahead pointers
+  // Tiered mode only: bound on a level's tombstone fraction. Tombstones are
+  // annihilated only by folds that land past all older data, so a sustained
+  // erase-heavy feed would otherwise pile them up in bottom-level segments.
+  // When the deepest level's tombstone mass crosses this fraction of its
+  // occupancy, the trivial-move fast path is vetoed (forcing the next drain
+  // to be a real, annihilating fold) and the deepest level is compacted in
+  // place. Amortized cost: one level rewrite per threshold*|level| erasures,
+  // i.e. O(1/(threshold*B)) extra transfers per erase (dam/bounds.hpp).
+  // Values > 1.0 disable the forcing.
+  double tombstone_threshold = 0.25;
 };
 
 /// Ingest-tuned preset: growth factor g, tiered (segmented) levels, and a
@@ -107,6 +125,7 @@ struct ColaStats {
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t stage_flushes = 0;    // staging-arena drains (one cascade each)
   std::uint64_t stage_absorbed = 0;   // entries that landed in the arena
+  std::uint64_t forced_bottom_folds = 0;  // tombstone-pressure compactions
 };
 
 template <class K = Key, class V = Value, class MM = dam::null_mem_model>
@@ -147,6 +166,12 @@ class Gcola {
   /// Real entries in one level (tests).
   std::uint64_t level_real_count(std::size_t l) const noexcept {
     return l < levels_.size() ? levels_[l].real_count : 0;
+  }
+
+  /// Not-yet-annihilated tombstones held in one level's segments (tiered
+  /// mode; tests and the bounded-retention policy).
+  std::uint64_t level_tombstone_count(std::size_t l) const noexcept {
+    return l < levels_.size() ? levels_[l].tomb_count : 0;
   }
 
   /// Bytes of slot storage across all levels plus the staging arena
@@ -264,6 +289,9 @@ class Gcola {
       mm_.touch_write(stage_base_ + (stage_.size() - run.size()) * sizeof(TItem),
                       run.size() * sizeof(TItem));
       stats_.stage_absorbed += n;
+      // Keep the arena's run count logarithmic under tiny-batch feeds too
+      // (a size-1 insert_batch is a singleton append like put()'s).
+      counter_merge_stage_tail();
       if (stage_.size() >= cfg_.staging_capacity) flush_stage();
       return;
     }
@@ -300,6 +328,48 @@ class Gcola {
     }
     ++stats_.batch_merges;
     cascade_run(run);
+  }
+
+  /// Blind bulk delete (batch contract in api/dictionary.hpp): equivalent
+  /// to calling erase(keys[i]) for i = 0..n-1 in order, at batch cost — the
+  /// tombstones are normalized into ONE sorted run (duplicate keys collapse
+  /// to a single tombstone) and ride the same staging-arena / cascade path
+  /// as insert_batch. Annihilation happens where it always does: folds past
+  /// all older data strip matched and unmatched tombstones alike, and the
+  /// tombstone-pressure policy bounds how long they may linger (see
+  /// ColaConfig::tombstone_threshold).
+  void erase_batch(const K* keys, std::size_t n) {
+    if (n == 0) return;
+    std::vector<TItem>& run = titem_batch_;
+    run.clear();
+    run.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      TItem s{};
+      s.key = keys[i];
+      s.flags = kFlagTombstone;
+      run.push_back(s);
+    }
+    apply_normalized(run, n);
+  }
+
+  /// Mixed put/erase batch (batch contract in api/dictionary.hpp): the LAST
+  /// operation on a key within the batch wins — put-vs-erase included — and
+  /// the whole batch is newer than everything already present. Identical in
+  /// effect to replaying the ops with insert()/erase() one at a time, in one
+  /// normalized run and one cascade.
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    if (n == 0) return;
+    std::vector<TItem>& run = titem_batch_;
+    run.clear();
+    run.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      TItem s{};
+      s.key = ops[i].key;
+      s.value = ops[i].value;
+      s.flags = ops[i].erase ? kFlagTombstone : 0u;
+      run.push_back(s);
+    }
+    apply_normalized(run, n);
   }
 
   /// Drain the staging arena into the levels (normally automatic when the
@@ -362,6 +432,8 @@ class Gcola {
       lv.tslots.clear();
       append_widened(sorted.data(), sorted.data() + sorted.size(), lv.tslots);
       lv.segs.assign(1, 0);
+      lv.seg_tombs.assign(1, 0);  // bulk loads carry no tombstones
+      lv.tomb_count = 0;
       touch_titems(t, 0, lv.tslots.size(), /*write=*/true);
     } else {
       std::vector<Slot> content;
@@ -490,26 +562,42 @@ class Gcola {
       if (lv.tslots.size() != lv.real_count) {
         throw std::logic_error("cola: tiered count drift");
       }
+      if (lv.seg_tombs.size() != lv.segs.size()) {
+        throw std::logic_error("cola: segment tombstone counters out of step");
+      }
       if (lv.segs.empty()) {
         if (lv.real_count != 0) {
           throw std::logic_error("cola: empty tiered level with occupancy");
+        }
+        if (lv.tomb_count != 0) {
+          throw std::logic_error("cola: empty tiered level with tombstones");
         }
         continue;
       }
       if (lv.segs.front() != 0) {
         throw std::logic_error("cola: first segment not at offset 0");
       }
+      std::uint64_t tombs_total = 0;
       for (std::size_t j = 0; j < lv.segs.size(); ++j) {
         const std::uint32_t b = lv.segs[j];
         const std::uint32_t e = j + 1 < lv.segs.size()
                                     ? lv.segs[j + 1]
                                     : static_cast<std::uint32_t>(lv.tslots.size());
         if (b >= e) throw std::logic_error("cola: empty segment");
+        std::uint32_t tombs = 0;
         for (std::uint32_t i = b; i < e; ++i) {
           if (i > b && !(lv.tslots[i - 1].key < lv.tslots[i].key)) {
             throw std::logic_error("cola: segment unsorted");
           }
+          tombs += lv.tslots[i].is_tombstone() ? 1u : 0u;
         }
+        if (tombs != lv.seg_tombs[j]) {
+          throw std::logic_error("cola: segment tombstone count drift");
+        }
+        tombs_total += tombs;
+      }
+      if (tombs_total != lv.tomb_count) {
+        throw std::logic_error("cola: level tombstone count drift");
       }
     }
   }
@@ -553,6 +641,11 @@ class Gcola {
     // gigabytes the moment the cascade first reaches it.
     std::vector<TItem> tslots;
     std::vector<std::uint32_t> segs;
+    // Tiered mode: live/tombstone split per segment (seg_tombs parallels
+    // segs) and the level-wide tombstone total — maintained by every fold so
+    // the bounded-retention policy reads pressure in O(1).
+    std::vector<std::uint32_t> seg_tombs;
+    std::uint64_t tomb_count = 0;
   };
 
   // -- geometry ---------------------------------------------------------------
@@ -952,6 +1045,55 @@ class Gcola {
     stage_base_set_ = true;
   }
 
+  /// Shared tail of the mixed-op batch mutators: normalize `run` (sort +
+  /// newest-wins dedup; tombstone flags ride along untouched) and route it
+  /// the same way insert_batch routes its runs — staging-arena append,
+  /// tiered cascade, or classic cascade in Slot form. `n_raw` is the
+  /// pre-dedup op count (stats).
+  void apply_normalized(std::vector<TItem>& run, std::size_t n_raw) {
+    sort_dedup_newest_wins(run, titem_batch_scratch_);
+    stats_.duplicates_dropped += n_raw - run.size();
+    if (cfg_.staging_capacity > 0) {
+      ensure_stage_base();
+      stage_.reserve(std::max(cfg_.staging_capacity, stage_.size() + run.size()));
+      stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
+      stage_.insert(stage_.end(), run.begin(), run.end());
+      mm_.touch_write(stage_base_ + (stage_.size() - run.size()) * sizeof(TItem),
+                      run.size() * sizeof(TItem));
+      stats_.stage_absorbed += n_raw;
+      // Small mixed-op runs must not grow the arena's run count linearly
+      // (find() probes every run): the binary-counter tail merge keeps it
+      // logarithmic, exactly as the single-op put() path does.
+      counter_merge_stage_tail();
+      if (stage_.size() >= cfg_.staging_capacity) flush_stage();
+      return;
+    }
+    ensure_level(0);
+    // A singleton run with room in level 0 is exactly a single op.
+    if (run.size() == 1 && !level_full(0)) {
+      put(run[0].key, run[0].value, run[0].is_tombstone());
+      return;
+    }
+    if (cfg_.tiered) {
+      ++stats_.batch_merges;
+      incoming_spans_.assign(1, {run.data(), run.data() + run.size()});
+      cascade_run_tiered(run.size());
+      return;
+    }
+    std::vector<Slot>& srun = scratch_batch_;
+    srun.clear();
+    srun.reserve(run.size());
+    for (const TItem& t : run) {
+      Slot s{};
+      s.key = t.key;
+      s.value = t.value;
+      s.flags = t.flags;
+      srun.push_back(s);
+    }
+    ++stats_.batch_merges;
+    cascade_run(srun);
+  }
+
   /// Carry the normalized run `run` (sorted, unique keys, newest overall)
   /// into the shallowest level with room — the target walk shared by
   /// insert_batch and the staging-arena flush. Folds every level that is
@@ -1003,20 +1145,27 @@ class Gcola {
     // workload (bounded live set, endless upserts/erases) grow physical
     // size without bound. Alternating keeps the pure-growth fast path —
     // one relocation per deepest-level generation — while guaranteeing
-    // every other bottom drain compacts.
+    // every other bottom drain compacts. Tombstone pressure vetoes the
+    // relocation outright: past the threshold the deepest level NEEDS the
+    // annihilating fold, not another deferral.
     const std::size_t deepest = deepest_nonempty();
-    if (!bottom_relocated_ && t == deepest + 1 && levels_[deepest].real_count > 0) {
+    if (!bottom_relocated_ && !tombstone_pressure(deepest) && t == deepest + 1 &&
+        levels_[deepest].real_count > 0) {
       ensure_level(t);
       Level& from = levels_[deepest];
       Level& to = levels_[t];
       if (to.real_count == 0) {
         to.tslots.swap(from.tslots);
         to.segs.swap(from.segs);
+        to.seg_tombs.swap(from.seg_tombs);
+        to.tomb_count = from.tomb_count;
         to.real_count = from.real_count;
         to.fills = from.fills;
         from.tslots.clear();
         from.segs.clear();
+        from.seg_tombs.clear();
         from.real_count = 0;
+        from.tomb_count = 0;
         from.fills = 0;
         touch_titems(t, 0, to.tslots.size(), /*write=*/true);
         bottom_relocated_ = true;
@@ -1026,6 +1175,56 @@ class Gcola {
     ensure_level(t);
     ++stats_.merges;
     cascade_into_tiered(t);
+    maybe_fold_bottom_tombstones();
+  }
+
+  /// True when level l's tombstone mass has crossed the configured fraction
+  /// of its occupancy — the signal that forces annihilating folds.
+  bool tombstone_pressure(std::size_t l) const noexcept {
+    if (!(cfg_.tombstone_threshold <= 1.0)) return false;  // knob disabled
+    const Level& lv = levels_[l];
+    return lv.tomb_count > 0 &&
+           static_cast<double>(lv.tomb_count) >=
+               cfg_.tombstone_threshold * static_cast<double>(lv.tslots.size());
+  }
+
+  /// Bounded tombstone retention (checked after every tiered cascade): when
+  /// the deepest level crosses the threshold, fold its segments into one and
+  /// strip. No older copy of any key can exist below the deepest level, so
+  /// every tombstone — and every shadowed duplicate — dies here. Each fold
+  /// clears the level's whole tombstone mass, so the next one needs another
+  /// threshold-fraction of fresh tombstones: amortized O(1/threshold) moves
+  /// per erase.
+  void maybe_fold_bottom_tombstones() {
+    const std::size_t d = deepest_nonempty();
+    if (levels_.empty() || levels_[d].real_count == 0) return;
+    if (!tombstone_pressure(d)) return;
+    Level& lv = levels_[d];
+    ++stats_.merges;
+    ++stats_.forced_bottom_folds;
+    const std::size_t total = lv.tslots.size();
+    touch_titems(d, 0, total, /*write=*/false);
+    fold_spans_.clear();
+    for (std::size_t j = 0; j < lv.segs.size(); ++j) {  // oldest first
+      const std::uint32_t b = lv.segs[j];
+      const std::uint32_t e = j + 1 < lv.segs.size()
+                                  ? lv.segs[j + 1]
+                                  : static_cast<std::uint32_t>(lv.tslots.size());
+      fold_spans_.emplace_back(lv.tslots.data() + b, lv.tslots.data() + e);
+    }
+    collapse_fold_spans(total);
+    stats_.duplicates_dropped += total - tfold_buf_.size();
+    strip_tombstones(tfold_buf_);
+    lv.tslots.clear();
+    lv.segs.clear();
+    lv.seg_tombs.clear();
+    lv.real_count = 0;
+    lv.tomb_count = 0;
+    lv.fills = 0;
+    append_segment(d, tfold_buf_);
+    // This fold IS a bottom compaction: the next deepest-level drain may
+    // take the trivial move again.
+    bottom_relocated_ = false;
   }
 
   void put(const K& key, const V& value, bool tombstone) {
@@ -1056,6 +1255,8 @@ class Gcola {
         s.flags = tombstone ? kFlagTombstone : 0u;
         l0.tslots.assign(1, s);
         l0.segs.assign(1, 0);
+        l0.seg_tombs.assign(1, tombstone ? 1u : 0u);
+        l0.tomb_count = tombstone ? 1 : 0;
         touch_titems(0, 0, 1, /*write=*/true);
       } else {
         Slot s{};
@@ -1180,38 +1381,43 @@ class Gcola {
     // This fold IS a bottom compaction: the next deepest-level drain may
     // take the trivial move again.
     if (drop_tombstones) bottom_relocated_ = false;
-    const auto clear_sources = [&] {
-      for (std::size_t l = 0; l < t; ++l) {
-        Level& lv = levels_[l];
-        lv.segs.clear();
-        lv.tslots.clear();  // keeps capacity for the refill
-        lv.fills = 0;
-        lv.real_count = 0;
-      }
-    };
+    collapse_fold_spans(total);
+    // Sources are cleared only after the fold — the spans read from them.
+    for (std::size_t l = 0; l < t; ++l) {
+      Level& lv = levels_[l];
+      lv.segs.clear();
+      lv.seg_tombs.clear();
+      lv.tslots.clear();  // keeps capacity for the refill
+      lv.fills = 0;
+      lv.real_count = 0;
+      lv.tomb_count = 0;
+    }
+    stats_.duplicates_dropped += total - tfold_buf_.size();
+    // A tombstone can be discarded only when no older copy of its key can
+    // exist anywhere — deepest level AND no older segments in the target.
+    if (drop_tombstones) strip_tombstones(tfold_buf_);
+    append_segment(t, tfold_buf_);
+  }
+
+  /// Collapse fold_spans_ (sorted runs ordered oldest -> newest, `total`
+  /// elements in all) into one sorted newest-wins run in tfold_buf_. A
+  /// single span copies straight through; past the cache cutoff the one-pass
+  /// loser-tree k-way merge reads and writes each element exactly once (the
+  /// pairwise rounds would stream the whole fold through DRAM log2(#spans)
+  /// times); in cache, balanced pairwise rounds — round zero merges adjacent
+  /// span pairs straight from their source locations, so the gather pass and
+  /// the first merge round are the same pass. Shared by the cascade fold and
+  /// the tombstone-pressure bottom compaction.
+  void collapse_fold_spans(std::size_t total) {
+    const std::vector<std::pair<const TItem*, const TItem*>>& spans = fold_spans_;
     if (spans.size() == 1) {
-      // Single source run: it goes straight in (one sequential copy).
       tfold_buf_.assign(spans[0].first, spans[0].second);
-      clear_sources();
-      if (drop_tombstones) strip_tombstones(tfold_buf_);
-      append_segment(t, tfold_buf_);
       return;
     }
     if (total >= kKwayCutoff) {
-      // Deep drains run out of cache: pairwise rounds would stream the
-      // whole fold through DRAM log2(#spans) times. The one-pass tournament
-      // merge reads and writes each element exactly once at the price of
-      // log2(#spans) in-cache heap compares per element.
       kway_merge_spans(spans, total, tfold_buf_);
-      clear_sources();
-      stats_.duplicates_dropped += total - tfold_buf_.size();
-      if (drop_tombstones) strip_tombstones(tfold_buf_);
-      append_segment(t, tfold_buf_);
       return;
     }
-    // Round zero merges adjacent span pairs straight from their source
-    // locations into the fold buffer — the gather pass and the first merge
-    // round are the same pass. Remaining rounds collapse in the buffer.
     std::vector<TItem>& buf = tfold_buf_;
     std::vector<std::uint32_t>& runs = fold_runs_;
     buf.resize(total);
@@ -1227,13 +1433,7 @@ class Gcola {
                                  spans[i + 1].first, spans[i + 1].second, w);
     }
     buf.resize(static_cast<std::size_t>(w - buf.data()));
-    clear_sources();
     collapse_runs(buf, runs, tfold_tmp_, fold_runs_scratch_);
-    stats_.duplicates_dropped += total - buf.size();
-    // A tombstone can be discarded only when no older copy of its key can
-    // exist anywhere — deepest level AND no older segments in the target.
-    if (drop_tombstones) strip_tombstones(buf);
-    append_segment(t, buf);
   }
 
   // Fold totals at or above this run through the one-pass k-way merge
@@ -1338,6 +1538,10 @@ class Gcola {
     assert(lv.tslots.size() + content.size() <= real_cap(l));
     const std::uint32_t nb = static_cast<std::uint32_t>(lv.tslots.size());
     lv.segs.push_back(nb);
+    std::uint32_t tombs = 0;
+    for (const TItem& t : content) tombs += t.is_tombstone() ? 1u : 0u;
+    lv.seg_tombs.push_back(tombs);
+    lv.tomb_count += tombs;
     lv.tslots.insert(lv.tslots.end(), content.begin(), content.end());
     touch_titems(l, nb, content.size(), /*write=*/true);
     lv.real_count += content.size();
@@ -1581,6 +1785,9 @@ class Gcola {
   std::vector<std::uint8_t> walive_, loser_alive_;
   // Staged-batch normalization scratch (Entry-sized: the narrowest form).
   std::vector<Entry<K, V>> stage_entry_scratch_, stage_entry_sort_scratch_;
+  // Mixed-op batch normalization scratch (TItem-sized: tombstone flags ride
+  // through the sort), reused across erase_batch/apply_batch calls.
+  std::vector<TItem> titem_batch_, titem_batch_scratch_;
   std::uint64_t stage_base_ = 0;
   bool stage_base_set_ = false;
   // Trivial-move alternation flag: set when the deepest level is relocated

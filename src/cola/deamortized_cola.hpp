@@ -98,6 +98,35 @@ class DeamortizedCola {
     for (const Entry<K, V>& e : run) put(e.key, e.value, false);
   }
 
+  /// Bulk blind delete (batch contract in api/dictionary.hpp): duplicate
+  /// keys collapse to one tombstone, then each rides the budgeted path. A
+  /// tombstone is an item to the incremental merges — advance_merge moves
+  /// and (at the deepest data) drops it within the same per-op budget of
+  /// g*k + 2 moves — so Lemma 21's worst-case bound is unchanged for
+  /// erase-heavy feeds (max_moves_per_insert stays under test).
+  void erase_batch(const K* keys, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Op<K, V>>& run = op_scratch_;
+    run.clear();
+    run.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) run.push_back(Op<K, V>::del(keys[i]));
+    sort_dedup_newest_wins(run, op_sort_scratch_);
+    for (const Op<K, V>& o : run) put(o.key, o.value, true);
+  }
+
+  /// Mixed put/erase batch: normalize once (the LAST op on a key wins,
+  /// put-vs-erase included) and feed the budgeted path — the deamortized
+  /// machinery cannot shortcut the level walk without breaking the
+  /// worst-case move bound, so batching buys the dedup and sorted,
+  /// cache-friendly input, not fewer budget charges.
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Op<K, V>>& run = op_scratch_;
+    run.assign(ops, ops + n);
+    sort_dedup_newest_wins(run, op_sort_scratch_);
+    for (const Op<K, V>& o : run) put(o.key, o.value, o.erase);
+  }
+
   std::optional<V> find(const K& key) const {
     // Newest wins: scan levels from the smallest, and within a level check
     // arrays in descending fill-sequence order. One pass collects the full
@@ -428,6 +457,7 @@ class DeamortizedCola {
   std::uint64_t next_base_ = 0;
   std::uint64_t seq_counter_ = 0;
   std::vector<Entry<K, V>> batch_scratch_, batch_sort_scratch_;  // batch staging, reused
+  std::vector<Op<K, V>> op_scratch_, op_sort_scratch_;  // mixed-op staging, reused
   // find() array-ordering scratch (mutable: find is const, scratch reused).
   mutable std::vector<std::pair<std::uint64_t, std::uint32_t>> find_order_scratch_;
   DeamortizedStats stats_;

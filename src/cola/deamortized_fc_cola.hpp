@@ -88,6 +88,31 @@ class DeamortizedFcCola {
     for (const Entry<K, V>& e : run) put(e.key, e.value, false);
   }
 
+  /// Bulk blind delete (batch contract in api/dictionary.hpp). Tombstones
+  /// are items to the budgeted machinery: each normalized op pays the same
+  /// (g+1)*k + 4 budget covering merged items AND copied pointers, so
+  /// Theorem 24's worst-case move bound is unchanged for erase-heavy feeds.
+  void erase_batch(const K* keys, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Op<K, V>>& run = op_scratch_;
+    run.clear();
+    run.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) run.push_back(Op<K, V>::del(keys[i]));
+    sort_dedup_newest_wins(run, op_sort_scratch_);
+    for (const Op<K, V>& o : run) put(o.key, o.value, true);
+  }
+
+  /// Mixed put/erase batch: normalize once (the LAST op on a key wins),
+  /// then feed the budgeted path op by op — the worst-case bound forbids
+  /// shortcutting the level walk, so batching buys dedup and sorted input.
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Op<K, V>>& run = op_scratch_;
+    run.assign(ops, ops + n);
+    sort_dedup_newest_wins(run, op_sort_scratch_);
+    for (const Op<K, V>& o : run) put(o.key, o.value, o.erase);
+  }
+
   std::optional<V> find(const K& key) const {
     // Per-array windows for the level being examined; refreshed from the
     // previous level's pointer buffer when it is current. The window vectors
@@ -577,6 +602,7 @@ class DeamortizedFcCola {
   std::uint64_t next_base_ = 0;
   std::uint64_t seq_counter_ = 0;
   std::vector<Entry<K, V>> batch_scratch_, batch_sort_scratch_;  // batch staging, reused
+  std::vector<Op<K, V>> op_scratch_, op_sort_scratch_;  // mixed-op staging, reused
   // Window scratch for find() (const hot path; avoids per-call allocation
   // once the vectors reach capacity g).
   mutable std::vector<Window> win_cur_, win_next_;

@@ -34,6 +34,22 @@ struct Entry {
   }
 };
 
+/// One operation of a mixed put/erase batch (apply_batch — contract in
+/// api/dictionary.hpp). `erase` marks a blind delete: the value is ignored
+/// and the write-optimized structures carry it as a tombstone. Ordered by
+/// key only, like Entry, so batch normalization (sort_dedup_newest_wins)
+/// applies to Op runs unchanged — the LAST op on a key within a batch wins,
+/// whether it is a put or an erase.
+template <class K = Key, class V = Value>
+struct Op {
+  K key{};
+  V value{};
+  bool erase = false;
+
+  static constexpr Op put(const K& k, const V& v) { return Op{k, v, false}; }
+  static constexpr Op del(const K& k) { return Op{k, V{}, true}; }
+};
+
 /// Compare an entry against a bare key (heterogeneous lookups).
 struct EntryKeyLess {
   template <class K, class V>

@@ -60,26 +60,26 @@ std::vector<std::uint64_t> KeyStream::take(std::uint64_t count) const {
   return keys;
 }
 
-std::vector<Op> generate_ops(std::uint64_t count, std::uint64_t key_universe,
+std::vector<TraceOp> generate_ops(std::uint64_t count, std::uint64_t key_universe,
                              const OpMix& mix, std::uint64_t seed) {
   if (key_universe == 0) throw std::invalid_argument("empty key universe");
-  std::vector<Op> ops;
+  std::vector<TraceOp> ops;
   ops.reserve(count);
   Xoshiro256 rng(seed);
   const double total = mix.insert + mix.erase + mix.find + mix.range;
   for (std::uint64_t i = 0; i < count; ++i) {
     const double pick = rng.unit() * total;
-    Op op{};
+    TraceOp op{};
     op.key = rng.below(key_universe);
     op.value = rng();
     if (pick < mix.insert) {
-      op.kind = OpKind::kInsert;
+      op.kind = TraceOpKind::kInsert;
     } else if (pick < mix.insert + mix.erase) {
-      op.kind = OpKind::kErase;
+      op.kind = TraceOpKind::kErase;
     } else if (pick < mix.insert + mix.erase + mix.find) {
-      op.kind = OpKind::kFind;
+      op.kind = TraceOpKind::kFind;
     } else {
-      op.kind = OpKind::kRange;
+      op.kind = TraceOpKind::kRange;
       op.hi = op.key + rng.below(key_universe / 16 + 1);
     }
     ops.push_back(op);

@@ -60,10 +60,13 @@ struct OpMix {
   double range = 0.05;
 };
 
-enum class OpKind { kInsert, kErase, kFind, kRange };
+enum class TraceOpKind { kInsert, kErase, kFind, kRange };
 
-struct Op {
-  OpKind kind;
+/// One step of a generated test trace. (Named TraceOp to keep it distinct
+/// from costream::Op, the public mixed-batch operation in common/entry.hpp:
+/// a TraceOp describes what a test DRIVER does, including reads.)
+struct TraceOp {
+  TraceOpKind kind;
   std::uint64_t key;
   std::uint64_t value;  // for inserts
   std::uint64_t hi;     // for ranges: query [key, hi]
@@ -71,7 +74,7 @@ struct Op {
 
 /// Generate `count` operations over a bounded key universe so erases and
 /// finds hit existing keys with reasonable probability.
-std::vector<Op> generate_ops(std::uint64_t count, std::uint64_t key_universe,
-                             const OpMix& mix, std::uint64_t seed);
+std::vector<TraceOp> generate_ops(std::uint64_t count, std::uint64_t key_universe,
+                                  const OpMix& mix, std::uint64_t seed);
 
 }  // namespace costream

@@ -49,4 +49,24 @@ inline double cola_search_transfer_bound(double n, double growth,
          staged_elems / std::max(1.0, block_elems);
 }
 
+/// Amortized transfer bound for a MIXED put/erase feed (erase_batch /
+/// apply_batch) on the tiered COLA with bounded tombstone retention.
+/// Tombstones are insertions to the cascade — the paper's delete treatment —
+/// so they pay the insert bound; the bounded-retention policy adds the
+/// forced bottom folds: one full rewrite of the deepest level per
+/// (threshold * |level|) tombstone arrivals, i.e. an extra
+/// erase_fraction / (threshold * B) transfers per operation. The threshold
+/// is the space/ingest knob: tighter bounds cost proportionally more fold
+/// traffic, looser ones retain proportionally more dead slots.
+inline double cola_mixed_op_transfer_bound(double n, double growth,
+                                           double block_elems,
+                                           double erase_fraction,
+                                           double tombstone_threshold) noexcept {
+  const double theta =
+      std::min(1.0, std::max(0.05, tombstone_threshold));
+  const double ef = std::min(1.0, std::max(0.0, erase_fraction));
+  return cola_insert_transfer_bound(n, growth, block_elems) +
+         ef / (theta * std::max(1.0, block_elems));
+}
+
 }  // namespace costream::dam

@@ -178,32 +178,35 @@ class Pma {
     used_[s] = 0;
     --seg_count_[s / seg_slots_];
     --size_;
+    rebalance_after_erase(s / seg_slots_, s / seg_slots_);
+  }
 
-    // Walk up until a window satisfies its lower threshold; rebalance it so
-    // the sparse region regains its gaps-everywhere shape.
-    int depth = 0;
-    std::uint64_t seg_lo = s / seg_slots_, seg_span = 1;
-    while (true) {
-      const std::uint64_t cnt = window_count(seg_lo, seg_span);
-      const std::uint64_t slots = seg_span * seg_slots_;
-      if (static_cast<double>(cnt) >=
-          lower_threshold(depth) * static_cast<double>(slots)) {
-        if (depth > 0) rebalance_window(seg_lo, seg_span);
-        return;
-      }
-      if (seg_span == segments()) {
-        if (capacity() > kMinCapacity &&
-            static_cast<double>(size_) <= 0.75 * static_cast<double>(capacity() / 2)) {
-          resize_to(capacity() / 2);
-        } else if (cnt > 0) {
-          rebalance_window(seg_lo, seg_span);
-        }
-        return;
-      }
-      ++depth;
-      seg_span *= 2;
-      seg_lo = (seg_lo / seg_span) * seg_span;
+  /// Remove up to `count` elements in logical order starting at occupied
+  /// slot `s` — the positional analogue of insert_batch_after (stops early
+  /// at the end of the array). The victims are vacated in ONE forward pass
+  /// with no intermediate rebalances (a per-erase rebalance would relocate
+  /// the remaining victims mid-iteration), then a single rebalance pass over
+  /// the smallest window covering the vacated range restores the density
+  /// invariants — batching the amortized O(log^2 N) rebalance cost the same
+  /// way insert_batch_after batches placement. Returns the number erased.
+  std::size_t erase_batch(slot_t s, std::size_t count) {
+    if (count == 0) return 0;
+    assert(occupied(s));
+    const std::uint64_t seg_first = s / seg_slots_;
+    std::uint64_t seg_last = seg_first;
+    std::size_t erased = 0;
+    while (erased < count && s != npos) {
+      mm_.touch_write(s * sizeof(T), sizeof(T));
+      used_[s] = 0;
+      --seg_count_[s / seg_slots_];
+      --size_;
+      ++stats_.erases;
+      seg_last = s / seg_slots_;
+      ++erased;
+      s = erased < count ? scan_forward(s + 1) : npos;
     }
+    rebalance_after_erase(seg_first, seg_last);
+    return erased;
   }
 
   // -- verification -----------------------------------------------------------
@@ -350,6 +353,46 @@ class Pma {
 
   void clear_window_counts(std::uint64_t seg_lo, std::uint64_t seg_span) noexcept {
     for (std::uint64_t s = seg_lo; s < seg_lo + seg_span; ++s) seg_count_[s] = 0;
+  }
+
+  /// Shared erase tail: starting from the smallest aligned window covering
+  /// segments [seg_first, seg_last], walk up until a window satisfies its
+  /// lower threshold; rebalance it so the sparse region regains its
+  /// gaps-everywhere shape. At the root, halve the array as long as the
+  /// occupancy justifies it (a batch erase can shrink past one halving).
+  void rebalance_after_erase(std::uint64_t seg_first, std::uint64_t seg_last) {
+    int depth = 0;
+    std::uint64_t seg_span = 1;
+    while (seg_first / seg_span != seg_last / seg_span) {
+      ++depth;
+      seg_span *= 2;
+    }
+    std::uint64_t seg_lo = (seg_first / seg_span) * seg_span;
+    while (true) {
+      const std::uint64_t cnt = window_count(seg_lo, seg_span);
+      const std::uint64_t slots = seg_span * seg_slots_;
+      if (static_cast<double>(cnt) >=
+          lower_threshold(depth) * static_cast<double>(slots)) {
+        if (depth > 0) rebalance_window(seg_lo, seg_span);
+        return;
+      }
+      if (seg_span == segments()) {
+        if (capacity() > kMinCapacity &&
+            static_cast<double>(size_) <= 0.75 * static_cast<double>(capacity() / 2)) {
+          do {
+            resize_to(capacity() / 2);
+          } while (capacity() > kMinCapacity &&
+                   static_cast<double>(size_) <=
+                       0.75 * static_cast<double>(capacity() / 2));
+        } else if (cnt > 0) {
+          rebalance_window(seg_lo, seg_span);
+        }
+        return;
+      }
+      ++depth;
+      seg_span *= 2;
+      seg_lo = (seg_lo / seg_span) * seg_span;
+    }
   }
 
   slot_t rebalance_with_insert(std::uint64_t seg_lo, std::uint64_t seg_span, slot_t pred,

@@ -162,6 +162,35 @@ class ShuttleTree {
     ingest(batch);
   }
 
+  /// Bulk blind delete (batch contract in api/dictionary.hpp): the
+  /// tombstones shuttle down the edge buffers exactly like insertions — one
+  /// normalized run, one root-to-leaf delivery — and annihilate at the
+  /// leaves. Duplicate keys in the run collapse to a single tombstone.
+  void erase_batch(const K* keys, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Item>& batch = batch_scratch_;
+    batch.clear();
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) batch.push_back(Item{keys[i], V{}, true});
+    sort_dedup_newest_wins(batch, put_scratch_);
+    ingest(batch);
+  }
+
+  /// Mixed put/erase batch: the LAST op on a key within the batch wins
+  /// (put-vs-erase included); the normalized run — tombstones riding along —
+  /// shuttles down in a single delivery with fused overflow pours.
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    if (n == 0) return;
+    std::vector<Item>& batch = batch_scratch_;
+    batch.clear();
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(Item{ops[i].key, ops[i].value, ops[i].erase});
+    }
+    sort_dedup_newest_wins(batch, put_scratch_);
+    ingest(batch);
+  }
+
   /// Recompute the Figure-1 recursive layout and reassign every node's and
   /// buffer's logical address (normally triggered automatically when the
   /// element count doubles; public for benches/tests).

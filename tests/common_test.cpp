@@ -107,7 +107,7 @@ TEST(Workload, OrderRoundTrip) {
 TEST(Workload, OpMixProportions) {
   const auto ops = generate_ops(100'000, 1'000, OpMix{}, 1);
   std::uint64_t counts[4] = {};
-  for (const Op& op : ops) ++counts[static_cast<int>(op.kind)];
+  for (const TraceOp& op : ops) ++counts[static_cast<int>(op.kind)];
   EXPECT_NEAR(counts[0], 70'000, 2'000);  // insert
   EXPECT_NEAR(counts[1], 10'000, 1'500);  // erase
   EXPECT_NEAR(counts[2], 15'000, 1'500);  // find
@@ -116,7 +116,7 @@ TEST(Workload, OpMixProportions) {
 
 TEST(Workload, OpsKeysWithinUniverse) {
   const auto ops = generate_ops(10'000, 500, OpMix{}, 2);
-  for (const Op& op : ops) ASSERT_LT(op.key, 500u);
+  for (const TraceOp& op : ops) ASSERT_LT(op.key, 500u);
 }
 
 TEST(Workload, RejectsEmptyUniverse) {

@@ -44,17 +44,17 @@ TEST_P(IntegrationSeeds, AllStructuresAgreeOnMixedTrace) {
   testing::RefDict ref;
   const auto ops = generate_ops(4'000, 1'000, OpMix{}, GetParam());
   std::size_t i = 0;
-  for (const Op& op : ops) {
+  for (const TraceOp& op : ops) {
     switch (op.kind) {
-      case OpKind::kInsert:
+      case TraceOpKind::kInsert:
         for (auto& d : dicts) d.insert(op.key, op.value);
         ref.insert(op.key, op.value);
         break;
-      case OpKind::kErase:
+      case TraceOpKind::kErase:
         for (auto& d : dicts) d.erase(op.key);
         ref.erase(op.key);
         break;
-      case OpKind::kFind: {
+      case TraceOpKind::kFind: {
         const auto want = ref.find(op.key);
         for (auto& d : dicts) {
           const auto got = d.find(op.key);
@@ -66,7 +66,7 @@ TEST_P(IntegrationSeeds, AllStructuresAgreeOnMixedTrace) {
         }
         break;
       }
-      case OpKind::kRange: {
+      case TraceOpKind::kRange: {
         const auto want = ref.range(op.key, op.hi);
         for (auto& d : dicts) {
           std::vector<Entry<>> got;

@@ -1,0 +1,475 @@
+// Model-based mixed-op fuzz harness: seeded randomized traces of
+// put / erase / put_batch / erase_batch / apply_batch / find / range
+// operations, replayed against a std::map reference (blind-delete
+// semantics) across every structure and DictConfig preset — g in
+// {2, 4, 8, 16} for the growth family, classic / tiered / staged for the
+// COLA cascade modes. The oracle is pure differential: every find is
+// compared, ranges are compared, structural invariants run periodically,
+// and the final contents are swept in full.
+//
+// On divergence the harness first truncates the trace to the failing
+// prefix, then greedily delta-shrinks it (chunked removal with re-replay),
+// and FAILs with the seed plus the minimal trace printed in replayable
+// form — paste the dump into a regression test, or rerun with the seed.
+//
+// The seed corpus defaults to a small fixed set (deterministic CI); set
+// MIXED_FUZZ_SEEDS=<count> to widen the sweep locally or in the dedicated
+// CI fuzz leg.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/presets.hpp"
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cob/cob_tree.hpp"
+#include "cola/cola.hpp"
+#include "cola/deamortized_cola.hpp"
+#include "cola/deamortized_fc_cola.hpp"
+#include "common/rng.hpp"
+#include "model_helpers.hpp"
+#include "shuttle/shuttle_tree.hpp"
+
+namespace costream {
+namespace {
+
+struct FuzzOp {
+  enum class Kind { kPut, kErase, kPutBatch, kEraseBatch, kApplyBatch, kFind, kRange };
+  Kind kind = Kind::kPut;
+  Key key = 0;
+  Value value = 0;
+  Key hi = 0;                   // kRange
+  std::vector<Entry<>> entries; // kPutBatch
+  std::vector<Key> keys;        // kEraseBatch
+  std::vector<Op<>> ops;        // kApplyBatch
+};
+
+std::vector<FuzzOp> make_trace(std::uint64_t seed, std::size_t count, Key universe) {
+  Xoshiro256 rng(seed);
+  std::vector<FuzzOp> trace;
+  trace.reserve(count);
+  const auto key = [&] { return static_cast<Key>(rng.below(universe)); };
+  for (std::size_t i = 0; i < count; ++i) {
+    FuzzOp op;
+    const std::uint64_t pick = rng.below(100);
+    if (pick < 20) {
+      op.kind = FuzzOp::Kind::kPut;
+      op.key = key();
+      op.value = rng();
+    } else if (pick < 30) {
+      op.kind = FuzzOp::Kind::kErase;
+      op.key = key();
+    } else if (pick < 45) {
+      op.kind = FuzzOp::Kind::kPutBatch;
+      const std::size_t n = 1 + rng.below(48);
+      op.entries.reserve(n);
+      for (std::size_t j = 0; j < n; ++j) op.entries.push_back(Entry<>{key(), rng()});
+    } else if (pick < 57) {
+      op.kind = FuzzOp::Kind::kEraseBatch;
+      const std::size_t n = 1 + rng.below(48);
+      op.keys.reserve(n);
+      for (std::size_t j = 0; j < n; ++j) op.keys.push_back(key());
+    } else if (pick < 75) {
+      op.kind = FuzzOp::Kind::kApplyBatch;
+      const std::size_t n = 1 + rng.below(48);
+      op.ops.reserve(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (rng.below(100) < 45) {
+          op.ops.push_back(Op<>::del(key()));
+        } else {
+          op.ops.push_back(Op<>::put(key(), rng()));
+        }
+      }
+    } else if (pick < 90) {
+      op.kind = FuzzOp::Kind::kFind;
+      op.key = key();
+    } else {
+      op.kind = FuzzOp::Kind::kRange;
+      op.key = key();
+      op.hi = op.key + rng.below(universe / 8 + 1);
+    }
+    trace.push_back(std::move(op));
+  }
+  return trace;
+}
+
+std::string dump_trace(const std::vector<FuzzOp>& trace) {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const FuzzOp& op : trace) {
+    if (++shown > 400) {
+      os << "  ... (" << trace.size() - 400 << " more ops)\n";
+      break;
+    }
+    switch (op.kind) {
+      case FuzzOp::Kind::kPut:
+        os << "  put " << op.key << " " << op.value << "\n";
+        break;
+      case FuzzOp::Kind::kErase:
+        os << "  erase " << op.key << "\n";
+        break;
+      case FuzzOp::Kind::kPutBatch:
+        os << "  put_batch";
+        for (const Entry<>& e : op.entries) os << " " << e.key << ":" << e.value;
+        os << "\n";
+        break;
+      case FuzzOp::Kind::kEraseBatch:
+        os << "  erase_batch";
+        for (Key k : op.keys) os << " " << k;
+        os << "\n";
+        break;
+      case FuzzOp::Kind::kApplyBatch:
+        os << "  apply_batch";
+        for (const Op<>& o : op.ops) {
+          if (o.erase) {
+            os << " del:" << o.key;
+          } else {
+            os << " put:" << o.key << ":" << o.value;
+          }
+        }
+        os << "\n";
+        break;
+      case FuzzOp::Kind::kFind:
+        os << "  find " << op.key << "\n";
+        break;
+      case FuzzOp::Kind::kRange:
+        os << "  range " << op.key << " " << op.hi << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+struct Divergence {
+  std::size_t op_index;  // first trace index whose effects diverge
+  std::string what;
+};
+
+/// Replay `trace` against a fresh dictionary and the reference; the first
+/// observable divergence (find/range mismatch or invariant violation) is
+/// returned instead of asserted, so the shrinker can re-run freely.
+template <class D>
+std::optional<Divergence> replay(D& dict, const std::vector<FuzzOp>& trace) {
+  testing::RefDict ref;
+  const auto check = [&](std::size_t i) -> std::optional<Divergence> {
+    if constexpr (requires { dict.check_invariants(); }) {
+      try {
+        dict.check_invariants();
+      } catch (const std::logic_error& e) {
+        return Divergence{i, std::string("invariant: ") + e.what()};
+      }
+    }
+    return std::nullopt;
+  };
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const FuzzOp& op = trace[i];
+    switch (op.kind) {
+      case FuzzOp::Kind::kPut:
+        dict.insert(op.key, op.value);
+        ref.insert(op.key, op.value);
+        break;
+      case FuzzOp::Kind::kErase:
+        dict.erase(op.key);
+        ref.erase(op.key);
+        break;
+      case FuzzOp::Kind::kPutBatch:
+        dict.insert_batch(op.entries.data(), op.entries.size());
+        for (const Entry<>& e : op.entries) ref.insert(e.key, e.value);
+        break;
+      case FuzzOp::Kind::kEraseBatch:
+        dict.erase_batch(op.keys.data(), op.keys.size());
+        for (Key k : op.keys) ref.erase(k);
+        break;
+      case FuzzOp::Kind::kApplyBatch:
+        dict.apply_batch(op.ops.data(), op.ops.size());
+        for (const Op<>& o : op.ops) {
+          if (o.erase) {
+            ref.erase(o.key);
+          } else {
+            ref.insert(o.key, o.value);
+          }
+        }
+        break;
+      case FuzzOp::Kind::kFind: {
+        const auto got = dict.find(op.key);
+        const auto want = ref.find(op.key);
+        if (got != want) {
+          std::ostringstream os;
+          os << "find(" << op.key << ") = "
+             << (got ? std::to_string(*got) : "nothing") << ", model says "
+             << (want ? std::to_string(*want) : "nothing");
+          return Divergence{i, os.str()};
+        }
+        break;
+      }
+      case FuzzOp::Kind::kRange: {
+        const auto got = testing::collect_range(dict, op.key, op.hi);
+        const auto want = ref.range(op.key, op.hi);
+        if (got.size() != want.size()) {
+          std::ostringstream os;
+          os << "range [" << op.key << ", " << op.hi << "] returned "
+             << got.size() << " entries, model says " << want.size();
+          return Divergence{i, os.str()};
+        }
+        for (std::size_t j = 0; j < got.size(); ++j) {
+          if (got[j].key != want[j].key || got[j].value != want[j].value) {
+            std::ostringstream os;
+            os << "range [" << op.key << ", " << op.hi << "] pos " << j << ": got "
+               << got[j].key << ":" << got[j].value << ", model says "
+               << want[j].key << ":" << want[j].value;
+            return Divergence{i, os.str()};
+          }
+        }
+        break;
+      }
+    }
+    if (i % 24 == 23) {
+      if (auto d = check(i)) return d;
+    }
+  }
+  if (auto d = check(trace.empty() ? 0 : trace.size() - 1)) return d;
+  // Final sweep: the full ordered contents must match the model exactly.
+  const auto got =
+      testing::collect_range(dict, 0, std::numeric_limits<Key>::max());
+  const std::size_t last = trace.empty() ? 0 : trace.size() - 1;
+  if (got.size() != ref.map().size()) {
+    std::ostringstream os;
+    os << "final sweep: " << got.size() << " live entries, model says "
+       << ref.map().size();
+    return Divergence{last, os.str()};
+  }
+  std::size_t j = 0;
+  for (const auto& [k, v] : ref.map()) {
+    if (got[j].key != k || got[j].value != v) {
+      std::ostringstream os;
+      os << "final sweep pos " << j << ": got " << got[j].key << ":"
+         << got[j].value << ", model says " << k << ":" << v;
+      return Divergence{last, os.str()};
+    }
+    ++j;
+  }
+  return std::nullopt;
+}
+
+template <class MakeDict>
+std::optional<Divergence> replay_fresh(MakeDict& make, const std::vector<FuzzOp>& t) {
+  auto dict = make();
+  return replay(dict, t);
+}
+
+/// Greedy chunked delta-shrink of a failing trace: drop spans that do not
+/// make the failure disappear, halving the span size until single ops.
+template <class MakeDict>
+std::vector<FuzzOp> shrink_trace(MakeDict& make, std::vector<FuzzOp> t) {
+  for (std::size_t chunk = t.size() / 2; chunk >= 1; chunk /= 2) {
+    for (std::size_t at = 0; at + chunk <= t.size();) {
+      std::vector<FuzzOp> candidate;
+      candidate.reserve(t.size() - chunk);
+      candidate.insert(candidate.end(), t.begin(),
+                       t.begin() + static_cast<std::ptrdiff_t>(at));
+      candidate.insert(candidate.end(),
+                       t.begin() + static_cast<std::ptrdiff_t>(at + chunk), t.end());
+      if (replay_fresh(make, candidate)) {
+        t = std::move(candidate);  // still fails without the span: keep it out
+      } else {
+        at += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return t;
+}
+
+std::size_t seed_corpus_size() {
+  const char* env = std::getenv("MIXED_FUZZ_SEEDS");
+  if (env == nullptr || *env == '\0') return 2;
+  const long v = std::atol(env);
+  return v > 0 ? static_cast<std::size_t>(v) : 2;
+}
+
+/// Run the seed corpus for one (label, factory) configuration; on a
+/// divergence, shrink and FAIL with the replayable trace.
+template <class MakeDict>
+void fuzz_config(const std::string& label, MakeDict make,
+                 std::size_t trace_len = 1500, Key universe = 400) {
+  const std::size_t seeds = seed_corpus_size();
+  // Per-config seed base so configurations explore different traces.
+  std::uint64_t base = 0xcbf29ce484222325ULL;
+  for (const char c : label) {
+    base = (base ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  }
+  for (std::size_t s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = (base >> 32) + s;
+    const std::vector<FuzzOp> trace = make_trace(seed, trace_len, universe);
+    auto fail = replay_fresh(make, trace);
+    if (!fail) continue;
+    std::vector<FuzzOp> prefix(trace.begin(),
+                               trace.begin() + static_cast<std::ptrdiff_t>(
+                                                   fail->op_index + 1));
+    const std::vector<FuzzOp> minimal = shrink_trace(make, std::move(prefix));
+    FAIL() << label << " diverges from the model (seed " << seed << ", op "
+           << fail->op_index << "): " << fail->what << "\n"
+           << "minimal replay (" << minimal.size() << " ops):\n"
+           << dump_trace(minimal);
+  }
+}
+
+/// A deliberately buggy dictionary (erase_batch silently drops its last
+/// key) used to prove the harness is not vacuous: the oracle must flag it
+/// and the shrinker must reduce the trace to a handful of ops.
+class BuggyDict {
+ public:
+  void insert(Key k, Value v) { m_[k] = v; }
+  void insert_batch(const Entry<>* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) m_[data[i].key] = data[i].value;
+  }
+  void erase(Key k) { m_.erase(k); }
+  void erase_batch(const Key* keys, std::size_t n) {
+    for (std::size_t i = 0; i + 1 < n; ++i) m_.erase(keys[i]);  // bug: last key kept
+  }
+  void apply_batch(const Op<>* ops, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ops[i].erase) {
+        m_.erase(ops[i].key);
+      } else {
+        m_[ops[i].key] = ops[i].value;
+      }
+    }
+  }
+  std::optional<Value> find(Key k) const {
+    const auto it = m_.find(k);
+    if (it == m_.end()) return std::nullopt;
+    return it->second;
+  }
+  template <class Fn>
+  void range_for_each(Key lo, Key hi, Fn&& fn) const {
+    for (auto it = m_.lower_bound(lo); it != m_.end() && it->first <= hi; ++it) {
+      fn(it->first, it->second);
+    }
+  }
+
+ private:
+  std::map<Key, Value> m_;
+};
+
+TEST(MixedOpFuzz, HarnessCatchesAndShrinksPlantedBug) {
+  auto make = [] { return BuggyDict{}; };
+  std::optional<Divergence> fail;
+  std::vector<FuzzOp> trace;
+  for (std::uint64_t seed = 1; seed <= 16 && !fail; ++seed) {
+    trace = make_trace(seed, 1500, 400);
+    fail = replay_fresh(make, trace);
+  }
+  ASSERT_TRUE(fail.has_value()) << "oracle missed a dictionary that drops erases";
+  std::vector<FuzzOp> prefix(
+      trace.begin(), trace.begin() + static_cast<std::ptrdiff_t>(fail->op_index + 1));
+  const std::vector<FuzzOp> minimal = shrink_trace(make, std::move(prefix));
+  ASSERT_TRUE(replay_fresh(make, minimal).has_value())
+      << "shrinker lost the failure";
+  EXPECT_LE(minimal.size(), 4u)
+      << "shrinker left a bloated trace:\n" << dump_trace(minimal);
+}
+
+TEST(MixedOpFuzz, ColaClassic) {
+  for (const unsigned g : {2u, 4u, 8u, 16u}) {
+    fuzz_config("cola-classic-g" + std::to_string(g),
+                [g] { return cola::Gcola<>(cola::ColaConfig{g, 0.1}); });
+  }
+}
+
+TEST(MixedOpFuzz, ColaTiered) {
+  for (const unsigned g : {2u, 4u, 8u, 16u}) {
+    fuzz_config("cola-tiered-g" + std::to_string(g), [g] {
+      cola::ColaConfig cfg;
+      cfg.growth = g;
+      cfg.pointer_density = 0.0;
+      cfg.tiered = true;
+      return cola::Gcola<>(cfg);
+    });
+  }
+}
+
+TEST(MixedOpFuzz, ColaStaged) {
+  for (const unsigned g : {2u, 4u, 8u, 16u}) {
+    fuzz_config("cola-staged-g" + std::to_string(g),
+                [g] { return cola::Gcola<>(cola::ingest_tuned(g, 24)); });
+  }
+}
+
+TEST(MixedOpFuzz, ColaClassicStaged) {
+  // Classic (lookahead) cascade behind an L0 arena — the fourth cascade
+  // mode; flushes widen normalized tombstone-carrying runs into Slot form.
+  for (const unsigned g : {2u, 4u}) {
+    fuzz_config("cola-classic-staged-g" + std::to_string(g), [g] {
+      cola::ColaConfig cfg;
+      cfg.growth = g;
+      cfg.staging_capacity = 96;
+      return cola::Gcola<>(cfg);
+    });
+  }
+}
+
+TEST(MixedOpFuzz, ColaTightTombstoneThreshold) {
+  // An aggressive retention bound exercises the forced bottom folds on
+  // every erase-heavy stretch of the trace.
+  fuzz_config("cola-staged-tight-threshold", [] {
+    cola::ColaConfig cfg = cola::ingest_tuned(8, 24);
+    cfg.tombstone_threshold = 0.05;
+    return cola::Gcola<>(cfg);
+  });
+}
+
+TEST(MixedOpFuzz, Shuttle) {
+  for (const unsigned g : {2u, 4u, 8u, 16u}) {
+    fuzz_config("shuttle-g" + std::to_string(g), [g] {
+      shuttle::ShuttleConfig cfg;
+      cfg.growth = g;
+      return shuttle::ShuttleTree<>(cfg);
+    });
+  }
+}
+
+TEST(MixedOpFuzz, Deamortized) {
+  for (const unsigned g : {2u, 4u, 8u, 16u}) {
+    fuzz_config("deam-g" + std::to_string(g),
+                [g] { return cola::DeamortizedCola<>(g); }, 900);
+  }
+}
+
+TEST(MixedOpFuzz, DeamortizedFc) {
+  for (const unsigned g : {2u, 4u, 8u, 16u}) {
+    fuzz_config("fc-deam-g" + std::to_string(g),
+                [g] { return cola::DeamortizedFcCola<>(g); }, 900);
+  }
+}
+
+TEST(MixedOpFuzz, Baselines) {
+  fuzz_config("btree", [] { return btree::BTree<>(512); });
+  fuzz_config("brt", [] { return brt::Brt<>(512); });
+  fuzz_config("cob", [] { return cob::CobTree<>(); }, 1000);
+}
+
+TEST(MixedOpFuzz, AnyDictionaryPresets) {
+  // The type-erased facade forwards erase_batch/apply_batch faithfully for
+  // every kind x ingest-tuned preset (DictConfig threading included).
+  for (const char* kind : {"cola", "shuttle", "deam", "fc-deam", "btree", "brt", "cob"}) {
+    for (const unsigned g : {2u, 8u}) {
+      fuzz_config(
+          std::string("any-") + kind + "-g" + std::to_string(g),
+          [kind, g] {
+            return api::make_dictionary(kind, api::DictConfig::ingest_tuned(g, 24));
+          },
+          600);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace costream

@@ -51,21 +51,21 @@ std::vector<Entry<>> collect_range(const D& d, Key lo, Key hi) {
 /// every op, ranges periodically, and call `checker` (e.g. invariants) every
 /// `check_every` operations.
 template <class D, class Checker>
-void run_model_trace(D& dict, const std::vector<Op>& ops, Checker&& checker,
+void run_model_trace(D& dict, const std::vector<TraceOp>& ops, Checker&& checker,
                      std::size_t check_every = 64, bool use_ranges = true) {
   RefDict ref;
   std::size_t i = 0;
-  for (const Op& op : ops) {
+  for (const TraceOp& op : ops) {
     switch (op.kind) {
-      case OpKind::kInsert:
+      case TraceOpKind::kInsert:
         dict.insert(op.key, op.value);
         ref.insert(op.key, op.value);
         break;
-      case OpKind::kErase:
+      case TraceOpKind::kErase:
         dict.erase(op.key);
         ref.erase(op.key);
         break;
-      case OpKind::kFind: {
+      case TraceOpKind::kFind: {
         const auto got = dict.find(op.key);
         const auto want = ref.find(op.key);
         ASSERT_EQ(got.has_value(), want.has_value()) << "op " << i << " key " << op.key;
@@ -74,7 +74,7 @@ void run_model_trace(D& dict, const std::vector<Op>& ops, Checker&& checker,
         }
         break;
       }
-      case OpKind::kRange: {
+      case TraceOpKind::kRange: {
         if (!use_ranges) break;
         const auto got = collect_range(dict, op.key, op.hi);
         const auto want = ref.range(op.key, op.hi);

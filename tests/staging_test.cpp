@@ -119,6 +119,122 @@ TEST(StagingL0, ScansMergeArenaNewestWins) {
   c.check_invariants();
 }
 
+// Audit regression (ISSUE 3): the ordered scan paths — for_each and
+// range_for_each — must skip any key whose NEWEST unflushed arena entry is
+// a tombstone, exactly as the newest-first find path does. Exercised with
+// erase_batch runs (multi-entry tombstone runs in the arena, the shape the
+// single-op tests never produced) over all three shadowing cases: a deeper
+// level copy, an older arena copy, and no copy at all (blind tombstone).
+TEST(StagingL0, ScansSkipBatchTombstonesInArena) {
+  Gcola<> c(ingest_tuned(4, 256));  // tiered levels behind the arena
+  for (std::uint64_t k = 0; k < 300; ++k) c.insert(k, k);
+  c.flush_stage();
+  // Older arena copies for 200..249, then one erase_batch covering: level
+  // keys (0..49), arena keys (200..224), and absent keys (900..919).
+  for (std::uint64_t k = 200; k < 250; ++k) c.insert(k, 5000 + k);
+  std::vector<Key> victims;
+  for (std::uint64_t k = 0; k < 50; ++k) victims.push_back(k);
+  for (std::uint64_t k = 200; k < 225; ++k) victims.push_back(k);
+  for (std::uint64_t k = 900; k < 920; ++k) victims.push_back(k);
+  c.erase_batch(victims.data(), victims.size());
+  ASSERT_GT(c.staged_count(), 0u) << "tombstones must still be unflushed";
+
+  std::map<Key, Value> want;
+  for (std::uint64_t k = 50; k < 300; ++k) want[k] = k;
+  for (std::uint64_t k = 200; k < 250; ++k) want[k] = 5000 + k;
+  for (std::uint64_t k = 200; k < 225; ++k) want.erase(k);
+  EXPECT_EQ(collect_all(c), want);
+
+  // Bounded ranges crossing each shadowed region.
+  for (const auto& [lo, hi] : std::vector<std::pair<Key, Key>>{
+           {0, 60}, {190, 260}, {880, 930}, {0, 1000}}) {
+    const auto got = collect_range(c, lo, hi);
+    std::vector<Entry<>> expect;
+    for (const auto& [k, v] : want) {
+      if (k >= lo && k <= hi) expect.push_back(Entry<>{k, v});
+    }
+    ASSERT_EQ(got.size(), expect.size()) << "range [" << lo << ", " << hi << "]";
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].key, expect[i].key);
+      EXPECT_EQ(got[i].value, expect[i].value);
+    }
+  }
+  // A newer staged put run resurrects over the staged tombstone run.
+  std::vector<Entry<>> back;
+  for (std::uint64_t k = 10; k < 20; ++k) back.push_back(Entry<>{k, 7000 + k});
+  c.insert_batch(back.data(), back.size());
+  const auto all = collect_all(c);
+  EXPECT_EQ(all.count(5), 0u);
+  EXPECT_EQ(all.at(15), 7015u);
+  c.check_invariants();
+}
+
+// The same audit for the CLASSIC cascade behind a staging arena — scan()'s
+// merged staged view (rather than scan_tiered's cursor fan) is the code
+// under test here.
+TEST(ClassicStaging, ScansSkipBatchTombstonesInArena) {
+  ColaConfig cfg;  // tiered stays false: classic cascade + lookahead
+  cfg.growth = 4;
+  cfg.staging_capacity = 512;
+  Gcola<> c(cfg);
+  for (std::uint64_t k = 0; k < 300; ++k) c.insert(k, k);
+  c.flush_stage();
+  std::vector<Key> victims;
+  for (std::uint64_t k = 100; k < 150; ++k) victims.push_back(k);
+  for (std::uint64_t k = 700; k < 720; ++k) victims.push_back(k);  // absent
+  c.erase_batch(victims.data(), victims.size());
+  ASSERT_GT(c.staged_count(), 0u);
+
+  std::map<Key, Value> want;
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    if (k < 100 || k >= 150) want[k] = k;
+  }
+  EXPECT_EQ(collect_all(c), want);
+  const auto got = collect_range(c, 90, 160);
+  std::vector<Entry<>> expect;
+  for (const auto& [k, v] : want) {
+    if (k >= 90 && k <= 160) expect.push_back(Entry<>{k, v});
+  }
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, expect[i].key);
+  }
+  c.check_invariants();
+}
+
+// Mixed apply_batch staged and UNFLUSHED: within-batch put-vs-erase
+// shadowing (last op wins) must be visible to find and both scan paths
+// straight from the arena.
+TEST(StagingL0, ApplyBatchShadowingVisibleWhileStaged) {
+  Gcola<> c(ingest_tuned(2, 128));
+  for (std::uint64_t k = 0; k < 40; ++k) c.insert(k, k);
+  c.flush_stage();
+  std::vector<Op<>> ops;
+  ops.push_back(Op<>::put(1, 100));
+  ops.push_back(Op<>::del(1));          // erase shadows the put: 1 gone
+  ops.push_back(Op<>::del(2));
+  ops.push_back(Op<>::put(2, 200));     // put shadows the erase: 2 = 200
+  ops.push_back(Op<>::del(50));         // blind erase of an absent key
+  ops.push_back(Op<>::put(60, 600));    // fresh key
+  c.apply_batch(ops.data(), ops.size());
+  ASSERT_GT(c.staged_count(), 0u);
+  EXPECT_FALSE(c.find(1).has_value());
+  EXPECT_EQ(c.find(2).value(), 200u);
+  EXPECT_FALSE(c.find(50).has_value());
+  EXPECT_EQ(c.find(60).value(), 600u);
+  const auto all = collect_all(c);
+  EXPECT_EQ(all.count(1), 0u);
+  EXPECT_EQ(all.at(2), 200u);
+  EXPECT_EQ(all.count(50), 0u);
+  EXPECT_EQ(all.at(60), 600u);
+  // And identically after the cascade carries the batch down.
+  c.flush_stage();
+  EXPECT_FALSE(c.find(1).has_value());
+  EXPECT_EQ(c.find(2).value(), 200u);
+  EXPECT_EQ(collect_all(c), all);
+  c.check_invariants();
+}
+
 TEST(StagingL0, BatchLargerThanArenaFlushesOnce) {
   Gcola<> c(ingest_tuned(2, 8));  // tiny arena: 16 entries
   std::vector<Entry<>> batch;
@@ -222,6 +338,35 @@ TEST(StagingL0, SingleOpArenaRunsStayLogarithmic) {
   for (std::uint64_t i = 0; i < 4'000; i += 97) {
     ASSERT_EQ(c.find(mix64(i)).value(), i) << i;
   }
+  c.check_invariants();
+}
+
+TEST(StagingL0, TinyMixedOpBatchesKeepArenaRunsLogarithmic) {
+  // Regression (code review, PR 3): singleton erase_batch/apply_batch (and
+  // size-1 insert_batch) runs must counter-merge the arena tail like put()
+  // does — otherwise every tiny batch leaves its own run and find() probes
+  // them all.
+  Gcola<> c(ingest_tuned(16, 256));  // arena 4096, never flushed below
+  for (std::uint64_t i = 0; i < 1'200; ++i) {
+    const Key k = mix64(i) % 4'000;
+    switch (i % 3) {
+      case 0: {
+        const Entry<> e{k, i};
+        c.insert_batch(&e, 1);
+        break;
+      }
+      case 1:
+        c.erase_batch(&k, 1);
+        break;
+      default: {
+        const Op<> o = Op<>::put(k, i);
+        c.apply_batch(&o, 1);
+        break;
+      }
+    }
+  }
+  ASSERT_GT(c.staged_count(), 0u);
+  EXPECT_LE(c.stage_run_count(), 16u) << "tiny batches grow arena runs linearly";
   c.check_invariants();
 }
 

@@ -1,0 +1,191 @@
+// Tombstone retention bounds under sustained erase/churn traffic — the
+// regression suite for the bug PR 2 documented: tiered levels annihilate
+// tombstones only when a fold lands in an empty deepest level, so an
+// erase-heavy feed used to accumulate them without bound in bottom-level
+// segments. The bounded-retention policy (ColaConfig::tombstone_threshold:
+// per-segment live/tombstone counts, trivial-move veto, forced in-place
+// bottom folds) must keep total allocated slots within a small constant of
+// the live set — asserted here against item_count(), which counts every
+// physical entry including tombstones and the staging arena.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cola/cola.hpp"
+#include "cola/deamortized_cola.hpp"
+#include "cola/deamortized_fc_cola.hpp"
+#include "common/entry.hpp"
+
+namespace costream::cola {
+namespace {
+
+/// Fixed live set, endless churn: erase a rotating quarter via erase_batch,
+/// reinsert it via insert_batch. Physical slots must stay linear in the
+/// live set for every preset growth factor. (At small g the retained mass
+/// is mostly duplicate live copies bounded by the trivial-move/real-fold
+/// alternation; at large g the deepest level takes tombstone-carrying
+/// segments directly and the threshold policy is what bounds it — both
+/// constants asserted.)
+TEST(TombstoneSpace, ChurnAtFixedLiveSetStaysLinear) {
+  const std::uint64_t live = 4096;
+  for (const unsigned g : {2u, 4u, 8u, 16u}) {
+    Gcola<> c(ingest_tuned(g, 64));
+    std::vector<Entry<>> batch;
+    std::vector<Key> keys;
+    for (std::uint64_t k = 0; k < live; ++k) batch.push_back(Entry<>{k, k});
+    c.insert_batch(batch.data(), batch.size());
+    std::uint64_t peak = 0;
+    for (int round = 0; round < 400; ++round) {
+      const std::uint64_t base = (round % 4) * (live / 4);
+      keys.clear();
+      batch.clear();
+      for (std::uint64_t k = base; k < base + live / 4; ++k) keys.push_back(k);
+      c.erase_batch(keys.data(), keys.size());
+      for (std::uint64_t k = base; k < base + live / 4; ++k) {
+        batch.push_back(Entry<>{k, k + static_cast<Value>(round)});
+      }
+      c.insert_batch(batch.data(), batch.size());
+      peak = std::max(peak, c.item_count());
+    }
+    EXPECT_LT(peak, 16 * live) << "g=" << g << ": churn garbage unbounded";
+    c.check_invariants();
+    for (std::uint64_t k = 0; k < live; ++k) {
+      ASSERT_TRUE(c.find(k).has_value()) << "g=" << g << " key " << k;
+    }
+  }
+}
+
+/// The shape that was actually unbounded: a sustained blind-erase feed
+/// (tombstones for keys with no live match) on top of a small live set.
+/// Every tombstone survives pairwise merges — only the forced bottom folds
+/// can kill them — so this pins the threshold mechanism directly, including
+/// that the folds fire (stats) and that reads stay exact throughout.
+TEST(TombstoneSpace, EraseHeavyFeedStaysBounded) {
+  const std::uint64_t live = 1024;
+  ColaConfig cfg = ingest_tuned(8, 64);
+  Gcola<> c(cfg);
+  std::vector<Entry<>> batch;
+  for (std::uint64_t k = 0; k < live; ++k) batch.push_back(Entry<>{k, k});
+  c.insert_batch(batch.data(), batch.size());
+  std::uint64_t peak = 0;
+  std::vector<Key> keys;
+  for (int round = 0; round < 400; ++round) {
+    keys.clear();
+    for (std::uint64_t j = 0; j < 256; ++j) {
+      keys.push_back(1'000'000 + static_cast<Key>(round) * 256 + j);  // absent
+    }
+    c.erase_batch(keys.data(), keys.size());
+    peak = std::max(peak, c.item_count());
+    if (round % 25 == 24) {
+      ASSERT_TRUE(c.find(live / 2).has_value()) << "round " << round;
+      ASSERT_FALSE(c.find(1'000'000 + static_cast<Key>(round) * 256).has_value());
+    }
+  }
+  // 102400 tombstones fed; retention must stay a small constant of live.
+  EXPECT_LT(peak, 4 * live) << "erase-heavy feed accumulates tombstones";
+  EXPECT_GT(c.stats().forced_bottom_folds, 0u)
+      << "threshold policy never engaged";
+  EXPECT_GT(c.stats().tombstones_dropped, 90'000u)
+      << "tombstones retained instead of annihilated";
+  c.check_invariants();
+}
+
+/// The knob gates the behavior: with the threshold disabled (> 1.0) the
+/// same erase-heavy feed retains at least an order of magnitude more
+/// physical slots than the default — the regression the policy closes.
+TEST(TombstoneSpace, ThresholdKnobGatesRetention) {
+  const std::uint64_t live = 1024;
+  const auto peak_with = [&](double threshold) {
+    ColaConfig cfg = ingest_tuned(8, 64);
+    cfg.tombstone_threshold = threshold;
+    Gcola<> c(cfg);
+    std::vector<Entry<>> batch;
+    for (std::uint64_t k = 0; k < live; ++k) batch.push_back(Entry<>{k, k});
+    c.insert_batch(batch.data(), batch.size());
+    std::uint64_t peak = 0;
+    std::vector<Key> keys;
+    for (int round = 0; round < 300; ++round) {
+      keys.clear();
+      for (std::uint64_t j = 0; j < 256; ++j) {
+        keys.push_back(1'000'000 + static_cast<Key>(round) * 256 + j);
+      }
+      c.erase_batch(keys.data(), keys.size());
+      peak = std::max(peak, c.item_count());
+    }
+    c.check_invariants();
+    return peak;
+  };
+  const std::uint64_t bounded = peak_with(0.25);
+  const std::uint64_t unbounded = peak_with(2.0);  // disabled
+  EXPECT_GT(unbounded, 10 * bounded)
+      << "threshold knob has no effect (bounded=" << bounded
+      << " unbounded=" << unbounded << ")";
+}
+
+/// A tighter threshold buys a tighter space bound (more fold traffic) —
+/// the knob is monotone in the direction the docs promise.
+TEST(TombstoneSpace, TighterThresholdTightensTheBound) {
+  const std::uint64_t live = 1024;
+  const auto run = [&](double threshold) {
+    ColaConfig cfg = ingest_tuned(8, 64);
+    cfg.tombstone_threshold = threshold;
+    Gcola<> c(cfg);
+    std::vector<Entry<>> batch;
+    for (std::uint64_t k = 0; k < live; ++k) batch.push_back(Entry<>{k, k});
+    c.insert_batch(batch.data(), batch.size());
+    std::uint64_t peak = 0;
+    std::vector<Key> keys;
+    for (int round = 0; round < 200; ++round) {
+      keys.clear();
+      for (std::uint64_t j = 0; j < 256; ++j) {
+        keys.push_back(1'000'000 + static_cast<Key>(round) * 256 + j);
+      }
+      c.erase_batch(keys.data(), keys.size());
+      peak = std::max(peak, c.item_count());
+    }
+    return std::pair<std::uint64_t, std::uint64_t>(peak,
+                                                   c.stats().forced_bottom_folds);
+  };
+  const auto [peak_tight, folds_tight] = run(0.1);
+  const auto [peak_loose, folds_loose] = run(0.5);
+  EXPECT_LE(peak_tight, peak_loose);
+  EXPECT_GE(folds_tight, folds_loose) << "tighter threshold must fold at least as often";
+}
+
+/// The deamortized variants' worst-case move budgets must hold verbatim for
+/// tombstone-carrying batches: erase_batch/apply_batch feed the budgeted
+/// path per normalized op, tombstones count as moved items, so
+/// max_moves_per_insert never exceeds g*k + 2 (basic) or (g+1)*k + 4 (fc).
+TEST(TombstoneSpace, DeamortizedMixedBatchKeepsWorstCaseMoveBound) {
+  for (const unsigned g : {2u, 8u}) {
+    DeamortizedCola<> d(g);
+    DeamortizedFcCola<> f(g);
+    std::vector<Op<>> ops;
+    for (int round = 0; round < 60; ++round) {
+      ops.clear();
+      for (std::uint64_t j = 0; j < 64; ++j) {
+        const Key k = (static_cast<Key>(round) * 17 + j * 13) % 1500;
+        if (j % 3 == 0) {
+          ops.push_back(Op<>::del(k));
+        } else {
+          ops.push_back(Op<>::put(k, j));
+        }
+      }
+      d.apply_batch(ops.data(), ops.size());
+      f.apply_batch(ops.data(), ops.size());
+    }
+    d.check_invariants();
+    f.check_invariants();
+    EXPECT_LE(d.stats().max_moves_per_insert,
+              static_cast<std::uint64_t>(g) * d.level_count() + 2)
+        << "g=" << g;
+    EXPECT_LE(f.stats().max_moves_per_insert,
+              static_cast<std::uint64_t>(g + 1) * f.level_count() + 4)
+        << "g=" << g;
+  }
+}
+
+}  // namespace
+}  // namespace costream::cola

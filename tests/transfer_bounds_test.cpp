@@ -102,6 +102,42 @@ TEST(TransferBounds, StagingArenaCutsInsertTransfers) {
             4.0 * search_bound + 4.0);
 }
 
+// Mixed put/erase feeds: tombstones ride the cascade as insertions, so a
+// 50%-erase feed must stay within a constant of the mixed-op model —
+// insert bound plus the forced-bottom-fold term erase_fraction/(theta*B)
+// that pays for bounded tombstone retention — and the bounded-retention
+// machinery must not blow the transfer budget (it amortizes to O(1/theta)
+// extra moves per erase).
+TEST(TransferBounds, MixedOpFeedWithinMixedBound) {
+  const std::uint64_t n = 1 << 16;
+  const std::uint64_t mem = 1 << 19;
+  cola::ColaConfig cfg = cola::ingest_tuned(8, 1024);
+  cola::Gcola<Key, Value, dam::dam_mem_model> c(cfg, dam::dam_mem_model(kBlock, mem));
+  std::vector<Op<>> batch(1024);
+  const std::uint64_t universe = n / 4;  // bounded so erases find victims
+  for (std::uint64_t i = 0; i < n;) {
+    for (auto& o : batch) {
+      const std::uint64_t h = mix64(i++);
+      o = (h & 1) ? Op<>::del(h % universe) : Op<>::put(h % universe, i);
+    }
+    c.apply_batch(batch.data(), batch.size());
+  }
+  c.flush_stage();
+  const double per_op =
+      static_cast<double>(c.mm().stats().transfers) / static_cast<double>(n);
+  // Tiered TItems are 24 bytes; B in elements follows.
+  const double bound = dam::cola_mixed_op_transfer_bound(
+      static_cast<double>(n), 8.0, kBlock / 24.0, 0.5, cfg.tombstone_threshold);
+  EXPECT_LT(per_op, 16.0 * bound) << "per_op=" << per_op << " bound=" << bound;
+  EXPECT_GT(per_op, 0.02 * bound) << "model wildly loose";
+  // The mixed model is monotone in its knobs: tighter threshold or more
+  // erasures can only raise the modeled cost.
+  EXPECT_GE(dam::cola_mixed_op_transfer_bound(1e6, 8.0, 128.0, 0.5, 0.1),
+            dam::cola_mixed_op_transfer_bound(1e6, 8.0, 128.0, 0.5, 0.5));
+  EXPECT_GE(dam::cola_mixed_op_transfer_bound(1e6, 8.0, 128.0, 0.9, 0.25),
+            dam::cola_mixed_op_transfer_bound(1e6, 8.0, 128.0, 0.1, 0.25));
+}
+
 // Lemma 19's other face: COLA transfers are dominated by *sequential* block
 // moves (merges), while the out-of-core B-tree's are dominated by random
 // ones. This is what the disk-time model amplifies into the 790x figure.
