@@ -1,4 +1,8 @@
-// Range-query bench — the paper's introduction claims:
+// Read-path bench: range scans, cursor seeks, fence-accelerated point
+// lookups, and merge-join — the series that gate the cursor subsystem in
+// CI the way bench_batch_ingest gates the write path.
+//
+// The paper's introduction claims:
 //
 //   "For disk-based storage systems, range queries are likely to be faster
 //    for a lookahead array than for a BRT because the data is stored
@@ -7,21 +11,45 @@
 //    reason why the cache-oblivious B-tree can support range queries nearly
 //    an order of magnitude faster than a traditional B-tree."
 //
-// We measure modeled disk time for range scans of L = 2^4..2^16 elements on
-// the COLA (contiguous levels), the BRT (scattered nodes + buffers), the
-// B-tree (leaf chain; nodes allocated in insert order, so a range hops
-// across the disk after random inserts), and the CO B-tree (PMA: fully
-// contiguous). Structures are built from random inserts — the layout that
-// scatters B-tree leaves.
+// Series (one JSON cell per (structure, order, batch), schema identical to
+// bench_batch_ingest so bench/compare_baseline.py gates both):
+//
+//   scan   range_for_each over windows of L = batch elements after random
+//          inserts over a dense key space. Structures: the classic 4-COLA,
+//          the ingest-tuned cola-g8 (tiered + staged — the read path the
+//          cursor fusion rewrote), BRT, B-tree, CO B-tree.
+//   seek   ONE reused cursor, seek at a random key then drain `batch`
+//          entries — the resumable-seek workload the allocation-free
+//          cursor exists for. Structures: cola, cola-g8, btree.
+//   find   cold point lookups on a TIME-PARTITIONED build (ascending keys
+//          in batches, so tiered segments are range-disjoint) — cola-g8
+//          with fence keys vs cola-g8-nofence with the fence read path
+//          disabled: the fence-key acceleration, isolated. batch = 0.
+//   mjoin  api::merge_join of cola-g8 against a B-tree over half-
+//          overlapping key ranges; wall/modeled rates are joined rows/sec.
+//          batch = 0.
+//
+// Every cell runs twice: a null-memory-model run (timed, wall rates) and a
+// DAM-model run (untimed, deterministic transfers) — same discipline as
+// bench_batch_ingest.
+//
+// Environment: REPRO_MAXN (default 2^19), REPRO_FAST. --json-out PATH
+// writes the bare JSON array (the CI perf job merges it with the ingest
+// sweep before diffing against bench/baselines/BENCH_baseline.json).
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "api/dictionary.hpp"
 #include "bench/bench_common.hpp"
 #include "brt/brt.hpp"
 #include "btree/btree.hpp"
 #include "cob/cob_tree.hpp"
 #include "cola/cola.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 
 namespace cb = costream::bench;
 using namespace costream;
@@ -30,35 +58,144 @@ namespace {
 
 constexpr std::uint64_t kBlock = 4096;
 
+struct Cell {
+  std::string structure;
+  std::string order;
+  std::uint64_t batch = 0;
+  std::uint64_t n = 0;
+  unsigned growth = 2;
+  std::uint64_t staging = 0;
+  double wall_rate = 0.0;     // queries (or joined rows) per second, wall
+  double modeled_rate = 0.0;  // same, on the modeled disk
+  double transfers_per_op = 0.0;
+};
+
+std::vector<Cell> g_cells;
+
+/// Ingest `keys` in chunks of 1024 (the structures' native batch path).
 template <class D>
-std::vector<double> measure_ranges(D& d, dam::dam_mem_model& mm, std::uint64_t n,
-                                   const std::vector<std::uint64_t>& lengths,
-                                   std::uint64_t probes) {
-  std::vector<double> seconds_per_query;
-  Xoshiro256 rng(3);
-  for (const std::uint64_t len : lengths) {
+void build(D& d, const std::vector<std::uint64_t>& keys) {
+  std::vector<Entry<>> chunk;
+  chunk.reserve(1024);
+  for (std::size_t i = 0; i < keys.size();) {
+    chunk.clear();
+    const std::size_t take = std::min<std::size_t>(1024, keys.size() - i);
+    for (std::size_t j = 0; j < take; ++j, ++i) {
+      chunk.push_back(Entry<>{keys[i], static_cast<Value>(i)});
+    }
+    d.insert_batch(chunk.data(), chunk.size());
+  }
+  if constexpr (requires { d.flush_stage(); }) d.flush_stage();
+}
+
+/// Range scans of length `len`: wall on `dw` (null model), transfers on
+/// `dd` (DAM model).
+template <class DW, class DD>
+Cell scan_cell(const std::string& name, DW& dw, DD& dd, dam::dam_mem_model& mm,
+               std::uint64_t n, std::uint64_t len, std::uint64_t probes,
+               unsigned growth, std::uint64_t staging) {
+  Cell c;
+  c.structure = name;
+  c.order = "scan";
+  c.batch = len;
+  c.n = n;
+  c.growth = growth;
+  c.staging = staging;
+  std::uint64_t emitted = 0;
+  {
+    Xoshiro256 rng(3);
+    Timer t;
+    for (std::uint64_t q = 0; q < probes; ++q) {
+      const Key lo = rng.below(n > len ? n - len : 1);
+      dw.range_for_each(lo, lo + len - 1, [&](Key, Value) { ++emitted; });
+    }
+    const double secs = t.seconds();
+    c.wall_rate = secs > 0 ? static_cast<double>(probes) / secs : 0.0;
+  }
+  {
+    Xoshiro256 rng(3);
     mm.clear_cache();
     mm.reset_stats();
-    std::uint64_t emitted = 0;
     for (std::uint64_t q = 0; q < probes; ++q) {
-      // Dense key space [0, n): a window of `len` keys returns ~len entries.
       const Key lo = rng.below(n > len ? n - len : 1);
-      d.range_for_each(lo, lo + len - 1, [&](Key, Value) { ++emitted; });
+      dd.range_for_each(lo, lo + len - 1, [&](Key, Value) { ++emitted; });
     }
-    seconds_per_query.push_back(mm.modeled_seconds() / static_cast<double>(probes));
+    const double modeled = mm.modeled_seconds();
+    c.modeled_rate = modeled > 0 ? static_cast<double>(probes) / modeled : c.wall_rate;
+    c.transfers_per_op =
+        static_cast<double>(mm.stats().transfers) / static_cast<double>(probes);
   }
-  return seconds_per_query;
+  if (emitted == 0 && n > 0) {
+    std::fprintf(stderr, "warn: empty scans in %s\n", name.c_str());
+  }
+  return c;
+}
+
+/// Seek-heavy workload: one REUSED cursor, `probes` seeks draining `len`
+/// entries each.
+template <class DW, class DD>
+Cell seek_cell(const std::string& name, DW& dw, DD& dd, dam::dam_mem_model& mm,
+               std::uint64_t n, std::uint64_t len, std::uint64_t probes,
+               unsigned growth, std::uint64_t staging) {
+  Cell c;
+  c.structure = name;
+  c.order = "seek";
+  c.batch = len;
+  c.n = n;
+  c.growth = growth;
+  c.staging = staging;
+  std::uint64_t sink = 0;
+  {
+    auto cur = dw.make_cursor();
+    Xoshiro256 rng(5);
+    Timer t;
+    for (std::uint64_t q = 0; q < probes; ++q) {
+      cur.seek(rng.below(n));
+      for (std::uint64_t s = 0; s < len && cur.valid(); ++s) {
+        sink += cur.entry().value;
+        cur.next();
+      }
+    }
+    const double secs = t.seconds();
+    c.wall_rate = secs > 0 ? static_cast<double>(probes) / secs : 0.0;
+  }
+  {
+    auto cur = dd.make_cursor();
+    Xoshiro256 rng(5);
+    mm.clear_cache();
+    mm.reset_stats();
+    for (std::uint64_t q = 0; q < probes; ++q) {
+      cur.seek(rng.below(n));
+      for (std::uint64_t s = 0; s < len && cur.valid(); ++s) {
+        sink += cur.entry().value;
+        cur.next();
+      }
+    }
+    const double modeled = mm.modeled_seconds();
+    c.modeled_rate = modeled > 0 ? static_cast<double>(probes) / modeled : c.wall_rate;
+    c.transfers_per_op =
+        static_cast<double>(mm.stats().transfers) / static_cast<double>(probes);
+  }
+  (void)sink;
+  return c;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    }
+  }
   const BenchOptions opts = BenchOptions::from_env(1ULL << 19);
-  const std::uint64_t n = opts.max_n;
+  const std::uint64_t n = opts.fast ? (1ULL << 14) : opts.max_n;
   const std::uint64_t mem = cb::scaled_memory_bytes(n);
   const std::uint64_t probes = opts.fast ? 4 : 32;
-  const std::vector<std::uint64_t> lengths{16, 256, 4'096, 65'536};
-  std::printf("Range queries of L elements after random inserts, N=%llu, M=%s\n\n",
+  std::vector<std::uint64_t> lengths{16, 256, 4'096, 65'536};
+  if (opts.fast) lengths = {16, 256};
+  std::printf("Read path: scans / seeks / fenced finds / merge-join, N=%llu, M=%s\n\n",
               static_cast<unsigned long long>(n),
               format_bytes(static_cast<double>(mem)).c_str());
 
@@ -70,47 +207,271 @@ int main() {
     std::swap(keys[i - 1], keys[shuffle_rng.below(i)]);
   }
 
-  std::vector<std::pair<std::string, std::vector<double>>> rows;
+  const cola::ColaConfig g8 = cola::ingest_tuned(8, 1024);
+
+  // -- scan + seek series ------------------------------------------------------
   {
+    cola::Gcola<> w(cola::ColaConfig{4, 0.1});
     cola::Gcola<Key, Value, dam::dam_mem_model> d(cola::ColaConfig{4, 0.1},
                                                   dam::dam_mem_model(kBlock, mem));
-    for (std::uint64_t i = 0; i < n; ++i) d.insert(keys[i], i);
-    rows.emplace_back("4-COLA", measure_ranges(d, d.mm(), n, lengths, probes));
+    build(w, keys);
+    build(d, keys);
+    for (const std::uint64_t len : lengths) {
+      g_cells.push_back(scan_cell("cola", w, d, d.mm(), n, len, probes, 4, 0));
+    }
+    for (const std::uint64_t len : {16ULL, 256ULL}) {
+      g_cells.push_back(
+          seek_cell("cola", w, d, d.mm(), n, len, 8 * probes, 4, 0));
+    }
   }
   {
+    cola::Gcola<> w(g8);
+    cola::Gcola<Key, Value, dam::dam_mem_model> d(g8,
+                                                  dam::dam_mem_model(kBlock, mem));
+    build(w, keys);
+    build(d, keys);
+    for (const std::uint64_t len : lengths) {
+      g_cells.push_back(scan_cell("cola-g8", w, d, d.mm(), n, len, probes, 8,
+                                  g8.staging_capacity));
+    }
+    for (const std::uint64_t len : {16ULL, 256ULL}) {
+      g_cells.push_back(seek_cell("cola-g8", w, d, d.mm(), n, len, 8 * probes, 8,
+                                  g8.staging_capacity));
+    }
+  }
+  {
+    brt::Brt<> w(kBlock, 4);
     brt::Brt<Key, Value, dam::dam_mem_model> d(kBlock, 4,
                                                dam::dam_mem_model(kBlock, mem));
-    for (std::uint64_t i = 0; i < n; ++i) d.insert(keys[i], i);
-    rows.emplace_back("BRT", measure_ranges(d, d.mm(), n, lengths, probes));
+    build(w, keys);
+    build(d, keys);
+    for (const std::uint64_t len : lengths) {
+      g_cells.push_back(scan_cell("brt", w, d, d.mm(), n, len, probes, 2, 0));
+    }
   }
   {
+    btree::BTree<> w(kBlock);
     btree::BTree<Key, Value, dam::dam_mem_model> d(kBlock,
                                                    dam::dam_mem_model(kBlock, mem));
-    for (std::uint64_t i = 0; i < n; ++i) d.insert(keys[i], i);
-    rows.emplace_back("B-tree", measure_ranges(d, d.mm(), n, lengths, probes));
+    build(w, keys);
+    build(d, keys);
+    for (const std::uint64_t len : lengths) {
+      g_cells.push_back(scan_cell("btree", w, d, d.mm(), n, len, probes, 2, 0));
+    }
+    for (const std::uint64_t len : {16ULL, 256ULL}) {
+      g_cells.push_back(
+          seek_cell("btree", w, d, d.mm(), n, len, 8 * probes, 2, 0));
+    }
   }
   {
+    cob::CobTree<> w;
     cob::CobTree<Key, Value, dam::dam_mem_model> d{dam::dam_mem_model(kBlock, mem)};
-    for (std::uint64_t i = 0; i < n; ++i) d.insert(keys[i], i);
-    rows.emplace_back("CO B-tree", measure_ranges(d, d.mm(), n, lengths, probes));
+    build(w, keys);
+    build(d, keys);
+    for (const std::uint64_t len : lengths) {
+      g_cells.push_back(scan_cell("cob", w, d, d.mm(), n, len, probes, 2, 0));
+    }
   }
 
-  std::vector<std::string> headers{"L"};
-  for (const auto& [name, _] : rows) headers.push_back(name + " (ms/query)");
-  Table t(std::move(headers), 22);
-  for (std::size_t r = 0; r < lengths.size(); ++r) {
-    std::vector<std::string> row{std::to_string(lengths[r])};
-    for (const auto& [name, vals] : rows) {
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.2f", vals[r] * 1e3);
-      row.emplace_back(buf);
+  // -- fence-accelerated finds (time-partitioned build) ------------------------
+  for (const bool fences : {true, false}) {
+    cola::ColaConfig cfg = g8;
+    cfg.fence_keys = fences;
+    cola::Gcola<> w(cfg);
+    cola::Gcola<Key, Value, dam::dam_mem_model> d(cfg,
+                                                  dam::dam_mem_model(kBlock, mem));
+    std::vector<Entry<>> chunk(1024);
+    for (std::uint64_t i = 0; i < n;) {
+      for (auto& e : chunk) {
+        e = Entry<>{i * 3 + 1, i};  // ascending keys: range-disjoint segments
+        ++i;
+      }
+      w.insert_batch(chunk.data(), chunk.size());
+      d.insert_batch(chunk.data(), chunk.size());
     }
-    t.add_row(std::move(row));
+    Cell c;
+    c.structure = fences ? "cola-g8" : "cola-g8-nofence";
+    c.order = "find";
+    c.batch = 0;
+    c.n = n;
+    c.growth = 8;
+    c.staging = cfg.staging_capacity;
+    const std::uint64_t q = 64 * probes;
+    std::uint64_t hits = 0;
+    {
+      Xoshiro256 rng(7);
+      Timer t;
+      for (std::uint64_t i = 0; i < q; ++i) {
+        hits += w.find(rng.below(n) * 3 + 1).has_value() ? 1 : 0;
+      }
+      const double secs = t.seconds();
+      c.wall_rate = secs > 0 ? static_cast<double>(q) / secs : 0.0;
+    }
+    {
+      Xoshiro256 rng(7);
+      std::uint64_t transfers = 0;
+      double modeled = 0.0;
+      for (std::uint64_t i = 0; i < q; ++i) {
+        d.mm().clear_cache();
+        d.mm().reset_stats();
+        hits += d.find(rng.below(n) * 3 + 1).has_value() ? 1 : 0;
+        transfers += d.mm().stats().transfers;
+        modeled += d.mm().modeled_seconds();
+      }
+      c.modeled_rate = modeled > 0 ? static_cast<double>(q) / modeled : c.wall_rate;
+      c.transfers_per_op = static_cast<double>(transfers) / static_cast<double>(q);
+    }
+    if (hits == 0) std::fprintf(stderr, "warn: fenced finds all missed\n");
+    g_cells.push_back(c);
   }
-  t.print();
+
+  // -- merge-join --------------------------------------------------------------
+  {
+    cola::Gcola<> wa(g8);
+    cola::Gcola<Key, Value, dam::dam_mem_model> da(g8,
+                                                   dam::dam_mem_model(kBlock, mem));
+    btree::BTree<> wb(kBlock);
+    btree::BTree<Key, Value, dam::dam_mem_model> db(kBlock,
+                                                    dam::dam_mem_model(kBlock, mem));
+    build(wa, keys);
+    build(da, keys);
+    // The right side holds [n/2, 3n/2): the top half overlaps.
+    std::vector<std::uint64_t> bkeys(n);
+    for (std::uint64_t i = 0; i < n; ++i) bkeys[i] = keys[i] + n / 2;
+    build(wb, bkeys);
+    build(db, bkeys);
+    Cell c;
+    c.structure = "cola-g8";
+    c.order = "mjoin";
+    c.batch = 0;
+    c.n = n;
+    c.growth = 8;
+    c.staging = g8.staging_capacity;
+    std::uint64_t rows = 0;
+    {
+      Timer t;
+      api::merge_join(wa, wb, [&](Key, Value, Value) { ++rows; });
+      const double secs = t.seconds();
+      c.wall_rate = secs > 0 ? static_cast<double>(rows) / secs : 0.0;
+    }
+    {
+      da.mm().clear_cache();
+      da.mm().reset_stats();
+      db.mm().clear_cache();
+      db.mm().reset_stats();
+      std::uint64_t drows = 0;
+      api::merge_join(da, db, [&](Key, Value, Value) { ++drows; });
+      const double modeled = da.mm().modeled_seconds() + db.mm().modeled_seconds();
+      const std::uint64_t transfers =
+          da.mm().stats().transfers + db.mm().stats().transfers;
+      c.modeled_rate = modeled > 0 ? static_cast<double>(drows) / modeled : c.wall_rate;
+      c.transfers_per_op = drows > 0
+                               ? static_cast<double>(transfers) /
+                                     static_cast<double>(drows)
+                               : 0.0;
+      if (drows != rows) std::fprintf(stderr, "warn: join row mismatch\n");
+    }
+    g_cells.push_back(c);
+  }
+
+  // -- tables ------------------------------------------------------------------
+  const auto cell_at = [&](const std::string& s, const std::string& o,
+                           std::uint64_t b) -> const Cell* {
+    for (const Cell& c : g_cells) {
+      if (c.structure == s && c.order == o && c.batch == b) return &c;
+    }
+    return nullptr;
+  };
+  std::vector<std::string> scan_names;
+  for (const Cell& c : g_cells) {
+    if (c.order != "scan") continue;
+    bool seen = false;
+    for (const auto& s : scan_names) seen = seen || s == c.structure;
+    if (!seen) scan_names.push_back(c.structure);
+  }
+  std::printf("# range scans: modeled ms/query by window length L\n");
+  {
+    Table t([&] {
+      std::vector<std::string> headers{"L"};
+      for (const auto& s : scan_names) headers.push_back(s);
+      return headers;
+    }());
+    for (const std::uint64_t len : lengths) {
+      std::vector<std::string> row{std::to_string(len)};
+      for (const auto& s : scan_names) {
+        const Cell* c = cell_at(s, "scan", len);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.2f",
+                      c != nullptr && c->modeled_rate > 0 ? 1e3 / c->modeled_rate
+                                                          : 0.0);
+        row.emplace_back(buf);
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+  std::printf("\n# cursor seek+drain: wall queries/sec (drain length = batch)\n");
+  for (const auto& s : {"cola", "cola-g8", "btree"}) {
+    for (const std::uint64_t len : {16ULL, 256ULL}) {
+      const Cell* c = cell_at(s, "seek", len);
+      if (c != nullptr) {
+        std::printf("  %-8s drain %-4llu %s\n", s,
+                    static_cast<unsigned long long>(len),
+                    format_rate(c->wall_rate).c_str());
+      }
+    }
+  }
+  {
+    const Cell* on = cell_at("cola-g8", "find", 0);
+    const Cell* off = cell_at("cola-g8-nofence", "find", 0);
+    if (on != nullptr && off != nullptr && on->transfers_per_op > 0) {
+      std::printf("\n# fence keys on time-partitioned finds: %.4f -> %.4f "
+                  "transfers/find (%.2fx fewer), wall %.2fx faster\n",
+                  off->transfers_per_op, on->transfers_per_op,
+                  off->transfers_per_op / on->transfers_per_op,
+                  on->wall_rate / off->wall_rate);
+    }
+  }
+  {
+    const Cell* mj = cell_at("cola-g8", "mjoin", 0);
+    if (mj != nullptr) {
+      std::printf("\n# merge-join cola-g8 x btree: %s rows/sec wall, "
+                  "%.4f transfers/row\n",
+                  format_rate(mj->wall_rate).c_str(), mj->transfers_per_op);
+    }
+  }
   std::printf("\nexpected shape: at large L the contiguous structures (COLA,"
               " CO B-tree) stream the range while the B-tree and BRT hop"
               " between scattered blocks — the paper's inter-block locality"
               " argument.\n");
+
+  // -- JSON --------------------------------------------------------------------
+  std::string json = "[";
+  for (std::size_t i = 0; i < g_cells.size(); ++i) {
+    const Cell& c = g_cells[i];
+    char buf[384];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s\n  {\"structure\": \"%s\", \"order\": \"%s\", \"batch\": %llu, "
+        "\"n\": %llu, \"growth\": %u, \"staging\": %llu, \"wall_rate\": %.1f, "
+        "\"modeled_rate\": %.1f, \"transfers_per_op\": %.6f}",
+        i == 0 ? "" : ",", c.structure.c_str(), c.order.c_str(),
+        static_cast<unsigned long long>(c.batch),
+        static_cast<unsigned long long>(c.n), c.growth,
+        static_cast<unsigned long long>(c.staging), c.wall_rate, c.modeled_rate,
+        c.transfers_per_op);
+    json += buf;
+  }
+  json += "\n]\n";
+  std::printf("\nBEGIN_JSON\n%sEND_JSON\n", json.c_str());
+  if (json_out != nullptr) {
+    std::FILE* f = std::fopen(json_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_out);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
   return 0;
 }

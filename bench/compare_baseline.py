@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
-"""Compare a bench_batch_ingest JSON run against the committed baseline.
+"""Compare bench JSON runs against the committed baseline.
 
 Used by the CI perf-regression job (see .github/workflows/ci.yml) and by
-hand when investigating a regression. Two metric families, because CI
-runners are not the machine the baseline was recorded on:
+hand when investigating a regression. The baseline holds cells from BOTH
+bench_batch_ingest (the write path) and bench_range_queries (the read
+path: scan/seek/find/mjoin series); pass each fresh run via a repeated
+``--current`` flag and the cells are merged before diffing. Two metric
+families, because CI runners are not the machine the baseline was recorded
+on:
 
 * DAM metrics (``transfers_per_op``, ``modeled_rate``) are DETERMINISTIC —
   same code, same seed, same N gives bit-identical counts on any machine —
@@ -49,19 +53,28 @@ def load_cells(path):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True, help="committed baseline JSON")
-    ap.add_argument("--current", required=True,
-                    help="fresh run: bare JSON or raw bench stdout")
+    ap.add_argument("--current", required=True, action="append",
+                    help="fresh run: bare JSON or raw bench stdout "
+                         "(repeatable; cells from all runs are merged)")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed relative regression (default 0.15)")
     ap.add_argument("--update-baseline", action="store_true",
                     help="overwrite the baseline with the current run and exit")
     args = ap.parse_args()
 
-    try:
-        current = load_cells(args.current)
-    except (OSError, ValueError) as e:
-        print(f"error: cannot load current run: {e}", file=sys.stderr)
-        return 2
+    current = {}
+    for path in args.current:
+        try:
+            cells = load_cells(path)
+        except (OSError, ValueError) as e:
+            print(f"error: cannot load current run {path}: {e}", file=sys.stderr)
+            return 2
+        overlap = set(current) & set(cells)
+        if overlap:
+            print(f"error: {path} repeats cells already loaded: "
+                  f"{sorted(overlap)[:4]}", file=sys.stderr)
+            return 2
+        current.update(cells)
 
     if args.update_baseline:
         cells = sorted(current.values(),

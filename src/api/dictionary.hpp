@@ -10,6 +10,31 @@
 //   void apply_batch(const Op<K,V>*, n);      // mixed put/erase batch
 //   std::optional<V> find(const K&) const;
 //   template <class Fn> void range_for_each(const K& lo, const K& hi, Fn&&);
+//   Cursor make_cursor() const;                // resumable ordered cursor
+//
+// Cursor contract (make_cursor / seek / next / valid / entry):
+//   * make_cursor() returns a detached cursor object; creating it may
+//     allocate once, but every seek()/next() after the cursor's scratch has
+//     reached its high-water size is allocation-free — repeated scans and
+//     seek-heavy workloads pay zero setup allocations (verified by the
+//     operator-new-counting tests).
+//   * seek(lo) positions at the smallest live key >= lo; seek(lo, hi)
+//     additionally never surfaces keys past hi (structures use the bound to
+//     prune whole subtrees/segments at seek time); seek_first() positions
+//     at the smallest live key with no sentinel bound. After a seek,
+//     valid() says whether an entry is available and entry() returns it;
+//     next() advances to the next live key ascending.
+//   * The stream is the SNAPSHOT AT SEEK: newest value per key, erased keys
+//     suppressed — including operations still buffered in staging arenas,
+//     edge buffers, or node buffers. ANY mutation of the dictionary
+//     invalidates outstanding cursors: after a mutation the only valid
+//     operation on a cursor is another seek (re-seek reuses the cursor's
+//     scratch — no teardown, no reallocation in steady state).
+//   * range_for_each is implemented ON TOP of the cursor in every structure
+//     (one bounded seek + a next() loop over dictionary-owned scratch), so
+//     the two read paths cannot diverge and repeated range scans are also
+//     allocation-free. Scans are not reentrant: do not mutate the
+//     dictionary or start another scan from inside the callback.
 //
 // Batch contract (insert_batch / erase_batch / apply_batch):
 //   * The input run may be UNSORTED and may contain DUPLICATE keys; the
@@ -62,6 +87,17 @@
 
 namespace costream::api {
 
+/// The resumable-cursor half of the Dictionary concept (contract above).
+template <class C, class K = Key, class V = Value>
+concept DictionaryCursor = requires(C c, const C cc, K k) {
+  { c.seek(k) };
+  { c.seek(k, k) };
+  { c.seek_first() };
+  { c.next() };
+  { cc.valid() } -> std::same_as<bool>;
+  { cc.entry() } -> std::same_as<const Entry<K, V>&>;
+};
+
 template <class D, class K = Key, class V = Value>
 concept Dictionary = requires(D d, const D cd, K k, V v, const Entry<K, V>* batch,
                               const K* keys, const Op<K, V>* ops, std::size_t n) {
@@ -71,7 +107,39 @@ concept Dictionary = requires(D d, const D cd, K k, V v, const Entry<K, V>* batc
   { d.erase_batch(keys, n) };
   { d.apply_batch(ops, n) };
   { cd.find(k) } -> std::same_as<std::optional<V>>;
+  { cd.make_cursor() };
+  requires DictionaryCursor<decltype(cd.make_cursor()), K, V>;
 };
+
+/// Inner merge-join over two dictionaries: sink(key, a_value, b_value) for
+/// every key live in BOTH, ascending. Driven by the cursor API, so it works
+/// across any two structures (and AnyDictionary) without materializing
+/// either side. The lagging cursor leapfrogs: one next(), and if still
+/// behind, a re-seek straight to the other side's key — which the COLA's
+/// segment fence keys turn into whole-segment skips — so sparse overlaps
+/// cost O(matches * seek) instead of O(union).
+template <class DA, class DB, class Sink>
+void merge_join(const DA& a, const DB& b, Sink&& sink) {
+  auto ca = a.make_cursor();
+  auto cb = b.make_cursor();
+  ca.seek_first();
+  cb.seek_first();
+  while (ca.valid() && cb.valid()) {
+    const auto& ea = ca.entry();
+    const auto& eb = cb.entry();
+    if (ea.key < eb.key) {
+      ca.next();
+      if (ca.valid() && ca.entry().key < eb.key) ca.seek(eb.key);
+    } else if (eb.key < ea.key) {
+      cb.next();
+      if (cb.valid() && cb.entry().key < ea.key) cb.seek(ea.key);
+    } else {
+      sink(ea.key, ea.value, eb.value);
+      ca.next();
+      cb.next();
+    }
+  }
+}
 
 /// Deployment-level ingest tuning, threaded into every structure that has a
 /// growth lever (api/presets.hpp maps it onto each structure's own config).
@@ -120,6 +188,46 @@ class AnyDictionary {
 
   const std::string& name() const noexcept { return name_; }
 
+  /// Type-erased resumable cursor (same contract as the concrete cursors;
+  /// one virtual call per operation). Valid only while the AnyDictionary it
+  /// came from is alive and unmutated since the last seek.
+  class Cursor {
+   public:
+    void seek(Key lo) { c_->seek(lo); }
+    void seek(Key lo, Key hi) { c_->seek_bounded(lo, hi); }
+    void seek_first() { c_->seek_first(); }
+    void next() { c_->next(); }
+    bool valid() const { return c_->valid(); }
+    const Entry<>& entry() const { return c_->entry(); }
+
+   private:
+    friend class AnyDictionary;
+    struct Concept {
+      virtual ~Concept() = default;
+      virtual void seek(Key) = 0;
+      virtual void seek_bounded(Key, Key) = 0;
+      virtual void seek_first() = 0;
+      virtual void next() = 0;
+      virtual bool valid() const = 0;
+      virtual const Entry<>& entry() const = 0;
+    };
+    template <class C>
+    struct Model final : Concept {
+      explicit Model(C cur) : c(std::move(cur)) {}
+      void seek(Key lo) override { c.seek(lo); }
+      void seek_bounded(Key lo, Key hi) override { c.seek(lo, hi); }
+      void seek_first() override { c.seek_first(); }
+      void next() override { c.next(); }
+      bool valid() const override { return c.valid(); }
+      const Entry<>& entry() const override { return c.entry(); }
+      C c;
+    };
+    explicit Cursor(std::unique_ptr<Concept> c) : c_(std::move(c)) {}
+    std::unique_ptr<Concept> c_;
+  };
+
+  Cursor make_cursor() const { return Cursor(impl_->make_cursor_erased()); }
+
   void insert(Key k, Value v) { impl_->insert(k, v); }
   void insert_batch(const Entry<>* data, std::size_t n) { impl_->insert_batch(data, n); }
   void insert_batch(const std::vector<Entry<>>& batch) {
@@ -149,6 +257,7 @@ class AnyDictionary {
     virtual void apply_batch(const Op<>*, std::size_t) = 0;
     virtual std::optional<Value> find(Key) const = 0;
     virtual void range_for_each(Key, Key, const RangeFn&) const = 0;
+    virtual std::unique_ptr<Cursor::Concept> make_cursor_erased() const = 0;
   };
 
   template <class D>
@@ -168,6 +277,10 @@ class AnyDictionary {
     std::optional<Value> find(Key k) const override { return dict.find(k); }
     void range_for_each(Key lo, Key hi, const RangeFn& fn) const override {
       dict.range_for_each(lo, hi, fn);
+    }
+    std::unique_ptr<Cursor::Concept> make_cursor_erased() const override {
+      using C = decltype(dict.make_cursor());
+      return std::make_unique<Cursor::Model<C>>(dict.make_cursor());
     }
     D dict;
   };

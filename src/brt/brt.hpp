@@ -21,12 +21,14 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "common/entry.hpp"
+#include "common/loser_tree.hpp"
 #include "dam/mem_model.hpp"
 
 namespace costream::brt {
@@ -115,23 +117,27 @@ class Brt {
     }
   }
 
-  /// Visit live entries with lo <= key <= hi ascending, newest value wins.
+  /// Visit live entries with lo <= key <= hi ascending, newest value wins —
+  /// one code path with the cursor API (bounded seek on the dictionary-owned
+  /// scratch cursor, allocation-free in steady state).
   template <class Fn>
   void range_for_each(const K& lo, const K& hi, Fn&& fn) const {
     if (hi < lo) return;
-    std::vector<Ranked> found;
-    collect(root_, 0, lo, hi, found);
-    std::stable_sort(found.begin(), found.end(), [](const Ranked& a, const Ranked& b) {
-      if (a.item.key != b.item.key) return a.item.key < b.item.key;
-      return a.priority < b.priority;  // smaller priority = newer
-    });
-    bool have_last = false;
-    K last_key{};
-    for (const Ranked& r : found) {
-      if (have_last && r.item.key == last_key) continue;  // older duplicate
-      last_key = r.item.key;
-      have_last = true;
-      if (!r.item.tombstone) fn(r.item.key, r.item.value);
+    Cursor c(this, &scan_state_);
+    for (c.seek(lo, hi); c.valid(); c.next()) {
+      const Entry<K, V>& e = c.entry();
+      fn(e.key, e.value);
+    }
+  }
+
+  /// Visit every live entry ascending (dedicated unbounded scan; sentinel
+  /// bounds would drop entries for floating-point or composite keys).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    Cursor c(this, &scan_state_);
+    for (c.seek_first(); c.valid(); c.next()) {
+      const Entry<K, V>& e = c.entry();
+      fn(e.key, e.value);
     }
   }
 
@@ -158,10 +164,192 @@ class Brt {
     std::vector<Entry<K, V>> entries;  // leaf payload, sorted
   };
 
-  struct Ranked {
-    Item item;
-    std::uint64_t priority;  // smaller = newer
+  // -- cursors ----------------------------------------------------------------
+
+  /// One source of a cursor's fused merge: a sorted, newest-wins-deduped
+  /// COPY of one node buffer (buffers are unsorted arrival order, so a seek
+  /// materializes them into pooled cursor scratch), or a span into one
+  /// leaf's sorted entries.
+  struct CurSrc {
+    const Item* b_at = nullptr;
+    const Item* b_end = nullptr;
+    const Entry<K, V>* l_at = nullptr;
+    const Entry<K, V>* l_end = nullptr;
+
+    bool alive() const { return b_at != b_end || l_at != l_end; }
+    const K& key() const { return b_at != b_end ? b_at->key : l_at->key; }
+    const V& value() const { return b_at != b_end ? b_at->value : l_at->value; }
+    bool tomb() const { return b_at != b_end && b_at->tombstone; }
+    void advance() {
+      if (b_at != b_end) {
+        ++b_at;
+      } else {
+        ++l_at;
+      }
+    }
   };
+
+  /// Reusable cursor scratch. The buffer-copy pool is indexed, not
+  /// reallocated, so repeated seeks are allocation-free once every vector
+  /// has seen its high-water size (inner vectors keep their heap buffers
+  /// when the pool vector grows, so earlier spans stay valid). Source order
+  /// IS the newest-wins priority: pre-order DFS emits a node's buffer before
+  /// its descendants', and same-depth sources cover disjoint key ranges.
+  struct CursorState {
+    std::vector<CurSrc> srcs;
+    LoserTree<K> tree;
+    std::vector<std::vector<Item>> pool;
+    std::size_t pool_used = 0;
+    std::vector<Item> sort_scratch;
+    Entry<K, V> cur{};
+    bool valid = false;
+    bool bounded = false;
+    K hi{};
+    K last{};
+    bool have_last = false;
+  };
+
+ public:
+  /// Resumable ordered cursor (Dictionary cursor contract in
+  /// api/dictionary.hpp): buffered operations fuse with the leaves, newest
+  /// op per key wins, tombstones suppress. Any mutation invalidates the
+  /// cursor until the next seek.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    void seek(const K& lo) { do_seek(&lo, nullptr); }
+    void seek(const K& lo, const K& hi) {
+      if (hi < lo) {
+        st_->valid = false;
+        return;
+      }
+      do_seek(&lo, &hi);
+    }
+    void seek_first() { do_seek(nullptr, nullptr); }
+
+    bool valid() const { return st_->valid; }
+    const Entry<K, V>& entry() const { return st_->cur; }
+
+    void next() {
+      CursorState& st = *st_;
+      if (!st.valid) return;
+      CurSrc& s = st.srcs[st.tree.top()];
+      s.advance();
+      st.tree.replay(s.alive(), s.alive() ? s.key() : K{});
+      advance_to_live();
+    }
+
+   private:
+    friend class Brt;
+    explicit Cursor(const Brt* d)
+        : d_(d), own_(std::make_unique<CursorState>()), st_(own_.get()) {}
+    Cursor(const Brt* d, CursorState* st) : d_(d), st_(st) {}
+
+    void do_seek(const K* lo, const K* hi) {
+      CursorState& st = *st_;
+      st.bounded = hi != nullptr;
+      if (hi != nullptr) st.hi = *hi;
+      st.have_last = false;
+      st.valid = false;
+      st.srcs.clear();
+      st.pool_used = 0;
+      // The sort may SWAP its scratch buffer into a pool slot (stable sort
+      // ping-pong); keep the scratch at full buffer capacity so every swap
+      // exchanges max-capacity buffers and steady state stays allocation-
+      // free after one warm scan.
+      st.sort_scratch.reserve(d_->buf_cap_);
+      d_->gather_sources(d_->root_, lo, hi, st);
+      st.tree.reset(st.srcs.size());
+      for (std::size_t i = 0; i < st.srcs.size(); ++i) {
+        st.tree.declare(i, st.srcs[i].key());
+      }
+      st.tree.build();
+      advance_to_live();
+    }
+
+    void advance_to_live() {
+      CursorState& st = *st_;
+      while (st.tree.top_alive()) {
+        CurSrc& s = st.srcs[st.tree.top()];
+        const K& k = s.key();
+        if (st.bounded && st.hi < k) break;
+        const bool dup = st.have_last && !(st.last < k);
+        if (!dup) {
+          st.last = k;
+          st.have_last = true;
+          if (!s.tomb()) {
+            st.cur.key = k;
+            st.cur.value = s.value();
+            st.valid = true;
+            return;
+          }
+        }
+        s.advance();
+        st.tree.replay(s.alive(), s.alive() ? s.key() : K{});
+      }
+      st.valid = false;
+    }
+
+    const Brt* d_ = nullptr;
+    std::unique_ptr<CursorState> own_;
+    CursorState* st_ = nullptr;
+  };
+
+  /// Detached cursor (Dictionary concept); creation allocates once, steady-
+  /// state seeks and nexts allocate nothing.
+  Cursor make_cursor() const { return Cursor(this); }
+
+ private:
+  /// Pre-order DFS over the subtree intersecting [lo, hi]: each nonempty
+  /// node buffer becomes one sorted pooled source, each leaf one entries
+  /// span; router bounds prune whole subtrees.
+  void gather_sources(std::uint32_t id, const K* lo, const K* hi,
+                      CursorState& st) const {
+    const Node& n = node(id);
+    if (!n.buffer.empty()) {
+      touch_buffer(id, n.buffer.size());
+      if (st.pool_used >= st.pool.size()) st.pool.emplace_back();
+      std::vector<Item>& vec = st.pool[st.pool_used];
+      vec.clear();
+      // A buffer never exceeds buf_cap_ items, so one reserve caps this
+      // pool slot for good — differently-ranged scans can map any buffer
+      // onto any slot without re-growing it.
+      vec.reserve(buf_cap_);
+      for (const Item& it : n.buffer) {  // arrival order kept: dedup = newest
+        if (lo != nullptr && it.key < *lo) continue;
+        if (hi != nullptr && *hi < it.key) continue;
+        vec.push_back(it);
+      }
+      if (!vec.empty()) {
+        sort_dedup_newest_wins(vec, st.sort_scratch);
+        ++st.pool_used;
+        CurSrc s;
+        s.b_at = vec.data();
+        s.b_end = vec.data() + vec.size();
+        st.srcs.push_back(s);
+      }
+    }
+    if (n.leaf) {
+      const Entry<K, V>* b = n.entries.data();
+      const Entry<K, V>* e = b + n.entries.size();
+      if (lo != nullptr) b = std::lower_bound(b, e, *lo, EntryKeyLess{});
+      if (b != e) {
+        CurSrc s;
+        s.l_at = b;
+        s.l_end = e;
+        st.srcs.push_back(s);
+      }
+      return;
+    }
+    for (std::size_t c = 0; c < n.kids.size(); ++c) {
+      const K* clo = c == 0 ? nullptr : &n.keys[c - 1];
+      const K* chi = c == n.keys.size() ? nullptr : &n.keys[c];
+      if (clo != nullptr && hi != nullptr && *hi < *clo) continue;
+      if (chi != nullptr && lo != nullptr && *chi <= *lo) continue;
+      gather_sources(n.kids[c], lo, hi, st);
+    }
+  }
 
   // Two blocks per node: [routers][buffer].
   std::uint64_t offset(std::uint32_t id) const noexcept {
@@ -390,33 +578,6 @@ class Brt {
     }
   }
 
-  void collect(std::uint32_t id, std::uint64_t depth, const K& lo, const K& hi,
-               std::vector<Ranked>& out) const {
-    const Node& n = node(id);
-    touch_buffer(id, n.buffer.size());
-    for (std::size_t i = 0; i < n.buffer.size(); ++i) {
-      const Item& it = n.buffer[i];
-      if (it.key < lo || hi < it.key) continue;
-      // Lower depth and later arrival are newer: compose (depth asc,
-      // arrival desc) into one ascending priority.
-      out.push_back(Ranked{it, (depth << 32) | (0xffffffffULL - i)});
-    }
-    if (n.leaf) {
-      auto it = std::lower_bound(n.entries.begin(), n.entries.end(), lo, EntryKeyLess{});
-      for (; it != n.entries.end() && !(hi < it->key); ++it) {
-        out.push_back(Ranked{Item{it->key, it->value, false}, ~0ULL});
-      }
-      return;
-    }
-    for (std::size_t c = 0; c < n.kids.size(); ++c) {
-      const K* clo = c == 0 ? nullptr : &n.keys[c - 1];
-      const K* chi = c == n.keys.size() ? nullptr : &n.keys[c];
-      if (clo != nullptr && hi < *clo) continue;
-      if (chi != nullptr && *chi <= lo) continue;
-      collect(n.kids[c], depth + 1, lo, hi, out);
-    }
-  }
-
   void check_rec(std::uint32_t id, int depth, const K* lo, const K* hi, int& leaf_depth,
                  std::uint64_t& counted) const {
     const Node& n = nodes_[id];
@@ -464,6 +625,8 @@ class Brt {
   std::vector<Item> batch_scratch_;
   std::deque<FlushFrame> flush_frames_;
   std::size_t flush_depth_ = 0;
+  // Dictionary-owned cursor scratch backing range_for_each/for_each.
+  mutable CursorState scan_state_;
   BrtStats stats_;
   mutable MM mm_;
 };

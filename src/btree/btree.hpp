@@ -17,6 +17,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -71,31 +72,125 @@ class BTree {
     }
   }
 
-  /// Visit live entries with lo <= key <= hi in ascending order.
+  /// Visit live entries with lo <= key <= hi in ascending order — one code
+  /// path with the cursor API (bounded seek on the dictionary-owned scratch
+  /// cursor; the leaf chain makes the B-tree cursor a trivial walk).
   template <class Fn>
   void range_for_each(const K& lo, const K& hi, Fn&& fn) const {
-    if (lo > hi) return;
-    std::uint32_t id = root_;
-    while (!node(id).leaf) id = node(id).kids[child_index(node(id), lo)];
-    while (id != kNull) {
-      const Node& n = node(id);
-      auto it = std::lower_bound(n.entries.begin(), n.entries.end(), lo, EntryKeyLess{});
-      for (; it != n.entries.end(); ++it) {
-        if (it->key > hi) return;
-        fn(it->key, it->value);
-      }
-      id = n.next;
+    if (hi < lo) return;
+    Cursor c(this, &scan_state_);
+    for (c.seek(lo, hi); c.valid(); c.next()) {
+      const Ent& e = c.entry();
+      fn(e.key, e.value);
     }
   }
 
   template <class Fn>
   void for_each(Fn&& fn) const {
-    std::uint32_t id = leftmost_leaf();
-    while (id != kNull) {
-      for (const Ent& e : node(id).entries) fn(e.key, e.value);
-      id = node(id).next;
+    Cursor c(this, &scan_state_);
+    for (c.seek_first(); c.valid(); c.next()) {
+      const Ent& e = c.entry();
+      fn(e.key, e.value);
     }
   }
+
+  // -- cursor -----------------------------------------------------------------
+
+  /// Cursor scratch: just a leaf-chain position (the in-place B-tree needs
+  /// no merge, no suppression — one descent, then next() walks the chain).
+  struct CursorState {
+    std::uint32_t leaf = kNull;
+    std::size_t idx = 0;
+    bool valid = false;
+    bool bounded = false;
+    K hi{};
+    Ent cur{};
+  };
+
+  /// Resumable ordered cursor (Dictionary cursor contract in
+  /// api/dictionary.hpp). Any mutation invalidates the cursor (splits and
+  /// merges relocate entries) until the next seek.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    void seek(const K& lo) { do_seek(&lo, nullptr); }
+    void seek(const K& lo, const K& hi) {
+      if (hi < lo) {
+        st_->valid = false;
+        return;
+      }
+      do_seek(&lo, &hi);
+    }
+    void seek_first() { do_seek(nullptr, nullptr); }
+
+    bool valid() const { return st_->valid; }
+    const Ent& entry() const { return st_->cur; }
+
+    void next() {
+      CursorState& st = *st_;
+      if (!st.valid) return;
+      ++st.idx;
+      settle();
+    }
+
+   private:
+    friend class BTree;
+    explicit Cursor(const BTree* d)
+        : d_(d), own_(std::make_unique<CursorState>()), st_(own_.get()) {}
+    Cursor(const BTree* d, CursorState* st) : d_(d), st_(st) {}
+
+    void do_seek(const K* lo, const K* hi) {
+      CursorState& st = *st_;
+      const BTree& d = *d_;
+      st.bounded = hi != nullptr;
+      if (hi != nullptr) st.hi = *hi;
+      st.valid = false;
+      std::uint32_t id = d.root_;
+      while (!d.node(id).leaf) {
+        const Node& n = d.nodes_[id];
+        id = n.kids[lo != nullptr ? d.child_index(n, *lo) : 0];
+      }
+      st.leaf = id;
+      const auto& entries = d.nodes_[id].entries;
+      st.idx = lo != nullptr
+                   ? static_cast<std::size_t>(
+                         std::lower_bound(entries.begin(), entries.end(), *lo,
+                                          EntryKeyLess{}) -
+                         entries.begin())
+                   : 0;
+      settle();
+    }
+
+    /// Hop leaves past exhausted positions, apply the bound, cache the
+    /// current entry.
+    void settle() {
+      CursorState& st = *st_;
+      const BTree& d = *d_;
+      while (st.leaf != kNull && st.idx >= d.node(st.leaf).entries.size()) {
+        st.leaf = d.nodes_[st.leaf].next;
+        st.idx = 0;
+      }
+      if (st.leaf == kNull) {
+        st.valid = false;
+        return;
+      }
+      const Ent& e = d.nodes_[st.leaf].entries[st.idx];
+      if (st.bounded && st.hi < e.key) {
+        st.valid = false;
+        return;
+      }
+      st.cur = e;
+      st.valid = true;
+    }
+
+    const BTree* d_ = nullptr;
+    std::unique_ptr<CursorState> own_;
+    CursorState* st_ = nullptr;
+  };
+
+  /// Detached cursor (Dictionary concept).
+  Cursor make_cursor() const { return Cursor(this); }
 
   // -- mutators ---------------------------------------------------------------
 
@@ -500,6 +595,8 @@ class BTree {
   std::vector<Ent> batch_scratch_, batch_sort_scratch_;  // insert_batch staging, reused
   std::vector<K> erase_scratch_;                         // erase_batch staging, reused
   std::vector<Op<K, V>> op_scratch_, op_sort_scratch_;   // apply_batch staging, reused
+  // Dictionary-owned cursor scratch backing range_for_each/for_each.
+  mutable CursorState scan_state_;
   BTreeStats stats_;
   mutable MM mm_;
 };

@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -133,30 +134,121 @@ class CobTree {
     return true;
   }
 
-  /// Visit entries with lo <= key <= hi in ascending order.
+  /// Visit entries with lo <= key <= hi in ascending order — one code path
+  /// with the cursor API.
   template <class Fn>
   void range_for_each(const K& lo, const K& hi, Fn&& fn) const {
-    if (hi < lo || pma_.empty()) return;
-    slot_t s = predecessor_slot(lo);
-    if (s == npos) {
-      s = pma_.first();
-    } else if (pma_.at(s).key < lo) {
-      s = pma_.next(s);
-    }
-    for (; s != npos; s = pma_.next(s)) {
-      const Ent& e = pma_.at(s);
-      if (hi < e.key) return;
+    if (hi < lo) return;
+    Cursor c(this, &scan_state_);
+    for (c.seek(lo, hi); c.valid(); c.next()) {
+      const Ent& e = c.entry();
       fn(e.key, e.value);
     }
   }
 
   template <class Fn>
   void for_each(Fn&& fn) const {
-    for (slot_t s = pma_.first(); s != npos; s = pma_.next(s)) {
-      const Ent& e = pma_.at(s);
+    Cursor c(this, &scan_state_);
+    for (c.seek_first(); c.valid(); c.next()) {
+      const Ent& e = c.entry();
       fn(e.key, e.value);
     }
   }
+
+  // -- cursor -----------------------------------------------------------------
+
+  /// Cursor scratch: a positional PMA cursor plus the bound. The vEB index
+  /// accelerates the seek (one descent); next() is the PMA's amortized-O(1)
+  /// occupied-slot walk.
+  struct CursorState {
+    typename P::Cursor pc{};
+    bool valid = false;
+    bool bounded = false;
+    K hi{};
+    Ent cur{};
+  };
+
+  /// Resumable ordered cursor (Dictionary cursor contract in
+  /// api/dictionary.hpp). Any mutation invalidates the cursor (PMA
+  /// rebalances relocate elements) until the next seek.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    void seek(const K& lo) { do_seek(&lo, nullptr); }
+    void seek(const K& lo, const K& hi) {
+      if (hi < lo) {
+        st_->valid = false;
+        return;
+      }
+      do_seek(&lo, &hi);
+    }
+    void seek_first() { do_seek(nullptr, nullptr); }
+
+    bool valid() const { return st_->valid; }
+    const Ent& entry() const { return st_->cur; }
+
+    void next() {
+      CursorState& st = *st_;
+      if (!st.valid) return;
+      st.pc.next();
+      settle();
+    }
+
+   private:
+    friend class CobTree;
+    explicit Cursor(const CobTree* d)
+        : d_(d), own_(std::make_unique<CursorState>()), st_(own_.get()) {}
+    Cursor(const CobTree* d, CursorState* st) : d_(d), st_(st) {}
+
+    void do_seek(const K* lo, const K* hi) {
+      CursorState& st = *st_;
+      const CobTree& d = *d_;
+      st.bounded = hi != nullptr;
+      if (hi != nullptr) st.hi = *hi;
+      st.valid = false;
+      st.pc = d.pma_.make_cursor();
+      if (d.pma_.empty()) return;
+      if (lo == nullptr) {
+        st.pc.seek_first();
+      } else {
+        // vEB descent to the predecessor segment, then adjust to the first
+        // slot at-or-after lo.
+        const slot_t pred = d.predecessor_slot(*lo);
+        if (pred == npos) {
+          st.pc.seek_first();
+        } else if (d.pma_.at(pred).key < *lo) {
+          st.pc.seek_slot(pred);
+          st.pc.next();
+        } else {
+          st.pc.seek_slot(pred);
+        }
+      }
+      settle();
+    }
+
+    void settle() {
+      CursorState& st = *st_;
+      if (!st.pc.valid()) {
+        st.valid = false;
+        return;
+      }
+      const Ent& e = st.pc.item();
+      if (st.bounded && st.hi < e.key) {
+        st.valid = false;
+        return;
+      }
+      st.cur = e;
+      st.valid = true;
+    }
+
+    const CobTree* d_ = nullptr;
+    std::unique_ptr<CursorState> own_;
+    CursorState* st_ = nullptr;
+  };
+
+  /// Detached cursor (Dictionary concept).
+  Cursor make_cursor() const { return Cursor(this); }
 
   /// Structural checks: PMA invariants, global order, index consistency.
   void check_invariants() const {
@@ -329,6 +421,8 @@ class CobTree {
   mutable P pma_;
   mutable layout::VebStaticTree<K, MM> index_;
   std::uint64_t index_epoch_ = ~0ULL;
+  // Dictionary-owned cursor scratch backing range_for_each/for_each.
+  mutable CursorState scan_state_;
   std::vector<Ent> batch_scratch_, batch_sort_scratch_;  // insert_batch staging, reused
   std::vector<K> erase_scratch_;                         // erase_batch staging, reused
   std::vector<Op<K, V>> op_scratch_, op_sort_scratch_;   // apply_batch staging, reused

@@ -66,17 +66,37 @@
 // pointers assume globally sorted levels and are disabled in this mode).
 // This is the LSM "size-tiered vs leveled" tradeoff inside the COLA
 // geometry; ingest_tuned() presets select it.
+//
+// Read path (extensions). Every tiered segment and staging run carries
+// min/max FENCE KEYS (O(1) to maintain on append): find() and Cursor::seek
+// skip sources whose range excludes the probe, which prunes most probes on
+// range-disjoint (time-partitioned) feeds — the knob fence_keys gates only
+// the read side, for ablations. The Cursor (make_cursor/seek/next — the
+// Dictionary cursor contract in api/dictionary.hpp) fuses the staged view,
+// classic levels, and tiered segments through a shared loser tree with
+// newest-wins dedup and tombstone suppression; range_for_each/for_each run
+// on top of it, allocation-free in steady state.
+//
+// Retention (tiered). Tombstones are bounded by tombstone_threshold (PR 3)
+// and shadowed LIVE duplicates — the churn failure mode — by
+// staleness_threshold: each fold counts its distinct duplicated keys (free
+// byproduct of the merge), credits them to per-segment staleness estimates
+// of the data they shadow, and past the threshold the deepest level takes
+// a forced FULL compaction (levels 0..d into one segment — cross-level
+// duplicates die even at g = 2, where a level holds a single segment).
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "common/entry.hpp"
+#include "common/loser_tree.hpp"
 #include "dam/mem_model.hpp"
 
 namespace costream::cola {
@@ -99,6 +119,22 @@ struct ColaConfig {
   // i.e. O(1/(threshold*B)) extra transfers per erase (dam/bounds.hpp).
   // Values > 1.0 disable the forcing.
   double tombstone_threshold = 0.25;
+  // Tiered mode only: bound on a level's ESTIMATED shadowed-live fraction —
+  // the churn analogue of tombstone_threshold. A fixed-live-set churn feed
+  // retains duplicate live copies in older bottom-level segments (they are
+  // annihilated only by real folds, and the trivial-move fast path defers
+  // those), so each cascade fold feeds its own observed key-reuse rate into
+  // a per-segment staleness estimate; when the deepest level's estimated
+  // stale mass crosses this fraction of its occupancy, the same forced
+  // bottom fold fires. Zero extra I/O: the estimate reuses the duplicate
+  // count the fold computes anyway. Values > 1.0 disable the forcing.
+  double staleness_threshold = 0.5;
+  // Per-segment (and per-staging-run) min/max fence keys: maintained on
+  // every append/fold at O(1) cost, and used by find and Cursor::seek to
+  // skip whole segments whose key range excludes the probe. The knob only
+  // gates the READ-side use (fences are always maintained), so ablations
+  // can isolate the search win.
+  bool fence_keys = true;
 };
 
 /// Ingest-tuned preset: growth factor g, tiered (segmented) levels, and a
@@ -125,7 +161,10 @@ struct ColaStats {
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t stage_flushes = 0;    // staging-arena drains (one cascade each)
   std::uint64_t stage_absorbed = 0;   // entries that landed in the arena
-  std::uint64_t forced_bottom_folds = 0;  // tombstone-pressure compactions
+  std::uint64_t forced_bottom_folds = 0;  // tombstone/staleness compactions
+  std::uint64_t staleness_folds = 0;  // forced folds triggered by staleness
+  std::uint64_t fence_seg_skips = 0;  // segments skipped by fence keys (reads)
+  std::uint64_t fence_run_skips = 0;  // staging runs skipped by fence keys
 };
 
 template <class K = Key, class V = Value, class MM = dam::null_mem_model>
@@ -174,6 +213,18 @@ class Gcola {
     return l < levels_.size() ? levels_[l].tomb_count : 0;
   }
 
+  /// Segments currently held by one tiered level (tests/benches: the
+  /// denominator for fence-skip fractions).
+  std::size_t level_segment_count(std::size_t l) const noexcept {
+    return l < levels_.size() ? levels_[l].segs.size() : 0;
+  }
+
+  /// Estimated shadowed-live mass in one level (tiered mode; tests and the
+  /// staleness-retention policy).
+  std::uint64_t level_stale_count(std::size_t l) const noexcept {
+    return l < levels_.size() ? levels_[l].stale_count : 0;
+  }
+
   /// Bytes of slot storage across all levels plus the staging arena
   /// reservation (space accounting). Tiered levels store compact items and
   /// only their occupancy.
@@ -187,8 +238,15 @@ class Gcola {
 
   std::optional<V> find(const K& key) const {
     // The staging arena is newer than every level; probe its sorted runs
-    // newest-first so the latest staged copy (or tombstone) wins.
+    // newest-first so the latest staged copy (or tombstone) wins. Per-run
+    // fence keys skip runs whose key range excludes the probe without
+    // touching the run at all.
     for (std::size_t r = stage_runs_.size(); r-- > 0;) {
+      if (cfg_.fence_keys &&
+          (key < stage_run_min_[r] || stage_run_max_[r] < key)) {
+        ++stats_.fence_run_skips;
+        continue;
+      }
       const std::uint32_t b = stage_runs_[r];
       const std::uint32_t e = r + 1 < stage_runs_.size()
                                   ? stage_runs_[r + 1]
@@ -240,11 +298,17 @@ class Gcola {
   }
 
   /// Visit live entries with lo_key <= key <= hi_key ascending; newest value
-  /// wins, tombstoned keys are skipped.
+  /// wins, tombstoned keys are skipped. One code path with the cursor API:
+  /// a bounded seek on the dictionary-owned scratch cursor, allocation-free
+  /// in steady state.
   template <class Fn>
   void range_for_each(const K& lo_key, const K& hi_key, Fn&& fn) const {
     if (hi_key < lo_key) return;
-    scan(&lo_key, &hi_key, static_cast<Fn&&>(fn));
+    Cursor c(this, &scan_state_);
+    for (c.seek(lo_key, hi_key); c.valid(); c.next()) {
+      const Entry<K, V>& e = c.entry();
+      fn(e.key, e.value);
+    }
   }
 
   /// Visit every live entry ascending. A dedicated unbounded scan, not a
@@ -253,7 +317,11 @@ class Gcola {
   /// object for composite keys, either of which would silently drop entries.
   template <class Fn>
   void for_each(Fn&& fn) const {
-    scan(nullptr, nullptr, static_cast<Fn&&>(fn));
+    Cursor c(this, &scan_state_);
+    for (c.seek_first(); c.valid(); c.next()) {
+      const Entry<K, V>& e = c.entry();
+      fn(e.key, e.value);
+    }
   }
 
   // -- mutators ---------------------------------------------------------------
@@ -270,6 +338,7 @@ class Gcola {
   /// bulk movement across block boundaries the paper's analysis is built on.
   void insert_batch(const Entry<K, V>* data, std::size_t n) {
     if (n == 0) return;
+    ++mutation_epoch_;
     // Staging path: normalize the batch while it is small and cache-hot
     // (sort + newest-wins dedup of k entries, not of the whole arena), then
     // append it as one sorted run; the cascade only runs when the arena
@@ -285,6 +354,8 @@ class Gcola {
       stats_.duplicates_dropped += n - run.size();
       stage_.reserve(std::max(cfg_.staging_capacity, stage_.size() + run.size()));
       stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
+      stage_run_min_.push_back(run.front().key);
+      stage_run_max_.push_back(run.back().key);
       append_widened(run.data(), run.data() + run.size(), stage_);
       mm_.touch_write(stage_base_ + (stage_.size() - run.size()) * sizeof(TItem),
                       run.size() * sizeof(TItem));
@@ -376,6 +447,7 @@ class Gcola {
   /// arena fills; public so tests and checkpointing can force a flush).
   void flush_stage() {
     if (stage_.empty()) return;
+    ++mutation_epoch_;
     ensure_level(0);
     ++stats_.stage_flushes;
     ++stats_.batch_merges;
@@ -411,6 +483,8 @@ class Gcola {
     }
     stage_.clear();
     stage_runs_.clear();
+    stage_run_min_.clear();
+    stage_run_max_.clear();
   }
 
   /// Build from entries sorted ascending by strictly increasing key,
@@ -418,9 +492,12 @@ class Gcola {
   /// level that fits (one sequential write, O(n/B) transfers) and rebuilds
   /// the lookahead chain — the COLA analogue of a B-tree bulk load.
   void bulk_load(const std::vector<Entry<K, V>>& sorted) {
+    ++mutation_epoch_;
     levels_.clear();
     stage_.clear();
     stage_runs_.clear();
+    stage_run_min_.clear();
+    stage_run_max_.clear();
     next_base_ = 0;
     stage_base_set_ = false;
     bottom_relocated_ = false;
@@ -434,6 +511,10 @@ class Gcola {
       lv.segs.assign(1, 0);
       lv.seg_tombs.assign(1, 0);  // bulk loads carry no tombstones
       lv.tomb_count = 0;
+      lv.seg_min.assign(1, sorted.front().key);
+      lv.seg_max.assign(1, sorted.back().key);
+      lv.seg_stale.assign(1, 0);
+      lv.stale_count = 0;
       touch_titems(t, 0, lv.tslots.size(), /*write=*/true);
     } else {
       std::vector<Slot> content;
@@ -468,6 +549,10 @@ class Gcola {
           (!stage_.empty() && (stage_runs_.empty() || stage_runs_.front() != 0))) {
         throw std::logic_error("cola: staging run boundaries inconsistent");
       }
+      if (stage_run_min_.size() != stage_runs_.size() ||
+          stage_run_max_.size() != stage_runs_.size()) {
+        throw std::logic_error("cola: staging run fences out of step");
+      }
       for (std::size_t r = 0; r < stage_runs_.size(); ++r) {
         const std::uint32_t b = stage_runs_[r];
         const std::uint32_t e = r + 1 < stage_runs_.size()
@@ -478,6 +563,11 @@ class Gcola {
           if (!(stage_[i - 1].key < stage_[i].key)) {
             throw std::logic_error("cola: staging run unsorted");
           }
+        }
+        if (stage_run_min_[r] < stage_[b].key || stage_[b].key < stage_run_min_[r] ||
+            stage_run_max_[r] < stage_[e - 1].key ||
+            stage_[e - 1].key < stage_run_max_[r]) {
+          throw std::logic_error("cola: staging run fence drift");
         }
       }
     }
@@ -562,8 +652,11 @@ class Gcola {
       if (lv.tslots.size() != lv.real_count) {
         throw std::logic_error("cola: tiered count drift");
       }
-      if (lv.seg_tombs.size() != lv.segs.size()) {
-        throw std::logic_error("cola: segment tombstone counters out of step");
+      if (lv.seg_tombs.size() != lv.segs.size() ||
+          lv.seg_min.size() != lv.segs.size() ||
+          lv.seg_max.size() != lv.segs.size() ||
+          lv.seg_stale.size() != lv.segs.size()) {
+        throw std::logic_error("cola: segment metadata out of step");
       }
       if (lv.segs.empty()) {
         if (lv.real_count != 0) {
@@ -572,12 +665,15 @@ class Gcola {
         if (lv.tomb_count != 0) {
           throw std::logic_error("cola: empty tiered level with tombstones");
         }
+        if (lv.stale_count != 0) {
+          throw std::logic_error("cola: empty tiered level with stale mass");
+        }
         continue;
       }
       if (lv.segs.front() != 0) {
         throw std::logic_error("cola: first segment not at offset 0");
       }
-      std::uint64_t tombs_total = 0;
+      std::uint64_t tombs_total = 0, stale_total = 0;
       for (std::size_t j = 0; j < lv.segs.size(); ++j) {
         const std::uint32_t b = lv.segs[j];
         const std::uint32_t e = j + 1 < lv.segs.size()
@@ -594,10 +690,22 @@ class Gcola {
         if (tombs != lv.seg_tombs[j]) {
           throw std::logic_error("cola: segment tombstone count drift");
         }
+        if (lv.seg_min[j] < lv.tslots[b].key || lv.tslots[b].key < lv.seg_min[j] ||
+            lv.seg_max[j] < lv.tslots[e - 1].key ||
+            lv.tslots[e - 1].key < lv.seg_max[j]) {
+          throw std::logic_error("cola: segment fence keys drift");
+        }
+        if (lv.seg_stale[j] > e - b) {
+          throw std::logic_error("cola: segment stale estimate exceeds size");
+        }
         tombs_total += tombs;
+        stale_total += lv.seg_stale[j];
       }
       if (tombs_total != lv.tomb_count) {
         throw std::logic_error("cola: level tombstone count drift");
+      }
+      if (stale_total != lv.stale_count) {
+        throw std::logic_error("cola: level stale count drift");
       }
     }
   }
@@ -646,6 +754,15 @@ class Gcola {
     // the bounded-retention policy reads pressure in O(1).
     std::vector<std::uint32_t> seg_tombs;
     std::uint64_t tomb_count = 0;
+    // Tiered mode: per-segment fence keys (seg_min/seg_max parallel segs;
+    // a segment is sorted, so they are its first and last keys — O(1) to
+    // maintain on append) and the estimated count of this segment's entries
+    // shadowed by newer segments of the SAME level (seg_stale; stale_count
+    // is the level total). The staleness numbers are estimates fed by the
+    // fold's own duplicate statistics, never by extra probes.
+    std::vector<K> seg_min, seg_max;
+    std::vector<std::uint32_t> seg_stale;
+    std::uint64_t stale_count = 0;
   };
 
   // -- geometry ---------------------------------------------------------------
@@ -752,11 +869,20 @@ class Gcola {
   }
 
   /// Tiered find: binary-search each level's segments newest-first (the
-  /// last segment is the newest); the first hit wins.
+  /// last segment is the newest); the first hit wins. Per-segment fence
+  /// keys skip segments whose [min, max] range excludes the probe — for
+  /// time-partitioned or otherwise range-disjoint feeds this prunes most of
+  /// the up-to-(g-1)-segments-per-level probe cost the tiered geometry
+  /// otherwise pays (dam/bounds.hpp: cola_fence_search_transfer_bound).
   std::optional<V> find_tiered(const K& key) const {
     for (std::size_t l = 0; l < levels_.size(); ++l) {
       const Level& lv = levels_[l];
       for (std::size_t j = lv.segs.size(); j-- > 0;) {
+        if (cfg_.fence_keys &&
+            (key < lv.seg_min[j] || lv.seg_max[j] < key)) {
+          ++stats_.fence_seg_skips;
+          continue;
+        }
         const std::uint32_t b = lv.segs[j];
         const std::uint32_t e = j + 1 < lv.segs.size()
                                     ? lv.segs[j + 1]
@@ -780,149 +906,265 @@ class Gcola {
     return std::nullopt;
   }
 
-  /// Tiered ordered scan: one cursor per segment (plus the staged view as
-  /// the newest source), k-way minimum with newest-wins on ties. Priority
-  /// orders sources newest-first: the staged view, then levels shallow to
-  /// deep, then segments left (newest) to right within a level.
-  template <class Fn>
-  void scan_tiered(const K* lo_key, const K* hi_key, Fn&& fn) const {
-    struct Cursor {
-      const TItem* at;
-      const TItem* end;
-    };
-    std::vector<Cursor> cs;  // index order IS priority order (newest first)
-    const auto position = [&](const TItem* b, const TItem* e) {
-      if (lo_key != nullptr) {
-        b = std::lower_bound(
-            b, e, *lo_key, [](const TItem& s, const K& k) { return s.key < k; });
-      }
-      cs.push_back(Cursor{b, e});
-    };
-    if (!stage_.empty()) mm_.touch(stage_base_, stage_.size() * sizeof(TItem));
-    stage_view_.assign(stage_.begin(), stage_.end());
-    sort_dedup_newest_wins(stage_view_, stage_view_scratch_);
-    position(stage_view_.data(), stage_view_.data() + stage_view_.size());
-    for (std::size_t l = 0; l < levels_.size(); ++l) {
-      const Level& lv = levels_[l];
-      for (std::size_t j = lv.segs.size(); j-- > 0;) {  // newest (last) first
-        const std::uint32_t b = lv.segs[j];
-        const std::uint32_t e = j + 1 < lv.segs.size()
-                                    ? lv.segs[j + 1]
-                                    : static_cast<std::uint32_t>(lv.tslots.size());
-        touch_titems(l, b, e - b, /*write=*/false);
-        position(lv.tslots.data() + b, lv.tslots.data() + e);
-      }
-    }
-    while (true) {
-      std::size_t best = cs.size();
-      for (std::size_t c = 0; c < cs.size(); ++c) {
-        if (cs[c].at == cs[c].end) continue;
-        if (hi_key != nullptr && *hi_key < cs[c].at->key) {
-          cs[c].at = cs[c].end;
-          continue;
-        }
-        // Strict < keeps the lowest-index (newest) source on ties.
-        if (best == cs.size() || cs[c].at->key < cs[best].at->key) best = c;
-      }
-      if (best == cs.size()) return;
-      const TItem& s = *cs[best].at;
-      const K k = s.key;
-      if (!s.is_tombstone()) fn(k, s.value);
-      for (Cursor& c : cs) {
-        while (c.at != c.end && c.at->key == k) ++c.at;
-      }
-    }
-  }
+  // -- cursors ----------------------------------------------------------------
 
-  /// First real (non-lookahead) slot at index >= i; kNoIdx past the end.
-  std::uint32_t advance_real(std::size_t l, std::uint32_t i) const {
-    const Level& lv = levels_[l];
-    for (; i < lv.slots.size(); ++i) {
-      touch_slot(l, i);
-      if (i >= lv.occ_begin && !lv.slots[i].is_lookahead()) return i;
-    }
-    return kNoIdx;
-  }
+  static constexpr std::uint64_t kNoEpoch = ~0ULL;
 
-  /// Ordered multi-level scan; null bounds mean unbounded on that side.
-  /// An unflushed staging arena participates as the newest source: a sorted,
-  /// deduplicated view is built into mutable scratch and wins every key tie.
-  template <class Fn>
-  void scan(const K* lo_key, const K* hi_key, Fn&& fn) const {
-    if (cfg_.tiered) {
-      scan_tiered(lo_key, hi_key, static_cast<Fn&&>(fn));
-      return;
+  /// One source of a cursor's fused merge: either a classic level's Slot
+  /// span (lookahead slots skipped inline) or a TItem span (a tiered
+  /// segment, or the cursor-local staged view, which carries no DAM
+  /// accounting). Decodes its current head on demand.
+  struct CurSrc {
+    const Slot* s_at = nullptr;
+    const Slot* s_end = nullptr;
+    const TItem* t_at = nullptr;
+    const TItem* t_end = nullptr;
+    MM* mm = nullptr;        // null: source is cursor-local scratch
+    std::uint64_t addr = 0;  // logical address of the current element
+
+    bool alive() const { return s_at != s_end || t_at != t_end; }
+    const K& key() const { return s_at != s_end ? s_at->key : t_at->key; }
+    const V& value() const { return s_at != s_end ? s_at->value : t_at->value; }
+    bool tomb() const {
+      return s_at != s_end ? s_at->is_tombstone() : t_at->is_tombstone();
     }
-    stage_view_.assign(stage_.begin(), stage_.end());
-    sort_dedup_newest_wins(stage_view_, stage_view_scratch_);
-    std::size_t sc = 0;
-    if (lo_key != nullptr) {
-      sc = static_cast<std::size_t>(
-          std::lower_bound(stage_view_.begin(), stage_view_.end(), *lo_key,
-                           [](const TItem& s, const K& k) { return s.key < k; }) -
-          stage_view_.begin());
-    }
-    if (!stage_.empty()) mm_.touch(stage_base_, stage_.size() * sizeof(TItem));
-    // Per-level cursors positioned at the first real slot with key >= lo_key
-    // (or the first real slot overall when unbounded below).
-    std::vector<std::uint32_t> cur(levels_.size());
-    for (std::size_t l = 0; l < levels_.size(); ++l) {
-      const Level& lv = levels_[l];
-      const std::uint32_t S = lv.occ_begin;
-      const std::uint32_t E = static_cast<std::uint32_t>(lv.slots.size());
-      std::uint32_t a = S, b = E;
-      while (lo_key != nullptr && a < b) {
-        const std::uint32_t mid = a + (b - a) / 2;
-        touch_slot(l, mid);
-        if (lv.slots[mid].key < *lo_key) {
-          a = mid + 1;
-        } else {
-          b = mid;
-        }
-      }
-      cur[l] = advance_real(l, a);
-    }
-    while (true) {
-      // Pick the smallest key among cursors; ties resolved to the smallest
-      // level index (the newest copy).
-      std::size_t best = levels_.size();
-      for (std::size_t l = 0; l < levels_.size(); ++l) {
-        if (cur[l] == kNoIdx) continue;
-        const K& k = levels_[l].slots[cur[l]].key;
-        if (hi_key != nullptr && *hi_key < k) {
-          cur[l] = kNoIdx;
-          continue;
-        }
-        if (best == levels_.size() || k < levels_[best].slots[cur[best]].key) best = l;
-      }
-      // The staging view outranks every level: it holds the newest copies.
-      if (sc < stage_view_.size() && hi_key != nullptr &&
-          *hi_key < stage_view_[sc].key) {
-        sc = stage_view_.size();
-      }
-      const bool stage_wins =
-          sc < stage_view_.size() &&
-          (best == levels_.size() ||
-           !(levels_[best].slots[cur[best]].key < stage_view_[sc].key));
-      if (best == levels_.size() && !stage_wins) return;
-      const K k = stage_wins ? stage_view_[sc].key : levels_[best].slots[cur[best]].key;
-      if (stage_wins) {
-        const TItem& s = stage_view_[sc];
-        if (!s.is_tombstone()) fn(k, s.value);
-        ++sc;
+    void advance() {
+      if (s_at != s_end) {
+        do {
+          ++s_at;
+          addr += sizeof(Slot);
+          if (s_at != s_end && mm != nullptr) mm->touch(addr, sizeof(Slot));
+        } while (s_at != s_end && s_at->is_lookahead());
       } else {
-        const Slot& s = levels_[best].slots[cur[best]];
-        if (!s.is_tombstone()) fn(k, s.value);
-      }
-      // Consume this key from every level (older copies are shadowed).
-      for (std::size_t l = 0; l < levels_.size(); ++l) {
-        if (cur[l] != kNoIdx && levels_[l].slots[cur[l]].key == k) {
-          cur[l] = advance_real(l, cur[l] + 1);
-        }
+        ++t_at;
+        addr += sizeof(TItem);
+        if (t_at != t_end && mm != nullptr) mm->touch(addr, sizeof(TItem));
       }
     }
-  }
+  };
 
+  /// Reusable cursor scratch — every vector grows to its high-water size
+  /// and stays, so repeated seeks and scans allocate nothing. A plain
+  /// aggregate (no back-pointer into the dictionary), safe to keep as a
+  /// member across moves of the owning Gcola.
+  struct CursorState {
+    std::vector<CurSrc> srcs;  // index order IS priority (newest first)
+    LoserTree<K> tree;
+    std::vector<TItem> stage_view, stage_view_scratch;
+    // Mutation epoch the staged view was materialized at; re-seeks on an
+    // unmutated dictionary (merge_join leapfrogs, seek-heavy workloads)
+    // reuse the view instead of re-sorting the arena per seek.
+    std::uint64_t stage_epoch = kNoEpoch;
+    Entry<K, V> cur{};
+    bool valid = false;
+    bool bounded = false;
+    K hi{};
+    K last{};
+    bool have_last = false;
+  };
+
+ public:
+  /// Resumable ordered cursor (Dictionary cursor contract in
+  /// api/dictionary.hpp): seek positions at the first live key >= lo,
+  /// next/entry stream the live contents ascending with newest-wins dedup
+  /// and tombstone suppression fused through a loser tree over the staged
+  /// view, the levels, and (tiered mode) every segment. Segment fence keys
+  /// let a seek skip whole segments without touching them. Any mutation of
+  /// the dictionary invalidates the cursor; re-seek (no teardown) makes it
+  /// usable again, and repeated seeks are allocation-free in steady state.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    void seek(const K& lo) { do_seek(&lo, nullptr); }
+    /// Bounded seek: entries past `hi` are never surfaced (lets pruned
+    /// structures skip sources entirely; an unbounded cursor can always be
+    /// stopped by the caller instead).
+    void seek(const K& lo, const K& hi) {
+      if (hi < lo) {
+        st_->valid = false;
+        return;
+      }
+      do_seek(&lo, &hi);
+    }
+    /// Position at the smallest live key (no sentinel bound needed — see
+    /// for_each's note on numeric_limits sentinels).
+    void seek_first() { do_seek(nullptr, nullptr); }
+
+    bool valid() const { return st_->valid; }
+    const Entry<K, V>& entry() const { return st_->cur; }
+
+    void next() {
+      CursorState& st = *st_;
+      if (!st.valid) return;
+      CurSrc& s = st.srcs[st.tree.top()];
+      s.advance();
+      st.tree.replay(s.alive(), s.alive() ? s.key() : K{});
+      advance_to_live();
+    }
+
+   private:
+    friend class Gcola;
+    explicit Cursor(const Gcola* d)
+        : d_(d), own_(std::make_unique<CursorState>()), st_(own_.get()) {}
+    Cursor(const Gcola* d, CursorState* st) : d_(d), st_(st) {}
+
+    void do_seek(const K* lo, const K* hi) {
+      CursorState& st = *st_;
+      const Gcola& d = *d_;
+      st.bounded = hi != nullptr;
+      if (hi != nullptr) st.hi = *hi;
+      st.have_last = false;
+      st.valid = false;
+      st.srcs.clear();
+      // The staged view is the newest source: a sorted, deduplicated copy
+      // of the arena, owned by the cursor so the dictionary stays
+      // untouched. Materialized once per mutation epoch — repeated seeks
+      // between mutations reuse it.
+      if (st.stage_epoch != d.mutation_epoch_) {
+        st.stage_view.assign(d.stage_.begin(), d.stage_.end());
+        sort_dedup_newest_wins(st.stage_view, st.stage_view_scratch);
+        if (!d.stage_.empty()) {
+          d.mm_.touch(d.stage_base_, d.stage_.size() * sizeof(TItem));
+        }
+        st.stage_epoch = d.mutation_epoch_;
+      }
+      {
+        const TItem* b = st.stage_view.data();
+        const TItem* e = b + st.stage_view.size();
+        if (lo != nullptr) {
+          b = std::lower_bound(
+              b, e, *lo, [](const TItem& s, const K& k) { return s.key < k; });
+        }
+        if (b != e) {
+          CurSrc s;
+          s.t_at = b;
+          s.t_end = e;
+          st.srcs.push_back(s);
+        }
+      }
+      if (d.cfg_.tiered) {
+        for (std::size_t l = 0; l < d.levels_.size(); ++l) {
+          const Level& lv = d.levels_[l];
+          for (std::size_t j = lv.segs.size(); j-- > 0;) {  // newest first
+            const std::uint32_t b = lv.segs[j];
+            const std::uint32_t e =
+                j + 1 < lv.segs.size()
+                    ? lv.segs[j + 1]
+                    : static_cast<std::uint32_t>(lv.tslots.size());
+            // Fence skips: the whole segment sorts before the seek point or
+            // past the bound — never touched.
+            if (d.cfg_.fence_keys && lo != nullptr && lv.seg_max[j] < *lo) {
+              ++d.stats_.fence_seg_skips;
+              continue;
+            }
+            if (d.cfg_.fence_keys && hi != nullptr && *hi < lv.seg_min[j]) {
+              ++d.stats_.fence_seg_skips;
+              continue;
+            }
+            std::uint32_t a = b;
+            const bool whole_at_or_past_lo =
+                lo == nullptr ||
+                (d.cfg_.fence_keys && !(lv.seg_min[j] < *lo));
+            if (!whole_at_or_past_lo) {
+              std::uint32_t x = b, y = e;
+              while (x < y) {
+                const std::uint32_t mid = x + (y - x) / 2;
+                d.touch_titems(l, mid, 1, /*write=*/false);
+                if (lv.tslots[mid].key < *lo) {
+                  x = mid + 1;
+                } else {
+                  y = mid;
+                }
+              }
+              a = x;
+            }
+            if (a == e) continue;
+            d.touch_titems(l, a, 1, /*write=*/false);
+            CurSrc s;
+            s.t_at = lv.tslots.data() + a;
+            s.t_end = lv.tslots.data() + e;
+            s.mm = &d.mm_;
+            s.addr = lv.base_offset + static_cast<std::uint64_t>(a) * sizeof(TItem);
+            st.srcs.push_back(s);
+          }
+        }
+      } else {
+        for (std::size_t l = 0; l < d.levels_.size(); ++l) {
+          const Level& lv = d.levels_[l];
+          const std::uint32_t S = lv.occ_begin;
+          const std::uint32_t E = static_cast<std::uint32_t>(lv.slots.size());
+          if (S == E) continue;
+          std::uint32_t a = S, y = E;
+          while (lo != nullptr && a < y) {
+            const std::uint32_t mid = a + (y - a) / 2;
+            d.touch_slot(l, mid);
+            if (lv.slots[mid].key < *lo) {
+              a = mid + 1;
+            } else {
+              y = mid;
+            }
+          }
+          while (a < E) {  // skip leading lookahead slots
+            d.touch_slot(l, a);
+            if (!lv.slots[a].is_lookahead()) break;
+            ++a;
+          }
+          if (a == E) continue;
+          CurSrc s;
+          s.s_at = lv.slots.data() + a;
+          s.s_end = lv.slots.data() + E;
+          s.mm = &d.mm_;
+          s.addr = lv.base_offset + static_cast<std::uint64_t>(a) * sizeof(Slot);
+          st.srcs.push_back(s);
+        }
+      }
+      st.tree.reset(st.srcs.size());
+      for (std::size_t i = 0; i < st.srcs.size(); ++i) {
+        st.tree.declare(i, st.srcs[i].key());
+      }
+      st.tree.build();
+      advance_to_live();
+    }
+
+    /// Pop merged heads until one is live: older duplicates of the last
+    /// surfaced key and tombstoned keys are consumed silently (a tombstone
+    /// records its key as "seen", which is what suppresses the shadowed
+    /// older copies below it).
+    void advance_to_live() {
+      CursorState& st = *st_;
+      while (st.tree.top_alive()) {
+        CurSrc& s = st.srcs[st.tree.top()];
+        const K& k = s.key();
+        if (st.bounded && st.hi < k) break;  // merged order: all done
+        const bool dup = st.have_last && !(st.last < k);
+        if (!dup) {
+          st.last = k;
+          st.have_last = true;
+          if (!s.tomb()) {
+            st.cur.key = k;
+            st.cur.value = s.value();
+            st.valid = true;
+            return;
+          }
+        }
+        s.advance();
+        st.tree.replay(s.alive(), s.alive() ? s.key() : K{});
+      }
+      st.valid = false;
+    }
+
+    const Gcola* d_ = nullptr;
+    std::unique_ptr<CursorState> own_;
+    CursorState* st_ = nullptr;
+  };
+
+  /// Detached cursor over this dictionary (Dictionary concept). The cursor
+  /// owns its scratch: creation allocates once, every seek/next after the
+  /// scratch high-water mark is allocation-free.
+  Cursor make_cursor() const { return Cursor(this); }
+
+ private:
   // -- insertion --------------------------------------------------------------
 
   /// Collapse the arena's sorted runs into one sorted, newest-wins run in
@@ -989,6 +1231,11 @@ class Gcola {
                 stage_.begin() + b1);
       stage_.resize(b1 + merged);
       stage_runs_.pop_back();
+      stage_run_min_.pop_back();
+      stage_run_max_.pop_back();
+      // The merged run's fences span both inputs; read them off the data.
+      stage_run_min_.back() = stage_[b1].key;
+      stage_run_max_.back() = stage_.back().key;
       stats_.duplicates_dropped += older + newer - merged;
     }
   }
@@ -1006,6 +1253,8 @@ class Gcola {
     std::vector<std::uint32_t>* runs = &run_list;
     std::vector<std::uint32_t>* next_runs = &tmp_runs;
     while (runs->size() > 1) {
+      const bool final_round = runs->size() <= 2;
+      const std::size_t in_size = src->size();
       dst->resize(src->size());
       next_runs->clear();
       TItem* w = dst->data();
@@ -1026,6 +1275,11 @@ class Gcola {
                                    src->data() + ae, src->data() + be, w);
       }
       dst->resize(static_cast<std::size_t>(w - dst->data()));
+      // The LAST round merges two runs that each hold at most one copy per
+      // key, so its drop count approximates the number of DISTINCT keys
+      // duplicated across the fold — the staleness estimator's input (a key
+      // hot enough to repeat many times still counts once here).
+      if (final_round) last_collapse_final_dups_ = in_size - dst->size();
       std::swap(src, dst);
       std::swap(runs, next_runs);
     }
@@ -1051,12 +1305,15 @@ class Gcola {
   /// tiered cascade, or classic cascade in Slot form. `n_raw` is the
   /// pre-dedup op count (stats).
   void apply_normalized(std::vector<TItem>& run, std::size_t n_raw) {
+    ++mutation_epoch_;
     sort_dedup_newest_wins(run, titem_batch_scratch_);
     stats_.duplicates_dropped += n_raw - run.size();
     if (cfg_.staging_capacity > 0) {
       ensure_stage_base();
       stage_.reserve(std::max(cfg_.staging_capacity, stage_.size() + run.size()));
       stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
+      stage_run_min_.push_back(run.front().key);
+      stage_run_max_.push_back(run.back().key);
       stage_.insert(stage_.end(), run.begin(), run.end());
       mm_.touch_write(stage_base_ + (stage_.size() - run.size()) * sizeof(TItem),
                       run.size() * sizeof(TItem));
@@ -1145,11 +1402,11 @@ class Gcola {
     // workload (bounded live set, endless upserts/erases) grow physical
     // size without bound. Alternating keeps the pure-growth fast path —
     // one relocation per deepest-level generation — while guaranteeing
-    // every other bottom drain compacts. Tombstone pressure vetoes the
-    // relocation outright: past the threshold the deepest level NEEDS the
-    // annihilating fold, not another deferral.
+    // every other bottom drain compacts. Tombstone or staleness pressure
+    // vetoes the relocation outright: past either threshold the deepest
+    // level NEEDS the annihilating fold, not another deferral.
     const std::size_t deepest = deepest_nonempty();
-    if (!bottom_relocated_ && !tombstone_pressure(deepest) && t == deepest + 1 &&
+    if (!bottom_relocated_ && !fold_pressure(deepest) && t == deepest + 1 &&
         levels_[deepest].real_count > 0) {
       ensure_level(t);
       Level& from = levels_[deepest];
@@ -1158,14 +1415,22 @@ class Gcola {
         to.tslots.swap(from.tslots);
         to.segs.swap(from.segs);
         to.seg_tombs.swap(from.seg_tombs);
+        to.seg_min.swap(from.seg_min);
+        to.seg_max.swap(from.seg_max);
+        to.seg_stale.swap(from.seg_stale);
         to.tomb_count = from.tomb_count;
+        to.stale_count = from.stale_count;
         to.real_count = from.real_count;
         to.fills = from.fills;
         from.tslots.clear();
         from.segs.clear();
         from.seg_tombs.clear();
+        from.seg_min.clear();
+        from.seg_max.clear();
+        from.seg_stale.clear();
         from.real_count = 0;
         from.tomb_count = 0;
+        from.stale_count = 0;
         from.fills = 0;
         touch_titems(t, 0, to.tslots.size(), /*write=*/true);
         bottom_relocated_ = true;
@@ -1188,46 +1453,116 @@ class Gcola {
                cfg_.tombstone_threshold * static_cast<double>(lv.tslots.size());
   }
 
-  /// Bounded tombstone retention (checked after every tiered cascade): when
-  /// the deepest level crosses the threshold, fold its segments into one and
-  /// strip. No older copy of any key can exist below the deepest level, so
-  /// every tombstone — and every shadowed duplicate — dies here. Each fold
-  /// clears the level's whole tombstone mass, so the next one needs another
-  /// threshold-fraction of fresh tombstones: amortized O(1/threshold) moves
-  /// per erase.
-  void maybe_fold_bottom_tombstones() {
-    const std::size_t d = deepest_nonempty();
-    if (levels_.empty() || levels_[d].real_count == 0) return;
-    if (!tombstone_pressure(d)) return;
-    Level& lv = levels_[d];
-    ++stats_.merges;
-    ++stats_.forced_bottom_folds;
-    const std::size_t total = lv.tslots.size();
-    touch_titems(d, 0, total, /*write=*/false);
-    fold_spans_.clear();
-    for (std::size_t j = 0; j < lv.segs.size(); ++j) {  // oldest first
-      const std::uint32_t b = lv.segs[j];
+  /// True when level l's ESTIMATED shadowed-live mass has crossed the
+  /// configured fraction of its occupancy — the churn analogue of
+  /// tombstone_pressure, driving the same forced bottom folds.
+  bool staleness_pressure(std::size_t l) const noexcept {
+    if (!(cfg_.staleness_threshold <= 1.0)) return false;  // knob disabled
+    const Level& lv = levels_[l];
+    return lv.stale_count > 0 &&
+           static_cast<double>(lv.stale_count) >=
+               cfg_.staleness_threshold * static_cast<double>(lv.tslots.size());
+  }
+
+  /// Either retention signal: the deepest level needs a real, annihilating
+  /// fold (tombstone mass or estimated shadowed-duplicate mass too high).
+  bool fold_pressure(std::size_t l) const noexcept {
+    return tombstone_pressure(l) || staleness_pressure(l);
+  }
+
+  /// Credit an estimated `est` shadowed copies to level l's segments older
+  /// than the data that just arrived: with exclude_newest the level's last
+  /// segment (the arrival itself) is exempt; without it every segment is a
+  /// candidate (the deeper-level case — everything there predates the
+  /// arrival). Attribution walks oldest-first, skips segments whose fence
+  /// range does not intersect the new run's [lo, hi], and caps each
+  /// segment's stale count at its entry count — the estimate can overstate
+  /// a segment only up to "everything here is shadowed", which is exactly
+  /// the bound a fold can recover.
+  void add_staleness(std::size_t l, const K& lo, const K& hi, std::uint64_t est,
+                     bool exclude_newest) {
+    Level& lv = levels_[l];
+    const std::size_t nsegs = lv.segs.size() - (exclude_newest ? 1 : 0);
+    for (std::size_t j = 0; j < nsegs && est > 0; ++j) {
+      if (hi < lv.seg_min[j] || lv.seg_max[j] < lo) continue;  // disjoint
       const std::uint32_t e = j + 1 < lv.segs.size()
                                   ? lv.segs[j + 1]
                                   : static_cast<std::uint32_t>(lv.tslots.size());
-      fold_spans_.emplace_back(lv.tslots.data() + b, lv.tslots.data() + e);
+      const std::uint32_t sz = e - lv.segs[j];
+      const std::uint32_t headroom = sz - std::min(sz, lv.seg_stale[j]);
+      const std::uint32_t take =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(headroom, est));
+      lv.seg_stale[j] += take;
+      lv.stale_count += take;
+      est -= take;
+    }
+  }
+
+  /// Bounded tombstone retention (checked after every tiered cascade): when
+  /// the deepest level crosses the threshold, fold its segments into one and
+  /// strip. No older copy of any key can exist below the deepest level, so
+  /// every tombstone — and every shadowed duplicate — dies here. The fold
+  /// is a FULL compaction (levels 0..d collapse into one deepest segment):
+  /// at small g a level holds a single segment, so the shadowed copies live
+  /// across LEVELS, and folding the deepest level alone would annihilate
+  /// nothing. Each fold clears the structure's whole tombstone and stale
+  /// mass, so the next one needs another threshold-fraction of fresh
+  /// arrivals: amortized O(1/threshold) moves per erase/shadowing write.
+  void maybe_fold_bottom_tombstones() {
+    const std::size_t d = deepest_nonempty();
+    if (levels_.empty() || levels_[d].real_count == 0) return;
+    if (!fold_pressure(d)) return;
+    ++stats_.merges;
+    ++stats_.forced_bottom_folds;
+    if (!tombstone_pressure(d)) ++stats_.staleness_folds;
+    // Gather spans oldest -> newest: deeper level = older, within a level
+    // the first segment is oldest (same order as the cascade fold).
+    fold_spans_.clear();
+    std::size_t total = 0;
+    for (std::size_t l = d + 1; l-- > 0;) {
+      const Level& lv = levels_[l];
+      if (lv.real_count == 0) continue;
+      touch_titems(l, 0, lv.tslots.size(), /*write=*/false);
+      for (std::size_t j = 0; j < lv.segs.size(); ++j) {  // oldest first
+        const std::uint32_t b = lv.segs[j];
+        const std::uint32_t e = j + 1 < lv.segs.size()
+                                    ? lv.segs[j + 1]
+                                    : static_cast<std::uint32_t>(lv.tslots.size());
+        fold_spans_.emplace_back(lv.tslots.data() + b, lv.tslots.data() + e);
+      }
+      total += lv.tslots.size();
     }
     collapse_fold_spans(total);
     stats_.duplicates_dropped += total - tfold_buf_.size();
     strip_tombstones(tfold_buf_);
-    lv.tslots.clear();
-    lv.segs.clear();
-    lv.seg_tombs.clear();
-    lv.real_count = 0;
-    lv.tomb_count = 0;
-    lv.fills = 0;
-    append_segment(d, tfold_buf_);
+    for (std::size_t l = 0; l <= d; ++l) {
+      Level& lv = levels_[l];
+      lv.tslots.clear();
+      lv.segs.clear();
+      lv.seg_tombs.clear();
+      lv.seg_min.clear();
+      lv.seg_max.clear();
+      lv.seg_stale.clear();
+      lv.real_count = 0;
+      lv.tomb_count = 0;
+      lv.stale_count = 0;
+      lv.fills = 0;
+    }
+    // Levels 0..d together hold up to g/(g-1) * real_cap(d) items, so a
+    // fold that annihilates little can exceed the deepest level's own
+    // capacity — place the output in the shallowest level that fits it
+    // (usually d; one deeper in the adversarial no-duplicates case).
+    std::size_t target = d;
+    while (real_cap(target) < tfold_buf_.size()) ++target;
+    ensure_level(target);
+    append_segment(target, tfold_buf_);
     // This fold IS a bottom compaction: the next deepest-level drain may
     // take the trivial move again.
     bottom_relocated_ = false;
   }
 
   void put(const K& key, const V& value, bool tombstone) {
+    ++mutation_epoch_;
     if (cfg_.staging_capacity > 0) {
       ensure_stage_base();
       if (stage_.capacity() < cfg_.staging_capacity) {
@@ -1238,6 +1573,8 @@ class Gcola {
       s.value = value;
       s.flags = tombstone ? kFlagTombstone : 0u;
       stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
+      stage_run_min_.push_back(key);
+      stage_run_max_.push_back(key);
       stage_.push_back(s);
       mm_.touch_write(stage_base_ + (stage_.size() - 1) * sizeof(TItem), sizeof(TItem));
       counter_merge_stage_tail();
@@ -1257,6 +1594,10 @@ class Gcola {
         l0.segs.assign(1, 0);
         l0.seg_tombs.assign(1, tombstone ? 1u : 0u);
         l0.tomb_count = tombstone ? 1 : 0;
+        l0.seg_min.assign(1, key);
+        l0.seg_max.assign(1, key);
+        l0.seg_stale.assign(1, 0);
+        l0.stale_count = 0;
         touch_titems(0, 0, 1, /*write=*/true);
       } else {
         Slot s{};
@@ -1382,21 +1723,54 @@ class Gcola {
     // take the trivial move again.
     if (drop_tombstones) bottom_relocated_ = false;
     collapse_fold_spans(total);
+    const std::size_t merged = tfold_buf_.size();
     // Sources are cleared only after the fold — the spans read from them.
     for (std::size_t l = 0; l < t; ++l) {
       Level& lv = levels_[l];
       lv.segs.clear();
       lv.seg_tombs.clear();
+      lv.seg_min.clear();
+      lv.seg_max.clear();
+      lv.seg_stale.clear();
       lv.tslots.clear();  // keeps capacity for the refill
       lv.fills = 0;
       lv.real_count = 0;
       lv.tomb_count = 0;
+      lv.stale_count = 0;
     }
-    stats_.duplicates_dropped += total - tfold_buf_.size();
+    stats_.duplicates_dropped += total - merged;
     // A tombstone can be discarded only when no older copy of its key can
     // exist anywhere — deepest level AND no older segments in the target.
     if (drop_tombstones) strip_tombstones(tfold_buf_);
     append_segment(t, tfold_buf_);
+    // Staleness estimate, at zero extra I/O: the fold's final merge round
+    // just counted its DISTINCT duplicated keys (last_collapse_final_dups_)
+    // — a measured sample of how many distinct keys this feed rewrites. A
+    // key the feed rewrites shadows its older copies in the target's older
+    // segments and in deeper levels at the same rate, so credit that count
+    // there. Distinct (not total) duplicates is the load-bearing choice: a
+    // hot key repeated a thousand times within a fold shadows at most one
+    // deep copy, and crediting total duplicate mass would force spurious
+    // compactions on hot-set feeds. Pure-growth feeds measure ~0.
+    if (!tfold_buf_.empty() && last_collapse_final_dups_ > 0) {
+      const std::uint64_t est = last_collapse_final_dups_;
+      const K& lo = tfold_buf_.front().key;
+      const K& hi = tfold_buf_.back().key;
+      add_staleness(t, lo, hi, est, /*exclude_newest=*/true);
+      // The arrival also shadows deeper data. Credit the deepest level —
+      // where retention is bounded only by the forced folds — so small-g
+      // geometries (one segment per level) see churn pressure too. Only
+      // folds COMPARABLE IN SIZE to the deepest level credit it: a shallow
+      // fold re-observes the same hot keys on every drain, and crediting
+      // each observation would recount one shadowed deep copy many times
+      // over (spurious compactions on hot-set feeds); a fold carrying a
+      // quarter of the deepest level's mass has accumulated the distinct
+      // keys of a whole generation — the honest sample.
+      const std::size_t d = deepest_nonempty();
+      if (d > t && tfold_buf_.size() * 4 >= levels_[d].tslots.size()) {
+        add_staleness(d, lo, hi, est, /*exclude_newest=*/false);
+      }
+    }
   }
 
   /// Collapse fold_spans_ (sorted runs ordered oldest -> newest, `total`
@@ -1412,6 +1786,7 @@ class Gcola {
     const std::vector<std::pair<const TItem*, const TItem*>>& spans = fold_spans_;
     if (spans.size() == 1) {
       tfold_buf_.assign(spans[0].first, spans[0].second);
+      last_collapse_final_dups_ = 0;
       return;
     }
     if (total >= kKwayCutoff) {
@@ -1433,6 +1808,8 @@ class Gcola {
                                  spans[i + 1].first, spans[i + 1].second, w);
     }
     buf.resize(static_cast<std::size_t>(w - buf.data()));
+    // Two spans: the gather round above WAS the final round.
+    if (spans.size() <= 2) last_collapse_final_dups_ = total - buf.size();
     collapse_runs(buf, runs, tfold_tmp_, fold_runs_scratch_);
   }
 
@@ -1501,13 +1878,23 @@ class Gcola {
     std::uint32_t wi = widx_[1];
     TItem* w = out.data();
     const K* last_key = nullptr;
+    // Distinct duplicated keys (a key's drops count once) — the staleness
+    // estimator's input; copies of one key pop adjacently here.
+    std::uint64_t distinct_dups = 0;
+    bool cur_key_dropped = false;
     while (wa) {
       const TItem& item = *kway_cur_[wi];
       if (last_key == nullptr || *last_key < item.key) {
         *w = item;
         last_key = &w->key;
         ++w;
-      }  // else: older duplicate of the key just emitted — dropped
+        cur_key_dropped = false;
+      } else {  // older duplicate of the key just emitted — dropped
+        if (!cur_key_dropped) {
+          ++distinct_dups;
+          cur_key_dropped = true;
+        }
+      }
       ++kway_cur_[wi];
       // Replay the path from this leaf: the new head (or "drained") plays
       // each cached loser on the way to the root.
@@ -1527,6 +1914,7 @@ class Gcola {
       wi = ci;
     }
     out.resize(static_cast<std::size_t>(w - out.data()));
+    last_collapse_final_dups_ = distinct_dups;
   }
 
   /// Append `content` as the new (last) segment of level l. Tiered levels
@@ -1542,6 +1930,9 @@ class Gcola {
     for (const TItem& t : content) tombs += t.is_tombstone() ? 1u : 0u;
     lv.seg_tombs.push_back(tombs);
     lv.tomb_count += tombs;
+    lv.seg_min.push_back(content.front().key);
+    lv.seg_max.push_back(content.back().key);
+    lv.seg_stale.push_back(0);
     lv.tslots.insert(lv.tslots.end(), content.begin(), content.end());
     touch_titems(l, nb, content.size(), /*write=*/true);
     lv.real_count += content.size();
@@ -1765,19 +2156,30 @@ class Gcola {
   ColaConfig cfg_;
   std::vector<Level> levels_;
   std::uint64_t next_base_ = 0;
-  ColaStats stats_;
+  // Bumped by every mutator; cursor states compare it to reuse their
+  // materialized staged view across seeks on an unmutated dictionary.
+  std::uint64_t mutation_epoch_ = 0;
+  // Mutable: the const read paths (find, Cursor::seek) count their fence
+  // skips — observability, not state the reads depend on.
+  mutable ColaStats stats_;
   mutable MM mm_;
   // Staging L0 arena: a sequence of sorted runs (batches normalized on
   // arrival; single ops are 1-entry runs), flushed as one cascade when full.
   std::vector<TItem> stage_;
   std::vector<std::uint32_t> stage_runs_;  // begin offset of each run
   std::vector<std::uint32_t> stage_runs_scratch_;
+  // Per-run fence keys (parallel to stage_runs_): min/max key of each run,
+  // O(1) to maintain, used by find and the cursors to skip runs.
+  std::vector<K> stage_run_min_, stage_run_max_;
   // Tiered cascade scratch: incoming run spans (prepared by callers of
   // cascade_run_tiered), gathered source spans, run boundaries, fold
   // buffers, and the singleton/unstaged run.
   std::vector<std::pair<const TItem*, const TItem*>> incoming_spans_, fold_spans_;
   std::vector<std::uint32_t> fold_runs_, fold_runs_scratch_;
   std::vector<TItem> tfold_buf_, tfold_tmp_, titem_run_;
+  // Distinct duplicated keys observed by the most recent collapse's final
+  // merge round — the staleness estimator's measured input.
+  std::uint64_t last_collapse_final_dups_ = 0;
   // k-way merge state (span cursors + loser-tree node caches).
   std::vector<const TItem*> kway_cur_, kway_end_;
   std::vector<K> wkey_, loser_key_;
@@ -1793,9 +2195,10 @@ class Gcola {
   // Trivial-move alternation flag: set when the deepest level is relocated
   // unmerged, cleared by the next true bottom fold (see cascade_run_tiered).
   bool bottom_relocated_ = false;
-  // Sorted arena view for the ordered scans, rebuilt per scan (mutable: the
-  // scans are const and the view is pure scratch).
-  mutable std::vector<TItem> stage_view_, stage_view_scratch_;
+  // Dictionary-owned cursor scratch backing range_for_each/for_each, so the
+  // scan paths reuse one warm state across calls (mutable: scans are const
+  // and the state is pure scratch; scans are not reentrant).
+  mutable CursorState scan_state_;
   // Merge scratch, reused across inserts so the steady-state insert and
   // batch paths perform zero heap allocations (capacities grow to the
   // high-water mark of the deepest cascade seen, then stay).

@@ -34,12 +34,14 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "common/entry.hpp"
+#include "common/loser_tree.hpp"
 #include "dam/mem_model.hpp"
 
 namespace costream::cola {
@@ -162,54 +164,27 @@ class DeamortizedFcCola {
     return std::nullopt;
   }
 
-  /// Visit live entries in [lo, hi] ascending, newest copy per key.
+  /// Visit live entries in [lo, hi] ascending, newest copy per key — one
+  /// code path with the cursor API (bounded seek on the dictionary-owned
+  /// scratch cursor, allocation-free in steady state).
   template <class Fn>
   void range_for_each(const K& lo, const K& hi, Fn&& fn) const {
     if (hi < lo) return;
-    struct Cursor {
-      const std::vector<Item>* arr;
-      std::size_t i;
-      std::size_t level;
-      std::uint64_t seq;
-    };
-    std::vector<Cursor> cs;
-    for (std::size_t l = 0; l < levels_.size(); ++l) {
-      const Level& lv = levels_[l];
-      for (std::size_t a = 0; a < lv.arr.size(); ++a) {
-        if (lv.state[a] != State::kFull) continue;
-        const auto& arr = lv.arr[a];
-        const auto it = std::lower_bound(arr.begin(), arr.end(), lo,
-                                         [](const Item& e, const K& k) { return e.key < k; });
-        cs.push_back(Cursor{&arr, static_cast<std::size_t>(it - arr.begin()), l, lv.seq[a]});
-      }
+    Cursor c(this, &scan_state_);
+    for (c.seek(lo, hi); c.valid(); c.next()) {
+      const Entry<K, V>& e = c.entry();
+      fn(e.key, e.value);
     }
-    while (true) {
-      std::size_t best = cs.size();
-      for (std::size_t c = 0; c < cs.size(); ++c) {
-        if (cs[c].i >= cs[c].arr->size()) continue;
-        const K& k = (*cs[c].arr)[cs[c].i].key;
-        if (hi < k) {
-          cs[c].i = cs[c].arr->size();
-          continue;
-        }
-        if (best == cs.size()) {
-          best = c;
-          continue;
-        }
-        const K& bk = (*cs[best].arr)[cs[best].i].key;
-        if (k < bk ||
-            (k == bk && (cs[c].level < cs[best].level ||
-                         (cs[c].level == cs[best].level && cs[c].seq > cs[best].seq)))) {
-          best = c;
-        }
-      }
-      if (best == cs.size()) return;
-      const Item& item = (*cs[best].arr)[cs[best].i];
-      const K k = item.key;
-      if (!item.tombstone) fn(k, item.value);
-      for (Cursor& c : cs) {
-        while (c.i < c.arr->size() && (*c.arr)[c.i].key == k) ++c.i;
-      }
+  }
+
+  /// Visit every live entry ascending (dedicated unbounded scan; sentinel
+  /// bounds would drop entries for floating-point or composite keys).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    Cursor c(this, &scan_state_);
+    for (c.seek_first(); c.valid(); c.next()) {
+      const Entry<K, V>& e = c.entry();
+      fn(e.key, e.value);
     }
   }
 
@@ -308,6 +283,138 @@ class DeamortizedFcCola {
     bool la_building = false;
     std::vector<std::size_t> la_src_pos;  // sample cursors into next level arrays
   };
+
+  // -- cursors ----------------------------------------------------------------
+
+  struct CurSrc {
+    const Item* at = nullptr;
+    const Item* end = nullptr;
+  };
+
+  /// Reusable cursor scratch; sources ordered (level ascending, fill
+  /// sequence descending within a level) so the loser tree's smaller-index
+  /// tie rule is exactly newest-wins.
+  struct CursorState {
+    std::vector<CurSrc> srcs;
+    LoserTree<K> tree;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+    Entry<K, V> cur{};
+    bool valid = false;
+    bool bounded = false;
+    K hi{};
+    K last{};
+    bool have_last = false;
+  };
+
+ public:
+  /// Resumable ordered cursor (Dictionary cursor contract in
+  /// api/dictionary.hpp) over the full (queryable) arrays — the shadow
+  /// machinery guarantees a cursor never observes a half-merged level, the
+  /// same atomic-visibility property queries get. Any mutation invalidates
+  /// the cursor until the next seek.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    void seek(const K& lo) { do_seek(&lo, nullptr); }
+    void seek(const K& lo, const K& hi) {
+      if (hi < lo) {
+        st_->valid = false;
+        return;
+      }
+      do_seek(&lo, &hi);
+    }
+    void seek_first() { do_seek(nullptr, nullptr); }
+
+    bool valid() const { return st_->valid; }
+    const Entry<K, V>& entry() const { return st_->cur; }
+
+    void next() {
+      CursorState& st = *st_;
+      if (!st.valid) return;
+      CurSrc& s = st.srcs[st.tree.top()];
+      ++s.at;
+      st.tree.replay(s.at != s.end, s.at != s.end ? s.at->key : K{});
+      advance_to_live();
+    }
+
+   private:
+    friend class DeamortizedFcCola;
+    explicit Cursor(const DeamortizedFcCola* d)
+        : d_(d), own_(std::make_unique<CursorState>()), st_(own_.get()) {}
+    Cursor(const DeamortizedFcCola* d, CursorState* st) : d_(d), st_(st) {}
+
+    void do_seek(const K* lo, const K* hi) {
+      CursorState& st = *st_;
+      const DeamortizedFcCola& d = *d_;
+      st.bounded = hi != nullptr;
+      if (hi != nullptr) st.hi = *hi;
+      st.have_last = false;
+      st.valid = false;
+      st.srcs.clear();
+      for (std::size_t l = 0; l < d.levels_.size(); ++l) {
+        const Level& lv = d.levels_[l];
+        auto& order = st.order;
+        order.clear();
+        for (std::size_t a = 0; a < lv.arr.size(); ++a) {
+          if (lv.state[a] == State::kFull && !lv.arr[a].empty()) {
+            order.emplace_back(lv.seq[a], static_cast<std::uint32_t>(a));
+          }
+        }
+        std::sort(order.begin(), order.end(),
+                  [](const auto& x, const auto& y) { return x.first > y.first; });
+        for (const auto& ord : order) {
+          const auto& arr = lv.arr[ord.second];
+          const Item* b = arr.data();
+          const Item* e = b + arr.size();
+          if (lo != nullptr) {
+            b = std::lower_bound(
+                b, e, *lo, [](const Item& s, const K& k) { return s.key < k; });
+          }
+          if (b != e) st.srcs.push_back(CurSrc{b, e});
+        }
+      }
+      st.tree.reset(st.srcs.size());
+      for (std::size_t i = 0; i < st.srcs.size(); ++i) {
+        st.tree.declare(i, st.srcs[i].at->key);
+      }
+      st.tree.build();
+      advance_to_live();
+    }
+
+    void advance_to_live() {
+      CursorState& st = *st_;
+      while (st.tree.top_alive()) {
+        CurSrc& s = st.srcs[st.tree.top()];
+        const K& k = s.at->key;
+        if (st.bounded && st.hi < k) break;
+        const bool dup = st.have_last && !(st.last < k);
+        if (!dup) {
+          st.last = k;
+          st.have_last = true;
+          if (!s.at->tombstone) {
+            st.cur.key = k;
+            st.cur.value = s.at->value;
+            st.valid = true;
+            return;
+          }
+        }
+        ++s.at;
+        st.tree.replay(s.at != s.end, s.at != s.end ? s.at->key : K{});
+      }
+      st.valid = false;
+    }
+
+    const DeamortizedFcCola* d_ = nullptr;
+    std::unique_ptr<CursorState> own_;
+    CursorState* st_ = nullptr;
+  };
+
+  /// Detached cursor (Dictionary concept); creation allocates once, steady-
+  /// state seeks and nexts allocate nothing.
+  Cursor make_cursor() const { return Cursor(this); }
+
+ private:
 
   DeamortizedFcStats& stats_mut() const { return const_cast<DeamortizedFcStats&>(stats_); }
 
@@ -608,6 +715,8 @@ class DeamortizedFcCola {
   mutable std::vector<Window> win_cur_, win_next_;
   // find() array-ordering scratch (mutable: find is const, scratch reused).
   mutable std::vector<std::pair<std::uint64_t, std::uint32_t>> find_order_scratch_;
+  // Dictionary-owned cursor scratch backing range_for_each/for_each.
+  mutable CursorState scan_state_;
   DeamortizedFcStats stats_;
   mutable MM mm_;
 };

@@ -49,6 +49,30 @@ inline double cola_search_transfer_bound(double n, double growth,
          staged_elems / std::max(1.0, block_elems);
 }
 
+/// Cold-search transfer bound for the tiered COLA WITH per-segment fence
+/// keys: of the up-to-`segments_per_level` segments a level holds, a find
+/// or cursor seek binary-searches only the segments whose [min, max] fence
+/// range covers the probe — the rest are skipped at zero transfers. With
+/// `fence_skip_fraction` the fraction of segments skipped (measured:
+/// ColaStats::fence_seg_skips / segments considered; ~0 for uniformly
+/// random feeds whose segments all span the keyspace, approaching
+/// (g-2)/(g-1) for time-partitioned feeds whose segments are range-
+/// disjoint), each level costs 1 + (segs-1)*(1-skip) probed segments
+/// instead of segs. Staging-arena runs carry the same per-run fences, so
+/// `staged_elems` contributes only its unskipped streaming share; we keep
+/// the full arena term as the (conservative) bound.
+inline double cola_fence_search_transfer_bound(double n, double growth,
+                                               double block_elems,
+                                               double staged_elems,
+                                               double segments_per_level,
+                                               double fence_skip_fraction) noexcept {
+  const double skip = std::min(1.0, std::max(0.0, fence_skip_fraction));
+  const double segs = std::max(1.0, segments_per_level);
+  const double probed = 1.0 + (segs - 1.0) * (1.0 - skip);
+  return log_growth(n, growth) * probed +
+         staged_elems / std::max(1.0, block_elems);
+}
+
 /// Amortized transfer bound for a MIXED put/erase feed (erase_batch /
 /// apply_batch) on the tiered COLA with bounded tombstone retention.
 /// Tombstones are insertions to the cascade — the paper's delete treatment —

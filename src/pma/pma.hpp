@@ -229,6 +229,36 @@ class Pma {
     if (size_ > capacity()) throw std::logic_error("PMA: overfull");
   }
 
+  // -- cursor -----------------------------------------------------------------
+
+  /// Positional cursor over the occupied slots — the PMA is positional, not
+  /// keyed, so the cursor seeks by slot; keyed embedders (cob::CobTree)
+  /// wrap it with their own key lookup. Any mutation invalidates the cursor
+  /// (rebalances relocate elements) until the next seek.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    /// Position at the first occupied slot >= `s`.
+    void seek_slot(slot_t s) { s_ = p_->scan_forward(s); }
+    void seek_first() { s_ = p_->first(); }
+    void next() {
+      if (s_ != npos) s_ = p_->next(s_);
+    }
+    bool valid() const { return s_ != npos; }
+    slot_t slot() const { return s_; }
+    const T& item() const { return p_->at(s_); }
+
+   private:
+    friend class Pma;
+    explicit Cursor(const Pma* p) : p_(p) {}
+
+    const Pma* p_ = nullptr;
+    slot_t s_ = npos;
+  };
+
+  Cursor make_cursor() const { return Cursor(this); }
+
   /// Rank of slot `s` = number of occupied slots strictly before it. O(s).
   std::uint64_t rank_of(slot_t s) const noexcept {
     std::uint64_t r = 0;

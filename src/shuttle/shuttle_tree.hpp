@@ -39,12 +39,14 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "common/entry.hpp"
+#include "common/loser_tree.hpp"
 #include "dam/mem_model.hpp"
 #include "layout/fibonacci.hpp"
 
@@ -124,11 +126,18 @@ class ShuttleTree {
     }
   }
 
-  /// Visit live entries in [lo, hi] ascending, newest copy per key.
+  /// Visit live entries in [lo, hi] ascending, newest copy per key — one
+  /// code path with the cursor API (bounded seek on the dictionary-owned
+  /// scratch cursor, allocation-free in steady state; the bound prunes
+  /// whole subtrees at seek, like the old recursive collect did).
   template <class Fn>
   void range_for_each(const K& lo, const K& hi, Fn&& fn) const {
     if (hi < lo) return;
-    scan(&lo, &hi, static_cast<Fn&&>(fn));
+    Cursor c(this, &scan_state_);
+    for (c.seek(lo, hi); c.valid(); c.next()) {
+      const Entry<K, V>& e = c.entry();
+      fn(e.key, e.value);
+    }
   }
 
   /// Visit every live entry ascending. A dedicated unbounded scan rather
@@ -138,7 +147,11 @@ class ShuttleTree {
   /// silently drop entries.
   template <class Fn>
   void for_each(Fn&& fn) const {
-    scan(nullptr, nullptr, static_cast<Fn&&>(fn));
+    Cursor c(this, &scan_state_);
+    for (c.seek_first(); c.valid(); c.next()) {
+      const Entry<K, V>& e = c.entry();
+      fn(e.key, e.value);
+    }
   }
 
   // -- mutators ---------------------------------------------------------------
@@ -265,11 +278,6 @@ class ShuttleTree {
     std::vector<std::vector<Buffer>> ebufs; // one list per edge, heights ascending
     std::vector<Entry<K, V>> entries;       // leaves only
     std::uint64_t base = kNoAddr;
-  };
-
-  struct Ranked {
-    Item item;
-    std::uint64_t priority;  // smaller = newer
   };
 
   // -- geometry ---------------------------------------------------------------
@@ -714,60 +722,220 @@ class ShuttleTree {
                    std::move(wlist));
   }
 
-  // -- range collection ---------------------------------------------------------
+  // -- cursors ----------------------------------------------------------------
 
-  /// Ordered scan over [lo, hi]; null bounds mean unbounded on that side.
-  template <class Fn>
-  void scan(const K* lo, const K* hi, Fn&& fn) const {
-    std::vector<Ranked> found;
-    collect(root_, 0, lo, hi, found);
-    std::stable_sort(found.begin(), found.end(), [](const Ranked& a, const Ranked& b) {
-      if (a.item.key != b.item.key) return a.item.key < b.item.key;
-      return a.priority < b.priority;
-    });
-    bool have_last = false;
-    K last{};
-    for (const Ranked& r : found) {
-      if (have_last && r.item.key == last) continue;
-      last = r.item.key;
-      have_last = true;
-      if (!r.item.tombstone) fn(r.item.key, r.item.value);
+  /// In-order successor leaf of `id` (kNull past the rightmost leaf): walk
+  /// up to the first ancestor with a right sibling edge, then down its
+  /// leftmost spine. Amortized O(1) hops per leaf over a full scan.
+  std::uint32_t next_leaf(std::uint32_t id) const {
+    std::uint32_t v = id;
+    while (true) {
+      const std::uint32_t p = nodes_[v].parent;
+      if (p == kNull) return kNull;
+      touch_node(p);
+      const std::size_t ci = child_index_of(p, v);
+      if (ci + 1 < nodes_[p].kids.size()) {
+        std::uint32_t d = nodes_[p].kids[ci + 1];
+        while (nodes_[d].height > 1) {
+          touch_node(d);
+          d = nodes_[d].kids.front();
+        }
+        touch_node(d);
+        return d;
+      }
+      v = p;
     }
   }
 
-  void collect(std::uint32_t id, std::uint64_t depth, const K* lo, const K* hi,
-               std::vector<Ranked>& out) const {
+  /// One source of a cursor's fused merge: an edge-buffer span, or (one per
+  /// cursor) the leaf walker that streams the leaf entries in order across
+  /// leaf boundaries.
+  struct CurSrc {
+    const Item* at = nullptr;
+    const Item* end = nullptr;
+    const ShuttleTree* walker = nullptr;  // set: this is the leaf walker
+    std::uint32_t leaf = kNull;
+    std::uint32_t idx = 0;
+
+    bool alive() const { return walker != nullptr ? leaf != kNull : at != end; }
+    const K& key() const {
+      return walker != nullptr ? walker->nodes_[leaf].entries[idx].key : at->key;
+    }
+    const V& value() const {
+      return walker != nullptr ? walker->nodes_[leaf].entries[idx].value
+                               : at->value;
+    }
+    bool tomb() const { return walker == nullptr && at->tombstone; }
+    void advance() {
+      if (walker == nullptr) {
+        ++at;
+        return;
+      }
+      ++idx;
+      while (leaf != kNull && idx >= walker->nodes_[leaf].entries.size()) {
+        leaf = walker->next_leaf(leaf);
+        idx = 0;
+      }
+    }
+  };
+
+  /// Reusable cursor scratch (high-water sized, allocation-free across
+  /// seeks). Source order IS the newest-wins priority: pre-order DFS emits
+  /// a node's edge buffers (smallest tier first — the newest) before its
+  /// descendants', and any two sources that can hold the same key lie on
+  /// one root-to-leaf path, where DFS order equals depth order; the leaf
+  /// walker — the oldest data — comes last.
+  struct CursorState {
+    std::vector<CurSrc> srcs;
+    LoserTree<K> tree;
+    Entry<K, V> cur{};
+    bool valid = false;
+    bool bounded = false;
+    K hi{};
+    K last{};
+    bool have_last = false;
+  };
+
+ public:
+  /// Resumable ordered cursor (Dictionary cursor contract in
+  /// api/dictionary.hpp): tombstones buffered on the path suppress the
+  /// shadowed leaf entries below them, newest buffer copy wins per key. Any
+  /// mutation invalidates the cursor until the next seek.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    void seek(const K& lo) { do_seek(&lo, nullptr); }
+    void seek(const K& lo, const K& hi) {
+      if (hi < lo) {
+        st_->valid = false;
+        return;
+      }
+      do_seek(&lo, &hi);
+    }
+    void seek_first() { do_seek(nullptr, nullptr); }
+
+    bool valid() const { return st_->valid; }
+    const Entry<K, V>& entry() const { return st_->cur; }
+
+    void next() {
+      CursorState& st = *st_;
+      if (!st.valid) return;
+      CurSrc& s = st.srcs[st.tree.top()];
+      s.advance();
+      st.tree.replay(s.alive(), s.alive() ? s.key() : K{});
+      advance_to_live();
+    }
+
+   private:
+    friend class ShuttleTree;
+    explicit Cursor(const ShuttleTree* d)
+        : d_(d), own_(std::make_unique<CursorState>()), st_(own_.get()) {}
+    Cursor(const ShuttleTree* d, CursorState* st) : d_(d), st_(st) {}
+
+    void do_seek(const K* lo, const K* hi) {
+      CursorState& st = *st_;
+      const ShuttleTree& d = *d_;
+      st.bounded = hi != nullptr;
+      if (hi != nullptr) st.hi = *hi;
+      st.have_last = false;
+      st.valid = false;
+      st.srcs.clear();
+      d.gather_buffer_sources(d.root_, lo, hi, st.srcs);
+      // The leaf walker starts at the first leaf entry >= lo, found by one
+      // router descent; later leaves only hold larger keys.
+      std::uint32_t id = d.root_;
+      while (d.nodes_[id].height > 1) {
+        d.touch_node(id);
+        id = d.nodes_[id]
+                 .kids[lo != nullptr ? d.edge_index(d.nodes_[id], *lo) : 0];
+      }
+      d.touch_node(id);
+      CurSrc w;
+      w.walker = &d;
+      w.leaf = id;
+      if (lo != nullptr) {
+        const auto& entries = d.nodes_[id].entries;
+        w.idx = static_cast<std::uint32_t>(
+            std::lower_bound(entries.begin(), entries.end(), *lo,
+                             EntryKeyLess{}) -
+            entries.begin());
+      }
+      while (w.leaf != kNull && w.idx >= d.nodes_[w.leaf].entries.size()) {
+        w.leaf = d.next_leaf(w.leaf);
+        w.idx = 0;
+      }
+      if (w.leaf != kNull) st.srcs.push_back(w);
+      st.tree.reset(st.srcs.size());
+      for (std::size_t i = 0; i < st.srcs.size(); ++i) {
+        st.tree.declare(i, st.srcs[i].key());
+      }
+      st.tree.build();
+      advance_to_live();
+    }
+
+    void advance_to_live() {
+      CursorState& st = *st_;
+      while (st.tree.top_alive()) {
+        CurSrc& s = st.srcs[st.tree.top()];
+        const K& k = s.key();
+        if (st.bounded && st.hi < k) break;
+        const bool dup = st.have_last && !(st.last < k);
+        if (!dup) {
+          st.last = k;
+          st.have_last = true;
+          if (!s.tomb()) {
+            st.cur.key = k;
+            st.cur.value = s.value();
+            st.valid = true;
+            return;
+          }
+        }
+        s.advance();
+        st.tree.replay(s.alive(), s.alive() ? s.key() : K{});
+      }
+      st.valid = false;
+    }
+
+    const ShuttleTree* d_ = nullptr;
+    std::unique_ptr<CursorState> own_;
+    CursorState* st_ = nullptr;
+  };
+
+  /// Detached cursor (Dictionary concept); creation allocates once, steady-
+  /// state seeks and nexts allocate nothing.
+  Cursor make_cursor() const { return Cursor(this); }
+
+ private:
+  /// Pre-order DFS gathering every nonempty edge buffer whose edge range
+  /// intersects [lo, hi] as a positioned span source.
+  void gather_buffer_sources(std::uint32_t id, const K* lo, const K* hi,
+                             std::vector<CurSrc>& srcs) const {
     const Node& n = nodes_[id];
     touch_node(id);
-    if (n.height == 1) {
-      auto it = lo != nullptr
-                    ? std::lower_bound(n.entries.begin(), n.entries.end(), *lo,
-                                       EntryKeyLess{})
-                    : n.entries.begin();
-      for (; it != n.entries.end() && (hi == nullptr || !(*hi < it->key)); ++it) {
-        out.push_back(Ranked{Item{it->key, it->value, false}, ~0ULL});
-      }
-      return;
-    }
+    if (n.height == 1) return;
     for (std::size_t e = 0; e < n.kids.size(); ++e) {
       const K* clo = e == 0 ? nullptr : &n.routers[e - 1];
       const K* chi = e == n.routers.size() ? nullptr : &n.routers[e];
       if (clo != nullptr && hi != nullptr && *hi < *clo) continue;
       if (chi != nullptr && lo != nullptr && *chi <= *lo) continue;
-      for (std::size_t bi = 0; bi < n.ebufs[e].size(); ++bi) {
-        const Buffer& b = n.ebufs[e][bi];
+      for (const Buffer& b : n.ebufs[e]) {  // smallest (newest) tier first
         if (b.items.empty()) continue;
         touch_buffer(b, b.items.size());
-        auto it = lo != nullptr
-                      ? std::lower_bound(
-                            b.items.begin(), b.items.end(), *lo,
-                            [](const Item& a, const K& k) { return a.key < k; })
-                      : b.items.begin();
-        for (; it != b.items.end() && (hi == nullptr || !(*hi < it->key)); ++it) {
-          out.push_back(Ranked{*it, depth * 256 + bi});
+        const Item* bb = b.items.data();
+        const Item* be = bb + b.items.size();
+        if (lo != nullptr) {
+          bb = std::lower_bound(
+              bb, be, *lo, [](const Item& a, const K& k) { return a.key < k; });
+        }
+        if (bb != be) {
+          CurSrc s;
+          s.at = bb;
+          s.end = be;
+          srcs.push_back(s);
         }
       }
-      collect(n.kids[e], depth + 1, lo, hi, out);
+      gather_buffer_sources(n.kids[e], lo, hi, srcs);
     }
   }
 
@@ -919,6 +1087,8 @@ class ShuttleTree {
   std::vector<Entry<K, V>> leaf_scratch_;
   std::deque<std::vector<Item>> flush_frames_;
   std::size_t flush_depth_ = 0;
+  // Dictionary-owned cursor scratch backing range_for_each/for_each.
+  mutable CursorState scan_state_;
   ShuttleStats stats_;
   mutable MM mm_;
   // Layout state.

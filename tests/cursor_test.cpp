@@ -1,0 +1,521 @@
+// Cursor subsystem tests: boundary seeks, tombstone suppression through
+// unflushed buffers, the merge-join building block, differential coverage
+// against a std::map model for every structure, and — with this binary's
+// counting operator new/delete — the allocation-free steady-state contract
+// for repeated seeks and rewritten range_for_each scans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <new>
+#include <vector>
+
+#include "api/presets.hpp"
+#include "brt/brt.hpp"
+#include "btree/btree.hpp"
+#include "cob/cob_tree.hpp"
+#include "cola/cola.hpp"
+#include "cola/deamortized_cola.hpp"
+#include "cola/deamortized_fc_cola.hpp"
+#include "common/rng.hpp"
+#include "pma/pma.hpp"
+#include "shuttle/shuttle_tree.hpp"
+
+namespace {
+// Plain (non-atomic) counter: single-threaded tests, and the counter must
+// itself stay allocation-free.
+std::uint64_t g_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocs;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+// The nothrow forms too: libstdc++'s std::stable_sort temporary buffer
+// allocates through operator new(nothrow), and leaving it unreplaced pairs
+// the default (sanitizer-tagged) new with this binary's free — an ASan
+// alloc-dealloc mismatch.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(size ? size : 1);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace costream {
+namespace {
+
+template <class Fn>
+std::uint64_t count_allocs(Fn&& fn) {
+  const std::uint64_t before = g_allocs;
+  fn();
+  return g_allocs - before;
+}
+
+constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+
+/// Build a dictionary + model with a mixed history: inserts, overwrites,
+/// erases of present and absent keys, batches. Keys are spread so levels,
+/// segments, buffers, and (staged configs) the arena all hold data.
+template <class D>
+std::map<Key, Value> populate(D& d, std::uint64_t n, std::uint64_t seed) {
+  std::map<Key, Value> model;
+  Xoshiro256 rng(seed);
+  std::vector<Entry<>> batch;
+  std::vector<Key> erases;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Key k = rng.below(3 * n);
+    if (rng.below(10) < 7) {
+      d.insert(k, i);
+      model[k] = i;
+    } else {
+      d.erase(k);
+      model.erase(k);
+    }
+    if (i % 97 == 96) {
+      batch.clear();
+      for (int j = 0; j < 24; ++j) {
+        batch.push_back(Entry<>{rng.below(3 * n), i + static_cast<Value>(j)});
+      }
+      d.insert_batch(batch.data(), batch.size());
+      for (const Entry<>& e : batch) model[e.key] = e.value;
+    }
+    if (i % 131 == 130) {
+      erases.clear();
+      for (int j = 0; j < 16; ++j) erases.push_back(rng.below(3 * n));
+      d.erase_batch(erases.data(), erases.size());
+      for (Key k2 : erases) model.erase(k2);
+    }
+  }
+  return model;
+}
+
+/// Drain `cur` from its current position and compare against the model
+/// range [from, hi] (hi inclusive; kMaxKey = unbounded).
+template <class C>
+void expect_drain_matches(C& cur, const std::map<Key, Value>& model, Key from,
+                          Key hi) {
+  auto it = model.lower_bound(from);
+  while (it != model.end() && it->first <= hi) {
+    ASSERT_TRUE(cur.valid()) << "cursor ended early before key " << it->first;
+    ASSERT_EQ(cur.entry().key, it->first);
+    ASSERT_EQ(cur.entry().value, it->second);
+    cur.next();
+    ++it;
+  }
+  ASSERT_FALSE(cur.valid()) << "cursor returned extra key " << cur.entry().key;
+}
+
+/// The full differential battery for one dictionary: full drains, boundary
+/// seeks, missing keys, bounded seeks, repeated re-seek without teardown.
+template <class D>
+void exercise_cursor(D& d, const std::map<Key, Value>& model, std::uint64_t n,
+                     std::uint64_t seed) {
+  auto cur = d.make_cursor();
+
+  // Full drain from the smallest live key.
+  cur.seek_first();
+  expect_drain_matches(cur, model, 0, kMaxKey);
+
+  // seek(0) is the same full drain (boundary: minimum key).
+  cur.seek(Key{0});
+  expect_drain_matches(cur, model, 0, kMaxKey);
+
+  // Boundary: seek at the maximum key.
+  cur.seek(kMaxKey);
+  if (model.count(kMaxKey) != 0) {
+    ASSERT_TRUE(cur.valid());
+    EXPECT_EQ(cur.entry().key, kMaxKey);
+  } else {
+    EXPECT_FALSE(cur.valid());
+  }
+
+  // Seeks at random points — present, missing, and past-the-end keys —
+  // reusing ONE cursor (re-seek without teardown).
+  Xoshiro256 rng(seed ^ 0x5eedULL);
+  for (int q = 0; q < 40; ++q) {
+    const Key lo = rng.below(4 * n);
+    cur.seek(lo);
+    auto it = model.lower_bound(lo);
+    if (it == model.end()) {
+      ASSERT_FALSE(cur.valid()) << "seek(" << lo << ")";
+    } else {
+      ASSERT_TRUE(cur.valid()) << "seek(" << lo << ")";
+      ASSERT_EQ(cur.entry().key, it->first);
+      ASSERT_EQ(cur.entry().value, it->second);
+      // Step a few entries forward.
+      for (int s = 0; s < 5 && cur.valid(); ++s) {
+        ASSERT_EQ(cur.entry().key, it->first);
+        ASSERT_EQ(cur.entry().value, it->second);
+        cur.next();
+        ++it;
+        if (it == model.end()) {
+          ASSERT_FALSE(cur.valid());
+          break;
+        }
+      }
+    }
+  }
+
+  // Bounded seeks never surface keys past hi.
+  for (int q = 0; q < 20; ++q) {
+    const Key lo = rng.below(3 * n);
+    const Key hi = lo + rng.below(n);
+    cur.seek(lo, hi);
+    expect_drain_matches(cur, model, lo, hi);
+  }
+
+  // Inverted bound is an empty stream.
+  cur.seek(Key{100}, Key{5});
+  EXPECT_FALSE(cur.valid());
+}
+
+template <class MakeDict>
+void run_cursor_battery(MakeDict make, std::uint64_t n = 4000,
+                        std::uint64_t seed = 42) {
+  auto d = make();
+  const std::map<Key, Value> model = populate(d, n, seed);
+  exercise_cursor(d, model, n, seed);
+}
+
+TEST(Cursor, ColaClassic) {
+  run_cursor_battery([] { return cola::Gcola<>(cola::ColaConfig{2, 0.1}); });
+  run_cursor_battery([] { return cola::Gcola<>(cola::ColaConfig{8, 0.1}); });
+}
+
+TEST(Cursor, ColaTiered) {
+  for (const unsigned g : {2u, 4u, 8u}) {
+    run_cursor_battery([g] {
+      cola::ColaConfig cfg;
+      cfg.growth = g;
+      cfg.pointer_density = 0.0;
+      cfg.tiered = true;
+      return cola::Gcola<>(cfg);
+    });
+  }
+}
+
+TEST(Cursor, ColaStaged) {
+  for (const unsigned g : {2u, 8u}) {
+    run_cursor_battery([g] { return cola::Gcola<>(cola::ingest_tuned(g, 64)); });
+  }
+}
+
+TEST(Cursor, ColaStagedNoFences) {
+  // Fence keys accelerate seeks but must never change results.
+  cola::ColaConfig cfg = cola::ingest_tuned(8, 64);
+  cfg.fence_keys = false;
+  run_cursor_battery([cfg] { return cola::Gcola<>(cfg); });
+}
+
+TEST(Cursor, Deamortized) {
+  run_cursor_battery([] { return cola::DeamortizedCola<>(2); }, 2000);
+  run_cursor_battery([] { return cola::DeamortizedCola<>(8); }, 2000);
+}
+
+TEST(Cursor, DeamortizedFc) {
+  run_cursor_battery([] { return cola::DeamortizedFcCola<>(2); }, 2000);
+  run_cursor_battery([] { return cola::DeamortizedFcCola<>(8); }, 2000);
+}
+
+TEST(Cursor, Shuttle) {
+  run_cursor_battery([] { return shuttle::ShuttleTree<>(); });
+}
+
+TEST(Cursor, Brt) {
+  run_cursor_battery([] { return brt::Brt<>(512); });
+}
+
+TEST(Cursor, BTree) {
+  run_cursor_battery([] { return btree::BTree<>(512); });
+}
+
+TEST(Cursor, CobTree) {
+  run_cursor_battery([] { return cob::CobTree<>(); }, 2500);
+}
+
+TEST(Cursor, AnyDictionaryAllKinds) {
+  for (const char* kind :
+       {"cola", "shuttle", "deam", "fc-deam", "btree", "brt", "cob"}) {
+    run_cursor_battery(
+        [kind] {
+          return api::make_dictionary(kind, api::DictConfig::ingest_tuned(4, 32));
+        },
+        1500);
+  }
+}
+
+TEST(Cursor, EmptyDictionary) {
+  cola::Gcola<> empty_cola(cola::ingest_tuned(4, 64));
+  auto c = empty_cola.make_cursor();
+  c.seek_first();
+  EXPECT_FALSE(c.valid());
+  c.seek(Key{0});
+  EXPECT_FALSE(c.valid());
+  c.seek(kMaxKey);
+  EXPECT_FALSE(c.valid());
+
+  btree::BTree<> empty_btree;
+  auto cb = empty_btree.make_cursor();
+  cb.seek_first();
+  EXPECT_FALSE(cb.valid());
+
+  cob::CobTree<> empty_cob;
+  auto cc = empty_cob.make_cursor();
+  cc.seek(Key{7});
+  EXPECT_FALSE(cc.valid());
+}
+
+// Tombstone suppression through UNFLUSHED staging runs: erases that still
+// sit in the L0 arena (and mixed put-over-erase rewrites) must shape the
+// cursor stream exactly like flushed ones.
+TEST(Cursor, StagedTombstonesSuppressUnflushed) {
+  cola::Gcola<> d(cola::ingest_tuned(4, 1024));  // arena: 4096 entries
+  std::vector<Entry<>> batch;
+  for (Key k = 0; k < 500; ++k) batch.push_back(Entry<>{k, k});
+  d.insert_batch(batch.data(), batch.size());
+  d.flush_stage();  // everything below the arena
+  // Erase every third key; the tombstones stay staged (arena far from full).
+  std::vector<Key> dead;
+  for (Key k = 0; k < 500; k += 3) dead.push_back(k);
+  d.erase_batch(dead.data(), dead.size());
+  // Rewrite a band through the arena too (newest copy must win).
+  batch.clear();
+  for (Key k = 100; k < 140; ++k) batch.push_back(Entry<>{k, 9000 + k});
+  d.insert_batch(batch.data(), batch.size());
+  ASSERT_GT(d.staged_count(), 0u) << "test premise: arena must be unflushed";
+
+  std::map<Key, Value> model;
+  for (Key k = 0; k < 500; ++k) model[k] = k;
+  for (Key k : dead) model.erase(k);
+  for (Key k = 100; k < 140; ++k) model[k] = 9000 + k;
+
+  auto c = d.make_cursor();
+  c.seek_first();
+  expect_drain_matches(c, model, 0, kMaxKey);
+  // And through a bounded mid-stream seek.
+  c.seek(Key{90}, Key{150});
+  expect_drain_matches(c, model, 90, 150);
+}
+
+// Pma positional cursor: occupied-slot walk with seek_slot.
+TEST(Cursor, PmaPositionalCursor) {
+  pma::Pma<Entry<>> p;
+  auto s = p.make_cursor();
+  s.seek_first();
+  EXPECT_FALSE(s.valid());
+  typename pma::Pma<Entry<>>::slot_t pred = pma::Pma<Entry<>>::npos;
+  for (Key k = 0; k < 300; ++k) pred = p.insert_after(pred, Entry<>{k, k * 2});
+  s = p.make_cursor();
+  s.seek_first();
+  Key expect = 0;
+  while (s.valid()) {
+    ASSERT_EQ(s.item().key, expect);
+    ASSERT_EQ(s.item().value, expect * 2);
+    ++expect;
+    s.next();
+  }
+  EXPECT_EQ(expect, 300u);
+  // seek_slot resumes mid-array.
+  s.seek_slot(p.capacity() / 2);
+  ASSERT_TRUE(s.valid());
+  EXPECT_GE(s.slot(), p.capacity() / 2);
+}
+
+// merge_join: inner join across two different structures, checked against
+// the maps' intersection; also through the type-erased facade.
+TEST(Cursor, MergeJoinDifferential) {
+  cola::Gcola<> a(cola::ingest_tuned(8, 64));
+  btree::BTree<> b(512);
+  std::map<Key, Value> ma, mb;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const Key ka = rng.below(4000);
+    a.insert(ka, i);
+    ma[ka] = i;
+    const Key kb = rng.below(4000) + 2000;  // overlap in [2000, 4000)
+    b.insert(kb, i);
+    mb[kb] = i;
+  }
+  // Erase a band from `a` so suppressed keys cannot join.
+  std::vector<Key> dead;
+  for (Key k = 2500; k < 2600; ++k) dead.push_back(k);
+  a.erase_batch(dead.data(), dead.size());
+  for (Key k : dead) ma.erase(k);
+
+  std::vector<std::pair<Key, std::pair<Value, Value>>> expect;
+  for (const auto& [k, va] : ma) {
+    const auto it = mb.find(k);
+    if (it != mb.end()) expect.push_back({k, {va, it->second}});
+  }
+  std::vector<std::pair<Key, std::pair<Value, Value>>> got;
+  api::merge_join(a, b, [&](Key k, Value va, Value vb) {
+    got.push_back({k, {va, vb}});
+  });
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "join row " << i;
+  }
+
+  // Same join through AnyDictionary cursors.
+  api::AnyDictionary ea("cola", std::move(a));
+  api::AnyDictionary eb("btree", std::move(b));
+  got.clear();
+  api::merge_join(ea, eb, [&](Key k, Value va, Value vb) {
+    got.push_back({k, {va, vb}});
+  });
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "erased join row " << i;
+  }
+}
+
+TEST(Cursor, MergeJoinDisjointAndEmpty) {
+  cola::Gcola<> a, b;
+  for (Key k = 0; k < 100; ++k) a.insert(k, k);
+  std::size_t rows = 0;
+  api::merge_join(a, b, [&](Key, Value, Value) { ++rows; });
+  EXPECT_EQ(rows, 0u) << "join with empty right side";
+  for (Key k = 1000; k < 1100; ++k) b.insert(k, k);
+  api::merge_join(a, b, [&](Key, Value, Value) { ++rows; });
+  EXPECT_EQ(rows, 0u) << "join of disjoint key ranges";
+  b.insert(50, 7);
+  api::merge_join(a, b, [&](Key k, Value va, Value vb) {
+    EXPECT_EQ(k, 50u);
+    EXPECT_EQ(va, 50u);
+    EXPECT_EQ(vb, 7u);
+    ++rows;
+  });
+  EXPECT_EQ(rows, 1u);
+}
+
+// -- allocation-free steady state ---------------------------------------------
+
+TEST(CursorAlloc, ColaRepeatedScansAllocFree) {
+  for (const bool staged : {false, true}) {
+    cola::Gcola<> d(staged ? cola::ingest_tuned(8, 64)
+                           : cola::ColaConfig{2, 0.1});
+    std::uint64_t s = 17;
+    for (std::uint64_t i = 0; i < 60'000; ++i) d.insert(splitmix64(s), i);
+    std::uint64_t sink = 0;
+    // Warm one scan so every cursor scratch vector reaches high water.
+    d.range_for_each(0, kMaxKey / 2, [&](Key, Value v) { sink += v; });
+    const std::uint64_t allocs = count_allocs([&] {
+      for (int r = 0; r < 20; ++r) {
+        d.range_for_each(static_cast<Key>(r) << 40, kMaxKey / 2,
+                         [&](Key, Value v) { sink += v; });
+      }
+    });
+    EXPECT_EQ(allocs, 0u) << (staged ? "staged" : "classic")
+                          << " repeated range_for_each allocates";
+    ASSERT_NE(sink, 0u);
+  }
+}
+
+TEST(CursorAlloc, ColaSeekHeavyCursorAllocFree) {
+  cola::Gcola<> d(cola::ingest_tuned(8, 64));
+  std::uint64_t s = 23;
+  for (std::uint64_t i = 0; i < 60'000; ++i) d.insert(splitmix64(s), i);
+  auto cur = d.make_cursor();  // creation may allocate; seeks must not
+  cur.seek_first();
+  std::uint64_t sink = 0;
+  const std::uint64_t allocs = count_allocs([&] {
+    std::uint64_t q = 99;
+    for (int r = 0; r < 2'000; ++r) {
+      cur.seek(splitmix64(q));
+      for (int st = 0; st < 8 && cur.valid(); ++st) {
+        sink += cur.entry().value;
+        cur.next();
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "seek-heavy cursor reuse allocates";
+  ASSERT_NE(sink, 0u);
+}
+
+TEST(CursorAlloc, ShuttleRepeatedScansAllocFree) {
+  shuttle::ShuttleTree<> d;
+  for (std::uint64_t k = 0; k < 4'096; ++k) d.insert(k, k);
+  std::uint64_t s = 29;
+  for (std::uint64_t i = 0; i < 60'000; ++i) d.insert(splitmix64(s) % 4'096, i);
+  std::uint64_t sink = 0;
+  d.range_for_each(0, 4'096, [&](Key, Value v) { sink += v; });
+  const std::uint64_t allocs = count_allocs([&] {
+    for (int r = 0; r < 20; ++r) {
+      d.range_for_each(static_cast<Key>(r * 64), 4'096,
+                       [&](Key, Value v) { sink += v; });
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "shuttle repeated range_for_each allocates";
+  ASSERT_NE(sink, 0u);
+}
+
+TEST(CursorAlloc, BrtRepeatedScansAllocFree) {
+  brt::Brt<> d;
+  std::uint64_t s = 31;
+  for (std::uint64_t i = 0; i < 100'000; ++i) d.insert(splitmix64(s) % 20'000, i);
+  std::uint64_t sink = 0;
+  d.range_for_each(0, 20'000, [&](Key, Value v) { sink += v; });
+  const std::uint64_t allocs = count_allocs([&] {
+    for (int r = 0; r < 10; ++r) {
+      d.range_for_each(static_cast<Key>(r * 512), 20'000,
+                       [&](Key, Value v) { sink += v; });
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "brt repeated range_for_each allocates";
+  ASSERT_NE(sink, 0u);
+}
+
+TEST(CursorAlloc, BTreeRepeatedScansAllocFree) {
+  btree::BTree<> d;
+  std::uint64_t s = 37;
+  for (std::uint64_t i = 0; i < 50'000; ++i) d.insert(splitmix64(s), i);
+  std::uint64_t sink = 0;
+  const std::uint64_t allocs = count_allocs([&] {
+    for (int r = 0; r < 20; ++r) {
+      d.range_for_each(static_cast<Key>(r) << 40, kMaxKey / 2,
+                       [&](Key, Value v) { sink += v; });
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "btree repeated range_for_each allocates";
+  ASSERT_NE(sink, 0u);
+}
+
+}  // namespace
+}  // namespace costream

@@ -41,7 +41,18 @@ namespace costream {
 namespace {
 
 struct FuzzOp {
-  enum class Kind { kPut, kErase, kPutBatch, kEraseBatch, kApplyBatch, kFind, kRange };
+  enum class Kind {
+    kPut,
+    kErase,
+    kPutBatch,
+    kEraseBatch,
+    kApplyBatch,
+    kFind,
+    kRange,
+    kCursorSeek,  // re-seek the replay's persistent cursor at `key`
+    kCursorNext   // advance it one entry (re-seeking first if a mutation
+                  // invalidated it — the snapshot-at-seek protocol)
+  };
   Kind kind = Kind::kPut;
   Key key = 0;
   Value value = 0;
@@ -87,13 +98,18 @@ std::vector<FuzzOp> make_trace(std::uint64_t seed, std::size_t count, Key univer
           op.ops.push_back(Op<>::put(key(), rng()));
         }
       }
-    } else if (pick < 90) {
+    } else if (pick < 85) {
       op.kind = FuzzOp::Kind::kFind;
       op.key = key();
-    } else {
+    } else if (pick < 92) {
       op.kind = FuzzOp::Kind::kRange;
       op.key = key();
       op.hi = op.key + rng.below(universe / 8 + 1);
+    } else if (pick < 96) {
+      op.kind = FuzzOp::Kind::kCursorSeek;
+      op.key = key();
+    } else {
+      op.kind = FuzzOp::Kind::kCursorNext;
     }
     trace.push_back(std::move(op));
   }
@@ -142,6 +158,12 @@ std::string dump_trace(const std::vector<FuzzOp>& trace) {
       case FuzzOp::Kind::kRange:
         os << "  range " << op.key << " " << op.hi << "\n";
         break;
+      case FuzzOp::Kind::kCursorSeek:
+        os << "  cursor_seek " << op.key << "\n";
+        break;
+      case FuzzOp::Kind::kCursorNext:
+        os << "  cursor_next\n";
+        break;
     }
   }
   return os.str();
@@ -158,6 +180,44 @@ struct Divergence {
 template <class D>
 std::optional<Divergence> replay(D& dict, const std::vector<FuzzOp>& trace) {
   testing::RefDict ref;
+  // Persistent cursor, exercised interleaved with mutations. Contract
+  // (api/dictionary.hpp): the stream is the snapshot at the last seek, and
+  // any mutation invalidates the cursor until it is re-seeked — so the
+  // harness tracks a dirty flag and the resume point (one past the last
+  // surfaced key) and re-seeks there before stepping a dirtied cursor.
+  auto cursor = dict.make_cursor();
+  bool cursor_dirty = true;
+  bool cursor_has_pos = false;  // a seek has happened at some point
+  Key cursor_resume = 0;        // next expected key lower bound
+  const auto cursor_expect = [&](std::size_t i,
+                                 Key from) -> std::optional<Divergence> {
+    const auto it = ref.map().lower_bound(from);
+    if (it == ref.map().end()) {
+      if (cursor.valid()) {
+        std::ostringstream os;
+        os << "cursor at key " << cursor.entry().key << ", model says drained"
+           << " (from " << from << ")";
+        return Divergence{i, os.str()};
+      }
+      cursor_resume = from;  // stays drained until re-seeked
+      return std::nullopt;
+    }
+    if (!cursor.valid()) {
+      std::ostringstream os;
+      os << "cursor drained, model says " << it->first << ":" << it->second
+         << " (from " << from << ")";
+      return Divergence{i, os.str()};
+    }
+    if (cursor.entry().key != it->first || cursor.entry().value != it->second) {
+      std::ostringstream os;
+      os << "cursor at " << cursor.entry().key << ":" << cursor.entry().value
+         << ", model says " << it->first << ":" << it->second << " (from "
+         << from << ")";
+      return Divergence{i, os.str()};
+    }
+    cursor_resume = it->first + 1;  // universe keys are far from overflow
+    return std::nullopt;
+  };
   const auto check = [&](std::size_t i) -> std::optional<Divergence> {
     if constexpr (requires { dict.check_invariants(); }) {
       try {
@@ -174,18 +234,22 @@ std::optional<Divergence> replay(D& dict, const std::vector<FuzzOp>& trace) {
       case FuzzOp::Kind::kPut:
         dict.insert(op.key, op.value);
         ref.insert(op.key, op.value);
+        cursor_dirty = true;
         break;
       case FuzzOp::Kind::kErase:
         dict.erase(op.key);
         ref.erase(op.key);
+        cursor_dirty = true;
         break;
       case FuzzOp::Kind::kPutBatch:
         dict.insert_batch(op.entries.data(), op.entries.size());
         for (const Entry<>& e : op.entries) ref.insert(e.key, e.value);
+        cursor_dirty = true;
         break;
       case FuzzOp::Kind::kEraseBatch:
         dict.erase_batch(op.keys.data(), op.keys.size());
         for (Key k : op.keys) ref.erase(k);
+        cursor_dirty = true;
         break;
       case FuzzOp::Kind::kApplyBatch:
         dict.apply_batch(op.ops.data(), op.ops.size());
@@ -196,7 +260,33 @@ std::optional<Divergence> replay(D& dict, const std::vector<FuzzOp>& trace) {
             ref.insert(o.key, o.value);
           }
         }
+        cursor_dirty = true;
         break;
+      case FuzzOp::Kind::kCursorSeek: {
+        cursor.seek(op.key);
+        cursor_dirty = false;
+        cursor_has_pos = true;
+        if (auto d = cursor_expect(i, op.key)) return d;
+        break;
+      }
+      case FuzzOp::Kind::kCursorNext: {
+        if (!cursor_has_pos) {  // self-sufficient after shrinking
+          cursor.seek(Key{0});
+          cursor_dirty = false;
+          cursor_has_pos = true;
+          if (auto d = cursor_expect(i, 0)) return d;
+          break;
+        }
+        const Key from = cursor_resume;
+        if (cursor_dirty) {
+          cursor.seek(from);  // snapshot-at-seek: resume on fresh state
+          cursor_dirty = false;
+        } else {
+          cursor.next();
+        }
+        if (auto d = cursor_expect(i, from)) return d;
+        break;
+      }
       case FuzzOp::Kind::kFind: {
         const auto got = dict.find(op.key);
         const auto want = ref.find(op.key);
@@ -354,6 +444,32 @@ class BuggyDict {
       fn(it->first, it->second);
     }
   }
+
+  class Cursor {
+   public:
+    explicit Cursor(const std::map<Key, Value>* m) : m_(m) {}
+    void seek(Key lo) { reposition(m_->lower_bound(lo)); }
+    void seek(Key lo, Key hi) {
+      reposition(m_->lower_bound(lo));
+      if (valid_ && cur_.key > hi) valid_ = false;
+    }
+    void seek_first() { reposition(m_->begin()); }
+    void next() {
+      if (valid_) reposition(m_->upper_bound(cur_.key));
+    }
+    bool valid() const { return valid_; }
+    const Entry<>& entry() const { return cur_; }
+
+   private:
+    void reposition(std::map<Key, Value>::const_iterator it) {
+      valid_ = it != m_->end();
+      if (valid_) cur_ = Entry<>{it->first, it->second};
+    }
+    const std::map<Key, Value>* m_;
+    Entry<> cur_{};
+    bool valid_ = false;
+  };
+  Cursor make_cursor() const { return Cursor(&m_); }
 
  private:
   std::map<Key, Value> m_;

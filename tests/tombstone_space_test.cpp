@@ -22,12 +22,13 @@ namespace costream::cola {
 namespace {
 
 /// Fixed live set, endless churn: erase a rotating quarter via erase_batch,
-/// reinsert it via insert_batch. Physical slots must stay linear in the
-/// live set for every preset growth factor. (At small g the retained mass
-/// is mostly duplicate live copies bounded by the trivial-move/real-fold
-/// alternation; at large g the deepest level takes tombstone-carrying
-/// segments directly and the threshold policy is what bounds it — both
-/// constants asserted.)
+/// reinsert it via insert_batch. Physical slots must stay under ~4x the
+/// live set for EVERY preset growth factor. At small g the retained mass is
+/// duplicate live copies spread across single-segment levels — exactly the
+/// shape the per-segment staleness counter (distinct-duplicate estimate per
+/// fold, forced full bottom compaction past staleness_threshold) exists to
+/// bound; before it, the trivial-move/real-fold alternation alone retained
+/// up to ~11x live here.
 TEST(TombstoneSpace, ChurnAtFixedLiveSetStaysLinear) {
   const std::uint64_t live = 4096;
   for (const unsigned g : {2u, 4u, 8u, 16u}) {
@@ -49,11 +50,55 @@ TEST(TombstoneSpace, ChurnAtFixedLiveSetStaysLinear) {
       c.insert_batch(batch.data(), batch.size());
       peak = std::max(peak, c.item_count());
     }
-    EXPECT_LT(peak, 16 * live) << "g=" << g << ": churn garbage unbounded";
+    EXPECT_LT(peak, 4 * live) << "g=" << g << ": churn garbage exceeds ~4x live";
+    if (g <= 4) {
+      EXPECT_GT(c.stats().staleness_folds, 0u)
+          << "g=" << g << ": staleness policy never engaged";
+    }
     c.check_invariants();
     for (std::uint64_t k = 0; k < live; ++k) {
       ASSERT_TRUE(c.find(k).has_value()) << "g=" << g << " key " << k;
     }
+  }
+}
+
+/// The staleness knob gates the churn bound: with it disabled (> 1.0) the
+/// same fixed-live-set churn feed at small g retains several times more
+/// physical slots (only the trivial-move/real-fold alternation bounds it) —
+/// the regression the staleness counter closes.
+TEST(TombstoneSpace, StalenessKnobGatesChurnRetention) {
+  const std::uint64_t live = 4096;
+  const auto peak_with = [&](unsigned g, double threshold) {
+    ColaConfig cfg = ingest_tuned(g, 64);
+    cfg.staleness_threshold = threshold;
+    Gcola<> c(cfg);
+    std::vector<Entry<>> batch;
+    std::vector<Key> keys;
+    for (std::uint64_t k = 0; k < live; ++k) batch.push_back(Entry<>{k, k});
+    c.insert_batch(batch.data(), batch.size());
+    std::uint64_t peak = 0;
+    for (int round = 0; round < 300; ++round) {
+      const std::uint64_t base = (round % 4) * (live / 4);
+      keys.clear();
+      batch.clear();
+      for (std::uint64_t k = base; k < base + live / 4; ++k) keys.push_back(k);
+      c.erase_batch(keys.data(), keys.size());
+      for (std::uint64_t k = base; k < base + live / 4; ++k) {
+        batch.push_back(Entry<>{k, k});
+      }
+      c.insert_batch(batch.data(), batch.size());
+      peak = std::max(peak, c.item_count());
+    }
+    c.check_invariants();
+    return peak;
+  };
+  for (const unsigned g : {2u, 4u}) {
+    const std::uint64_t bounded = peak_with(g, 0.5);
+    const std::uint64_t unbounded = peak_with(g, 2.0);  // disabled
+    EXPECT_LT(bounded, 4 * live) << "g=" << g;
+    EXPECT_GT(unbounded, 2 * bounded)
+        << "g=" << g << ": staleness knob has no effect (bounded=" << bounded
+        << " unbounded=" << unbounded << ")";
   }
 }
 

@@ -102,6 +102,90 @@ TEST(TransferBounds, StagingArenaCutsInsertTransfers) {
             4.0 * search_bound + 4.0);
 }
 
+// Fence keys: per-segment [min, max] ranges let the tiered find (and
+// Cursor::seek) skip segments that cannot hold the probe. On a
+// time-partitioned feed (ascending keys in batches) the segments are
+// range-disjoint, so searches must (a) skip most segments — measured via
+// ColaStats::fence_seg_skips — (b) cost measurably fewer transfers than
+// the same structure with the fence read path disabled, and (c) land
+// within a constant of the fence-aware closed-form bound at the measured
+// skip fraction (dam/bounds.hpp: cola_fence_search_transfer_bound).
+TEST(TransferBounds, FenceKeysPruneTimePartitionedSearch) {
+  const std::uint64_t n = 1 << 16;
+  const std::uint64_t mem = 1 << 19;
+  const auto build_and_measure = [&](bool fences) {
+    cola::ColaConfig cfg = cola::ingest_tuned(8, 1024);
+    cfg.fence_keys = fences;
+    cola::Gcola<Key, Value, dam::dam_mem_model> c(cfg,
+                                                  dam::dam_mem_model(kBlock, mem));
+    std::vector<Entry<>> batch(1024);
+    for (std::uint64_t i = 0; i < n;) {
+      for (auto& e : batch) {
+        e = Entry<>{i * 3 + 1, i};  // ascending: segments partition by range
+        ++i;
+      }
+      c.insert_batch(batch.data(), batch.size());
+    }
+    // Cold point lookups on present keys.
+    Xoshiro256 rng(11);
+    const std::uint64_t skips_before = c.stats().fence_seg_skips;
+    std::uint64_t transfers = 0;
+    const int probes = 100;
+    for (int q = 0; q < probes; ++q) {
+      c.mm().clear_cache();
+      c.mm().reset_stats();
+      const Key k = rng.below(n) * 3 + 1;
+      EXPECT_TRUE(c.find(k).has_value());
+      transfers += c.mm().stats().transfers;
+    }
+    // Segment population and measured skip rate, for the bound.
+    std::uint64_t segs = 0, levels_with_segs = 0;
+    for (std::size_t l = 0; l < c.level_count(); ++l) {
+      if (c.level_segment_count(l) > 0) {
+        segs += c.level_segment_count(l);
+        ++levels_with_segs;
+      }
+    }
+    const double per_find = static_cast<double>(transfers) / probes;
+    const double skipped_per_find =
+        static_cast<double>(c.stats().fence_seg_skips - skips_before) / probes;
+    const double skip_fraction =
+        segs > 0 ? skipped_per_find / static_cast<double>(segs) : 0.0;
+    const double segs_per_level =
+        levels_with_segs > 0
+            ? static_cast<double>(segs) / static_cast<double>(levels_with_segs)
+            : 1.0;
+    return std::tuple<double, double, double, double>(
+        per_find, skip_fraction, segs_per_level,
+        static_cast<double>(c.staged_count()));
+  };
+  const auto [fenced, skip_frac, segs_per_level, staged] =
+      build_and_measure(true);
+  const auto [unfenced, skip0, segs0, staged0] = build_and_measure(false);
+  // (a) A time-partitioned feed lets fences skip a large share of the
+  // segments (deep generation-spanning folds still overlap some ranges).
+  EXPECT_GT(skip_frac, 0.35) << "fences skip too few segments";
+  EXPECT_EQ(skip0, 0.0) << "disabled fences must not skip";
+  // (b) The fence read path is measurably cheaper.
+  EXPECT_LT(fenced * 1.3, unfenced)
+      << "fenced=" << fenced << " unfenced=" << unfenced;
+  // (c) Within a constant of the fence-aware bound at the measured skip
+  // fraction (TItems are 24 bytes).
+  const double bound = dam::cola_fence_search_transfer_bound(
+      static_cast<double>(n), 8.0, kBlock / 24.0, staged, segs_per_level,
+      skip_frac);
+  EXPECT_LT(fenced, 4.0 * bound + 4.0) << "bound=" << bound;
+  EXPECT_GT(fenced, 0.05 * bound) << "model wildly loose";
+  // The bound is monotone: more skipping can only lower the modeled cost.
+  EXPECT_LE(dam::cola_fence_search_transfer_bound(1e6, 8.0, 128.0, 0.0, 7.0, 0.9),
+            dam::cola_fence_search_transfer_bound(1e6, 8.0, 128.0, 0.0, 7.0, 0.1));
+  // And the unfenced structure must match the plain tiered search bound.
+  EXPECT_LT(unfenced, 4.0 * dam::cola_search_transfer_bound(
+                                static_cast<double>(n), 8.0, kBlock / 24.0,
+                                staged0, segs0) +
+                          4.0);
+}
+
 // Mixed put/erase feeds: tombstones ride the cascade as insertions, so a
 // 50%-erase feed must stay within a constant of the mixed-op model —
 // insert bound plus the forced-bottom-fold term erase_fraction/(theta*B)
