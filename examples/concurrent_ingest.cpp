@@ -1,0 +1,71 @@
+// Concurrent ingest example: one Dictionary facade, S single-writer shards.
+//
+// Scenario: a telemetry collector receives batches of (sensor, reading)
+// pairs faster than one cascade can absorb them. ShardedDictionary
+// range-partitions the keyspace across S ingest-tuned COLA shards, each
+// owned by its own worker thread behind an SPSC queue: the caller's
+// insert_batch returns as soon as the per-shard runs are queued, the
+// workers run the cascades in parallel, and every read (find, range scan,
+// cursor) takes a drain barrier first — so the facade behaves exactly like
+// any other dictionary here, just faster under sustained load.
+//
+// Build: part of the default cmake build; run ./examples/concurrent_ingest
+#include <cstdio>
+#include <vector>
+
+#include "cola/cola.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "shard/sharded_dictionary.hpp"
+
+using namespace costream;
+
+int main() {
+  constexpr std::uint64_t kN = 1 << 20;
+  constexpr std::size_t kBatch = 1024;
+
+  const auto run = [](std::size_t shards) {
+    shard::ShardedConfig<> sc;
+    sc.shards = shards;
+    shard::ShardedDictionary<cola::Gcola<>> d(sc, [](std::size_t) {
+      return cola::Gcola<>(cola::ingest_tuned(8, kBatch));
+    });
+    Xoshiro256 rng(7);
+    std::vector<Entry<>> batch;
+    batch.reserve(kBatch);
+    Timer t;
+    for (std::uint64_t i = 0; i < kN;) {
+      batch.clear();
+      for (std::size_t j = 0; j < kBatch; ++j, ++i) {
+        batch.push_back(Entry<>{rng(), i});
+      }
+      d.insert_batch(batch.data(), batch.size());
+    }
+    d.flush_stage();  // land every queued cascade inside the timing
+    const double secs = t.seconds();
+    std::printf("  S=%zu: %8.0f inserts/sec  (splitters learned from batch 1,"
+                " %llu runs dispatched)\n",
+                shards, static_cast<double>(kN) / secs,
+                static_cast<unsigned long long>(d.stats().jobs));
+
+    // Reads see everything, immediately: the drain barrier is implicit.
+    std::uint64_t scanned = 0;
+    d.range_for_each(0, ~0ULL, [&](Key, Value) { ++scanned; });
+    std::printf("        full scan through the fused sharded cursor: %llu live"
+                " entries\n",
+                static_cast<unsigned long long>(scanned));
+    return scanned;
+  };
+
+  std::printf("ingesting %llu random entries, batch %zu:\n",
+              static_cast<unsigned long long>(kN), kBatch);
+  const std::uint64_t base = run(1);
+  for (const std::size_t s : {2u, 4u}) {
+    if (run(s) != base) {
+      std::printf("shard count changed visible contents (bug!)\n");
+      return 1;
+    }
+  }
+  std::printf("identical contents at every shard count: yes\n");
+  return 0;
+}

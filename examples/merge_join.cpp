@@ -1,17 +1,21 @@
-// merge_join example: join two write-optimized dictionaries by key using
-// the cursor API — no materialization, no templating on either structure.
+// merge_join example: join two (or k) write-optimized dictionaries by key
+// using the cursor API — no materialization, no templating on any structure.
 //
 // Scenario: a metrics pipeline keeps request counters in an ingest-tuned
 // COLA (hot write path) and a slowly-changing user -> region table in a
 // B-tree (point-lookup heavy). A report wants (user, requests, region) for
-// every user present in BOTH — exactly api::merge_join.
+// every user present in BOTH — exactly api::merge_join. A second report
+// additionally filters by an opt-in consent table: a THREE-way
+// intersection, exactly api::merge_join_k — one leapfrog pass instead of
+// joining pairwise through a materialized intermediate.
 //
-// The join is cursor-driven: each side advances with next() while close to
-// the other and re-seeks (leapfrog) across gaps — which the COLA turns into
-// whole-segment skips via its fence keys — so a sparse overlap costs
-// O(matches) seeks instead of a full scan of either side.
+// The joins are cursor-driven: each side advances with next() while close
+// to the frontier and re-seeks (leapfrog) across gaps — which the COLA
+// turns into whole-segment skips via its fence keys — so a sparse overlap
+// costs O(matches) seeks instead of a full scan of any side.
 //
 // Build: part of the default cmake build; run ./examples/merge_join
+#include <array>
 #include <cstdio>
 #include <vector>
 
@@ -62,6 +66,17 @@ int main() {
     std::printf("  region %d: %llu requests\n", r,
                 static_cast<unsigned long long>(by_region[r]));
   }
+
+  // The k-way driver: restrict the report to users who also appear in a
+  // consent table (every 24th user). One pass over three structures; the
+  // sink receives each side's value in argument order.
+  btree::BTree<> consent;
+  for (Key user = 0; user < 100'000; user += 24) consent.insert(user, 1);
+  std::uint64_t consented = 0;
+  api::merge_join_k(requests, regions, consent,
+                    [&](Key, const std::array<Value, 3>&) { ++consented; });
+  std::printf("3-way join: %llu consenting users with a region assignment\n",
+              static_cast<unsigned long long>(consented));
 
   // The same call works on type-erased dictionaries (e.g. when the concrete
   // structure is a deployment choice).

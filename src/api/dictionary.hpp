@@ -30,6 +30,15 @@
 //     invalidates outstanding cursors: after a mutation the only valid
 //     operation on a cursor is another seek (re-seek reuses the cursor's
 //     scratch — no teardown, no reallocation in steady state).
+//   * Sharded dictionaries (shard/sharded_dictionary.hpp) ENFORCE that
+//     contract rather than merely documenting it: a seek takes the
+//     all-shards drain barrier (every queued run applied before the cursor
+//     positions) and snapshots the facade's mutation epoch, and valid()
+//     returns false as soon as a later mutation bumps the epoch — a stale
+//     sharded cursor would otherwise race the shard worker threads, not
+//     just read stale bytes. Portable callers should treat valid() ==
+//     false after any mutation as the norm and re-seek, which is exactly
+//     the protocol the single-writer structures already require.
 //   * range_for_each is implemented ON TOP of the cursor in every structure
 //     (one bounded seek + a next() loop over dictionary-owned scratch), so
 //     the two read paths cannot diverge and repeated range scans are also
@@ -74,16 +83,21 @@
 // through one code path without templating the world.
 #pragma once
 
+#include <array>
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <tuple>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/entry.hpp"
+#include "common/loser_tree.hpp"
 
 namespace costream::api {
 
@@ -141,6 +155,92 @@ void merge_join(const DA& a, const DB& b, Sink&& sink) {
   }
 }
 
+/// K-way inner merge-join — the leapfrog-triejoin generalization of
+/// merge_join above. `merge_join_k(d0, d1, ..., dk-1, sink)` calls
+/// `sink(key, values)` (values: std::array of each side's value, in
+/// argument order) for every key live in ALL k dictionaries, ascending.
+/// The k cursors fuse through the same cached-key LoserTree the sharded
+/// scans use: the tree tracks the minimum frontier in O(log k) compares
+/// per step, and whenever min < max the lagging cursor leapfrogs with one
+/// re-seek straight to the frontier — segment fence keys turn that into
+/// whole-segment skips, so a k-way sparse intersection costs
+/// O(matches * k * seek) instead of one pass over the union per pairwise
+/// stage (the k-1 materializing passes this replaces — measured in
+/// bench/bench_concurrent_ingest.cpp).
+template <class Sink, class... DS>
+  requires(sizeof...(DS) >= 2)
+void merge_join_k_with(Sink&& sink, const DS&... dicts) {
+  constexpr std::size_t N = sizeof...(DS);
+  auto curs = std::tuple(dicts.make_cursor()...);
+  using E = std::remove_cvref_t<decltype(std::get<0>(curs).entry())>;
+  using KT = std::remove_cvref_t<decltype(std::declval<E>().key)>;
+  using VT = std::remove_cvref_t<decltype(std::declval<E>().value)>;
+  std::array<KT, N> keys{};
+  std::array<VT, N> vals{};
+  bool all = true;
+  const auto with = [&](std::size_t i, auto&& fn) {
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      (void)((I == i ? (fn(std::get<I>(curs)), true) : false) || ...);
+    }(std::make_index_sequence<N>{});
+  };
+  [&]<std::size_t... I>(std::index_sequence<I...>) {
+    ((std::get<I>(curs).seek_first(),
+      std::get<I>(curs).valid()
+          ? void(keys[I] = std::get<I>(curs).entry().key)
+          : void(all = false)),
+     ...);
+  }(std::make_index_sequence<N>{});
+  if (!all) return;  // one side empty: the intersection is empty
+  LoserTree<KT> tree;
+  tree.reset(N);
+  KT maxk = keys[0];
+  for (std::size_t i = 0; i < N; ++i) {
+    tree.declare(i, keys[i]);
+    if (maxk < keys[i]) maxk = keys[i];
+  }
+  tree.build();
+  while (all && tree.top_alive()) {
+    const std::size_t i = tree.top();
+    if (!(tree.top_key() < maxk)) {
+      // min == max: every cursor sits on maxk — emit the joined row, then
+      // advance the winning (minimum-index) cursor past the match.
+      [&]<std::size_t... I>(std::index_sequence<I...>) {
+        ((vals[I] = std::get<I>(curs).entry().value), ...);
+      }(std::make_index_sequence<N>{});
+      sink(maxk, vals);
+      with(i, [&](auto& c) {
+        c.next();
+        c.valid() ? void(keys[i] = c.entry().key) : void(all = false);
+      });
+    } else {
+      // Lagging side: one cheap next(); if still behind the frontier,
+      // leapfrog with a re-seek straight to it (same stepping rule as the
+      // pairwise merge_join — a seek costs a source rebuild, so it must
+      // only pay for itself across real gaps).
+      with(i, [&](auto& c) {
+        c.next();
+        if (c.valid() && c.entry().key < maxk) c.seek(maxk);
+        c.valid() ? void(keys[i] = c.entry().key) : void(all = false);
+      });
+    }
+    if (!all) break;  // a cursor drained: no further matches are possible
+    if (maxk < keys[i]) maxk = keys[i];
+    tree.replay(true, keys[i]);
+  }
+}
+
+/// merge_join_k(dicts..., sink): trailing-sink spelling of the k-way join
+/// (mirrors merge_join's argument order). At least two dictionaries.
+template <class... Args>
+  requires(sizeof...(Args) >= 3)
+void merge_join_k(Args&&... args) {
+  auto tup = std::forward_as_tuple(std::forward<Args>(args)...);
+  constexpr std::size_t N = sizeof...(Args) - 1;
+  [&]<std::size_t... I>(std::index_sequence<I...>) {
+    merge_join_k_with(std::get<N>(std::move(tup)), std::get<I>(tup)...);
+  }(std::make_index_sequence<N>{});
+}
+
 /// Deployment-level ingest tuning, threaded into every structure that has a
 /// growth lever (api/presets.hpp maps it onto each structure's own config).
 ///
@@ -164,6 +264,15 @@ struct DictConfig {
   // in-flight geometry. Values > 1.0 disable the forcing (retention then
   // bounded only by the trivial-move/real-fold alternation).
   double tombstone_threshold = 0.25;
+  // Shard count S for the concurrent-ingest facade
+  // (shard/sharded_dictionary.hpp): 1 = the plain single-writer structure;
+  // S > 1 range-partitions the keyspace into S independent shards of the
+  // SAME kind, each owned by one worker thread behind an SPSC queue. S
+  // multiplies ingest throughput (each shard runs the per-structure bound
+  // at N/S) and is orthogonal to g, which tunes the geometry INSIDE each
+  // shard — note the staging arena is per shard, so the facade's deferred
+  // state totals S * g * batch_hint entries.
+  std::size_t shards = 1;
 
   /// Ingest-tuned preset for growth factor g: staging on, arena g * hint.
   static DictConfig ingest_tuned(unsigned g, std::size_t hint = 1024) {
@@ -171,6 +280,14 @@ struct DictConfig {
     c.growth = g;
     c.batch_hint = hint;
     c.staging = true;
+    return c;
+  }
+
+  /// Concurrent-ingest preset: the ingest-tuned geometry, sharded S ways.
+  static DictConfig concurrent(unsigned g, std::size_t shard_count,
+                               std::size_t hint = 1024) {
+    DictConfig c = ingest_tuned(g, hint);
+    c.shards = shard_count;
     return c;
   }
 };

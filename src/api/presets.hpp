@@ -16,6 +16,7 @@
 #include "cola/cola.hpp"
 #include "cola/deamortized_cola.hpp"
 #include "cola/deamortized_fc_cola.hpp"
+#include "shard/sharded_dictionary.hpp"
 #include "shuttle/shuttle_tree.hpp"
 
 namespace costream::api {
@@ -47,8 +48,28 @@ inline shuttle::ShuttleConfig to_shuttle_config(const DictConfig& c) {
 /// growth tuning applied. Kinds: "cola", "shuttle", "deam", "fc-deam",
 /// "btree", "brt", "cob" (the last three have no growth lever and ignore
 /// the config). Throws std::invalid_argument on an unknown kind.
+///
+/// With cfg.shards > 1 the kind is built S times and wrapped in the
+/// concurrent-ingest facade (shard/sharded_dictionary.hpp): each shard is
+/// an independent single-writer instance of the SAME kind/config, behind
+/// one Dictionary interface with worker-thread ingest and fused sharded
+/// cursors. Splitters are learned from the first batch (or key-prefix
+/// defaults); pass explicit boundaries by constructing ShardedDictionary
+/// directly.
 inline AnyDictionary make_dictionary(const std::string& kind,
                                      const DictConfig& cfg = DictConfig{}) {
+  if (cfg.shards > 1) {
+    DictConfig inner_cfg = cfg;
+    inner_cfg.shards = 1;
+    shard::ShardedConfig<Key> sc;
+    sc.shards = cfg.shards;
+    return AnyDictionary(
+        kind + "-s" + std::to_string(cfg.shards),
+        shard::ShardedDictionary<AnyDictionary>(
+            std::move(sc), [&kind, &inner_cfg](std::size_t) {
+              return make_dictionary(kind, inner_cfg);
+            }));
+  }
   if (kind == "cola") return AnyDictionary(kind, cola::Gcola<>(to_cola_config(cfg)));
   if (kind == "shuttle") {
     return AnyDictionary(kind, shuttle::ShuttleTree<>(to_shuttle_config(cfg)));

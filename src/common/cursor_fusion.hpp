@@ -1,0 +1,112 @@
+// K-source cursor fusion — the cached-key loser tree generalized from its
+// per-structure call sites (each structure's Cursor fuses its own levels /
+// segments / buffers) into a reusable component that fuses WHOLE DICTIONARY
+// CURSORS: any k objects satisfying the Dictionary cursor contract
+// (api/dictionary.hpp) merge into one ordered, deduplicated stream that
+// itself satisfies the same contract.
+//
+// Two consumers:
+//   * the sharded dictionary's cursor (shard/sharded_dictionary.hpp): a
+//     sharded range scan is exactly a k-way fusion of per-shard cursors —
+//     the shards partition the keyspace, so the fusion degenerates to a
+//     k-way ordered concatenation-by-merge;
+//   * api::merge_join_k: the k-way leapfrog join drives the same LoserTree
+//     directly (it needs min-tracking plus per-source re-seek, not a merged
+//     union stream).
+//
+// Inner cursors already suppress their own tombstones and duplicates, so
+// the fusion's only residual dedup is ACROSS sources: when two sources
+// surface the same key, the smaller source index wins (callers order
+// sources newest-first, same convention as the per-structure fusions) and
+// the losers' copies are consumed silently. Repeated seeks are
+// allocation-free once the tree's node arrays reach their high-water size —
+// the inner cursors own their scratch, the fusion owns only the tree.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/entry.hpp"
+#include "common/loser_tree.hpp"
+
+namespace costream {
+
+template <class C, class K = Key, class V = Value>
+class FusedCursorSet {
+ public:
+  /// The underlying cursors, in priority order (index 0 wins key ties).
+  /// Callers populate/replace this before the first seek; the set does not
+  /// reorder it.
+  std::vector<C>& sources() noexcept { return srcs_; }
+  const std::vector<C>& sources() const noexcept { return srcs_; }
+
+  void seek(const K& lo) { do_seek(&lo, nullptr); }
+  void seek(const K& lo, const K& hi) {
+    if (hi < lo) {
+      valid_ = false;
+      return;
+    }
+    do_seek(&lo, &hi);
+  }
+  void seek_first() { do_seek(nullptr, nullptr); }
+
+  bool valid() const noexcept { return valid_; }
+  const Entry<K, V>& entry() const noexcept { return cur_; }
+
+  void next() {
+    if (!valid_) return;
+    C& c = srcs_[tree_.top()];
+    c.next();
+    tree_.replay(c.valid(), c.valid() ? c.entry().key : K{});
+    settle();
+  }
+
+ private:
+  void do_seek(const K* lo, const K* hi) {
+    have_last_ = false;
+    valid_ = false;
+    tree_.reset(srcs_.size());
+    for (std::size_t i = 0; i < srcs_.size(); ++i) {
+      C& c = srcs_[i];
+      if (lo == nullptr) {
+        c.seek_first();
+      } else if (hi == nullptr) {
+        c.seek(*lo);
+      } else {
+        c.seek(*lo, *hi);
+      }
+      if (c.valid()) tree_.declare(i, c.entry().key);
+    }
+    tree_.build();
+    settle();
+  }
+
+  /// Surface the merged head, consuming cross-source duplicates of the last
+  /// surfaced key (the winner of a tie — the smallest source index — was
+  /// surfaced first; the losers are older copies).
+  void settle() {
+    while (tree_.top_alive()) {
+      C& c = srcs_[tree_.top()];
+      const K& k = c.entry().key;
+      if (!have_last_ || last_ < k) {
+        last_ = k;
+        have_last_ = true;
+        cur_ = c.entry();
+        valid_ = true;
+        return;
+      }
+      c.next();
+      tree_.replay(c.valid(), c.valid() ? c.entry().key : K{});
+    }
+    valid_ = false;
+  }
+
+  std::vector<C> srcs_;
+  LoserTree<K> tree_;
+  Entry<K, V> cur_{};
+  K last_{};
+  bool have_last_ = false;
+  bool valid_ = false;
+};
+
+}  // namespace costream

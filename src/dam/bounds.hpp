@@ -93,4 +93,34 @@ inline double cola_mixed_op_transfer_bound(double n, double growth,
          ef / (theta * std::max(1.0, block_elems));
 }
 
+/// Amortized insert transfer bound for the SHARDED facade
+/// (shard/sharded_dictionary.hpp): the keyspace splits into `shards` range
+/// partitions, each an independent growth-g structure holding ~N/S
+/// elements, so every element pays (a) one streaming scatter write of the
+/// front-end splitter, O(1/B), and (b) the per-structure insert bound at
+/// N/S scale. Sharding therefore shaves log_g S levels off every element's
+/// cascade cost — a second-order win; the first-order win is WALL time,
+/// since the S per-shard cascades run on S cores while the bound here is
+/// the TOTAL transfer volume across all shards.
+inline double sharded_insert_transfer_bound(double n, double shards,
+                                            double growth,
+                                            double block_elems) noexcept {
+  const double s = std::max(1.0, shards);
+  return 1.0 / std::max(1.0, block_elems) +
+         cola_insert_transfer_bound(n / s, growth, block_elems);
+}
+
+/// Cold-search transfer bound for the sharded facade: a find routes to
+/// exactly ONE shard (a key lives in exactly one range partition), so the
+/// cost is the per-structure search bound at N/S scale — sharding never
+/// multiplies point-read cost, it divides the N each probe sees.
+inline double sharded_search_transfer_bound(double n, double shards,
+                                            double growth, double block_elems,
+                                            double staged_elems = 0.0,
+                                            double segments_per_level = 1.0) noexcept {
+  const double s = std::max(1.0, shards);
+  return cola_search_transfer_bound(n / s, growth, block_elems, staged_elems,
+                                    segments_per_level);
+}
+
 }  // namespace costream::dam

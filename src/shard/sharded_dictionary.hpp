@@ -1,0 +1,486 @@
+// Sharded concurrent ingest: S single-writer dictionaries behind one
+// Dictionary facade.
+//
+// The paper's amortized O((log N)/B) update bound is per-structure; this
+// layer adds the orthogonal axis — parallelism across cores — without
+// touching any structure's internals. The keyspace is RANGE-PARTITIONED by
+// S-1 splitter keys (fixed-width key-prefix defaults, or quantiles learned
+// from the first batch — see "Splitters" below); each shard is an
+// independent dictionary (any of the seven structures, or a type-erased
+// AnyDictionary) owned by exactly one worker thread. The facade's caller
+// scatters normalized batches into per-shard runs and hands each run to its
+// shard's worker over a bounded SPSC ring (shard/spsc_queue.hpp); the worker
+// is the ONLY thread that ever mutates its shard, so no structure needs a
+// single lock — the paper's single-writer amortized analysis holds verbatim
+// per shard at N/S scale (dam/bounds.hpp::sharded_insert_transfer_bound).
+//
+// Semantics (identical to the unsharded Dictionary contract):
+//   * A key lives in exactly one shard, so per-key operation order is the
+//     facade's submission order: runs enter a shard's ring FIFO and the
+//     single worker applies them FIFO. Newest-wins and put-vs-erase
+//     shadowing inside a batch are resolved by the facade's normalization
+//     pass before the scatter, exactly like every structure's own batch
+//     path.
+//   * Reads are DRAIN-BARRIER consistent: find() waits for its one target
+//     shard's queue to empty (other shards keep ingesting); cursors, range
+//     scans, and invariant checks wait for all shards. After the barrier
+//     the caller reads the shard structures directly — the completed-jobs
+//     counter carries the release/acquire edge, so no reader ever observes
+//     a half-applied run.
+//   * The facade itself is single-caller (one external thread drives it,
+//     like every other structure here); the concurrency is INTERNAL. The
+//     worker threads are the paper's "stream" of deferred work made
+//     physical.
+//
+// Cursors: a sharded cursor fuses the S per-shard cursors through the
+// generalized k-source loser-tree fusion (common/cursor_fusion.hpp) —
+// shards are key-disjoint, so the fusion is a pure ordered merge and every
+// per-shard acceleration (segment fence keys, staged views) applies
+// unchanged. Every mutation of the facade bumps an epoch counter; a sharded
+// cursor records the epoch at seek time and Cursor::valid() RETURNS FALSE
+// once the epochs disagree — the library-wide "mutation invalidates
+// cursors" contract (api/dictionary.hpp), enforced here rather than merely
+// documented, because a stale sharded cursor would otherwise race the
+// worker threads rather than just read stale bytes.
+//
+// Splitters: partition boundaries are fixed for the life of the structure
+// (a key must map to the same shard forever). Three sources, first match
+// wins:
+//   1. explicit `ShardedConfig::splitters` (S-1 ascending keys);
+//   2. learned from the FIRST mutation when it is a batch of at least
+//      `learn_sample_min` operations: the normalized (sorted, deduplicated)
+//      run's S-quantiles — one pass, no extra sort;
+//   3. fixed-width key-prefix defaults: the unsigned key space divided into
+//      S equal ranges (the top log2(S) bits of the key select the shard).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <semaphore>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/cursor_fusion.hpp"
+#include "common/entry.hpp"
+#include "shard/spsc_queue.hpp"
+
+namespace costream::shard {
+
+template <class K = Key>
+struct ShardedConfig {
+  std::size_t shards = 2;          // S >= 1; 1 = a single-worker baseline
+  std::size_t queue_slots = 8;     // per-shard in-flight runs (ring capacity)
+  std::size_t learn_sample_min = 64;  // min first-batch size to learn splitters
+  std::vector<K> splitters;        // explicit boundaries (size shards - 1);
+                                   // empty = learn from sample / defaults
+};
+
+struct ShardedStats {
+  std::uint64_t jobs = 0;      // runs handed to workers
+  std::uint64_t batches = 0;   // facade-level batch calls
+  std::uint64_t singles = 0;   // facade-level single-op calls
+  std::uint64_t drains = 0;    // read barriers (whole-facade or one-shard)
+  std::uint64_t learned_splitters = 0;  // 1 if quantile learning fired
+};
+
+template <class Inner, class K = Key, class V = Value>
+class ShardedDictionary {
+ public:
+  using InnerCursor = decltype(std::declval<const Inner&>().make_cursor());
+
+  template <class Factory>
+    requires std::invocable<Factory&, std::size_t>
+  ShardedDictionary(ShardedConfig<K> cfg, Factory&& make_inner) : cfg_(std::move(cfg)) {
+    if (cfg_.shards == 0) {
+      throw std::invalid_argument("sharded: shard count must be >= 1");
+    }
+    if (!cfg_.splitters.empty()) {
+      if (cfg_.splitters.size() != cfg_.shards - 1) {
+        throw std::invalid_argument("sharded: need exactly shards-1 splitters");
+      }
+      for (std::size_t i = 1; i < cfg_.splitters.size(); ++i) {
+        if (!(cfg_.splitters[i - 1] < cfg_.splitters[i])) {
+          throw std::invalid_argument("sharded: splitters must be ascending");
+        }
+      }
+      splitters_ = cfg_.splitters;
+      frozen_ = true;
+    } else if constexpr (!std::unsigned_integral<K>) {
+      if (cfg_.shards > 1) {
+        throw std::invalid_argument(
+            "sharded: non-integral keys need explicit splitters");
+      }
+    }
+    shards_.reserve(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      shards_.push_back(
+          std::make_unique<Shard>(make_inner(s), cfg_.queue_slots));
+    }
+  }
+
+  explicit ShardedDictionary(ShardedConfig<K> cfg = ShardedConfig<K>{})
+    requires std::default_initializable<Inner>
+      : ShardedDictionary(std::move(cfg), [](std::size_t) { return Inner{}; }) {}
+
+  ShardedDictionary(ShardedDictionary&&) noexcept = default;
+  ShardedDictionary& operator=(ShardedDictionary&&) noexcept = default;
+
+  // -- observers --------------------------------------------------------------
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  const std::vector<K>& splitters() const noexcept { return splitters_; }
+  const ShardedStats& stats() const noexcept { return stats_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Direct access to one shard's structure, behind that shard's drain
+  /// barrier (tests and benches read per-shard stats/DAM models this way).
+  const Inner& shard(std::size_t s) const {
+    drain_shard(*shards_[s]);
+    return shards_[s]->dict;
+  }
+
+  /// Mutable access to one shard's structure, behind its drain barrier.
+  /// For tests/benches resetting DAM models or stats ONLY — mutating shard
+  /// CONTENTS from the caller thread would break the single-writer
+  /// invariant the facade is built on.
+  Inner& shard_mut(std::size_t s) {
+    drain_shard(*shards_[s]);
+    return shards_[s]->dict;
+  }
+
+  /// Block until every queued run has been applied (reads do this lazily;
+  /// benches call it to put the full ingest cost inside the timed region).
+  void drain() const { drain_all(); }
+
+  // -- mutators (Dictionary contract, api/dictionary.hpp) ---------------------
+
+  void insert(const K& k, const V& v) { single(Op<K, V>::put(k, v)); }
+  void erase(const K& k) { single(Op<K, V>::del(k)); }
+
+  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+    if (n == 0) return;
+    norm_.clear();
+    norm_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      norm_.push_back(Op<K, V>::put(data[i].key, data[i].value));
+    }
+    apply_normalized();
+  }
+
+  void erase_batch(const K* keys, std::size_t n) {
+    if (n == 0) return;
+    norm_.clear();
+    norm_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) norm_.push_back(Op<K, V>::del(keys[i]));
+    apply_normalized();
+  }
+
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    if (n == 0) return;
+    norm_.assign(ops, ops + n);
+    apply_normalized();
+  }
+
+  /// Flush every shard's deferred state (staging arenas etc.) and drain, so
+  /// the caller observes the full cost of everything ingested so far.
+  void flush_stage() {
+    for (auto& sh : shards_) {
+      Job* job = sh->ring.begin_push();
+      job->kind = Job::Kind::kFlush;
+      sh->ring.commit_push();
+      ++sh->submitted;
+      ++stats_.jobs;
+      sh->items.release();
+    }
+    ++epoch_;
+    drain_all();
+  }
+
+  // -- readers ----------------------------------------------------------------
+
+  std::optional<V> find(const K& k) const {
+    const Shard& sh = *shards_[shard_of(k)];
+    drain_shard(sh);
+    return sh.dict.find(k);
+  }
+
+  /// Resumable ordered cursor over the union of all shards (Dictionary
+  /// cursor contract): the S per-shard cursors fuse through the shared
+  /// loser tree; seek takes the all-shards drain barrier and snapshots the
+  /// mutation epoch; valid() enforces invalidation by epoch.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    void seek(const K& lo) { reseek(&lo, nullptr); }
+    void seek(const K& lo, const K& hi) { reseek(&lo, &hi); }
+    void seek_first() { reseek(nullptr, nullptr); }
+
+    void next() {
+      if (!valid()) return;
+      fused_.next();
+    }
+
+    /// False as soon as the facade has mutated past the seek's epoch —
+    /// the drain-barrier invalidation contract, enforced.
+    bool valid() const {
+      return d_ != nullptr && epoch_ == d_->epoch_ && fused_.valid();
+    }
+    const Entry<K, V>& entry() const { return fused_.entry(); }
+
+   private:
+    friend class ShardedDictionary;
+    explicit Cursor(const ShardedDictionary* d) : d_(d) {
+      fused_.sources().reserve(d->shards_.size());
+      for (const auto& sh : d->shards_) {
+        fused_.sources().push_back(sh->dict.make_cursor());
+      }
+    }
+
+    void reseek(const K* lo, const K* hi) {
+      if (d_ == nullptr) return;
+      d_->drain_all();
+      epoch_ = d_->epoch_;
+      if (lo == nullptr) {
+        fused_.seek_first();
+      } else if (hi == nullptr) {
+        fused_.seek(*lo);
+      } else {
+        fused_.seek(*lo, *hi);
+      }
+    }
+
+    const ShardedDictionary* d_ = nullptr;
+    std::uint64_t epoch_ = ~0ULL;
+    FusedCursorSet<InnerCursor, K, V> fused_;
+  };
+
+  Cursor make_cursor() const {
+    drain_all();
+    return Cursor(this);
+  }
+
+  template <class Fn>
+  void range_for_each(const K& lo, const K& hi, Fn&& fn) const {
+    ensure_scan();
+    scan_.seek(lo, hi);
+    while (scan_.valid()) {
+      fn(scan_.entry().key, scan_.entry().value);
+      scan_.next();
+    }
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    ensure_scan();
+    scan_.seek_first();
+    while (scan_.valid()) {
+      fn(scan_.entry().key, scan_.entry().value);
+      scan_.next();
+    }
+  }
+
+  /// Per-shard inner invariants plus the routing invariant: every key a
+  /// shard holds lies inside that shard's splitter range.
+  void check_invariants() const {
+    drain_all();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const Inner& d = shards_[s]->dict;
+      if constexpr (requires { d.check_invariants(); }) d.check_invariants();
+      auto c = d.make_cursor();
+      c.seek_first();
+      while (c.valid()) {
+        const K& k = c.entry().key;
+        if (s > 0 && k < splitters_[s - 1]) {
+          throw std::logic_error("sharded: key below its shard's range");
+        }
+        if (s + 1 < shards_.size() && !(k < splitters_[s])) {
+          throw std::logic_error("sharded: key past its shard's range");
+        }
+        c.next();
+      }
+    }
+  }
+
+ private:
+  /// One run of operations handed to a shard worker. The vector's capacity
+  /// circulates through the ring (the worker clears, the producer refills
+  /// in place), so steady-state dispatch allocates nothing.
+  struct Job {
+    enum class Kind : std::uint8_t { kApply, kFlush };
+    Kind kind = Kind::kApply;
+    std::vector<Op<K, V>> ops;
+  };
+
+  /// A shard: the structure, its inbox, and the worker thread that is the
+  /// structure's only writer. Heap-allocated (stable address) so the facade
+  /// stays movable while workers hold `this` pointers into their shard.
+  struct Shard {
+    Shard(Inner d, std::size_t ring_slots)
+        : dict(std::move(d)), ring(ring_slots) {
+      worker = std::thread([this] { run(); });
+    }
+
+    ~Shard() {
+      stop.store(true, std::memory_order_release);
+      items.release();
+      if (worker.joinable()) worker.join();
+    }
+
+    void run() {
+      for (;;) {
+        items.acquire();
+        Job* job = ring.peek();
+        if (job == nullptr) {
+          if (stop.load(std::memory_order_acquire)) return;
+          continue;
+        }
+        if (job->kind == Job::Kind::kApply) {
+          dict.apply_batch(job->ops.data(), job->ops.size());
+        } else {
+          if constexpr (requires(Inner& d) { d.flush_stage(); }) {
+            dict.flush_stage();
+          }
+        }
+        job->ops.clear();  // keep capacity: it circulates back to the producer
+        ring.pop();
+        completed.fetch_add(1, std::memory_order_release);
+      }
+    }
+
+    Inner dict;
+    SpscRing<Job> ring;
+    std::counting_semaphore<(1 << 30)> items{0};
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> completed{0};
+    std::uint64_t submitted = 0;  // facade-thread-only
+    std::thread worker;
+  };
+
+  std::size_t shard_of(const K& k) const {
+    return static_cast<std::size_t>(
+        std::upper_bound(splitters_.begin(), splitters_.end(), k) -
+        splitters_.begin());
+  }
+
+  void single(const Op<K, V>& o) {
+    if (!frozen_) {
+      frozen_ = true;
+      if (splitters_.empty()) default_splitters();
+    }
+    Shard& sh = *shards_[shard_of(o.key)];
+    Job* job = sh.ring.begin_push();
+    job->kind = Job::Kind::kApply;
+    job->ops.push_back(o);
+    sh.ring.commit_push();
+    ++sh.submitted;
+    ++stats_.jobs;
+    ++stats_.singles;
+    sh.items.release();
+    ++epoch_;
+  }
+
+  /// Normalize norm_ once (sort + newest-wins dedup, the shared batch
+  /// discipline), learn splitters if this is the first mutation, then cut
+  /// the sorted run into per-shard contiguous subranges — no per-element
+  /// scatter copies, just S-1 binary searches over the run.
+  void apply_normalized() {
+    sort_dedup_newest_wins(norm_, norm_scratch_);
+    if (!frozen_) freeze_from(norm_);
+    const Op<K, V>* at = norm_.data();
+    const Op<K, V>* end = at + norm_.size();
+    for (std::size_t s = 0; s < shards_.size() && at != end; ++s) {
+      const Op<K, V>* hi =
+          s + 1 < shards_.size()
+              ? std::lower_bound(at, end, splitters_[s],
+                                 [](const Op<K, V>& o, const K& k) {
+                                   return o.key < k;
+                                 })
+              : end;
+      if (hi != at) {
+        Shard& sh = *shards_[s];
+        Job* job = sh.ring.begin_push();
+        job->kind = Job::Kind::kApply;
+        job->ops.assign(at, hi);
+        sh.ring.commit_push();
+        ++sh.submitted;
+        ++stats_.jobs;
+        sh.items.release();
+      }
+      at = hi;
+    }
+    ++stats_.batches;
+    ++epoch_;
+  }
+
+  void freeze_from(const std::vector<Op<K, V>>& run) {
+    frozen_ = true;
+    const std::size_t S = shards_.size();
+    if (S == 1) return;
+    if (run.size() >= std::max<std::size_t>(cfg_.learn_sample_min, S)) {
+      // Quantiles of the normalized run: keys are sorted and unique, so the
+      // S-1 cut points are strictly increasing by construction.
+      splitters_.reserve(S - 1);
+      for (std::size_t i = 0; i + 1 < S; ++i) {
+        splitters_.push_back(run[(i + 1) * run.size() / S].key);
+      }
+      ++stats_.learned_splitters;
+    } else {
+      default_splitters();
+    }
+  }
+
+  void default_splitters() {
+    const std::size_t S = shards_.size();
+    if (S == 1) return;
+    if constexpr (std::unsigned_integral<K>) {
+      const K step =
+          static_cast<K>(std::numeric_limits<K>::max() / S + K{1});
+      splitters_.reserve(S - 1);
+      for (std::size_t i = 1; i < S; ++i) {
+        splitters_.push_back(static_cast<K>(step * i));
+      }
+    }
+    // Non-integral keys without explicit splitters are rejected at
+    // construction, so this branch is never reached with S > 1.
+  }
+
+  void drain_shard(const Shard& sh) const {
+    if (sh.completed.load(std::memory_order_acquire) == sh.submitted) return;
+    ++stats_.drains;
+    while (sh.completed.load(std::memory_order_acquire) != sh.submitted) {
+      std::this_thread::yield();
+    }
+  }
+
+  void drain_all() const {
+    for (const auto& sh : shards_) drain_shard(*sh);
+  }
+
+  void ensure_scan() const {
+    if (scan_.d_ == this &&
+        scan_.fused_.sources().size() == shards_.size()) {
+      return;
+    }
+    scan_ = Cursor(this);
+  }
+
+  ShardedConfig<K> cfg_;
+  std::vector<K> splitters_;
+  bool frozen_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t epoch_ = 0;
+  std::vector<Op<K, V>> norm_, norm_scratch_;  // batch normalization scratch
+  mutable Cursor scan_;  // dictionary-owned scan cursor (allocation-free reuse)
+  mutable ShardedStats stats_;
+};
+
+}  // namespace costream::shard

@@ -1,0 +1,83 @@
+// Bounded single-producer / single-consumer ring — the cross-thread handoff
+// primitive of the sharded ingest front end (shard/sharded_dictionary.hpp).
+//
+// Each slot is a reusable object the producer fills IN PLACE (the shard
+// dispatcher swaps its scatter scratch into the slot's vector), so slot
+// payload capacity circulates between producer and consumer and the steady
+// state allocates nothing. The ring itself is two cache-line-separated
+// monotone counters:
+//
+//   producer:  begin_push() -> fill slot -> commit_push()   (release)
+//   consumer:  peek() -> consume slot -> pop()              (release)
+//
+// commit_push publishes the slot contents to the consumer's peek (acquire),
+// and pop publishes the recycled slot back to the producer's fullness check
+// (acquire), so both directions carry a happens-before edge and the payload
+// itself needs no atomics. begin_push blocks (yield-spin) while the ring is
+// full: the consumer is the backpressure — a producer can never outrun a
+// shard by more than the ring capacity.
+//
+// Exactly ONE producer thread and ONE consumer thread may touch a ring;
+// the sharded dictionary guarantees that by construction (one caller-facing
+// facade thread, one worker per shard).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace costream::shard {
+
+template <class T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit SpscRing(std::size_t min_slots) {
+    std::size_t cap = 2;
+    while (cap < min_slots) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer: the slot the next push will publish. Blocks (yield-spin)
+  /// while the ring is full; the returned slot's previous payload has
+  /// already been consumed and may be reused in place.
+  T* begin_push() {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    while (t - head_.load(std::memory_order_acquire) == slots_.size()) {
+      std::this_thread::yield();
+    }
+    return &slots_[t & mask_];
+  }
+
+  /// Producer: publish the slot returned by begin_push.
+  void commit_push() {
+    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  /// Consumer: the oldest unconsumed slot, or nullptr when empty.
+  T* peek() {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return nullptr;
+    return &slots_[h & mask_];
+  }
+
+  /// Consumer: recycle the slot returned by peek back to the producer.
+  void pop() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace costream::shard

@@ -13,6 +13,7 @@
 #include "cola/cola.hpp"
 #include "cola/deamortized_cola.hpp"
 #include "cola/deamortized_fc_cola.hpp"
+#include "shard/sharded_dictionary.hpp"
 #include "shuttle/shuttle_tree.hpp"
 #include "shuttle/swbst.hpp"
 
@@ -29,6 +30,8 @@ static_assert(Dictionary<brt::Brt<>>);
 static_assert(Dictionary<cob::CobTree<>>);
 static_assert(Dictionary<shuttle::ShuttleTree<>>);
 static_assert(Dictionary<shuttle::Swbst<>>);
+static_assert(Dictionary<shard::ShardedDictionary<cola::Gcola<>>>);
+static_assert(Dictionary<shard::ShardedDictionary<AnyDictionary>>);
 
 TEST(AnyDictionary, ForwardsAllOperations) {
   AnyDictionary d("cola", cola::Gcola<>{});

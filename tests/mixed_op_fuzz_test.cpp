@@ -35,6 +35,7 @@
 #include "cola/deamortized_fc_cola.hpp"
 #include "common/rng.hpp"
 #include "model_helpers.hpp"
+#include "shard/sharded_dictionary.hpp"
 #include "shuttle/shuttle_tree.hpp"
 
 namespace costream {
@@ -570,6 +571,84 @@ TEST(MixedOpFuzz, Baselines) {
   fuzz_config("btree", [] { return btree::BTree<>(512); });
   fuzz_config("brt", [] { return brt::Brt<>(512); });
   fuzz_config("cob", [] { return cob::CobTree<>(); }, 1000);
+}
+
+/// Splitters spreading the fuzz universe (default 400) over S shards, so
+/// the sharded arms genuinely scatter, drain, and fuse across shards
+/// instead of degenerating into shard 0.
+std::vector<Key> fuzz_splitters(std::size_t shards, Key universe = 400) {
+  std::vector<Key> sp;
+  for (std::size_t i = 1; i < shards; ++i) sp.push_back(universe * i / shards);
+  return sp;
+}
+
+TEST(MixedOpFuzz, ShardedColaCascadeModes) {
+  // The concrete hot path: Gcola inners across the cascade modes, behind
+  // real worker threads and SPSC queues. Interleaved finds/ranges/cursor
+  // ops exercise the drain barrier on every read.
+  for (const std::size_t s : {2u, 4u}) {
+    for (const unsigned g : {2u, 8u}) {
+      fuzz_config("sharded-s" + std::to_string(s) + "-staged-g" + std::to_string(g),
+                  [s, g] {
+                    shard::ShardedConfig<> sc;
+                    sc.shards = s;
+                    sc.splitters = fuzz_splitters(s);
+                    return shard::ShardedDictionary<cola::Gcola<>>(
+                        sc, [g](std::size_t) {
+                          return cola::Gcola<>(cola::ingest_tuned(g, 24));
+                        });
+                  },
+                  900);
+    }
+    fuzz_config("sharded-s" + std::to_string(s) + "-classic",
+                [s] {
+                  shard::ShardedConfig<> sc;
+                  sc.shards = s;
+                  sc.splitters = fuzz_splitters(s);
+                  return shard::ShardedDictionary<cola::Gcola<>>(
+                      sc, [](std::size_t) {
+                        return cola::Gcola<>(cola::ColaConfig{2, 0.1});
+                      });
+                },
+                900);
+  }
+}
+
+TEST(MixedOpFuzz, ShardedEveryInnerPreset) {
+  // Every structure kind as the shard inner (type-erased), S in {2, 4} —
+  // the facade's semantics must be kind-independent.
+  for (const char* kind :
+       {"cola", "shuttle", "deam", "fc-deam", "btree", "brt", "cob"}) {
+    for (const std::size_t s : {2u, 4u}) {
+      fuzz_config(
+          std::string("sharded-any-") + kind + "-s" + std::to_string(s),
+          [kind, s] {
+            shard::ShardedConfig<> sc;
+            sc.shards = s;
+            sc.splitters = fuzz_splitters(s);
+            return shard::ShardedDictionary<api::AnyDictionary>(
+                sc, [kind](std::size_t) {
+                  return api::make_dictionary(kind,
+                                              api::DictConfig::ingest_tuned(8, 24));
+                });
+          },
+          500);
+    }
+  }
+}
+
+TEST(MixedOpFuzz, ShardedLearnedSplittersViaPresets) {
+  // The make_dictionary(cfg.shards > 1) path: splitters learn from the
+  // first batch (or fall back to key-prefix defaults when the trace opens
+  // with a single op) — both must be invisible to the differential oracle.
+  for (const unsigned g : {2u, 8u}) {
+    fuzz_config("sharded-presets-cola-g" + std::to_string(g),
+                [g] {
+                  return api::make_dictionary(
+                      "cola", api::DictConfig::concurrent(g, 4, 24));
+                },
+                600);
+  }
 }
 
 TEST(MixedOpFuzz, AnyDictionaryPresets) {

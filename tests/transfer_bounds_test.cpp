@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "dam/bounds.hpp"
 #include "dam/dam_mem_model.hpp"
+#include "shard/sharded_dictionary.hpp"
 
 namespace costream {
 namespace {
@@ -293,6 +294,67 @@ TEST(TransferBounds, GrowthFactorTradesInsertsForSearches) {
   const auto [ins16, srch16] = run(16);
   EXPECT_LT(ins2, ins16) << "g=2 inserts cheaper";
   EXPECT_LT(srch16, srch2) << "g=16 searches cheaper";
+}
+
+// Sharded facade (shard/sharded_dictionary.hpp): S range partitions, each
+// an independent growth-g structure at ~N/S scale. Total transfers across
+// all shards must stay within a constant of the closed-form sharded insert
+// bound, a point find must pay only ONE shard's search bound, and the
+// per-shard transfer split must be roughly even for a uniform feed (the
+// quantile splitter did its job).
+TEST(TransferBounds, ShardedInsertAndSearchBoundsHold) {
+  const std::uint64_t n = 1 << 16;
+  const std::uint64_t mem = 1 << 19;
+  using DamCola = cola::Gcola<Key, Value, dam::dam_mem_model>;
+  for (const std::size_t S : {2u, 4u}) {
+    shard::ShardedConfig<> sc;
+    sc.shards = S;
+    shard::ShardedDictionary<DamCola> d(sc, [&](std::size_t) {
+      return DamCola(cola::ingest_tuned(8, 1024),
+                     dam::dam_mem_model(kBlock, mem / S));
+    });
+    std::vector<Entry<>> batch(1024);
+    for (std::uint64_t i = 0; i < n;) {
+      for (auto& e : batch) {
+        e = Entry<>{mix64(i), i};
+        ++i;
+      }
+      d.insert_batch(batch.data(), batch.size());
+    }
+    d.flush_stage();
+    std::uint64_t total = 0;
+    std::uint64_t max_shard = 0;
+    for (std::size_t s = 0; s < S; ++s) {
+      const std::uint64_t t = d.shard_mut(s).mm().stats().transfers;
+      total += t;
+      max_shard = std::max(max_shard, t);
+    }
+    const double per_op = static_cast<double>(total) / static_cast<double>(n);
+    const double bound = dam::sharded_insert_transfer_bound(
+        static_cast<double>(n), static_cast<double>(S), 8.0, kBlock / 24.0);
+    EXPECT_LT(per_op, 16.0 * bound) << "S=" << S;
+    EXPECT_GT(per_op, 0.05 * bound) << "S=" << S << " (model wildly loose)";
+    // Uniform feed + learned quantile splitters: no shard should carry more
+    // than ~2x its even share of the transfer volume.
+    EXPECT_LT(static_cast<double>(max_shard),
+              2.0 * static_cast<double>(total) / static_cast<double>(S))
+        << "S=" << S;
+    // Point find: one shard's search bound, not S of them.
+    for (std::size_t s = 0; s < S; ++s) {
+      d.shard_mut(s).mm().clear_cache();
+      d.shard_mut(s).mm().reset_stats();
+    }
+    (void)d.find(mix64(42));
+    std::uint64_t search_total = 0;
+    for (std::size_t s = 0; s < S; ++s) {
+      search_total += d.shard_mut(s).mm().stats().transfers;
+    }
+    const double search_bound = dam::sharded_search_transfer_bound(
+        static_cast<double>(n), static_cast<double>(S), 8.0, kBlock / 24.0,
+        /*staged_elems=*/0.0, /*segments_per_level=*/7.0);
+    EXPECT_LT(static_cast<double>(search_total), 4.0 * search_bound + 4.0)
+        << "S=" << S;
+  }
 }
 
 // The paper's Figure 2/3 contrast in transfer terms: sorted (descending)
