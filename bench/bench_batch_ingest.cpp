@@ -45,10 +45,13 @@
 //   REPRO_FAST     nonzero -> smoke-test size
 //   REPRO_STRUCTS  comma list filtering the structure set, e.g. "cola,shuttle"
 //   REPRO_ORDERS   comma list filtering the key orders, e.g. "random,eraseheavy"
+#include <stdlib.h>  // mkdtemp (POSIX)
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -66,6 +69,8 @@
 #include "common/workload.hpp"
 #include "dam/dam_mem_model.hpp"
 #include "shuttle/shuttle_tree.hpp"
+#include "storage/durable_dict.hpp"
+#include "storage/posix_env.hpp"
 
 using namespace costream;
 
@@ -204,6 +209,20 @@ bool in_env_list(const char* env, const std::string& name) {
 
 bool structure_enabled(const char* name) { return in_env_list("REPRO_STRUCTS", name); }
 
+/// Fresh private directory for a durable-arm run (removed by the caller).
+std::string make_temp_dir(const char* tag) {
+  std::string tmpl = (std::filesystem::temp_directory_path() /
+                      (std::string("cos-") + tag + "-XXXXXX"))
+                         .string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  return std::string(buf.data());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -251,6 +270,46 @@ int main(int argc, char** argv) {
                                                       dam::dam_mem_model(block, mem));
         cells.push_back(
             run_cell(arm, order, w, d, d.mm(), ks, n, b, g, cfg.staging_capacity));
+      }
+      // Durable WAL arms: the same g=8 staged inner behind the storage
+      // tier, on a real directory (PosixEnv). Wall clock only — the DAM
+      // model measures the in-memory cascade; these arms measure what the
+      // WAL + spill machinery costs on top of it, per fsync policy. Batch
+      // sizes below 64 are skipped (one fsync per record under kAlways
+      // would measure the device, not the structure).
+      if (order == "random" && b >= 64) {
+        struct WalArm {
+          const char* name;
+          storage::FsyncPolicy policy;
+        };
+        for (const WalArm arm :
+             {WalArm{"cola-g8-wal", storage::FsyncPolicy::kBatch},
+              WalArm{"cola-g8-wal-always", storage::FsyncPolicy::kAlways},
+              WalArm{"cola-g8-wal-never", storage::FsyncPolicy::kNever}}) {
+          if (!structure_enabled(arm.name)) continue;
+          const std::string dir = make_temp_dir(arm.name);
+          {
+            storage::DurableConfig dc;
+            dc.inner = cola::ingest_tuned(8, 1024);
+            dc.fsync_policy = arm.policy;
+            storage::DurableDictionary d(
+                std::make_unique<storage::PosixEnv>(dir), dc);
+            Cell c;
+            c.structure = arm.name;
+            c.order = order;
+            c.batch = b;
+            c.n = n;
+            c.growth = 8;
+            c.staging = dc.inner.staging_capacity;
+            Timer timer;
+            ingest(d, order, ks, n, b);
+            const double wall = timer.seconds();
+            c.wall_rate = wall > 0 ? static_cast<double>(n) / wall : 0.0;
+            c.modeled_rate = c.wall_rate;  // no DAM run for the durable tier
+            cells.push_back(c);
+          }
+          std::filesystem::remove_all(dir);
+        }
       }
       if (structure_enabled("shuttle")) {
         shuttle::ShuttleTree<> w;
@@ -365,6 +424,21 @@ int main(int argc, char** argv) {
         if (kilo != nullptr) {
           std::printf("  %-10s %.2fx\n", s.c_str(), kilo->wall_rate / base->wall_rate);
         }
+      }
+    }
+  }
+
+  // Durability acceptance line: WAL-on (default group-commit policy)
+  // batch-1024 ingest against the same staged inner running purely in
+  // memory. Bar: >= 0.70x — the WAL is a sequential streaming append, so
+  // group commit must amortize it into noise next to the cascade.
+  {
+    const Cell* mem8 = cell_at("cola-g8", "random", 1024);
+    std::printf("\n# WAL overhead: batch-1024 random ingest vs in-memory cola-g8\n");
+    for (const char* arm : {"cola-g8-wal", "cola-g8-wal-always", "cola-g8-wal-never"}) {
+      const Cell* w = cell_at(arm, "random", 1024);
+      if (mem8 != nullptr && w != nullptr && mem8->wall_rate > 0) {
+        std::printf("  %-18s %.2fx\n", arm, w->wall_rate / mem8->wall_rate);
       }
     }
   }

@@ -26,9 +26,15 @@ Regenerating the baseline (after an intentional perf change)::
 
     cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build build-rel -j --target bench_batch_ingest
-    REPRO_MAXN=$((1<<18)) REPRO_STRUCTS=cola,cola-g2,cola-g4,cola-g8,cola-g16 \
+    REPRO_MAXN=$((1<<18)) \
+    REPRO_STRUCTS=cola,cola-g2,cola-g4,cola-g8,cola-g16,cola-g8-wal,cola-g8-wal-always,cola-g8-wal-never \
         ./build-rel/bench/bench_batch_ingest \
         --json-out bench/baselines/BENCH_baseline.json
+
+The ``cola-g8-wal*`` arms ingest through the durable tier (real WAL +
+segment spills under ``$TMPDIR``); their wall rates depend on the
+filesystem as well as the machine, so they are tracked for presence and
+reported, never shape-compared.
 
 or pass ``--update-baseline`` to this script to copy the current run over
 the baseline file once you have eyeballed the report.
@@ -47,7 +53,32 @@ def load_cells(path):
     if "BEGIN_JSON" in text:
         text = text.split("BEGIN_JSON", 1)[1].split("END_JSON", 1)[0]
     cells = json.loads(text)
-    return {(c["structure"], c["order"], c["batch"]): c for c in cells}
+    if not isinstance(cells, list) or not cells:
+        raise ValueError("no cells: empty or non-array JSON")
+    out = {}
+    for i, c in enumerate(cells):
+        for k in ("structure", "order", "batch"):
+            if k not in c:
+                raise ValueError(
+                    f"cell {i} lacks identity key '{k}' — truncated or "
+                    f"hand-edited JSON; regenerate it (see --help)")
+        out[(c["structure"], c["order"], c["batch"])] = c
+    return out
+
+
+def metric(cell, key, where):
+    """A metric a comparison depends on; a clean exit-2 when absent.
+
+    Cells written by an older bench binary (or trimmed by hand) can lack
+    metrics the comparison needs; a bare KeyError traceback here reads as
+    a broken CI script rather than what it is — a stale baseline.
+    """
+    if key not in cell:
+        print(f"error: cell {where} lacks metric '{key}' — stale baseline or "
+              f"trimmed run; regenerate the baseline (see --help)",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return cell[key]
 
 
 def main():
@@ -108,7 +139,8 @@ def main():
             print(f"error: {key}: baseline n={b.get('n')} vs current "
                   f"n={c.get('n')} — runs are not comparable", file=sys.stderr)
             return 2
-        bt, ct = b["transfers_per_op"], c["transfers_per_op"]
+        bt = metric(b, "transfers_per_op", f"baseline {key}")
+        ct = metric(c, "transfers_per_op", f"current {key}")
         if bt > 0 and ct > bt * (1 + args.threshold):
             failures.append(
                 f"{key}: transfers_per_op {bt:.6f} -> {ct:.6f} "
@@ -129,17 +161,25 @@ def main():
     for (s, o), cells in sorted(series.items()):
         base1 = cells.get(1)
         cur1 = current.get((s, o, 1))
-        if not base1 or not cur1 or base1["wall_rate"] <= 0 or cur1["wall_rate"] <= 0:
+        if not base1 or not cur1:
+            continue
+        base1_rate = metric(base1, "wall_rate", f"baseline ({s}, {o}, 1)")
+        cur1_rate = metric(cur1, "wall_rate", f"current ({s}, {o}, 1)")
+        if base1_rate <= 0 or cur1_rate <= 0:
             continue
         log_sum, count = 0.0, 0
         for batch, bcell in sorted(cells.items()):
             if batch == 1:
                 continue
             ccell = current.get((s, o, batch))
-            if not ccell or bcell["wall_rate"] <= 0 or ccell["wall_rate"] <= 0:
+            if not ccell:
                 continue
-            bratio = bcell["wall_rate"] / base1["wall_rate"]
-            cratio = ccell["wall_rate"] / cur1["wall_rate"]
+            brate = metric(bcell, "wall_rate", f"baseline ({s}, {o}, {batch})")
+            crate = metric(ccell, "wall_rate", f"current ({s}, {o}, {batch})")
+            if brate <= 0 or crate <= 0:
+                continue
+            bratio = brate / base1_rate
+            cratio = crate / cur1_rate
             log_sum += math.log(cratio / bratio)
             count += 1
         if count == 0:

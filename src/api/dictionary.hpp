@@ -273,6 +273,16 @@ struct DictConfig {
   // shard — note the staging arena is per shard, so the facade's deferred
   // state totals S * g * batch_hint entries.
   std::size_t shards = 1;
+  // Durable crash-consistent tier (storage/durable_dict.hpp; "cola" kind
+  // only). Non-empty durable_dir wraps the COLA in a DurableDictionary
+  // rooted at that directory: every mutation is WAL-logged before it is
+  // applied, deep folds spill checksummed segment files, and reopening the
+  // same directory recovers the pre-crash state. Plain types here (no
+  // storage-layer includes) keep the API layer's layering: presets.hpp
+  // translates them into a DurableConfig.
+  std::string durable_dir;
+  int durable_fsync = 1;  // 0 = every record, 1 = group commit, 2 = never
+  std::size_t spill_depth = 6;  // folds at or past this level hit storage
 
   /// Ingest-tuned preset for growth factor g: staging on, arena g * hint.
   static DictConfig ingest_tuned(unsigned g, std::size_t hint = 1024) {
@@ -288,6 +298,15 @@ struct DictConfig {
                                std::size_t hint = 1024) {
     DictConfig c = ingest_tuned(g, hint);
     c.shards = shard_count;
+    return c;
+  }
+
+  /// Durable preset: the ingest-tuned geometry persisted under `dir` with
+  /// group-commit WAL durability (the default fsync policy).
+  static DictConfig durable(unsigned g, std::string dir,
+                            std::size_t hint = 1024) {
+    DictConfig c = ingest_tuned(g, hint);
+    c.durable_dir = std::move(dir);
     return c;
   }
 };

@@ -5,6 +5,7 @@
 // growth presets without repeating it.
 #pragma once
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -18,6 +19,8 @@
 #include "cola/deamortized_fc_cola.hpp"
 #include "shard/sharded_dictionary.hpp"
 #include "shuttle/shuttle_tree.hpp"
+#include "storage/durable_dict.hpp"
+#include "storage/posix_env.hpp"
 
 namespace costream::api {
 
@@ -70,7 +73,19 @@ inline AnyDictionary make_dictionary(const std::string& kind,
               return make_dictionary(kind, inner_cfg);
             }));
   }
-  if (kind == "cola") return AnyDictionary(kind, cola::Gcola<>(to_cola_config(cfg)));
+  if (kind == "cola") {
+    if (!cfg.durable_dir.empty()) {
+      storage::DurableConfig dc;
+      dc.inner = to_cola_config(cfg);
+      dc.fsync_policy = static_cast<storage::FsyncPolicy>(cfg.durable_fsync);
+      dc.spill_depth = cfg.spill_depth;
+      return AnyDictionary(
+          kind + "-durable",
+          storage::DurableDictionary(
+              std::make_unique<storage::PosixEnv>(cfg.durable_dir), dc));
+    }
+    return AnyDictionary(kind, cola::Gcola<>(to_cola_config(cfg)));
+  }
   if (kind == "shuttle") {
     return AnyDictionary(kind, shuttle::ShuttleTree<>(to_shuttle_config(cfg)));
   }

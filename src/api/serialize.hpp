@@ -2,10 +2,18 @@
 // structure that offers `for_each` (dump) and `bulk_load` (restore).
 //
 // Format (little-endian):
-//   magic   u64  'COSTRM01'
-//   count   u64
-//   entries count x { key u64, value u64 }
-//   checksum u64  (xor-fold of all entry words, seeded)
+//   magic    u64  'COSTRM02'
+//   count    u64
+//   entries  count x { key u64, value u64 }
+//   checksum u64  (CRC32C of header + entries, in the low 32 bits)
+//
+// The checksum is the library-wide CRC32C (common/crc32c.hpp — the same
+// polynomial guarding WAL records and segment blocks), computed over
+// everything before the checksum field, so a flipped bit anywhere in the
+// buffer — header, count, keys, values — fails restore() with a typed
+// CorruptionError. The magic bumped 01 -> 02 with the checksum change:
+// old xor-fold snapshots are rejected up front as bad magic rather than
+// failing checksum validation with a misleading error.
 //
 // Snapshots are logical: tombstones and level/node structure are compacted
 // away on save, so loading yields an equivalent dictionary in its densest
@@ -16,14 +24,15 @@
 
 #include <cstdint>
 #include <cstring>
-#include <stdexcept>
 #include <vector>
 
+#include "common/crc32c.hpp"
 #include "common/entry.hpp"
+#include "common/error.hpp"
 
 namespace costream::api {
 
-inline constexpr std::uint64_t kSnapshotMagic = 0x434f5354524d3031ULL;  // "COSTRM01"
+inline constexpr std::uint64_t kSnapshotMagic = 0x434f5354524d3032ULL;  // "COSTRM02"
 
 namespace detail {
 
@@ -37,12 +46,6 @@ inline std::uint64_t get_u64(const std::uint8_t* p) {
   return v;
 }
 
-inline std::uint64_t fold(std::uint64_t acc, std::uint64_t v) {
-  // xor-rotate fold: order-sensitive, catches swapped/dropped words.
-  acc ^= v;
-  return (acc << 7) | (acc >> 57);
-}
-
 }  // namespace detail
 
 /// Snapshot the live contents of `dict` (ascending key order).
@@ -52,47 +55,49 @@ std::vector<std::uint8_t> snapshot(const D& dict) {
   detail::put_u64(out, kSnapshotMagic);
   detail::put_u64(out, 0);  // count patched below
   std::uint64_t count = 0;
-  std::uint64_t sum = 0x5eed;
   dict.for_each([&](Key k, Value v) {
     detail::put_u64(out, k);
     detail::put_u64(out, v);
-    sum = detail::fold(sum, k);
-    sum = detail::fold(sum, v);
     ++count;
   });
   // Patch the count in place.
   for (int i = 0; i < 8; ++i) out[8 + i] = static_cast<std::uint8_t>(count >> (8 * i));
-  detail::put_u64(out, sum);
+  detail::put_u64(out, crc32c(out.data(), out.size()));
   return out;
 }
 
 /// Restore a snapshot into `dict` via bulk_load, replacing its contents.
-/// Throws std::invalid_argument on malformed or corrupted input.
+/// Throws CorruptionError on malformed, truncated, or bit-flipped input —
+/// every byte of the buffer is covered by the CRC, so corruption anywhere
+/// is a typed error, never UB.
 template <class D>
 void restore(D& dict, const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < 24) throw std::invalid_argument("snapshot: truncated header");
+  if (bytes.size() < 24) throw CorruptionError("snapshot: truncated header");
   if (detail::get_u64(bytes.data()) != kSnapshotMagic) {
-    throw std::invalid_argument("snapshot: bad magic");
+    throw CorruptionError("snapshot: bad magic");
   }
   const std::uint64_t count = detail::get_u64(bytes.data() + 8);
+  // Overflow-safe size check: reject counts the buffer cannot possibly hold
+  // before computing count * 16.
+  if (count > (bytes.size() - 24) / 16) {
+    throw CorruptionError("snapshot: size mismatch");
+  }
   const std::uint64_t expect_size = 16 + count * 16 + 8;
-  if (bytes.size() != expect_size) throw std::invalid_argument("snapshot: size mismatch");
+  if (bytes.size() != expect_size) throw CorruptionError("snapshot: size mismatch");
+  const std::uint64_t stored = detail::get_u64(bytes.data() + 16 + count * 16);
+  if (crc32c(bytes.data(), bytes.size() - 8) != stored) {
+    throw CorruptionError("snapshot: checksum mismatch");
+  }
 
   std::vector<Entry<>> entries;
   entries.reserve(count);
-  std::uint64_t sum = 0x5eed;
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t k = detail::get_u64(bytes.data() + 16 + i * 16);
     const std::uint64_t v = detail::get_u64(bytes.data() + 16 + i * 16 + 8);
-    sum = detail::fold(sum, k);
-    sum = detail::fold(sum, v);
     if (i > 0 && !(entries.back().key < k)) {
-      throw std::invalid_argument("snapshot: keys not strictly ascending");
+      throw CorruptionError("snapshot: keys not strictly ascending");
     }
     entries.push_back(Entry<>{k, v});
-  }
-  if (detail::get_u64(bytes.data() + 16 + count * 16) != sum) {
-    throw std::invalid_argument("snapshot: checksum mismatch");
   }
   dict.bulk_load(entries);
 }

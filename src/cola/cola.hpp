@@ -514,6 +514,7 @@ class Gcola {
       lv.seg_min.assign(1, sorted.front().key);
       lv.seg_max.assign(1, sorted.back().key);
       lv.seg_stale.assign(1, 0);
+      lv.seg_ids.assign(1, next_seg_id_++);
       lv.stale_count = 0;
       touch_titems(t, 0, lv.tslots.size(), /*write=*/true);
     } else {
@@ -532,6 +533,90 @@ class Gcola {
     // Mark the level full so future merges cascade past it correctly.
     levels_[t].fills = cfg_.growth - 1;
     stats_.entries_merged += sorted.size();
+  }
+
+  // -- durable-tier hooks -----------------------------------------------------
+
+  /// Observer of tiered folds landing at or past the spill depth: the
+  /// durable tier implements this to write each such segment to storage
+  /// and retire the spill files of the segments the fold consumed.
+  ///
+  /// Fired from inside a cascade, AFTER the in-memory structure is
+  /// consistent. Implementations MUST NOT throw (a throw here would
+  /// unwind through the middle of a fold; record the failure and surface
+  /// it from your own API instead) and must not call back into the Gcola.
+  /// `items` are the new segment's entries in key order (tombstones as
+  /// erase ops); `consumed` lists the seg_ids of previously-observed
+  /// segments this fold destroyed. items == nullptr with n == 0 reports a
+  /// fold whose output annihilated to nothing (consumed still applies).
+  class FoldObserver {
+   public:
+    virtual ~FoldObserver() = default;
+    virtual void on_segment_spill(std::uint64_t seg_id, std::size_t level,
+                                  const Op<K, V>* items, std::size_t n,
+                                  const std::uint64_t* consumed,
+                                  std::size_t n_consumed) = 0;
+  };
+
+  /// Attach (or detach, with nullptr) the spill observer. Folds landing in
+  /// level >= spill_depth report; shallower folds stay memory-only. Tiered
+  /// mode only.
+  void set_fold_observer(FoldObserver* obs, std::size_t spill_depth) {
+    fold_observer_ = obs;
+    spill_depth_ = spill_depth;
+  }
+
+  /// Segment-id counter (durable tier: recovery seeds it past every id the
+  /// manifest has seen so fresh ids never collide with on-disk names).
+  std::uint64_t next_seg_id() const noexcept { return next_seg_id_; }
+  void set_next_seg_id(std::uint64_t id) noexcept { next_seg_id_ = id; }
+
+  /// Fold EVERYTHING (staging arena + all levels) into one stripped
+  /// segment placed no shallower than `min_target` — the checkpoint
+  /// primitive: with an observer attached at spill_depth <= min_target the
+  /// resulting segment (or the empty-output report) reaches storage and
+  /// fully represents the dictionary. Returns true when a segment was
+  /// produced (false for an empty dictionary). Tiered mode only.
+  bool compact_all(std::size_t min_target = 0) {
+    flush_stage();
+    ++mutation_epoch_;
+    const std::size_t d = deepest_nonempty();
+    if (levels_.empty() || item_count() == 0) {
+      // Nothing to fold; still report consumed-nothing so an attached
+      // observer can reset its live set for an empty dictionary.
+      return false;
+    }
+    ++stats_.merges;
+    fold_spans_.clear();
+    gather_spill_consumed(d + 1);
+    std::size_t total = 0;
+    for (std::size_t l = d + 1; l-- > 0;) {
+      const Level& lv = levels_[l];
+      if (lv.real_count == 0) continue;
+      touch_titems(l, 0, lv.tslots.size(), /*write=*/false);
+      for (std::size_t j = 0; j < lv.segs.size(); ++j) {  // oldest first
+        const std::uint32_t b = lv.segs[j];
+        const std::uint32_t e = j + 1 < lv.segs.size()
+                                    ? lv.segs[j + 1]
+                                    : static_cast<std::uint32_t>(lv.tslots.size());
+        fold_spans_.emplace_back(lv.tslots.data() + b, lv.tslots.data() + e);
+      }
+      total += lv.tslots.size();
+    }
+    collapse_fold_spans(total);
+    stats_.duplicates_dropped += total - tfold_buf_.size();
+    strip_tombstones(tfold_buf_);
+    for (std::size_t l = 0; l <= d; ++l) clear_level(levels_[l]);
+    bottom_relocated_ = false;
+    if (tfold_buf_.empty()) {
+      report_empty_fold(min_target);
+      return false;
+    }
+    std::size_t target = std::max(d, min_target);
+    while (real_cap(target) < tfold_buf_.size()) ++target;
+    ensure_level(target);
+    append_segment(target, tfold_buf_);
+    return true;
   }
 
   // -- verification -----------------------------------------------------------
@@ -655,7 +740,8 @@ class Gcola {
       if (lv.seg_tombs.size() != lv.segs.size() ||
           lv.seg_min.size() != lv.segs.size() ||
           lv.seg_max.size() != lv.segs.size() ||
-          lv.seg_stale.size() != lv.segs.size()) {
+          lv.seg_stale.size() != lv.segs.size() ||
+          lv.seg_ids.size() != lv.segs.size()) {
         throw std::logic_error("cola: segment metadata out of step");
       }
       if (lv.segs.empty()) {
@@ -763,6 +849,11 @@ class Gcola {
     std::vector<K> seg_min, seg_max;
     std::vector<std::uint32_t> seg_stale;
     std::uint64_t stale_count = 0;
+    // Tiered mode: stable identity per segment (parallels segs), assigned
+    // at append and carried through trivial moves. The durable tier keys
+    // its spill files by these ids, so a fold can report exactly which
+    // on-disk segments it consumed.
+    std::vector<std::uint64_t> seg_ids;
   };
 
   // -- geometry ---------------------------------------------------------------
@@ -1418,20 +1509,12 @@ class Gcola {
         to.seg_min.swap(from.seg_min);
         to.seg_max.swap(from.seg_max);
         to.seg_stale.swap(from.seg_stale);
+        to.seg_ids.swap(from.seg_ids);  // identities travel with the data
         to.tomb_count = from.tomb_count;
         to.stale_count = from.stale_count;
         to.real_count = from.real_count;
         to.fills = from.fills;
-        from.tslots.clear();
-        from.segs.clear();
-        from.seg_tombs.clear();
-        from.seg_min.clear();
-        from.seg_max.clear();
-        from.seg_stale.clear();
-        from.real_count = 0;
-        from.tomb_count = 0;
-        from.stale_count = 0;
-        from.fills = 0;
+        clear_level(from);
         touch_titems(t, 0, to.tslots.size(), /*write=*/true);
         bottom_relocated_ = true;
         t = select_cascade_target(incoming);
@@ -1535,19 +1618,8 @@ class Gcola {
     collapse_fold_spans(total);
     stats_.duplicates_dropped += total - tfold_buf_.size();
     strip_tombstones(tfold_buf_);
-    for (std::size_t l = 0; l <= d; ++l) {
-      Level& lv = levels_[l];
-      lv.tslots.clear();
-      lv.segs.clear();
-      lv.seg_tombs.clear();
-      lv.seg_min.clear();
-      lv.seg_max.clear();
-      lv.seg_stale.clear();
-      lv.real_count = 0;
-      lv.tomb_count = 0;
-      lv.stale_count = 0;
-      lv.fills = 0;
-    }
+    gather_spill_consumed(d + 1);
+    for (std::size_t l = 0; l <= d; ++l) clear_level(levels_[l]);
     // Levels 0..d together hold up to g/(g-1) * real_cap(d) items, so a
     // fold that annihilates little can exceed the deepest level's own
     // capacity — place the output in the shallowest level that fits it
@@ -1556,6 +1628,7 @@ class Gcola {
     while (real_cap(target) < tfold_buf_.size()) ++target;
     ensure_level(target);
     append_segment(target, tfold_buf_);
+    if (tfold_buf_.empty()) report_empty_fold(target);
     // This fold IS a bottom compaction: the next deepest-level drain may
     // take the trivial move again.
     bottom_relocated_ = false;
@@ -1597,6 +1670,7 @@ class Gcola {
         l0.seg_min.assign(1, key);
         l0.seg_max.assign(1, key);
         l0.seg_stale.assign(1, 0);
+        l0.seg_ids.assign(1, next_seg_id_++);
         l0.stale_count = 0;
         touch_titems(0, 0, 1, /*write=*/true);
       } else {
@@ -1724,25 +1798,15 @@ class Gcola {
     if (drop_tombstones) bottom_relocated_ = false;
     collapse_fold_spans(total);
     const std::size_t merged = tfold_buf_.size();
+    gather_spill_consumed(t);
     // Sources are cleared only after the fold — the spans read from them.
-    for (std::size_t l = 0; l < t; ++l) {
-      Level& lv = levels_[l];
-      lv.segs.clear();
-      lv.seg_tombs.clear();
-      lv.seg_min.clear();
-      lv.seg_max.clear();
-      lv.seg_stale.clear();
-      lv.tslots.clear();  // keeps capacity for the refill
-      lv.fills = 0;
-      lv.real_count = 0;
-      lv.tomb_count = 0;
-      lv.stale_count = 0;
-    }
+    for (std::size_t l = 0; l < t; ++l) clear_level(levels_[l]);
     stats_.duplicates_dropped += total - merged;
     // A tombstone can be discarded only when no older copy of its key can
     // exist anywhere — deepest level AND no older segments in the target.
     if (drop_tombstones) strip_tombstones(tfold_buf_);
     append_segment(t, tfold_buf_);
+    if (tfold_buf_.empty()) report_empty_fold(t);
     // Staleness estimate, at zero extra I/O: the fold's final merge round
     // just counted its DISTINCT duplicated keys (last_collapse_final_dups_)
     // — a measured sample of how many distinct keys this feed rewrites. A
@@ -1920,6 +1984,8 @@ class Gcola {
   /// Append `content` as the new (last) segment of level l. Tiered levels
   /// are left-justified and grow on demand, so this is one amortized
   /// sequential write with no rewrite of the level's existing segments.
+  /// Landing at or past the spill depth reports the segment (and the
+  /// consumed ids gathered by the fold) to the attached observer.
   void append_segment(std::size_t l, const std::vector<TItem>& content) {
     if (content.empty()) return;
     Level& lv = levels_[l];
@@ -1933,12 +1999,63 @@ class Gcola {
     lv.seg_min.push_back(content.front().key);
     lv.seg_max.push_back(content.back().key);
     lv.seg_stale.push_back(0);
+    const std::uint64_t seg_id = next_seg_id_++;
+    lv.seg_ids.push_back(seg_id);
     lv.tslots.insert(lv.tslots.end(), content.begin(), content.end());
     touch_titems(l, nb, content.size(), /*write=*/true);
     lv.real_count += content.size();
     lv.fills = static_cast<std::uint32_t>(
         std::min<std::size_t>(lv.segs.size(), cfg_.growth - 1));
     stats_.entries_merged += content.size();
+    if (fold_observer_ != nullptr && l >= spill_depth_) {
+      spill_items_.clear();
+      spill_items_.reserve(content.size());
+      for (const TItem& t : content) {
+        spill_items_.push_back(t.is_tombstone() ? Op<K, V>::del(t.key)
+                                                : Op<K, V>::put(t.key, t.value));
+      }
+      fold_observer_->on_segment_spill(seg_id, l, spill_items_.data(),
+                                       spill_items_.size(),
+                                       spill_consumed_.data(),
+                                       spill_consumed_.size());
+    }
+    spill_consumed_.clear();
+  }
+
+  /// Collect the seg_ids of every segment in levels [spill_depth_, n) —
+  /// the previously-observed segments an imminent fold of levels 0..n-1
+  /// will destroy — into spill_consumed_ for the observer callback.
+  void gather_spill_consumed(std::size_t n) {
+    spill_consumed_.clear();
+    if (fold_observer_ == nullptr) return;
+    for (std::size_t l = spill_depth_; l < n && l < levels_.size(); ++l) {
+      for (std::uint64_t id : levels_[l].seg_ids) spill_consumed_.push_back(id);
+    }
+  }
+
+  /// A fold whose output annihilated to nothing still destroyed its spilled
+  /// sources — report that (items == nullptr) so the observer retires them.
+  void report_empty_fold(std::size_t level) {
+    if (fold_observer_ != nullptr && !spill_consumed_.empty()) {
+      fold_observer_->on_segment_spill(next_seg_id_++, level, nullptr, 0,
+                                       spill_consumed_.data(),
+                                       spill_consumed_.size());
+    }
+    spill_consumed_.clear();
+  }
+
+  static void clear_level(Level& lv) {
+    lv.tslots.clear();
+    lv.segs.clear();
+    lv.seg_tombs.clear();
+    lv.seg_min.clear();
+    lv.seg_max.clear();
+    lv.seg_stale.clear();
+    lv.seg_ids.clear();
+    lv.real_count = 0;
+    lv.tomb_count = 0;
+    lv.stale_count = 0;
+    lv.fills = 0;
   }
 
   /// Merge `acc` (the newest run: sorted, unique keys) together with levels
@@ -2195,6 +2312,14 @@ class Gcola {
   // Trivial-move alternation flag: set when the deepest level is relocated
   // unmerged, cleared by the next true bottom fold (see cascade_run_tiered).
   bool bottom_relocated_ = false;
+  // Durable-tier spill hooks: segment identity counter, the attached
+  // observer (nullptr = memory-only), the depth at which folds report, and
+  // scratch for the consumed-id list and the Op-form segment contents.
+  std::uint64_t next_seg_id_ = 1;
+  FoldObserver* fold_observer_ = nullptr;
+  std::size_t spill_depth_ = 0;
+  std::vector<std::uint64_t> spill_consumed_;
+  std::vector<Op<K, V>> spill_items_;
   // Dictionary-owned cursor scratch backing range_for_each/for_each, so the
   // scan paths reuse one warm state across calls (mutable: scans are const
   // and the state is pure scratch; scans are not reentrant).

@@ -123,4 +123,34 @@ inline double sharded_search_transfer_bound(double n, double shards,
                                     segments_per_level);
 }
 
+/// Per-operation transfer bound for the write-ahead log in front of the
+/// tiered COLA (storage/wal.hpp): every mutation appends one framed record
+/// of `record_bytes` sequentially, a streaming cost of record_bytes / B
+/// blocks, plus `syncs_per_op` forced barriers that each pay at least one
+/// block regardless of how little data they cover. Group commit is exactly
+/// the knob that drives syncs_per_op from 1 (kAlways) toward
+/// record_bytes / group_commit_bytes (kBatch) — the WAL is asymptotically
+/// free relative to the cascade's log_g(N) * g / B as long as syncs are
+/// amortized, which is what the wal-on/wal-off bench arms measure.
+inline double wal_append_transfer_bound(double record_bytes, double block_bytes,
+                                        double syncs_per_op) noexcept {
+  return record_bytes / std::max(1.0, block_bytes) +
+         std::max(0.0, syncs_per_op);
+}
+
+/// Amortized checkpoint transfer bound: a checkpoint rewrites the FULL
+/// dictionary (n elements of `entry_bytes` each) into an immutable segment
+/// file, once every `ops_per_checkpoint` operations (the
+/// checkpoint_wal_bytes policy divided by the per-op record size). Spread
+/// over the interval, each operation carries n * entry_bytes /
+/// (ops_per_checkpoint * B) transfers of checkpoint traffic — the term to
+/// add to wal_append_transfer_bound for the durable tier's total write
+/// amplification.
+inline double checkpoint_transfer_bound(double n, double entry_bytes,
+                                        double ops_per_checkpoint,
+                                        double block_bytes) noexcept {
+  return n * entry_bytes /
+         (std::max(1.0, ops_per_checkpoint) * std::max(1.0, block_bytes));
+}
+
 }  // namespace costream::dam

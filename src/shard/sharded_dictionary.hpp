@@ -59,6 +59,7 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -192,6 +193,7 @@ class ShardedDictionary {
   /// Flush every shard's deferred state (staging arenas etc.) and drain, so
   /// the caller observes the full cost of everything ingested so far.
   void flush_stage() {
+    throw_if_failed();
     for (auto& sh : shards_) {
       Job* job = sh->ring.begin_push();
       job->kind = Job::Kind::kFlush;
@@ -343,11 +345,23 @@ class ShardedDictionary {
           if (stop.load(std::memory_order_acquire)) return;
           continue;
         }
-        if (job->kind == Job::Kind::kApply) {
-          dict.apply_batch(job->ops.data(), job->ops.size());
-        } else {
-          if constexpr (requires(Inner& d) { d.flush_stage(); }) {
-            dict.flush_stage();
+        // A throwing inner structure must not kill the worker (that would
+        // std::terminate) and must not wedge the drain barrier: the job is
+        // popped and counted NO MATTER WHAT, the first exception is kept,
+        // and once failed the worker drains its queue without applying —
+        // the facade rethrows on its next call (throw_if_failed).
+        if (!failed.load(std::memory_order_relaxed)) {
+          try {
+            if (job->kind == Job::Kind::kApply) {
+              dict.apply_batch(job->ops.data(), job->ops.size());
+            } else {
+              if constexpr (requires(Inner& d) { d.flush_stage(); }) {
+                dict.flush_stage();
+              }
+            }
+          } catch (...) {
+            error = std::current_exception();
+            failed.store(true, std::memory_order_release);
           }
         }
         job->ops.clear();  // keep capacity: it circulates back to the producer
@@ -362,8 +376,25 @@ class ShardedDictionary {
     std::atomic<bool> stop{false};
     std::atomic<std::uint64_t> completed{0};
     std::uint64_t submitted = 0;  // facade-thread-only
+    // First exception the worker caught; `failed` publishes it (the store
+    // is release, the facade's load acquire, so the exception_ptr write
+    // happens-before any rethrow).
+    std::exception_ptr error;
+    std::atomic<bool> failed{false};
     std::thread worker;
   };
+
+  /// Surface a worker's stored exception on the calling thread. Checked at
+  /// the top of every facade operation: a shard whose inner structure threw
+  /// has silently dropped jobs since, so no result after that point can be
+  /// trusted. The failed state is sticky — every later call rethrows too.
+  void throw_if_failed() const {
+    for (const auto& sh : shards_) {
+      if (sh->failed.load(std::memory_order_acquire)) {
+        std::rethrow_exception(sh->error);
+      }
+    }
+  }
 
   std::size_t shard_of(const K& k) const {
     return static_cast<std::size_t>(
@@ -372,6 +403,7 @@ class ShardedDictionary {
   }
 
   void single(const Op<K, V>& o) {
+    throw_if_failed();
     if (!frozen_) {
       frozen_ = true;
       if (splitters_.empty()) default_splitters();
@@ -393,6 +425,7 @@ class ShardedDictionary {
   /// the sorted run into per-shard contiguous subranges — no per-element
   /// scatter copies, just S-1 binary searches over the run.
   void apply_normalized() {
+    throw_if_failed();
     sort_dedup_newest_wins(norm_, norm_scratch_);
     if (!frozen_) freeze_from(norm_);
     const Op<K, V>* at = norm_.data();
@@ -454,6 +487,7 @@ class ShardedDictionary {
   }
 
   void drain_shard(const Shard& sh) const {
+    throw_if_failed();
     if (sh.completed.load(std::memory_order_acquire) == sh.submitted) return;
     ++stats_.drains;
     while (sh.completed.load(std::memory_order_acquire) != sh.submitted) {

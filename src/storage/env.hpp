@@ -1,0 +1,116 @@
+// StorageEnv: the abstract file-system surface the durable tier is written
+// against. One directory of flat files; the operations are exactly the
+// primitives the WAL / segment / manifest protocols need, with POSIX crash
+// semantics spelled out so the fault-injection env can model them:
+//
+//   * append(file) makes bytes VISIBLE but not DURABLE; sync() on the file
+//     makes every byte appended so far durable (unless the device lies).
+//     After a crash a file keeps its synced prefix plus an arbitrary —
+//     possibly torn, possibly bit-flipped — prefix of the unsynced tail.
+//   * create / rename_file / remove_file / truncate_file change the
+//     NAMESPACE, and the namespace is durable only up to the last
+//     sync_dir(): a crash reverts un-synced name operations (a renamed
+//     manifest snaps back to its temp name, an un-synced create vanishes).
+//   * read() may return fewer bytes than asked (short read) — use
+//     read_fully. Any operation may throw TransientIOError; with_retry
+//     wraps an operation in bounded retry + exponential backoff, sleeping
+//     through the env so the fault env can count instead of wait.
+//
+// Implementations: PosixEnv (posix_env.hpp, the production path) and
+// FaultInjectionEnv (fault_env.hpp, the deterministic crash/fault model
+// the recovery fuzz drives).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace costream::storage {
+
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  /// Append `n` bytes; visible to readers on return, durable only after
+  /// sync(). Throws IOError / TransientIOError / CrashError.
+  virtual void append(const void* data, std::size_t n) = 0;
+  /// fsync: every byte appended so far is durable on return — unless the
+  /// env is configured to lie (fault injection), which is precisely the
+  /// failure mode the recovery protocol must survive.
+  virtual void sync() = 0;
+  /// Bytes appended so far (writer-side bookkeeping, no device access).
+  virtual std::uint64_t size() const noexcept = 0;
+  /// Shrink the file to `size` bytes — the WAL's exactly-once unwind for a
+  /// record whose append/sync failed after bytes reached the file. Only
+  /// ever called with a size <= the current size.
+  virtual void truncate_to(std::uint64_t size) = 0;
+};
+
+class RandomReadFile {
+ public:
+  virtual ~RandomReadFile() = default;
+  /// Read up to `n` bytes at `offset`; returns bytes read (0 at EOF).
+  /// Short reads are legal — callers loop (read_fully).
+  virtual std::size_t read(std::uint64_t offset, void* buf, std::size_t n) = 0;
+  virtual std::uint64_t size() = 0;
+};
+
+class StorageEnv {
+ public:
+  virtual ~StorageEnv() = default;
+
+  /// Create (truncating if present) a file for appending. The NAME is
+  /// durable only after sync_dir().
+  virtual std::unique_ptr<WritableFile> create(const std::string& name) = 0;
+  virtual std::unique_ptr<RandomReadFile> open_read(const std::string& name) = 0;
+  virtual bool exists(const std::string& name) = 0;
+  /// All file names in the directory, unordered.
+  virtual std::vector<std::string> list() = 0;
+  /// Atomic replace (POSIX rename). Durable after sync_dir().
+  virtual void rename_file(const std::string& from, const std::string& to) = 0;
+  virtual void remove_file(const std::string& name) = 0;
+  /// Shrink a file to `size` bytes (recovery discarding a torn WAL tail).
+  virtual void truncate_file(const std::string& name, std::uint64_t size) = 0;
+  /// Commit every namespace operation so far (fsync of the directory).
+  virtual void sync_dir() = 0;
+  /// Backoff hook for with_retry: real envs sleep, the fault env counts.
+  virtual void sleep_us(std::uint64_t /*us*/) {}
+};
+
+/// Read exactly `n` bytes at `offset`, looping over short reads. Throws
+/// CorruptionError on EOF before `n` bytes — every caller is decoding a
+/// structure whose length it already knows, so a short file IS corruption.
+inline void read_fully(RandomReadFile& f, std::uint64_t offset, void* buf,
+                       std::size_t n) {
+  unsigned char* p = static_cast<unsigned char*>(buf);
+  while (n > 0) {
+    const std::size_t got = f.read(offset, p, n);
+    if (got == 0) throw CorruptionError("storage: unexpected end of file");
+    p += got;
+    offset += got;
+    n -= got;
+  }
+}
+
+/// Run `fn`, retrying on TransientIOError with exponential backoff (via
+/// env.sleep_us, so fault injection counts the sleeps instead of taking
+/// them). Rethrows the last transient error once `attempts` are exhausted;
+/// every other exception propagates immediately.
+template <class Fn>
+auto with_retry(StorageEnv& env, Fn&& fn, int attempts = 6) {
+  std::uint64_t backoff_us = 100;
+  for (int a = 0;; ++a) {
+    try {
+      return fn();
+    } catch (const TransientIOError&) {
+      if (a + 1 >= attempts) throw;
+      env.sleep_us(backoff_us);
+      backoff_us *= 2;
+    }
+  }
+}
+
+}  // namespace costream::storage

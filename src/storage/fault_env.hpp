@@ -1,0 +1,324 @@
+// FaultInjectionEnv: a deterministic in-memory StorageEnv that models the
+// crash semantics documented in env.hpp and injects every fault class the
+// recovery protocol claims to survive:
+//
+//   * scheduled power cuts — after N operations the env "loses power":
+//     CrashError is thrown and every subsequent operation fails until the
+//     harness calls apply_crash(), which reverts the namespace to the last
+//     sync_dir() and truncates each file to its synced watermark plus an
+//     arbitrary rng-chosen (possibly bit-flipped) prefix of the unsynced
+//     tail — exactly what a real disk leaves behind;
+//   * fsync lies — sync()/sync_dir() report success without persisting,
+//     so a later crash eats data the caller believed durable;
+//   * transient EIO with configurable probability (thrown before the op
+//     takes effect, so with_retry-wrapped callers stay exactly-once);
+//   * short reads (reads randomly split, callers must loop).
+//
+// Determinism: one Xoshiro-style rng seeded by the harness drives every
+// choice, so a failing schedule replays exactly and delta-shrinks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/env.hpp"
+
+namespace costream::storage {
+
+struct FaultConfig {
+  /// Crash (throw CrashError) after this many env operations; 0 = never.
+  std::uint64_t crash_after_ops = 0;
+  /// Probability (per mille) that an operation throws TransientIOError.
+  std::uint32_t eio_per_mille = 0;
+  /// Probability (per mille) that a read returns fewer bytes than asked.
+  std::uint32_t short_read_per_mille = 0;
+  /// sync()/sync_dir() succeed without persisting anything.
+  bool lie_on_sync = false;
+  /// On crash, flip one byte in each kept-but-unsynced tail (torn write
+  /// corruption, not just truncation).
+  bool flip_torn_bytes = true;
+  std::uint64_t seed = 1;
+};
+
+struct FaultStats {
+  std::uint64_t ops = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t dir_syncs = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t eio_injected = 0;
+  std::uint64_t short_reads = 0;
+  std::uint64_t sync_lies = 0;
+  std::uint64_t sleeps = 0;
+  std::uint64_t slept_us = 0;
+  std::uint64_t crashes = 0;
+};
+
+class FaultInjectionEnv final : public StorageEnv {
+  struct Node {
+    std::string data;
+    std::size_t persisted = 0;  // prefix made durable by sync()
+  };
+  using Files = std::map<std::string, std::shared_ptr<Node>>;
+
+ public:
+  explicit FaultInjectionEnv(FaultConfig cfg = {}) : cfg_(cfg), rng_(cfg.seed) {
+    if (rng_ == 0) rng_ = 0x9e3779b97f4a7c15ULL;
+  }
+
+  // --- harness controls ---------------------------------------------------
+
+  /// Re-arm the crash schedule: the env throws CrashError after `ops` more
+  /// operations (0 disarms).
+  void schedule_crash_after(std::uint64_t ops) {
+    cfg_.crash_after_ops = ops;
+    ops_until_crash_ = ops;
+  }
+
+  bool crashed() const noexcept { return crashed_; }
+
+  /// Simulate the machine coming back up: the namespace reverts to the
+  /// last committed sync_dir() snapshot, and every surviving file keeps
+  /// its synced prefix plus an rng-chosen prefix of the unsynced tail
+  /// (optionally with one flipped byte). Clears the crashed flag; the
+  /// crash schedule stays disarmed until re-armed.
+  void apply_crash() {
+    live_.clear();
+    for (auto& [name, node] : committed_) {
+      auto kept = std::make_shared<Node>();
+      kept->persisted = std::min(node->persisted, node->data.size());
+      const std::size_t tail = node->data.size() - kept->persisted;
+      const std::size_t keep_tail = tail == 0 ? 0 : next_below(tail + 1);
+      kept->data = node->data.substr(0, kept->persisted + keep_tail);
+      if (cfg_.flip_torn_bytes && keep_tail > 0 && next_below(2) == 0) {
+        const std::size_t at = kept->persisted + next_below(keep_tail);
+        kept->data[at] = static_cast<char>(kept->data[at] ^
+                                           static_cast<char>(1 + next_below(255)));
+      }
+      kept->persisted = kept->data.size() < kept->persisted ? kept->data.size()
+                                                            : kept->persisted;
+      live_.emplace(name, kept);
+    }
+    // The committed snapshot now reflects the post-crash reality: the torn
+    // tails ARE on the platter.
+    committed_.clear();
+    for (auto& [name, node] : live_) {
+      auto copy = std::make_shared<Node>(*node);
+      copy->persisted = copy->data.size();
+      committed_.emplace(name, copy);
+      node->persisted = node->data.size();
+    }
+    crashed_ = false;
+    ops_until_crash_ = 0;
+    cfg_.crash_after_ops = 0;
+  }
+
+  /// Test hook: corrupt one byte of a live file in place (bit-flip
+  /// matrices for segment/manifest readers). Bypasses fault accounting.
+  void poke(const std::string& name, std::uint64_t offset, std::uint8_t b) {
+    auto it = live_.find(name);
+    if (it == live_.end() || offset >= it->second->data.size()) {
+      throw IOError("fault env poke: no byte at " + name);
+    }
+    it->second->data[static_cast<std::size_t>(offset)] = static_cast<char>(b);
+  }
+
+  const FaultStats& stats() const noexcept { return stats_; }
+  FaultConfig& config() noexcept { return cfg_; }
+
+  // --- StorageEnv ---------------------------------------------------------
+
+  std::unique_ptr<WritableFile> create(const std::string& name) override {
+    before_op();
+    auto node = std::make_shared<Node>();
+    live_[name] = node;
+    return std::make_unique<Writable>(*this, node, name);
+  }
+
+  std::unique_ptr<RandomReadFile> open_read(const std::string& name) override {
+    before_op();
+    auto it = live_.find(name);
+    if (it == live_.end()) throw IOError("fault env: no such file " + name);
+    return std::make_unique<Readable>(*this, it->second, name);
+  }
+
+  bool exists(const std::string& name) override {
+    before_op();
+    return live_.count(name) != 0;
+  }
+
+  std::vector<std::string> list() override {
+    before_op();
+    std::vector<std::string> names;
+    names.reserve(live_.size());
+    for (const auto& [name, node] : live_) names.push_back(name);
+    return names;
+  }
+
+  void rename_file(const std::string& from, const std::string& to) override {
+    before_op();
+    auto it = live_.find(from);
+    if (it == live_.end()) throw IOError("fault env: rename missing " + from);
+    live_[to] = it->second;
+    live_.erase(it);
+  }
+
+  void remove_file(const std::string& name) override {
+    before_op();
+    if (live_.erase(name) == 0) {
+      throw IOError("fault env: remove missing " + name);
+    }
+  }
+
+  void truncate_file(const std::string& name, std::uint64_t size) override {
+    before_op();
+    auto it = live_.find(name);
+    if (it == live_.end()) throw IOError("fault env: truncate missing " + name);
+    Node& n = *it->second;
+    if (size < n.data.size()) n.data.resize(static_cast<std::size_t>(size));
+    n.persisted = std::min(n.persisted, n.data.size());
+  }
+
+  void sync_dir() override {
+    before_op();
+    ++stats_.dir_syncs;
+    if (cfg_.lie_on_sync) {
+      ++stats_.sync_lies;
+      return;
+    }
+    committed_.clear();
+    for (auto& [name, node] : live_) committed_.emplace(name, node);
+  }
+
+  void sleep_us(std::uint64_t us) override {
+    ++stats_.sleeps;
+    stats_.slept_us += us;  // counted, never taken — fuzz stays fast
+  }
+
+ private:
+  class Writable final : public WritableFile {
+   public:
+    Writable(FaultInjectionEnv& env, std::shared_ptr<Node> node, std::string name)
+        : env_(env), node_(std::move(node)), name_(std::move(name)) {}
+
+    void append(const void* data, std::size_t n) override {
+      env_.before_op();
+      ++env_.stats_.writes;
+      env_.stats_.bytes_written += n;
+      node_->data.append(static_cast<const char*>(data), n);
+    }
+
+    void sync() override {
+      env_.before_op();
+      ++env_.stats_.syncs;
+      if (env_.cfg_.lie_on_sync) {
+        ++env_.stats_.sync_lies;
+        return;
+      }
+      node_->persisted = node_->data.size();
+    }
+
+    std::uint64_t size() const noexcept override { return node_->data.size(); }
+
+    void truncate_to(std::uint64_t size) override {
+      env_.before_op();
+      if (size < node_->data.size()) {
+        node_->data.resize(static_cast<std::size_t>(size));
+      }
+      node_->persisted = std::min(node_->persisted, node_->data.size());
+    }
+
+   private:
+    FaultInjectionEnv& env_;
+    std::shared_ptr<Node> node_;
+    std::string name_;
+  };
+
+  class Readable final : public RandomReadFile {
+   public:
+    Readable(FaultInjectionEnv& env, std::shared_ptr<Node> node, std::string name)
+        : env_(env), node_(std::move(node)), name_(std::move(name)) {}
+
+    std::size_t read(std::uint64_t offset, void* buf, std::size_t n) override {
+      env_.before_op();
+      ++env_.stats_.reads;
+      const std::string& d = node_->data;
+      if (offset >= d.size()) return 0;
+      std::size_t avail = std::min<std::size_t>(n, d.size() - offset);
+      if (avail > 1 && env_.chance(env_.cfg_.short_read_per_mille)) {
+        ++env_.stats_.short_reads;
+        avail = 1 + env_.next_below(avail - 1);
+      }
+      std::memcpy(buf, d.data() + offset, avail);
+      env_.stats_.bytes_read += avail;
+      return avail;
+    }
+
+    std::uint64_t size() override {
+      env_.before_op();
+      return node_->data.size();
+    }
+
+   private:
+    FaultInjectionEnv& env_;
+    std::shared_ptr<Node> node_;
+    std::string name_;
+  };
+
+  friend class Writable;
+  friend class Readable;
+
+  /// Runs before every env operation: once crashed, everything fails until
+  /// apply_crash(); otherwise count down to the scheduled crash and roll
+  /// the transient-EIO die. EIO fires BEFORE the op takes effect, so a
+  /// retried op is exactly-once.
+  void before_op() {
+    if (crashed_) throw CrashError("fault env: machine is down");
+    ++stats_.ops;
+    if (cfg_.crash_after_ops != 0) {
+      if (ops_until_crash_ <= 1) {
+        crashed_ = true;
+        ++stats_.crashes;
+        throw CrashError("fault env: scheduled power cut");
+      }
+      --ops_until_crash_;
+    }
+    if (chance(cfg_.eio_per_mille)) {
+      ++stats_.eio_injected;
+      throw TransientIOError("fault env: injected EIO");
+    }
+  }
+
+  bool chance(std::uint32_t per_mille) {
+    return per_mille != 0 && next_below(1000) < per_mille;
+  }
+
+  std::uint64_t next_u64() {
+    // splitmix64 — deterministic, seed-derived, no global state.
+    std::uint64_t z = (rng_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::size_t next_below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next_u64() % n);
+  }
+
+  FaultConfig cfg_;
+  std::uint64_t rng_;
+  std::uint64_t ops_until_crash_ = cfg_.crash_after_ops;
+  bool crashed_ = false;
+  Files live_;
+  Files committed_;
+  FaultStats stats_;
+};
+
+}  // namespace costream::storage

@@ -1,0 +1,191 @@
+// PosixEnv: the production StorageEnv over one real directory. Every
+// durability edge the protocols rely on maps to the POSIX primitive that
+// provides it: append -> write(2) loop, sync -> fsync(2), namespace commit
+// -> fsync of the directory fd, atomic replace -> rename(2). Short writes
+// and EINTR are looped; genuine errors surface as IOError with errno text.
+#pragma once
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/env.hpp"
+
+namespace costream::storage {
+
+namespace posix_detail {
+
+[[noreturn]] inline void throw_errno(const std::string& what) {
+  throw IOError(what + ": " + std::strerror(errno));
+}
+
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  int get() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace posix_detail
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  void append(const void* data, std::size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      const ::ssize_t w = ::write(fd_.get(), p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        posix_detail::throw_errno("write " + path_);
+      }
+      p += w;
+      n -= static_cast<std::size_t>(w);
+      size_ += static_cast<std::uint64_t>(w);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_.get()) != 0) posix_detail::throw_errno("fsync " + path_);
+  }
+
+  std::uint64_t size() const noexcept override { return size_; }
+
+  void truncate_to(std::uint64_t size) override {
+    if (::ftruncate(fd_.get(), static_cast<::off_t>(size)) != 0) {
+      posix_detail::throw_errno("ftruncate " + path_);
+    }
+    size_ = size;
+  }
+
+ private:
+  posix_detail::Fd fd_;
+  std::string path_;
+  std::uint64_t size_ = 0;
+};
+
+class PosixRandomReadFile final : public RandomReadFile {
+ public:
+  PosixRandomReadFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  std::size_t read(std::uint64_t offset, void* buf, std::size_t n) override {
+    for (;;) {
+      const ::ssize_t r =
+          ::pread(fd_.get(), buf, n, static_cast<::off_t>(offset));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        posix_detail::throw_errno("pread " + path_);
+      }
+      return static_cast<std::size_t>(r);
+    }
+  }
+
+  std::uint64_t size() override {
+    struct ::stat st{};
+    if (::fstat(fd_.get(), &st) != 0) posix_detail::throw_errno("fstat " + path_);
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+ private:
+  posix_detail::Fd fd_;
+  std::string path_;
+};
+
+class PosixEnv final : public StorageEnv {
+ public:
+  /// Roots the env at `dir`, creating the directory if absent.
+  explicit PosixEnv(std::string dir) : dir_(std::move(dir)) {
+    if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+      posix_detail::throw_errno("mkdir " + dir_);
+    }
+  }
+
+  std::unique_ptr<WritableFile> create(const std::string& name) override {
+    const std::string p = path(name);
+    const int fd = ::open(p.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) posix_detail::throw_errno("create " + p);
+    return std::make_unique<PosixWritableFile>(fd, p);
+  }
+
+  std::unique_ptr<RandomReadFile> open_read(const std::string& name) override {
+    const std::string p = path(name);
+    const int fd = ::open(p.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) posix_detail::throw_errno("open " + p);
+    return std::make_unique<PosixRandomReadFile>(fd, p);
+  }
+
+  bool exists(const std::string& name) override {
+    struct ::stat st{};
+    return ::stat(path(name).c_str(), &st) == 0;
+  }
+
+  std::vector<std::string> list() override {
+    ::DIR* d = ::opendir(dir_.c_str());
+    if (d == nullptr) posix_detail::throw_errno("opendir " + dir_);
+    std::vector<std::string> names;
+    while (struct ::dirent* e = ::readdir(d)) {
+      const std::string n = e->d_name;
+      if (n != "." && n != "..") names.push_back(n);
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  void rename_file(const std::string& from, const std::string& to) override {
+    if (::rename(path(from).c_str(), path(to).c_str()) != 0) {
+      posix_detail::throw_errno("rename " + path(from));
+    }
+  }
+
+  void remove_file(const std::string& name) override {
+    if (::unlink(path(name).c_str()) != 0) {
+      posix_detail::throw_errno("unlink " + path(name));
+    }
+  }
+
+  void truncate_file(const std::string& name, std::uint64_t size) override {
+    if (::truncate(path(name).c_str(), static_cast<::off_t>(size)) != 0) {
+      posix_detail::throw_errno("truncate " + path(name));
+    }
+  }
+
+  void sync_dir() override {
+    const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) posix_detail::throw_errno("open dir " + dir_);
+    posix_detail::Fd guard(fd);
+    if (::fsync(fd) != 0) posix_detail::throw_errno("fsync dir " + dir_);
+  }
+
+  void sleep_us(std::uint64_t us) override {
+    struct ::timespec ts{};
+    ts.tv_sec = static_cast<::time_t>(us / 1'000'000);
+    ts.tv_nsec = static_cast<long>((us % 1'000'000) * 1000);
+    ::nanosleep(&ts, nullptr);
+  }
+
+  const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+}  // namespace costream::storage

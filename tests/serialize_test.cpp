@@ -97,7 +97,7 @@ TEST(Snapshot, RejectsTruncated) {
   auto bytes = snapshot(a);
   bytes.pop_back();
   cola::Gcola<> b;
-  EXPECT_THROW(restore(b, bytes), std::invalid_argument);
+  EXPECT_THROW(restore(b, bytes), CorruptionError);
 }
 
 TEST(Snapshot, RejectsBadMagic) {
@@ -105,7 +105,7 @@ TEST(Snapshot, RejectsBadMagic) {
   auto bytes = snapshot(a);
   bytes[0] ^= 0xff;
   cola::Gcola<> b;
-  EXPECT_THROW(restore(b, bytes), std::invalid_argument);
+  EXPECT_THROW(restore(b, bytes), CorruptionError);
 }
 
 TEST(Snapshot, RejectsFlippedBit) {
@@ -114,7 +114,7 @@ TEST(Snapshot, RejectsFlippedBit) {
   auto bytes = snapshot(a);
   bytes[16 + 50 * 16 + 3] ^= 0x40;  // corrupt one value byte
   cola::Gcola<> b;
-  EXPECT_THROW(restore(b, bytes), std::invalid_argument);
+  EXPECT_THROW(restore(b, bytes), CorruptionError);
 }
 
 TEST(Snapshot, RejectsUnsortedEntries) {
@@ -125,7 +125,24 @@ TEST(Snapshot, RejectsUnsortedEntries) {
   // Swap the two keys (bytes 16.. and 32..), leaving a descending pair.
   for (int i = 0; i < 8; ++i) std::swap(bytes[16 + i], bytes[32 + i]);
   cola::Gcola<> b;
-  EXPECT_THROW(restore(b, bytes), std::invalid_argument);
+  EXPECT_THROW(restore(b, bytes), CorruptionError);
+}
+
+TEST(Snapshot, CorruptionMatrixEveryByteFlip) {
+  // Flip every byte of a small snapshot in turn: restore must either throw
+  // CorruptionError or — never — silently accept altered content. (The
+  // trailing-checksum format makes "throws" the only legal outcome for
+  // every offset, including the header and the checksum itself.)
+  cola::Gcola<> a;
+  for (std::uint64_t i = 0; i < 16; ++i) a.insert(i * 3 + 1, i + 100);
+  const auto clean = snapshot(a);
+  for (std::size_t at = 0; at < clean.size(); ++at) {
+    auto bytes = clean;
+    bytes[at] ^= 0x20;
+    cola::Gcola<> b;
+    EXPECT_THROW(restore(b, bytes), CorruptionError)
+        << "flipped byte at offset " << at << " was accepted";
+  }
 }
 
 TEST(BulkLoad, ColaMatchesIncremental) {

@@ -329,6 +329,46 @@ TEST(Sharded, ConfigValidation) {
   EXPECT_THROW(build(4, (std::vector<Key>{10, 20})), std::invalid_argument);
 }
 
+TEST(Sharded, WorkerExceptionSurfacesStickyAndTearsDownCleanly) {
+  // An inner structure that throws on its worker thread must not
+  // std::terminate the process, must not wedge the drain barrier (jobs are
+  // counted even when dropped), and must surface the exception on the
+  // facade thread — stickily — on the next call. Destruction afterwards
+  // must join the workers without hanging (the regression this guards).
+  struct ThrowingDict {
+    cola::Gcola<> inner;
+    void apply_batch(const Op<>* /*ops*/, std::size_t /*n*/) {
+      throw std::runtime_error("inner dict exploded");
+    }
+    std::optional<Value> find(const Key& k) const { return inner.find(k); }
+    auto make_cursor() const { return inner.make_cursor(); }
+  };
+  ShardedConfig<> sc;
+  sc.shards = 2;
+  sc.splitters = {256};
+  ShardedDictionary<ThrowingDict> d(sc,
+                                    [](std::size_t) { return ThrowingDict{}; });
+  for (Key k = 0; k < 8; ++k) d.insert(k, k + 1);
+  // The first read drains the queues (the failure may land mid-drain, after
+  // the entry check); by the second call the sticky flag must fire.
+  bool threw = false;
+  std::string what;
+  for (int attempt = 0; attempt < 2 && !threw; ++attempt) {
+    try {
+      (void)d.find(1);
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      what = e.what();
+    }
+  }
+  EXPECT_TRUE(threw) << "worker exception never reached the facade thread";
+  EXPECT_EQ(what, "inner dict exploded");
+  // Sticky: every later call — reads and writes alike — rethrows.
+  EXPECT_THROW((void)d.find(300), std::runtime_error);
+  EXPECT_THROW(d.insert(1, 1), std::runtime_error);
+  EXPECT_THROW((void)d.find(1), std::runtime_error);
+}
+
 // ---- merge_join_k -----------------------------------------------------------
 
 TEST(MergeJoinK, MatchesPairwiseAndModel) {
