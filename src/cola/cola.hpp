@@ -568,8 +568,13 @@ class Gcola {
 
   /// Segment-id counter (durable tier: recovery seeds it past every id the
   /// manifest has seen so fresh ids never collide with on-disk names).
+  /// Monotone: the counter never rewinds below ids already handed out in
+  /// this process — a rewind would mint duplicate ids, and a duplicate
+  /// reported as consumed retires an unrelated live on-disk segment.
   std::uint64_t next_seg_id() const noexcept { return next_seg_id_; }
-  void set_next_seg_id(std::uint64_t id) noexcept { next_seg_id_ = id; }
+  void set_next_seg_id(std::uint64_t id) noexcept {
+    next_seg_id_ = std::max(next_seg_id_, id);
+  }
 
   /// Fold EVERYTHING (staging arena + all levels) into one stripped
   /// segment placed no shallower than `min_target` — the checkpoint

@@ -16,12 +16,22 @@
 // garbage-collect the WAL files and orphan segments that the new manifest
 // obsoletes.
 //
+// A size-triggered checkpoint that fails is DEFERRED, not thrown: the
+// mutation that tripped it already succeeded (WAL + memory + seqno), so
+// the failure lands in stats.checkpoint_failures / last_checkpoint_error()
+// and the next window retries. Only an explicit checkpoint() call throws.
+//
 // Recovery (the constructor) replays manifest -> segments (in manifest
 // order: creation order == content-age order, so newest-wins replay
 // reconstructs the merge view) -> WAL tail (records past covered_seqno,
-// torn tails truncated). Missing or corrupt state degrades to READ-ONLY
-// mode — reads serve whatever was recovered, mutations throw
-// ReadOnlyError — unless cfg.strict, which throws instead. Never UB.
+// torn tails truncated). The segment-id counter is seeded past every
+// manifest-live id BEFORE replay so replay-minted in-memory segment ids
+// never collide with on-disk ones, and replay must reach the
+// manifest-vouched durable seqno — falling short means acknowledged
+// records were destroyed, not torn. That, or any missing/corrupt state,
+// degrades to READ-ONLY mode — reads serve whatever was recovered,
+// mutations throw ReadOnlyError — unless cfg.strict, which throws
+// instead. Never UB.
 //
 // Correctness of the always-installed manifest: a spill's manifest keeps
 // the OLD covered_seqno, so its segments only ever hold data the WAL tail
@@ -79,6 +89,11 @@ struct DurableConfig {
 struct DurableStats {
   std::uint64_t wal_records = 0;
   std::uint64_t checkpoints = 0;
+  // Automatic (size-triggered) checkpoints that failed and were deferred.
+  // The mutation that triggered them still succeeded — the WAL carries
+  // durability — so the failure surfaces here (and in
+  // last_checkpoint_error()) instead of as a throw from the mutator.
+  std::uint64_t checkpoint_failures = 0;
   std::uint64_t segments_spilled = 0;
   std::uint64_t segments_retired = 0;
   std::uint64_t recovered_segment_entries = 0;
@@ -192,6 +207,14 @@ class DurableDictionary {
   const std::string& corruption_detail() const noexcept {
     return st_->corruption_detail;
   }
+  /// Detail of the most recent failed AUTOMATIC (size-triggered)
+  /// checkpoint; empty once a later checkpoint succeeds. Mutators never
+  /// throw for a deferred checkpoint failure — poll this (or
+  /// stats.checkpoint_failures) for storage health. An explicit
+  /// checkpoint() call still throws on failure.
+  const std::string& last_checkpoint_error() const noexcept {
+    return st_->last_checkpoint_error;
+  }
   const DurableStats& storage_stats() const noexcept { return st_->stats; }
   std::size_t live_segment_files() const noexcept { return st_->live.size(); }
   const Cola& inner() const noexcept { return st_->inner; }
@@ -280,6 +303,7 @@ class DurableDictionary {
     std::uint64_t wal_bytes_at_checkpoint = 0;
     bool read_only = false;
     std::string corruption_detail;
+    std::string last_checkpoint_error;
     DurableStats stats;
     std::vector<Op<>> ops_scratch;
     std::vector<Op<>> replay_scratch;
@@ -338,9 +362,26 @@ class DurableDictionary {
     }
 
     void maybe_checkpoint() {
-      if (wal->bytes_logged() - wal_bytes_at_checkpoint >=
+      if (wal->bytes_logged() - wal_bytes_at_checkpoint <
           cfg.checkpoint_wal_bytes) {
+        return;
+      }
+      try {
         checkpoint();
+      } catch (const CrashError&) {
+        throw;  // scheduled power cut: the whole process is going down
+      } catch (const IOError& e) {
+        // The mutation that triggered this call already fully succeeded
+        // (record WAL-appended per policy, memory applied, seqno
+        // advanced), so a throw here would make callers believe the op
+        // was NOT applied when it durably was. Durability never needed
+        // the checkpoint — the WAL still carries everything — so defer:
+        // record the failure for health observers and retry once another
+        // checkpoint_wal_bytes window accumulates (immediate per-op
+        // retries would pay a full compact_all per mutation).
+        ++stats.checkpoint_failures;
+        last_checkpoint_error = e.what();
+        wal_bytes_at_checkpoint = wal->bytes_logged();
       }
     }
 
@@ -392,6 +433,7 @@ class DurableDictionary {
       covered_seqno = new_covered;
       wal_bytes_at_checkpoint = wal->bytes_logged();
       ++stats.checkpoints;
+      last_checkpoint_error.clear();
       gc();
     }
 
@@ -434,8 +476,15 @@ class DurableDictionary {
           live = std::move(mopt->segments);
           for (const auto& s : live) {
             max_seg_id = std::max(max_seg_id, s.seg_id);
-            replay_segment(s);
           }
+          // Seed the in-memory segment-id counter past every manifest-live
+          // id BEFORE any replay apply_batch runs: replay mints in-memory
+          // segment ids, and an id shared with an on-disk segment would be
+          // reported as consumed by the first post-recovery fold past
+          // spill_depth — wrongly retiring (and then gc'ing) the live file,
+          // which loses the covered prefix once the WAL no longer holds it.
+          inner.set_next_seg_id(max_seg_id + 1);
+          for (const auto& s : live) replay_segment(s);
         }
         const WalReplayResult wres = replay_wal(
             *env, covered_seqno, wal_durable, cfg.strict,
@@ -451,10 +500,24 @@ class DurableDictionary {
               ++stats.recovered_wal_records;
             });
         stats.wal_tail_torn = wres.tore;
+        // Replay must REACH the boundary the manifest vouched fsynced: a
+        // break — or wholesale WAL-file loss — below it cannot be a legal
+        // tear, because a sync barrier covered those records. replay_wal
+        // catches breaks FOLLOWED by an intact durable record; this check
+        // catches the complement, where the vouched tail itself (or every
+        // WAL file) was destroyed and replay would otherwise silently
+        // accept the shorter prefix and reissue acknowledged seqnos.
+        if (std::max(covered_seqno, wres.last_seqno) < wal_durable) {
+          throw CorruptionError(
+              "wal: replay reached seqno " +
+              std::to_string(std::max(covered_seqno, wres.last_seqno)) +
+              " but the manifest vouches fsynced records through " +
+              std::to_string(wal_durable) +
+              " — acknowledged-durable records are missing");
+        }
         seqno = std::max(covered_seqno, wres.last_seqno);
         last_recovered_seqno = seqno;
         next_wal_no = std::max(next_wal_no, wres.next_file_no);
-        inner.set_next_seg_id(max_seg_id + 1);
         // A fresh epoch per process generation: never append to a possibly
         // torn pre-crash file.
         wal = std::make_unique<WalWriter>(

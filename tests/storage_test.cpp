@@ -826,6 +826,167 @@ TEST(DurableDict, SurvivesTransientEioEverywhere) {
   for (const auto& [k, v] : model) ASSERT_EQ(d2.find(k).value(), v);
 }
 
+TEST(DurableDict, SegIdCounterNeverRewinds) {
+  // set_next_seg_id must clamp monotonically: a rewind would mint ids
+  // already handed out, and a duplicate id reported as consumed by a fold
+  // retires an unrelated live on-disk segment.
+  FaultInjectionEnv env;
+  DurableDictionary d(env, small_config());
+  auto& g = d.inner_mut();
+  const std::uint64_t cur = g.next_seg_id();
+  g.set_next_seg_id(cur + 100);
+  EXPECT_EQ(g.next_seg_id(), cur + 100);
+  g.set_next_seg_id(cur);  // rewind attempt
+  EXPECT_EQ(g.next_seg_id(), cur + 100);
+}
+
+TEST(DurableDict, ReplayMintedSegIdsNeverRetireLiveSegments) {
+  // Regression: recovery used to seed the inner segment-id counter from
+  // the manifest only AFTER replay, so replay minted in-memory segment ids
+  // from 1 — colliding with live on-disk seg_ids — and the late seed could
+  // even rewind the counter below replay-minted ids. A post-recovery fold
+  // then reported a colliding id as consumed and the spiller retired the
+  // UNRELATED on-disk segment — losing its content at the next reopen
+  // whenever the WAL no longer covered it. The counter now seeds past
+  // every manifest id BEFORE replay, making the id spaces disjoint.
+  //
+  // Oracle: end-to-end key loss. Generation 1 checkpoints 4000 keys (the
+  // covered prefix now lives ONLY in the checkpoint segment — WAL gc
+  // dropped it) and spills 4000 more; generation 2 recovers and ingests
+  // enough to drive folds past spill_depth, whose consumed-id reports used
+  // to retire the checkpoint segment; generation 3 must still see every
+  // key. Pre-fix this silently loses all 4000 covered-prefix keys.
+  FaultInjectionEnv env;
+  {
+    DurableDictionary d(env, small_config());
+    for (std::uint64_t i = 0; i < 4000; ++i) d.insert(i, i + 7);
+    d.checkpoint();  // covered prefix moves out of the WAL
+    for (std::uint64_t i = 4000; i < 8000; ++i) d.insert(i, i + 7);
+  }  // several manifest-live segments behind, ids well above 1
+  {
+    DurableDictionary d(env, small_config());
+    ASSERT_FALSE(d.read_only());
+    ASSERT_GE(d.live_segment_files(), 2u);
+    for (std::uint64_t i = 8000; i < 10000; ++i) d.insert(i, i + 7);
+    d.sync();
+  }
+  DurableDictionary d(env, small_config());
+  ASSERT_FALSE(d.read_only());
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_EQ(d.find(i).value(), i + 7) << "key " << i << " lost";
+  }
+}
+
+TEST(DurableDict, MissingVouchedWalIsCorruptionNotTear) {
+  // A manifest vouches records through durable_seqno as fsynced. If replay
+  // cannot REACH that boundary — here the WAL files are destroyed
+  // wholesale, so no intact record remains to prove the region was covered
+  // — the loss of acknowledged-durable records must read as corruption
+  // (read-only / strict-throw), never as a legal torn tail that silently
+  // truncates the prefix and reissues acknowledged seqnos.
+  auto build = [](FaultInjectionEnv& env) {
+    auto cfg = small_config();
+    cfg.fsync_policy = FsyncPolicy::kAlways;
+    DurableDictionary d(env, cfg);
+    for (std::uint64_t i = 1; i <= 10; ++i) d.insert(i, i);
+    d.flush_stage();  // spill installs a manifest with durable_seqno = 10
+    ASSERT_GE(d.live_segment_files(), 1u);
+  };
+  const auto drop_wal_files = [](FaultInjectionEnv& env) {
+    for (const auto& name : env.list()) {
+      std::uint64_t no;
+      if (wal_detail::parse_wal_name(name, no)) env.remove_file(name);
+    }
+  };
+  {
+    FaultInjectionEnv env;
+    build(env);
+    drop_wal_files(env);
+    DurableDictionary d(env, small_config());
+    EXPECT_TRUE(d.read_only());
+    EXPECT_NE(d.corruption_detail().find("vouches"), std::string::npos)
+        << d.corruption_detail();
+    EXPECT_THROW(d.insert(99, 99), ReadOnlyError);
+  }
+  {
+    FaultInjectionEnv env;
+    build(env);
+    drop_wal_files(env);
+    auto cfg = small_config();
+    cfg.strict = true;
+    EXPECT_THROW(DurableDictionary(env, cfg), CorruptionError);
+  }
+}
+
+// Test env wrapper: refuses segment-file creation while armed, everything
+// else passes through — the surgical fault for checkpoint-spill failure.
+class SegmentCreateFailEnv final : public StorageEnv {
+ public:
+  explicit SegmentCreateFailEnv(StorageEnv& base) : base_(base) {}
+  bool fail_segment_creates = false;
+
+  std::unique_ptr<WritableFile> create(const std::string& name) override {
+    if (fail_segment_creates && name.compare(0, 4, "seg-") == 0) {
+      throw IOError("injected: segment create refused");
+    }
+    return base_.create(name);
+  }
+  std::unique_ptr<RandomReadFile> open_read(const std::string& name) override {
+    return base_.open_read(name);
+  }
+  bool exists(const std::string& name) override { return base_.exists(name); }
+  std::vector<std::string> list() override { return base_.list(); }
+  void rename_file(const std::string& from, const std::string& to) override {
+    base_.rename_file(from, to);
+  }
+  void remove_file(const std::string& name) override {
+    base_.remove_file(name);
+  }
+  void truncate_file(const std::string& name, std::uint64_t size) override {
+    base_.truncate_file(name, size);
+  }
+  void sync_dir() override { base_.sync_dir(); }
+  void sleep_us(std::uint64_t us) override { base_.sleep_us(us); }
+
+ private:
+  StorageEnv& base_;
+};
+
+TEST(DurableDict, FailedAutomaticCheckpointDefersInsteadOfThrowing) {
+  // A size-triggered checkpoint that fails must not throw out of the
+  // mutation that tripped it — the mutation already succeeded (WAL record
+  // durable, memory applied, seqno advanced), so a throw would make the
+  // caller believe an applied op was rejected. The failure is deferred to
+  // stats/health and retried at the next window; an EXPLICIT checkpoint()
+  // still throws.
+  FaultInjectionEnv base;
+  SegmentCreateFailEnv env(base);
+  auto cfg = small_config();
+  cfg.checkpoint_wal_bytes = 1u << 12;  // auto-checkpoint early and often
+  {
+    DurableDictionary d(env, cfg);
+    env.fail_segment_creates = true;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+      ASSERT_NO_THROW(d.insert(i, i + 1)) << i;
+    }
+    EXPECT_EQ(d.seqno(), 2000u);
+    EXPECT_GT(d.storage_stats().checkpoint_failures, 0u);
+    EXPECT_FALSE(d.last_checkpoint_error().empty());
+    EXPECT_EQ(d.storage_stats().checkpoints, 0u);
+    EXPECT_THROW(d.checkpoint(), IOError);
+    // Heal the device: the next accumulated window retries and succeeds,
+    // clearing the health flag.
+    env.fail_segment_creates = false;
+    for (std::uint64_t i = 0; i < 2000; ++i) d.insert(i, i + 2);
+    EXPECT_GT(d.storage_stats().checkpoints, 0u);
+    EXPECT_TRUE(d.last_checkpoint_error().empty());
+  }  // clean close flushes + syncs the group-commit tail
+  // Everything — including the ops whose checkpoints failed — persisted.
+  DurableDictionary d2(env, cfg);
+  ASSERT_FALSE(d2.read_only());
+  for (std::uint64_t i = 0; i < 2000; ++i) ASSERT_EQ(d2.find(i).value(), i + 2);
+}
+
 // ------------------------------------------------- DAM bound cross-check --
 
 TEST(DurableDict, WalBytesMatchTransferBoundShape) {
