@@ -77,7 +77,7 @@ int main() {
         for (std::uint64_t j = 0; j < take; ++j, ++i) {
           chunk[j] = Entry<>{ks.key_at(i), i};
         }
-        c.insert_batch(chunk.data(), take);
+        c.insert_batch({chunk.data(), take});
       }
       c.flush_stage();
       return static_cast<double>(ks.size()) / timer.seconds();
@@ -111,8 +111,8 @@ int main() {
       cola::Gcola<> c;
       Timer timer;
       for (std::uint64_t i = 0; i < n; i += 4096) {
-        c.insert_batch(feed.data() + i,
-                       std::min<std::uint64_t>(4096, n - i));
+        c.insert_batch({feed.data() + i,
+                        std::min<std::uint64_t>(4096, n - i)});
       }
       return static_cast<double>(n) / timer.seconds();
     };

@@ -148,7 +148,7 @@ void ingest(D& d, const std::string& order, const KeyStream& ks, std::uint64_t n
         for (std::uint64_t j = 0; j < take; ++j, ++i) {
           chunk.push_back(mixed_op_of(order, n, i));
         }
-        d.apply_batch(chunk.data(), chunk.size());
+        d.apply_batch(chunk);
       }
     }
   } else if (batch <= 1) {
@@ -162,7 +162,7 @@ void ingest(D& d, const std::string& order, const KeyStream& ks, std::uint64_t n
       for (std::uint64_t j = 0; j < take; ++j, ++i) {
         chunk.push_back(Entry<>{key_of(order, ks, i), i});
       }
-      d.insert_batch(chunk.data(), chunk.size());
+      d.insert_batch(chunk);
     }
   }
   if constexpr (requires { d.flush_stage(); }) d.flush_stage();

@@ -17,6 +17,18 @@
 //       per-shard split, and modeled_rate assumes the S shard "disks"
 //       stream in parallel (total work / slowest shard).
 //
+//   shard-cola-g8-scan / order "random" / batch = S in {1, 4}
+//       the same batch-1024 random ingest, but with a LONG scan held open
+//       for the entire timed region: a snapshot is taken after a seed
+//       ingest, its handle is handed to a reader thread that drains full
+//       cursors over it in a loop until the ingest finishes. Every fold
+//       the ingest triggers must defer-free the segments the snapshot
+//       pins, so this cell prices ingest under the ref-counted read tier.
+//       Wall-only (reader threads are meaningless on the DAM simulator);
+//       `--require-scan-ratio R` exits nonzero when the S=4 scan arm's
+//       wall rate falls below R x the no-scan S=4 arm — like the scaling
+//       gate, enforced only on >= 4 cores.
+//
 //   mjoin-k4 vs mjoin-pairwise / order "join" / batch = 0
 //       four-way key intersection across four structures, once with the
 //       k-way leapfrog driver (api::merge_join_k, one pass, no
@@ -38,6 +50,7 @@
 // cell array for the CI perf job.
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -101,7 +114,7 @@ void ingest_batched(D& d, const KeyStream& ks, std::uint64_t n) {
     for (std::uint64_t j = 0; j < take; ++j, ++i) {
       chunk.push_back(Entry<>{ks.key_at(i), i});
     }
-    d.insert_batch(chunk.data(), chunk.size());
+    d.insert_batch(chunk);
   }
   d.flush_stage();  // dispatches the final folds AND takes the drain barrier:
                     // every deferred cascade lands inside the timed region
@@ -160,6 +173,53 @@ Cell run_scaling_cell(std::uint64_t n, std::uint64_t mem, std::size_t S,
   return c;
 }
 
+/// Ingest-under-open-scan: seed n/8 keys, pin a snapshot, then time the
+/// full n-key ingest while a reader thread drains cursors over the pinned
+/// snapshot in a loop. The snapshot handle is free-threaded BY CONTRACT
+/// (api/dictionary.hpp) — the reader never touches the facade itself, so
+/// the single-caller discipline holds. Wall-only: modeled_rate mirrors
+/// wall, transfers stay zero.
+Cell run_scan_overlap_cell(std::uint64_t n, std::size_t S, const KeyStream& ks) {
+  Cell c;
+  c.structure = "shard-cola-g" + std::to_string(kGrowth) + "-scan";
+  c.order = "random";
+  c.batch = S;
+  c.n = n;
+  c.staging = static_cast<std::uint64_t>(kGrowth) * kBatch;
+  c.shards = S;
+  const cola::ColaConfig cfg = cola::ingest_tuned(kGrowth, kBatch);
+  shard::ShardedConfig<> sc;
+  sc.shards = S;
+  shard::ShardedDictionary<cola::Gcola<>> d(
+      sc, [&](std::size_t) { return cola::Gcola<>(cfg); });
+  // Seed so the pinned snapshot is substantial (untimed), then pin it.
+  ingest_batched(d, ks, n / 8);
+  const auto snap = d.snapshot();
+  std::atomic<bool> stop{false};
+  std::uint64_t full_scans = 0;
+  std::thread reader([&] {
+    std::uint64_t sink = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto cur = snap.make_cursor();
+      for (cur.seek_first(); cur.valid(); cur.next()) sink += cur.entry().value;
+      ++full_scans;
+    }
+    if (sink == 0 && n > 0) std::fprintf(stderr, "warn: empty pinned scans\n");
+  });
+  {
+    Timer timer;
+    ingest_batched(d, ks, n);
+    const double wall = timer.seconds();
+    c.wall_rate = wall > 0 ? static_cast<double>(n) / wall : 0.0;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  c.modeled_rate = c.wall_rate;
+  std::printf("S=%-6zu %14.0f   (%llu full pinned scans held open)\n", S,
+              c.wall_rate, static_cast<unsigned long long>(full_scans));
+  return c;
+}
+
 // ---- k-way join series ------------------------------------------------------
 
 /// Deterministic ~70% subset membership per side; four sides intersect in
@@ -184,11 +244,11 @@ void build_side(D& d, std::uint64_t j, std::uint64_t universe) {
     if (!in_side(k, j)) continue;
     chunk.push_back(Entry<>{k, k + j});
     if (chunk.size() == kBatch) {
-      d.insert_batch(chunk.data(), chunk.size());
+      d.insert_batch(chunk);
       chunk.clear();
     }
   }
-  if (!chunk.empty()) d.insert_batch(chunk.data(), chunk.size());
+  if (!chunk.empty()) d.insert_batch(chunk);
   if constexpr (requires { d.flush_stage(); }) d.flush_stage();
 }
 
@@ -220,12 +280,12 @@ std::uint64_t run_pairwise(JoinSides<MM>& s, MakeTmp&& make_tmp) {
   api::merge_join(s.a, s.b,
                   [&](Key k, Value va, Value) { survivors.push_back({k, va}); });
   auto&& t1 = make_tmp();
-  t1.insert_batch(survivors.data(), survivors.size());
+  t1.insert_batch(survivors);
   survivors.clear();
   api::merge_join(t1, s.c,
                   [&](Key k, Value va, Value) { survivors.push_back({k, va}); });
   auto&& t2 = make_tmp();
-  t2.insert_batch(survivors.data(), survivors.size());
+  t2.insert_batch(survivors);
   survivors.clear();
   std::uint64_t rows = 0;
   api::merge_join(t2, s.d, [&](Key, Value, Value) { ++rows; });
@@ -237,12 +297,15 @@ std::uint64_t run_pairwise(JoinSides<MM>& s, MakeTmp&& make_tmp) {
 int main(int argc, char** argv) {
   const char* json_out = nullptr;
   double require_scaling = 0.0;
+  double require_scan_ratio = 0.0;
   bool wall_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
       json_out = argv[++i];
     } else if (std::strcmp(argv[i], "--require-scaling") == 0 && i + 1 < argc) {
       require_scaling = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--require-scan-ratio") == 0 && i + 1 < argc) {
+      require_scan_ratio = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--wall-only") == 0) {
       wall_only = true;
     }
@@ -291,6 +354,36 @@ int main(int argc, char** argv) {
       }
       if (require_scaling > 0 && cores < 4) {
         std::printf("# scaling gate skipped: %u cores < 4\n", cores);
+      }
+    }
+
+    // -- ingest under an open long scan ---------------------------------------
+    std::printf("\n## ingest with a pinned snapshot scanned continuously\n\n");
+    std::printf("%-8s %14s\n", "shards", "wall ops/s");
+    for (const std::size_t S : {1u, 4u}) {
+      cells.push_back(run_scan_overlap_cell(n, S, ks));
+    }
+    const std::string scan_arm = shard_arm + "-scan";
+    const Cell* base4 = nullptr;
+    const Cell* scan4 = nullptr;
+    for (const Cell& c : cells) {
+      if (c.batch != 4) continue;
+      if (c.structure == shard_arm) base4 = &c;
+      if (c.structure == scan_arm) scan4 = &c;
+    }
+    if (base4 != nullptr && scan4 != nullptr && base4->wall_rate > 0) {
+      const double ratio = scan4->wall_rate / base4->wall_rate;
+      std::printf("\n# S=4 ingest under open scan vs no-scan: %.2fx (%u cores)\n",
+                  ratio, cores);
+      if (require_scan_ratio > 0 && cores >= 4 && ratio < require_scan_ratio) {
+        std::fprintf(stderr,
+                     "FAIL: ingest under an open scan at %.2fx of the no-scan "
+                     "baseline, below the required %.2fx on a %u-core machine\n",
+                     ratio, require_scan_ratio, cores);
+        return 1;
+      }
+      if (require_scan_ratio > 0 && cores < 4) {
+        std::printf("# open-scan gate skipped: %u cores < 4\n", cores);
       }
     }
   }

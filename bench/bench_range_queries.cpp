@@ -28,6 +28,12 @@
 //   mjoin  api::merge_join of cola-g8 against a B-tree over half-
 //          overlapping key ranges; wall/modeled rates are joined rows/sec.
 //          batch = 0.
+//   uscan  scan-under-ingest: each probe ingests a 256-entry upsert batch
+//          and then drains a window of L = batch entries through a FRESH
+//          snapshot cursor — the regime the ref-counted segment tier
+//          exists for, where folds triggered by the interleaved ingest
+//          keep retiring the very segments the scan has pinned.
+//          Structures: cola-g8 (tiered + staged).
 //
 // Every cell runs twice: a null-memory-model run (timed, wall rates) and a
 // DAM-model run (untimed, deterministic transfers) — same discipline as
@@ -83,7 +89,7 @@ void build(D& d, const std::vector<std::uint64_t>& keys) {
     for (std::size_t j = 0; j < take; ++j, ++i) {
       chunk.push_back(Entry<>{keys[i], static_cast<Value>(i)});
     }
-    d.insert_batch(chunk.data(), chunk.size());
+    d.insert_batch(chunk);
   }
   if constexpr (requires { d.flush_stage(); }) d.flush_stage();
 }
@@ -180,6 +186,58 @@ Cell seek_cell(const std::string& name, DW& dw, DD& dd, dam::dam_mem_model& mm,
   return c;
 }
 
+/// Scan-under-ingest: each probe lands a 256-entry upsert batch and then
+/// drains `len` entries through a snapshot cursor taken AFTER the batch.
+/// The interleaved ingest keeps folding levels while snapshots pin the
+/// pre-fold segments, so the cell prices the copy-free read path plus the
+/// deferred-free churn — a rate that collapses if snapshots ever degrade
+/// to deep copies. Rates are probes (batch + snapshot + drain) per second.
+template <class DW, class DD>
+Cell uscan_cell(const std::string& name, DW& dw, DD& dd, dam::dam_mem_model& mm,
+                std::uint64_t n, std::uint64_t len, std::uint64_t probes,
+                unsigned growth, std::uint64_t staging) {
+  Cell c;
+  c.structure = name;
+  c.order = "uscan";
+  c.batch = len;
+  c.n = n;
+  c.growth = growth;
+  c.staging = staging;
+  std::vector<Entry<>> chunk(256);
+  std::uint64_t emitted = 0;
+  const auto probe = [&](auto& d, Xoshiro256& rng) {
+    for (auto& e : chunk) e = Entry<>{rng.below(n), rng()};
+    d.insert_batch(chunk);
+    const auto snap = d.snapshot();
+    auto cur = snap.make_cursor();
+    const Key lo = rng.below(n > len ? n - len : 1);
+    for (cur.seek(lo); cur.valid() && cur.entry().key < lo + len; cur.next()) {
+      ++emitted;
+    }
+  };
+  {
+    Xoshiro256 rng(9);
+    Timer t;
+    for (std::uint64_t q = 0; q < probes; ++q) probe(dw, rng);
+    const double secs = t.seconds();
+    c.wall_rate = secs > 0 ? static_cast<double>(probes) / secs : 0.0;
+  }
+  {
+    Xoshiro256 rng(9);
+    mm.clear_cache();
+    mm.reset_stats();
+    for (std::uint64_t q = 0; q < probes; ++q) probe(dd, rng);
+    const double modeled = mm.modeled_seconds();
+    c.modeled_rate = modeled > 0 ? static_cast<double>(probes) / modeled : c.wall_rate;
+    c.transfers_per_op =
+        static_cast<double>(mm.stats().transfers) / static_cast<double>(probes);
+  }
+  if (emitted == 0 && n > 0) {
+    std::fprintf(stderr, "warn: empty under-ingest scans in %s\n", name.c_str());
+  }
+  return c;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -238,6 +296,12 @@ int main(int argc, char** argv) {
       g_cells.push_back(seek_cell("cola-g8", w, d, d.mm(), n, len, 8 * probes, 8,
                                   g8.staging_capacity));
     }
+    // Mutates w/d (interleaved upserts), so this series runs last in the
+    // block; nothing below reuses these instances.
+    for (const std::uint64_t len : {256ULL, 4'096ULL}) {
+      g_cells.push_back(uscan_cell("cola-g8", w, d, d.mm(), n, len, probes, 8,
+                                   g8.staging_capacity));
+    }
   }
   {
     brt::Brt<> w(kBlock, 4);
@@ -286,8 +350,8 @@ int main(int argc, char** argv) {
         e = Entry<>{i * 3 + 1, i};  // ascending keys: range-disjoint segments
         ++i;
       }
-      w.insert_batch(chunk.data(), chunk.size());
-      d.insert_batch(chunk.data(), chunk.size());
+      w.insert_batch(chunk);
+      d.insert_batch(chunk);
     }
     Cell c;
     c.structure = fences ? "cola-g8" : "cola-g8-nofence";
@@ -409,6 +473,16 @@ int main(int argc, char** argv) {
       t.add_row(std::move(row));
     }
     t.print();
+  }
+  std::printf("\n# scan-under-ingest: wall probes/sec (256-entry batch + "
+              "snapshot + drain L)\n");
+  for (const std::uint64_t len : {256ULL, 4'096ULL}) {
+    const Cell* c = cell_at("cola-g8", "uscan", len);
+    if (c != nullptr) {
+      std::printf("  cola-g8  L=%-5llu %s  (%.2f transfers/probe)\n",
+                  static_cast<unsigned long long>(len),
+                  format_rate(c->wall_rate).c_str(), c->transfers_per_op);
+    }
   }
   std::printf("\n# cursor seek+drain: wall queries/sec (drain length = batch)\n");
   for (const auto& s : {"cola", "cola-g8", "btree"}) {

@@ -39,7 +39,7 @@ int main() {
       for (std::size_t j = 0; j < kBatch; ++j, ++i) {
         batch.push_back(Entry<>{rng(), i});
       }
-      d.insert_batch(batch.data(), batch.size());
+      d.insert_batch(batch);
     }
     d.flush_stage();  // land every queued cascade inside the timing
     const double secs = t.seconds();

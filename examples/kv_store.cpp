@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
     for (std::uint64_t i = 0; i < n;) {
       chunk.clear();
       for (; i < n && chunk.size() < 4096; ++i) chunk.push_back(Entry<>{mix64(i), i});
-      db.insert_batch(chunk.data(), chunk.size());
+      db.insert_batch(chunk);
     }
     std::printf("inserted %llu synthetic entries in batches of 4096\n",
                 static_cast<unsigned long long>(n));

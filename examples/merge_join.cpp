@@ -41,7 +41,7 @@ int main() {
       const Key user = rng.below(100'000);
       batch.push_back(Entry<>{user, rng.below(50) + 1});
     }
-    requests.insert_batch(batch.data(), batch.size());
+    requests.insert_batch(batch);
   }
   // Only every 16th user has a region assignment: the join is sparse, the
   // leapfrog seeks skip the unassigned runs.

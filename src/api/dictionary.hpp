@@ -2,15 +2,41 @@
 //
 // Every structure in the library implements the same informal interface:
 //
-//   void insert(const K&, const V&);          // upsert, newest wins
-//   void insert_batch(const Entry<K,V>*, n);  // bulk upsert (contract below)
-//   void erase(const K&);                     // blind delete (tombstones in
-//                                             // the write-optimized ones)
-//   void erase_batch(const K*, n);            // bulk blind delete
-//   void apply_batch(const Op<K,V>*, n);      // mixed put/erase batch
+//   void insert(const K&, const V&);           // upsert, newest wins
+//   void insert_batch(Span<Entry<K,V>>);       // bulk upsert (contract below)
+//   void erase(const K&);                      // blind delete (tombstones in
+//                                              // the write-optimized ones)
+//   void erase_batch(Span<K>);                 // bulk blind delete
+//   void apply_batch(Span<Op<K,V>>);           // mixed put/erase batch
 //   std::optional<V> find(const K&) const;
+//   Snapshot snapshot() const;                 // point-in-time read handle
 //   template <class Fn> void range_for_each(const K& lo, const K& hi, Fn&&);
 //   Cursor make_cursor() const;                // resumable ordered cursor
+//
+// Snapshot contract (snapshot(), snap::Snapshot in common/snapshot.hpp):
+//   * snapshot() returns a point-in-time handle: an immutable, ref-counted
+//     set of sorted segments stamped with the dictionary's mutation epoch
+//     at acquisition. The handle — and every cursor opened on it — reads
+//     EXACTLY that version forever, across arbitrary later mutations of
+//     the dictionary. Nothing is ever invalidated; drop the handle and
+//     acquire a new one to observe newer data.
+//   * Acquisition is cheap: the tiered COLA pins its live segments (a
+//     refcount bump per segment plus one sorted copy of the staging
+//     arena), and repeated acquisitions between mutations return a cached
+//     handle (pure refcount bump). In-place structures (B-tree, CO B-tree,
+//     PMA-backed) materialize their contents into one segment per
+//     acquisition — O(N) copy, also cached per epoch — so snapshot() on
+//     them is a consistency tool, not a hot-path read primitive.
+//   * Folds/merges retire replaced segments by dropping references; a
+//     segment pinned by any live snapshot survives until the last handle
+//     drops (deferred free by refcount — no drain barrier, no free list to
+//     poll). snap::live_segment_count() observes the global census; the
+//     leak tests assert it returns to baseline after snapshot churn.
+//   * A detached Snapshot carries no accounting or scratch state: its
+//     find()/for_each/range_for_each/make_cursor are safe to call from any
+//     thread, concurrently with writer-thread mutations of the dictionary
+//     it came from. (DAM transfer accounting applies only to reads issued
+//     through the owning structure's own cursors and scans.)
 //
 // Cursor contract (make_cursor / seek / next / valid / entry):
 //   * make_cursor() returns a detached cursor object; creating it may
@@ -24,28 +50,44 @@
 //     at the smallest live key with no sentinel bound. After a seek,
 //     valid() says whether an entry is available and entry() returns it;
 //     next() advances to the next live key ascending.
-//   * The stream is the SNAPSHOT AT SEEK: newest value per key, erased keys
-//     suppressed — including operations still buffered in staging arenas,
-//     edge buffers, or node buffers. ANY mutation of the dictionary
-//     invalidates outstanding cursors: after a mutation the only valid
-//     operation on a cursor is another seek (re-seek reuses the cursor's
-//     scratch — no teardown, no reallocation in steady state).
-//   * Sharded dictionaries (shard/sharded_dictionary.hpp) ENFORCE that
-//     contract rather than merely documenting it: a seek takes the
-//     all-shards drain barrier (every queued run applied before the cursor
-//     positions) and snapshots the facade's mutation epoch, and valid()
-//     returns false as soon as a later mutation bumps the epoch — a stale
-//     sharded cursor would otherwise race the shard worker threads, not
-//     just read stale bytes. Portable callers should treat valid() ==
-//     false after any mutation as the norm and re-seek, which is exactly
-//     the protocol the single-writer structures already require.
-//   * range_for_each is implemented ON TOP of the cursor in every structure
-//     (one bounded seek + a next() loop over dictionary-owned scratch), so
-//     the two read paths cannot diverge and repeated range scans are also
-//     allocation-free. Scans are not reentrant: do not mutate the
-//     dictionary or start another scan from inside the callback.
+//   * The stream is the SNAPSHOT AT SEEK: newest value per key as of the
+//     seek, erased keys suppressed — including operations still buffered
+//     in staging arenas, edge buffers, or node buffers. On the amortized
+//     COLA (Gcola and its presets) and the sharded facade each seek pins
+//     the then-current snapshot of ref-counted segments, so the position
+//     and the remainder of the stream STAY VALID across arbitrary
+//     mutations (the old "any mutation invalidates outstanding cursors"
+//     rule is gone); re-seek to observe newer data. Structures without
+//     segment-backed storage (B-tree, CO B-tree, shuttle family, BRT, the
+//     deamortized COLAs) walk live arrays/nodes: their cursors still
+//     require a re-seek after a mutation — when a scan must survive
+//     concurrent writes on those structures, open it on snapshot()
+//     instead, which gives the pinned semantics everywhere.
+//   * Sharded dictionaries (shard/sharded_dictionary.hpp) acquire their
+//     snapshot by fusing per-shard snapshots under one epoch, so a sharded
+//     cursor reads one consistent cross-shard version and never races the
+//     shard worker threads; the former seek-time drain barrier and
+//     epoch-invalidation protocol are gone.
+//   * range_for_each/for_each are implemented ON TOP of the snapshot
+//     cursor in the amortized COLA (one bounded seek over a one-shot
+//     internal snapshot, cached per mutation epoch) and on the native
+//     ordered walk elsewhere, so the read paths cannot diverge and
+//     repeated range scans are allocation-free. Scans are not reentrant:
+//     do not mutate the dictionary or start another scan from inside the
+//     callback.
 //
 // Batch contract (insert_batch / erase_batch / apply_batch):
+//   * The primary signatures take costream::Span<T> (common/span.hpp) —
+//     implicitly constructible from std::vector, std::array, C arrays, or
+//     an explicit {ptr, len} pair.
+//   * DEPRECATED (pointer-form shims): the pre-span two-argument forms
+//     `insert_batch(const Entry<K,V>*, n)`, `erase_batch(const K*, n)` and
+//     `apply_batch(const Op<K,V>*, n)` remain for one release as thin
+//     delegating shims. Migrate `d.insert_batch(v.data(), v.size())` to
+//     `d.insert_batch(v)` (or `{ptr, len}` where no container exists); the
+//     repository's `deprecated-api` CI lint rejects in-repo callers of the
+//     pointer forms, and the shims will be removed in the release after
+//     next.
 //   * The input run may be UNSORTED and may contain DUPLICATE keys; the
 //     structure sorts and deduplicates internally.
 //   * Within the batch the LAST operation on a key wins — for apply_batch
@@ -55,7 +97,7 @@
 //     therefore observationally equivalent to replaying its operations with
 //     insert()/erase() one at a time in input order, including against
 //     previously erased (tombstoned) keys.
-//   * erase_batch(keys, n) == apply_batch of n blind deletes. Erasing an
+//   * erase_batch(keys) == apply_batch of |keys| blind deletes. Erasing an
 //     absent key is a no-op (the tombstone annihilates unmatched); a later
 //     put of that key within the same batch or after it wins as usual.
 //   * Tombstone visibility: an erase is visible to find/range_for_each/
@@ -63,6 +105,8 @@
 //     physical tombstone is still buffered (COLA staging arena or level
 //     segments, shuttle edge buffers, BRT node buffers). Readers never see
 //     a tombstone as an entry and never see the shadowed older value.
+//     Snapshots taken BEFORE the erase keep serving the old value — that
+//     is the point of them.
 //   * The write-optimized structures honor the equivalence with far fewer
 //     block transfers: the COLA normalizes the whole mixed run once and
 //     carries it in ONE cascaded merge (tombstones ride the cascade exactly
@@ -75,8 +119,8 @@
 //     items, so the worst-case move bounds (g*k + 2 and (g+1)*k + 4 per
 //     op, Lemma 21 / Theorem 24 generalized) hold verbatim for mixed
 //     batches.
-//   * A batch of n == 0 is a no-op; the pointer may be null only when
-//     n == 0.
+//   * An empty span is a no-op; a span's pointer may be null only when its
+//     size is 0.
 //
 // The Dictionary concept below states that contract, and AnyDictionary
 // type-erases it so examples and integration tests can drive every structure
@@ -98,8 +142,16 @@
 
 #include "common/entry.hpp"
 #include "common/loser_tree.hpp"
+#include "common/snapshot.hpp"
+#include "common/span.hpp"
 
 namespace costream::api {
+
+/// The point-in-time read handle every structure's snapshot() returns
+/// (contract above; implementation in common/snapshot.hpp). One concrete
+/// type across all structures — AnyDictionary needs no erasure for it.
+template <class K = Key, class V = Value>
+using Snapshot = snap::Snapshot<K, V>;
 
 /// The resumable-cursor half of the Dictionary concept (contract above).
 template <class C, class K = Key, class V = Value>
@@ -113,25 +165,28 @@ concept DictionaryCursor = requires(C c, const C cc, K k) {
 };
 
 template <class D, class K = Key, class V = Value>
-concept Dictionary = requires(D d, const D cd, K k, V v, const Entry<K, V>* batch,
-                              const K* keys, const Op<K, V>* ops, std::size_t n) {
+concept Dictionary = requires(D d, const D cd, K k, V v, Span<Entry<K, V>> batch,
+                              Span<K> keys, Span<Op<K, V>> ops) {
   { d.insert(k, v) };
-  { d.insert_batch(batch, n) };
+  { d.insert_batch(batch) };
   { d.erase(k) };
-  { d.erase_batch(keys, n) };
-  { d.apply_batch(ops, n) };
+  { d.erase_batch(keys) };
+  { d.apply_batch(ops) };
   { cd.find(k) } -> std::same_as<std::optional<V>>;
+  { cd.snapshot() } -> std::convertible_to<snap::Snapshot<K, V>>;
   { cd.make_cursor() };
   requires DictionaryCursor<decltype(cd.make_cursor()), K, V>;
 };
 
 /// Inner merge-join over two dictionaries: sink(key, a_value, b_value) for
-/// every key live in BOTH, ascending. Driven by the cursor API, so it works
-/// across any two structures (and AnyDictionary) without materializing
-/// either side. The lagging cursor leapfrogs: one next(), and if still
-/// behind, a re-seek straight to the other side's key — which the COLA's
-/// segment fence keys turn into whole-segment skips — so sparse overlaps
-/// cost O(matches * seek) instead of O(union).
+/// every key live in BOTH, ascending. Driven by the cursor API — each
+/// cursor's first seek pins its side's then-current snapshot, so the join
+/// reads one consistent version per side even if the dictionaries keep
+/// mutating — and works across any two structures (and AnyDictionary)
+/// without materializing either side. The lagging cursor leapfrogs: one
+/// next(), and if still behind, a re-seek straight to the other side's key
+/// — which the COLA's segment fence keys turn into whole-segment skips —
+/// so sparse overlaps cost O(matches * seek) instead of O(union).
 template <class DA, class DB, class Sink>
 void merge_join(const DA& a, const DB& b, Sink&& sink) {
   auto ca = a.make_cursor();
@@ -166,7 +221,10 @@ void merge_join(const DA& a, const DB& b, Sink&& sink) {
 /// whole-segment skips, so a k-way sparse intersection costs
 /// O(matches * k * seek) instead of one pass over the union per pairwise
 /// stage (the k-1 materializing passes this replaces — measured in
-/// bench/bench_concurrent_ingest.cpp).
+/// bench/bench_concurrent_ingest.cpp). Mid-join re-seeks re-pin the
+/// then-current snapshot on snapshot-backed cursors: against a mutating
+/// side the join is a consistent prefix per seek, not one global version —
+/// hold an explicit snapshot() per side when that matters.
 template <class Sink, class... DS>
   requires(sizeof...(DS) >= 2)
 void merge_join_k_with(Sink&& sink, const DS&... dicts) {
@@ -325,8 +383,10 @@ class AnyDictionary {
   const std::string& name() const noexcept { return name_; }
 
   /// Type-erased resumable cursor (same contract as the concrete cursors;
-  /// one virtual call per operation). Valid only while the AnyDictionary it
-  /// came from is alive and unmutated since the last seek.
+  /// one virtual call per operation). Valid only while the AnyDictionary
+  /// it came from is alive; whether a position survives mutations follows
+  /// the wrapped structure's cursor contract (snapshot-backed on the COLA
+  /// family and the sharded facade, live-view on the in-place structures).
   class Cursor {
    public:
     void seek(Key lo) { c_->seek(lo); }
@@ -364,35 +424,45 @@ class AnyDictionary {
 
   Cursor make_cursor() const { return Cursor(impl_->make_cursor_erased()); }
 
+  /// Point-in-time handle of the wrapped structure (contract above). The
+  /// handle is the one concrete Snapshot type — no erasure, no virtual
+  /// dispatch on reads through it.
+  Snapshot<> snapshot() const { return impl_->snapshot(); }
+
   void insert(Key k, Value v) { impl_->insert(k, v); }
-  void insert_batch(const Entry<>* data, std::size_t n) { impl_->insert_batch(data, n); }
-  void insert_batch(const std::vector<Entry<>>& batch) {
-    impl_->insert_batch(batch.data(), batch.size());
-  }
+  void insert_batch(Span<Entry<>> batch) { impl_->insert_batch(batch); }
   void erase(Key k) { impl_->erase(k); }
-  void erase_batch(const Key* keys, std::size_t n) { impl_->erase_batch(keys, n); }
-  void erase_batch(const std::vector<Key>& keys) {
-    impl_->erase_batch(keys.data(), keys.size());
+  void erase_batch(Span<Key> keys) { impl_->erase_batch(keys); }
+  void apply_batch(Span<Op<>> ops) { impl_->apply_batch(ops); }
+  // Deprecated pointer-form batch shims (one release; migration note in the
+  // header comment — CI's deprecated-api lint rejects in-repo callers).
+  void insert_batch(const Entry<>* data, std::size_t n) {
+    insert_batch(Span<Entry<>>(data, n));
   }
-  void apply_batch(const Op<>* ops, std::size_t n) { impl_->apply_batch(ops, n); }
-  void apply_batch(const std::vector<Op<>>& ops) {
-    impl_->apply_batch(ops.data(), ops.size());
+  void erase_batch(const Key* keys, std::size_t n) {
+    erase_batch(Span<Key>(keys, n));
+  }
+  void apply_batch(const Op<>* ops, std::size_t n) {
+    apply_batch(Span<Op<>>(ops, n));
   }
   std::optional<Value> find(Key k) const { return impl_->find(k); }
   void range_for_each(Key lo, Key hi, const RangeFn& fn) const {
     impl_->range_for_each(lo, hi, fn);
   }
+  void for_each(const RangeFn& fn) const { impl_->for_each(fn); }
 
  private:
   struct Concept {
     virtual ~Concept() = default;
     virtual void insert(Key, Value) = 0;
-    virtual void insert_batch(const Entry<>*, std::size_t) = 0;
+    virtual void insert_batch(Span<Entry<>>) = 0;
     virtual void erase(Key) = 0;
-    virtual void erase_batch(const Key*, std::size_t) = 0;
-    virtual void apply_batch(const Op<>*, std::size_t) = 0;
+    virtual void erase_batch(Span<Key>) = 0;
+    virtual void apply_batch(Span<Op<>>) = 0;
     virtual std::optional<Value> find(Key) const = 0;
+    virtual Snapshot<> snapshot() const = 0;
     virtual void range_for_each(Key, Key, const RangeFn&) const = 0;
+    virtual void for_each(const RangeFn&) const = 0;
     virtual std::unique_ptr<Cursor::Concept> make_cursor_erased() const = 0;
   };
 
@@ -400,20 +470,16 @@ class AnyDictionary {
   struct Model final : Concept {
     explicit Model(D d) : dict(std::move(d)) {}
     void insert(Key k, Value v) override { dict.insert(k, v); }
-    void insert_batch(const Entry<>* data, std::size_t n) override {
-      dict.insert_batch(data, n);
-    }
+    void insert_batch(Span<Entry<>> batch) override { dict.insert_batch(batch); }
     void erase(Key k) override { dict.erase(k); }
-    void erase_batch(const Key* keys, std::size_t n) override {
-      dict.erase_batch(keys, n);
-    }
-    void apply_batch(const Op<>* ops, std::size_t n) override {
-      dict.apply_batch(ops, n);
-    }
+    void erase_batch(Span<Key> keys) override { dict.erase_batch(keys); }
+    void apply_batch(Span<Op<>> ops) override { dict.apply_batch(ops); }
     std::optional<Value> find(Key k) const override { return dict.find(k); }
+    Snapshot<> snapshot() const override { return dict.snapshot(); }
     void range_for_each(Key lo, Key hi, const RangeFn& fn) const override {
       dict.range_for_each(lo, hi, fn);
     }
+    void for_each(const RangeFn& fn) const override { dict.for_each(fn); }
     std::unique_ptr<Cursor::Concept> make_cursor_erased() const override {
       using C = decltype(dict.make_cursor());
       return std::make_unique<Cursor::Model<C>>(dict.make_cursor());

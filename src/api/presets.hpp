@@ -55,8 +55,8 @@ inline shuttle::ShuttleConfig to_shuttle_config(const DictConfig& c) {
 /// With cfg.shards > 1 the kind is built S times and wrapped in the
 /// concurrent-ingest facade (shard/sharded_dictionary.hpp): each shard is
 /// an independent single-writer instance of the SAME kind/config, behind
-/// one Dictionary interface with worker-thread ingest and fused sharded
-/// cursors. Splitters are learned from the first batch (or key-prefix
+/// one Dictionary interface with worker-thread ingest and snapshot-fused
+/// sharded reads. Splitters are learned from the first batch (or key-prefix
 /// defaults); pass explicit boundaries by constructing ShardedDictionary
 /// directly.
 inline AnyDictionary make_dictionary(const std::string& kind,

@@ -29,6 +29,8 @@
 
 #include "common/entry.hpp"
 #include "common/loser_tree.hpp"
+#include "common/snapshot.hpp"
+#include "common/span.hpp"
 #include "dam/mem_model.hpp"
 
 namespace costream::brt {
@@ -71,8 +73,9 @@ class Brt {
   /// the root buffer a chunk at a time — one block touch per chunk instead
   /// of one per element — flushing whenever the buffer fills. Arrival order
   /// is preserved, so newest-wins matches repeated insert() exactly.
-  void insert_batch(const Entry<K, V>* data, std::size_t n) {
-    apply_batch_impl(n, [data](std::size_t i) {
+  void insert_batch(Span<Entry<K, V>> batch) {
+    const Entry<K, V>* data = batch.data();
+    apply_batch_impl(batch.size(), [data](std::size_t i) {
       return Item{data[i].key, data[i].value, /*tombstone=*/false};
     });
   }
@@ -80,18 +83,45 @@ class Brt {
   /// Bulk blind delete: the tombstones ride the same chunked root-buffer
   /// append as insert_batch (arrival order preserved — a later put of the
   /// same key wins) and annihilate at the leaves.
-  void erase_batch(const K* keys, std::size_t n) {
-    apply_batch_impl(n, [keys](std::size_t i) {
+  void erase_batch(Span<K> batch) {
+    const K* keys = batch.data();
+    apply_batch_impl(batch.size(), [keys](std::size_t i) {
       return Item{keys[i], V{}, /*tombstone=*/true};
     });
   }
 
   /// Mixed put/erase batch, equivalent to replaying the ops with
   /// insert()/erase() one at a time at chunked-append cost.
-  void apply_batch(const Op<K, V>* ops, std::size_t n) {
-    apply_batch_impl(n, [ops](std::size_t i) {
+  void apply_batch(Span<Op<K, V>> batch) {
+    const Op<K, V>* ops = batch.data();
+    apply_batch_impl(batch.size(), [ops](std::size_t i) {
       return Item{ops[i].key, ops[i].value, ops[i].erase};
     });
+  }
+
+  // Deprecated pointer-form batch shims (one release; migration note in
+  // api/dictionary.hpp — CI's deprecated-api lint rejects in-repo callers).
+  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+    insert_batch(Span<Entry<K, V>>(data, n));
+  }
+  void erase_batch(const K* keys, std::size_t n) {
+    erase_batch(Span<K>(keys, n));
+  }
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    apply_batch(Span<Op<K, V>>(ops, n));
+  }
+
+  /// Mutation epoch: bumped by every mutator (see snapshot()).
+  std::uint64_t mutation_epoch() const noexcept { return mutation_epoch_; }
+
+  /// Point-in-time snapshot (contract in api/dictionary.hpp). In-place
+  /// structure: the live contents materialize into one immutable segment,
+  /// cached per mutation epoch; the handle stays valid across mutations.
+  snap::Snapshot<K, V> snapshot() const {
+    if (snap_cache_ && snap_epoch_ == mutation_epoch_) return snap_cache_;
+    snap_cache_ = snap::materialize<K, V>(*this, mutation_epoch_);
+    snap_epoch_ = mutation_epoch_;
+    return snap_cache_;
   }
 
   std::optional<V> find(const K& key) const {
@@ -394,6 +424,7 @@ class Brt {
   template <class ItemAt>
   void apply_batch_impl(std::size_t n, ItemAt&& item_at) {
     if (n == 0) return;
+    ++mutation_epoch_;
     std::size_t i = 0;
     while (i < n && nodes_[root_].leaf) {
       // Root still a leaf: deliver a leaf-capacity chunk and split before
@@ -428,6 +459,7 @@ class Brt {
   }
 
   void put(Item item) {
+    ++mutation_epoch_;
     ++items_;
     if (nodes_[root_].leaf) {
       apply_to_leaf(root_, &item, &item + 1);
@@ -627,6 +659,11 @@ class Brt {
   std::size_t flush_depth_ = 0;
   // Dictionary-owned cursor scratch backing range_for_each/for_each.
   mutable CursorState scan_state_;
+  // Snapshot cache: one materialized segment per mutation epoch (see
+  // snapshot()).
+  std::uint64_t mutation_epoch_ = 0;
+  mutable snap::Snapshot<K, V> snap_cache_;
+  mutable std::uint64_t snap_epoch_ = 0;
   BrtStats stats_;
   mutable MM mm_;
 };

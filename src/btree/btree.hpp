@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "common/entry.hpp"
+#include "common/snapshot.hpp"
+#include "common/span.hpp"
 #include "dam/mem_model.hpp"
 
 namespace costream::btree {
@@ -57,6 +59,22 @@ class BTree {
   std::uint64_t block_bytes() const noexcept { return block_bytes_; }
   std::size_t leaf_capacity() const noexcept { return leaf_cap_; }
   std::size_t node_count() const noexcept { return nodes_.size() - free_.size(); }
+
+  /// Mutation epoch: bumped by every mutator. Snapshots are stamped and
+  /// cached against it.
+  std::uint64_t mutation_epoch() const noexcept { return mutation_epoch_; }
+
+  /// Point-in-time snapshot (contract in api/dictionary.hpp). In-place
+  /// structure: the live contents materialize into one immutable segment —
+  /// O(N) copy, cached per mutation epoch, so repeated acquisitions of an
+  /// unmutated tree are refcount bumps. The handle (and cursors opened on
+  /// it) stays valid across arbitrary later mutations.
+  snap::Snapshot<K, V> snapshot() const {
+    if (snap_cache_ && snap_epoch_ == mutation_epoch_) return snap_cache_;
+    snap_cache_ = snap::materialize<K, V>(*this, mutation_epoch_);
+    snap_epoch_ = mutation_epoch_;
+    return snap_cache_;
+  }
 
   std::optional<V> find(const K& key) const {
     std::uint32_t id = root_;
@@ -196,6 +214,7 @@ class BTree {
 
   /// Upsert: overwrite the value if the key exists.
   void insert(const K& key, const V& value) {
+    ++mutation_epoch_;
     auto split = insert_rec(root_, key, value);
     if (split) {
       const std::uint32_t new_root = new_node(/*leaf=*/false);
@@ -212,10 +231,10 @@ class BTree {
   /// once, then insert in ascending key order — successive inserts descend
   /// into the same nodes, so the root-to-leaf path stays block-cached and
   /// dedup happens once instead of via n upsert probes.
-  void insert_batch(const Ent* data, std::size_t n) {
-    if (n == 0) return;
+  void insert_batch(Span<Ent> batch) {
+    if (batch.empty()) return;
     std::vector<Ent>& run = batch_scratch_;
-    run.assign(data, data + n);
+    run.assign(batch.begin(), batch.end());
     sort_dedup_newest_wins(run, batch_sort_scratch_);
     for (const Ent& e : run) insert(e.key, e.value);
   }
@@ -224,10 +243,10 @@ class BTree {
   /// and erase in ascending order, so successive descents reuse the same
   /// root-to-leaf path blocks; duplicate keys collapse to one erase. The
   /// in-place structure needs no tombstones — each erase rebalances fully.
-  void erase_batch(const K* keys, std::size_t n) {
-    if (n == 0) return;
+  void erase_batch(Span<K> keys) {
+    if (keys.empty()) return;
     std::vector<K>& ks = erase_scratch_;
-    ks.assign(keys, keys + n);
+    ks.assign(keys.begin(), keys.end());
     std::sort(ks.begin(), ks.end());
     ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
     for (const K& k : ks) erase(k);
@@ -236,10 +255,10 @@ class BTree {
   /// Mixed put/erase batch: normalize once (the LAST op on a key wins,
   /// put-vs-erase included), then apply in ascending key order — upserts
   /// insert, deletes erase directly with full rebalancing.
-  void apply_batch(const Op<K, V>* ops, std::size_t n) {
-    if (n == 0) return;
+  void apply_batch(Span<Op<K, V>> ops) {
+    if (ops.empty()) return;
     std::vector<Op<K, V>>& run = op_scratch_;
-    run.assign(ops, ops + n);
+    run.assign(ops.begin(), ops.end());
     sort_dedup_newest_wins(run, op_sort_scratch_);
     for (const Op<K, V>& o : run) {
       if (o.erase) {
@@ -250,8 +269,21 @@ class BTree {
     }
   }
 
+  // Deprecated pointer-form batch shims (one release; migration note in
+  // api/dictionary.hpp — CI's deprecated-api lint rejects in-repo callers).
+  void insert_batch(const Ent* data, std::size_t n) {
+    insert_batch(Span<Ent>(data, n));
+  }
+  void erase_batch(const K* keys, std::size_t n) {
+    erase_batch(Span<K>(keys, n));
+  }
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    apply_batch(Span<Op<K, V>>(ops, n));
+  }
+
   /// Remove `key`; returns true if it was present.
   bool erase(const K& key) {
+    ++mutation_epoch_;
     const bool removed = erase_rec(root_, key);
     Node& r = node_mut(root_);
     if (!r.leaf && r.kids.size() == 1) {
@@ -267,6 +299,7 @@ class BTree {
   /// replaces the current contents. Leaves are packed full (the layout the
   /// paper used for the search experiment's pre-built B-tree).
   void bulk_load(const std::vector<Ent>& sorted) {
+    ++mutation_epoch_;
     nodes_.clear();
     free_.clear();
     size_ = 0;
@@ -597,6 +630,11 @@ class BTree {
   std::vector<Op<K, V>> op_scratch_, op_sort_scratch_;   // apply_batch staging, reused
   // Dictionary-owned cursor scratch backing range_for_each/for_each.
   mutable CursorState scan_state_;
+  // Snapshot cache: one materialized segment per mutation epoch (see
+  // snapshot()).
+  std::uint64_t mutation_epoch_ = 0;
+  mutable snap::Snapshot<K, V> snap_cache_;
+  mutable std::uint64_t snap_epoch_ = 0;
   BTreeStats stats_;
   mutable MM mm_;
 };

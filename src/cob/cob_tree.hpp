@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "common/entry.hpp"
+#include "common/snapshot.hpp"
+#include "common/span.hpp"
 #include "dam/mem_model.hpp"
 #include "layout/veb_static.hpp"
 #include "pma/pma.hpp"
@@ -64,6 +66,7 @@ class CobTree {
 
   /// Upsert.
   void insert(const K& key, const V& value) {
+    ++mutation_epoch_;
     const slot_t pred = predecessor_slot(key);
     if (pred != npos) {
       Ent& e = pma_.at(pred);
@@ -82,10 +85,11 @@ class CobTree {
   /// vEB descent reuses the same root-to-segment path blocks. An empty
   /// structure takes the pure bulk-load path: one rolling-predecessor PMA
   /// placement and a single index rebuild.
-  void insert_batch(const Ent* data, std::size_t n) {
-    if (n == 0) return;
+  void insert_batch(Span<Ent> batch) {
+    if (batch.empty()) return;
+    ++mutation_epoch_;
     std::vector<Ent>& run = batch_scratch_;
-    run.assign(data, data + n);
+    run.assign(batch.begin(), batch.end());
     sort_dedup_newest_wins(run, batch_sort_scratch_);
     if (pma_.empty()) {
       pma_.insert_batch_after(npos, run.data(), run.size());
@@ -99,10 +103,10 @@ class CobTree {
   /// and erase ascending — successive keys hit the same or adjacent PMA
   /// segments, so the vEB descents and rebalance windows overlap. Duplicate
   /// keys collapse to one erase; absent keys are no-ops.
-  void erase_batch(const K* keys, std::size_t n) {
-    if (n == 0) return;
+  void erase_batch(Span<K> keys) {
+    if (keys.empty()) return;
     std::vector<K>& ks = erase_scratch_;
-    ks.assign(keys, keys + n);
+    ks.assign(keys.begin(), keys.end());
     std::sort(ks.begin(), ks.end());
     ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
     for (const K& k : ks) erase(k);
@@ -111,10 +115,10 @@ class CobTree {
   /// Mixed put/erase batch: normalize once (the LAST op on a key wins),
   /// apply ascending — upserts through insert(), deletes through erase(),
   /// no tombstones anywhere in the PMA.
-  void apply_batch(const Op<K, V>* ops, std::size_t n) {
-    if (n == 0) return;
+  void apply_batch(Span<Op<K, V>> ops) {
+    if (ops.empty()) return;
     std::vector<Op<K, V>>& run = op_scratch_;
-    run.assign(ops, ops + n);
+    run.assign(ops.begin(), ops.end());
     sort_dedup_newest_wins(run, op_sort_scratch_);
     for (const Op<K, V>& o : run) {
       if (o.erase) {
@@ -125,8 +129,34 @@ class CobTree {
     }
   }
 
+  // Deprecated pointer-form batch shims (one release; migration note in
+  // api/dictionary.hpp — CI's deprecated-api lint rejects in-repo callers).
+  void insert_batch(const Ent* data, std::size_t n) {
+    insert_batch(Span<Ent>(data, n));
+  }
+  void erase_batch(const K* keys, std::size_t n) {
+    erase_batch(Span<K>(keys, n));
+  }
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    apply_batch(Span<Op<K, V>>(ops, n));
+  }
+
+  /// Mutation epoch: bumped by every mutator (see snapshot()).
+  std::uint64_t mutation_epoch() const noexcept { return mutation_epoch_; }
+
+  /// Point-in-time snapshot (contract in api/dictionary.hpp). In-place
+  /// structure: the live contents materialize into one immutable segment,
+  /// cached per mutation epoch; the handle stays valid across mutations.
+  snap::Snapshot<K, V> snapshot() const {
+    if (snap_cache_ && snap_epoch_ == mutation_epoch_) return snap_cache_;
+    snap_cache_ = snap::materialize<K, V>(*this, mutation_epoch_);
+    snap_epoch_ = mutation_epoch_;
+    return snap_cache_;
+  }
+
   /// Returns true if the key existed.
   bool erase(const K& key) {
+    ++mutation_epoch_;
     const slot_t s = predecessor_slot(key);
     if (s == npos || pma_.at(s).key != key) return false;
     pma_.erase(s);
@@ -423,6 +453,11 @@ class CobTree {
   std::uint64_t index_epoch_ = ~0ULL;
   // Dictionary-owned cursor scratch backing range_for_each/for_each.
   mutable CursorState scan_state_;
+  // Snapshot cache: one materialized segment per mutation epoch (see
+  // snapshot()).
+  std::uint64_t mutation_epoch_ = 0;
+  mutable snap::Snapshot<K, V> snap_cache_;
+  mutable std::uint64_t snap_epoch_ = 0;
   std::vector<Ent> batch_scratch_, batch_sort_scratch_;  // insert_batch staging, reused
   std::vector<K> erase_scratch_;                         // erase_batch staging, reused
   std::vector<Op<K, V>> op_scratch_, op_sort_scratch_;   // apply_batch staging, reused

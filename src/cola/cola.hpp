@@ -68,14 +68,33 @@
 // geometry; ingest_tuned() presets select it.
 //
 // Read path (extensions). Every tiered segment and staging run carries
-// min/max FENCE KEYS (O(1) to maintain on append): find() and Cursor::seek
+// min/max FENCE KEYS (O(1) to maintain on append): find() and cursor seeks
 // skip sources whose range excludes the probe, which prunes most probes on
 // range-disjoint (time-partitioned) feeds — the knob fence_keys gates only
-// the read side, for ablations. The Cursor (make_cursor/seek/next — the
-// Dictionary cursor contract in api/dictionary.hpp) fuses the staged view,
-// classic levels, and tiered segments through a shared loser tree with
-// newest-wins dedup and tombstone suppression; range_for_each/for_each run
-// on top of it, allocation-free in steady state.
+// the read side, for ablations.
+//
+// Snapshots (the read contract since the snapshot redesign — see
+// api/dictionary.hpp). Tiered segments are REF-COUNTED IMMUTABLE units
+// (snap::Segment held by shared_ptr): a fold retires its sources by
+// dropping the level's references, so any open snapshot keeps them alive
+// until it closes — deferred free by refcount, no drain barrier.
+// snapshot() stamps the current segment set plus a frozen copy of the
+// staging arena (collapsed to one ephemeral segment) at the current
+// mutation epoch, cached per epoch so repeated acquisitions between
+// mutations are refcount bumps. Classic (non-tiered) levels are rewritten
+// in place by merges, so their snapshot is copy-on-snapshot: each level's
+// real entries are copied into an immutable segment. All ordered reads —
+// Cursor, range_for_each, for_each — run on snap::SnapshotCursor over a
+// snapshot (one loser-tree code path, newest-wins dedup + tombstone
+// suppression), so they stay valid across arbitrary mutations; find()
+// keeps its dedicated live probe path (fences + per-level binary search)
+// because point reads never straddle a mutation. DAM accounting for scans
+// rides a MemHook installed on the structure's own cursors only; detached
+// Snapshot handles are free of accounting state and safe to read from
+// other threads. The classic copy-on-snapshot build charges its real IO
+// (stream source slots, stream-write the copy) once per mutation epoch,
+// and the copies live at allocated logical addresses so hooked per-probe
+// reads keep counting.
 //
 // Retention (tiered). Tombstones are bounded by tombstone_threshold (PR 3)
 // and shadowed LIVE duplicates — the churn failure mode — by
@@ -93,10 +112,13 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "common/entry.hpp"
 #include "common/loser_tree.hpp"
+#include "common/snapshot.hpp"
+#include "common/span.hpp"
 #include "dam/mem_model.hpp"
 
 namespace costream::cola {
@@ -231,9 +253,14 @@ class Gcola {
   std::uint64_t bytes() const noexcept {
     std::uint64_t b = cfg_.staging_capacity * sizeof(TItem);
     for (const Level& lv : levels_) {
-      b += lv.slots.size() * sizeof(Slot) + lv.tslots.size() * sizeof(TItem);
+      b += lv.slots.size() * sizeof(Slot) + lv.real_count * sizeof(TItem);
     }
     return b;
+  }
+
+  /// Live Segment objects across the process (snapshot-churn leak tests).
+  static std::int64_t live_segments() noexcept {
+    return snap::live_segment_count().load(std::memory_order_relaxed);
   }
 
   std::optional<V> find(const K& key) const {
@@ -297,16 +324,90 @@ class Gcola {
     return std::nullopt;
   }
 
+  /// Point-in-time snapshot (contract in api/dictionary.hpp): the current
+  /// segment set plus a frozen staging view, stamped at the current
+  /// mutation epoch. Cached per epoch — repeated acquisitions between
+  /// mutations are refcount bumps. Tiered mode pins the live segments
+  /// (zero copying beyond the staging arena); classic mode copies each
+  /// level's real entries into an immutable segment. The returned handle
+  /// stays exactly as stamped across arbitrary later mutations and is safe
+  /// to read from other threads.
+  snap::Snapshot<K, V> snapshot() const {
+    if (snap_cache_ && snap_epoch_ == mutation_epoch_) return snap_cache_;
+    auto data = std::make_shared<snap::SnapshotData<K, V>>();
+    data->epoch = mutation_epoch_;
+    data->fence_keys = cfg_.fence_keys;
+    // The frozen staging view is the NEWEST source: a sorted, deduplicated
+    // copy of the arena (tombstones kept — they must shadow deeper copies;
+    // the readers suppress them). It keeps the arena's logical address so
+    // hooked reads charge the (cache-hot) arena region, as the pre-snapshot
+    // cursor did when it streamed the stage directly.
+    if (!stage_.empty()) {
+      snap_stage_view_.assign(stage_.begin(), stage_.end());
+      sort_dedup_newest_wins(snap_stage_view_, snap_stage_scratch_);
+      if (snap::SegmentRef<K, V> seg =
+              snap::make_segment(std::move(snap_stage_view_), /*id=*/0,
+                                 stage_base_, mutation_epoch_)) {
+        data->segs.push_back(std::move(seg));
+      }
+      snap_stage_view_.clear();
+    }
+    if (cfg_.tiered) {
+      // Levels shallow -> deep, segments newest -> oldest: exactly the
+      // loser tree's priority order. Pinning is a shared_ptr copy.
+      for (const Level& lv : levels_) {
+        for (std::size_t j = lv.segs.size(); j-- > 0;) {
+          data->segs.push_back(lv.segs[j]);
+        }
+      }
+    } else {
+      // Classic levels are rewritten in place by merges: copy-on-snapshot.
+      // Each level is one sorted run of unique real keys, shallower =
+      // newer, so per-level segments slot straight into priority order.
+      // The build is real IO the structure performs — stream-read the
+      // occupied slots and stream-write the copy into a freshly allocated
+      // logical region — charged once per mutation epoch (the cache above);
+      // hooked cursor reads then charge the copy's region per probe.
+      for (std::size_t l = 0; l < levels_.size(); ++l) {
+        const Level& lv = levels_[l];
+        if (lv.real_count == 0) continue;
+        touch_region(l, lv.occ_begin,
+                     lv.slots.size() - lv.occ_begin, /*write=*/false);
+        snap_stage_view_.clear();
+        snap_stage_view_.reserve(lv.real_count);
+        for (std::uint32_t i = lv.occ_begin; i < lv.slots.size(); ++i) {
+          const Slot& s = lv.slots[i];
+          if (s.is_lookahead()) continue;
+          snap_stage_view_.push_back(TItem{s.key, s.value, s.flags});
+        }
+        const std::uint64_t base = next_base_;
+        next_base_ += snap_stage_view_.size() * sizeof(TItem);
+        if (snap::SegmentRef<K, V> seg =
+                snap::make_segment(std::move(snap_stage_view_), /*id=*/0,
+                                   base, mutation_epoch_)) {
+          mm_.touch_write(base, seg->items.size() * sizeof(TItem));
+          data->segs.push_back(std::move(seg));
+        }
+        snap_stage_view_.clear();
+      }
+    }
+    snap_cache_ = snap::Snapshot<K, V>(std::move(data));
+    snap_epoch_ = mutation_epoch_;
+    return snap_cache_;
+  }
+
   /// Visit live entries with lo_key <= key <= hi_key ascending; newest value
   /// wins, tombstoned keys are skipped. One code path with the cursor API:
-  /// a bounded seek on the dictionary-owned scratch cursor, allocation-free
-  /// in steady state.
+  /// a bounded seek over a one-shot internal snapshot on the
+  /// dictionary-owned scratch cursor, allocation-free in steady state (the
+  /// snapshot is cached per mutation epoch).
   template <class Fn>
   void range_for_each(const K& lo_key, const K& hi_key, Fn&& fn) const {
     if (hi_key < lo_key) return;
-    Cursor c(this, &scan_state_);
-    for (c.seek(lo_key, hi_key); c.valid(); c.next()) {
-      const Entry<K, V>& e = c.entry();
+    scan_cur_.attach(snapshot().data());
+    scan_cur_.set_mem_hook(read_hook());
+    for (scan_cur_.seek(lo_key, hi_key); scan_cur_.valid(); scan_cur_.next()) {
+      const Entry<K, V>& e = scan_cur_.entry();
       fn(e.key, e.value);
     }
   }
@@ -317,9 +418,10 @@ class Gcola {
   /// object for composite keys, either of which would silently drop entries.
   template <class Fn>
   void for_each(Fn&& fn) const {
-    Cursor c(this, &scan_state_);
-    for (c.seek_first(); c.valid(); c.next()) {
-      const Entry<K, V>& e = c.entry();
+    scan_cur_.attach(snapshot().data());
+    scan_cur_.set_mem_hook(read_hook());
+    for (scan_cur_.seek_first(); scan_cur_.valid(); scan_cur_.next()) {
+      const Entry<K, V>& e = scan_cur_.entry();
       fn(e.key, e.value);
     }
   }
@@ -336,7 +438,9 @@ class Gcola {
   /// into the shallowest level with room, instead of n independent cascades.
   /// A batch of n costs O((n + d)/B) transfers, d = displaced items — the
   /// bulk movement across block boundaries the paper's analysis is built on.
-  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+  void insert_batch(Span<Entry<K, V>> batch) {
+    const Entry<K, V>* data = batch.data();
+    const std::size_t n = batch.size();
     if (n == 0) return;
     ++mutation_epoch_;
     // Staging path: normalize the batch while it is small and cache-hot
@@ -409,7 +513,8 @@ class Gcola {
   /// all older data strip matched and unmatched tombstones alike, and the
   /// tombstone-pressure policy bounds how long they may linger (see
   /// ColaConfig::tombstone_threshold).
-  void erase_batch(const K* keys, std::size_t n) {
+  void erase_batch(Span<K> keys) {
+    const std::size_t n = keys.size();
     if (n == 0) return;
     std::vector<TItem>& run = titem_batch_;
     run.clear();
@@ -428,7 +533,8 @@ class Gcola {
   /// the whole batch is newer than everything already present. Identical in
   /// effect to replaying the ops with insert()/erase() one at a time, in one
   /// normalized run and one cascade.
-  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+  void apply_batch(Span<Op<K, V>> ops) {
+    const std::size_t n = ops.size();
     if (n == 0) return;
     std::vector<TItem>& run = titem_batch_;
     run.clear();
@@ -441,6 +547,18 @@ class Gcola {
       run.push_back(s);
     }
     apply_normalized(run, n);
+  }
+
+  // Deprecated pointer-form batch shims (one release; migration note in
+  // api/dictionary.hpp — CI's deprecated-api lint rejects in-repo callers).
+  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+    insert_batch(Span<Entry<K, V>>(data, n));
+  }
+  void erase_batch(const K* keys, std::size_t n) {
+    erase_batch(Span<K>(keys, n));
+  }
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    apply_batch(Span<Op<K, V>>(ops, n));
   }
 
   /// Drain the staging arena into the levels (normally automatic when the
@@ -506,17 +624,15 @@ class Gcola {
     ensure_level(t);
     if (cfg_.tiered) {
       Level& lv = levels_[t];
-      lv.tslots.clear();
-      append_widened(sorted.data(), sorted.data() + sorted.size(), lv.tslots);
-      lv.segs.assign(1, 0);
-      lv.seg_tombs.assign(1, 0);  // bulk loads carry no tombstones
-      lv.tomb_count = 0;
-      lv.seg_min.assign(1, sorted.front().key);
-      lv.seg_max.assign(1, sorted.back().key);
+      std::vector<TItem> items;
+      append_widened(sorted.data(), sorted.data() + sorted.size(), items);
+      clear_level(lv);
+      SegRef seg = new_segment(std::move(items));
+      mm_.touch_write(seg->base_addr, seg->items.size() * sizeof(TItem));
+      lv.segs.assign(1, std::move(seg));
       lv.seg_stale.assign(1, 0);
-      lv.seg_ids.assign(1, next_seg_id_++);
+      lv.tomb_count = 0;  // bulk loads carry no tombstones
       lv.stale_count = 0;
-      touch_titems(t, 0, lv.tslots.size(), /*write=*/true);
     } else {
       std::vector<Slot> content;
       content.reserve(sorted.size());
@@ -598,15 +714,13 @@ class Gcola {
     for (std::size_t l = d + 1; l-- > 0;) {
       const Level& lv = levels_[l];
       if (lv.real_count == 0) continue;
-      touch_titems(l, 0, lv.tslots.size(), /*write=*/false);
       for (std::size_t j = 0; j < lv.segs.size(); ++j) {  // oldest first
-        const std::uint32_t b = lv.segs[j];
-        const std::uint32_t e = j + 1 < lv.segs.size()
-                                    ? lv.segs[j + 1]
-                                    : static_cast<std::uint32_t>(lv.tslots.size());
-        fold_spans_.emplace_back(lv.tslots.data() + b, lv.tslots.data() + e);
+        const Seg& seg = *lv.segs[j];
+        mm_.touch(seg.base_addr, seg.items.size() * sizeof(TItem));
+        fold_spans_.emplace_back(seg.items.data(),
+                                 seg.items.data() + seg.items.size());
       }
-      total += lv.tslots.size();
+      total += lv.real_count;
     }
     collapse_fold_spans(total);
     stats_.duplicates_dropped += total - tfold_buf_.size();
@@ -725,72 +839,56 @@ class Gcola {
  private:
   enum : std::uint32_t { kFlagLookahead = 1u, kFlagTombstone = 2u };
 
-  /// Tiered-mode invariants: left-justified occupancy, contiguous segments
-  /// each sorted with unique keys, no lookahead slots, counts consistent.
+  /// Tiered-mode invariants: ref-counted segments each nonempty, sorted
+  /// with unique keys, fences and tombstone counts consistent with their
+  /// contents, no classic storage, counts consistent.
   void check_invariants_tiered() const {
     for (std::size_t l = 0; l < levels_.size(); ++l) {
       const Level& lv = levels_[l];
       if (!lv.slots.empty()) {
         throw std::logic_error("cola: classic storage used in tiered mode");
       }
-      if (lv.tslots.size() > real_cap(l)) {
-        throw std::logic_error("cola: tiered level overfull");
-      }
       if (lv.segs.size() > cfg_.growth - 1) {
         throw std::logic_error("cola: too many segments in level");
       }
-      if (lv.tslots.size() != lv.real_count) {
-        throw std::logic_error("cola: tiered count drift");
-      }
-      if (lv.seg_tombs.size() != lv.segs.size() ||
-          lv.seg_min.size() != lv.segs.size() ||
-          lv.seg_max.size() != lv.segs.size() ||
-          lv.seg_stale.size() != lv.segs.size() ||
-          lv.seg_ids.size() != lv.segs.size()) {
+      if (lv.seg_stale.size() != lv.segs.size()) {
         throw std::logic_error("cola: segment metadata out of step");
       }
-      if (lv.segs.empty()) {
-        if (lv.real_count != 0) {
-          throw std::logic_error("cola: empty tiered level with occupancy");
-        }
-        if (lv.tomb_count != 0) {
-          throw std::logic_error("cola: empty tiered level with tombstones");
-        }
-        if (lv.stale_count != 0) {
-          throw std::logic_error("cola: empty tiered level with stale mass");
-        }
-        continue;
-      }
-      if (lv.segs.front() != 0) {
-        throw std::logic_error("cola: first segment not at offset 0");
-      }
-      std::uint64_t tombs_total = 0, stale_total = 0;
+      std::uint64_t items_total = 0, tombs_total = 0, stale_total = 0;
       for (std::size_t j = 0; j < lv.segs.size(); ++j) {
-        const std::uint32_t b = lv.segs[j];
-        const std::uint32_t e = j + 1 < lv.segs.size()
-                                    ? lv.segs[j + 1]
-                                    : static_cast<std::uint32_t>(lv.tslots.size());
-        if (b >= e) throw std::logic_error("cola: empty segment");
+        if (lv.segs[j] == nullptr) {
+          throw std::logic_error("cola: null segment reference");
+        }
+        const Seg& seg = *lv.segs[j];
+        if (seg.items.empty()) throw std::logic_error("cola: empty segment");
         std::uint32_t tombs = 0;
-        for (std::uint32_t i = b; i < e; ++i) {
-          if (i > b && !(lv.tslots[i - 1].key < lv.tslots[i].key)) {
+        for (std::size_t i = 0; i < seg.items.size(); ++i) {
+          if (i > 0 && !(seg.items[i - 1].key < seg.items[i].key)) {
             throw std::logic_error("cola: segment unsorted");
           }
-          tombs += lv.tslots[i].is_tombstone() ? 1u : 0u;
+          tombs += seg.items[i].is_tombstone() ? 1u : 0u;
         }
-        if (tombs != lv.seg_tombs[j]) {
+        if (tombs != seg.tombs) {
           throw std::logic_error("cola: segment tombstone count drift");
         }
-        if (lv.seg_min[j] < lv.tslots[b].key || lv.tslots[b].key < lv.seg_min[j] ||
-            lv.seg_max[j] < lv.tslots[e - 1].key ||
-            lv.tslots[e - 1].key < lv.seg_max[j]) {
+        if (seg.min_key < seg.items.front().key ||
+            seg.items.front().key < seg.min_key ||
+            seg.max_key < seg.items.back().key ||
+            seg.items.back().key < seg.max_key) {
           throw std::logic_error("cola: segment fence keys drift");
         }
-        if (lv.seg_stale[j] > e - b) {
+        if (lv.seg_stale[j] > seg.items.size()) {
           throw std::logic_error("cola: segment stale estimate exceeds size");
         }
+        items_total += seg.items.size();
         tombs_total += tombs;
         stale_total += lv.seg_stale[j];
+      }
+      if (items_total > real_cap(l)) {
+        throw std::logic_error("cola: tiered level overfull");
+      }
+      if (items_total != lv.real_count) {
+        throw std::logic_error("cola: tiered count drift");
       }
       if (tombs_total != lv.tomb_count) {
         throw std::logic_error("cola: level tombstone count drift");
@@ -816,14 +914,11 @@ class Gcola {
   /// Compact element for the tiered path (staging arena + segments): a
   /// Slot without the lookahead bookkeeping — 24 bytes against 32. Every
   /// tiered merge pass is memory- and copy-bound, so the narrower element
-  /// is a flat ~25% cut on the whole ingest hot path.
-  struct TItem {
-    K key{};
-    V value{};
-    std::uint32_t flags = 0;
-
-    bool is_tombstone() const noexcept { return (flags & kFlagTombstone) != 0; }
-  };
+  /// is a flat ~25% cut on the whole ingest hot path. The shared
+  /// snap::Item so snapshot segments hold the structure's native element.
+  using TItem = snap::Item<K, V>;
+  using Seg = snap::Segment<K, V>;
+  using SegRef = snap::SegmentRef<K, V>;
 
   struct Level {
     std::vector<Slot> slots;      // physical array; occupied = [occ_begin, size)
@@ -831,35 +926,35 @@ class Gcola {
     std::uint32_t fills = 0;      // merges received since last emptied
     std::uint64_t real_count = 0;
     std::uint64_t base_offset = 0;  // logical address of slots[0]
-    // Tiered mode only: compact storage (`tslots`, `slots` stays empty)
-    // plus begin offsets of the level's sorted segments, ascending —
-    // segment j spans [segs[j], segs[j+1]) with the last ending at
-    // tslots.size(), and the LAST segment is the newest. Tiered levels are
-    // left-justified and grow on demand (tslots.size() == occupancy, not
-    // capacity): preallocating a deep level to real_cap would zero-fill
-    // gigabytes the moment the cascade first reaches it.
-    std::vector<TItem> tslots;
-    std::vector<std::uint32_t> segs;
-    // Tiered mode: live/tombstone split per segment (seg_tombs parallels
-    // segs) and the level-wide tombstone total — maintained by every fold so
-    // the bounded-retention policy reads pressure in O(1).
-    std::vector<std::uint32_t> seg_tombs;
+    // Tiered mode only (`slots` stays empty): the level's sorted segments,
+    // oldest first — the LAST segment is the newest. Each segment is a
+    // ref-counted IMMUTABLE unit (snap::Segment: items, fence keys,
+    // tombstone count, stable id, logical base address) shared with every
+    // open snapshot; a fold retires its sources by dropping these
+    // references, and the segments are freed when the last snapshot
+    // pinning them closes. real_count is the level's total item count
+    // (sum of segment sizes), tomb_count the level-wide tombstone total —
+    // maintained by every fold so the bounded-retention policy reads
+    // pressure in O(1).
+    std::vector<SegRef> segs;
     std::uint64_t tomb_count = 0;
-    // Tiered mode: per-segment fence keys (seg_min/seg_max parallel segs;
-    // a segment is sorted, so they are its first and last keys — O(1) to
-    // maintain on append) and the estimated count of this segment's entries
-    // shadowed by newer segments of the SAME level (seg_stale; stale_count
-    // is the level total). The staleness numbers are estimates fed by the
-    // fold's own duplicate statistics, never by extra probes.
-    std::vector<K> seg_min, seg_max;
+    // Tiered mode: estimated count of each segment's entries shadowed by
+    // newer data (parallel to segs; stale_count is the level total). Lives
+    // OUTSIDE the immutable segments — it is mutable bookkeeping fed by
+    // the fold's own duplicate statistics, never by extra probes, and a
+    // snapshot must not see it change.
     std::vector<std::uint32_t> seg_stale;
     std::uint64_t stale_count = 0;
-    // Tiered mode: stable identity per segment (parallels segs), assigned
-    // at append and carried through trivial moves. The durable tier keys
-    // its spill files by these ids, so a fold can report exactly which
-    // on-disk segments it consumed.
-    std::vector<std::uint64_t> seg_ids;
   };
+
+  /// Mint a fresh immutable segment owning `items`: stable id, a logical
+  /// address region for DAM accounting, and the current mutation epoch.
+  SegRef new_segment(std::vector<TItem>&& items) {
+    const std::uint64_t base = next_base_;
+    next_base_ += items.size() * sizeof(TItem);
+    return snap::make_segment(std::move(items), next_seg_id_++, base,
+                              mutation_epoch_);
+  }
 
   // -- geometry ---------------------------------------------------------------
 
@@ -918,18 +1013,6 @@ class Gcola {
     }
   }
 
-  /// DAM accounting for tiered (compact-item) level storage.
-  void touch_titems(std::size_t l, std::uint32_t i, std::uint64_t n, bool write) const {
-    if (n == 0) return;
-    const std::uint64_t off =
-        levels_[l].base_offset + static_cast<std::uint64_t>(i) * sizeof(TItem);
-    if (write) {
-      mm_.touch_write(off, n * sizeof(TItem));
-    } else {
-      mm_.touch(off, n * sizeof(TItem));
-    }
-  }
-
   // -- search helpers ---------------------------------------------------------
 
   std::uint32_t level_upper_bound(std::size_t l, std::uint32_t lo, std::uint32_t hi,
@@ -973,29 +1056,25 @@ class Gcola {
   std::optional<V> find_tiered(const K& key) const {
     for (std::size_t l = 0; l < levels_.size(); ++l) {
       const Level& lv = levels_[l];
-      for (std::size_t j = lv.segs.size(); j-- > 0;) {
-        if (cfg_.fence_keys &&
-            (key < lv.seg_min[j] || lv.seg_max[j] < key)) {
+      for (std::size_t j = lv.segs.size(); j-- > 0;) {  // newest first
+        const Seg& seg = *lv.segs[j];
+        if (cfg_.fence_keys && (key < seg.min_key || seg.max_key < key)) {
           ++stats_.fence_seg_skips;
           continue;
         }
-        const std::uint32_t b = lv.segs[j];
-        const std::uint32_t e = j + 1 < lv.segs.size()
-                                    ? lv.segs[j + 1]
-                                    : static_cast<std::uint32_t>(lv.tslots.size());
-        std::uint32_t lo = b, hi = e;
+        std::size_t lo = 0, hi = seg.items.size();
         while (lo < hi) {
-          const std::uint32_t mid = lo + (hi - lo) / 2;
-          touch_titems(l, mid, 1, /*write=*/false);
-          if (lv.tslots[mid].key < key) {
+          const std::size_t mid = lo + (hi - lo) / 2;
+          mm_.touch(seg.base_addr + mid * sizeof(TItem), sizeof(TItem));
+          if (seg.items[mid].key < key) {
             lo = mid + 1;
           } else {
             hi = mid;
           }
         }
-        if (lo < e && lv.tslots[lo].key == key) {
-          if (lv.tslots[lo].is_tombstone()) return std::nullopt;
-          return lv.tslots[lo].value;
+        if (lo < seg.items.size() && seg.items[lo].key == key) {
+          if (seg.items[lo].is_tombstone()) return std::nullopt;
+          return seg.items[lo].value;
         }
       }
     }
@@ -1004,260 +1083,79 @@ class Gcola {
 
   // -- cursors ----------------------------------------------------------------
 
-  static constexpr std::uint64_t kNoEpoch = ~0ULL;
-
-  /// One source of a cursor's fused merge: either a classic level's Slot
-  /// span (lookahead slots skipped inline) or a TItem span (a tiered
-  /// segment, or the cursor-local staged view, which carries no DAM
-  /// accounting). Decodes its current head on demand.
-  struct CurSrc {
-    const Slot* s_at = nullptr;
-    const Slot* s_end = nullptr;
-    const TItem* t_at = nullptr;
-    const TItem* t_end = nullptr;
-    MM* mm = nullptr;        // null: source is cursor-local scratch
-    std::uint64_t addr = 0;  // logical address of the current element
-
-    bool alive() const { return s_at != s_end || t_at != t_end; }
-    const K& key() const { return s_at != s_end ? s_at->key : t_at->key; }
-    const V& value() const { return s_at != s_end ? s_at->value : t_at->value; }
-    bool tomb() const {
-      return s_at != s_end ? s_at->is_tombstone() : t_at->is_tombstone();
+  /// Accounting hook for THIS structure's own snapshot-backed reads: fence
+  /// skips count into stats_, probes charge mm_ (installed only when a
+  /// real memory model is attached — under the null model the touch slot
+  /// stays empty, so scan inner loops skip the indirect call). Detached
+  /// Snapshot handles never carry a hook: accounting is a property of the
+  /// owner's read call, not of the shared snapshot data.
+  snap::MemHook read_hook() const {
+    snap::MemHook h;
+    h.ctx = const_cast<void*>(static_cast<const void*>(this));
+    h.seg_skip = [](void* c) {
+      ++static_cast<const Gcola*>(c)->stats_.fence_seg_skips;
+    };
+    if constexpr (!std::is_same_v<MM, dam::null_mem_model>) {
+      h.touch = [](void* c, std::uint64_t addr, std::uint64_t bytes) {
+        static_cast<const Gcola*>(c)->mm_.touch(addr, bytes);
+      };
     }
-    void advance() {
-      if (s_at != s_end) {
-        do {
-          ++s_at;
-          addr += sizeof(Slot);
-          if (s_at != s_end && mm != nullptr) mm->touch(addr, sizeof(Slot));
-        } while (s_at != s_end && s_at->is_lookahead());
-      } else {
-        ++t_at;
-        addr += sizeof(TItem);
-        if (t_at != t_end && mm != nullptr) mm->touch(addr, sizeof(TItem));
-      }
-    }
-  };
-
-  /// Reusable cursor scratch — every vector grows to its high-water size
-  /// and stays, so repeated seeks and scans allocate nothing. A plain
-  /// aggregate (no back-pointer into the dictionary), safe to keep as a
-  /// member across moves of the owning Gcola.
-  struct CursorState {
-    std::vector<CurSrc> srcs;  // index order IS priority (newest first)
-    LoserTree<K> tree;
-    std::vector<TItem> stage_view, stage_view_scratch;
-    // Mutation epoch the staged view was materialized at; re-seeks on an
-    // unmutated dictionary (merge_join leapfrogs, seek-heavy workloads)
-    // reuse the view instead of re-sorting the arena per seek.
-    std::uint64_t stage_epoch = kNoEpoch;
-    Entry<K, V> cur{};
-    bool valid = false;
-    bool bounded = false;
-    K hi{};
-    K last{};
-    bool have_last = false;
-  };
+    return h;
+  }
 
  public:
   /// Resumable ordered cursor (Dictionary cursor contract in
-  /// api/dictionary.hpp): seek positions at the first live key >= lo,
-  /// next/entry stream the live contents ascending with newest-wins dedup
-  /// and tombstone suppression fused through a loser tree over the staged
-  /// view, the levels, and (tiered mode) every segment. Segment fence keys
-  /// let a seek skip whole segments without touching them. Any mutation of
-  /// the dictionary invalidates the cursor; re-seek (no teardown) makes it
-  /// usable again, and repeated seeks are allocation-free in steady state.
+  /// api/dictionary.hpp): every seek acquires the dictionary's current
+  /// snapshot — a refcount bump when the dictionary is unmutated since the
+  /// last acquisition — and positions inside it. The position then stays
+  /// valid across arbitrary mutations of the dictionary, streaming exactly
+  /// the snapshot it seeked over; re-seek to observe newer data. Repeated
+  /// seeks are allocation-free in steady state (the merge scratch keeps
+  /// its high-water size).
   class Cursor {
    public:
     Cursor() = default;
 
-    void seek(const K& lo) { do_seek(&lo, nullptr); }
+    void seek(const K& lo) {
+      refresh();
+      c_.seek(lo);
+    }
     /// Bounded seek: entries past `hi` are never surfaced (lets pruned
     /// structures skip sources entirely; an unbounded cursor can always be
     /// stopped by the caller instead).
     void seek(const K& lo, const K& hi) {
-      if (hi < lo) {
-        st_->valid = false;
-        return;
-      }
-      do_seek(&lo, &hi);
+      refresh();
+      c_.seek(lo, hi);
     }
     /// Position at the smallest live key (no sentinel bound needed — see
     /// for_each's note on numeric_limits sentinels).
-    void seek_first() { do_seek(nullptr, nullptr); }
-
-    bool valid() const { return st_->valid; }
-    const Entry<K, V>& entry() const { return st_->cur; }
-
-    void next() {
-      CursorState& st = *st_;
-      if (!st.valid) return;
-      CurSrc& s = st.srcs[st.tree.top()];
-      s.advance();
-      st.tree.replay(s.alive(), s.alive() ? s.key() : K{});
-      advance_to_live();
+    void seek_first() {
+      refresh();
+      c_.seek_first();
     }
+
+    bool valid() const { return c_.valid(); }
+    const Entry<K, V>& entry() const { return c_.entry(); }
+    void next() { c_.next(); }
+    /// Mutation epoch of the snapshot the last seek pinned (0 before any
+    /// seek) — lets callers verify which version a scan is reading.
+    std::uint64_t snapshot_epoch() const { return c_.epoch(); }
 
    private:
     friend class Gcola;
-    explicit Cursor(const Gcola* d)
-        : d_(d), own_(std::make_unique<CursorState>()), st_(own_.get()) {}
-    Cursor(const Gcola* d, CursorState* st) : d_(d), st_(st) {}
-
-    void do_seek(const K* lo, const K* hi) {
-      CursorState& st = *st_;
-      const Gcola& d = *d_;
-      st.bounded = hi != nullptr;
-      if (hi != nullptr) st.hi = *hi;
-      st.have_last = false;
-      st.valid = false;
-      st.srcs.clear();
-      // The staged view is the newest source: a sorted, deduplicated copy
-      // of the arena, owned by the cursor so the dictionary stays
-      // untouched. Materialized once per mutation epoch — repeated seeks
-      // between mutations reuse it.
-      if (st.stage_epoch != d.mutation_epoch_) {
-        st.stage_view.assign(d.stage_.begin(), d.stage_.end());
-        sort_dedup_newest_wins(st.stage_view, st.stage_view_scratch);
-        if (!d.stage_.empty()) {
-          d.mm_.touch(d.stage_base_, d.stage_.size() * sizeof(TItem));
-        }
-        st.stage_epoch = d.mutation_epoch_;
-      }
-      {
-        const TItem* b = st.stage_view.data();
-        const TItem* e = b + st.stage_view.size();
-        if (lo != nullptr) {
-          b = std::lower_bound(
-              b, e, *lo, [](const TItem& s, const K& k) { return s.key < k; });
-        }
-        if (b != e) {
-          CurSrc s;
-          s.t_at = b;
-          s.t_end = e;
-          st.srcs.push_back(s);
-        }
-      }
-      if (d.cfg_.tiered) {
-        for (std::size_t l = 0; l < d.levels_.size(); ++l) {
-          const Level& lv = d.levels_[l];
-          for (std::size_t j = lv.segs.size(); j-- > 0;) {  // newest first
-            const std::uint32_t b = lv.segs[j];
-            const std::uint32_t e =
-                j + 1 < lv.segs.size()
-                    ? lv.segs[j + 1]
-                    : static_cast<std::uint32_t>(lv.tslots.size());
-            // Fence skips: the whole segment sorts before the seek point or
-            // past the bound — never touched.
-            if (d.cfg_.fence_keys && lo != nullptr && lv.seg_max[j] < *lo) {
-              ++d.stats_.fence_seg_skips;
-              continue;
-            }
-            if (d.cfg_.fence_keys && hi != nullptr && *hi < lv.seg_min[j]) {
-              ++d.stats_.fence_seg_skips;
-              continue;
-            }
-            std::uint32_t a = b;
-            const bool whole_at_or_past_lo =
-                lo == nullptr ||
-                (d.cfg_.fence_keys && !(lv.seg_min[j] < *lo));
-            if (!whole_at_or_past_lo) {
-              std::uint32_t x = b, y = e;
-              while (x < y) {
-                const std::uint32_t mid = x + (y - x) / 2;
-                d.touch_titems(l, mid, 1, /*write=*/false);
-                if (lv.tslots[mid].key < *lo) {
-                  x = mid + 1;
-                } else {
-                  y = mid;
-                }
-              }
-              a = x;
-            }
-            if (a == e) continue;
-            d.touch_titems(l, a, 1, /*write=*/false);
-            CurSrc s;
-            s.t_at = lv.tslots.data() + a;
-            s.t_end = lv.tslots.data() + e;
-            s.mm = &d.mm_;
-            s.addr = lv.base_offset + static_cast<std::uint64_t>(a) * sizeof(TItem);
-            st.srcs.push_back(s);
-          }
-        }
-      } else {
-        for (std::size_t l = 0; l < d.levels_.size(); ++l) {
-          const Level& lv = d.levels_[l];
-          const std::uint32_t S = lv.occ_begin;
-          const std::uint32_t E = static_cast<std::uint32_t>(lv.slots.size());
-          if (S == E) continue;
-          std::uint32_t a = S, y = E;
-          while (lo != nullptr && a < y) {
-            const std::uint32_t mid = a + (y - a) / 2;
-            d.touch_slot(l, mid);
-            if (lv.slots[mid].key < *lo) {
-              a = mid + 1;
-            } else {
-              y = mid;
-            }
-          }
-          while (a < E) {  // skip leading lookahead slots
-            d.touch_slot(l, a);
-            if (!lv.slots[a].is_lookahead()) break;
-            ++a;
-          }
-          if (a == E) continue;
-          CurSrc s;
-          s.s_at = lv.slots.data() + a;
-          s.s_end = lv.slots.data() + E;
-          s.mm = &d.mm_;
-          s.addr = lv.base_offset + static_cast<std::uint64_t>(a) * sizeof(Slot);
-          st.srcs.push_back(s);
-        }
-      }
-      st.tree.reset(st.srcs.size());
-      for (std::size_t i = 0; i < st.srcs.size(); ++i) {
-        st.tree.declare(i, st.srcs[i].key());
-      }
-      st.tree.build();
-      advance_to_live();
+    explicit Cursor(const Gcola* d) : d_(d) {
+      if (d_ != nullptr) c_.set_mem_hook(d_->read_hook());
     }
-
-    /// Pop merged heads until one is live: older duplicates of the last
-    /// surfaced key and tombstoned keys are consumed silently (a tombstone
-    /// records its key as "seen", which is what suppresses the shadowed
-    /// older copies below it).
-    void advance_to_live() {
-      CursorState& st = *st_;
-      while (st.tree.top_alive()) {
-        CurSrc& s = st.srcs[st.tree.top()];
-        const K& k = s.key();
-        if (st.bounded && st.hi < k) break;  // merged order: all done
-        const bool dup = st.have_last && !(st.last < k);
-        if (!dup) {
-          st.last = k;
-          st.have_last = true;
-          if (!s.tomb()) {
-            st.cur.key = k;
-            st.cur.value = s.value();
-            st.valid = true;
-            return;
-          }
-        }
-        s.advance();
-        st.tree.replay(s.alive(), s.alive() ? s.key() : K{});
-      }
-      st.valid = false;
+    void refresh() {
+      if (d_ != nullptr) c_.attach(d_->snapshot().data());
     }
 
     const Gcola* d_ = nullptr;
-    std::unique_ptr<CursorState> own_;
-    CursorState* st_ = nullptr;
+    snap::SnapshotCursor<K, V> c_;
   };
 
-  /// Detached cursor over this dictionary (Dictionary concept). The cursor
-  /// owns its scratch: creation allocates once, every seek/next after the
-  /// scratch high-water mark is allocation-free.
+  /// Detached cursor over this dictionary (Dictionary concept). Creation is
+  /// cheap; each seek pins the then-current snapshot (see Cursor).
   Cursor make_cursor() const { return Cursor(this); }
 
  private:
@@ -1508,19 +1406,19 @@ class Gcola {
       Level& from = levels_[deepest];
       Level& to = levels_[t];
       if (to.real_count == 0) {
-        to.tslots.swap(from.tslots);
-        to.segs.swap(from.segs);
-        to.seg_tombs.swap(from.seg_tombs);
-        to.seg_min.swap(from.seg_min);
-        to.seg_max.swap(from.seg_max);
+        to.segs.swap(from.segs);  // identities travel with the data
         to.seg_stale.swap(from.seg_stale);
-        to.seg_ids.swap(from.seg_ids);  // identities travel with the data
         to.tomb_count = from.tomb_count;
         to.stale_count = from.stale_count;
         to.real_count = from.real_count;
         to.fills = from.fills;
         clear_level(from);
-        touch_titems(t, 0, to.tslots.size(), /*write=*/true);
+        // Segments are immutable heap units — relocation moves no bytes,
+        // but the DAM model still charges the logical rewrite so modeled
+        // costs stay comparable across the refcounting change.
+        for (const SegRef& seg : to.segs) {
+          mm_.touch_write(seg->base_addr, seg->items.size() * sizeof(TItem));
+        }
         bottom_relocated_ = true;
         t = select_cascade_target(incoming);
       }
@@ -1538,7 +1436,7 @@ class Gcola {
     const Level& lv = levels_[l];
     return lv.tomb_count > 0 &&
            static_cast<double>(lv.tomb_count) >=
-               cfg_.tombstone_threshold * static_cast<double>(lv.tslots.size());
+               cfg_.tombstone_threshold * static_cast<double>(lv.real_count);
   }
 
   /// True when level l's ESTIMATED shadowed-live mass has crossed the
@@ -1549,7 +1447,7 @@ class Gcola {
     const Level& lv = levels_[l];
     return lv.stale_count > 0 &&
            static_cast<double>(lv.stale_count) >=
-               cfg_.staleness_threshold * static_cast<double>(lv.tslots.size());
+               cfg_.staleness_threshold * static_cast<double>(lv.real_count);
   }
 
   /// Either retention signal: the deepest level needs a real, annihilating
@@ -1572,11 +1470,9 @@ class Gcola {
     Level& lv = levels_[l];
     const std::size_t nsegs = lv.segs.size() - (exclude_newest ? 1 : 0);
     for (std::size_t j = 0; j < nsegs && est > 0; ++j) {
-      if (hi < lv.seg_min[j] || lv.seg_max[j] < lo) continue;  // disjoint
-      const std::uint32_t e = j + 1 < lv.segs.size()
-                                  ? lv.segs[j + 1]
-                                  : static_cast<std::uint32_t>(lv.tslots.size());
-      const std::uint32_t sz = e - lv.segs[j];
+      const Seg& seg = *lv.segs[j];
+      if (hi < seg.min_key || seg.max_key < lo) continue;  // disjoint
+      const std::uint32_t sz = static_cast<std::uint32_t>(seg.items.size());
       const std::uint32_t headroom = sz - std::min(sz, lv.seg_stale[j]);
       const std::uint32_t take =
           static_cast<std::uint32_t>(std::min<std::uint64_t>(headroom, est));
@@ -1610,15 +1506,13 @@ class Gcola {
     for (std::size_t l = d + 1; l-- > 0;) {
       const Level& lv = levels_[l];
       if (lv.real_count == 0) continue;
-      touch_titems(l, 0, lv.tslots.size(), /*write=*/false);
       for (std::size_t j = 0; j < lv.segs.size(); ++j) {  // oldest first
-        const std::uint32_t b = lv.segs[j];
-        const std::uint32_t e = j + 1 < lv.segs.size()
-                                    ? lv.segs[j + 1]
-                                    : static_cast<std::uint32_t>(lv.tslots.size());
-        fold_spans_.emplace_back(lv.tslots.data() + b, lv.tslots.data() + e);
+        const Seg& seg = *lv.segs[j];
+        mm_.touch(seg.base_addr, seg.items.size() * sizeof(TItem));
+        fold_spans_.emplace_back(seg.items.data(),
+                                 seg.items.data() + seg.items.size());
       }
-      total += lv.tslots.size();
+      total += lv.real_count;
     }
     collapse_fold_spans(total);
     stats_.duplicates_dropped += total - tfold_buf_.size();
@@ -1668,16 +1562,13 @@ class Gcola {
         s.key = key;
         s.value = value;
         s.flags = tombstone ? kFlagTombstone : 0u;
-        l0.tslots.assign(1, s);
-        l0.segs.assign(1, 0);
-        l0.seg_tombs.assign(1, tombstone ? 1u : 0u);
-        l0.tomb_count = tombstone ? 1 : 0;
-        l0.seg_min.assign(1, key);
-        l0.seg_max.assign(1, key);
+        std::vector<TItem> items(1, s);
+        SegRef seg = new_segment(std::move(items));
+        mm_.touch_write(seg->base_addr, sizeof(TItem));
+        l0.segs.assign(1, std::move(seg));
         l0.seg_stale.assign(1, 0);
-        l0.seg_ids.assign(1, next_seg_id_++);
+        l0.tomb_count = tombstone ? 1 : 0;
         l0.stale_count = 0;
-        touch_titems(0, 0, 1, /*write=*/true);
       } else {
         Slot s{};
         s.key = key;
@@ -1782,15 +1673,13 @@ class Gcola {
     for (std::size_t l = t; l-- > 0;) {
       const Level& lv = levels_[l];
       if (lv.real_count == 0) continue;
-      touch_titems(l, 0, lv.tslots.size(), /*write=*/false);
       for (std::size_t j = 0; j < lv.segs.size(); ++j) {  // oldest first
-        const std::uint32_t b = lv.segs[j];
-        const std::uint32_t e = j + 1 < lv.segs.size()
-                                    ? lv.segs[j + 1]
-                                    : static_cast<std::uint32_t>(lv.tslots.size());
-        spans.emplace_back(lv.tslots.data() + b, lv.tslots.data() + e);
+        const Seg& seg = *lv.segs[j];
+        mm_.touch(seg.base_addr, seg.items.size() * sizeof(TItem));
+        spans.emplace_back(seg.items.data(),
+                           seg.items.data() + seg.items.size());
       }
-      total += lv.tslots.size();
+      total += lv.real_count;
     }
     for (const auto& s : incoming_spans_) {
       spans.push_back(s);
@@ -1836,7 +1725,7 @@ class Gcola {
       // quarter of the deepest level's mass has accumulated the distinct
       // keys of a whole generation — the honest sample.
       const std::size_t d = deepest_nonempty();
-      if (d > t && tfold_buf_.size() * 4 >= levels_[d].tslots.size()) {
+      if (d > t && tfold_buf_.size() * 4 >= levels_[d].real_count) {
         add_staleness(d, lo, hi, est, /*exclude_newest=*/false);
       }
     }
@@ -1994,20 +1883,14 @@ class Gcola {
   void append_segment(std::size_t l, const std::vector<TItem>& content) {
     if (content.empty()) return;
     Level& lv = levels_[l];
-    assert(lv.tslots.size() + content.size() <= real_cap(l));
-    const std::uint32_t nb = static_cast<std::uint32_t>(lv.tslots.size());
-    lv.segs.push_back(nb);
-    std::uint32_t tombs = 0;
-    for (const TItem& t : content) tombs += t.is_tombstone() ? 1u : 0u;
-    lv.seg_tombs.push_back(tombs);
-    lv.tomb_count += tombs;
-    lv.seg_min.push_back(content.front().key);
-    lv.seg_max.push_back(content.back().key);
+    assert(lv.real_count + content.size() <= real_cap(l));
+    std::vector<TItem> items(content.begin(), content.end());
+    SegRef seg = new_segment(std::move(items));
+    const std::uint64_t seg_id = seg->id;
+    mm_.touch_write(seg->base_addr, content.size() * sizeof(TItem));
+    lv.tomb_count += seg->tombs;
+    lv.segs.push_back(std::move(seg));
     lv.seg_stale.push_back(0);
-    const std::uint64_t seg_id = next_seg_id_++;
-    lv.seg_ids.push_back(seg_id);
-    lv.tslots.insert(lv.tslots.end(), content.begin(), content.end());
-    touch_titems(l, nb, content.size(), /*write=*/true);
     lv.real_count += content.size();
     lv.fills = static_cast<std::uint32_t>(
         std::min<std::size_t>(lv.segs.size(), cfg_.growth - 1));
@@ -2034,7 +1917,7 @@ class Gcola {
     spill_consumed_.clear();
     if (fold_observer_ == nullptr) return;
     for (std::size_t l = spill_depth_; l < n && l < levels_.size(); ++l) {
-      for (std::uint64_t id : levels_[l].seg_ids) spill_consumed_.push_back(id);
+      for (const SegRef& s : levels_[l].segs) spill_consumed_.push_back(s->id);
     }
   }
 
@@ -2049,14 +1932,12 @@ class Gcola {
     spill_consumed_.clear();
   }
 
+  /// Drop the level's segment references. Segments pinned by a live
+  /// snapshot survive until its last handle drops (deferred free via the
+  /// shared_ptr refcount); unpinned ones free here.
   static void clear_level(Level& lv) {
-    lv.tslots.clear();
     lv.segs.clear();
-    lv.seg_tombs.clear();
-    lv.seg_min.clear();
-    lv.seg_max.clear();
     lv.seg_stale.clear();
-    lv.seg_ids.clear();
     lv.real_count = 0;
     lv.tomb_count = 0;
     lv.stale_count = 0;
@@ -2277,7 +2158,9 @@ class Gcola {
 
   ColaConfig cfg_;
   std::vector<Level> levels_;
-  std::uint64_t next_base_ = 0;
+  // mutable: the classic-mode copy-on-snapshot path (snapshot() const)
+  // allocates logical regions for its per-epoch level copies.
+  mutable std::uint64_t next_base_ = 0;
   // Bumped by every mutator; cursor states compare it to reuse their
   // materialized staged view across seeks on an unmutated dictionary.
   std::uint64_t mutation_epoch_ = 0;
@@ -2325,10 +2208,18 @@ class Gcola {
   std::size_t spill_depth_ = 0;
   std::vector<std::uint64_t> spill_consumed_;
   std::vector<Op<K, V>> spill_items_;
-  // Dictionary-owned cursor scratch backing range_for_each/for_each, so the
-  // scan paths reuse one warm state across calls (mutable: scans are const
-  // and the state is pure scratch; scans are not reentrant).
-  mutable CursorState scan_state_;
+  // Snapshot cache: snapshot() is a refcount bump while the dictionary is
+  // unmutated (snap_epoch_ == mutation_epoch_); the first acquisition after
+  // a mutation rebuilds. The stage-view vectors are the frozen-L0 scratch
+  // (reused across rebuilds, so steady-state snapshots cost one segment
+  // allocation, not a per-call sort buffer).
+  mutable snap::Snapshot<K, V> snap_cache_;
+  mutable std::uint64_t snap_epoch_ = 0;
+  mutable std::vector<TItem> snap_stage_view_, snap_stage_scratch_;
+  // Dictionary-owned scan cursor backing range_for_each/for_each, so the
+  // scan paths reuse one warm merge scratch across calls (mutable: scans
+  // are const and the cursor is pure scratch; scans are not reentrant).
+  mutable snap::SnapshotCursor<K, V> scan_cur_;
   // Merge scratch, reused across inserts so the steady-state insert and
   // batch paths perform zero heap allocations (capacities grow to the
   // high-water mark of the deepest cascade seen, then stay).

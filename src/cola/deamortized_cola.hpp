@@ -41,6 +41,8 @@
 
 #include "common/entry.hpp"
 #include "common/loser_tree.hpp"
+#include "common/snapshot.hpp"
+#include "common/span.hpp"
 #include "dam/mem_model.hpp"
 
 namespace costream::cola {
@@ -92,10 +94,10 @@ class DeamortizedCola {
   /// bound — so the batch is normalized once (sort + newest-wins dedup) and
   /// fed through the budgeted path: duplicates are collapsed up front and
   /// the incremental merges see sorted, cache-friendly input.
-  void insert_batch(const Entry<K, V>* data, std::size_t n) {
-    if (n == 0) return;
+  void insert_batch(Span<Entry<K, V>> batch) {
+    if (batch.empty()) return;
     std::vector<Entry<K, V>>& run = batch_scratch_;
-    run.assign(data, data + n);
+    run.assign(batch.begin(), batch.end());
     sort_dedup_newest_wins(run, batch_sort_scratch_);
     for (const Entry<K, V>& e : run) put(e.key, e.value, false);
   }
@@ -106,12 +108,12 @@ class DeamortizedCola {
   /// and (at the deepest data) drops it within the same per-op budget of
   /// g*k + 2 moves — so Lemma 21's worst-case bound is unchanged for
   /// erase-heavy feeds (max_moves_per_insert stays under test).
-  void erase_batch(const K* keys, std::size_t n) {
-    if (n == 0) return;
+  void erase_batch(Span<K> keys) {
+    if (keys.empty()) return;
     std::vector<Op<K, V>>& run = op_scratch_;
     run.clear();
-    run.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) run.push_back(Op<K, V>::del(keys[i]));
+    run.reserve(keys.size());
+    for (const K& k : keys) run.push_back(Op<K, V>::del(k));
     sort_dedup_newest_wins(run, op_sort_scratch_);
     for (const Op<K, V>& o : run) put(o.key, o.value, true);
   }
@@ -121,12 +123,38 @@ class DeamortizedCola {
   /// machinery cannot shortcut the level walk without breaking the
   /// worst-case move bound, so batching buys the dedup and sorted,
   /// cache-friendly input, not fewer budget charges.
-  void apply_batch(const Op<K, V>* ops, std::size_t n) {
-    if (n == 0) return;
+  void apply_batch(Span<Op<K, V>> ops) {
+    if (ops.empty()) return;
     std::vector<Op<K, V>>& run = op_scratch_;
-    run.assign(ops, ops + n);
+    run.assign(ops.begin(), ops.end());
     sort_dedup_newest_wins(run, op_sort_scratch_);
     for (const Op<K, V>& o : run) put(o.key, o.value, o.erase);
+  }
+
+  // Deprecated pointer-form batch shims (one release; migration note in
+  // api/dictionary.hpp — CI's deprecated-api lint rejects in-repo callers).
+  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+    insert_batch(Span<Entry<K, V>>(data, n));
+  }
+  void erase_batch(const K* keys, std::size_t n) {
+    erase_batch(Span<K>(keys, n));
+  }
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    apply_batch(Span<Op<K, V>>(ops, n));
+  }
+
+  /// Mutation epoch: bumped by every mutator (see snapshot()).
+  std::uint64_t mutation_epoch() const noexcept { return mutation_epoch_; }
+
+  /// Point-in-time snapshot (contract in api/dictionary.hpp). The
+  /// deamortized arrays are reused in place by the incremental merges, so
+  /// the live contents materialize into one immutable segment, cached per
+  /// mutation epoch; the handle stays valid across mutations.
+  snap::Snapshot<K, V> snapshot() const {
+    if (snap_cache_ && snap_epoch_ == mutation_epoch_) return snap_cache_;
+    snap_cache_ = snap::materialize<K, V>(*this, mutation_epoch_);
+    snap_epoch_ = mutation_epoch_;
+    return snap_cache_;
   }
 
   std::optional<V> find(const K& key) const {
@@ -274,7 +302,8 @@ class DeamortizedCola {
   /// Resumable ordered cursor (Dictionary cursor contract in
   /// api/dictionary.hpp) over the full (queryable) arrays — an in-progress
   /// merge's hidden target is never surfaced, exactly like find(). Any
-  /// mutation invalidates the cursor until the next seek.
+  /// mutation invalidates the cursor until the next seek; open a cursor on
+  /// snapshot() instead for the pinned, mutation-proof semantics.
   class Cursor {
    public:
     Cursor() = default;
@@ -416,6 +445,7 @@ class DeamortizedCola {
   }
 
   void put(const K& key, const V& value, bool tombstone) {
+    ++mutation_epoch_;
     ++stats_.inserts;
     ensure_level(0);
     Level& l0 = levels_[0];
@@ -564,6 +594,10 @@ class DeamortizedCola {
   mutable std::vector<std::pair<std::uint64_t, std::uint32_t>> find_order_scratch_;
   // Dictionary-owned cursor scratch backing range_for_each/for_each.
   mutable CursorState scan_state_;
+  // Snapshot cache: one materialized segment per mutation epoch (see snapshot()).
+  std::uint64_t mutation_epoch_ = 0;
+  mutable snap::Snapshot<K, V> snap_cache_;
+  mutable std::uint64_t snap_epoch_ = 0;
   DeamortizedStats stats_;
   mutable MM mm_;
 };

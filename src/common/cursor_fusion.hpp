@@ -1,112 +1,52 @@
-// K-source cursor fusion — the cached-key loser tree generalized from its
-// per-structure call sites (each structure's Cursor fuses its own levels /
-// segments / buffers) into a reusable component that fuses WHOLE DICTIONARY
-// CURSORS: any k objects satisfying the Dictionary cursor contract
-// (api/dictionary.hpp) merge into one ordered, deduplicated stream that
-// itself satisfies the same contract.
+// Snapshot fusion — combining the frozen views of key-disjoint sources
+// (the sharded facade's per-shard snapshots) into ONE snapshot whose
+// cursor is a plain ordered merge.
 //
-// Two consumers:
-//   * the sharded dictionary's cursor (shard/sharded_dictionary.hpp): a
-//     sharded range scan is exactly a k-way fusion of per-shard cursors —
-//     the shards partition the keyspace, so the fusion degenerates to a
-//     k-way ordered concatenation-by-merge;
-//   * api::merge_join_k: the k-way leapfrog join drives the same LoserTree
-//     directly (it needs min-tracking plus per-source re-seek, not a merged
-//     union stream).
+// This file used to host FusedCursorSet, a loser-tree fusion of live
+// per-shard cursors; the snapshot read redesign (api/dictionary.hpp)
+// removed its only consumer. A sharded read now pins per-shard snapshots
+// and concatenates their SEGMENT REFERENCES instead: the shards partition
+// the keyspace, so no key can appear in two shards and cross-shard
+// priority never has to break a tie — each shard's own newest-first
+// segment order is all the priority the merged loser tree
+// (snap::SnapshotCursor) needs. The fused snapshot shares ownership of
+// every pinned segment, so it stays readable across arbitrary mutations
+// and shard folds, exactly like a single-structure snapshot.
 //
-// Inner cursors already suppress their own tombstones and duplicates, so
-// the fusion's only residual dedup is ACROSS sources: when two sources
-// surface the same key, the smaller source index wins (callers order
-// sources newest-first, same convention as the per-structure fusions) and
-// the losers' copies are consumed silently. Repeated seeks are
-// allocation-free once the tree's node arrays reach their high-water size —
-// the inner cursors own their scratch, the fusion owns only the tree.
+// (api::merge_join_k still drives the shared LoserTree directly — it
+// needs min-tracking plus per-source re-seek, not a merged union stream —
+// so k-way join code is unaffected by this change.)
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/entry.hpp"
-#include "common/loser_tree.hpp"
+#include "common/snapshot.hpp"
 
 namespace costream {
 
-template <class C, class K = Key, class V = Value>
-class FusedCursorSet {
- public:
-  /// The underlying cursors, in priority order (index 0 wins key ties).
-  /// Callers populate/replace this before the first seek; the set does not
-  /// reorder it.
-  std::vector<C>& sources() noexcept { return srcs_; }
-  const std::vector<C>& sources() const noexcept { return srcs_; }
-
-  void seek(const K& lo) { do_seek(&lo, nullptr); }
-  void seek(const K& lo, const K& hi) {
-    if (hi < lo) {
-      valid_ = false;
-      return;
+/// Fuse key-disjoint snapshots into one snapshot stamped at `epoch`.
+/// Segment references concatenate in input order with each input's
+/// newest-first internal order preserved; fence-key pruning survives only
+/// if every input allows it. The inputs are unchanged (shared ownership).
+template <class K = Key, class V = Value>
+snap::Snapshot<K, V> fuse_snapshots(
+    const std::vector<snap::Snapshot<K, V>>& parts, std::uint64_t epoch) {
+  auto data = std::make_shared<snap::SnapshotData<K, V>>();
+  data->epoch = epoch;
+  std::size_t total = 0;
+  for (const snap::Snapshot<K, V>& p : parts) total += p.segments().size();
+  data->segs.reserve(total);
+  for (const snap::Snapshot<K, V>& p : parts) {
+    for (const snap::SegmentRef<K, V>& s : p.segments()) {
+      data->segs.push_back(s);
     }
-    do_seek(&lo, &hi);
+    if (!p.fence_keys()) data->fence_keys = false;
   }
-  void seek_first() { do_seek(nullptr, nullptr); }
-
-  bool valid() const noexcept { return valid_; }
-  const Entry<K, V>& entry() const noexcept { return cur_; }
-
-  void next() {
-    if (!valid_) return;
-    C& c = srcs_[tree_.top()];
-    c.next();
-    tree_.replay(c.valid(), c.valid() ? c.entry().key : K{});
-    settle();
-  }
-
- private:
-  void do_seek(const K* lo, const K* hi) {
-    have_last_ = false;
-    valid_ = false;
-    tree_.reset(srcs_.size());
-    for (std::size_t i = 0; i < srcs_.size(); ++i) {
-      C& c = srcs_[i];
-      if (lo == nullptr) {
-        c.seek_first();
-      } else if (hi == nullptr) {
-        c.seek(*lo);
-      } else {
-        c.seek(*lo, *hi);
-      }
-      if (c.valid()) tree_.declare(i, c.entry().key);
-    }
-    tree_.build();
-    settle();
-  }
-
-  /// Surface the merged head, consuming cross-source duplicates of the last
-  /// surfaced key (the winner of a tie — the smallest source index — was
-  /// surfaced first; the losers are older copies).
-  void settle() {
-    while (tree_.top_alive()) {
-      C& c = srcs_[tree_.top()];
-      const K& k = c.entry().key;
-      if (!have_last_ || last_ < k) {
-        last_ = k;
-        have_last_ = true;
-        cur_ = c.entry();
-        valid_ = true;
-        return;
-      }
-      c.next();
-      tree_.replay(c.valid(), c.valid() ? c.entry().key : K{});
-    }
-    valid_ = false;
-  }
-
-  std::vector<C> srcs_;
-  LoserTree<K> tree_;
-  Entry<K, V> cur_{};
-  K last_{};
-  bool have_last_ = false;
-  bool valid_ = false;
-};
+  return snap::Snapshot<K, V>(std::move(data));
+}
 
 }  // namespace costream

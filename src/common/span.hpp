@@ -1,0 +1,58 @@
+// costream::Span<T> — a trivially-copyable read-only view (pointer + length)
+// over contiguous elements. The batch mutation surface (insert_batch /
+// erase_batch / apply_batch) takes Span so callers can pass a std::vector,
+// a std::array, a C array, or an explicit {ptr, len} pair without the
+// two-argument pointer plumbing the pre-span API required.
+//
+// Deliberately tiny: no ownership, no mutation through the view, no
+// subscript bounds checking beyond asserts. Not a std::span replacement —
+// just the subset the Dictionary API needs, implicit-constructible from the
+// containers call sites actually hold.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace costream {
+
+template <class T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, std::size_t size) : data_(data), size_(size) {}
+  // Implicit views over the containers batch callers hold. The vector
+  // overload intentionally accepts only lvalues: a Span must never outlive
+  // a temporary's buffer.
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+  Span(std::vector<T>&&) = delete;
+  template <std::size_t N>
+  constexpr Span(const std::array<T, N>& a) : data_(a.data()), size_(N) {}
+  template <std::size_t N>
+  constexpr Span(const T (&a)[N]) : data_(a), size_(N) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+  constexpr const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  constexpr const T& front() const {
+    assert(size_ > 0);
+    return data_[0];
+  }
+  constexpr const T& back() const {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace costream

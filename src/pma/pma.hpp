@@ -189,7 +189,7 @@ class Pma {
   /// the smallest window covering the vacated range restores the density
   /// invariants — batching the amortized O(log^2 N) rebalance cost the same
   /// way insert_batch_after batches placement. Returns the number erased.
-  std::size_t erase_batch(slot_t s, std::size_t count) {
+  std::size_t erase_at(slot_t s, std::size_t count) {
     if (count == 0) return 0;
     assert(occupied(s));
     const std::uint64_t seg_first = s / seg_slots_;

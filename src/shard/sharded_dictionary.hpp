@@ -21,27 +21,30 @@
 //     shadowing inside a batch are resolved by the facade's normalization
 //     pass before the scatter, exactly like every structure's own batch
 //     path.
-//   * Reads are DRAIN-BARRIER consistent: find() waits for its one target
-//     shard's queue to empty (other shards keep ingesting); cursors, range
-//     scans, and invariant checks wait for all shards. After the barrier
-//     the caller reads the shard structures directly — the completed-jobs
-//     counter carries the release/acquire edge, so no reader ever observes
-//     a half-applied run.
+//   * find() is drain-barrier consistent: it waits for its one target
+//     shard's queue to empty (other shards keep ingesting) and probes the
+//     shard structure directly — the completed-jobs counter carries the
+//     release/acquire edge, so no reader ever observes a half-applied run.
+//   * Ordered reads are SNAPSHOT consistent: snapshot() drains all shards
+//     once, pins each shard's own snapshot, and fuses them by segment-
+//     reference concatenation (common/cursor_fusion.hpp::fuse_snapshots —
+//     shards are key-disjoint, so concatenation preserves newest-first
+//     priority). Cursors, range scans, and merge joins read that frozen,
+//     ref-counted view; the snapshot handle itself is free-threaded.
 //   * The facade itself is single-caller (one external thread drives it,
 //     like every other structure here); the concurrency is INTERNAL. The
 //     worker threads are the paper's "stream" of deferred work made
 //     physical.
 //
-// Cursors: a sharded cursor fuses the S per-shard cursors through the
-// generalized k-source loser-tree fusion (common/cursor_fusion.hpp) —
-// shards are key-disjoint, so the fusion is a pure ordered merge and every
-// per-shard acceleration (segment fence keys, staged views) applies
-// unchanged. Every mutation of the facade bumps an epoch counter; a sharded
-// cursor records the epoch at seek time and Cursor::valid() RETURNS FALSE
-// once the epochs disagree — the library-wide "mutation invalidates
-// cursors" contract (api/dictionary.hpp), enforced here rather than merely
-// documented, because a stale sharded cursor would otherwise race the
-// worker threads rather than just read stale bytes.
+// Cursors: a sharded cursor seeks against the facade's current snapshot
+// and then STAYS VALID across arbitrary mutations — the segments it reads
+// are pinned by refcount, so a fold retiring them from a live shard cannot
+// pull them out from under the scan (contract in api/dictionary.hpp). This
+// replaces the old epoch-invalidation protocol, which carried a real race:
+// a seek stamped the facade epoch, then read live shard structures, and a
+// mutation landing between the stamp and the read could fold a level the
+// fused cursor was standing on. With snapshot pinning there is no window —
+// the seek reads only immutable data it co-owns.
 //
 // Splitters: partition boundaries are fixed for the life of the structure
 // (a key must map to the same shard forever). Three sources, first match
@@ -71,6 +74,8 @@
 
 #include "common/cursor_fusion.hpp"
 #include "common/entry.hpp"
+#include "common/snapshot.hpp"
+#include "common/span.hpp"
 #include "shard/spsc_queue.hpp"
 
 namespace costream::shard {
@@ -95,8 +100,6 @@ struct ShardedStats {
 template <class Inner, class K = Key, class V = Value>
 class ShardedDictionary {
  public:
-  using InnerCursor = decltype(std::declval<const Inner&>().make_cursor());
-
   template <class Factory>
     requires std::invocable<Factory&, std::size_t>
   ShardedDictionary(ShardedConfig<K> cfg, Factory&& make_inner) : cfg_(std::move(cfg)) {
@@ -166,28 +169,40 @@ class ShardedDictionary {
   void insert(const K& k, const V& v) { single(Op<K, V>::put(k, v)); }
   void erase(const K& k) { single(Op<K, V>::del(k)); }
 
-  void insert_batch(const Entry<K, V>* data, std::size_t n) {
-    if (n == 0) return;
+  void insert_batch(Span<Entry<K, V>> batch) {
+    if (batch.empty()) return;
     norm_.clear();
-    norm_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      norm_.push_back(Op<K, V>::put(data[i].key, data[i].value));
+    norm_.reserve(batch.size());
+    for (const Entry<K, V>& e : batch) {
+      norm_.push_back(Op<K, V>::put(e.key, e.value));
     }
     apply_normalized();
   }
 
-  void erase_batch(const K* keys, std::size_t n) {
-    if (n == 0) return;
+  void erase_batch(Span<K> keys) {
+    if (keys.empty()) return;
     norm_.clear();
-    norm_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) norm_.push_back(Op<K, V>::del(keys[i]));
+    norm_.reserve(keys.size());
+    for (const K& k : keys) norm_.push_back(Op<K, V>::del(k));
     apply_normalized();
   }
 
-  void apply_batch(const Op<K, V>* ops, std::size_t n) {
-    if (n == 0) return;
-    norm_.assign(ops, ops + n);
+  void apply_batch(Span<Op<K, V>> ops) {
+    if (ops.empty()) return;
+    norm_.assign(ops.begin(), ops.end());
     apply_normalized();
+  }
+
+  // Deprecated pointer-form batch shims (one release; migration note in
+  // api/dictionary.hpp — CI's deprecated-api lint rejects in-repo callers).
+  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+    insert_batch(Span<Entry<K, V>>(data, n));
+  }
+  void erase_batch(const K* keys, std::size_t n) {
+    erase_batch(Span<K>(keys, n));
+  }
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    apply_batch(Span<Op<K, V>>(ops, n));
   }
 
   /// Flush every shard's deferred state (staging arenas etc.) and drain, so
@@ -214,79 +229,84 @@ class ShardedDictionary {
     return sh.dict.find(k);
   }
 
+  /// Point-in-time snapshot of the whole facade (contract in
+  /// api/dictionary.hpp): drain every shard once, pin each shard's own
+  /// snapshot, and fuse them by segment-reference concatenation — the
+  /// shards partition the keyspace, so each shard's newest-first order is
+  /// the only priority the merged cursor needs. Cached per facade epoch;
+  /// the handle is free-threaded and survives arbitrary mutations.
+  snap::Snapshot<K, V> snapshot() const {
+    throw_if_failed();
+    drain_all();
+    if (snap_cache_ && snap_epoch_ == epoch_) return snap_cache_;
+    snap_parts_.clear();
+    snap_parts_.reserve(shards_.size());
+    for (const auto& sh : shards_) snap_parts_.push_back(sh->dict.snapshot());
+    snap_cache_ = fuse_snapshots(snap_parts_, epoch_);
+    snap_parts_.clear();  // the fused snapshot co-owns the segments
+    snap_epoch_ = epoch_;
+    return snap_cache_;
+  }
+
   /// Resumable ordered cursor over the union of all shards (Dictionary
-  /// cursor contract): the S per-shard cursors fuse through the shared
-  /// loser tree; seek takes the all-shards drain barrier and snapshots the
-  /// mutation epoch; valid() enforces invalidation by epoch.
+  /// cursor contract): every seek pins the facade's then-current snapshot,
+  /// so the position and the remainder of the stream stay valid across
+  /// arbitrary mutations — the old epoch-invalidation protocol (and its
+  /// stamp-then-read race against the shard workers) is gone. Re-seek to
+  /// observe newer data.
   class Cursor {
    public:
     Cursor() = default;
 
-    void seek(const K& lo) { reseek(&lo, nullptr); }
-    void seek(const K& lo, const K& hi) { reseek(&lo, &hi); }
-    void seek_first() { reseek(nullptr, nullptr); }
-
-    void next() {
-      if (!valid()) return;
-      fused_.next();
+    void seek(const K& lo) {
+      refresh();
+      c_.seek(lo);
+    }
+    void seek(const K& lo, const K& hi) {
+      refresh();
+      c_.seek(lo, hi);
+    }
+    void seek_first() {
+      refresh();
+      c_.seek_first();
     }
 
-    /// False as soon as the facade has mutated past the seek's epoch —
-    /// the drain-barrier invalidation contract, enforced.
-    bool valid() const {
-      return d_ != nullptr && epoch_ == d_->epoch_ && fused_.valid();
-    }
-    const Entry<K, V>& entry() const { return fused_.entry(); }
+    void next() { c_.next(); }
+    bool valid() const { return c_.valid(); }
+    const Entry<K, V>& entry() const { return c_.entry(); }
+
+    /// The facade epoch of the snapshot this cursor is reading (stamped at
+    /// the last seek; 0 before the first).
+    std::uint64_t snapshot_epoch() const { return c_.epoch(); }
 
    private:
     friend class ShardedDictionary;
-    explicit Cursor(const ShardedDictionary* d) : d_(d) {
-      fused_.sources().reserve(d->shards_.size());
-      for (const auto& sh : d->shards_) {
-        fused_.sources().push_back(sh->dict.make_cursor());
-      }
-    }
+    explicit Cursor(const ShardedDictionary* d) : d_(d) {}
 
-    void reseek(const K* lo, const K* hi) {
-      if (d_ == nullptr) return;
-      d_->drain_all();
-      epoch_ = d_->epoch_;
-      if (lo == nullptr) {
-        fused_.seek_first();
-      } else if (hi == nullptr) {
-        fused_.seek(*lo);
-      } else {
-        fused_.seek(*lo, *hi);
-      }
+    void refresh() {
+      if (d_ != nullptr) c_.attach(d_->snapshot().data());
     }
 
     const ShardedDictionary* d_ = nullptr;
-    std::uint64_t epoch_ = ~0ULL;
-    FusedCursorSet<InnerCursor, K, V> fused_;
+    snap::SnapshotCursor<K, V> c_;
   };
 
-  Cursor make_cursor() const {
-    drain_all();
-    return Cursor(this);
-  }
+  Cursor make_cursor() const { return Cursor(this); }
 
   template <class Fn>
   void range_for_each(const K& lo, const K& hi, Fn&& fn) const {
-    ensure_scan();
-    scan_.seek(lo, hi);
-    while (scan_.valid()) {
-      fn(scan_.entry().key, scan_.entry().value);
-      scan_.next();
+    if (hi < lo) return;
+    scan_cur_.attach(snapshot().data());
+    for (scan_cur_.seek(lo, hi); scan_cur_.valid(); scan_cur_.next()) {
+      fn(scan_cur_.entry().key, scan_cur_.entry().value);
     }
   }
 
   template <class Fn>
   void for_each(Fn&& fn) const {
-    ensure_scan();
-    scan_.seek_first();
-    while (scan_.valid()) {
-      fn(scan_.entry().key, scan_.entry().value);
-      scan_.next();
+    scan_cur_.attach(snapshot().data());
+    for (scan_cur_.seek_first(); scan_cur_.valid(); scan_cur_.next()) {
+      fn(scan_cur_.entry().key, scan_cur_.entry().value);
     }
   }
 
@@ -353,7 +373,7 @@ class ShardedDictionary {
         if (!failed.load(std::memory_order_relaxed)) {
           try {
             if (job->kind == Job::Kind::kApply) {
-              dict.apply_batch(job->ops.data(), job->ops.size());
+              dict.apply_batch(job->ops);
             } else {
               if constexpr (requires(Inner& d) { d.flush_stage(); }) {
                 dict.flush_stage();
@@ -499,21 +519,18 @@ class ShardedDictionary {
     for (const auto& sh : shards_) drain_shard(*sh);
   }
 
-  void ensure_scan() const {
-    if (scan_.d_ == this &&
-        scan_.fused_.sources().size() == shards_.size()) {
-      return;
-    }
-    scan_ = Cursor(this);
-  }
-
   ShardedConfig<K> cfg_;
   std::vector<K> splitters_;
   bool frozen_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t epoch_ = 0;
   std::vector<Op<K, V>> norm_, norm_scratch_;  // batch normalization scratch
-  mutable Cursor scan_;  // dictionary-owned scan cursor (allocation-free reuse)
+  // Snapshot cache (one fusion per facade epoch) + fusion scratch.
+  mutable snap::Snapshot<K, V> snap_cache_;
+  mutable std::uint64_t snap_epoch_ = 0;
+  mutable std::vector<snap::Snapshot<K, V>> snap_parts_;
+  // Dictionary-owned scan cursor backing range_for_each/for_each.
+  mutable snap::SnapshotCursor<K, V> scan_cur_;
   mutable ShardedStats stats_;
 };
 

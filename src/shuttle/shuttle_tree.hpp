@@ -47,6 +47,8 @@
 
 #include "common/entry.hpp"
 #include "common/loser_tree.hpp"
+#include "common/snapshot.hpp"
+#include "common/span.hpp"
 #include "dam/mem_model.hpp"
 #include "layout/fibonacci.hpp"
 
@@ -163,13 +165,13 @@ class ShuttleTree {
   /// always been batch-shaped — buffers pour whole contents downward — so
   /// this simply normalizes the run once and shuttles it down the edge
   /// buffers in a single root-to-leaf delivery instead of n of them.
-  void insert_batch(const Entry<K, V>* data, std::size_t n) {
-    if (n == 0) return;
+  void insert_batch(Span<Entry<K, V>> run) {
+    if (run.empty()) return;
     std::vector<Item>& batch = batch_scratch_;
     batch.clear();
-    batch.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      batch.push_back(Item{data[i].key, data[i].value, false});
+    batch.reserve(run.size());
+    for (const Entry<K, V>& e : run) {
+      batch.push_back(Item{e.key, e.value, false});
     }
     sort_dedup_newest_wins(batch, put_scratch_);  // put() is idle here
     ingest(batch);
@@ -179,12 +181,12 @@ class ShuttleTree {
   /// tombstones shuttle down the edge buffers exactly like insertions — one
   /// normalized run, one root-to-leaf delivery — and annihilate at the
   /// leaves. Duplicate keys in the run collapse to a single tombstone.
-  void erase_batch(const K* keys, std::size_t n) {
-    if (n == 0) return;
+  void erase_batch(Span<K> keys) {
+    if (keys.empty()) return;
     std::vector<Item>& batch = batch_scratch_;
     batch.clear();
-    batch.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) batch.push_back(Item{keys[i], V{}, true});
+    batch.reserve(keys.size());
+    for (const K& k : keys) batch.push_back(Item{k, V{}, true});
     sort_dedup_newest_wins(batch, put_scratch_);
     ingest(batch);
   }
@@ -192,16 +194,41 @@ class ShuttleTree {
   /// Mixed put/erase batch: the LAST op on a key within the batch wins
   /// (put-vs-erase included); the normalized run — tombstones riding along —
   /// shuttles down in a single delivery with fused overflow pours.
-  void apply_batch(const Op<K, V>* ops, std::size_t n) {
-    if (n == 0) return;
+  void apply_batch(Span<Op<K, V>> ops) {
+    if (ops.empty()) return;
     std::vector<Item>& batch = batch_scratch_;
     batch.clear();
-    batch.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      batch.push_back(Item{ops[i].key, ops[i].value, ops[i].erase});
+    batch.reserve(ops.size());
+    for (const Op<K, V>& o : ops) {
+      batch.push_back(Item{o.key, o.value, o.erase});
     }
     sort_dedup_newest_wins(batch, put_scratch_);
     ingest(batch);
+  }
+
+  // Deprecated pointer-form batch shims (one release; migration note in
+  // api/dictionary.hpp — CI's deprecated-api lint rejects in-repo callers).
+  void insert_batch(const Entry<K, V>* data, std::size_t n) {
+    insert_batch(Span<Entry<K, V>>(data, n));
+  }
+  void erase_batch(const K* keys, std::size_t n) {
+    erase_batch(Span<K>(keys, n));
+  }
+  void apply_batch(const Op<K, V>* ops, std::size_t n) {
+    apply_batch(Span<Op<K, V>>(ops, n));
+  }
+
+  /// Mutation epoch: bumped by every mutator (see snapshot()).
+  std::uint64_t mutation_epoch() const noexcept { return mutation_epoch_; }
+
+  /// Point-in-time snapshot (contract in api/dictionary.hpp). In-place
+  /// structure: the live contents materialize into one immutable segment,
+  /// cached per mutation epoch; the handle stays valid across mutations.
+  snap::Snapshot<K, V> snapshot() const {
+    if (snap_cache_ && snap_epoch_ == mutation_epoch_) return snap_cache_;
+    snap_cache_ = snap::materialize<K, V>(*this, mutation_epoch_);
+    snap_epoch_ = mutation_epoch_;
+    return snap_cache_;
   }
 
   /// Recompute the Figure-1 recursive layout and reassign every node's and
@@ -364,6 +391,7 @@ class ShuttleTree {
   /// invariants. `batch` contents are consumed; its storage is retained by
   /// the caller's scratch.
   void ingest(std::vector<Item>& batch) {
+    ++mutation_epoch_;
     dirty_leaves_.clear();
     flush_depth_ = 0;
     push_batch(root_, batch.data(), batch.data() + batch.size());
@@ -1089,6 +1117,10 @@ class ShuttleTree {
   std::size_t flush_depth_ = 0;
   // Dictionary-owned cursor scratch backing range_for_each/for_each.
   mutable CursorState scan_state_;
+  // Snapshot cache: one materialized segment per mutation epoch (see snapshot()).
+  std::uint64_t mutation_epoch_ = 0;
+  mutable snap::Snapshot<K, V> snap_cache_;
+  mutable std::uint64_t snap_epoch_ = 0;
   ShuttleStats stats_;
   mutable MM mm_;
   // Layout state.

@@ -130,20 +130,30 @@ class DurableDictionary {
     st_->apply_ops(&op, 1);
   }
 
-  void insert_batch(const Entry<>* data, std::size_t n) {
-    st_->insert_entries(data, n);
+  void insert_batch(Span<Entry<>> batch) {
+    st_->insert_entries(batch.data(), batch.size());
   }
 
-  void erase_batch(const Key* keys, std::size_t n) {
+  void erase_batch(Span<Key> keys) {
     st_->ops_scratch.clear();
-    st_->ops_scratch.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      st_->ops_scratch.push_back(Op<>::del(keys[i]));
-    }
-    st_->apply_ops(st_->ops_scratch.data(), n);
+    st_->ops_scratch.reserve(keys.size());
+    for (const Key& k : keys) st_->ops_scratch.push_back(Op<>::del(k));
+    st_->apply_ops(st_->ops_scratch.data(), keys.size());
   }
 
-  void apply_batch(const Op<>* ops, std::size_t n) { st_->apply_ops(ops, n); }
+  void apply_batch(Span<Op<>> ops) { st_->apply_ops(ops.data(), ops.size()); }
+
+  // Deprecated pointer-form batch shims (one release; migration note in
+  // api/dictionary.hpp — CI's deprecated-api lint rejects in-repo callers).
+  void insert_batch(const Entry<>* data, std::size_t n) {
+    insert_batch(Span<Entry<>>(data, n));
+  }
+  void erase_batch(const Key* keys, std::size_t n) {
+    erase_batch(Span<Key>(keys, n));
+  }
+  void apply_batch(const Op<>* ops, std::size_t n) {
+    apply_batch(Span<Op<>>(ops, n));
+  }
 
   /// Drain the inner staging arena (memory-only: the arena's content is
   /// already WAL-logged, so this changes layout, not durability).
@@ -169,6 +179,12 @@ class DurableDictionary {
   // -- reads (served from memory; legal in read-only mode) -----------------
 
   std::optional<Value> find(const Key& k) const { return st_->inner.find(k); }
+
+  /// Point-in-time snapshot of the in-memory state (contract in
+  /// api/dictionary.hpp): a passthrough to the inner COLA's ref-counted
+  /// segment snapshot. Durability is orthogonal — the snapshot pins what
+  /// the memory tier holds NOW, which already reflects every accepted op.
+  snap::Snapshot<Key, Value> snapshot() const { return st_->inner.snapshot(); }
 
   auto make_cursor() const { return st_->inner.make_cursor(); }
 
@@ -343,7 +359,7 @@ class DurableDictionary {
       wal->append_ops(last, ops, n);  // throws before memory is touched
       ++stats.wal_records;
       seqno = last;
-      inner.apply_batch(ops, n);
+      inner.apply_batch(Span<Op<>>(ops, n));
       maybe_checkpoint();
     }
 
@@ -357,7 +373,7 @@ class DurableDictionary {
       wal->append_puts(last, data, n);  // throws before memory is touched
       ++stats.wal_records;
       seqno = last;
-      inner.insert_batch(data, n);
+      inner.insert_batch(Span<Entry<>>(data, n));
       maybe_checkpoint();
     }
 
@@ -496,7 +512,7 @@ class DurableDictionary {
                     (e.flags & 1u) != 0 ? Op<>::del(e.key)
                                         : Op<>::put(e.key, e.value));
               }
-              inner.apply_batch(replay_scratch.data(), replay_scratch.size());
+              inner.apply_batch(replay_scratch);
               ++stats.recovered_wal_records;
             });
         stats.wal_tail_torn = wres.tore;
@@ -548,12 +564,12 @@ class DurableDictionary {
                                      ? Op<>::del(e.key)
                                      : Op<>::put(e.key, e.value));
         if (replay_scratch.size() >= 4096) {
-          inner.apply_batch(replay_scratch.data(), replay_scratch.size());
+          inner.apply_batch(replay_scratch);
           stats.recovered_segment_entries += replay_scratch.size();
           replay_scratch.clear();
         }
       });
-      inner.apply_batch(replay_scratch.data(), replay_scratch.size());
+      inner.apply_batch(replay_scratch);
       stats.recovered_segment_entries += replay_scratch.size();
       replay_scratch.clear();
     }

@@ -61,7 +61,7 @@ void run_batch_trace(D& dict, Checker&& check, std::uint64_t seed,
         }
         batch.push_back(Entry<>{k, stamp++});
       }
-      dict.insert_batch(batch.data(), batch.size());
+      dict.insert_batch(batch);
       for (const Entry<>& e : batch) ref.insert(e.key, e.value);
       ASSERT_NO_THROW(check()) << "after batch, round " << r;
     } else if (roll < 60) {
@@ -165,7 +165,7 @@ TEST(BatchDifferential, Swbst) {
 TEST(BatchContract, EmptyBatchIsNoop) {
   cola::Gcola<> d;
   d.insert(1, 10);
-  d.insert_batch(nullptr, 0);
+  d.insert_batch(costream::Span<costream::Entry<>>(nullptr, 0));
   d.check_invariants();
   EXPECT_EQ(d.find(1).value(), 10u);
 }
@@ -174,13 +174,13 @@ TEST(BatchContract, LastDuplicateWinsWithinBatch) {
   std::vector<Entry<>> batch;
   for (std::uint64_t i = 0; i < 100; ++i) batch.push_back(Entry<>{7, i});
   cola::Gcola<> c;
-  c.insert_batch(batch.data(), batch.size());
+  c.insert_batch(batch);
   EXPECT_EQ(c.find(7).value(), 99u);
   shuttle::ShuttleTree<> s;
-  s.insert_batch(batch.data(), batch.size());
+  s.insert_batch(batch);
   EXPECT_EQ(s.find(7).value(), 99u);
   brt::Brt<> b;
-  b.insert_batch(batch.data(), batch.size());
+  b.insert_batch(batch);
   EXPECT_EQ(b.find(7).value(), 99u);
 }
 
@@ -189,7 +189,7 @@ TEST(BatchContract, BatchIsNewerThanExistingContents) {
   for (std::uint64_t k = 0; k < 256; ++k) d.insert(k, 1);
   std::vector<Entry<>> batch;
   for (std::uint64_t k = 0; k < 256; k += 2) batch.push_back(Entry<>{k, 2});
-  d.insert_batch(batch.data(), batch.size());
+  d.insert_batch(batch);
   d.check_invariants();
   for (std::uint64_t k = 0; k < 256; ++k) {
     EXPECT_EQ(d.find(k).value(), k % 2 == 0 ? 2u : 1u) << k;
@@ -202,7 +202,7 @@ TEST(BatchContract, BatchResurrectsTombstonedKeys) {
   for (std::uint64_t k = 0; k < 64; ++k) d.erase(k);
   std::vector<Entry<>> batch;
   for (std::uint64_t k = 0; k < 64; ++k) batch.push_back(Entry<>{k, 9});
-  d.insert_batch(batch.data(), batch.size());
+  d.insert_batch(batch);
   d.check_invariants();
   for (std::uint64_t k = 0; k < 64; ++k) {
     ASSERT_TRUE(d.find(k).has_value()) << k;
@@ -216,7 +216,7 @@ TEST(BatchContract, LargeBatchIntoEmptyCola) {
   cola::Gcola<> d;
   std::vector<Entry<>> batch;
   for (std::uint64_t i = 0; i < 10'000; ++i) batch.push_back(Entry<>{mix64(i), i});
-  d.insert_batch(batch.data(), batch.size());
+  d.insert_batch(batch);
   d.check_invariants();
   EXPECT_EQ(d.stats().batch_merges, 1u);
   EXPECT_EQ(d.stats().merges, 1u);
@@ -234,7 +234,7 @@ TEST(BatchContract, MixedBatchAndSingleOpsKeepColaGeometry) {
     std::vector<Entry<>> batch;
     const std::size_t len = 1 + (splitmix64(s) % 50);
     for (std::size_t i = 0; i < len; ++i) batch.push_back(Entry<>{splitmix64(s) % 4096, round});
-    d.insert_batch(batch.data(), batch.size());
+    d.insert_batch(batch);
     for (int j = 0; j < 5; ++j) d.insert(splitmix64(s) % 4096, round);
     d.check_invariants();
   }

@@ -241,7 +241,7 @@ std::optional<std::string> run_crash_sessions(const ArmConfig& arm,
       try {
         switch (c.kind) {
           case CrashCall::Kind::kMutate:
-            d->apply_batch(c.ops.data(), c.ops.size());
+            d->apply_batch(c.ops);
             break;
           case CrashCall::Kind::kSync:
             d->sync();

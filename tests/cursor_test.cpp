@@ -113,13 +113,13 @@ std::map<Key, Value> populate(D& d, std::uint64_t n, std::uint64_t seed) {
       for (int j = 0; j < 24; ++j) {
         batch.push_back(Entry<>{rng.below(3 * n), i + static_cast<Value>(j)});
       }
-      d.insert_batch(batch.data(), batch.size());
+      d.insert_batch(batch);
       for (const Entry<>& e : batch) model[e.key] = e.value;
     }
     if (i % 131 == 130) {
       erases.clear();
       for (int j = 0; j < 16; ++j) erases.push_back(rng.below(3 * n));
-      d.erase_batch(erases.data(), erases.size());
+      d.erase_batch(erases);
       for (Key k2 : erases) model.erase(k2);
     }
   }
@@ -309,16 +309,16 @@ TEST(Cursor, StagedTombstonesSuppressUnflushed) {
   cola::Gcola<> d(cola::ingest_tuned(4, 1024));  // arena: 4096 entries
   std::vector<Entry<>> batch;
   for (Key k = 0; k < 500; ++k) batch.push_back(Entry<>{k, k});
-  d.insert_batch(batch.data(), batch.size());
+  d.insert_batch(batch);
   d.flush_stage();  // everything below the arena
   // Erase every third key; the tombstones stay staged (arena far from full).
   std::vector<Key> dead;
   for (Key k = 0; k < 500; k += 3) dead.push_back(k);
-  d.erase_batch(dead.data(), dead.size());
+  d.erase_batch(dead);
   // Rewrite a band through the arena too (newest copy must win).
   batch.clear();
   for (Key k = 100; k < 140; ++k) batch.push_back(Entry<>{k, 9000 + k});
-  d.insert_batch(batch.data(), batch.size());
+  d.insert_batch(batch);
   ASSERT_GT(d.staged_count(), 0u) << "test premise: arena must be unflushed";
 
   std::map<Key, Value> model;
@@ -376,7 +376,7 @@ TEST(Cursor, MergeJoinDifferential) {
   // Erase a band from `a` so suppressed keys cannot join.
   std::vector<Key> dead;
   for (Key k = 2500; k < 2600; ++k) dead.push_back(k);
-  a.erase_batch(dead.data(), dead.size());
+  a.erase_batch(dead);
   for (Key k : dead) ma.erase(k);
 
   std::vector<std::pair<Key, std::pair<Value, Value>>> expect;

@@ -161,7 +161,7 @@ TEST(GenericTypes, InsertBatchOverCompositeKeys) {
   for (std::uint64_t i = 0; i < 800; ++i) {
     batch.push_back(Entry<ShardKey, Payload>{key_of(i), value_of(i)});
   }
-  d.insert_batch(batch.data(), batch.size());
+  d.insert_batch(batch);
   d.check_invariants();
   for (std::uint64_t i = 0; i < 800; i += 13) {
     ASSERT_EQ(d.find(key_of(i)).value(), value_of(i));

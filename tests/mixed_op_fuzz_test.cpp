@@ -1,11 +1,14 @@
 // Model-based mixed-op fuzz harness: seeded randomized traces of
-// put / erase / put_batch / erase_batch / apply_batch / find / range
-// operations, replayed against a std::map reference (blind-delete
-// semantics) across every structure and DictConfig preset — g in
-// {2, 4, 8, 16} for the growth family, classic / tiered / staged for the
-// COLA cascade modes. The oracle is pure differential: every find is
-// compared, ranges are compared, structural invariants run periodically,
-// and the final contents are swept in full.
+// put / erase / put_batch / erase_batch / apply_batch / find / range /
+// cursor / snapshot operations, replayed against a std::map reference
+// (blind-delete semantics) across every structure and DictConfig preset —
+// g in {2, 4, 8, 16} for the growth family, classic / tiered / staged for
+// the COLA cascade modes, S in {1, 2, 4} for the sharded facade. The
+// oracle is pure differential: every find is compared, ranges are
+// compared, held-open snapshots are re-verified against frozen model
+// stamps (contents, cursor probes, and epoch) across the mutation storms
+// between take and verify, structural invariants run periodically, and
+// the final contents are swept in full.
 //
 // On divergence the harness first truncates the trace to the failing
 // prefix, then greedily delta-shrinks it (chunked removal with re-replay),
@@ -20,6 +23,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -34,6 +38,7 @@
 #include "cola/deamortized_cola.hpp"
 #include "cola/deamortized_fc_cola.hpp"
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "model_helpers.hpp"
 #include "shard/sharded_dictionary.hpp"
 #include "shuttle/shuttle_tree.hpp"
@@ -50,9 +55,15 @@ struct FuzzOp {
     kApplyBatch,
     kFind,
     kRange,
-    kCursorSeek,  // re-seek the replay's persistent cursor at `key`
-    kCursorNext   // advance it one entry (re-seeking first if a mutation
-                  // invalidated it — the snapshot-at-seek protocol)
+    kCursorSeek,   // re-seek the replay's persistent cursor at `key`
+    kCursorNext,   // advance it one entry (re-seeking first if a mutation
+                   // invalidated it — the snapshot-at-seek protocol)
+    kSnapshotTake, // push dict.snapshot() + a frozen model copy onto the
+                   // replay's rolling window of held snapshots
+    kSnapshotVerify // pick a held snapshot (key % window) and verify it
+                    // still reads EXACTLY its frozen stamp — for_each,
+                    // a cursor seek probe, and the stamped epoch — no
+                    // matter how many mutations landed since the take
   };
   Kind kind = Kind::kPut;
   Key key = 0;
@@ -106,11 +117,16 @@ std::vector<FuzzOp> make_trace(std::uint64_t seed, std::size_t count, Key univer
       op.kind = FuzzOp::Kind::kRange;
       op.key = key();
       op.hi = op.key + rng.below(universe / 8 + 1);
-    } else if (pick < 96) {
+    } else if (pick < 95) {
       op.kind = FuzzOp::Kind::kCursorSeek;
       op.key = key();
-    } else {
+    } else if (pick < 98) {
       op.kind = FuzzOp::Kind::kCursorNext;
+    } else if (pick < 99) {
+      op.kind = FuzzOp::Kind::kSnapshotTake;
+    } else {
+      op.kind = FuzzOp::Kind::kSnapshotVerify;
+      op.key = key();  // selects the held snapshot AND the cursor probe point
     }
     trace.push_back(std::move(op));
   }
@@ -165,6 +181,12 @@ std::string dump_trace(const std::vector<FuzzOp>& trace) {
       case FuzzOp::Kind::kCursorNext:
         os << "  cursor_next\n";
         break;
+      case FuzzOp::Kind::kSnapshotTake:
+        os << "  snapshot_take\n";
+        break;
+      case FuzzOp::Kind::kSnapshotVerify:
+        os << "  snapshot_verify " << op.key << "\n";
+        break;
     }
   }
   return os.str();
@@ -186,6 +208,17 @@ std::optional<Divergence> replay(D& dict, const std::vector<FuzzOp>& trace) {
   // any mutation invalidates the cursor until it is re-seeked — so the
   // harness tracks a dirty flag and the resume point (one past the last
   // surfaced key) and re-seeks there before stepping a dirtied cursor.
+  // Rolling window of snapshots held open across the rest of the trace —
+  // every mutation storm between a take and its verifies runs with these
+  // handles pinning segments. Each take stamps a frozen model copy and the
+  // epoch; verification checks all three survive (contract: a Snapshot is
+  // immutable no matter what the source dictionary does afterwards).
+  struct HeldSnapshot {
+    snap::Snapshot<> snap;
+    std::uint64_t stamped_epoch = 0;
+    std::map<Key, Value> frozen;
+  };
+  std::vector<HeldSnapshot> held;
   auto cursor = dict.make_cursor();
   bool cursor_dirty = true;
   bool cursor_has_pos = false;  // a seek has happened at some point
@@ -243,17 +276,17 @@ std::optional<Divergence> replay(D& dict, const std::vector<FuzzOp>& trace) {
         cursor_dirty = true;
         break;
       case FuzzOp::Kind::kPutBatch:
-        dict.insert_batch(op.entries.data(), op.entries.size());
+        dict.insert_batch(op.entries);
         for (const Entry<>& e : op.entries) ref.insert(e.key, e.value);
         cursor_dirty = true;
         break;
       case FuzzOp::Kind::kEraseBatch:
-        dict.erase_batch(op.keys.data(), op.keys.size());
+        dict.erase_batch(op.keys);
         for (Key k : op.keys) ref.erase(k);
         cursor_dirty = true;
         break;
       case FuzzOp::Kind::kApplyBatch:
-        dict.apply_batch(op.ops.data(), op.ops.size());
+        dict.apply_batch(op.ops);
         for (const Op<>& o : op.ops) {
           if (o.erase) {
             ref.erase(o.key);
@@ -286,6 +319,59 @@ std::optional<Divergence> replay(D& dict, const std::vector<FuzzOp>& trace) {
           cursor.next();
         }
         if (auto d = cursor_expect(i, from)) return d;
+        break;
+      }
+      case FuzzOp::Kind::kSnapshotTake: {
+        if constexpr (requires { dict.snapshot(); }) {
+          held.push_back(HeldSnapshot{dict.snapshot(), 0, ref.map()});
+          held.back().stamped_epoch = held.back().snap.epoch();
+          if (held.size() > 3) held.erase(held.begin());
+        }
+        break;
+      }
+      case FuzzOp::Kind::kSnapshotVerify: {
+        if (held.empty()) break;  // shrinker may drop the take; stay total
+        const HeldSnapshot& h = held[op.key % held.size()];
+        if (h.snap.epoch() != h.stamped_epoch) {
+          std::ostringstream os;
+          os << "held snapshot epoch " << h.snap.epoch() << ", stamped "
+             << h.stamped_epoch;
+          return Divergence{i, os.str()};
+        }
+        std::map<Key, Value> seen;
+        h.snap.for_each([&](const Key& k, const Value& v) { seen[k] = v; });
+        if (seen != h.frozen) {
+          std::ostringstream os;
+          os << "held snapshot reads " << seen.size()
+             << " entries, stamped model has " << h.frozen.size()
+             << " (or values diverged)";
+          return Divergence{i, os.str()};
+        }
+        // A fresh cursor over the held snapshot must land exactly where the
+        // frozen model says, even though the live structure has moved on.
+        auto sc = h.snap.make_cursor();
+        sc.seek(op.key);
+        const auto it = h.frozen.lower_bound(op.key);
+        if (it == h.frozen.end()) {
+          if (sc.valid()) {
+            std::ostringstream os;
+            os << "held-snapshot cursor at " << sc.entry().key
+               << ", stamped model says drained (from " << op.key << ")";
+            return Divergence{i, os.str()};
+          }
+        } else if (!sc.valid() || sc.entry().key != it->first ||
+                   sc.entry().value != it->second) {
+          std::ostringstream os;
+          os << "held-snapshot cursor ";
+          if (sc.valid()) {
+            os << "at " << sc.entry().key << ":" << sc.entry().value;
+          } else {
+            os << "drained";
+          }
+          os << ", stamped model says " << it->first << ":" << it->second
+             << " (from " << op.key << ")";
+          return Divergence{i, os.str()};
+        }
         break;
       }
       case FuzzOp::Kind::kFind: {
@@ -418,19 +504,19 @@ void fuzz_config(const std::string& label, MakeDict make,
 class BuggyDict {
  public:
   void insert(Key k, Value v) { m_[k] = v; }
-  void insert_batch(const Entry<>* data, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) m_[data[i].key] = data[i].value;
+  void insert_batch(costream::Span<Entry<>> batch) {
+    for (const Entry<>& e : batch) m_[e.key] = e.value;
   }
   void erase(Key k) { m_.erase(k); }
-  void erase_batch(const Key* keys, std::size_t n) {
-    for (std::size_t i = 0; i + 1 < n; ++i) m_.erase(keys[i]);  // bug: last key kept
+  void erase_batch(costream::Span<Key> keys) {
+    for (std::size_t i = 0; i + 1 < keys.size(); ++i) m_.erase(keys[i]);  // bug: last key kept
   }
-  void apply_batch(const Op<>* ops, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (ops[i].erase) {
-        m_.erase(ops[i].key);
+  void apply_batch(costream::Span<Op<>> ops) {
+    for (const Op<>& o : ops) {
+      if (o.erase) {
+        m_.erase(o.key);
       } else {
-        m_[ops[i].key] = ops[i].value;
+        m_[o.key] = o.value;
       }
     }
   }
@@ -634,6 +720,27 @@ TEST(MixedOpFuzz, ShardedEveryInnerPreset) {
           },
           500);
     }
+  }
+}
+
+TEST(MixedOpFuzz, ShardedSnapshotHoldersAcrossShardCounts) {
+  // The acceptance sweep for snapshot isolation behind the facade: S in
+  // {1, 2, 4} (1 = the single-worker degenerate case), staged Gcola
+  // inners whose folds keep retiring the very segments the held snapshots
+  // pin. Longer traces bias toward more take/verify pairs per run; the
+  // drain barrier inside snapshot() races real worker threads here.
+  for (const std::size_t s : {1u, 2u, 4u}) {
+    fuzz_config("sharded-snap-s" + std::to_string(s),
+                [s] {
+                  shard::ShardedConfig<> sc;
+                  sc.shards = s;
+                  sc.splitters = fuzz_splitters(s);
+                  return shard::ShardedDictionary<cola::Gcola<>>(
+                      sc, [](std::size_t) {
+                        return cola::Gcola<>(cola::ingest_tuned(2, 24));
+                      });
+                },
+                1200);
   }
 }
 

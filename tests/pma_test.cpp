@@ -217,7 +217,7 @@ TEST(Pma, DamAccountingSeesSequentialAppends) {
   EXPECT_GT(st.accesses, 0u);
 }
 
-// erase_batch: vacating a logical run in one pass plus ONE rebalance must
+// erase_at: vacating a logical run in one pass plus ONE rebalance must
 // leave exactly the state a per-element erase loop leaves (same survivors,
 // same order, invariants intact) while paying fewer rebalances.
 TEST(Pma, BatchEraseMatchesEraseLoop) {
@@ -230,7 +230,7 @@ TEST(Pma, BatchEraseMatchesEraseLoop) {
   }
   // Erase 200 elements starting at logical position 150, both ways.
   auto at_rank = [](const P& p, std::uint64_t r) { return p.slot_of_rank(r); };
-  const std::size_t erased = batch.erase_batch(at_rank(batch, 150), 200);
+  const std::size_t erased = batch.erase_at(at_rank(batch, 150), 200);
   EXPECT_EQ(erased, 200u);
   for (int i = 0; i < 200; ++i) loop.erase(at_rank(loop, 150));
   EXPECT_EQ(contents(batch), contents(loop));
@@ -246,7 +246,7 @@ TEST(Pma, BatchEraseShrinksAndStopsAtEnd) {
   for (std::uint64_t i = 0; i < 512; ++i) tail = p.insert_after(tail, i);
   const std::uint64_t cap_before = p.capacity();
   // Ask for more than remain from the middle: stops at the array end.
-  const std::size_t erased = p.erase_batch(p.slot_of_rank(100), 1'000);
+  const std::size_t erased = p.erase_at(p.slot_of_rank(100), 1'000);
   EXPECT_EQ(erased, 412u);
   EXPECT_EQ(p.size(), 100u);
   EXPECT_LT(p.capacity(), cap_before) << "batch erase must trigger halving";

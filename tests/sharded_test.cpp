@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/presets.hpp"
@@ -104,7 +106,7 @@ TEST(Sharded, ShardCountNeverChangesVisibleContents) {
     std::size_t batch = 3;
     while (i < script.size()) {
       const std::size_t take = std::min(batch, script.size() - i);
-      d.apply_batch(script.data() + i, take);
+      d.apply_batch({script.data() + i, take});
       i += take;
       batch = batch * 2 + 1;
       if (batch > 700) batch = 3;
@@ -155,7 +157,7 @@ TEST(Sharded, LearnedSplittersBalanceUniformFeed) {
   std::vector<Entry<>> batch;
   Xoshiro256 rng(7);
   for (int i = 0; i < 4096; ++i) batch.push_back(Entry<>{rng(), 1});
-  d.insert_batch(batch.data(), batch.size());
+  d.insert_batch(batch);
   EXPECT_EQ(d.stats().learned_splitters, 1u);
   ASSERT_EQ(d.splitters().size(), 3u);
   EXPECT_LT(d.splitters()[0], d.splitters()[1]);
@@ -165,7 +167,7 @@ TEST(Sharded, LearnedSplittersBalanceUniformFeed) {
   for (int r = 0; r < 8; ++r) {
     batch.clear();
     for (int i = 0; i < 4096; ++i) batch.push_back(Entry<>{rng(), 2});
-    d.insert_batch(batch.data(), batch.size());
+    d.insert_batch(batch);
   }
   d.check_invariants();
   std::size_t total = 0;
@@ -196,7 +198,7 @@ TEST(Sharded, SmallFirstMutationFallsBackToPrefixDefaults) {
   std::vector<Entry<>> batch;
   Xoshiro256 rng(11);
   for (int i = 0; i < 4096; ++i) batch.push_back(Entry<>{rng(), 1});
-  d.insert_batch(batch.data(), batch.size());
+  d.insert_batch(batch);
   d.check_invariants();
   for (std::size_t s = 0; s < 4; ++s) {
     auto c = d.shard(s).make_cursor();
@@ -208,11 +210,15 @@ TEST(Sharded, SmallFirstMutationFallsBackToPrefixDefaults) {
 // Epoch enforcement: any mutation — including ones routed to a DIFFERENT
 // shard than the cursor is positioned in — invalidates the cursor until
 // re-seek. This is the drain-barrier contract from api/dictionary.hpp.
-TEST(Sharded, CursorInvalidationAcrossDrainBarriers) {
+TEST(Sharded, CursorPinsItsSnapshotAcrossMutations) {
+  // The snapshot cursor contract (api/dictionary.hpp): a seek pins the
+  // then-current fused snapshot, so mutations — in ANY shard — neither
+  // invalidate the cursor nor leak into its stream; a re-seek pins the
+  // newer snapshot and observes them.
   auto d = make_sharded_cola(4, 400);
   std::vector<Entry<>> batch;
   for (Key k = 0; k < 400; k += 2) batch.push_back(Entry<>{k, k + 1});
-  d.insert_batch(batch.data(), batch.size());
+  d.insert_batch(batch);
 
   auto c = d.make_cursor();
   c.seek(0);
@@ -222,17 +228,23 @@ TEST(Sharded, CursorInvalidationAcrossDrainBarriers) {
   ASSERT_TRUE(c.valid());
   EXPECT_EQ(c.entry().key, 2u);
 
-  d.insert(399, 7);  // routes to the LAST shard; cursor sits in the first
-  EXPECT_FALSE(c.valid()) << "mutation in another shard must invalidate";
-  c.next();  // no-op on an invalidated cursor, not a crash
-  EXPECT_FALSE(c.valid());
+  d.insert(399, 7);  // routes to the LAST shard; the pinned stream is unmoved
+  ASSERT_TRUE(c.valid()) << "a mutation must not invalidate a pinned cursor";
+  std::size_t rest = 0;
+  bool saw_399 = false;
+  for (; c.valid(); c.next()) {
+    saw_399 = saw_399 || c.entry().key == 399u;
+    ++rest;
+  }
+  EXPECT_EQ(rest, 199u) << "pinned stream lost entries (2..398 evens)";
+  EXPECT_FALSE(saw_399) << "post-seek insert leaked into the pinned stream";
 
-  c.seek(2);  // re-seek revalidates (and takes the drain barrier)
+  c.seek(399);  // re-seek pins the newer snapshot: the insert is visible
   ASSERT_TRUE(c.valid());
-  EXPECT_EQ(c.entry().key, 2u);
+  EXPECT_EQ(c.entry().key, 399u);
+  EXPECT_EQ(c.entry().value, 7u);
 
   d.erase(2);
-  EXPECT_FALSE(c.valid());
   c.seek(2);
   ASSERT_TRUE(c.valid());
   EXPECT_EQ(c.entry().key, 4u) << "erase must be visible after re-seek";
@@ -273,7 +285,7 @@ TEST(Sharded, DrainBarrierReadYourWrites) {
         model[k] = v;
       }
     }
-    d.apply_batch(batch.data(), batch.size());
+    d.apply_batch(batch);
     // Immediate point reads: the per-shard drain barrier must make every
     // op of the batch visible.
     for (int probe = 0; probe < 4; ++probe) {
@@ -337,7 +349,7 @@ TEST(Sharded, WorkerExceptionSurfacesStickyAndTearsDownCleanly) {
   // must join the workers without hanging (the regression this guards).
   struct ThrowingDict {
     cola::Gcola<> inner;
-    void apply_batch(const Op<>* /*ops*/, std::size_t /*n*/) {
+    void apply_batch(costream::Span<Op<>> /*ops*/) {
       throw std::runtime_error("inner dict exploded");
     }
     std::optional<Value> find(const Key& k) const { return inner.find(k); }
@@ -346,8 +358,10 @@ TEST(Sharded, WorkerExceptionSurfacesStickyAndTearsDownCleanly) {
   ShardedConfig<> sc;
   sc.shards = 2;
   sc.splitters = {256};
+  // Parenthesized value-init: list-init would copy-list-initialize `inner`
+  // through Gcola's explicit default constructor and trip -Werror.
   ShardedDictionary<ThrowingDict> d(sc,
-                                    [](std::size_t) { return ThrowingDict{}; });
+                                    [](std::size_t) { return ThrowingDict(); });
   for (Key k = 0; k < 8; ++k) d.insert(k, k + 1);
   // The first read drains the queues (the failure may land mid-drain, after
   // the entry check); by the second call the sticky flag must fire.
@@ -370,6 +384,73 @@ TEST(Sharded, WorkerExceptionSurfacesStickyAndTearsDownCleanly) {
 }
 
 // ---- merge_join_k -----------------------------------------------------------
+
+// The TSan hammer (CI runs this binary under -fsanitize=thread): detached
+// snapshot cursors scan on reader threads while the facade ingests >= 10^6
+// mixed mutations — the shard workers fold and retire the very segments
+// the readers stand on. Refcount pinning means the readers must observe
+// EXACTLY their stamped contents (count and epoch), with no torn reads for
+// TSan to flag. This is the scan-under-ingest guarantee the old
+// drain-barrier protocol could not offer at all.
+TEST(Sharded, SnapshotScansSurviveConcurrentIngestStorm) {
+  auto d = make_sharded_cola(4, 1 << 20, /*g=*/4);
+  std::vector<Op<>> batch;
+  Xoshiro256 rng(17);
+  auto mutate = [&](std::size_t ops) {
+    batch.clear();
+    batch.reserve(ops);
+    for (std::size_t i = 0; i < ops; ++i) {
+      const Key k = rng.below(1 << 20);
+      if (rng.below(100) < 25) {
+        batch.push_back(Op<>::del(k));
+      } else {
+        batch.push_back(Op<>::put(k, k + 1));
+      }
+    }
+    d.apply_batch(batch);
+  };
+  mutate(50'000);  // seed contents so the snapshot pins real segments
+
+  const auto snap = d.snapshot();
+  const std::uint64_t stamped_epoch = snap.epoch();
+  std::size_t stamped_count = 0;
+  snap.for_each([&](const Key&, const Value&) { ++stamped_count; });
+  ASSERT_GT(stamped_count, 0u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> scans{0};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      // One cursor per thread (cursors are not shared); the snapshot
+      // handle itself is free-threaded.
+      while (!stop.load(std::memory_order_acquire)) {
+        auto c = snap.make_cursor();
+        std::size_t n = 0;
+        for (c.seek_first(); c.valid(); c.next()) ++n;
+        if (n != stamped_count || c.epoch() != stamped_epoch) {
+          ok.store(false, std::memory_order_release);
+        }
+        scans.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // >= 10^6 mutations while the readers scan: folds cascade constantly at
+  // g=4 with a small staging arena.
+  for (int round = 0; round < 250; ++round) mutate(4'096);
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_TRUE(ok.load()) << "a concurrent scan diverged from its stamp";
+  EXPECT_GT(scans.load(), 0u);
+  // And the snapshot still reads its stamp after the storm.
+  std::size_t after = 0;
+  snap.for_each([&](const Key&, const Value&) { ++after; });
+  EXPECT_EQ(after, stamped_count);
+  EXPECT_EQ(snap.epoch(), stamped_epoch);
+}
 
 TEST(MergeJoinK, MatchesPairwiseAndModel) {
   // Three structures of different kinds with a known overlap pattern.

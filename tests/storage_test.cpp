@@ -783,7 +783,7 @@ TEST(DurableDict, AutomaticCheckpointOnWalGrowth) {
   DurableDictionary d(env, cfg);
   std::vector<Entry<>> batch;
   for (std::uint64_t i = 0; i < 4000; ++i) batch.push_back({i, i});
-  d.insert_batch(batch.data(), batch.size());
+  d.insert_batch(batch);
   for (std::uint64_t i = 0; i < 4000; ++i) d.insert(i, i + 1);
   EXPECT_GT(d.storage_stats().checkpoints, 0u);
   DurableDictionary d2(env, cfg);
@@ -1003,7 +1003,7 @@ TEST(DurableDict, WalBytesMatchTransferBoundShape) {
     for (std::size_t i = 0; i < batch; ++i) {
       es[i] = {static_cast<std::uint64_t>(b * batch + i), 1};
     }
-    d.insert_batch(es.data(), es.size());
+    d.insert_batch(es);
   }
   d.sync();
   const double measured_bytes =

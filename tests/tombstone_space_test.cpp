@@ -36,18 +36,18 @@ TEST(TombstoneSpace, ChurnAtFixedLiveSetStaysLinear) {
     std::vector<Entry<>> batch;
     std::vector<Key> keys;
     for (std::uint64_t k = 0; k < live; ++k) batch.push_back(Entry<>{k, k});
-    c.insert_batch(batch.data(), batch.size());
+    c.insert_batch(batch);
     std::uint64_t peak = 0;
     for (int round = 0; round < 400; ++round) {
       const std::uint64_t base = (round % 4) * (live / 4);
       keys.clear();
       batch.clear();
       for (std::uint64_t k = base; k < base + live / 4; ++k) keys.push_back(k);
-      c.erase_batch(keys.data(), keys.size());
+      c.erase_batch(keys);
       for (std::uint64_t k = base; k < base + live / 4; ++k) {
         batch.push_back(Entry<>{k, k + static_cast<Value>(round)});
       }
-      c.insert_batch(batch.data(), batch.size());
+      c.insert_batch(batch);
       peak = std::max(peak, c.item_count());
     }
     EXPECT_LT(peak, 4 * live) << "g=" << g << ": churn garbage exceeds ~4x live";
@@ -75,18 +75,18 @@ TEST(TombstoneSpace, StalenessKnobGatesChurnRetention) {
     std::vector<Entry<>> batch;
     std::vector<Key> keys;
     for (std::uint64_t k = 0; k < live; ++k) batch.push_back(Entry<>{k, k});
-    c.insert_batch(batch.data(), batch.size());
+    c.insert_batch(batch);
     std::uint64_t peak = 0;
     for (int round = 0; round < 300; ++round) {
       const std::uint64_t base = (round % 4) * (live / 4);
       keys.clear();
       batch.clear();
       for (std::uint64_t k = base; k < base + live / 4; ++k) keys.push_back(k);
-      c.erase_batch(keys.data(), keys.size());
+      c.erase_batch(keys);
       for (std::uint64_t k = base; k < base + live / 4; ++k) {
         batch.push_back(Entry<>{k, k});
       }
-      c.insert_batch(batch.data(), batch.size());
+      c.insert_batch(batch);
       peak = std::max(peak, c.item_count());
     }
     c.check_invariants();
@@ -113,7 +113,7 @@ TEST(TombstoneSpace, EraseHeavyFeedStaysBounded) {
   Gcola<> c(cfg);
   std::vector<Entry<>> batch;
   for (std::uint64_t k = 0; k < live; ++k) batch.push_back(Entry<>{k, k});
-  c.insert_batch(batch.data(), batch.size());
+  c.insert_batch(batch);
   std::uint64_t peak = 0;
   std::vector<Key> keys;
   for (int round = 0; round < 400; ++round) {
@@ -121,7 +121,7 @@ TEST(TombstoneSpace, EraseHeavyFeedStaysBounded) {
     for (std::uint64_t j = 0; j < 256; ++j) {
       keys.push_back(1'000'000 + static_cast<Key>(round) * 256 + j);  // absent
     }
-    c.erase_batch(keys.data(), keys.size());
+    c.erase_batch(keys);
     peak = std::max(peak, c.item_count());
     if (round % 25 == 24) {
       ASSERT_TRUE(c.find(live / 2).has_value()) << "round " << round;
@@ -148,7 +148,7 @@ TEST(TombstoneSpace, ThresholdKnobGatesRetention) {
     Gcola<> c(cfg);
     std::vector<Entry<>> batch;
     for (std::uint64_t k = 0; k < live; ++k) batch.push_back(Entry<>{k, k});
-    c.insert_batch(batch.data(), batch.size());
+    c.insert_batch(batch);
     std::uint64_t peak = 0;
     std::vector<Key> keys;
     for (int round = 0; round < 300; ++round) {
@@ -156,7 +156,7 @@ TEST(TombstoneSpace, ThresholdKnobGatesRetention) {
       for (std::uint64_t j = 0; j < 256; ++j) {
         keys.push_back(1'000'000 + static_cast<Key>(round) * 256 + j);
       }
-      c.erase_batch(keys.data(), keys.size());
+      c.erase_batch(keys);
       peak = std::max(peak, c.item_count());
     }
     c.check_invariants();
@@ -179,7 +179,7 @@ TEST(TombstoneSpace, TighterThresholdTightensTheBound) {
     Gcola<> c(cfg);
     std::vector<Entry<>> batch;
     for (std::uint64_t k = 0; k < live; ++k) batch.push_back(Entry<>{k, k});
-    c.insert_batch(batch.data(), batch.size());
+    c.insert_batch(batch);
     std::uint64_t peak = 0;
     std::vector<Key> keys;
     for (int round = 0; round < 200; ++round) {
@@ -187,7 +187,7 @@ TEST(TombstoneSpace, TighterThresholdTightensTheBound) {
       for (std::uint64_t j = 0; j < 256; ++j) {
         keys.push_back(1'000'000 + static_cast<Key>(round) * 256 + j);
       }
-      c.erase_batch(keys.data(), keys.size());
+      c.erase_batch(keys);
       peak = std::max(peak, c.item_count());
     }
     return std::pair<std::uint64_t, std::uint64_t>(peak,
@@ -218,8 +218,8 @@ TEST(TombstoneSpace, DeamortizedMixedBatchKeepsWorstCaseMoveBound) {
           ops.push_back(Op<>::put(k, j));
         }
       }
-      d.apply_batch(ops.data(), ops.size());
-      f.apply_batch(ops.data(), ops.size());
+      d.apply_batch(ops);
+      f.apply_batch(ops);
     }
     d.check_invariants();
     f.check_invariants();

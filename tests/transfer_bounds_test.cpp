@@ -78,7 +78,7 @@ TEST(TransferBounds, StagingArenaCutsInsertTransfers) {
         e = Entry<>{mix64(i), i};
         ++i;
       }
-      c.insert_batch(batch.data(), batch.size());
+      c.insert_batch(batch);
     }
     return static_cast<double>(c.mm().stats().transfers) / static_cast<double>(n);
   };
@@ -125,7 +125,7 @@ TEST(TransferBounds, FenceKeysPruneTimePartitionedSearch) {
         e = Entry<>{i * 3 + 1, i};  // ascending: segments partition by range
         ++i;
       }
-      c.insert_batch(batch.data(), batch.size());
+      c.insert_batch(batch);
     }
     // Cold point lookups on present keys.
     Xoshiro256 rng(11);
@@ -205,7 +205,7 @@ TEST(TransferBounds, MixedOpFeedWithinMixedBound) {
       const std::uint64_t h = mix64(i++);
       o = (h & 1) ? Op<>::del(h % universe) : Op<>::put(h % universe, i);
     }
-    c.apply_batch(batch.data(), batch.size());
+    c.apply_batch(batch);
   }
   c.flush_stage();
   const double per_op =
@@ -319,7 +319,7 @@ TEST(TransferBounds, ShardedInsertAndSearchBoundsHold) {
         e = Entry<>{mix64(i), i};
         ++i;
       }
-      d.insert_batch(batch.data(), batch.size());
+      d.insert_batch(batch);
     }
     d.flush_stage();
     std::uint64_t total = 0;
