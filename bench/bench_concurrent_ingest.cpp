@@ -29,6 +29,22 @@
 //       wall rate falls below R x the no-scan S=4 arm — like the scaling
 //       gate, enforced only on >= 4 cores.
 //
+//   shard-cola-g8-find / order "random" / batch = S in {1, 4}
+//       barrier-free point reads priced under ingest: after a seed ingest,
+//       the idle find() rate is measured with no writer running, then a
+//       reader thread hammers find() for the whole timed ingest region.
+//       The cell's wall_rate is the finds/sec UNDER INGEST; the stdout
+//       line also shows the idle rate and the under/idle ratio. find()
+//       takes no drain barrier (the bench asserts the ShardedStats::drains
+//       delta across the storm is at most the writer's own single
+//       flush-stage barrier), so the ratio prices only cache and
+//       memory-bandwidth interference, not blocking.
+//       `--require-find-ratio R` exits nonzero when the S=4 under-ingest
+//       find rate falls below R x the idle rate — enforced only on >= 4
+//       cores, like the other gates. compare_baseline.py tracks these
+//       cells for presence (like the wal cells), never shape-compares
+//       them: thread-interference rates are too machine-dependent.
+//
 //   mjoin-k4 vs mjoin-pairwise / order "join" / batch = 0
 //       four-way key intersection across four structures, once with the
 //       k-way leapfrog driver (api::merge_join_k, one pass, no
@@ -220,6 +236,83 @@ Cell run_scan_overlap_cell(std::uint64_t n, std::size_t S, const KeyStream& ks) 
   return c;
 }
 
+/// Find-under-ingest cell: idle find() rate first (no writer), then a
+/// reader thread storms find() across the whole timed ingest region —
+/// both barrier-free (the facade never drains for a point read; asserted
+/// via the stats delta). wall_rate carries the under-ingest finds/sec;
+/// `idle_rate` returns the no-writer baseline for the ratio gate.
+Cell run_find_overlap_cell(std::uint64_t n, std::size_t S, const KeyStream& ks,
+                           double& idle_rate) {
+  Cell c;
+  c.structure = "shard-cola-g" + std::to_string(kGrowth) + "-find";
+  c.order = "random";
+  c.batch = S;
+  c.n = n;
+  c.staging = static_cast<std::uint64_t>(kGrowth) * kBatch;
+  c.shards = S;
+  const cola::ColaConfig cfg = cola::ingest_tuned(kGrowth, kBatch);
+  shard::ShardedConfig<> sc;
+  sc.shards = S;
+  shard::ShardedDictionary<cola::Gcola<>> d(
+      sc, [&](std::size_t) { return cola::Gcola<>(cfg); });
+  const std::uint64_t seeded = n / 8;
+  ingest_batched(d, ks, seeded);
+  // Idle baseline: no writer running, same probe mix the storm will use.
+  std::uint64_t sink = 0;
+  {
+    Xoshiro256 rng(0x51ed);
+    const std::uint64_t probes = std::min<std::uint64_t>(200'000, seeded * 4);
+    Timer timer;
+    for (std::uint64_t i = 0; i < probes; ++i) {
+      sink += d.find(ks.key_at(rng() % seeded)).value_or(0);
+    }
+    const double wall = timer.seconds();
+    idle_rate = wall > 0 ? static_cast<double>(probes) / wall : 0.0;
+  }
+  const std::uint64_t drains_before = d.stats().drains;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> finds{0};
+  std::thread reader([&] {
+    Xoshiro256 rng(0x51ee);
+    std::uint64_t local_sink = 0;
+    std::uint64_t count = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      local_sink += d.find(ks.key_at(rng() % n)).value_or(0);
+      ++count;
+    }
+    finds.store(count, std::memory_order_relaxed);
+    if (local_sink == 0 && n > 0) std::fprintf(stderr, "warn: empty finds\n");
+  });
+  double ingest_wall = 0.0;
+  {
+    Timer timer;
+    ingest_batched(d, ks, n);
+    ingest_wall = timer.seconds();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  // The timed ingest ends in ONE flush_stage(), whose drain barrier may
+  // wait on up to S shards; the find storm must contribute ZERO on top —
+  // millions of finds would blow any per-find drain far past this bound.
+  const std::uint64_t drains_delta = d.stats().drains - drains_before;
+  if (drains_delta > S) {
+    std::fprintf(stderr,
+                 "FAIL: %llu drain barriers across the find storm (the "
+                 "writer's own flush accounts for at most %zu)\n",
+                 static_cast<unsigned long long>(drains_delta), S);
+    std::exit(1);
+  }
+  c.wall_rate = ingest_wall > 0 ? static_cast<double>(finds.load()) /
+                                      ingest_wall
+                                : 0.0;
+  c.modeled_rate = c.wall_rate;
+  (void)sink;
+  std::printf("S=%-6zu %14.0f %14.0f   (%.2fx of idle, 0 find drains)\n", S,
+              c.wall_rate, idle_rate,
+              idle_rate > 0 ? c.wall_rate / idle_rate : 0.0);
+  return c;
+}
+
 // ---- k-way join series ------------------------------------------------------
 
 /// Deterministic ~70% subset membership per side; four sides intersect in
@@ -298,6 +391,7 @@ int main(int argc, char** argv) {
   const char* json_out = nullptr;
   double require_scaling = 0.0;
   double require_scan_ratio = 0.0;
+  double require_find_ratio = 0.0;
   bool wall_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
@@ -306,6 +400,8 @@ int main(int argc, char** argv) {
       require_scaling = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--require-scan-ratio") == 0 && i + 1 < argc) {
       require_scan_ratio = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--require-find-ratio") == 0 && i + 1 < argc) {
+      require_find_ratio = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--wall-only") == 0) {
       wall_only = true;
     }
@@ -384,6 +480,36 @@ int main(int argc, char** argv) {
       }
       if (require_scan_ratio > 0 && cores < 4) {
         std::printf("# open-scan gate skipped: %u cores < 4\n", cores);
+      }
+    }
+
+    // -- barrier-free finds under ingest --------------------------------------
+    std::printf("\n## find() storm racing the ingest (barrier-free reads)\n\n");
+    std::printf("%-8s %14s %14s\n", "shards", "finds/s ingest", "finds/s idle");
+    double idle1 = 0.0;
+    double idle4 = 0.0;
+    for (const std::size_t S : {1u, 4u}) {
+      double& idle = S == 1 ? idle1 : idle4;
+      cells.push_back(run_find_overlap_cell(n, S, ks, idle));
+    }
+    const std::string find_arm = shard_arm + "-find";
+    const Cell* find4 = nullptr;
+    for (const Cell& c : cells) {
+      if (c.structure == find_arm && c.batch == 4) find4 = &c;
+    }
+    if (find4 != nullptr && idle4 > 0) {
+      const double ratio = find4->wall_rate / idle4;
+      std::printf("\n# S=4 find rate under ingest vs idle: %.2fx (%u cores)\n",
+                  ratio, cores);
+      if (require_find_ratio > 0 && cores >= 4 && ratio < require_find_ratio) {
+        std::fprintf(stderr,
+                     "FAIL: find rate under ingest at %.2fx of idle, below "
+                     "the required %.2fx on a %u-core machine\n",
+                     ratio, require_find_ratio, cores);
+        return 1;
+      }
+      if (require_find_ratio > 0 && cores < 4) {
+        std::printf("# find-under-ingest gate skipped: %u cores < 4\n", cores);
       }
     }
   }

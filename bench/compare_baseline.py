@@ -34,7 +34,12 @@ Regenerating the baseline (after an intentional perf change)::
 The ``cola-g8-wal*`` arms ingest through the durable tier (real WAL +
 segment spills under ``$TMPDIR``); their wall rates depend on the
 filesystem as well as the machine, so they are tracked for presence and
-reported, never shape-compared.
+reported, never shape-compared. The ``shard-cola-g8-find`` arms (from
+bench_concurrent_ingest: a find() storm racing the timed ingest) are
+handled the same way — their under-ingest find rate depends on how many
+cores the runner gives the reader thread, so presence is gated but the
+batch curve (batch = shard count there) is excluded from the shape
+comparison below.
 
 or pass ``--update-baseline`` to this script to copy the current run over
 the baseline file once you have eyeballed the report.
@@ -159,6 +164,12 @@ def main():
     for (s, o, batch), cell in baseline.items():
         series.setdefault((s, o), {})[batch] = cell
     for (s, o), cells in sorted(series.items()):
+        # The find-under-ingest arms DO have a batch=1 cell (batch is the
+        # shard count), but their wall rate measures a reader thread racing
+        # the writers — pure core-count, not code. Presence-gated above,
+        # never shape-compared.
+        if s.endswith("-find") and "shard" in s:
+            continue
         base1 = cells.get(1)
         cur1 = current.get((s, o, 1))
         if not base1 or not cur1:

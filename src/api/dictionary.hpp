@@ -38,6 +38,35 @@
 //     it came from. (DAM transfer accounting applies only to reads issued
 //     through the owning structure's own cursors and scans.)
 //
+// Read-concurrency contract (which calls tolerate which threads):
+//   * Plain structures (COLA family, B-tree, CO B-tree, shuttle family,
+//     BRT) are SINGLE-THREADED objects: one thread at a time, reads and
+//     writes alike. Cross-thread reading goes through a detached Snapshot
+//     (free-threaded, above).
+//   * The sharded facade (shard/sharded_dictionary.hpp) splits the
+//     contract in two. MUTATORS — insert/erase/insert_batch/erase_batch/
+//     apply_batch/flush_stage — plus shard()/shard_mut() and
+//     check_invariants() are single-caller: one external owner thread.
+//     The const READ paths — find(), snapshot(), make_cursor() and its
+//     seeks, for_each, range_for_each, stats(), epoch(), drain() — are
+//     safe from ANY number of threads, concurrently with the owner's
+//     mutations.
+//   * Sharded find() is BARRIER-FREE and linearizable: it never drains a
+//     shard and never waits on a writer (the old "find() drains its one
+//     target shard" protocol is gone). It reflects every mutation whose
+//     facade call RETURNED before the find began — reads-your-
+//     acknowledged-writes, from any thread — and may additionally reflect
+//     queued runs the worker has applied since; it never observes a
+//     partial batch. Implementation: the worker's published immutable
+//     view + the facade's acknowledged-pending overlay, revalidated
+//     against a per-shard sequence (optimistic, bounded retries); the
+//     linearizability hammer in tests/linearizability_test.cpp is the
+//     enforcement.
+//   * A sharded snapshot() from a non-owner thread still drains (it is a
+//     barrier by design) and reflects, per shard, all acknowledged writes
+//     plus possibly some just-applied ones; from the owner thread it is
+//     an exact cut.
+//
 // Cursor contract (make_cursor / seek / next / valid / entry):
 //   * make_cursor() returns a detached cursor object; creating it may
 //     allocate once, but every seek()/next() after the cursor's scratch has

@@ -396,6 +396,50 @@ class Gcola {
     return snap_cache_;
   }
 
+  /// Lock-free publication source for the sharded facade's barrier-free
+  /// read path (the shard worker republishes after every applied job): the
+  /// same frozen contents snapshot() pins, built without the per-epoch
+  /// cache and without collapsing the staging arena. Every staging run is
+  /// already sorted and deduplicated on its own, so each run becomes its
+  /// own immutable segment — minted lazily once and reused across
+  /// republishes (stage_run_segs_); the binary-counter tail merge
+  /// invalidates exactly the runs it rewrites. A republish after a batch
+  /// append therefore costs O(appended data) plus segment-handle copies,
+  /// not a sort of the whole arena. Segments land newest-first: staging
+  /// runs (newest run first), then tiered levels shallow to deep. Classic
+  /// (non-tiered) levels are rewritten in place by merges and have no
+  /// immutable units to pin, so they fall back to the cached
+  /// copy-on-snapshot path. Owner-thread only, like every const read;
+  /// the RETURNED view is immutable and free-threaded. Publication is an
+  /// in-memory mirror, not structural IO — it charges nothing to the DAM
+  /// model (dam/bounds.hpp::sharded_search_transfer_bound).
+  std::shared_ptr<const snap::SnapshotData<K, V>> publish_view() const {
+    if (!cfg_.tiered) return snapshot().data();
+    auto data = std::make_shared<snap::SnapshotData<K, V>>();
+    data->epoch = mutation_epoch_;
+    data->fence_keys = cfg_.fence_keys;
+    for (std::size_t r = stage_runs_.size(); r-- > 0;) {
+      if (!stage_run_segs_[r]) {
+        const std::uint32_t b = stage_runs_[r];
+        const std::uint32_t e = r + 1 < stage_runs_.size()
+                                    ? stage_runs_[r + 1]
+                                    : static_cast<std::uint32_t>(stage_.size());
+        stage_run_segs_[r] = snap::make_segment(
+            std::vector<TItem>(stage_.begin() + b, stage_.begin() + e),
+            /*id=*/0,
+            stage_base_ + static_cast<std::uint64_t>(b) * sizeof(TItem),
+            mutation_epoch_);
+      }
+      data->segs.push_back(stage_run_segs_[r]);
+    }
+    for (const Level& lv : levels_) {
+      for (std::size_t j = lv.segs.size(); j-- > 0;) {
+        data->segs.push_back(lv.segs[j]);
+      }
+    }
+    return data;
+  }
+
   /// Visit live entries with lo_key <= key <= hi_key ascending; newest value
   /// wins, tombstoned keys are skipped. One code path with the cursor API:
   /// a bounded seek over a one-shot internal snapshot on the
@@ -460,6 +504,7 @@ class Gcola {
       stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
       stage_run_min_.push_back(run.front().key);
       stage_run_max_.push_back(run.back().key);
+      stage_run_segs_.emplace_back();
       append_widened(run.data(), run.data() + run.size(), stage_);
       mm_.touch_write(stage_base_ + (stage_.size() - run.size()) * sizeof(TItem),
                       run.size() * sizeof(TItem));
@@ -603,6 +648,7 @@ class Gcola {
     stage_runs_.clear();
     stage_run_min_.clear();
     stage_run_max_.clear();
+    stage_run_segs_.clear();
   }
 
   /// Build from entries sorted ascending by strictly increasing key,
@@ -616,6 +662,7 @@ class Gcola {
     stage_runs_.clear();
     stage_run_min_.clear();
     stage_run_max_.clear();
+    stage_run_segs_.clear();
     next_base_ = 0;
     stage_base_set_ = false;
     bottom_relocated_ = false;
@@ -757,12 +804,21 @@ class Gcola {
           stage_run_max_.size() != stage_runs_.size()) {
         throw std::logic_error("cola: staging run fences out of step");
       }
+      if (stage_run_segs_.size() != stage_runs_.size()) {
+        throw std::logic_error("cola: staging run mirrors out of step");
+      }
       for (std::size_t r = 0; r < stage_runs_.size(); ++r) {
         const std::uint32_t b = stage_runs_[r];
         const std::uint32_t e = r + 1 < stage_runs_.size()
                                     ? stage_runs_[r + 1]
                                     : static_cast<std::uint32_t>(stage_.size());
         if (b >= e) throw std::logic_error("cola: empty staging run");
+        if (stage_run_segs_[r] != nullptr &&
+            (stage_run_segs_[r]->items.size() != e - b ||
+             stage_run_segs_[r]->items.front().key < stage_[b].key ||
+             stage_[b].key < stage_run_segs_[r]->items.front().key)) {
+          throw std::logic_error("cola: staging run mirror stale");
+        }
         for (std::uint32_t i = b + 1; i < e; ++i) {
           if (!(stage_[i - 1].key < stage_[i].key)) {
             throw std::logic_error("cola: staging run unsorted");
@@ -1227,6 +1283,10 @@ class Gcola {
       stage_runs_.pop_back();
       stage_run_min_.pop_back();
       stage_run_max_.pop_back();
+      // The merge rewrote the surviving run in place: drop both mirrors so
+      // the next publish_view() re-mints exactly this run.
+      stage_run_segs_.pop_back();
+      stage_run_segs_.back().reset();
       // The merged run's fences span both inputs; read them off the data.
       stage_run_min_.back() = stage_[b1].key;
       stage_run_max_.back() = stage_.back().key;
@@ -1308,6 +1368,7 @@ class Gcola {
       stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
       stage_run_min_.push_back(run.front().key);
       stage_run_max_.push_back(run.back().key);
+      stage_run_segs_.emplace_back();
       stage_.insert(stage_.end(), run.begin(), run.end());
       mm_.touch_write(stage_base_ + (stage_.size() - run.size()) * sizeof(TItem),
                       run.size() * sizeof(TItem));
@@ -1547,6 +1608,7 @@ class Gcola {
       stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
       stage_run_min_.push_back(key);
       stage_run_max_.push_back(key);
+      stage_run_segs_.emplace_back();
       stage_.push_back(s);
       mm_.touch_write(stage_base_ + (stage_.size() - 1) * sizeof(TItem), sizeof(TItem));
       counter_merge_stage_tail();
@@ -2176,6 +2238,13 @@ class Gcola {
   // Per-run fence keys (parallel to stage_runs_): min/max key of each run,
   // O(1) to maintain, used by find and the cursors to skip runs.
   std::vector<K> stage_run_min_, stage_run_max_;
+  // Lazily minted immutable mirrors of the staging runs (parallel to
+  // stage_runs_; nullptr = not minted yet). publish_view() fills the gaps
+  // and reuses minted mirrors across republishes: appends only add new
+  // runs, and the binary-counter tail merge invalidates exactly the runs
+  // it rewrites — so a republish costs O(new data), not an arena sort.
+  // Mutable: minting happens inside const publish_view().
+  mutable std::vector<snap::SegmentRef<K, V>> stage_run_segs_;
   // Tiered cascade scratch: incoming run spans (prepared by callers of
   // cascade_run_tiered), gathered source spans, run boundaries, fold
   // buffers, and the singleton/unstaged run.

@@ -114,6 +114,16 @@ inline double sharded_insert_transfer_bound(double n, double shards,
 /// exactly ONE shard (a key lives in exactly one range partition), so the
 /// cost is the per-structure search bound at N/S scale — sharding never
 /// multiplies point-read cost, it divides the N each probe sees.
+///
+/// There is NO drain term: the facade's find() is barrier-free (it never
+/// waits out the target shard's queue before probing), so a point read
+/// pays structural transfers only. Those transfers are realized on the
+/// shard-owner side — the facade searches the worker-PUBLISHED immutable
+/// view plus the acknowledged-pending overlay, both in-memory mirrors the
+/// DAM model charges nothing for, while the worker's own leveled searches
+/// (d.shard(s).find(k), which transfer_bounds_test measures) pay exactly
+/// this bound. Staged elements are covered by the published per-staging-run
+/// segments, the `staged_elems` term of the underlying COLA bound.
 inline double sharded_search_transfer_bound(double n, double shards,
                                             double growth, double block_elems,
                                             double staged_elems = 0.0,

@@ -21,30 +21,54 @@
 //     shadowing inside a batch are resolved by the facade's normalization
 //     pass before the scatter, exactly like every structure's own batch
 //     path.
-//   * find() is drain-barrier consistent: it waits for its one target
-//     shard's queue to empty (other shards keep ingesting) and probes the
-//     shard structure directly — the completed-jobs counter carries the
-//     release/acquire edge, so no reader ever observes a half-applied run.
+//   * find() is BARRIER-FREE and linearizable: it never drains, never
+//     blocks on writers, and never touches a live shard structure. The
+//     read path (see "Optimistic reads" below) combines the facade's
+//     acknowledged-pending overlay with the shard worker's published
+//     immutable view, so a find always reflects every mutation whose
+//     facade call returned before the find began — reads-your-acknowledged
+//     -writes — and may additionally reflect queued runs the worker has
+//     applied since.
 //   * Ordered reads are SNAPSHOT consistent: snapshot() drains all shards
-//     once, pins each shard's own snapshot, and fuses them by segment-
-//     reference concatenation (common/cursor_fusion.hpp::fuse_snapshots —
-//     shards are key-disjoint, so concatenation preserves newest-first
-//     priority). Cursors, range scans, and merge joins read that frozen,
-//     ref-counted view; the snapshot handle itself is free-threaded.
-//   * The facade itself is single-caller (one external thread drives it,
-//     like every other structure here); the concurrency is INTERNAL. The
-//     worker threads are the paper's "stream" of deferred work made
-//     physical.
+//     once, pins each shard's worker-published view, and fuses them by
+//     segment-reference concatenation (common/cursor_fusion.hpp::
+//     fuse_snapshots — shards are key-disjoint, so concatenation preserves
+//     newest-first priority). Cursors, range scans, and merge joins read
+//     that frozen, ref-counted view; the snapshot handle itself is
+//     free-threaded.
+//   * Concurrency contract: MUTATORS (insert/erase/*_batch/flush_stage)
+//     plus shard_mut() and bulk-state probes (shard(), check_invariants())
+//     are single-caller — one external owner thread drives them. The const
+//     READ paths — find(), snapshot(), make_cursor() + seeks, for_each,
+//     range_for_each, stats(), epoch(), drain() — are safe from ANY number
+//     of threads concurrently with the owner's mutations. Moves require
+//     external synchronization (no concurrent calls on either object).
+//
+// Optimistic reads (the seqlock-shaped core, ROADMAP "Barrier-free point
+// reads"): after EVERY applied job, a shard's worker republishes the
+// shard's contents as an immutable ref-counted view (snap::publish_view —
+// per-staging-run segments make this O(newly appended data) on the tiered
+// Gcola) together with the count of jobs it has applied, then bumps the
+// shard's publication sequence. The facade, on every submit, republishes
+// the shard's ACKNOWLEDGED-PENDING overlay: immutable copies of the runs
+// it has handed to the ring that the published view may not cover yet.
+// A find loads the sequence, the overlay, then the view (that load order
+// matters: the overlay is pruned against a view the facade observed
+// EARLIER, so read-read coherence on the view pointer guarantees the
+// reader's view covers everything pruned from the reader's overlay — no
+// coverage gap), probes overlay runs newest-first and then the view, and
+// re-checks the sequence — retrying on change, bounded: every published
+// view is individually consistent, so the re-check buys freshness, never
+// safety, and a hot writer cannot livelock a reader. No drain, no wait:
+// ShardedStats::drains stays untouched by find (asserted by
+// tests/linearizability_test.cpp, which hammers this path with reader
+// storms against writer storms and checks every observation against the
+// acknowledged-write envelope).
 //
 // Cursors: a sharded cursor seeks against the facade's current snapshot
 // and then STAYS VALID across arbitrary mutations — the segments it reads
 // are pinned by refcount, so a fold retiring them from a live shard cannot
-// pull them out from under the scan (contract in api/dictionary.hpp). This
-// replaces the old epoch-invalidation protocol, which carried a real race:
-// a seek stamped the facade epoch, then read live shard structures, and a
-// mutation landing between the stamp and the read could fold a level the
-// fused cursor was standing on. With snapshot pinning there is no window —
-// the seek reads only immutable data it co-owns.
+// pull them out from under the scan (contract in api/dictionary.hpp).
 //
 // Splitters: partition boundaries are fixed for the life of the structure
 // (a key must map to the same shard forever). Three sources, first match
@@ -55,6 +79,9 @@
 //      run's S-quantiles — one pass, no extra sort;
 //   3. fixed-width key-prefix defaults: the unsigned key space divided into
 //      S equal ranges (the top log2(S) bits of the key select the shard).
+// Readers gate on `routes_ready_`: until the first mutation freezes the
+// splitters, find() answers nullopt — the only linearizable answer, since
+// nothing has been acknowledged yet.
 #pragma once
 
 #include <algorithm>
@@ -65,6 +92,7 @@
 #include <exception>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <semaphore>
 #include <stdexcept>
@@ -87,14 +115,59 @@ struct ShardedConfig {
   std::size_t learn_sample_min = 64;  // min first-batch size to learn splitters
   std::vector<K> splitters;        // explicit boundaries (size shards - 1);
                                    // empty = learn from sample / defaults
+  // TEST-ONLY planted bug (tests/linearizability_test.cpp self-test): skip
+  // the acknowledged-pending overlay on the read path, so a find can miss
+  // writes whose facade call already returned — exactly the freshness bug
+  // the hammer's oracle must catch. Never set outside that self-test.
+  bool unsafe_skip_pending_overlay = false;
 };
 
+/// Facade-level counters, all safe to read from any thread (stats() takes
+/// a relaxed atomic photograph). `drains` counts read BARRIERS — snapshot
+/// acquisition and direct shard access still drain; find() never does
+/// (the linearizability hammer asserts the delta is zero across a pure
+/// find storm). `finds`/`find_retries` count barrier-free point reads and
+/// how many re-validated against a mid-read republish.
 struct ShardedStats {
   std::uint64_t jobs = 0;      // runs handed to workers
   std::uint64_t batches = 0;   // facade-level batch calls
   std::uint64_t singles = 0;   // facade-level single-op calls
   std::uint64_t drains = 0;    // read barriers (whole-facade or one-shard)
   std::uint64_t learned_splitters = 0;  // 1 if quantile learning fired
+  std::uint64_t finds = 0;         // barrier-free point reads served
+  std::uint64_t find_retries = 0;  // sequence re-checks that looped
+};
+
+/// A published shared_ptr slot readable from any thread while one thread
+/// republishes. libstdc++'s std::atomic<std::shared_ptr> guards its raw
+/// pointer with a lock bit whose reader-side unlock is relaxed (GCC 12,
+/// bits/shared_ptr_atomic.h), so ThreadSanitizer flags reader loads
+/// racing writer stores; a plain mutex held only for the refcount bump
+/// gives the ordering the optimistic-read protocol needs (per-slot
+/// coherence plus acquire/release on every load/store) and stays
+/// TSan-clean. The lock is never held while a job applies, so readers
+/// still never wait on writers.
+template <class T>
+class PublishedSlot {
+ public:
+  std::shared_ptr<T> load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return p_;
+  }
+  void store(std::shared_ptr<T> v) {
+    // Swap under the lock, release the old value outside it: the previous
+    // view may be the last reference to a deep segment list.
+    std::shared_ptr<T> old;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      old.swap(p_);
+      p_ = std::move(v);
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<T> p_;
 };
 
 template <class Inner, class K = Key, class V = Value>
@@ -128,24 +201,83 @@ class ShardedDictionary {
       shards_.push_back(
           std::make_unique<Shard>(make_inner(s), cfg_.queue_slots));
     }
+    // With one shard every key routes to index 0 splitter-free; with
+    // explicit splitters the routes are fixed at construction. Otherwise
+    // readers wait for the first mutation to freeze them.
+    routes_ready_.store(frozen_ || cfg_.shards == 1,
+                        std::memory_order_release);
   }
 
   explicit ShardedDictionary(ShardedConfig<K> cfg = ShardedConfig<K>{})
     requires std::default_initializable<Inner>
       : ShardedDictionary(std::move(cfg), [](std::size_t) { return Inner{}; }) {}
 
-  ShardedDictionary(ShardedDictionary&&) noexcept = default;
-  ShardedDictionary& operator=(ShardedDictionary&&) noexcept = default;
+  // Moves require external synchronization (atomics transfer by value; the
+  // worker threads and their published views ride along inside shards_).
+  ShardedDictionary(ShardedDictionary&& o) noexcept
+      : cfg_(std::move(o.cfg_)),
+        splitters_(std::move(o.splitters_)),
+        frozen_(o.frozen_),
+        shards_(std::move(o.shards_)),
+        norm_(std::move(o.norm_)),
+        norm_scratch_(std::move(o.norm_scratch_)),
+        snap_cache_(std::move(o.snap_cache_)),
+        snap_epoch_(o.snap_epoch_),
+        snap_parts_(std::move(o.snap_parts_)) {
+    routes_ready_.store(o.routes_ready_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    epoch_.store(o.epoch_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    stats_.copy_from(o.stats_);
+  }
+
+  ShardedDictionary& operator=(ShardedDictionary&& o) noexcept {
+    if (this == &o) return *this;
+    shards_.clear();  // join this object's workers before adopting o's
+    cfg_ = std::move(o.cfg_);
+    splitters_ = std::move(o.splitters_);
+    frozen_ = o.frozen_;
+    shards_ = std::move(o.shards_);
+    norm_ = std::move(o.norm_);
+    norm_scratch_ = std::move(o.norm_scratch_);
+    snap_cache_ = std::move(o.snap_cache_);
+    snap_epoch_ = o.snap_epoch_;
+    snap_parts_ = std::move(o.snap_parts_);
+    routes_ready_.store(o.routes_ready_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    epoch_.store(o.epoch_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    stats_.copy_from(o.stats_);
+    return *this;
+  }
 
   // -- observers --------------------------------------------------------------
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
   const std::vector<K>& splitters() const noexcept { return splitters_; }
-  const ShardedStats& stats() const noexcept { return stats_; }
-  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Relaxed atomic photograph of the facade counters (any thread).
+  ShardedStats stats() const noexcept {
+    ShardedStats s;
+    s.jobs = stats_.jobs.load(std::memory_order_relaxed);
+    s.batches = stats_.batches.load(std::memory_order_relaxed);
+    s.singles = stats_.singles.load(std::memory_order_relaxed);
+    s.drains = stats_.drains.load(std::memory_order_relaxed);
+    s.learned_splitters =
+        stats_.learned_splitters.load(std::memory_order_relaxed);
+    s.finds = stats_.finds.load(std::memory_order_relaxed);
+    s.find_retries = stats_.find_retries.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
   /// Direct access to one shard's structure, behind that shard's drain
   /// barrier (tests and benches read per-shard stats/DAM models this way).
+  /// Owner-thread only: the returned reference bypasses the published
+  /// views the concurrent read paths are built on.
   const Inner& shard(std::size_t s) const {
     drain_shard(*shards_[s]);
     return shards_[s]->dict;
@@ -154,14 +286,16 @@ class ShardedDictionary {
   /// Mutable access to one shard's structure, behind its drain barrier.
   /// For tests/benches resetting DAM models or stats ONLY — mutating shard
   /// CONTENTS from the caller thread would break the single-writer
-  /// invariant the facade is built on.
+  /// invariant the facade is built on. Owner-thread only.
   Inner& shard_mut(std::size_t s) {
     drain_shard(*shards_[s]);
     return shards_[s]->dict;
   }
 
-  /// Block until every queued run has been applied (reads do this lazily;
-  /// benches call it to put the full ingest cost inside the timed region).
+  /// Block until every queued run has been applied (ordered reads do this
+  /// lazily; benches call it to put the full ingest cost inside the timed
+  /// region). Safe from any thread; under a live writer it waits for the
+  /// momentary queue-empty point, it does not stop the writer.
   void drain() const { drain_all(); }
 
   // -- mutators (Dictionary contract, api/dictionary.hpp) ---------------------
@@ -213,47 +347,104 @@ class ShardedDictionary {
       Job* job = sh->ring.begin_push();
       job->kind = Job::Kind::kFlush;
       sh->ring.commit_push();
-      ++sh->submitted;
-      ++stats_.jobs;
+      sh->submitted.fetch_add(1, std::memory_order_release);
+      stats_.jobs.fetch_add(1, std::memory_order_relaxed);
       sh->items.release();
     }
-    ++epoch_;
+    epoch_.fetch_add(1, std::memory_order_release);
     drain_all();
   }
 
   // -- readers ----------------------------------------------------------------
 
+  /// Barrier-free linearizable point lookup (any thread, never blocks on
+  /// writers, zero drains — header comment "Optimistic reads" has the full
+  /// protocol and the coverage proof). Probes the acknowledged-pending
+  /// overlay newest-first, then the worker-published immutable view, and
+  /// re-validates against the shard's publication sequence with bounded
+  /// retries: every view is self-consistent, so the loop bound caps
+  /// latency without risking a torn read.
   std::optional<V> find(const K& k) const {
+    throw_if_failed();
+    if (!routes_ready_.load(std::memory_order_acquire)) {
+      // Nothing has ever been acknowledged (the first mutation freezes the
+      // routes), so absent is the only linearizable answer.
+      return std::nullopt;
+    }
     const Shard& sh = *shards_[shard_of(k)];
-    drain_shard(sh);
-    return sh.dict.find(k);
+    stats_.finds.fetch_add(1, std::memory_order_relaxed);
+    for (int attempt = 0;; ++attempt) {
+      const std::uint64_t seq0 = sh.pub_seq.load(std::memory_order_acquire);
+      // Overlay BEFORE view: the facade prunes the overlay against a view
+      // it loaded before publishing, so loading in this order guarantees
+      // (read-read coherence on pub_view) that our view covers every run
+      // pruned from our overlay.
+      const std::shared_ptr<const PendingList> pend =
+          sh.pending.load();
+      const std::shared_ptr<const ShardView> view =
+          sh.pub_view.load();
+      const std::uint64_t applied = view != nullptr ? view->jobs_applied : 0;
+      std::optional<V> out;
+      bool hit = false;
+      if (pend != nullptr && !cfg_.unsafe_skip_pending_overlay) {
+        for (std::size_t i = pend->runs.size(); i-- > 0;) {
+          const PendingRun& r = pend->runs[i];
+          if (r.job <= applied) break;  // older runs are all in the view
+          if (const Op<K, V>* op = r.lookup(k)) {
+            hit = true;
+            if (!op->erase) out = op->value;
+            break;
+          }
+        }
+      }
+      if (!hit && view != nullptr) {
+        out = snap::Snapshot<K, V>(view->data).find(k);
+      }
+      if (sh.pub_seq.load(std::memory_order_acquire) == seq0 ||
+          attempt >= kFindRetries) {
+        return out;
+      }
+      stats_.find_retries.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   /// Point-in-time snapshot of the whole facade (contract in
-  /// api/dictionary.hpp): drain every shard once, pin each shard's own
-  /// snapshot, and fuse them by segment-reference concatenation — the
-  /// shards partition the keyspace, so each shard's newest-first order is
-  /// the only priority the merged cursor needs. Cached per facade epoch;
-  /// the handle is free-threaded and survives arbitrary mutations.
+  /// api/dictionary.hpp): drain every shard once, pin each shard's
+  /// worker-published view, and fuse them by segment-reference
+  /// concatenation — the shards partition the keyspace, so each shard's
+  /// newest-first order is the only priority the merged cursor needs.
+  /// Cached per facade epoch behind a mutex, so any number of threads may
+  /// acquire concurrently with the owner's mutations; a snapshot taken
+  /// from the owner thread is an exact cut, one taken mid-mutation from
+  /// another thread reflects, per shard, all acknowledged writes plus
+  /// possibly some just-applied ones. The handle is free-threaded and
+  /// survives arbitrary mutations.
   snap::Snapshot<K, V> snapshot() const {
     throw_if_failed();
     drain_all();
-    if (snap_cache_ && snap_epoch_ == epoch_) return snap_cache_;
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    if (snap_cache_ && snap_epoch_ == e) return snap_cache_;
     snap_parts_.clear();
     snap_parts_.reserve(shards_.size());
-    for (const auto& sh : shards_) snap_parts_.push_back(sh->dict.snapshot());
-    snap_cache_ = fuse_snapshots(snap_parts_, epoch_);
+    for (const auto& sh : shards_) {
+      const std::shared_ptr<const ShardView> view =
+          sh->pub_view.load();
+      snap_parts_.push_back(view != nullptr
+                                ? snap::Snapshot<K, V>(view->data)
+                                : snap::Snapshot<K, V>());
+    }
+    snap_cache_ = fuse_snapshots(snap_parts_, e);
     snap_parts_.clear();  // the fused snapshot co-owns the segments
-    snap_epoch_ = epoch_;
+    snap_epoch_ = e;
     return snap_cache_;
   }
 
   /// Resumable ordered cursor over the union of all shards (Dictionary
   /// cursor contract): every seek pins the facade's then-current snapshot,
   /// so the position and the remainder of the stream stay valid across
-  /// arbitrary mutations — the old epoch-invalidation protocol (and its
-  /// stamp-then-read race against the shard workers) is gone. Re-seek to
-  /// observe newer data.
+  /// arbitrary mutations. Re-seek to observe newer data. The cursor object
+  /// is single-threaded; distinct threads use distinct cursors.
   class Cursor {
    public:
     Cursor() = default;
@@ -293,25 +484,31 @@ class ShardedDictionary {
 
   Cursor make_cursor() const { return Cursor(this); }
 
+  /// Ordered scans (any thread): each call walks its own cursor over the
+  /// facade snapshot — a few allocations per call, in exchange for scans
+  /// that never share mutable state across threads.
   template <class Fn>
   void range_for_each(const K& lo, const K& hi, Fn&& fn) const {
     if (hi < lo) return;
-    scan_cur_.attach(snapshot().data());
-    for (scan_cur_.seek(lo, hi); scan_cur_.valid(); scan_cur_.next()) {
-      fn(scan_cur_.entry().key, scan_cur_.entry().value);
+    snap::SnapshotCursor<K, V> cur;
+    cur.attach(snapshot().data());
+    for (cur.seek(lo, hi); cur.valid(); cur.next()) {
+      fn(cur.entry().key, cur.entry().value);
     }
   }
 
   template <class Fn>
   void for_each(Fn&& fn) const {
-    scan_cur_.attach(snapshot().data());
-    for (scan_cur_.seek_first(); scan_cur_.valid(); scan_cur_.next()) {
-      fn(scan_cur_.entry().key, scan_cur_.entry().value);
+    snap::SnapshotCursor<K, V> cur;
+    cur.attach(snapshot().data());
+    for (cur.seek_first(); cur.valid(); cur.next()) {
+      fn(cur.entry().key, cur.entry().value);
     }
   }
 
   /// Per-shard inner invariants plus the routing invariant: every key a
-  /// shard holds lies inside that shard's splitter range.
+  /// shard holds lies inside that shard's splitter range. Owner-thread
+  /// only (walks the live inner structures behind the drain barrier).
   void check_invariants() const {
     drain_all();
     for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -342,12 +539,56 @@ class ShardedDictionary {
     std::vector<Op<K, V>> ops;
   };
 
-  /// A shard: the structure, its inbox, and the worker thread that is the
-  /// structure's only writer. Heap-allocated (stable address) so the facade
-  /// stays movable while workers hold `this` pointers into their shard.
+  /// What a shard worker publishes after every applied job: the shard's
+  /// contents as an immutable segment view plus how many jobs it covers.
+  /// Readers co-own it via atomic shared_ptr — a republish can never pull
+  /// a view out from under a reader mid-probe.
+  struct ShardView {
+    std::shared_ptr<const snap::SnapshotData<K, V>> data;
+    std::uint64_t jobs_applied = 0;
+  };
+
+  /// One acknowledged run the published view may not cover yet: either a
+  /// single op or an immutable copy of a normalized batch cut. `job` is the
+  /// shard's 1-based submission index, the coordinate the view's
+  /// jobs_applied is pruned and filtered against.
+  struct PendingRun {
+    std::uint64_t job = 0;
+    Op<K, V> one{};  // payload when run == nullptr
+    std::shared_ptr<const std::vector<Op<K, V>>> run;
+
+    /// The run's op for `k`, or nullptr. Runs are normalized (sorted,
+    /// unique keys), so this is a binary search.
+    const Op<K, V>* lookup(const K& k) const {
+      if (run == nullptr) {
+        return !(one.key < k) && !(k < one.key) ? &one : nullptr;
+      }
+      const auto it = std::lower_bound(
+          run->begin(), run->end(), k,
+          [](const Op<K, V>& o, const K& key) { return o.key < key; });
+      return it != run->end() && !(k < it->key) ? &*it : nullptr;
+    }
+  };
+
+  /// The facade's acknowledged-pending overlay for one shard: every run
+  /// handed to the ring whose coverage by the published view the facade
+  /// had not yet observed at publish time, job index ascending. Immutable
+  /// once stored; the facade replaces the whole list on each submit.
+  struct PendingList {
+    std::vector<PendingRun> runs;
+  };
+
+  /// A shard: the structure, its inbox, the worker thread that is the
+  /// structure's only writer, and the publication state the barrier-free
+  /// readers consume. Heap-allocated (stable address) so the facade stays
+  /// movable while workers hold `this` pointers into their shard.
   struct Shard {
     Shard(Inner d, std::size_t ring_slots)
         : dict(std::move(d)), ring(ring_slots) {
+      // Initial publication happens on the CONSTRUCTING thread — it owns
+      // the inner until the worker exists — so factory-preloaded contents
+      // are visible to barrier-free readers from the first instant.
+      publish(0);
       worker = std::thread([this] { run(); });
     }
 
@@ -358,6 +599,7 @@ class ShardedDictionary {
     }
 
     void run() {
+      std::uint64_t applied = 0;
       for (;;) {
         items.acquire();
         Job* job = ring.peek();
@@ -369,7 +611,9 @@ class ShardedDictionary {
         // std::terminate) and must not wedge the drain barrier: the job is
         // popped and counted NO MATTER WHAT, the first exception is kept,
         // and once failed the worker drains its queue without applying —
-        // the facade rethrows on its next call (throw_if_failed).
+        // the facade rethrows on its next call (throw_if_failed). A failed
+        // shard also stops republishing, freezing its view at the last
+        // good state (reads rethrow before they could see it).
         if (!failed.load(std::memory_order_relaxed)) {
           try {
             if (job->kind == Job::Kind::kApply) {
@@ -379,15 +623,29 @@ class ShardedDictionary {
                 dict.flush_stage();
               }
             }
+            publish(applied + 1);
           } catch (...) {
             error = std::current_exception();
             failed.store(true, std::memory_order_release);
           }
         }
+        ++applied;
         job->ops.clear();  // keep capacity: it circulates back to the producer
         ring.pop();
         completed.fetch_add(1, std::memory_order_release);
       }
+    }
+
+    /// Republish this shard's immutable view covering `applied_jobs` jobs,
+    /// then bump the sequence readers validate against. Publish-before-
+    /// completed ordering lets drainers trust the view they load after
+    /// observing completed == submitted.
+    void publish(std::uint64_t applied_jobs) {
+      auto v = std::make_shared<ShardView>();
+      v->data = snap::publish_view<K, V>(dict);
+      v->jobs_applied = applied_jobs;
+      pub_view.store(std::move(v));
+      pub_seq.fetch_add(1, std::memory_order_release);
     }
 
     Inner dict;
@@ -395,7 +653,13 @@ class ShardedDictionary {
     std::counting_semaphore<(1 << 30)> items{0};
     std::atomic<bool> stop{false};
     std::atomic<std::uint64_t> completed{0};
-    std::uint64_t submitted = 0;  // facade-thread-only
+    std::atomic<std::uint64_t> submitted{0};  // written by the owner thread
+    // Publication state (header comment "Optimistic reads"): the worker's
+    // immutable view + sequence, and the facade's acknowledged-pending
+    // overlay. All three are read by any number of reader threads.
+    std::atomic<std::uint64_t> pub_seq{0};
+    PublishedSlot<const ShardView> pub_view;
+    PublishedSlot<const PendingList> pending;
     // First exception the worker caught; `failed` publishes it (the store
     // is release, the facade's load acquire, so the exception_ptr write
     // happens-before any rethrow).
@@ -422,32 +686,65 @@ class ShardedDictionary {
         splitters_.begin());
   }
 
+  /// Replace `sh`'s acknowledged-pending overlay: keep the previous runs
+  /// the published view still does not cover, append the new one. Loading
+  /// the view BEFORE storing the overlay is what the readers' overlay-then-
+  /// view load order pairs with (coverage proof in the header comment).
+  void publish_pending(Shard& sh, PendingRun&& r) {
+    const std::shared_ptr<const ShardView> view =
+        sh.pub_view.load();
+    const std::uint64_t applied = view != nullptr ? view->jobs_applied : 0;
+    const std::shared_ptr<const PendingList> prev =
+        sh.pending.load();  // facade is the sole writer of this slot
+    auto next = std::make_shared<PendingList>();
+    if (prev != nullptr) {
+      next->runs.reserve(prev->runs.size() + 1);
+      for (const PendingRun& pr : prev->runs) {
+        if (pr.job > applied) next->runs.push_back(pr);
+      }
+    }
+    next->runs.push_back(std::move(r));
+    sh.pending.store(std::move(next));
+  }
+
   void single(const Op<K, V>& o) {
     throw_if_failed();
     if (!frozen_) {
       frozen_ = true;
       if (splitters_.empty()) default_splitters();
+      routes_ready_.store(true, std::memory_order_release);
     }
     Shard& sh = *shards_[shard_of(o.key)];
     Job* job = sh.ring.begin_push();
     job->kind = Job::Kind::kApply;
     job->ops.push_back(o);
     sh.ring.commit_push();
-    ++sh.submitted;
-    ++stats_.jobs;
-    ++stats_.singles;
+    const std::uint64_t id =
+        sh.submitted.fetch_add(1, std::memory_order_release) + 1;
+    stats_.jobs.fetch_add(1, std::memory_order_relaxed);
+    stats_.singles.fetch_add(1, std::memory_order_relaxed);
     sh.items.release();
-    ++epoch_;
+    PendingRun pr;
+    pr.job = id;
+    pr.one = o;
+    publish_pending(sh, std::move(pr));
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 
   /// Normalize norm_ once (sort + newest-wins dedup, the shared batch
   /// discipline), learn splitters if this is the first mutation, then cut
   /// the sorted run into per-shard contiguous subranges — no per-element
-  /// scatter copies, just S-1 binary searches over the run.
+  /// scatter copies, just S-1 binary searches over the run. Each cut is
+  /// also published (as an immutable copy) into its shard's acknowledged-
+  /// pending overlay before this call returns: that copy IS the
+  /// acknowledgment barrier-free readers read.
   void apply_normalized() {
     throw_if_failed();
     sort_dedup_newest_wins(norm_, norm_scratch_);
-    if (!frozen_) freeze_from(norm_);
+    if (!frozen_) {
+      freeze_from(norm_);
+      routes_ready_.store(true, std::memory_order_release);
+    }
     const Op<K, V>* at = norm_.data();
     const Op<K, V>* end = at + norm_.size();
     for (std::size_t s = 0; s < shards_.size() && at != end; ++s) {
@@ -464,14 +761,19 @@ class ShardedDictionary {
         job->kind = Job::Kind::kApply;
         job->ops.assign(at, hi);
         sh.ring.commit_push();
-        ++sh.submitted;
-        ++stats_.jobs;
+        const std::uint64_t id =
+            sh.submitted.fetch_add(1, std::memory_order_release) + 1;
+        stats_.jobs.fetch_add(1, std::memory_order_relaxed);
         sh.items.release();
+        PendingRun pr;
+        pr.job = id;
+        pr.run = std::make_shared<const std::vector<Op<K, V>>>(at, hi);
+        publish_pending(sh, std::move(pr));
       }
       at = hi;
     }
-    ++stats_.batches;
-    ++epoch_;
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 
   void freeze_from(const std::vector<Op<K, V>>& run) {
@@ -485,7 +787,7 @@ class ShardedDictionary {
       for (std::size_t i = 0; i + 1 < S; ++i) {
         splitters_.push_back(run[(i + 1) * run.size() / S].key);
       }
-      ++stats_.learned_splitters;
+      stats_.learned_splitters.fetch_add(1, std::memory_order_relaxed);
     } else {
       default_splitters();
     }
@@ -508,9 +810,13 @@ class ShardedDictionary {
 
   void drain_shard(const Shard& sh) const {
     throw_if_failed();
-    if (sh.completed.load(std::memory_order_acquire) == sh.submitted) return;
-    ++stats_.drains;
-    while (sh.completed.load(std::memory_order_acquire) != sh.submitted) {
+    if (sh.completed.load(std::memory_order_acquire) ==
+        sh.submitted.load(std::memory_order_acquire)) {
+      return;
+    }
+    stats_.drains.fetch_add(1, std::memory_order_relaxed);
+    while (sh.completed.load(std::memory_order_acquire) !=
+           sh.submitted.load(std::memory_order_acquire)) {
       std::this_thread::yield();
     }
   }
@@ -519,19 +825,50 @@ class ShardedDictionary {
     for (const auto& sh : shards_) drain_shard(*sh);
   }
 
+  /// Internal counters: atomics so const read paths can bump them from any
+  /// thread (ShardedStats is the plain photograph stats() returns).
+  struct AtomicShardedStats {
+    std::atomic<std::uint64_t> jobs{0}, batches{0}, singles{0}, drains{0},
+        learned_splitters{0}, finds{0}, find_retries{0};
+    void copy_from(const AtomicShardedStats& o) noexcept {
+      jobs.store(o.jobs.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+      batches.store(o.batches.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      singles.store(o.singles.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      drains.store(o.drains.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      learned_splitters.store(
+          o.learned_splitters.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      finds.store(o.finds.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      find_retries.store(o.find_retries.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+  };
+
+  /// Bounded optimistic retries: the re-check buys freshness, not safety
+  /// (every published view is individually consistent), so a small cap
+  /// keeps find wait-free under a republishing storm.
+  static constexpr int kFindRetries = 3;
+
   ShardedConfig<K> cfg_;
   std::vector<K> splitters_;
-  bool frozen_ = false;
+  bool frozen_ = false;  // owner-thread routing state; readers gate on
+  std::atomic<bool> routes_ready_{false};  // ...this release-published flag
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::uint64_t epoch_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};
   std::vector<Op<K, V>> norm_, norm_scratch_;  // batch normalization scratch
-  // Snapshot cache (one fusion per facade epoch) + fusion scratch.
+  // Snapshot cache (one fusion per facade epoch) + fusion scratch, guarded:
+  // concurrent acquirers serialize on snap_mu_, the handle they get back is
+  // free-threaded.
+  mutable std::mutex snap_mu_;
   mutable snap::Snapshot<K, V> snap_cache_;
   mutable std::uint64_t snap_epoch_ = 0;
   mutable std::vector<snap::Snapshot<K, V>> snap_parts_;
-  // Dictionary-owned scan cursor backing range_for_each/for_each.
-  mutable snap::SnapshotCursor<K, V> scan_cur_;
-  mutable ShardedStats stats_;
+  mutable AtomicShardedStats stats_;
 };
 
 }  // namespace costream::shard

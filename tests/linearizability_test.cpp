@@ -1,0 +1,417 @@
+// Linearizability hammer for the barrier-free sharded find() path.
+//
+// R reader threads storm find() against a single writer thread (the facade
+// is single-owner for mutations) and check every observation against the
+// linearizability envelope of acknowledged batches:
+//
+//   * per logical key the writer maintains two atomic version counters,
+//     `issued` (stored BEFORE the mutating call) and `acked` (stored AFTER
+//     the call returns);
+//   * a reader records a = acked[k] before find() and i = issued[k] after;
+//     an observed value decodes to a version w which must satisfy
+//     a <= w <= i and must not be an erase version;
+//   * nullopt is legal only if a == 0 (never written) or some version in
+//     [a, i] is an erase — absence must never follow an acknowledged,
+//     un-erased put.
+//
+// Values encode (key, version) so the oracle needs no shared write log:
+// whether version w of key k is an erase is a pure function of (k, w) both
+// threads compute independently. Seeded schedules scale via the
+// LIN_HAMMER_SEEDS env var (CI runs a 32-seed corpus); LIN_HAMMER_FINDS
+// overrides the total find budget. A planted-bug self-test constructs the
+// facade with ShardedConfig::unsafe_skip_pending_overlay and proves the
+// oracle bites (acked-but-unapplied writes go missing and are caught).
+//
+// The hammer also asserts find() performs ZERO drain barriers: the
+// ShardedStats::drains delta across the storm must be exactly zero.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cola/cola.hpp"
+#include "common/rng.hpp"
+#include "common/span.hpp"
+#include "shard/sharded_dictionary.hpp"
+
+namespace costream {
+namespace {
+
+using shard::ShardedConfig;
+using shard::ShardedDictionary;
+
+constexpr std::size_t kKeys = 512;
+
+/// Logical key index -> physical key, spread so even splitters route
+/// uniformly across shards.
+Key phys(std::uint64_t li) { return li; }
+
+Value encode(std::uint64_t li, std::uint32_t ver) {
+  return (li << 32) | static_cast<Value>(ver);
+}
+
+/// Deterministic erase schedule: ~25% of versions are erases. Both the
+/// writer (building ops) and the oracle (judging observations) compute
+/// this from (key, version) alone.
+bool is_erase(std::uint64_t li, std::uint32_t ver) {
+  return (mix64((li << 32) | ver) & 3u) == 0;
+}
+
+/// Is nullopt a legal observation given the pre-read acked version `a`
+/// and post-read issued version `i`?
+bool absence_legal(std::uint64_t li, std::uint32_t a, std::uint32_t i) {
+  if (a == 0) return true;  // key never written before the read started
+  for (std::uint32_t w = a; w <= i; ++w) {
+    if (is_erase(li, w)) return true;
+  }
+  return false;
+}
+
+std::vector<Key> even_splitters(std::size_t shards, Key universe) {
+  std::vector<Key> sp;
+  for (std::size_t i = 1; i < shards; ++i) {
+    sp.push_back(universe * i / shards);
+  }
+  return sp;
+}
+
+/// Gcola wrapper whose apply_batch busy-waits before applying, widening
+/// the acked-but-unapplied window the pending overlay must cover.
+struct SlowCola {
+  cola::Gcola<> inner;
+  std::chrono::microseconds delay{0};
+
+  explicit SlowCola(std::chrono::microseconds d)
+      : inner(cola::ingest_tuned(4, 24)), delay(d) {}
+
+  void apply_batch(Span<Op<Key, Value>> ops) {
+    const auto until = std::chrono::steady_clock::now() + delay;
+    while (std::chrono::steady_clock::now() < until) {
+      // busy-wait: keep the worker "applying" while readers probe
+    }
+    inner.apply_batch(ops);
+  }
+  void flush_stage() { inner.flush_stage(); }
+  std::shared_ptr<const snap::SnapshotData<Key, Value>> publish_view() const {
+    return inner.publish_view();
+  }
+};
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strtoull(s, nullptr, 10);
+}
+
+struct HammerResult {
+  std::uint64_t finds = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t drains_delta = 0;
+  std::string first_violation;
+};
+
+struct HammerOptions {
+  std::size_t shards = 4;
+  std::size_t readers = 4;
+  std::uint64_t find_quota = 100'000;
+  std::uint64_t seed = 1;
+  std::chrono::microseconds apply_delay{0};  // 0 = plain Gcola inner
+  bool plant_bug = false;  // skip the pending overlay (self-test)
+  bool writer_self_reads = false;  // writer probes its own acked puts
+};
+
+template <class Dict>
+HammerResult run_hammer_on(Dict& d, const HammerOptions& opt) {
+  std::vector<std::atomic<std::uint32_t>> issued(kKeys);
+  std::vector<std::atomic<std::uint32_t>> acked(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    issued[i].store(0, std::memory_order_relaxed);
+    acked[i].store(0, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> finds{0};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<bool> done{false};
+  std::mutex first_mu;
+  std::string first_violation;
+
+  auto flag = [&](std::string msg) {
+    violations.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(first_mu);
+    if (first_violation.empty()) first_violation = std::move(msg);
+  };
+
+  // One validated probe of logical key `li`; returns the envelope verdict.
+  auto probe = [&](std::uint64_t li) {
+    const std::uint32_t a = acked[li].load(std::memory_order_acquire);
+    const std::optional<Value> r = d.find(phys(li));
+    const std::uint32_t i = issued[li].load(std::memory_order_acquire);
+    finds.fetch_add(1, std::memory_order_relaxed);
+    if (r.has_value()) {
+      const std::uint64_t got_li = *r >> 32;
+      const auto w = static_cast<std::uint32_t>(*r & 0xffffffffu);
+      if (got_li != li) {
+        flag("key " + std::to_string(li) + ": value routed from key " +
+             std::to_string(got_li));
+      } else if (w < a || w > i) {
+        flag("key " + std::to_string(li) + ": version " + std::to_string(w) +
+             " outside envelope [" + std::to_string(a) + ", " +
+             std::to_string(i) + "]");
+      } else if (is_erase(li, w)) {
+        flag("key " + std::to_string(li) + ": observed erase version " +
+             std::to_string(w));
+      }
+    } else if (!absence_legal(li, a, i)) {
+      flag("key " + std::to_string(li) +
+           ": absent despite acked un-erased put, envelope [" +
+           std::to_string(a) + ", " + std::to_string(i) + "]");
+    }
+  };
+
+  const std::uint64_t drains_before = d.stats().drains;
+
+  std::vector<std::thread> readers;
+  readers.reserve(opt.readers);
+  for (std::size_t t = 0; t < opt.readers; ++t) {
+    readers.emplace_back([&, t] {
+      Xoshiro256 rng(opt.seed * 0x9e3779b97f4a7c15ULL + t + 1);
+      while (!done.load(std::memory_order_acquire)) {
+        probe(rng() % kKeys);
+      }
+    });
+  }
+
+  // Writer storm on this thread: mixed singles and batches, unique keys
+  // per batch, versions issued before the call and acked after it.
+  {
+    Xoshiro256 rng(opt.seed);
+    std::vector<Op<Key, Value>> batch;
+    std::vector<std::uint64_t> batch_keys;
+    std::vector<bool> in_batch(kKeys, false);
+    std::uint64_t round = 0;
+    while (finds.load(std::memory_order_relaxed) < opt.find_quota) {
+      ++round;
+      if (rng() % 4 == 0) {
+        // Single-op path.
+        const std::uint64_t li = rng() % kKeys;
+        const std::uint32_t ver =
+            issued[li].load(std::memory_order_relaxed) + 1;
+        issued[li].store(ver, std::memory_order_release);
+        if (is_erase(li, ver)) {
+          d.erase(phys(li));
+        } else {
+          d.insert(phys(li), encode(li, ver));
+        }
+        acked[li].store(ver, std::memory_order_release);
+        if (opt.writer_self_reads && !is_erase(li, ver)) probe(li);
+      } else {
+        const std::size_t len = 1 + rng() % 64;
+        batch.clear();
+        batch_keys.clear();
+        for (std::size_t j = 0; j < len; ++j) {
+          const std::uint64_t li = rng() % kKeys;
+          if (in_batch[li]) continue;  // keep batch keys unique
+          in_batch[li] = true;
+          batch_keys.push_back(li);
+          const std::uint32_t ver =
+              issued[li].load(std::memory_order_relaxed) + 1;
+          issued[li].store(ver, std::memory_order_release);
+          batch.push_back(is_erase(li, ver)
+                              ? Op<Key, Value>::del(phys(li))
+                              : Op<Key, Value>::put(phys(li),
+                                                    encode(li, ver)));
+        }
+        d.apply_batch(Span<Op<Key, Value>>(batch.data(), batch.size()));
+        for (const std::uint64_t li : batch_keys) {
+          acked[li].store(issued[li].load(std::memory_order_relaxed),
+                          std::memory_order_release);
+          in_batch[li] = false;
+        }
+        if (opt.writer_self_reads && !batch_keys.empty()) {
+          probe(batch_keys[rng() % batch_keys.size()]);
+        }
+      }
+      if (violations.load(std::memory_order_relaxed) > 256) break;
+    }
+    (void)round;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  HammerResult res;
+  res.finds = finds.load(std::memory_order_relaxed);
+  res.violations = violations.load(std::memory_order_relaxed);
+  res.drains_delta = d.stats().drains - drains_before;
+  res.first_violation = first_violation;
+
+  // Quiescent coherence: once drained, every key must show exactly its
+  // final issued version (or be absent if that version is an erase). This
+  // runs after the drain delta is captured — drain() is a barrier by
+  // design, only find() must never be one.
+  d.drain();
+  for (std::uint64_t li = 0; li < kKeys; ++li) {
+    const std::uint32_t ver = issued[li].load(std::memory_order_relaxed);
+    const auto r = d.find(phys(li));
+    if (ver == 0 || is_erase(li, ver)) {
+      EXPECT_FALSE(r.has_value()) << "key " << li << " after drain";
+    } else {
+      EXPECT_TRUE(r.has_value()) << "key " << li << " after drain";
+      if (r.has_value()) {
+        EXPECT_EQ(*r, encode(li, ver)) << "key " << li << " after drain";
+      }
+    }
+  }
+  return res;
+}
+
+HammerResult run_hammer(const HammerOptions& opt) {
+  ShardedConfig<> sc;
+  sc.shards = opt.shards;
+  sc.splitters = even_splitters(opt.shards, kKeys);
+  sc.unsafe_skip_pending_overlay = opt.plant_bug;
+  if (opt.apply_delay.count() > 0) {
+    ShardedDictionary<SlowCola> d(
+        sc, [&](std::size_t) { return SlowCola(opt.apply_delay); });
+    return run_hammer_on(d, opt);
+  }
+  ShardedDictionary<cola::Gcola<>> d(sc, [](std::size_t) {
+    return cola::Gcola<>(cola::ingest_tuned(4, 24));
+  });
+  return run_hammer_on(d, opt);
+}
+
+// Total find budget across all seeds. TSan's interceptors slow the storm
+// by an order of magnitude, so the instrumented job runs a smaller — but
+// still race-revealing — budget; plain jobs cover >= 10^6 interleavings.
+#if defined(__SANITIZE_THREAD__)
+#define COSTREAM_LIN_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define COSTREAM_LIN_TSAN 1
+#endif
+#endif
+#if defined(COSTREAM_LIN_TSAN)
+constexpr std::uint64_t kDefaultTotalFinds = 200'000;
+#else
+constexpr std::uint64_t kDefaultTotalFinds = 1'200'000;
+#endif
+
+TEST(Linearizability, HammerBarrierFreeFindsStayInEnvelope) {
+  const std::uint64_t seeds = env_u64("LIN_HAMMER_SEEDS", 2);
+  const std::uint64_t total = env_u64("LIN_HAMMER_FINDS", kDefaultTotalFinds);
+  const std::uint64_t per_seed = std::max<std::uint64_t>(total / seeds, 10'000);
+  std::uint64_t finds = 0;
+  for (std::uint64_t s = 1; s <= seeds; ++s) {
+    HammerOptions opt;
+    opt.shards = (s % 2 == 0) ? 2 : 4;
+    opt.readers = 4;
+    opt.seed = s * 7919;
+    opt.find_quota = per_seed;
+    opt.writer_self_reads = true;  // reads-own-acknowledged-writes coverage
+    const auto res = run_hammer(opt);
+    EXPECT_EQ(res.violations, 0u)
+        << "seed " << s << ": " << res.first_violation;
+    EXPECT_EQ(res.drains_delta, 0u) << "find() took a drain barrier";
+    finds += res.finds;
+  }
+  EXPECT_GE(finds, std::min<std::uint64_t>(total, per_seed * seeds));
+}
+
+TEST(Linearizability, HammerSlowWorkerWidensPendingWindows) {
+  // A worker that dawdles hundreds of microseconds per job forces nearly
+  // every read to be served from the acknowledged-pending overlay.
+  HammerOptions opt;
+  opt.shards = 2;
+  opt.readers = 4;
+  opt.seed = env_u64("LIN_HAMMER_SEEDS", 2) * 104729;
+  opt.find_quota = 20'000;
+  opt.apply_delay = std::chrono::microseconds(200);
+  opt.writer_self_reads = true;
+  const auto res = run_hammer(opt);
+  EXPECT_EQ(res.violations, 0u) << res.first_violation;
+  EXPECT_EQ(res.drains_delta, 0u);
+}
+
+TEST(Linearizability, PlantedBugSelfTestOracleBites) {
+  // Skip the pending overlay: acked-but-unapplied writes vanish from the
+  // read path. With a slow worker the writer's own post-ack probes must
+  // observe stale state, so the oracle has to flag violations — if it
+  // does not, the hammer is toothless and the suite must fail.
+  HammerOptions opt;
+  opt.shards = 2;
+  opt.readers = 2;
+  opt.seed = 42;
+  opt.find_quota = 20'000;
+  opt.apply_delay = std::chrono::microseconds(200);
+  opt.plant_bug = true;
+  opt.writer_self_reads = true;
+  const auto res = run_hammer(opt);
+  EXPECT_GT(res.violations, 0u)
+      << "planted bug went undetected: the oracle does not bite";
+}
+
+TEST(Linearizability, FindPerformsZeroDrainBarriers) {
+  ShardedConfig<> sc;
+  sc.shards = 4;
+  sc.splitters = even_splitters(4, kKeys);
+  ShardedDictionary<cola::Gcola<>> d(sc, [](std::size_t) {
+    return cola::Gcola<>(cola::ingest_tuned(4, 24));
+  });
+  for (std::uint64_t li = 0; li < kKeys; ++li) {
+    d.insert(phys(li), encode(li, 1));
+  }
+  const auto before = d.stats();
+  for (std::uint64_t li = 0; li < kKeys; ++li) {
+    const auto r = d.find(phys(li));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, encode(li, 1));
+  }
+  const auto after = d.stats();
+  EXPECT_EQ(after.drains, before.drains);
+  EXPECT_EQ(after.finds, before.finds + kKeys);
+}
+
+// Satellite regression: ShardedStats counters are bumped from const
+// reader paths; concurrent find() callers plus stats() readers must be
+// race-free (pre-fix, ++stats_.drains and the by-reference stats() return
+// raced under TSan).
+TEST(Linearizability, ConcurrentFindersAndStatsReadersAreRaceFree) {
+  ShardedConfig<> sc;
+  sc.shards = 2;
+  sc.splitters = even_splitters(2, kKeys);
+  ShardedDictionary<cola::Gcola<>> d(sc, [](std::size_t) {
+    return cola::Gcola<>(cola::ingest_tuned(4, 24));
+  });
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(1000 + t);
+      while (!done.load(std::memory_order_acquire)) {
+        (void)d.find(phys(rng() % kKeys));
+        if (t == 0) (void)d.stats();  // concurrent stats photograph
+      }
+    });
+  }
+  Xoshiro256 rng(7);
+  for (int round = 0; round < 2'000; ++round) {
+    const std::uint64_t li = rng() % kKeys;
+    d.insert(phys(li), encode(li, static_cast<std::uint32_t>(round + 1)));
+  }
+  d.drain();
+  done.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  const auto s = d.stats();
+  EXPECT_GE(s.singles, 2'000u);
+  EXPECT_GT(s.finds, 0u);
+}
+
+}  // namespace
+}  // namespace costream

@@ -53,6 +53,11 @@ struct FuzzOp {
     kPutBatch,
     kEraseBatch,
     kApplyBatch,
+    kIngestThenFind, // apply_batch, then IMMEDIATELY find every batch key
+                     // with no drain in between — read-your-writes for the
+                     // submitting thread; on sharded arms this lands while
+                     // the worker is still applying, exercising the
+                     // optimistic overlay/retry read path
     kFind,
     kRange,
     kCursorSeek,   // re-seek the replay's persistent cursor at `key`
@@ -100,7 +105,8 @@ std::vector<FuzzOp> make_trace(std::uint64_t seed, std::size_t count, Key univer
       op.keys.reserve(n);
       for (std::size_t j = 0; j < n; ++j) op.keys.push_back(key());
     } else if (pick < 75) {
-      op.kind = FuzzOp::Kind::kApplyBatch;
+      op.kind = pick < 70 ? FuzzOp::Kind::kApplyBatch
+                          : FuzzOp::Kind::kIngestThenFind;
       const std::size_t n = 1 + rng.below(48);
       op.ops.reserve(n);
       for (std::size_t j = 0; j < n; ++j) {
@@ -160,6 +166,17 @@ std::string dump_trace(const std::vector<FuzzOp>& trace) {
         break;
       case FuzzOp::Kind::kApplyBatch:
         os << "  apply_batch";
+        for (const Op<>& o : op.ops) {
+          if (o.erase) {
+            os << " del:" << o.key;
+          } else {
+            os << " put:" << o.key << ":" << o.value;
+          }
+        }
+        os << "\n";
+        break;
+      case FuzzOp::Kind::kIngestThenFind:
+        os << "  ingest_then_find";
         for (const Op<>& o : op.ops) {
           if (o.erase) {
             os << " del:" << o.key;
@@ -371,6 +388,33 @@ std::optional<Divergence> replay(D& dict, const std::vector<FuzzOp>& trace) {
           os << ", stamped model says " << it->first << ":" << it->second
              << " (from " << op.key << ")";
           return Divergence{i, os.str()};
+        }
+        break;
+      }
+      case FuzzOp::Kind::kIngestThenFind: {
+        dict.apply_batch(op.ops);
+        for (const Op<>& o : op.ops) {
+          if (o.erase) {
+            ref.erase(o.key);
+          } else {
+            ref.insert(o.key, o.value);
+          }
+        }
+        cursor_dirty = true;
+        // Read-your-writes: the call above has been acknowledged, so every
+        // batch key must read back exactly per the model — no drain, which
+        // on sharded arms races the still-applying worker through the
+        // acknowledged-pending overlay.
+        for (const Op<>& o : op.ops) {
+          const auto got = dict.find(o.key);
+          const auto want = ref.find(o.key);
+          if (got != want) {
+            std::ostringstream os;
+            os << "ingest_then_find(" << o.key << ") = "
+               << (got ? std::to_string(*got) : "nothing") << ", model says "
+               << (want ? std::to_string(*want) : "nothing");
+            return Divergence{i, os.str()};
+          }
         }
         break;
       }
@@ -670,9 +714,11 @@ std::vector<Key> fuzz_splitters(std::size_t shards, Key universe = 400) {
 
 TEST(MixedOpFuzz, ShardedColaCascadeModes) {
   // The concrete hot path: Gcola inners across the cascade modes, behind
-  // real worker threads and SPSC queues. Interleaved finds/ranges/cursor
-  // ops exercise the drain barrier on every read.
-  for (const std::size_t s : {2u, 4u}) {
+  // real worker threads and SPSC queues. Interleaved finds (barrier-free,
+  // served from the pending overlay + published views while the worker
+  // races ahead), ingest_then_find read-your-writes probes, ranges, and
+  // cursor ops; S = 1 is the single-worker degenerate case.
+  for (const std::size_t s : {1u, 2u, 4u}) {
     for (const unsigned g : {2u, 8u}) {
       fuzz_config("sharded-s" + std::to_string(s) + "-staged-g" + std::to_string(g),
                   [s, g] {

@@ -363,17 +363,18 @@ TEST(Sharded, WorkerExceptionSurfacesStickyAndTearsDownCleanly) {
   ShardedDictionary<ThrowingDict> d(sc,
                                     [](std::size_t) { return ThrowingDict(); });
   for (Key k = 0; k < 8; ++k) d.insert(k, k + 1);
-  // The first read drains the queues (the failure may land mid-drain, after
-  // the entry check); by the second call the sticky flag must fire.
+  // find() is barrier-free and may legitimately race ahead of the failure
+  // landing; drain() is the ordered barrier that waits for the worker to
+  // pop (and drop) every job. Either the drain or the find after it must
+  // surface the sticky exception.
   bool threw = false;
   std::string what;
-  for (int attempt = 0; attempt < 2 && !threw; ++attempt) {
-    try {
-      (void)d.find(1);
-    } catch (const std::runtime_error& e) {
-      threw = true;
-      what = e.what();
-    }
+  try {
+    d.drain();
+    (void)d.find(1);
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    what = e.what();
   }
   EXPECT_TRUE(threw) << "worker exception never reached the facade thread";
   EXPECT_EQ(what, "inner dict exploded");

@@ -251,6 +251,62 @@ TEST(Snapshot, ShardedCursorSurvivesSeekTimeMutations) {
   EXPECT_GE(steps, frozen.size()) << "scan was cut short by mutations";
 }
 
+TEST(Snapshot, ShardedAcquisitionRaceFreeUnderMutationStorm) {
+  // Regression for the unsynchronized per-epoch snapshot cache: the facade
+  // memoizes fused snapshots in snap_cache_/snap_epoch_/snap_parts_, all
+  // written inside const snapshot() — so N threads acquiring concurrently
+  // (while the owner keeps mutating, bumping the epoch between them) used
+  // to corrupt the cache even though each returned handle is free-threaded.
+  // Acquisition is now mutex-guarded; every handle any thread gets must be
+  // internally stable and contain everything acked before the storm began.
+  shard::ShardedConfig<> sc;
+  sc.shards = 4;
+  shard::ShardedDictionary<cola::Gcola<>> d(
+      sc, [](std::size_t) { return cola::Gcola<>(cola::ingest_tuned(2, 32)); });
+  constexpr Key kPrefill = 2'000;
+  for (Key k = 0; k < kPrefill; ++k) {
+    d.insert(k * 3, k);  // distinct keys, never erased by the storm
+  }
+  d.drain();
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> acquirers;
+  for (int t = 0; t < 4; ++t) {
+    acquirers.emplace_back([&, t] {
+      std::uint64_t s = 100 + t;
+      while (!done.load(std::memory_order_acquire)) {
+        const snap::Snapshot<> snap = d.snapshot();
+        // The handle must be internally stable: two passes agree, the
+        // stream is strictly sorted, and nothing prefilled is missing.
+        std::size_t n1 = 0;
+        Key prev = 0;
+        bool sorted = true;
+        snap.for_each([&](const Key& k, const Value&) {
+          if (n1 > 0 && k <= prev) sorted = false;
+          prev = k;
+          ++n1;
+        });
+        std::size_t n2 = 0;
+        snap.for_each([&](const Key&, const Value&) { ++n2; });
+        const Key probe = (splitmix64(s) % kPrefill) * 3;
+        if (!sorted || n1 != n2 || n1 < kPrefill ||
+            !snap.find(probe).has_value()) {
+          ok.store(false);
+        }
+      }
+    });
+  }
+  // The storm: the owner thread keeps appending fresh keys (epoch keeps
+  // moving) while the acquirers race each other for the cache.
+  for (Key k = kPrefill; k < kPrefill + 6'000; ++k) {
+    d.insert(k * 3, k);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : acquirers) t.join();
+  EXPECT_TRUE(ok.load()) << "a concurrently acquired snapshot was corrupt";
+}
+
 TEST(Snapshot, DetachedHandleReadableFromOtherThreads) {
   // The handle is free-threaded: readers on other threads see exactly the
   // stamped contents while the owner keeps mutating. (The TSan job drives

@@ -4,6 +4,7 @@
 // same shapes the benches print, but in pass/fail form.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
@@ -339,12 +340,32 @@ TEST(TransferBounds, ShardedInsertAndSearchBoundsHold) {
     EXPECT_LT(static_cast<double>(max_shard),
               2.0 * static_cast<double>(total) / static_cast<double>(S))
         << "S=" << S;
-    // Point find: one shard's search bound, not S of them.
+    // The facade's find() is barrier-free and DAM-unaccounted: it takes no
+    // drain barrier and charges no transfers anywhere — it reads the
+    // worker-published in-memory view, never the live leveled structure
+    // (dam/bounds.hpp: the sharded search bound has no drain term).
     for (std::size_t s = 0; s < S; ++s) {
       d.shard_mut(s).mm().clear_cache();
       d.shard_mut(s).mm().reset_stats();
     }
-    (void)d.find(mix64(42));
+    const Key probe = mix64(42);
+    const std::uint64_t drains_before = d.stats().drains;
+    const auto via_facade = d.find(probe);
+    EXPECT_EQ(d.stats().drains, drains_before) << "S=" << S;
+    std::uint64_t facade_total = 0;
+    for (std::size_t s = 0; s < S; ++s) {
+      facade_total += d.shard_mut(s).mm().stats().transfers;
+    }
+    EXPECT_EQ(facade_total, 0u) << "S=" << S << " (facade find charged IO)";
+    // The accounted cold search is the shard OWNER's: route the probe to
+    // its one shard and search the live structure there — that pays one
+    // shard's search bound at N/S scale, not S of them, and must agree
+    // with the facade's answer.
+    const auto& sp = d.splitters();
+    const std::size_t target = static_cast<std::size_t>(
+        std::upper_bound(sp.begin(), sp.end(), probe) - sp.begin());
+    const auto via_owner = d.shard_mut(target).find(probe);
+    EXPECT_EQ(via_owner, via_facade) << "S=" << S;
     std::uint64_t search_total = 0;
     for (std::size_t s = 0; s < S; ++s) {
       search_total += d.shard_mut(s).mm().stats().transfers;
