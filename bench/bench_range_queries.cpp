@@ -28,6 +28,16 @@
 //   mjoin  api::merge_join of cola-g8 against a B-tree over half-
 //          overlapping key ranges; wall/modeled rates are joined rows/sec.
 //          batch = 0.
+//   ufind  uniform-random cold point lookups — the regime where fences
+//          prune NOTHING (every tiered segment spans the keyspace) — on
+//          four knob arms ablating the data-parallel read path:
+//          cola-g8-fonly (fences only, scalar), cola-g8-simd (+SIMD probe
+//          kernels), cola-g8-filt (+fingerprint filters, scalar), and
+//          cola-g8-filt-simd (both). Cells carry probed_per_find /
+//          filter_skips_per_find from ColaStats alongside the usual rates:
+//          the filter arms must collapse probed segments per find toward
+//          1 + FPR*(segs-1) and the SIMD arms must win wall time on the
+//          same probes. batch = 0.
 //   uscan  scan-under-ingest: each probe ingests a 256-entry upsert batch
 //          and then drains a window of L = batch entries through a FRESH
 //          snapshot cursor — the regime the ref-counted segment tier
@@ -45,6 +55,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,6 +85,10 @@ struct Cell {
   double wall_rate = 0.0;     // queries (or joined rows) per second, wall
   double modeled_rate = 0.0;  // same, on the modeled disk
   double transfers_per_op = 0.0;
+  // ufind cells only (-1 elsewhere): tiered segments binary-searched per
+  // find and segments dismissed by a fingerprint filter per find.
+  double probed_per_find = -1.0;
+  double skips_per_find = -1.0;
 };
 
 std::vector<Cell> g_cells;
@@ -341,6 +356,10 @@ int main(int argc, char** argv) {
   for (const bool fences : {true, false}) {
     cola::ColaConfig cfg = g8;
     cfg.fence_keys = fences;
+    // Filters off in BOTH arms: on this range-disjoint build they would
+    // prune the same segments fences do, hiding the fence effect this
+    // series isolates. The ufind series below is the filter ablation.
+    cfg.filters = false;
     cola::Gcola<> w(cfg);
     cola::Gcola<Key, Value, dam::dam_mem_model> d(cfg,
                                                   dam::dam_mem_model(kBlock, mem));
@@ -387,6 +406,109 @@ int main(int argc, char** argv) {
     }
     if (hits == 0) std::fprintf(stderr, "warn: fenced finds all missed\n");
     g_cells.push_back(c);
+  }
+
+  // -- uniform-random cold finds: the filter / SIMD ablation -------------------
+  // The build is a random permutation of a dense keyspace, so every tiered
+  // segment spans essentially all of it and fences prune nothing: this
+  // series isolates the two read-path levers fences cannot provide —
+  // fingerprint filters (probe-count collapse) and the SIMD probe kernels
+  // (wall time per intra-segment binary search).
+  {
+    struct UfindArm {
+      const char* name;
+      bool filters;
+      bool simd;
+    };
+    const UfindArm arms[] = {{"cola-g8-fonly", false, false},
+                             {"cola-g8-simd", false, true},
+                             {"cola-g8-filt", true, false},
+                             {"cola-g8-filt-simd", true, true}};
+    constexpr std::size_t kArms = sizeof(arms) / sizeof(arms[0]);
+    // Build every arm up front so the timed windows below can interleave
+    // across arms: on a shared host, load drifts over the seconds a build
+    // takes, and measuring the arms back-to-back would fold that drift
+    // into the arm-vs-arm ratios this series exists to report.
+    std::vector<std::unique_ptr<cola::Gcola<>>> warms;
+    for (const UfindArm& arm : arms) {
+      cola::ColaConfig cfg = g8;
+      cfg.filters = arm.filters;
+      cfg.simd = arm.simd;
+      warms.push_back(std::make_unique<cola::Gcola<>>(cfg));
+      build(*warms.back(), keys);
+    }
+    std::uint64_t hits = 0;
+    // Wall: best of several windows per arm, windows interleaved
+    // round-robin — these are short in-memory find loops, and on a
+    // shared host any single window is jitter-bound.
+    const std::uint64_t qw = 4096 * probes;
+    const int kReps = 5;
+    double best[kArms] = {};
+    std::uint64_t probes_before[kArms];
+    std::uint64_t skips_before[kArms];
+    for (std::size_t a = 0; a < kArms; ++a) {
+      probes_before[a] = warms[a]->stats().find_seg_probes;
+      skips_before[a] = warms[a]->stats().filter_seg_skips;
+    }
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (std::size_t a = 0; a < kArms; ++a) {
+        cola::Gcola<>& w = *warms[a];
+        Xoshiro256 rng(13 + static_cast<std::uint64_t>(rep));
+        Timer t;
+        for (std::uint64_t i = 0; i < qw; ++i) {
+          hits += w.find(rng.below(n)).has_value() ? 1 : 0;
+        }
+        const double secs = t.seconds();
+        const double rate = secs > 0 ? static_cast<double>(qw) / secs : 0.0;
+        if (rate > best[a]) best[a] = rate;
+      }
+    }
+    const double walked = static_cast<double>(qw) * kReps;
+    for (std::size_t a = 0; a < kArms; ++a) {
+      const UfindArm& arm = arms[a];
+      cola::ColaConfig cfg = g8;
+      cfg.filters = arm.filters;
+      cfg.simd = arm.simd;
+      Cell c;
+      c.structure = arm.name;
+      c.order = "ufind";
+      c.batch = 0;
+      c.n = n;
+      c.growth = 8;
+      c.staging = cfg.staging_capacity;
+      c.wall_rate = best[a];
+      c.probed_per_find =
+          static_cast<double>(warms[a]->stats().find_seg_probes -
+                              probes_before[a]) /
+          walked;
+      c.skips_per_find =
+          static_cast<double>(warms[a]->stats().filter_seg_skips -
+                              skips_before[a]) /
+          walked;
+      warms[a].reset();
+      {
+        cola::Gcola<Key, Value, dam::dam_mem_model> d(
+            cfg, dam::dam_mem_model(kBlock, mem));
+        build(d, keys);
+        const std::uint64_t q = 64 * probes;
+        Xoshiro256 rng(13);
+        std::uint64_t transfers = 0;
+        double modeled = 0.0;
+        for (std::uint64_t i = 0; i < q; ++i) {
+          d.mm().clear_cache();
+          d.mm().reset_stats();
+          hits += d.find(rng.below(n)).has_value() ? 1 : 0;
+          transfers += d.mm().stats().transfers;
+          modeled += d.mm().modeled_seconds();
+        }
+        c.modeled_rate =
+            modeled > 0 ? static_cast<double>(q) / modeled : c.wall_rate;
+        c.transfers_per_op =
+            static_cast<double>(transfers) / static_cast<double>(q);
+      }
+      g_cells.push_back(c);
+    }
+    if (hits == 0) std::fprintf(stderr, "warn: uniform cold finds all missed\n");
   }
 
   // -- merge-join --------------------------------------------------------------
@@ -507,6 +629,24 @@ int main(int argc, char** argv) {
     }
   }
   {
+    const Cell* fo = cell_at("cola-g8-fonly", "ufind", 0);
+    const Cell* sd = cell_at("cola-g8-simd", "ufind", 0);
+    const Cell* fi = cell_at("cola-g8-filt", "ufind", 0);
+    const Cell* fs = cell_at("cola-g8-filt-simd", "ufind", 0);
+    if (fo != nullptr && sd != nullptr && fi != nullptr && fs != nullptr &&
+        fi->probed_per_find > 0 && fo->wall_rate > 0) {
+      std::printf("\n# uniform-random cold finds (fences prune nothing):\n"
+                  "#   probed segs/find %.2f (fences only) -> %.2f (+filters),"
+                  " a %.1fx cut (%.2f filter skips/find)\n"
+                  "#   wall vs fences-only scalar: %.2fx (+simd), %.2fx"
+                  " (+filters), %.2fx (+filters+simd)\n",
+                  fo->probed_per_find, fi->probed_per_find,
+                  fo->probed_per_find / fi->probed_per_find,
+                  fi->skips_per_find, sd->wall_rate / fo->wall_rate,
+                  fi->wall_rate / fo->wall_rate, fs->wall_rate / fo->wall_rate);
+    }
+  }
+  {
     const Cell* mj = cell_at("cola-g8", "mjoin", 0);
     if (mj != nullptr) {
       std::printf("\n# merge-join cola-g8 x btree: %s rows/sec wall, "
@@ -523,17 +663,24 @@ int main(int argc, char** argv) {
   std::string json = "[";
   for (std::size_t i = 0; i < g_cells.size(); ++i) {
     const Cell& c = g_cells[i];
-    char buf[384];
+    char extra[128] = "";
+    if (c.probed_per_find >= 0.0) {
+      std::snprintf(extra, sizeof extra,
+                    ", \"probed_per_find\": %.4f, "
+                    "\"filter_skips_per_find\": %.4f",
+                    c.probed_per_find, c.skips_per_find);
+    }
+    char buf[512];
     std::snprintf(
         buf, sizeof buf,
         "%s\n  {\"structure\": \"%s\", \"order\": \"%s\", \"batch\": %llu, "
         "\"n\": %llu, \"growth\": %u, \"staging\": %llu, \"wall_rate\": %.1f, "
-        "\"modeled_rate\": %.1f, \"transfers_per_op\": %.6f}",
+        "\"modeled_rate\": %.1f, \"transfers_per_op\": %.6f%s}",
         i == 0 ? "" : ",", c.structure.c_str(), c.order.c_str(),
         static_cast<unsigned long long>(c.batch),
         static_cast<unsigned long long>(c.n), c.growth,
         static_cast<unsigned long long>(c.staging), c.wall_rate, c.modeled_rate,
-        c.transfers_per_op);
+        c.transfers_per_op, extra);
     json += buf;
   }
   json += "\n]\n";

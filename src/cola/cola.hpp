@@ -115,8 +115,11 @@
 #include <type_traits>
 #include <vector>
 
+#include "cola/kernels.hpp"
 #include "common/entry.hpp"
+#include "common/filter.hpp"
 #include "common/loser_tree.hpp"
+#include "common/simd.hpp"
 #include "common/snapshot.hpp"
 #include "common/span.hpp"
 #include "dam/mem_model.hpp"
@@ -157,6 +160,19 @@ struct ColaConfig {
   // gates the READ-side use (fences are always maintained), so ablations
   // can isolate the search win.
   bool fence_keys = true;
+  // Tiered mode only: mint a per-segment blocked Bloom filter at every
+  // fold/flush (O(1)/element, ~10 bits/key — common/filter.hpp). Fences
+  // prune nothing under uniform-random feeds (every segment spans the whole
+  // keyspace); filters answer "definitely absent" for ~(1 - kDesignFpr) of
+  // the segments a fence cannot rule out, collapsing cold-find probes from
+  // `segs` to 1 + FPR*(segs-1). Off by default (space + mint cost);
+  // ingest_tuned() turns it on.
+  bool filters = false;
+  // Use the SIMD kernel tier (common/simd.hpp, picked at runtime per CPU)
+  // for unaccounted searches and for fold merges. Off forces the scalar
+  // reference kernels — the ablation/differential-testing knob; the
+  // COSTREAM_SIMD env var further clamps the whole process.
+  bool simd = true;
 };
 
 /// Ingest-tuned preset: growth factor g, tiered (segmented) levels, and a
@@ -171,6 +187,7 @@ inline ColaConfig ingest_tuned(unsigned g, std::size_t batch_hint = 1024) {
   cfg.staging_capacity = static_cast<std::size_t>(g) * batch_hint;
   cfg.tiered = true;
   cfg.pointer_density = 0.0;  // lookahead pointers need globally sorted levels
+  cfg.filters = true;  // uniform-random cold finds are the tiered weak spot
   return cfg;
 }
 
@@ -187,6 +204,8 @@ struct ColaStats {
   std::uint64_t staleness_folds = 0;  // forced folds triggered by staleness
   std::uint64_t fence_seg_skips = 0;  // segments skipped by fence keys (reads)
   std::uint64_t fence_run_skips = 0;  // staging runs skipped by fence keys
+  std::uint64_t filter_seg_skips = 0; // segments skipped by Bloom filters
+  std::uint64_t find_seg_probes = 0;  // segments actually binary-searched
 };
 
 template <class K = Key, class V = Value, class MM = dam::null_mem_model>
@@ -195,7 +214,9 @@ class Gcola {
   static constexpr std::uint32_t kNoIdx = 0xffffffffu;
 
   explicit Gcola(ColaConfig cfg = ColaConfig{}, MM mm = MM{})
-      : cfg_(cfg), mm_(std::move(mm)) {
+      : cfg_(cfg),
+        isa_(cfg.simd ? simd::active_isa() : simd::Isa::kScalar),
+        mm_(std::move(mm)) {
     if (cfg_.growth < 2) throw std::invalid_argument("cola: growth factor must be >= 2");
     if (cfg_.pointer_density < 0.0 || cfg_.pointer_density > 0.5) {
       throw std::invalid_argument("cola: pointer density must be in [0, 0.5]");
@@ -254,6 +275,9 @@ class Gcola {
     std::uint64_t b = cfg_.staging_capacity * sizeof(TItem);
     for (const Level& lv : levels_) {
       b += lv.slots.size() * sizeof(Slot) + lv.real_count * sizeof(TItem);
+      for (const SegRef& seg : lv.segs) {
+        b += seg->filter.size() * sizeof(std::uint64_t);
+      }
     }
     return b;
   }
@@ -278,20 +302,29 @@ class Gcola {
       const std::uint32_t e = r + 1 < stage_runs_.size()
                                   ? stage_runs_[r + 1]
                                   : static_cast<std::uint32_t>(stage_.size());
-      std::uint32_t lo = b, hi = e;
-      while (lo < hi) {  // manual binary search so every probe is accounted
-        const std::uint32_t mid = lo + (hi - lo) / 2;
-        mm_.touch(stage_base_ + static_cast<std::uint64_t>(mid) * sizeof(TItem),
-                  sizeof(TItem));
-        if (stage_[mid].key < key) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
+      std::uint32_t lo;
+      if constexpr (std::is_same_v<MM, dam::null_mem_model>) {
+        // No accounting to preserve: the branchless kernel searches the
+        // contiguous key plane directly.
+        lo = b + static_cast<std::uint32_t>(
+                     simd::lower_bound_keys(stage_.keys.data() + b, e - b, key, isa_));
+      } else {
+        std::uint32_t hi = e;
+        lo = b;
+        while (lo < hi) {  // manual binary search so every probe is accounted
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          mm_.touch(stage_base_ + static_cast<std::uint64_t>(mid) * sizeof(TItem),
+                    sizeof(TItem));
+          if (stage_.keys[mid] < key) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
         }
       }
-      if (lo < e && stage_[lo].key == key) {
-        if (stage_[lo].is_tombstone()) return std::nullopt;
-        return stage_[lo].value;
+      if (lo < e && stage_.keys[lo] == key) {
+        if ((stage_.flags[lo] & kFlagTombstone) != 0) return std::nullopt;
+        return stage_.vals[lo];
       }
     }
     if (cfg_.tiered) return find_tiered(key);
@@ -343,11 +376,18 @@ class Gcola {
     // hooked reads charge the (cache-hot) arena region, as the pre-snapshot
     // cursor did when it streamed the stage directly.
     if (!stage_.empty()) {
-      snap_stage_view_.assign(stage_.begin(), stage_.end());
-      sort_dedup_newest_wins(snap_stage_view_, snap_stage_scratch_);
-      if (snap::SegmentRef<K, V> seg =
-              snap::make_segment(std::move(snap_stage_view_), /*id=*/0,
-                                 stage_base_, mutation_epoch_)) {
+      // Each arena run is already sorted and unique, so the frozen view is
+      // a pairwise newest-wins collapse of the runs — the same kernel fold
+      // the flush path uses, not a from-scratch sort of the whole arena.
+      snap_stage_view_.assign(stage_.view());
+      snap_stage_runs_ = stage_runs_;
+      std::uint64_t dups = 0;  // local: const reads must not disturb fold stats
+      kern::collapse_runs(snap_stage_view_, snap_stage_runs_, snap_stage_tmp_,
+                          snap_stage_runs_scratch_, isa_, &dups);
+      if (snap::SegmentRef<K, V> seg = snap::make_segment(
+              std::move(snap_stage_view_.keys), std::move(snap_stage_view_.vals),
+              std::move(snap_stage_view_.flags), /*id=*/0, stage_base_,
+              mutation_epoch_)) {
         data->segs.push_back(std::move(seg));
       }
       snap_stage_view_.clear();
@@ -378,14 +418,17 @@ class Gcola {
         for (std::uint32_t i = lv.occ_begin; i < lv.slots.size(); ++i) {
           const Slot& s = lv.slots[i];
           if (s.is_lookahead()) continue;
-          snap_stage_view_.push_back(TItem{s.key, s.value, s.flags});
+          snap_stage_view_.push_back(s.key, s.value,
+                                     static_cast<std::uint8_t>(s.flags));
         }
         const std::uint64_t base = next_base_;
         next_base_ += snap_stage_view_.size() * sizeof(TItem);
-        if (snap::SegmentRef<K, V> seg =
-                snap::make_segment(std::move(snap_stage_view_), /*id=*/0,
-                                   base, mutation_epoch_)) {
-          mm_.touch_write(base, seg->items.size() * sizeof(TItem));
+        if (snap::SegmentRef<K, V> seg = snap::make_segment(
+                std::move(snap_stage_view_.keys),
+                std::move(snap_stage_view_.vals),
+                std::move(snap_stage_view_.flags), /*id=*/0, base,
+                mutation_epoch_)) {
+          mm_.touch_write(base, seg->size() * sizeof(TItem));
           data->segs.push_back(std::move(seg));
         }
         snap_stage_view_.clear();
@@ -425,7 +468,10 @@ class Gcola {
                                     ? stage_runs_[r + 1]
                                     : static_cast<std::uint32_t>(stage_.size());
         stage_run_segs_[r] = snap::make_segment(
-            std::vector<TItem>(stage_.begin() + b, stage_.begin() + e),
+            std::vector<K>(stage_.keys.begin() + b, stage_.keys.begin() + e),
+            std::vector<V>(stage_.vals.begin() + b, stage_.vals.begin() + e),
+            std::vector<std::uint8_t>(stage_.flags.begin() + b,
+                                      stage_.flags.begin() + e),
             /*id=*/0,
             stage_base_ + static_cast<std::uint64_t>(b) * sizeof(TItem),
             mutation_epoch_);
@@ -494,20 +540,24 @@ class Gcola {
     // staging_capacity entries from scratch.
     if (cfg_.staging_capacity > 0) {
       ensure_stage_base();
-      // Normalize in Entry form (half the bytes of a Slot) before widening
-      // into the arena: the batch sort is the staged path's per-op hot loop.
+      // Sort in Entry form (half the bytes of a Slot) — duplicates KEPT in
+      // input order — then widen into the arena planes and let the
+      // vectorized keep-last kernel collapse them in place: the newest-wins
+      // result is identical to sort_dedup_newest_wins (stable sort + last
+      // occurrence per key), but the dedup scan runs data-parallel.
       std::vector<Entry<K, V>>& run = stage_entry_scratch_;
       run.assign(data, data + n);
-      sort_dedup_newest_wins(run, stage_entry_sort_scratch_);
-      stats_.duplicates_dropped += n - run.size();
+      sort_by_key(run, stage_entry_sort_scratch_);
       stage_.reserve(std::max(cfg_.staging_capacity, stage_.size() + run.size()));
-      stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
-      stage_run_min_.push_back(run.front().key);
-      stage_run_max_.push_back(run.back().key);
-      stage_run_segs_.emplace_back();
+      const std::size_t b = stage_.size();
+      stage_runs_.push_back(static_cast<std::uint32_t>(b));
       append_widened(run.data(), run.data() + run.size(), stage_);
-      mm_.touch_write(stage_base_ + (stage_.size() - run.size()) * sizeof(TItem),
-                      run.size() * sizeof(TItem));
+      stats_.duplicates_dropped += kern::dedup_newest_wins(stage_, b, isa_);
+      stage_run_min_.push_back(stage_.keys[b]);
+      stage_run_max_.push_back(stage_.keys.back());
+      stage_run_segs_.emplace_back();
+      mm_.touch_write(stage_base_ + b * sizeof(TItem),
+                      (stage_.size() - b) * sizeof(TItem));
       stats_.stage_absorbed += n;
       // Keep the arena's run count logarithmic under tiny-batch feeds too
       // (a size-1 insert_batch is a singleton append like put()'s).
@@ -519,13 +569,12 @@ class Gcola {
     if (cfg_.tiered) {
       std::vector<Entry<K, V>>& run = stage_entry_scratch_;
       run.assign(data, data + n);
-      sort_dedup_newest_wins(run, stage_entry_sort_scratch_);
-      stats_.duplicates_dropped += n - run.size();
+      sort_by_key(run, stage_entry_sort_scratch_);
       titem_run_.clear();
       append_widened(run.data(), run.data() + run.size(), titem_run_);
+      stats_.duplicates_dropped += kern::dedup_newest_wins(titem_run_, 0, isa_);
       ++stats_.batch_merges;
-      incoming_spans_.assign(
-          1, {titem_run_.data(), titem_run_.data() + titem_run_.size()});
+      incoming_spans_.assign(1, titem_run_.view());
       cascade_run_tiered(titem_run_.size());
       return;
     }
@@ -624,7 +673,7 @@ class Gcola {
         const std::uint32_t e = r + 1 < stage_runs_.size()
                                     ? stage_runs_[r + 1]
                                     : static_cast<std::uint32_t>(stage_.size());
-        incoming_spans_.emplace_back(stage_.data() + b, stage_.data() + e);
+        incoming_spans_.push_back(stage_.subview(b, e));
       }
       cascade_run_tiered(stage_.size());
     } else {
@@ -635,11 +684,11 @@ class Gcola {
       std::vector<Slot>& run = scratch_batch_;
       run.clear();
       run.reserve(stage_.size());
-      for (const TItem& t : stage_) {
+      for (std::size_t i = 0; i < stage_.size(); ++i) {
         Slot s{};
-        s.key = t.key;
-        s.value = t.value;
-        s.flags = t.flags;
+        s.key = stage_.keys[i];
+        s.value = stage_.vals[i];
+        s.flags = stage_.flags[i];
         run.push_back(s);
       }
       cascade_run(run);
@@ -671,11 +720,14 @@ class Gcola {
     ensure_level(t);
     if (cfg_.tiered) {
       Level& lv = levels_[t];
-      std::vector<TItem> items;
-      append_widened(sorted.data(), sorted.data() + sorted.size(), items);
+      titem_run_.clear();
+      append_widened(sorted.data(), sorted.data() + sorted.size(), titem_run_);
       clear_level(lv);
-      SegRef seg = new_segment(std::move(items));
-      mm_.touch_write(seg->base_addr, seg->items.size() * sizeof(TItem));
+      SegRef seg = new_segment(std::move(titem_run_.keys),
+                               std::move(titem_run_.vals),
+                               std::move(titem_run_.flags));
+      titem_run_.clear();
+      mm_.touch_write(seg->base_addr, seg->size() * sizeof(TItem));
       lv.segs.assign(1, std::move(seg));
       lv.seg_stale.assign(1, 0);
       lv.tomb_count = 0;  // bulk loads carry no tombstones
@@ -763,9 +815,9 @@ class Gcola {
       if (lv.real_count == 0) continue;
       for (std::size_t j = 0; j < lv.segs.size(); ++j) {  // oldest first
         const Seg& seg = *lv.segs[j];
-        mm_.touch(seg.base_addr, seg.items.size() * sizeof(TItem));
-        fold_spans_.emplace_back(seg.items.data(),
-                                 seg.items.data() + seg.items.size());
+        mm_.touch(seg.base_addr, seg.size() * sizeof(TItem));
+        fold_spans_.push_back(kern::RunView<K, V>{
+            seg.keys.data(), seg.vals.data(), seg.flags.data(), seg.size()});
       }
       total += lv.real_count;
     }
@@ -814,19 +866,20 @@ class Gcola {
                                     : static_cast<std::uint32_t>(stage_.size());
         if (b >= e) throw std::logic_error("cola: empty staging run");
         if (stage_run_segs_[r] != nullptr &&
-            (stage_run_segs_[r]->items.size() != e - b ||
-             stage_run_segs_[r]->items.front().key < stage_[b].key ||
-             stage_[b].key < stage_run_segs_[r]->items.front().key)) {
+            (stage_run_segs_[r]->size() != e - b ||
+             stage_run_segs_[r]->keys.front() < stage_.keys[b] ||
+             stage_.keys[b] < stage_run_segs_[r]->keys.front())) {
           throw std::logic_error("cola: staging run mirror stale");
         }
         for (std::uint32_t i = b + 1; i < e; ++i) {
-          if (!(stage_[i - 1].key < stage_[i].key)) {
+          if (!(stage_.keys[i - 1] < stage_.keys[i])) {
             throw std::logic_error("cola: staging run unsorted");
           }
         }
-        if (stage_run_min_[r] < stage_[b].key || stage_[b].key < stage_run_min_[r] ||
-            stage_run_max_[r] < stage_[e - 1].key ||
-            stage_[e - 1].key < stage_run_max_[r]) {
+        if (stage_run_min_[r] < stage_.keys[b] ||
+            stage_.keys[b] < stage_run_min_[r] ||
+            stage_run_max_[r] < stage_.keys[e - 1] ||
+            stage_.keys[e - 1] < stage_run_max_[r]) {
           throw std::logic_error("cola: staging run fence drift");
         }
       }
@@ -916,27 +969,41 @@ class Gcola {
           throw std::logic_error("cola: null segment reference");
         }
         const Seg& seg = *lv.segs[j];
-        if (seg.items.empty()) throw std::logic_error("cola: empty segment");
+        if (seg.size() == 0) throw std::logic_error("cola: empty segment");
+        if (seg.vals.size() != seg.size() || seg.flags.size() != seg.size()) {
+          throw std::logic_error("cola: segment planes out of step");
+        }
         std::uint32_t tombs = 0;
-        for (std::size_t i = 0; i < seg.items.size(); ++i) {
-          if (i > 0 && !(seg.items[i - 1].key < seg.items[i].key)) {
+        for (std::size_t i = 0; i < seg.size(); ++i) {
+          if (i > 0 && !(seg.keys[i - 1] < seg.keys[i])) {
             throw std::logic_error("cola: segment unsorted");
           }
-          tombs += seg.items[i].is_tombstone() ? 1u : 0u;
+          tombs += seg.is_tombstone(i) ? 1u : 0u;
         }
         if (tombs != seg.tombs) {
           throw std::logic_error("cola: segment tombstone count drift");
         }
-        if (seg.min_key < seg.items.front().key ||
-            seg.items.front().key < seg.min_key ||
-            seg.max_key < seg.items.back().key ||
-            seg.items.back().key < seg.max_key) {
+        if (seg.min_key < seg.keys.front() || seg.keys.front() < seg.min_key ||
+            seg.max_key < seg.keys.back() || seg.keys.back() < seg.max_key) {
           throw std::logic_error("cola: segment fence keys drift");
         }
-        if (lv.seg_stale[j] > seg.items.size()) {
+        if (lv.seg_stale[j] > seg.size()) {
           throw std::logic_error("cola: segment stale estimate exceeds size");
         }
-        items_total += seg.items.size();
+        if (!seg.filter.empty()) {
+          // Filters are advisory on the read path ONLY because this holds:
+          // a present key always passes its own segment's filter.
+          if (seg.filter.size() != filt::filter_words_for(seg.size())) {
+            throw std::logic_error("cola: segment filter missized");
+          }
+          for (std::size_t i = 0; i < seg.size(); ++i) {
+            if (!filt::filter_may_contain(seg.filter.data(), seg.filter.size(),
+                                          filt::key_hash(seg.keys[i]))) {
+              throw std::logic_error("cola: segment filter false negative");
+            }
+          }
+        }
+        items_total += seg.size();
         tombs_total += tombs;
         stale_total += lv.seg_stale[j];
       }
@@ -1003,13 +1070,19 @@ class Gcola {
     std::uint64_t stale_count = 0;
   };
 
-  /// Mint a fresh immutable segment owning `items`: stable id, a logical
-  /// address region for DAM accounting, and the current mutation epoch.
-  SegRef new_segment(std::vector<TItem>&& items) {
+  /// Mint a fresh immutable segment owning the key/value/flag planes:
+  /// stable id, a logical address region for DAM accounting (still charged
+  /// per logical ELEMENT — sizeof(TItem) — so the transfer model is
+  /// layout-independent), the current mutation epoch, and a Bloom filter
+  /// when configured (fold/flush is the one place filters are minted;
+  /// O(1)/element, amortized into the fold that writes the data anyway).
+  SegRef new_segment(std::vector<K>&& keys, std::vector<V>&& vals,
+                     std::vector<std::uint8_t>&& flags) {
     const std::uint64_t base = next_base_;
-    next_base_ += items.size() * sizeof(TItem);
-    return snap::make_segment(std::move(items), next_seg_id_++, base,
-                              mutation_epoch_);
+    next_base_ += keys.size() * sizeof(TItem);
+    return snap::make_segment(std::move(keys), std::move(vals),
+                              std::move(flags), next_seg_id_++, base,
+                              mutation_epoch_, cfg_.filters);
   }
 
   // -- geometry ---------------------------------------------------------------
@@ -1109,30 +1182,82 @@ class Gcola {
   /// time-partitioned or otherwise range-disjoint feeds this prunes most of
   /// the up-to-(g-1)-segments-per-level probe cost the tiered geometry
   /// otherwise pays (dam/bounds.hpp: cola_fence_search_transfer_bound).
-  std::optional<V> find_tiered(const K& key) const {
-    for (std::size_t l = 0; l < levels_.size(); ++l) {
-      const Level& lv = levels_[l];
-      for (std::size_t j = lv.segs.size(); j-- > 0;) {  // newest first
-        const Seg& seg = *lv.segs[j];
-        if (cfg_.fence_keys && (key < seg.min_key || seg.max_key < key)) {
-          ++stats_.fence_seg_skips;
-          continue;
+  /// Serial newest-first probe of one tiered level. Returns true when the
+  /// level resolves the key (live hit or tombstone), leaving the answer in
+  /// `result`; accounted builds charge each binary-search step to mm_.
+  bool find_in_level(const Level& lv, const K& key, std::uint64_t h,
+                     std::optional<V>& result) const {
+    for (std::size_t j = lv.segs.size(); j-- > 0;) {  // newest first
+      const Seg& seg = *lv.segs[j];
+      if (cfg_.fence_keys && (key < seg.min_key || seg.max_key < key)) {
+        ++stats_.fence_seg_skips;
+        continue;
+      }
+      // Filter check after fences: "definitely absent" skips the whole
+      // binary search (and, in an accounted build, its probe transfers —
+      // the filter itself is metadata, like the fences, and charges
+      // nothing; dam/bounds.hpp::cola_filter_search_transfer_bound).
+      if (cfg_.filters && !seg.filter.empty() &&
+          !filt::filter_may_contain(seg.filter.data(), seg.filter.size(), h)) {
+        ++stats_.filter_seg_skips;
+        continue;
+      }
+      ++stats_.find_seg_probes;
+      std::size_t lo;
+      if constexpr (std::is_same_v<MM, dam::null_mem_model>) {
+        // Warm the next candidate's first probe line while this segment's
+        // search runs: on a miss the walk goes there next, and a prefetch
+        // has no architectural effect, so semantics and stats are
+        // untouched even when the walk stops here. Gated with the kernel
+        // tier: Isa::kScalar is the portable reference path, so it takes
+        // no software prefetch either.
+        if (isa_ != simd::Isa::kScalar && j > 0) {
+          const Seg& nx = *lv.segs[j - 1];
+          if (nx.size() > 0)
+            __builtin_prefetch(nx.keys.data() + nx.size() / 2 - 1);
         }
-        std::size_t lo = 0, hi = seg.items.size();
+        lo = simd::lower_bound_keys(seg.keys.data(), seg.size(), key, isa_);
+      } else {
+        lo = 0;
+        std::size_t hi = seg.size();
         while (lo < hi) {
           const std::size_t mid = lo + (hi - lo) / 2;
           mm_.touch(seg.base_addr + mid * sizeof(TItem), sizeof(TItem));
-          if (seg.items[mid].key < key) {
+          if (seg.keys[mid] < key) {
             lo = mid + 1;
           } else {
             hi = mid;
           }
         }
-        if (lo < seg.items.size() && seg.items[lo].key == key) {
-          if (seg.items[lo].is_tombstone()) return std::nullopt;
-          return seg.items[lo].value;
+      }
+      if (lo < seg.size() && seg.keys[lo] == key) {
+        if (seg.is_tombstone(lo)) {
+          result = std::nullopt;
+        } else {
+          result = seg.vals[lo];
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<V> find_tiered(const K& key) const {
+    // One hash serves every segment's filter probe on this find.
+    const std::uint64_t h = cfg_.filters ? filt::key_hash(key) : 0;
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      if constexpr (std::is_same_v<MM, dam::null_mem_model>) {
+        // Same trick across the level boundary: warm the next level's
+        // newest segment (its first candidate) under this level's probes.
+        if (isa_ != simd::Isa::kScalar && l + 1 < levels_.size() &&
+            !levels_[l + 1].segs.empty()) {
+          const Seg& nx = *levels_[l + 1].segs.back();
+          if (nx.size() > 0)
+            __builtin_prefetch(nx.keys.data() + nx.size() / 2 - 1);
         }
       }
+      std::optional<V> result;
+      if (find_in_level(levels_[l], key, h, result)) return result;
     }
     return std::nullopt;
   }
@@ -1224,38 +1349,25 @@ class Gcola {
   /// passes — for batch feeds that is log2(g) passes over cache-resident
   /// data instead of a log2(capacity)-pass sort.
   void normalize_stage() {
-    collapse_runs(stage_, stage_runs_, tfold_tmp_, stage_runs_scratch_);
+    kern::collapse_runs(stage_, stage_runs_, tfold_tmp_, stage_runs_scratch_,
+                        isa_, &last_collapse_final_dups_);
   }
 
-  /// Widen an Entry run into compact TItems, appending to `out` — the one
-  /// place that knows how an Entry maps onto the tiered element.
+  /// Widen an Entry run onto the plane buffer, appending to `out` — the one
+  /// place that knows how an Entry maps onto the tiered element planes.
   static void append_widened(const Entry<K, V>* b, const Entry<K, V>* e,
-                             std::vector<TItem>& out) {
+                             kern::RunBuf<K, V>& out) {
+    out.reserve(out.size() + static_cast<std::size_t>(e - b));
+    for (; b != e; ++b) out.push_back(b->key, b->value, 0);
+  }
+
+  /// TItem-run form (mixed put/erase batches): tombstone flags ride along.
+  static void append_widened(const TItem* b, const TItem* e,
+                             kern::RunBuf<K, V>& out) {
     out.reserve(out.size() + static_cast<std::size_t>(e - b));
     for (; b != e; ++b) {
-      TItem s{};
-      s.key = b->key;
-      s.value = b->value;
-      out.push_back(s);
+      out.push_back(b->key, b->value, static_cast<std::uint8_t>(b->flags));
     }
-  }
-
-  /// The branch-light newest-wins pair merge shared by every tiered merge
-  /// site: writes the merge of older [a, ae) and newer [b, be) to `w`
-  /// (newer wins key ties; both sides advance, dropping the older
-  /// duplicate) and returns one past the last element written.
-  static TItem* merge_pair_newest_wins(const TItem* a, const TItem* ae,
-                                       const TItem* b, const TItem* be, TItem* w) {
-    while (a != ae && b != be) {
-      const bool take_b = !(a->key < b->key);
-      const bool take_a = !(b->key < a->key);
-      const TItem* pick = take_b ? b : a;  // pointer select: cmov, no branch
-      *w++ = *pick;
-      a += take_a;
-      b += take_b;
-    }
-    w = std::copy(a, ae, w);
-    return std::copy(b, be, w);
   }
 
   /// Binary-counter compaction of the staging arena's tail: after a
@@ -1271,15 +1383,13 @@ class Gcola {
       const std::size_t older = b2 - b1;
       const std::size_t newer = stage_.size() - b2;
       if (older > newer) break;
-      tfold_tmp_.resize(older + newer);
-      TItem* w = merge_pair_newest_wins(stage_.data() + b1, stage_.data() + b2,
-                                        stage_.data() + b2,
-                                        stage_.data() + stage_.size(),
-                                        tfold_tmp_.data());
-      const std::size_t merged = static_cast<std::size_t>(w - tfold_tmp_.data());
-      std::copy(tfold_tmp_.data(), tfold_tmp_.data() + merged,
-                stage_.begin() + b1);
-      stage_.resize(b1 + merged);
+      kern::merge_into(stage_.subview(b1, b2), stage_.subview(b2, stage_.size()),
+                       tfold_tmp_, isa_);
+      const std::size_t w = tfold_tmp_.size();
+      std::copy_n(tfold_tmp_.keys.data(), w, stage_.keys.begin() + b1);
+      std::copy_n(tfold_tmp_.vals.data(), w, stage_.vals.begin() + b1);
+      std::copy_n(tfold_tmp_.flags.data(), w, stage_.flags.begin() + b1);
+      stage_.resize(b1 + w);
       stage_runs_.pop_back();
       stage_run_min_.pop_back();
       stage_run_max_.pop_back();
@@ -1288,60 +1398,10 @@ class Gcola {
       stage_run_segs_.pop_back();
       stage_run_segs_.back().reset();
       // The merged run's fences span both inputs; read them off the data.
-      stage_run_min_.back() = stage_[b1].key;
-      stage_run_max_.back() = stage_.back().key;
-      stats_.duplicates_dropped += older + newer - merged;
+      stage_run_min_.back() = stage_.keys[b1];
+      stage_run_max_.back() = stage_.keys.back();
+      stats_.duplicates_dropped += older + newer - w;
     }
-  }
-
-  /// Collapse a buffer of sorted runs (oldest run leftmost, newest
-  /// rightmost; `runs` holds each run's begin offset ascending) into one
-  /// sorted, newest-wins run left in `buf`. Balanced rounds of pairwise
-  /// merges — log2(#runs) passes — with the RIGHT (newer) run winning key
-  /// ties, which preserves the global recency order round over round.
-  void collapse_runs(std::vector<TItem>& buf, std::vector<std::uint32_t>& run_list,
-                     std::vector<TItem>& tmp, std::vector<std::uint32_t>& tmp_runs) {
-    if (run_list.size() <= 1) return;
-    std::vector<TItem>* src = &buf;
-    std::vector<TItem>* dst = &tmp;
-    std::vector<std::uint32_t>* runs = &run_list;
-    std::vector<std::uint32_t>* next_runs = &tmp_runs;
-    while (runs->size() > 1) {
-      const bool final_round = runs->size() <= 2;
-      const std::size_t in_size = src->size();
-      dst->resize(src->size());
-      next_runs->clear();
-      TItem* w = dst->data();
-      for (std::size_t r = 0; r < runs->size(); r += 2) {
-        next_runs->push_back(static_cast<std::uint32_t>(w - dst->data()));
-        const std::uint32_t ab = (*runs)[r];
-        const std::uint32_t ae = r + 1 < runs->size()
-                                     ? (*runs)[r + 1]
-                                     : static_cast<std::uint32_t>(src->size());
-        if (r + 1 >= runs->size()) {  // odd run out: carry over
-          w = std::copy(src->data() + ab, src->data() + ae, w);
-          break;
-        }
-        const std::uint32_t be = r + 2 < runs->size()
-                                     ? (*runs)[r + 2]
-                                     : static_cast<std::uint32_t>(src->size());
-        w = merge_pair_newest_wins(src->data() + ab, src->data() + ae,
-                                   src->data() + ae, src->data() + be, w);
-      }
-      dst->resize(static_cast<std::size_t>(w - dst->data()));
-      // The LAST round merges two runs that each hold at most one copy per
-      // key, so its drop count approximates the number of DISTINCT keys
-      // duplicated across the fold — the staleness estimator's input (a key
-      // hot enough to repeat many times still counts once here).
-      if (final_round) last_collapse_final_dups_ = in_size - dst->size();
-      std::swap(src, dst);
-      std::swap(runs, next_runs);
-    }
-    if (src != &buf) buf.swap(*src);
-    // Leave the boundary list describing the result (one run at offset 0),
-    // not whichever round's stale offsets the ping-pong ended on.
-    run_list.clear();
-    if (!buf.empty()) run_list.push_back(0);
   }
 
   /// Reserve a logical address region for the staging arena (lazy: only
@@ -1360,18 +1420,22 @@ class Gcola {
   /// pre-dedup op count (stats).
   void apply_normalized(std::vector<TItem>& run, std::size_t n_raw) {
     ++mutation_epoch_;
-    sort_dedup_newest_wins(run, titem_batch_scratch_);
-    stats_.duplicates_dropped += n_raw - run.size();
+    // Stable sort keeps input order among equal keys (duplicates KEPT); the
+    // plane-form keep-last kernel then collapses them after widening — the
+    // identical newest-wins result, with the dedup scan vectorized.
+    sort_by_key(run, titem_batch_scratch_);
     if (cfg_.staging_capacity > 0) {
       ensure_stage_base();
       stage_.reserve(std::max(cfg_.staging_capacity, stage_.size() + run.size()));
-      stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
-      stage_run_min_.push_back(run.front().key);
-      stage_run_max_.push_back(run.back().key);
+      const std::size_t b = stage_.size();
+      stage_runs_.push_back(static_cast<std::uint32_t>(b));
+      append_widened(run.data(), run.data() + run.size(), stage_);
+      stats_.duplicates_dropped += kern::dedup_newest_wins(stage_, b, isa_);
+      stage_run_min_.push_back(stage_.keys[b]);
+      stage_run_max_.push_back(stage_.keys.back());
       stage_run_segs_.emplace_back();
-      stage_.insert(stage_.end(), run.begin(), run.end());
-      mm_.touch_write(stage_base_ + (stage_.size() - run.size()) * sizeof(TItem),
-                      run.size() * sizeof(TItem));
+      mm_.touch_write(stage_base_ + b * sizeof(TItem),
+                      (stage_.size() - b) * sizeof(TItem));
       stats_.stage_absorbed += n_raw;
       // Small mixed-op runs must not grow the arena's run count linearly
       // (find() probes every run): the binary-counter tail merge keeps it
@@ -1381,25 +1445,29 @@ class Gcola {
       return;
     }
     ensure_level(0);
+    titem_run_.clear();
+    append_widened(run.data(), run.data() + run.size(), titem_run_);
+    stats_.duplicates_dropped += kern::dedup_newest_wins(titem_run_, 0, isa_);
     // A singleton run with room in level 0 is exactly a single op.
-    if (run.size() == 1 && !level_full(0)) {
-      put(run[0].key, run[0].value, run[0].is_tombstone());
+    if (titem_run_.size() == 1 && !level_full(0)) {
+      put(titem_run_.keys[0], titem_run_.vals[0],
+          (titem_run_.flags[0] & kFlagTombstone) != 0);
       return;
     }
     if (cfg_.tiered) {
       ++stats_.batch_merges;
-      incoming_spans_.assign(1, {run.data(), run.data() + run.size()});
-      cascade_run_tiered(run.size());
+      incoming_spans_.assign(1, titem_run_.view());
+      cascade_run_tiered(titem_run_.size());
       return;
     }
     std::vector<Slot>& srun = scratch_batch_;
     srun.clear();
-    srun.reserve(run.size());
-    for (const TItem& t : run) {
+    srun.reserve(titem_run_.size());
+    for (std::size_t i = 0; i < titem_run_.size(); ++i) {
       Slot s{};
-      s.key = t.key;
-      s.value = t.value;
-      s.flags = t.flags;
+      s.key = titem_run_.keys[i];
+      s.value = titem_run_.vals[i];
+      s.flags = titem_run_.flags[i];
       srun.push_back(s);
     }
     ++stats_.batch_merges;
@@ -1478,7 +1546,7 @@ class Gcola {
         // but the DAM model still charges the logical rewrite so modeled
         // costs stay comparable across the refcounting change.
         for (const SegRef& seg : to.segs) {
-          mm_.touch_write(seg->base_addr, seg->items.size() * sizeof(TItem));
+          mm_.touch_write(seg->base_addr, seg->size() * sizeof(TItem));
         }
         bottom_relocated_ = true;
         t = select_cascade_target(incoming);
@@ -1533,7 +1601,7 @@ class Gcola {
     for (std::size_t j = 0; j < nsegs && est > 0; ++j) {
       const Seg& seg = *lv.segs[j];
       if (hi < seg.min_key || seg.max_key < lo) continue;  // disjoint
-      const std::uint32_t sz = static_cast<std::uint32_t>(seg.items.size());
+      const std::uint32_t sz = static_cast<std::uint32_t>(seg.size());
       const std::uint32_t headroom = sz - std::min(sz, lv.seg_stale[j]);
       const std::uint32_t take =
           static_cast<std::uint32_t>(std::min<std::uint64_t>(headroom, est));
@@ -1569,9 +1637,9 @@ class Gcola {
       if (lv.real_count == 0) continue;
       for (std::size_t j = 0; j < lv.segs.size(); ++j) {  // oldest first
         const Seg& seg = *lv.segs[j];
-        mm_.touch(seg.base_addr, seg.items.size() * sizeof(TItem));
-        fold_spans_.emplace_back(seg.items.data(),
-                                 seg.items.data() + seg.items.size());
+        mm_.touch(seg.base_addr, seg.size() * sizeof(TItem));
+        fold_spans_.push_back(kern::RunView<K, V>{
+            seg.keys.data(), seg.vals.data(), seg.flags.data(), seg.size()});
       }
       total += lv.real_count;
     }
@@ -1598,18 +1666,15 @@ class Gcola {
     ++mutation_epoch_;
     if (cfg_.staging_capacity > 0) {
       ensure_stage_base();
-      if (stage_.capacity() < cfg_.staging_capacity) {
+      if (stage_.keys.capacity() < cfg_.staging_capacity) {
         stage_.reserve(cfg_.staging_capacity);
       }
-      TItem s{};
-      s.key = key;
-      s.value = value;
-      s.flags = tombstone ? kFlagTombstone : 0u;
       stage_runs_.push_back(static_cast<std::uint32_t>(stage_.size()));
       stage_run_min_.push_back(key);
       stage_run_max_.push_back(key);
       stage_run_segs_.emplace_back();
-      stage_.push_back(s);
+      stage_.push_back(key, value,
+                       static_cast<std::uint8_t>(tombstone ? kFlagTombstone : 0u));
       mm_.touch_write(stage_base_ + (stage_.size() - 1) * sizeof(TItem), sizeof(TItem));
       counter_merge_stage_tail();
       ++stats_.stage_absorbed;
@@ -1620,12 +1685,10 @@ class Gcola {
     if (!level_full(0)) {
       Level& l0 = levels_[0];
       if (cfg_.tiered) {
-        TItem s{};
-        s.key = key;
-        s.value = value;
-        s.flags = tombstone ? kFlagTombstone : 0u;
-        std::vector<TItem> items(1, s);
-        SegRef seg = new_segment(std::move(items));
+        SegRef seg = new_segment(
+            std::vector<K>(1, key), std::vector<V>(1, value),
+            std::vector<std::uint8_t>(
+                1, static_cast<std::uint8_t>(tombstone ? kFlagTombstone : 0u)));
         mm_.touch_write(seg->base_addr, sizeof(TItem));
         l0.segs.assign(1, std::move(seg));
         l0.seg_stale.assign(1, 0);
@@ -1648,12 +1711,10 @@ class Gcola {
     // Tiered: the target must have segment room AND slot space; reuse the
     // capacity-aware walk with a singleton run.
     if (cfg_.tiered) {
-      TItem s{};
-      s.key = key;
-      s.value = value;
-      s.flags = tombstone ? kFlagTombstone : 0u;
-      titem_run_.assign(1, s);
-      incoming_spans_.assign(1, {titem_run_.data(), titem_run_.data() + 1});
+      titem_run_.clear();
+      titem_run_.push_back(
+          key, value, static_cast<std::uint8_t>(tombstone ? kFlagTombstone : 0u));
+      incoming_spans_.assign(1, titem_run_.view());
       cascade_run_tiered(1);
       return;
     }
@@ -1729,7 +1790,7 @@ class Gcola {
     // Collect source spans oldest -> newest: deeper level = older, within a
     // level the first segment is oldest, and the incoming spans (already
     // ordered oldest -> newest by the caller) are newest of all.
-    std::vector<std::pair<const TItem*, const TItem*>>& spans = fold_spans_;
+    std::vector<kern::RunView<K, V>>& spans = fold_spans_;
     spans.clear();
     std::size_t total = 0;
     for (std::size_t l = t; l-- > 0;) {
@@ -1737,15 +1798,15 @@ class Gcola {
       if (lv.real_count == 0) continue;
       for (std::size_t j = 0; j < lv.segs.size(); ++j) {  // oldest first
         const Seg& seg = *lv.segs[j];
-        mm_.touch(seg.base_addr, seg.items.size() * sizeof(TItem));
-        spans.emplace_back(seg.items.data(),
-                           seg.items.data() + seg.items.size());
+        mm_.touch(seg.base_addr, seg.size() * sizeof(TItem));
+        spans.push_back(kern::RunView<K, V>{
+            seg.keys.data(), seg.vals.data(), seg.flags.data(), seg.size()});
       }
       total += lv.real_count;
     }
-    for (const auto& s : incoming_spans_) {
+    for (const kern::RunView<K, V>& s : incoming_spans_) {
       spans.push_back(s);
-      total += static_cast<std::size_t>(s.second - s.first);
+      total += s.n;
     }
     const bool drop_tombstones =
         t >= deepest_nonempty() && levels_[t].real_count == 0;
@@ -1774,8 +1835,8 @@ class Gcola {
     // compactions on hot-set feeds. Pure-growth feeds measure ~0.
     if (!tfold_buf_.empty() && last_collapse_final_dups_ > 0) {
       const std::uint64_t est = last_collapse_final_dups_;
-      const K& lo = tfold_buf_.front().key;
-      const K& hi = tfold_buf_.back().key;
+      const K& lo = tfold_buf_.keys.front();
+      const K& hi = tfold_buf_.keys.back();
       add_staleness(t, lo, hi, est, /*exclude_newest=*/true);
       // The arrival also shadows deeper data. Credit the deepest level —
       // where retention is bounded only by the forced folds — so small-g
@@ -1803,9 +1864,9 @@ class Gcola {
   /// the first merge round are the same pass. Shared by the cascade fold and
   /// the tombstone-pressure bottom compaction.
   void collapse_fold_spans(std::size_t total) {
-    const std::vector<std::pair<const TItem*, const TItem*>>& spans = fold_spans_;
+    const std::vector<kern::RunView<K, V>>& spans = fold_spans_;
     if (spans.size() == 1) {
-      tfold_buf_.assign(spans[0].first, spans[0].second);
+      tfold_buf_.assign(spans[0]);
       last_collapse_final_dups_ = 0;
       return;
     }
@@ -1813,24 +1874,31 @@ class Gcola {
       kway_merge_spans(spans, total, tfold_buf_);
       return;
     }
-    std::vector<TItem>& buf = tfold_buf_;
+    kern::RunBuf<K, V>& buf = tfold_buf_;
     std::vector<std::uint32_t>& runs = fold_runs_;
     buf.resize(total);
     runs.clear();
-    TItem* w = buf.data();
+    std::size_t w = 0;
     for (std::size_t i = 0; i < spans.size(); i += 2) {
-      runs.push_back(static_cast<std::uint32_t>(w - buf.data()));
+      runs.push_back(static_cast<std::uint32_t>(w));
       if (i + 1 >= spans.size()) {  // odd span out: carry over
-        w = std::copy(spans[i].first, spans[i].second, w);
+        std::copy_n(spans[i].keys, spans[i].n, buf.keys.data() + w);
+        std::copy_n(spans[i].vals, spans[i].n, buf.vals.data() + w);
+        std::copy_n(spans[i].flags, spans[i].n, buf.flags.data() + w);
+        w += spans[i].n;
         break;
       }
-      w = merge_pair_newest_wins(spans[i].first, spans[i].second,
-                                 spans[i + 1].first, spans[i + 1].second, w);
+      w += kern::merge_pair_newest_wins(
+          spans[i].keys, spans[i].vals, spans[i].flags, spans[i].n,
+          spans[i + 1].keys, spans[i + 1].vals, spans[i + 1].flags,
+          spans[i + 1].n, buf.keys.data() + w, buf.vals.data() + w,
+          buf.flags.data() + w, isa_);
     }
-    buf.resize(static_cast<std::size_t>(w - buf.data()));
+    buf.resize(w);
     // Two spans: the gather round above WAS the final round.
-    if (spans.size() <= 2) last_collapse_final_dups_ = total - buf.size();
-    collapse_runs(buf, runs, tfold_tmp_, fold_runs_scratch_);
+    if (spans.size() <= 2) last_collapse_final_dups_ = total - w;
+    kern::collapse_runs(buf, runs, tfold_tmp_, fold_runs_scratch_, isa_,
+                        &last_collapse_final_dups_);
   }
 
   // Fold totals at or above this run through the one-pass k-way merge
@@ -1845,17 +1913,11 @@ class Gcola {
   /// DRAM-resident drains bandwidth-bound instead of latency-bound. Ties
   /// order the NEWER (higher-index) span first, so duplicates of a key pop
   /// newest-first and dedup is a last-emitted-key compare.
-  void kway_merge_spans(
-      const std::vector<std::pair<const TItem*, const TItem*>>& spans,
-      std::size_t total, std::vector<TItem>& out) {
+  void kway_merge_spans(const std::vector<kern::RunView<K, V>>& spans,
+                        std::size_t total, kern::RunBuf<K, V>& out) {
     out.resize(total);
     const std::size_t ns = spans.size();
-    kway_cur_.resize(ns);
-    kway_end_.resize(ns);
-    for (std::size_t i = 0; i < ns; ++i) {
-      kway_cur_[i] = spans[i].first;
-      kway_end_[i] = spans[i].second;
-    }
+    kway_pos_.assign(ns, 0);
     std::size_t tsize = 1;
     while (tsize < ns) tsize <<= 1;
     // x beats y when it must pop first: alive, and smaller key — or the
@@ -1877,8 +1939,8 @@ class Gcola {
     loser_idx_.assign(tsize, 0);
     loser_alive_.assign(tsize, 0);
     for (std::size_t i = 0; i < ns; ++i) {
-      if (kway_cur_[i] == kway_end_[i]) continue;
-      wkey_[tsize + i] = kway_cur_[i]->key;
+      if (spans[i].n == 0) continue;
+      wkey_[tsize + i] = spans[i].keys[0];
       widx_[tsize + i] = static_cast<std::uint32_t>(i);
       walive_[tsize + i] = 1;
     }
@@ -1896,17 +1958,21 @@ class Gcola {
     }
     bool wa = walive_[1] != 0;
     std::uint32_t wi = widx_[1];
-    TItem* w = out.data();
-    const K* last_key = nullptr;
+    K* wk = out.keys.data();
+    V* wv = out.vals.data();
+    std::uint8_t* wf = out.flags.data();
+    std::size_t w = 0;
     // Distinct duplicated keys (a key's drops count once) — the staleness
     // estimator's input; copies of one key pop adjacently here.
     std::uint64_t distinct_dups = 0;
     bool cur_key_dropped = false;
     while (wa) {
-      const TItem& item = *kway_cur_[wi];
-      if (last_key == nullptr || *last_key < item.key) {
-        *w = item;
-        last_key = &w->key;
+      const std::size_t p = kway_pos_[wi];
+      const K& k = spans[wi].keys[p];
+      if (w == 0 || wk[w - 1] < k) {
+        wk[w] = k;
+        wv[w] = spans[wi].vals[p];
+        wf[w] = spans[wi].flags[p];
         ++w;
         cur_key_dropped = false;
       } else {  // older duplicate of the key just emitted — dropped
@@ -1915,11 +1981,11 @@ class Gcola {
           cur_key_dropped = true;
         }
       }
-      ++kway_cur_[wi];
+      ++kway_pos_[wi];
       // Replay the path from this leaf: the new head (or "drained") plays
       // each cached loser on the way to the root.
-      bool ca = kway_cur_[wi] != kway_end_[wi];
-      K ck = ca ? kway_cur_[wi]->key : K{};
+      bool ca = kway_pos_[wi] != spans[wi].n;
+      K ck = ca ? spans[wi].keys[kway_pos_[wi]] : K{};
       std::uint32_t ci = wi;
       for (std::size_t n2 = (tsize + wi) >> 1; n2 >= 1; n2 >>= 1) {
         if (beats(loser_alive_[n2] != 0, loser_key_[n2], loser_idx_[n2], ca, ck, ci)) {
@@ -1933,7 +1999,7 @@ class Gcola {
       wa = ca;
       wi = ci;
     }
-    out.resize(static_cast<std::size_t>(w - out.data()));
+    out.resize(w);
     last_collapse_final_dups_ = distinct_dups;
   }
 
@@ -1942,12 +2008,13 @@ class Gcola {
   /// sequential write with no rewrite of the level's existing segments.
   /// Landing at or past the spill depth reports the segment (and the
   /// consumed ids gathered by the fold) to the attached observer.
-  void append_segment(std::size_t l, const std::vector<TItem>& content) {
+  void append_segment(std::size_t l, const kern::RunBuf<K, V>& content) {
     if (content.empty()) return;
     Level& lv = levels_[l];
     assert(lv.real_count + content.size() <= real_cap(l));
-    std::vector<TItem> items(content.begin(), content.end());
-    SegRef seg = new_segment(std::move(items));
+    SegRef seg = new_segment(std::vector<K>(content.keys),
+                             std::vector<V>(content.vals),
+                             std::vector<std::uint8_t>(content.flags));
     const std::uint64_t seg_id = seg->id;
     mm_.touch_write(seg->base_addr, content.size() * sizeof(TItem));
     lv.tomb_count += seg->tombs;
@@ -1960,9 +2027,11 @@ class Gcola {
     if (fold_observer_ != nullptr && l >= spill_depth_) {
       spill_items_.clear();
       spill_items_.reserve(content.size());
-      for (const TItem& t : content) {
-        spill_items_.push_back(t.is_tombstone() ? Op<K, V>::del(t.key)
-                                                : Op<K, V>::put(t.key, t.value));
+      for (std::size_t i = 0; i < content.size(); ++i) {
+        spill_items_.push_back(
+            (content.flags[i] & kFlagTombstone) != 0
+                ? Op<K, V>::del(content.keys[i])
+                : Op<K, V>::put(content.keys[i], content.vals[i]));
       }
       fold_observer_->on_segment_spill(seg_id, l, spill_items_.data(),
                                        spill_items_.size(),
@@ -2070,6 +2139,22 @@ class Gcola {
         continue;
       }
       run[w++] = run[r];
+    }
+    run.resize(w);
+  }
+
+  /// Plane-form overload for the tiered fold buffers.
+  void strip_tombstones(kern::RunBuf<K, V>& run) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < run.size(); ++r) {
+      if ((run.flags[r] & kFlagTombstone) != 0) {
+        ++stats_.tombstones_dropped;
+        continue;
+      }
+      run.keys[w] = run.keys[r];
+      run.vals[w] = run.vals[r];
+      run.flags[w] = run.flags[r];
+      ++w;
     }
     run.resize(w);
   }
@@ -2229,10 +2314,14 @@ class Gcola {
   // Mutable: the const read paths (find, Cursor::seek) count their fence
   // skips — observability, not state the reads depend on.
   mutable ColaStats stats_;
+  // Kernel dispatch tier resolved once at construction: the process-wide
+  // active ISA, or scalar when the simd knob is off (ablations).
+  simd::Isa isa_ = simd::Isa::kScalar;
   mutable MM mm_;
-  // Staging L0 arena: a sequence of sorted runs (batches normalized on
-  // arrival; single ops are 1-entry runs), flushed as one cascade when full.
-  std::vector<TItem> stage_;
+  // Staging L0 arena, plane form: a sequence of sorted runs (batches
+  // normalized on arrival; single ops are 1-entry runs), flushed as one
+  // cascade when full.
+  kern::RunBuf<K, V> stage_;
   std::vector<std::uint32_t> stage_runs_;  // begin offset of each run
   std::vector<std::uint32_t> stage_runs_scratch_;
   // Per-run fence keys (parallel to stage_runs_): min/max key of each run,
@@ -2248,14 +2337,14 @@ class Gcola {
   // Tiered cascade scratch: incoming run spans (prepared by callers of
   // cascade_run_tiered), gathered source spans, run boundaries, fold
   // buffers, and the singleton/unstaged run.
-  std::vector<std::pair<const TItem*, const TItem*>> incoming_spans_, fold_spans_;
+  std::vector<kern::RunView<K, V>> incoming_spans_, fold_spans_;
   std::vector<std::uint32_t> fold_runs_, fold_runs_scratch_;
-  std::vector<TItem> tfold_buf_, tfold_tmp_, titem_run_;
+  kern::RunBuf<K, V> tfold_buf_, tfold_tmp_, titem_run_;
   // Distinct duplicated keys observed by the most recent collapse's final
   // merge round — the staleness estimator's measured input.
   std::uint64_t last_collapse_final_dups_ = 0;
-  // k-way merge state (span cursors + loser-tree node caches).
-  std::vector<const TItem*> kway_cur_, kway_end_;
+  // k-way merge state (per-span positions + loser-tree node caches).
+  std::vector<std::size_t> kway_pos_;
   std::vector<K> wkey_, loser_key_;
   std::vector<std::uint32_t> widx_, loser_idx_;
   std::vector<std::uint8_t> walive_, loser_alive_;
@@ -2284,7 +2373,8 @@ class Gcola {
   // allocation, not a per-call sort buffer).
   mutable snap::Snapshot<K, V> snap_cache_;
   mutable std::uint64_t snap_epoch_ = 0;
-  mutable std::vector<TItem> snap_stage_view_, snap_stage_scratch_;
+  mutable kern::RunBuf<K, V> snap_stage_view_, snap_stage_tmp_;
+  mutable std::vector<std::uint32_t> snap_stage_runs_, snap_stage_runs_scratch_;
   // Dictionary-owned scan cursor backing range_for_each/for_each, so the
   // scan paths reuse one warm merge scratch across calls (mutable: scans
   // are const and the cursor is pure scratch; scans are not reentrant).

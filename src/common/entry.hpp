@@ -152,32 +152,38 @@ void radix_sort_by_key(std::vector<It>& v, std::vector<It>& scratch) {
   if (src != v.data()) v.swap(scratch);
 }
 
+/// Stable sort by key ascending with the fastest applicable algorithm —
+/// duplicates KEPT, in input order (the stable tie rule newest-wins dedup
+/// relies on). Presorted feeds are detected in O(n) and skip the sort
+/// outright; random integral-key runs take the radix sort, everything else
+/// the branch-light merge sort. This is sort_dedup_newest_wins minus the
+/// dedup pass — callers that dedup elsewhere (the SoA plane kernels in
+/// cola/kernels.hpp dedup after widening) sort through here so both paths
+/// share one algorithm-selection policy.
+template <class It>
+void sort_by_key(std::vector<It>& batch, std::vector<It>& scratch) {
+  if (is_sorted_by_key(batch)) return;
+  // Radix wins on larger runs of integral keys; below ~128 elements its
+  // per-pass histogram work (256 counters x key bytes) dominates and the
+  // merge sort is cheaper.
+  if constexpr (std::unsigned_integral<decltype(It::key)>) {
+    if (batch.size() >= 128) {
+      radix_sort_by_key(batch, scratch);
+      return;
+    }
+  }
+  stable_sort_by_key(batch, scratch);
+}
+
 /// Normalize an ingest batch in place: stable-sort by key ascending and
 /// collapse duplicate keys so the LAST occurrence in input order survives
 /// (newest wins — matching repeated insert() calls). Works on any element
 /// type with a `.key` member, so each structure can normalize batches of its
 /// internal item type (tombstones ride along untouched). `scratch` is the
 /// sort's merge buffer, reused across batches.
-///
-/// Presorted feeds are detected in O(n) and skip the sort: a stable sort of
-/// an already-sorted run is the identity, so dedup alone (equal keys are
-/// adjacent, last occurrence = newest) gives the identical result.
 template <class It>
 void sort_dedup_newest_wins(std::vector<It>& batch, std::vector<It>& scratch) {
-  if (!is_sorted_by_key(batch)) {
-    // Radix wins on larger runs of integral keys; below ~128 elements its
-    // per-pass histogram work (256 counters x key bytes) dominates and the
-    // merge sort is cheaper.
-    if constexpr (std::unsigned_integral<decltype(It::key)>) {
-      if (batch.size() >= 128) {
-        radix_sort_by_key(batch, scratch);
-      } else {
-        stable_sort_by_key(batch, scratch);
-      }
-    } else {
-      stable_sort_by_key(batch, scratch);
-    }
-  }
+  sort_by_key(batch, scratch);
   std::size_t w = 0;
   for (std::size_t r = 0; r < batch.size(); ++r) {
     if (r + 1 < batch.size() && batch[r + 1].key == batch[r].key) continue;

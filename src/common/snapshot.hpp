@@ -2,19 +2,37 @@
 // first-class Snapshot handle the read API is built on (contract in
 // api/dictionary.hpp).
 //
-// A Segment is an immutable sorted run of Items with fence keys and a
-// stable identity, held by shared_ptr — the structure that produced it and
-// every open Snapshot share ownership, so a fold that retires a segment
-// from the live structure simply drops its reference: the segment is freed
-// when the last snapshot pinning it goes away (deferred free via the
-// refcount, no epoch lists or grace periods). A SnapshotData is an ordered
-// set of segment references — NEWEST FIRST, which is the priority order the
-// loser-tree merge needs for newest-wins dedup and tombstone suppression —
-// plus the mutation epoch it was stamped at. Snapshot is the value-semantic
-// handle over that (a shared_ptr wrapper): copies are refcount bumps, and
-// every read through it (find / cursor / for_each / range_for_each) sees
-// exactly the stamped contents no matter what the source dictionary does
-// afterwards.
+// A Segment is an immutable sorted run held by shared_ptr — the structure
+// that produced it and every open Snapshot share ownership, so a fold that
+// retires a segment from the live structure simply drops its reference: the
+// segment is freed when the last snapshot pinning it goes away (deferred
+// free via the refcount, no epoch lists or grace periods).
+//
+// Storage is STRUCTURE-OF-ARRAYS: three parallel planes (keys / vals /
+// flags) instead of an array of 24-byte Item structs. Dense key planes are
+// what make the read and fold paths data-parallel — a binary-search tail or
+// a merge bulk-advance loads 4 consecutive keys in one AVX2 register, where
+// the AoS layout wasted 2/3 of every cache line on values and flags the
+// comparison never looks at (kernels in common/simd.hpp, cola/kernels.hpp).
+// Item survives as the EXCHANGE type: batch normalization still sorts small
+// cache-hot AoS runs, and DAM accounting still charges sizeof(Item) bytes
+// per logical element at base_addr + i*sizeof(Item), so the transfer
+// numbers are layout-independent and bit-identical to the AoS build.
+//
+// Segments also carry an optional per-segment fingerprint filter (blocked
+// Bloom, common/filter.hpp), minted by the producer at fold/flush time and
+// stored alongside the fence keys: fences prune a probe only when the key
+// falls outside [min_key, max_key], the filter prunes (1 - FPR) of
+// everything the fences let through. An empty filter vector means "not
+// minted" — reads then probe as before, so filters are strictly optional.
+//
+// A SnapshotData is an ordered set of segment references — NEWEST FIRST,
+// which is the priority order the loser-tree merge needs for newest-wins
+// dedup and tombstone suppression — plus the mutation epoch it was stamped
+// at. Snapshot is the value-semantic handle over that (a shared_ptr
+// wrapper): copies are refcount bumps, and every read through it (find /
+// cursor / for_each / range_for_each) sees exactly the stamped contents no
+// matter what the source dictionary does afterwards.
 //
 // Thread safety: SnapshotData and Segments are immutable after
 // construction and shared_ptr refcounts are atomic, so a Snapshot handle
@@ -30,7 +48,9 @@
 // traffic to its memory model. Detached snapshots handed across threads
 // carry no hook — accounting is a property of the owner's read call, not
 // of the shared data, which is what keeps concurrent snapshot reads free
-// of writes to shared state.
+// of writes to shared state. Accounted probes use the plain per-element
+// binary search so every touch is charged; UNACCOUNTED probes (no hook, or
+// a segment with no logical address) take the SIMD lower-bound kernel.
 #pragma once
 
 #include <algorithm>
@@ -41,13 +61,16 @@
 #include <vector>
 
 #include "common/entry.hpp"
+#include "common/filter.hpp"
 #include "common/loser_tree.hpp"
+#include "common/simd.hpp"
 
 namespace costream::snap {
 
 /// Compact sorted-run element: key, value, and a tombstone flag. This is
-/// the tiered COLA's internal item (cola.hpp aliases it as TItem) and the
-/// element every snapshot segment stores, whatever structure produced it.
+/// the EXCHANGE type — the tiered COLA's batch-normalization item (cola.hpp
+/// aliases it as TItem) and the unit DAM accounting charges per logical
+/// element — segments themselves store planes, not Items.
 template <class K = Key, class V = Value>
 struct Item {
   K key{};
@@ -67,17 +90,30 @@ inline std::atomic<std::int64_t>& live_segment_count() noexcept {
   return n;
 }
 
-/// An immutable sorted run: the unit of snapshot pinning. Built once
-/// (mutable while the producer fills it), then only ever read through
-/// `shared_ptr<const Segment>`.
+/// An immutable sorted run in structure-of-arrays layout: the unit of
+/// snapshot pinning. Built once (mutable while the producer fills it), then
+/// only ever read through `shared_ptr<const Segment>`.
 template <class K = Key, class V = Value>
 struct Segment {
-  std::vector<Item<K, V>> items;  // sorted by key, unique keys
-  K min_key{}, max_key{};         // fence keys == items.front/back key
-  std::uint32_t tombs = 0;        // tombstones among items
-  std::uint64_t id = 0;           // producer-assigned stable identity
-  std::uint64_t base_addr = 0;    // logical address of items[0] (DAM); 0 = none
-  std::uint64_t epoch = 0;        // mutation epoch the segment was created at
+  std::vector<K> keys;              // sorted, unique — the dense probe plane
+  std::vector<V> vals;              // vals[i] belongs to keys[i]
+  std::vector<std::uint8_t> flags;  // Item flag bits, narrowed (tombstone bit)
+  std::vector<std::uint64_t> filter;  // blocked Bloom words; empty = no filter
+  K min_key{}, max_key{};           // fence keys == keys.front/back
+  std::uint32_t tombs = 0;          // tombstones among entries
+  std::uint64_t id = 0;             // producer-assigned stable identity
+  std::uint64_t base_addr = 0;      // logical address of element 0 (DAM); 0 = none
+  std::uint64_t epoch = 0;          // mutation epoch the segment was created at
+
+  std::size_t size() const noexcept { return keys.size(); }
+  bool is_tombstone(std::size_t i) const noexcept {
+    return (flags[i] & Item<K, V>::kFlagTombstone) != 0;
+  }
+  /// Reconstitute the exchange-type view of element i (spill observers,
+  /// materialize round-trips).
+  Item<K, V> item(std::size_t i) const noexcept {
+    return Item<K, V>{keys[i], vals[i], flags[i]};
+  }
 
   Segment() { live_segment_count().fetch_add(1, std::memory_order_relaxed); }
   ~Segment() { live_segment_count().fetch_sub(1, std::memory_order_relaxed); }
@@ -88,24 +124,60 @@ struct Segment {
 template <class K = Key, class V = Value>
 using SegmentRef = std::shared_ptr<const Segment<K, V>>;
 
-/// Build a segment from a sorted run (fences and tombstone count derived).
+/// Build a segment from sorted planes (fences and tombstone count derived;
+/// `with_filter` mints the per-segment Bloom filter — O(1) per element).
 /// Returns nullptr for an empty run — snapshots never hold empty segments.
 template <class K, class V>
-SegmentRef<K, V> make_segment(std::vector<Item<K, V>>&& items, std::uint64_t id,
-                              std::uint64_t base_addr = 0,
-                              std::uint64_t epoch = 0) {
-  if (items.empty()) return nullptr;
+SegmentRef<K, V> make_segment(std::vector<K>&& keys, std::vector<V>&& vals,
+                              std::vector<std::uint8_t>&& flags,
+                              std::uint64_t id, std::uint64_t base_addr = 0,
+                              std::uint64_t epoch = 0,
+                              bool with_filter = false) {
+  if (keys.empty()) return nullptr;
   auto seg = std::make_shared<Segment<K, V>>();
-  seg->items = std::move(items);
-  seg->min_key = seg->items.front().key;
-  seg->max_key = seg->items.back().key;
+  seg->keys = std::move(keys);
+  seg->vals = std::move(vals);
+  seg->flags = std::move(flags);
+  seg->min_key = seg->keys.front();
+  seg->max_key = seg->keys.back();
   std::uint32_t tombs = 0;
-  for (const Item<K, V>& it : seg->items) tombs += it.is_tombstone() ? 1u : 0u;
+  for (const std::uint8_t f : seg->flags) {
+    tombs += (f & Item<K, V>::kFlagTombstone) != 0 ? 1u : 0u;
+  }
   seg->tombs = tombs;
   seg->id = id;
   seg->base_addr = base_addr;
   seg->epoch = epoch;
+  if constexpr (filt::filter_hashable_v<K>) {
+    if (with_filter) {
+      seg->filter = filt::build_filter(seg->keys.data(), seg->keys.size());
+    }
+  }
   return seg;
+}
+
+/// Convenience overload from the AoS exchange form (copy-on-snapshot
+/// materialization and other cold producers): widens into planes.
+template <class K, class V>
+SegmentRef<K, V> make_segment(std::vector<Item<K, V>>&& items, std::uint64_t id,
+                              std::uint64_t base_addr = 0,
+                              std::uint64_t epoch = 0,
+                              bool with_filter = false) {
+  if (items.empty()) return nullptr;
+  std::vector<K> keys;
+  std::vector<V> vals;
+  std::vector<std::uint8_t> flags;
+  keys.reserve(items.size());
+  vals.reserve(items.size());
+  flags.reserve(items.size());
+  for (const Item<K, V>& it : items) {
+    keys.push_back(it.key);
+    vals.push_back(it.value);
+    flags.push_back(static_cast<std::uint8_t>(it.flags));
+  }
+  items.clear();
+  return make_segment<K, V>(std::move(keys), std::move(vals), std::move(flags),
+                            id, base_addr, epoch, with_filter);
 }
 
 /// Owner-installed accounting callbacks for cursor reads: `touch` charges a
@@ -173,7 +245,7 @@ class SnapshotCursor {
     if (!valid_) return;
     Src& s = srcs_[tree_.top()];
     advance(s);
-    tree_.replay(s.at != s.end, s.at != s.end ? s.at->key : K{});
+    tree_.replay(s.at != s.end, s.at != s.end ? s.seg->keys[s.at] : K{});
     advance_to_live();
   }
 
@@ -184,9 +256,10 @@ class SnapshotCursor {
 
  private:
   struct Src {
-    const Item<K, V>* at = nullptr;
-    const Item<K, V>* end = nullptr;
-    std::uint64_t addr = 0;  // logical address of *at (0 = unaccounted)
+    const Segment<K, V>* seg = nullptr;
+    std::size_t at = 0;
+    std::size_t end = 0;
+    std::uint64_t addr = 0;  // logical address of element `at` (0 = unaccounted)
   };
 
   void touch_at(std::uint64_t addr) const {
@@ -211,9 +284,9 @@ class SnapshotCursor {
     srcs_.clear();
     if (data_ != nullptr) {
       const bool fences = data_->fence_keys;
+      const simd::Isa isa = simd::active_isa();
       for (const SegmentRef<K, V>& seg : data_->segs) {  // newest first
-        const Item<K, V>* b = seg->items.data();
-        const Item<K, V>* e = b + seg->items.size();
+        const std::size_t n = seg->size();
         // Fence skips: the whole segment sorts before the seek point or
         // past the bound — never touched.
         if (fences && lo != nullptr && seg->max_key < *lo) {
@@ -224,38 +297,42 @@ class SnapshotCursor {
           if (hook_.seg_skip != nullptr) hook_.seg_skip(hook_.ctx);
           continue;
         }
-        const Item<K, V>* a = b;
+        std::size_t a = 0;
         const bool whole_at_or_past_lo =
             lo == nullptr || (fences && !(seg->min_key < *lo));
         if (!whole_at_or_past_lo) {
-          // Manual binary search so every probe is accounted.
-          std::size_t x = 0, y = seg->items.size();
-          while (x < y) {
-            const std::size_t mid = x + (y - x) / 2;
-            touch_at(seg->base_addr != 0
-                         ? seg->base_addr + mid * sizeof(Item<K, V>)
-                         : 0);
-            if (b[mid].key < *lo) {
-              x = mid + 1;
-            } else {
-              y = mid;
+          const K* kb = seg->keys.data();
+          if (hook_.touch == nullptr || seg->base_addr == 0) {
+            // Unaccounted seek: the data-parallel probe kernel.
+            a = simd::lower_bound_keys(kb, n, *lo, isa);
+          } else {
+            // Manual binary search so every probe is accounted.
+            std::size_t x = 0, y = n;
+            while (x < y) {
+              const std::size_t mid = x + (y - x) / 2;
+              touch_at(seg->base_addr + mid * sizeof(Item<K, V>));
+              if (kb[mid] < *lo) {
+                x = mid + 1;
+              } else {
+                y = mid;
+              }
             }
+            a = x;
           }
-          a = b + x;
         }
-        if (a == e) continue;
+        if (a == n) continue;
         const std::uint64_t addr =
             seg->base_addr != 0
                 ? seg->base_addr +
-                      static_cast<std::uint64_t>(a - b) * sizeof(Item<K, V>)
+                      static_cast<std::uint64_t>(a) * sizeof(Item<K, V>)
                 : 0;
         touch_at(addr);
-        srcs_.push_back(Src{a, e, addr});
+        srcs_.push_back(Src{seg.get(), a, n, addr});
       }
     }
     tree_.reset(srcs_.size());
     for (std::size_t i = 0; i < srcs_.size(); ++i) {
-      tree_.declare(i, srcs_[i].at->key);
+      tree_.declare(i, srcs_[i].seg->keys[srcs_[i].at]);
     }
     tree_.build();
     advance_to_live();
@@ -268,21 +345,21 @@ class SnapshotCursor {
   void advance_to_live() {
     while (tree_.top_alive()) {
       Src& s = srcs_[tree_.top()];
-      const K& k = s.at->key;
+      const K& k = s.seg->keys[s.at];
       if (bounded_ && hi_ < k) break;  // merged order: all done
       const bool dup = have_last_ && !(last_ < k);
       if (!dup) {
         last_ = k;
         have_last_ = true;
-        if (!s.at->is_tombstone()) {
+        if (!s.seg->is_tombstone(s.at)) {
           cur_.key = k;
-          cur_.value = s.at->value;
+          cur_.value = s.seg->vals[s.at];
           valid_ = true;
           return;
         }
       }
       advance(s);
-      tree_.replay(s.at != s.end, s.at != s.end ? s.at->key : K{});
+      tree_.replay(s.at != s.end, s.at != s.end ? s.seg->keys[s.at] : K{});
     }
     valid_ = false;
   }
@@ -334,22 +411,29 @@ class Snapshot {
     return data_;
   }
 
-  /// Point lookup against the frozen view: probe segments newest-first
-  /// with fence-key pruning; the first hit wins (tombstone = absent).
-  /// Touches only the pinned immutable segments and no memory hook, so it
-  /// is safe from any thread — the sharded facade's barrier-free find()
-  /// is built on exactly this call against a worker-published view.
+  /// Point lookup against the frozen view: probe segments newest-first —
+  /// fence-key pruning, then the segment's fingerprint filter (when
+  /// minted), then the SIMD lower-bound kernel on the dense key plane; the
+  /// first hit wins (tombstone = absent). Touches only the pinned immutable
+  /// segments and no memory hook, so it is safe from any thread — the
+  /// sharded facade's barrier-free find() is built on exactly this call
+  /// against a worker-published view.
   std::optional<V> find(const K& key) const {
     if (data_ == nullptr) return std::nullopt;
     const bool fences = data_->fence_keys;
+    const simd::Isa isa = simd::active_isa();
+    const std::uint64_t h = filt::key_hash(key);
     for (const SegmentRef<K, V>& seg : data_->segs) {  // newest first
       if (fences && (key < seg->min_key || seg->max_key < key)) continue;
-      const auto it = std::lower_bound(
-          seg->items.begin(), seg->items.end(), key,
-          [](const Item<K, V>& s, const K& k) { return s.key < k; });
-      if (it != seg->items.end() && it->key == key) {
-        if (it->is_tombstone()) return std::nullopt;
-        return it->value;
+      if (!seg->filter.empty() &&
+          !filt::filter_may_contain(seg->filter.data(), seg->filter.size(), h)) {
+        continue;  // definitely absent from this segment
+      }
+      const std::size_t n = seg->size();
+      const std::size_t i = simd::lower_bound_keys(seg->keys.data(), n, key, isa);
+      if (i != n && seg->keys[i] == key) {
+        if (seg->is_tombstone(i)) return std::nullopt;
+        return seg->vals[i];
       }
     }
     return std::nullopt;
@@ -393,12 +477,16 @@ template <class K, class V, class D>
 Snapshot<K, V> materialize(const D& d, std::uint64_t epoch) {
   auto data = std::make_shared<SnapshotData<K, V>>();
   data->epoch = epoch;
-  std::vector<Item<K, V>> items;
+  std::vector<K> keys;
+  std::vector<V> vals;
   d.for_each([&](const K& k, const V& v) {
-    items.push_back(Item<K, V>{k, v, 0});
+    keys.push_back(k);
+    vals.push_back(v);
   });
+  std::vector<std::uint8_t> flags(keys.size(), 0);
   if (SegmentRef<K, V> seg =
-          make_segment(std::move(items), /*id=*/0, /*base_addr=*/0, epoch)) {
+          make_segment<K, V>(std::move(keys), std::move(vals), std::move(flags),
+                             /*id=*/0, /*base_addr=*/0, epoch)) {
     data->segs.push_back(std::move(seg));
   }
   return Snapshot<K, V>(std::move(data));

@@ -73,6 +73,36 @@ inline double cola_fence_search_transfer_bound(double n, double growth,
          staged_elems / std::max(1.0, block_elems);
 }
 
+/// Cold-search transfer bound for the tiered COLA with per-segment
+/// FINGERPRINT FILTERS (common/filter.hpp) layered on top of fences. A
+/// filter answers "definitely absent" for (1 - fpr) of the segments the
+/// fences could not rule out, so of the up-to-`segments_per_level` segments
+/// a level holds, a cold find probes an expected
+///
+///   1 + fpr * (segs - 1)
+///
+/// segments — at most one true hit plus the false-positive share of the
+/// rest. This is the uniform-random complement to the fence bound above:
+/// fences win when segments are range-disjoint (skip fraction -> 1), filters
+/// win when every segment spans the keyspace (skip fraction -> 0) — which is
+/// exactly the regime the filter ablation benches measure. Pass
+/// filt::kDesignFpr for `fpr` to get the design-point bound, or a measured
+/// rate (ColaStats::find_seg_probes / filter_seg_skips) to validate it;
+/// transfer_bounds_test.cpp checks measured probes against this form.
+/// Filter blocks themselves live beside the fence keys and are charged as
+/// in-memory metadata, like fences — no extra transfer term.
+inline double cola_filter_search_transfer_bound(double n, double growth,
+                                                double block_elems,
+                                                double staged_elems,
+                                                double segments_per_level,
+                                                double fpr) noexcept {
+  const double p = std::min(1.0, std::max(0.0, fpr));
+  const double segs = std::max(1.0, segments_per_level);
+  const double probed = 1.0 + (segs - 1.0) * p;
+  return log_growth(n, growth) * probed +
+         staged_elems / std::max(1.0, block_elems);
+}
+
 /// Amortized transfer bound for a MIXED put/erase feed (erase_batch /
 /// apply_batch) on the tiered COLA with bounded tombstone retention.
 /// Tombstones are insertions to the cascade — the paper's delete treatment —

@@ -151,22 +151,38 @@ TEST(AllocFree, ColaStagingArenaSteadyState) {
   // outlive folds — so the steady state is structural, not absolute:
   // every insert OFF a flush boundary allocates nothing, and the residual
   // total stays within a fixed per-flush minting budget.
-  cola::Gcola<> d(cola::ingest_tuned(4, 64));  // arena = 256 entries
-  std::uint64_t s = 37;
-  for (std::uint64_t i = 0; i < 70'000; ++i) d.insert(splitmix64(s), i);
-  constexpr std::uint64_t kWindow = 4'000;
-  std::uint64_t allocating_ops = 0, total = 0;
-  for (std::uint64_t i = 0; i < kWindow; ++i) {
-    const std::uint64_t a = count_allocs([&] { d.insert(splitmix64(s), i); });
-    if (a != 0) ++allocating_ops;
-    total += a;
+  //
+  // Budget accounting per minted segment in the SoA layout: the shared
+  // control block plus three plane vectors (keys/vals/flags), and with
+  // filters armed (the ingest_tuned default) one fingerprint-filter vector
+  // — 5 allocations; a flush can mint the frozen arena run plus cascade
+  // fold outputs. Run both filter arms so the filter's O(1)-allocations
+  // cost is pinned separately from the plane minting.
+  for (const bool filters : {false, true}) {
+    cola::ColaConfig cfg = cola::ingest_tuned(4, 64);  // arena = 256 entries
+    cfg.filters = filters;
+    cola::Gcola<> d(cfg);
+    std::uint64_t s = 37;
+    for (std::uint64_t i = 0; i < 70'000; ++i) d.insert(splitmix64(s), i);
+    constexpr std::uint64_t kWindow = 4'000;
+    std::uint64_t allocating_ops = 0, total = 0;
+    for (std::uint64_t i = 0; i < kWindow; ++i) {
+      const std::uint64_t a = count_allocs([&] { d.insert(splitmix64(s), i); });
+      if (a != 0) ++allocating_ops;
+      total += a;
+    }
+    const std::uint64_t flushes = kWindow / 256 + 1;  // arena drains in window
+    EXPECT_LE(allocating_ops, flushes)
+        << "filters=" << filters
+        << ": staged inserts allocate off the flush boundary";
+    // 4 allocations per planes-only segment, +1 when filters are armed,
+    // times a small per-flush segment count.
+    const std::uint64_t per_seg = filters ? 5u : 4u;
+    EXPECT_LE(total, flushes * per_seg * 4)
+        << "filters=" << filters
+        << ": per-flush segment minting exceeds the structural budget";
+    d.check_invariants();
   }
-  const std::uint64_t flushes = kWindow / 256 + 1;  // arena drains in the window
-  EXPECT_LE(allocating_ops, flushes)
-      << "staged inserts allocate off the flush boundary";
-  EXPECT_LE(total, flushes * 12)
-      << "per-flush segment minting exceeds the structural budget";
-  d.check_invariants();
 }
 
 TEST(AllocFree, SegmentRefcountChurnLeaksNothing) {

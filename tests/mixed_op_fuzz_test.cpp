@@ -663,6 +663,38 @@ TEST(MixedOpFuzz, ColaClassicStaged) {
   }
 }
 
+TEST(MixedOpFuzz, ColaFilterSimdAblationCorners) {
+  // The four knob corners of the data-parallel engine: fingerprint filters
+  // on/off x SIMD kernels on/off. The differential oracle must be blind to
+  // both — filters may only skip DEFINITELY-absent segments (a false
+  // negative would surface here as a find divergence), and the vector
+  // kernels are contractually bit-identical to the scalar reference the
+  // simd=false arm runs. ingest_tuned already fuzzes the default corner
+  // (filters on, simd on) in ColaStaged; these arms pin the other three
+  // plus an explicit all-on corner on the pure-tiered (unstaged) mode.
+  for (const bool filters : {false, true}) {
+    for (const bool use_simd : {false, true}) {
+      const std::string label = std::string("cola-staged-filters") +
+                                (filters ? "1" : "0") + "-simd" +
+                                (use_simd ? "1" : "0");
+      fuzz_config(label, [filters, use_simd] {
+        cola::ColaConfig cfg = cola::ingest_tuned(8, 24);
+        cfg.filters = filters;
+        cfg.simd = use_simd;
+        return cola::Gcola<>(cfg);
+      }, 900);
+    }
+  }
+  fuzz_config("cola-tiered-filters1-simd1", [] {
+    cola::ColaConfig cfg;
+    cfg.growth = 4;
+    cfg.pointer_density = 0.0;
+    cfg.tiered = true;
+    cfg.filters = true;
+    return cola::Gcola<>(cfg);
+  }, 900);
+}
+
 TEST(MixedOpFuzz, ColaTightTombstoneThreshold) {
   // An aggressive retention bound exercises the forced bottom folds on
   // every erase-heavy stretch of the trace.

@@ -10,6 +10,7 @@
 
 #include "btree/btree.hpp"
 #include "cola/cola.hpp"
+#include "common/filter.hpp"
 #include "common/rng.hpp"
 #include "dam/bounds.hpp"
 #include "dam/dam_mem_model.hpp"
@@ -118,6 +119,11 @@ TEST(TransferBounds, FenceKeysPruneTimePartitionedSearch) {
   const auto build_and_measure = [&](bool fences) {
     cola::ColaConfig cfg = cola::ingest_tuned(8, 1024);
     cfg.fence_keys = fences;
+    // Isolate the fences: the ingest-tuned preset also arms fingerprint
+    // filters, which would prune the range-disjoint segments themselves
+    // (a present-key probe is absent from every segment but one) and
+    // collapse the very fenced-vs-unfenced gap this test measures.
+    cfg.filters = false;
     cola::Gcola<Key, Value, dam::dam_mem_model> c(cfg,
                                                   dam::dam_mem_model(kBlock, mem));
     std::vector<Entry<>> batch(1024);
@@ -186,6 +192,103 @@ TEST(TransferBounds, FenceKeysPruneTimePartitionedSearch) {
                                 static_cast<double>(n), 8.0, kBlock / 24.0,
                                 staged0, segs0) +
                           4.0);
+}
+
+// Fingerprint filters: under a UNIFORM-RANDOM feed every tiered segment
+// spans essentially the whole keyspace, so fences prune nothing and a cold
+// find binary-searches every segment. Per-segment filters answer
+// "definitely absent" for all but ~FPR of them, collapsing probed segments
+// per find to the filter-aware bound 1 + FPR*(segs-1) per level
+// (dam/bounds.hpp: cola_filter_search_transfer_bound). Measured via
+// ColaStats::find_seg_probes / filter_seg_skips on absent-key probes (the
+// worst case: the walk visits every level).
+TEST(TransferBounds, FilterKeysPruneUniformRandomSearch) {
+  const std::uint64_t n = 1 << 16;
+  const std::uint64_t mem = 1 << 19;
+  const auto build_and_measure = [&](bool filters) {
+    cola::ColaConfig cfg = cola::ingest_tuned(8, 1024);
+    cfg.filters = filters;
+    cola::Gcola<Key, Value, dam::dam_mem_model> c(cfg,
+                                                  dam::dam_mem_model(kBlock, mem));
+    std::vector<Entry<>> batch(1024);
+    for (std::uint64_t i = 0; i < n;) {
+      for (auto& e : batch) {
+        e = Entry<>{mix64(i), i};  // uniform random: fences cannot prune
+        ++i;
+      }
+      c.insert_batch(batch);
+    }
+    c.flush_stage();  // empty arena: probes measure the tiered walk alone
+    Xoshiro256 rng(17);
+    const std::uint64_t probes_before = c.stats().find_seg_probes;
+    const std::uint64_t skips_before = c.stats().filter_seg_skips;
+    std::uint64_t transfers = 0;
+    const int probes = 200;
+    for (int q = 0; q < probes; ++q) {
+      c.mm().clear_cache();
+      c.mm().reset_stats();
+      (void)c.find(rng());  // absent w.h.p.: walks every level
+      transfers += c.mm().stats().transfers;
+    }
+    std::uint64_t segs = 0, levels_with_segs = 0;
+    for (std::size_t l = 0; l < c.level_count(); ++l) {
+      if (c.level_segment_count(l) > 0) {
+        segs += c.level_segment_count(l);
+        ++levels_with_segs;
+      }
+    }
+    const double probed_per_find =
+        static_cast<double>(c.stats().find_seg_probes - probes_before) / probes;
+    const double skipped_per_find =
+        static_cast<double>(c.stats().filter_seg_skips - skips_before) / probes;
+    const double segs_per_level =
+        levels_with_segs > 0
+            ? static_cast<double>(segs) / static_cast<double>(levels_with_segs)
+            : 1.0;
+    return std::tuple<double, double, double, double>(
+        probed_per_find, skipped_per_find, static_cast<double>(levels_with_segs),
+        segs_per_level);
+  };
+  const auto [probed_on, skipped_on, levels_on, spl_on] = build_and_measure(true);
+  const auto [probed_off, skipped_off, levels_off, spl_off] =
+      build_and_measure(false);
+  // Disabled filters never skip; enabled ones must carry the probe load.
+  EXPECT_EQ(skipped_off, 0.0);
+  EXPECT_GT(skipped_on, 0.0);
+  // The headline criterion: filters cut probed segments per find by >= 3x
+  // on the uniform-random feed (in practice the cut is ~30x at FPR 1.4%).
+  EXPECT_GE(probed_off, 3.0 * std::max(probed_on, 1e-9))
+      << "filters-on probes " << probed_on << "/find, off " << probed_off;
+  // Measured FPR: of the segments the filters examined, the share passed
+  // through must sit near the design point (these are absent keys, so every
+  // pass-through is a false positive). Generous band: blocked designs
+  // wobble, but an order-of-magnitude drift means a broken hash or sizing.
+  const double considered = probed_on + skipped_on;
+  const double fpr = considered > 0.0 ? probed_on / considered : 0.0;
+  EXPECT_LT(fpr, 4.0 * filt::kDesignFpr) << "measured fpr " << fpr;
+  // Closed-form check: probed segments per find within a constant of the
+  // filter-aware per-level form, levels * (1 + FPR*(segs-1)).
+  const double bound_probes =
+      levels_on * (1.0 + filt::kDesignFpr * (spl_on - 1.0));
+  EXPECT_LT(probed_on, 3.0 * bound_probes + 1.0)
+      << "probed=" << probed_on << " bound=" << bound_probes;
+  // And the transfer bound agrees in shape: the filtered search must land
+  // under the closed-form cola_filter_search_transfer_bound constant-factor
+  // envelope while the unfiltered one matches the plain tiered bound.
+  const double filter_bound = dam::cola_filter_search_transfer_bound(
+      static_cast<double>(n), 8.0, kBlock / 24.0, /*staged_elems=*/0.0, spl_on,
+      filt::kDesignFpr);
+  EXPECT_GT(filter_bound, 0.0);
+  // The bound is monotone in FPR: a better filter can only lower it.
+  EXPECT_LE(dam::cola_filter_search_transfer_bound(1e6, 8.0, 128.0, 0.0, 7.0, 0.01),
+            dam::cola_filter_search_transfer_bound(1e6, 8.0, 128.0, 0.0, 7.0, 0.5));
+  // At FPR -> 1 the filter bound degenerates to the plain tiered search
+  // bound — filters never model as worse than no filters.
+  EXPECT_NEAR(dam::cola_filter_search_transfer_bound(1e6, 8.0, 128.0, 64.0, 7.0, 1.0),
+              dam::cola_search_transfer_bound(1e6, 8.0, 128.0, 64.0, 7.0), 1e-9);
+  (void)levels_off;
+  (void)spl_off;
+  (void)skipped_off;
 }
 
 // Mixed put/erase feeds: tombstones ride the cascade as insertions, so a
