@@ -47,6 +47,7 @@
 //   REPRO_ORDERS   comma list filtering the key orders, e.g. "random,eraseheavy"
 #include <stdlib.h>  // mkdtemp (POSIX)
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -86,7 +87,24 @@ struct Cell {
   double wall_rate = 0.0;     // inserts/sec, wall clock, null memory model
   double modeled_rate = 0.0;  // inserts/sec, DAM disk model
   double transfers_per_op = 0.0;
+  // Per-batch-call wall latency percentiles (microseconds), from the timed
+  // null-model run: the distribution of individual apply_batch /
+  // insert_batch stalls. 0 at batch 1 (no batch calls to time — per-op
+  // timer reads would perturb the single-op wall rate itself).
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
 };
+
+/// Percentile of a latency sample by nearest-rank; 0 on an empty sample.
+double pct(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  const std::size_t r =
+      std::min(v.size() - 1,
+               static_cast<std::size_t>(q * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(r), v.end());
+  return v[r];
+}
 
 /// i-th key of the named stream. "hot256": 90% of draws from a 256-key hot
 /// set, the rest uniform — the duplicate-heavy shape of real ingest feeds.
@@ -126,9 +144,13 @@ Op<> mixed_op_of(const std::string& order, std::uint64_t n, std::uint64_t i) {
 /// orders through insert_batch. Structures with a staging arena drain it at
 /// the end so the measured cost includes every deferred cascade — no hiding
 /// work in the arena.
+/// When `lat` is non-null, the wall time of every individual batch call is
+/// appended (microseconds) — the per-call stall distribution behind the
+/// p50/p99/p999 cells. Batch-1 loops never collect (a timer read per
+/// single op would perturb the very rate being measured).
 template <class D>
 void ingest(D& d, const std::string& order, const KeyStream& ks, std::uint64_t n,
-            std::uint64_t batch) {
+            std::uint64_t batch, std::vector<double>* lat = nullptr) {
   if (is_mixed_order(order)) {
     if (batch <= 1) {
       for (std::uint64_t i = 0; i < n; ++i) {
@@ -148,7 +170,13 @@ void ingest(D& d, const std::string& order, const KeyStream& ks, std::uint64_t n
         for (std::uint64_t j = 0; j < take; ++j, ++i) {
           chunk.push_back(mixed_op_of(order, n, i));
         }
-        d.apply_batch(chunk);
+        if (lat != nullptr) {
+          Timer call;
+          d.apply_batch(chunk);
+          lat->push_back(call.seconds() * 1e6);
+        } else {
+          d.apply_batch(chunk);
+        }
       }
     }
   } else if (batch <= 1) {
@@ -162,7 +190,13 @@ void ingest(D& d, const std::string& order, const KeyStream& ks, std::uint64_t n
       for (std::uint64_t j = 0; j < take; ++j, ++i) {
         chunk.push_back(Entry<>{key_of(order, ks, i), i});
       }
-      d.insert_batch(chunk);
+      if (lat != nullptr) {
+        Timer call;
+        d.insert_batch(chunk);
+        lat->push_back(call.seconds() * 1e6);
+      } else {
+        d.insert_batch(chunk);
+      }
     }
   }
   if constexpr (requires { d.flush_stage(); }) d.flush_stage();
@@ -181,8 +215,10 @@ Cell run_cell(const std::string& name, const std::string& order, DW& dwall, DD& 
   c.n = n;
   c.growth = growth;
   c.staging = staging;
+  std::vector<double> lat;
+  if (batch > 1) lat.reserve(n / batch + 1);
   Timer timer;
-  ingest(dwall, order, ks, n, batch);
+  ingest(dwall, order, ks, n, batch, batch > 1 ? &lat : nullptr);
   const double wall = timer.seconds();
   ingest(ddam, order, ks, n, batch);
   const double modeled = mm.modeled_seconds();
@@ -190,6 +226,9 @@ Cell run_cell(const std::string& name, const std::string& order, DW& dwall, DD& 
   c.modeled_rate = modeled > 0 ? static_cast<double>(n) / modeled : c.wall_rate;
   c.transfers_per_op =
       static_cast<double>(mm.stats().transfers) / static_cast<double>(n);
+  c.p50_us = pct(lat, 0.50);
+  c.p99_us = pct(lat, 0.99);
+  c.p999_us = pct(lat, 0.999);
   return c;
 }
 
@@ -246,6 +285,11 @@ int main(int argc, char** argv) {
   }
   std::erase_if(orders,
                 [](const std::string& o) { return !in_env_list("REPRO_ORDERS", o); });
+  // REPRO_BATCHES: comma list filtering the batch sizes (e.g. "1024" for
+  // the CI compaction-latency gate, which only needs the headline cells).
+  std::erase_if(batches, [](std::uint64_t b) {
+    return !in_env_list("REPRO_BATCHES", std::to_string(b));
+  });
 
   std::vector<Cell> cells;
   for (const std::string& order : orders) {
@@ -270,6 +314,33 @@ int main(int argc, char** argv) {
                                                       dam::dam_mem_model(block, mem));
         cells.push_back(
             run_cell(arm, order, w, d, d.mm(), ks, n, b, g, cfg.staging_capacity));
+      }
+      // Background-compaction arms: the g=8 staged preset with deep folds
+      // deferred to the process pool (cola/compactor.hpp). Wall rates and
+      // the per-batch-call stall percentiles are the point — the p99/p999
+      // cells drop when rare deep folds leave the mutating thread. The DAM
+      // run counts with the engine self-disabled (counting models fold
+      // inline), so transfers/op must match cola-g8 bit-for-bit.
+      for (const unsigned bg : {1u, 2u}) {
+        char arm[24];
+        std::snprintf(arm, sizeof arm, "cola-g8-bg%u", bg);
+        if (!structure_enabled(arm)) continue;
+        cola::ColaConfig cfg = cola::ingest_tuned(8, 1024);
+        cfg.compaction_threads = bg;
+        cola::Gcola<> w(cfg);
+        cola::Gcola<Key, Value, dam::dam_mem_model> d(cfg,
+                                                      dam::dam_mem_model(block, mem));
+        cells.push_back(
+            run_cell(arm, order, w, d, d.mm(), ks, n, b, 8, cfg.staging_capacity));
+        const cola::CompactionStats cs = w.compaction_stats();
+        std::printf(
+            "# %s %s batch=%llu: folds_deferred=%llu writer_assists=%llu "
+            "queue_peak=%llu bg_fold_ms=%.1f\n",
+            arm, order.c_str(), static_cast<unsigned long long>(b),
+            static_cast<unsigned long long>(cs.folds_deferred),
+            static_cast<unsigned long long>(cs.writer_assists),
+            static_cast<unsigned long long>(cs.compaction_queue_peak),
+            static_cast<double>(cs.bg_fold_ns) / 1e6);
       }
       // Durable WAL arms: the same g=8 staged inner behind the storage
       // tier, on a real directory (PosixEnv). Wall clock only — the DAM
@@ -459,20 +530,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Background-compaction acceptance lines: stall tail and throughput of
+  // the deferred-fold arms against the synchronous cola-g8 baseline, plus
+  // the bit-identity check on modeled transfers. The CI gate re-derives
+  // these from the JSON cells (compare_baseline.py --compaction-gate).
+  {
+    const Cell* sync8 = cell_at("cola-g8", "random", 1024);
+    if (sync8 != nullptr && sync8->p99_us > 0) {
+      std::printf(
+          "\n# background compaction at batch 1024 (random) vs sync cola-g8\n");
+      std::printf("  %-12s p50=%.1fus p99=%.1fus p999=%.1fus\n", "cola-g8",
+                  sync8->p50_us, sync8->p99_us, sync8->p999_us);
+      for (const char* arm : {"cola-g8-bg1", "cola-g8-bg2"}) {
+        const Cell* c = cell_at(arm, "random", 1024);
+        if (c == nullptr) continue;
+        std::printf(
+            "  %-12s p50=%.1fus p99=%.1fus p999=%.1fus  p99 stall %.2fx lower, "
+            "throughput %.2fx, transfers %s\n",
+            arm, c->p50_us, c->p99_us, c->p999_us,
+            c->p99_us > 0 ? sync8->p99_us / c->p99_us : 0.0,
+            sync8->wall_rate > 0 ? c->wall_rate / sync8->wall_rate : 0.0,
+            c->transfers_per_op == sync8->transfers_per_op ? "bit-identical"
+                                                           : "DIVERGED");
+      }
+    }
+  }
+
   std::string json = "[";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
-    char buf[384];
+    char buf[512];
     std::snprintf(
         buf, sizeof buf,
         "%s\n  {\"structure\": \"%s\", \"order\": \"%s\", \"batch\": %llu, "
         "\"n\": %llu, \"growth\": %u, \"staging\": %llu, \"wall_rate\": %.1f, "
-        "\"modeled_rate\": %.1f, \"transfers_per_op\": %.6f}",
+        "\"modeled_rate\": %.1f, \"transfers_per_op\": %.6f, "
+        "\"p50_us\": %.2f, \"p99_us\": %.2f, \"p999_us\": %.2f}",
         i == 0 ? "" : ",", c.structure.c_str(), c.order.c_str(),
         static_cast<unsigned long long>(c.batch),
         static_cast<unsigned long long>(c.n), c.growth,
         static_cast<unsigned long long>(c.staging), c.wall_rate, c.modeled_rate,
-        c.transfers_per_op);
+        c.transfers_per_op, c.p50_us, c.p99_us, c.p999_us);
     json += buf;
   }
   json += "\n]\n";

@@ -104,7 +104,23 @@ struct Cell {
   double wall_rate = 0.0;
   double modeled_rate = 0.0;
   double transfers_per_op = 0.0;
+  // Facade-call stall percentiles (microseconds per insert_batch, timed
+  // run only): the submission-side latency distribution — a call stalls
+  // when a shard ring is full, i.e. when a worker is stuck in a deep fold.
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
 };
+
+/// Percentile of a latency sample by nearest-rank; 0 on an empty sample.
+double pct(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  const std::size_t r =
+      std::min(v.size() - 1,
+               static_cast<std::size_t>(q * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(r), v.end());
+  return v[r];
+}
 
 bool in_env_list(const char* env, const std::string& name) {
   const char* filter = std::getenv(env);
@@ -121,7 +137,8 @@ bool in_env_list(const char* env, const std::string& name) {
 }
 
 template <class D>
-void ingest_batched(D& d, const KeyStream& ks, std::uint64_t n) {
+void ingest_batched(D& d, const KeyStream& ks, std::uint64_t n,
+                    std::vector<double>* lat = nullptr) {
   std::vector<Entry<>> chunk;
   chunk.reserve(kBatch);
   for (std::uint64_t i = 0; i < n;) {
@@ -130,7 +147,13 @@ void ingest_batched(D& d, const KeyStream& ks, std::uint64_t n) {
     for (std::uint64_t j = 0; j < take; ++j, ++i) {
       chunk.push_back(Entry<>{ks.key_at(i), i});
     }
-    d.insert_batch(chunk);
+    if (lat != nullptr) {
+      Timer call;
+      d.insert_batch(chunk);
+      lat->push_back(call.seconds() * 1e6);
+    } else {
+      d.insert_batch(chunk);
+    }
   }
   d.flush_stage();  // dispatches the final folds AND takes the drain barrier:
                     // every deferred cascade lands inside the timed region
@@ -140,24 +163,50 @@ void ingest_batched(D& d, const KeyStream& ks, std::uint64_t n) {
 /// (the DAM leg is skipped under --wall-only).
 Cell run_scaling_cell(std::uint64_t n, std::uint64_t mem, std::size_t S,
                       const KeyStream& ks, std::vector<double>& per_shard_tpo,
-                      bool wall_only) {
+                      bool wall_only, unsigned bg_threads = 0) {
   Cell c;
   c.structure = "shard-cola-g" + std::to_string(kGrowth);
+  if (bg_threads > 0) c.structure += "-bg" + std::to_string(bg_threads);
   c.order = "random";
   c.batch = S;
   c.n = n;
   c.staging = static_cast<std::uint64_t>(kGrowth) * kBatch;
   c.shards = S;
-  const cola::ColaConfig cfg = cola::ingest_tuned(kGrowth, kBatch);
+  cola::ColaConfig cfg = cola::ingest_tuned(kGrowth, kBatch);
+  cfg.compaction_threads = bg_threads;
   {
     shard::ShardedConfig<> sc;
     sc.shards = S;
     shard::ShardedDictionary<cola::Gcola<>> d(
         sc, [&](std::size_t) { return cola::Gcola<>(cfg); });
+    std::vector<double> lat;
+    lat.reserve(n / kBatch + 1);
     Timer timer;
-    ingest_batched(d, ks, n);
+    ingest_batched(d, ks, n, &lat);
     const double wall = timer.seconds();
     c.wall_rate = wall > 0 ? static_cast<double>(n) / wall : 0.0;
+    c.p50_us = pct(lat, 0.50);
+    c.p99_us = pct(lat, 0.99);
+    c.p999_us = pct(lat, 0.999);
+    if (bg_threads > 0) {
+      cola::CompactionStats total;
+      for (std::size_t s = 0; s < S; ++s) {
+        const cola::CompactionStats cs = d.shard(s).compaction_stats();
+        total.folds_deferred += cs.folds_deferred;
+        total.writer_assists += cs.writer_assists;
+        total.compaction_queue_peak =
+            std::max(total.compaction_queue_peak, cs.compaction_queue_peak);
+        total.bg_fold_ns += cs.bg_fold_ns;
+      }
+      std::printf(
+          "# %s S=%zu: folds_deferred=%llu writer_assists=%llu "
+          "queue_peak=%llu bg_fold_ms=%.1f\n",
+          c.structure.c_str(), S,
+          static_cast<unsigned long long>(total.folds_deferred),
+          static_cast<unsigned long long>(total.writer_assists),
+          static_cast<unsigned long long>(total.compaction_queue_peak),
+          static_cast<double>(total.bg_fold_ns) / 1e6);
+    }
   }
   if (wall_only) {
     c.modeled_rate = c.wall_rate;
@@ -453,6 +502,27 @@ int main(int argc, char** argv) {
       }
     }
 
+    // -- background compaction x shards ---------------------------------------
+    // The S x compaction_threads interaction: every shard worker defers its
+    // deep folds to the ONE process pool (no S*threads oversubscription).
+    // Stall percentiles here are facade submission stalls — a full shard
+    // ring, i.e. a worker stuck in a fold it could not hand off.
+    if (in_env_list("REPRO_STRUCTS", shard_arm + "-bg2")) {
+      std::printf("\n## shard workers with background folds (compaction_threads=2)\n\n");
+      std::printf("%-8s %14s %14s %14s\n", "shards", "wall ops/s",
+                  "modeled ops/s", "transfers/op");
+      for (const std::size_t S : {1u, 4u}) {
+        std::vector<double> per_shard;
+        cells.push_back(
+            run_scaling_cell(n, mem, S, ks, per_shard, wall_only, /*bg=*/2));
+        const Cell& c = cells.back();
+        std::printf("S=%-6zu %14.0f %14.0f %14.4f  p50=%.1fus p99=%.1fus "
+                    "p999=%.1fus\n",
+                    S, c.wall_rate, c.modeled_rate, c.transfers_per_op,
+                    c.p50_us, c.p99_us, c.p999_us);
+      }
+    }
+
     // -- ingest under an open long scan ---------------------------------------
     std::printf("\n## ingest with a pinned snapshot scanned continuously\n\n");
     std::printf("%-8s %14s\n", "shards", "wall ops/s");
@@ -629,19 +699,19 @@ int main(int argc, char** argv) {
   std::string json = "[";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
-    char buf[384];
+    char buf[512];
     std::snprintf(
         buf, sizeof buf,
         "%s\n  {\"structure\": \"%s\", \"order\": \"%s\", \"batch\": %llu, "
         "\"n\": %llu, \"growth\": %u, \"staging\": %llu, \"shards\": %llu, "
         "\"wall_rate\": %.1f, \"modeled_rate\": %.1f, \"transfers_per_op\": "
-        "%.6f}",
+        "%.6f, \"p50_us\": %.2f, \"p99_us\": %.2f, \"p999_us\": %.2f}",
         i == 0 ? "" : ",", c.structure.c_str(), c.order.c_str(),
         static_cast<unsigned long long>(c.batch),
         static_cast<unsigned long long>(c.n), c.growth,
         static_cast<unsigned long long>(c.staging),
         static_cast<unsigned long long>(c.shards), c.wall_rate, c.modeled_rate,
-        c.transfers_per_op);
+        c.transfers_per_op, c.p50_us, c.p99_us, c.p999_us);
     json += buf;
   }
   json += "\n]\n";

@@ -370,6 +370,18 @@ struct DictConfig {
   std::string durable_dir;
   int durable_fsync = 1;  // 0 = every record, 1 = group commit, 2 = never
   std::size_t spill_depth = 6;  // folds at or past this level hit storage
+  // Background compaction worker count for the tiered COLA ("cola" kind).
+  // 0 = all folds run inline on the mutating thread (the classical bound).
+  // > 0 hands deep tiered folds to a process-wide pool of this many worker
+  // threads: the writer snapshots the fold's input segments, enqueues the
+  // job, and returns — the fold output later installs *below* any runs
+  // that arrived meanwhile, so newest-first shadowing is preserved and
+  // reads/snapshots are never blocked. Large folds are range-partitioned
+  // across the pool. The pool is shared process-wide, so S shards with
+  // compaction_threads = c contend for max(c over shards) workers rather
+  // than S * c. Set COSTREAM_COMPACTION=sync to force inline folds at
+  // runtime regardless of this knob (escape hatch; behavior identical).
+  unsigned compaction_threads = 0;
 
   /// Ingest-tuned preset for growth factor g: staging on, arena g * hint.
   static DictConfig ingest_tuned(unsigned g, std::size_t hint = 1024) {
@@ -385,6 +397,15 @@ struct DictConfig {
                                std::size_t hint = 1024) {
     DictConfig c = ingest_tuned(g, hint);
     c.shards = shard_count;
+    return c;
+  }
+
+  /// Background-compaction preset: ingest-tuned geometry with deep folds
+  /// handed to `workers` pool threads ("cola-g8-bg2" style names).
+  static DictConfig background(unsigned g, unsigned workers,
+                               std::size_t hint = 1024) {
+    DictConfig c = ingest_tuned(g, hint);
+    c.compaction_threads = workers;
     return c;
   }
 

@@ -31,12 +31,14 @@ inline cola::ColaConfig to_cola_config(const DictConfig& c) {
   if (c.staging) {
     cola::ColaConfig cfg = cola::ingest_tuned(c.growth, c.batch_hint);
     cfg.tombstone_threshold = c.tombstone_threshold;
+    cfg.compaction_threads = c.compaction_threads;
     return cfg;
   }
   cola::ColaConfig cfg;
   cfg.growth = c.growth;
   cfg.pointer_density = c.pointer_density;
   cfg.tombstone_threshold = c.tombstone_threshold;
+  cfg.compaction_threads = c.compaction_threads;
   return cfg;
 }
 
@@ -84,7 +86,11 @@ inline AnyDictionary make_dictionary(const std::string& kind,
           storage::DurableDictionary(
               std::make_unique<storage::PosixEnv>(cfg.durable_dir), dc));
     }
-    return AnyDictionary(kind, cola::Gcola<>(to_cola_config(cfg)));
+    std::string name = kind;
+    if (cfg.compaction_threads > 0) {
+      name += "-bg" + std::to_string(cfg.compaction_threads);
+    }
+    return AnyDictionary(std::move(name), cola::Gcola<>(to_cola_config(cfg)));
   }
   if (kind == "shuttle") {
     return AnyDictionary(kind, shuttle::ShuttleTree<>(to_shuttle_config(cfg)));

@@ -115,6 +115,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "cola/compactor.hpp"
 #include "cola/kernels.hpp"
 #include "common/entry.hpp"
 #include "common/filter.hpp"
@@ -173,6 +174,28 @@ struct ColaConfig {
   // reference kernels — the ablation/differential-testing knob; the
   // COSTREAM_SIMD env var further clamps the whole process.
   bool simd = true;
+  // Background compaction (tiered mode only): deep folds run on the
+  // process-shared compaction pool (cola/compactor.hpp) instead of the
+  // mutating thread — the writer snapshots the fold's input segment refs,
+  // enqueues, and returns; the finished output installs at the writer's
+  // next mutation, BELOW any segments that arrived at the target level
+  // after the snapshot point (newest-first order is preserved). 0 keeps
+  // every fold inline (the historical synchronous behavior). Active only
+  // under the null memory model: the counting DAM models are stateful LRU
+  // simulators whose transfer counts depend on touch ORDER and which are
+  // not thread-safe, so accounted builds always fold inline — which is
+  // exactly what makes modeled transfers bit-identical to the sync path.
+  // The COSTREAM_COMPACTION=sync env var clamps the whole process inline.
+  unsigned compaction_threads = 0;
+  // Fault-injection knobs for the compaction oracle self-tests (never set
+  // outside tests). unsafe_break_install_order appends a finished fold's
+  // output ABOVE post-snapshot arrivals instead of below them — exactly
+  // the install-ordering bug the differential fuzz oracle must catch.
+  // unsafe_defer_install suppresses the opportunistic install at mutator
+  // entry (folds install only on writer-assist or drain), maximizing the
+  // window in which arrivals stack above an in-flight fold.
+  bool unsafe_break_install_order = false;
+  bool unsafe_defer_install = false;
 };
 
 /// Ingest-tuned preset: growth factor g, tiered (segmented) levels, and a
@@ -208,6 +231,21 @@ struct ColaStats {
   std::uint64_t find_seg_probes = 0;  // segments actually binary-searched
 };
 
+/// Background-compaction observability (tiered mode with
+/// ColaConfig::compaction_threads > 0). Returned by value as a coherent
+/// photograph: the internals are relaxed atomics (bg_fold_ns is written by
+/// pool workers; a sharded facade's test thread may read while the shard
+/// worker mutates), same pattern as the sharded facade's stats.
+struct CompactionStats {
+  std::uint64_t folds_deferred = 0;  // folds enqueued to the process pool
+  std::uint64_t writer_assists = 0;  // folds the writer ran inline anyway
+                                     // (queue saturated, overlapping
+                                     // cascade, retention pressure, drain)
+  std::uint64_t compaction_queue_peak = 0;  // this structure's high-water
+                                            // pool queue depth at submit
+  std::uint64_t bg_fold_ns = 0;  // total wall ns spent inside fold jobs
+};
+
 template <class K = Key, class V = Value, class MM = dam::null_mem_model>
 class Gcola {
  public:
@@ -221,6 +259,15 @@ class Gcola {
     if (cfg_.pointer_density < 0.0 || cfg_.pointer_density > 0.5) {
       throw std::invalid_argument("cola: pointer density must be in [0, 0.5]");
     }
+    // Background folds only under the null memory model — the counting DAM
+    // models are order-sensitive and single-threaded, so accounted builds
+    // fold inline and stay transfer-identical to sync by construction.
+    bg_enabled_ = cfg_.tiered && cfg_.compaction_threads > 0 &&
+                  std::is_same_v<MM, dam::null_mem_model> &&
+                  !compact::sync_forced();
+    if (bg_enabled_) {
+      compact::Pool::instance().ensure_threads(cfg_.compaction_threads);
+    }
   }
 
   // -- observers --------------------------------------------------------------
@@ -230,11 +277,38 @@ class Gcola {
   MM& mm() noexcept { return mm_; }
   std::size_t level_count() const noexcept { return levels_.size(); }
 
+  /// Atomic photograph of the background-compaction counters (safe to call
+  /// from a thread other than the writer — the ShardedStats pattern).
+  CompactionStats compaction_stats() const noexcept {
+    CompactionStats s;
+    if (cstats_ != nullptr) {
+      s.folds_deferred = cstats_->folds_deferred.load(std::memory_order_relaxed);
+      s.writer_assists = cstats_->writer_assists.load(std::memory_order_relaxed);
+      s.compaction_queue_peak =
+          cstats_->queue_peak.load(std::memory_order_relaxed);
+      s.bg_fold_ns = cstats_->bg_fold_ns.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  /// True while a background fold is in flight or awaiting install.
+  bool compaction_pending() const noexcept { return pending_active_; }
+
+  /// Complete and install any in-flight background fold (writer thread
+  /// only, like every mutator). The quiesce point for checkpoints, shard
+  /// drains, bulk loads, and tests that assert on settled structure.
+  void drain_compaction() {
+    if (pending_active_) assist_pending();
+  }
+
   /// Physical real entries (including not-yet-annihilated tombstones and
-  /// entries still staged in the L0 arena).
+  /// entries still staged in the L0 arena). While a background fold is in
+  /// flight its input mass counts pre-dedup — the fold has not run yet, so
+  /// the duplicates it will collapse are still physically present.
   std::uint64_t item_count() const noexcept {
     std::uint64_t n = stage_.size();
     for (const Level& lv : levels_) n += lv.real_count;
+    if (pending_active_) n += pend_total_in_;
     return n;
   }
 
@@ -394,11 +468,11 @@ class Gcola {
     }
     if (cfg_.tiered) {
       // Levels shallow -> deep, segments newest -> oldest: exactly the
-      // loser tree's priority order. Pinning is a shared_ptr copy.
-      for (const Level& lv : levels_) {
-        for (std::size_t j = lv.segs.size(); j-- > 0;) {
-          data->segs.push_back(lv.segs[j]);
-        }
+      // loser tree's priority order. Pinning is a shared_ptr copy. An
+      // in-flight background fold's inputs interleave at its install level
+      // in recency order (push_level_segs).
+      for (std::size_t l = 0; l < levels_.size(); ++l) {
+        push_level_segs(l, data->segs);
       }
     } else {
       // Classic levels are rewritten in place by merges: copy-on-snapshot.
@@ -478,10 +552,8 @@ class Gcola {
       }
       data->segs.push_back(stage_run_segs_[r]);
     }
-    for (const Level& lv : levels_) {
-      for (std::size_t j = lv.segs.size(); j-- > 0;) {
-        data->segs.push_back(lv.segs[j]);
-      }
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      push_level_segs(l, data->segs);
     }
     return data;
   }
@@ -533,6 +605,7 @@ class Gcola {
     const std::size_t n = batch.size();
     if (n == 0) return;
     ++mutation_epoch_;
+    poll_install();
     // Staging path: normalize the batch while it is small and cache-hot
     // (sort + newest-wins dedup of k entries, not of the whole arena), then
     // append it as one sorted run; the cascade only runs when the arena
@@ -660,6 +733,7 @@ class Gcola {
   void flush_stage() {
     if (stage_.empty()) return;
     ++mutation_epoch_;
+    poll_install();
     ensure_level(0);
     ++stats_.stage_flushes;
     ++stats_.batch_merges;
@@ -680,18 +754,10 @@ class Gcola {
       const std::size_t before = stage_.size();
       normalize_stage();
       stats_.duplicates_dropped += before - stage_.size();
-      // Classic cascade works in Slot form; widen the normalized run once.
-      std::vector<Slot>& run = scratch_batch_;
-      run.clear();
-      run.reserve(stage_.size());
-      for (std::size_t i = 0; i < stage_.size(); ++i) {
-        Slot s{};
-        s.key = stage_.keys[i];
-        s.value = stage_.vals[i];
-        s.flags = stage_.flags[i];
-        run.push_back(s);
-      }
-      cascade_run(run);
+      // The classic cascade consumes plane form directly — no Slot
+      // widening pass between the arena and the per-level merges.
+      cls_acc_.assign(stage_.view());
+      cascade_run_planes();
     }
     stage_.clear();
     stage_runs_.clear();
@@ -705,6 +771,9 @@ class Gcola {
   /// level that fits (one sequential write, O(n/B) transfers) and rebuilds
   /// the lookahead chain — the COLA analogue of a B-tree bulk load.
   void bulk_load(const std::vector<Entry<K, V>>& sorted) {
+    // A bulk load replaces the contents wholesale: land any in-flight fold
+    // first so its segment refs release (then everything clears anyway).
+    drain_compaction();
     ++mutation_epoch_;
     levels_.clear();
     stage_.clear();
@@ -798,7 +867,9 @@ class Gcola {
   /// fully represents the dictionary. Returns true when a segment was
   /// produced (false for an empty dictionary). Tiered mode only.
   bool compact_all(std::size_t min_target = 0) {
+    drain_compaction();
     flush_stage();
+    drain_compaction();  // the flush itself may have deferred a fold
     ++mutation_epoch_;
     const std::size_t d = deepest_nonempty();
     if (levels_.empty() || item_count() == 0) {
@@ -1020,6 +1091,27 @@ class Gcola {
         throw std::logic_error("cola: level stale count drift");
       }
     }
+    if (pending_active_) {
+      if (pend_job_ == nullptr) {
+        throw std::logic_error("cola: pending fold without a job");
+      }
+      if (pend_target_ >= levels_.size()) {
+        throw std::logic_error("cola: pending fold targets missing level");
+      }
+      if (pend_prior_segs_ > levels_[pend_target_].segs.size()) {
+        throw std::logic_error("cola: pending install point out of range");
+      }
+      std::uint64_t in_total = 0;
+      for (const SegRef& s : pend_job_->inputs) {
+        if (s == nullptr || s->size() == 0) {
+          throw std::logic_error("cola: pending fold input invalid");
+        }
+        in_total += s->size();
+      }
+      if (in_total != pend_total_in_) {
+        throw std::logic_error("cola: pending fold mass drift");
+      }
+    }
   }
 
   struct Slot {
@@ -1187,8 +1279,16 @@ class Gcola {
   /// `result`; accounted builds charge each binary-search step to mm_.
   bool find_in_level(const Level& lv, const K& key, std::uint64_t h,
                      std::optional<V>& result) const {
-    for (std::size_t j = lv.segs.size(); j-- > 0;) {  // newest first
-      const Seg& seg = *lv.segs[j];
+    return find_in_segs(lv.segs.data(), lv.segs.size(), key, h, result);
+  }
+
+  /// Core of find_in_level over a raw segment array (segments ordered
+  /// oldest -> newest, probed newest-first) — shared with the pending-fold
+  /// interleave, which probes three disjoint segment spans per level.
+  bool find_in_segs(const SegRef* segs, std::size_t n, const K& key,
+                    std::uint64_t h, std::optional<V>& result) const {
+    for (std::size_t j = n; j-- > 0;) {  // newest first
+      const Seg& seg = *segs[j];
       if (cfg_.fence_keys && (key < seg.min_key || seg.max_key < key)) {
         ++stats_.fence_seg_skips;
         continue;
@@ -1212,7 +1312,7 @@ class Gcola {
         // tier: Isa::kScalar is the portable reference path, so it takes
         // no software prefetch either.
         if (isa_ != simd::Isa::kScalar && j > 0) {
-          const Seg& nx = *lv.segs[j - 1];
+          const Seg& nx = *segs[j - 1];
           if (nx.size() > 0)
             __builtin_prefetch(nx.keys.data() + nx.size() / 2 - 1);
         }
@@ -1257,6 +1357,25 @@ class Gcola {
         }
       }
       std::optional<V> result;
+      // The pending fold's target level reads as three recency bands:
+      // post-snapshot arrivals (newest), then the fold's input segments,
+      // then the segments that predate the fold — the exact order the
+      // install will freeze (output lands at pend_prior_segs_, below the
+      // arrivals). Reads are coherent mid-flight without any barrier.
+      if (pending_active_ && l == pend_target_) {
+        const Level& lv = levels_[l];
+        const std::size_t prior = std::min(pend_prior_segs_, lv.segs.size());
+        if (find_in_segs(lv.segs.data() + prior, lv.segs.size() - prior, key,
+                         h, result)) {
+          return result;
+        }
+        if (find_in_segs(pend_job_->inputs.data(), pend_job_->inputs.size(),
+                         key, h, result)) {
+          return result;
+        }
+        if (find_in_segs(lv.segs.data(), prior, key, h, result)) return result;
+        continue;
+      }
       if (find_in_level(levels_[l], key, h, result)) return result;
     }
     return std::nullopt;
@@ -1420,6 +1539,7 @@ class Gcola {
   /// pre-dedup op count (stats).
   void apply_normalized(std::vector<TItem>& run, std::size_t n_raw) {
     ++mutation_epoch_;
+    poll_install();
     // Stable sort keeps input order among equal keys (duplicates KEPT); the
     // plane-form keep-last kernel then collapses them after widening — the
     // identical newest-wins result, with the dedup scan vectorized.
@@ -1460,18 +1580,9 @@ class Gcola {
       cascade_run_tiered(titem_run_.size());
       return;
     }
-    std::vector<Slot>& srun = scratch_batch_;
-    srun.clear();
-    srun.reserve(titem_run_.size());
-    for (std::size_t i = 0; i < titem_run_.size(); ++i) {
-      Slot s{};
-      s.key = titem_run_.keys[i];
-      s.value = titem_run_.vals[i];
-      s.flags = titem_run_.flags[i];
-      srun.push_back(s);
-    }
     ++stats_.batch_merges;
-    cascade_run(srun);
+    cls_acc_.assign(titem_run_.view());
+    cascade_run_planes();
   }
 
   /// Carry the normalized run `run` (sorted, unique keys, newest overall)
@@ -1481,21 +1592,40 @@ class Gcola {
   /// everything displaced above it.
   void cascade_run(std::vector<Slot>& run) {
     if (run.empty()) return;
-    const std::size_t t = select_cascade_target(run.size());
+    cls_acc_.clear();
+    cls_acc_.reserve(run.size());
+    for (const Slot& s : run) {
+      cls_acc_.push_back(s.key, s.value,
+                         static_cast<std::uint8_t>(s.flags & kFlagTombstone));
+    }
+    cascade_run_planes();
+  }
+
+  /// Plane-form cascade entry: the incoming run is already in cls_acc_
+  /// (sorted, unique keys, newest overall) — the staging flush and the
+  /// mixed-op batch path land here without a Slot widening pass.
+  void cascade_run_planes() {
+    if (cls_acc_.empty()) return;
+    const std::size_t t = select_cascade_target(cls_acc_.size());
     ensure_level(t);
-    cascade_into(t, run);
+    cascade_into_planes(t);
   }
 
   /// Shallowest level that can absorb an incoming run of `incoming` items
   /// plus everything displaced above it (full or too-small levels fold into
-  /// the cascade).
+  /// the cascade). Pending-aware: an in-flight background fold's mass (and
+  /// its one future segment) counts against its target level, so a cascade
+  /// picked here can never over-commit the level the install is about to
+  /// land in.
   std::size_t select_cascade_target(std::uint64_t incoming) const {
-    std::uint64_t carried = incoming + levels_[0].real_count;
+    std::uint64_t carried = incoming + level_mass(0);
     std::size_t t = 1;
     while (true) {
       if (t < levels_.size()) {
-        if (!level_full(t) && levels_[t].real_count + carried <= real_cap(t)) break;
-        carried += levels_[t].real_count;
+        if (!level_committed_full(t) && level_mass(t) + carried <= real_cap(t)) {
+          break;
+        }
+        carried += level_mass(t);
         ++t;
       } else if (carried <= real_cap(t)) {
         break;
@@ -1506,12 +1636,36 @@ class Gcola {
     return t;
   }
 
+  /// Level occupancy including the in-flight fold's (pre-dedup) mass.
+  std::uint64_t level_mass(std::size_t l) const noexcept {
+    std::uint64_t m = levels_[l].real_count;
+    if (pending_active_ && l == pend_target_) m += pend_total_in_;
+    return m;
+  }
+
+  /// level_full plus the pending fold's future segment: its install appends
+  /// one segment to pend_target_, so the level reads as full one earlier.
+  bool level_committed_full(std::size_t t) const noexcept {
+    if (level_full(t)) return true;
+    return pending_active_ && t == pend_target_ &&
+           levels_[t].segs.size() + 1 >= cfg_.growth - 1;
+  }
+
   /// Tiered cascade entry: pick the target for `incoming` staged/normalized
   /// items (prepared in incoming_spans_, oldest -> newest) and run the
   /// segment fold.
   void cascade_run_tiered(std::uint64_t incoming) {
     if (incoming == 0) return;
     std::size_t t = select_cascade_target(incoming);
+    // A cascade deeper than the in-flight fold's target would consume the
+    // level the install is about to land in — land the fold first (writer
+    // assist when no worker has finished it yet) and re-pick the target
+    // with real occupancy. This is the one ordering barrier the background
+    // engine keeps: data never moves DEEPER past a pending install point.
+    if (pending_active_ && t > pend_target_) {
+      assist_pending();
+      t = select_cascade_target(incoming);
+    }
     // Trivial move: when the cascade is about to drain the deepest data
     // into virgin territory, the deepest level's segments are already
     // sorted runs older than everything else — relocating them wholesale
@@ -1554,7 +1708,7 @@ class Gcola {
     }
     ensure_level(t);
     ++stats_.merges;
-    cascade_into_tiered(t);
+    if (!try_defer_fold(t)) cascade_into_tiered(t);
     maybe_fold_bottom_tombstones();
   }
 
@@ -1586,18 +1740,20 @@ class Gcola {
   }
 
   /// Credit an estimated `est` shadowed copies to level l's segments older
-  /// than the data that just arrived: with exclude_newest the level's last
-  /// segment (the arrival itself) is exempt; without it every segment is a
-  /// candidate (the deeper-level case — everything there predates the
-  /// arrival). Attribution walks oldest-first, skips segments whose fence
-  /// range does not intersect the new run's [lo, hi], and caps each
-  /// segment's stale count at its entry count — the estimate can overstate
-  /// a segment only up to "everything here is shadowed", which is exactly
-  /// the bound a fold can recover.
+  /// than the data that just arrived: `exclude_tail` newest segments are
+  /// exempt — the arrival itself (sync folds append, tail = 1), or the
+  /// arrival plus everything newer when a background install lands
+  /// mid-level; 0 means every segment is a candidate (the deeper-level
+  /// case — everything there predates the arrival). Attribution walks
+  /// oldest-first, skips segments whose fence range does not intersect the
+  /// new run's [lo, hi], and caps each segment's stale count at its entry
+  /// count — the estimate can overstate a segment only up to "everything
+  /// here is shadowed", which is exactly the bound a fold can recover.
   void add_staleness(std::size_t l, const K& lo, const K& hi, std::uint64_t est,
-                     bool exclude_newest) {
+                     std::size_t exclude_tail) {
     Level& lv = levels_[l];
-    const std::size_t nsegs = lv.segs.size() - (exclude_newest ? 1 : 0);
+    const std::size_t nsegs =
+        lv.segs.size() - std::min(lv.segs.size(), exclude_tail);
     for (std::size_t j = 0; j < nsegs && est > 0; ++j) {
       const Seg& seg = *lv.segs[j];
       if (hi < seg.min_key || seg.max_key < lo) continue;  // disjoint
@@ -1625,9 +1781,23 @@ class Gcola {
     const std::size_t d = deepest_nonempty();
     if (levels_.empty() || levels_[d].real_count == 0) return;
     if (!fold_pressure(d)) return;
+    // Retention pressure is read from LIVE segment metadata, so an
+    // in-flight fold must land before the decision stands — its output may
+    // clear the pressure (or move the deepest level) entirely. Re-enter
+    // with the settled state; the pending slot is now free, so the second
+    // pass cannot loop.
+    if (pending_active_) {
+      assist_pending();
+      maybe_fold_bottom_tombstones();
+      return;
+    }
     ++stats_.merges;
     ++stats_.forced_bottom_folds;
     if (!tombstone_pressure(d)) ++stats_.staleness_folds;
+    // The forced fold is the retention policy's correctness valve, but it
+    // is still just a fold over immutable segments — defer it too, at
+    // `forced` priority (jumps the pool queue, never rejected for depth).
+    if (try_defer_forced_fold()) return;
     // Gather spans oldest -> newest: deeper level = older, within a level
     // the first segment is oldest (same order as the cascade fold).
     fold_spans_.clear();
@@ -1662,8 +1832,248 @@ class Gcola {
     bottom_relocated_ = false;
   }
 
+  // -- background compaction --------------------------------------------------
+  //
+  // One pending fold per structure. The writer snapshots the fold's input
+  // segment refs (immutable, ref-counted), clears the source levels, and
+  // enqueues a FoldJob on the process pool; every mutator entry polls for
+  // the finished job and installs its output segment at the recorded
+  // position — BELOW any run that arrived at the target level after the
+  // snapshot, so recency order is exactly what the synchronous fold would
+  // have produced. Structural mutation stays single-writer throughout: the
+  // job computes over its own buffers, the writer does every install.
+
+  /// Hand the cascade fold for target `t` (levels 0..t-1 + incoming_spans_)
+  /// to the background pool. Returns false when the caller must fold
+  /// inline: background disabled, another fold already in flight, or the
+  /// pool saturated (bounded compaction debt — writer-assist fallback).
+  bool try_defer_fold(std::size_t t) {
+    if (!bg_enabled_ || pending_active_) return false;
+    const bool drop = t >= deepest_nonempty() && levels_[t].real_count == 0;
+    return enqueue_fold(/*consumed_hi=*/t, /*provisional_target=*/t,
+                        /*forced=*/false, drop, /*include_incoming=*/true);
+  }
+
+  /// Forced-priority variant for retention-pressure bottom folds: consumes
+  /// levels 0..deepest, targets the shallowest level whose capacity holds
+  /// the pre-dedup mass (the fold may annihilate little), always strips.
+  bool try_defer_forced_fold() {
+    if (!bg_enabled_ || pending_active_) return false;
+    const std::size_t d = deepest_nonempty();
+    return enqueue_fold(/*consumed_hi=*/d + 1, /*provisional_target=*/d,
+                        /*forced=*/true, /*drop=*/true,
+                        /*include_incoming=*/false);
+  }
+
+  /// Snapshot inputs, reserve the output's identity/address, clear the
+  /// sources, submit. Returns false WITH THE STRUCTURE UNTOUCHED when the
+  /// pool rejects the job. `consumed_hi`: levels [0, consumed_hi) feed the
+  /// fold; `include_incoming` additionally materializes incoming_spans_
+  /// (which alias reusable scratch) into immutable segments the job owns.
+  bool enqueue_fold(std::size_t consumed_hi, std::size_t provisional_target,
+                    bool forced, bool drop, bool include_incoming) {
+    auto job = std::make_shared<compact::FoldJob<K, V>>();
+    job->drop_tombstones = drop;
+    job->mint_filter = cfg_.filters;
+    job->isa = isa_;
+    job->ways = cfg_.compaction_threads;
+    std::uint64_t total = 0;
+    for (std::size_t l = consumed_hi; l-- > 0;) {  // deeper level = older
+      const Level& lv = levels_[l];
+      if (lv.real_count == 0) continue;
+      for (const SegRef& s : lv.segs) job->inputs.push_back(s);
+      total += lv.real_count;
+    }
+    if (include_incoming) {
+      for (const kern::RunView<K, V>& s : incoming_spans_) {
+        if (s.n == 0) continue;
+        job->inputs.push_back(snap::make_segment<K, V>(
+            std::vector<K>(s.keys, s.keys + s.n),
+            std::vector<V>(s.vals, s.vals + s.n),
+            std::vector<std::uint8_t>(s.flags, s.flags + s.n),
+            /*id=*/0, /*base_addr=*/0, mutation_epoch_));
+        total += s.n;
+      }
+    }
+    if (total == 0) return false;
+    std::size_t target = provisional_target;
+    while (real_cap(target) < total) ++target;  // pre-dedup capacity bound
+    ensure_level(target);
+    std::uint64_t depth = 0;
+    if (!compact::Pool::instance().submit(
+            [job] {
+              if (job->try_claim()) job->run();
+            },
+            forced, &depth)) {
+      return false;
+    }
+    pend_job_ = std::move(job);
+    pending_active_ = true;
+    pend_target_ = target;
+    pend_consumed_hi_ = consumed_hi;
+    pend_total_in_ = total;
+    pend_forced_ = forced;
+    // Reserve the output segment's identity and logical address region on
+    // the writer thread — the job itself never touches dictionary state.
+    pend_seg_id_ = next_seg_id_++;
+    pend_base_addr_ = next_base_;
+    next_base_ += total * sizeof(TItem);
+    // Consumed spill ids for the install-time observer callback.
+    pend_consumed_ids_.clear();
+    if (fold_observer_ != nullptr) {
+      for (std::size_t l = spill_depth_; l < consumed_hi && l < levels_.size();
+           ++l) {
+        for (const SegRef& s : levels_[l].segs) {
+          pend_consumed_ids_.push_back(s->id);
+        }
+      }
+    }
+    for (std::size_t l = 0; l < consumed_hi; ++l) clear_level(levels_[l]);
+    // After the clear so a forced fold whose target sits INSIDE the
+    // consumed range records install position 0 (the fold is the oldest
+    // data the level will ever hold again).
+    pend_prior_segs_ = levels_[target].segs.size();
+    if (drop) bottom_relocated_ = false;
+    cstats_->folds_deferred.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t peak = cstats_->queue_peak.load(std::memory_order_relaxed);
+    while (depth > peak && !cstats_->queue_peak.compare_exchange_weak(
+                               peak, depth, std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
+  /// Opportunistic install point at every mutator entry: when the fold has
+  /// finished, land its output now. Never blocks.
+  void poll_install() {
+    if (!pending_active_ || cfg_.unsafe_defer_install) return;
+    if (!pend_job_->done()) return;
+    install_pending();
+  }
+
+  /// Land the in-flight fold NOW: claim and run it on this thread if no
+  /// worker picked it up yet (writer assist), else wait for the worker —
+  /// then install. The one blocking point, and the debt bound: the writer
+  /// can never race more than one fold ahead of the compactor.
+  void assist_pending() {
+    if (!pending_active_) return;
+    if (pend_job_->try_claim()) {
+      pend_job_->run();
+      cstats_->writer_assists.fetch_add(1, std::memory_order_relaxed);
+    } else if (!pend_job_->done()) {
+      pend_job_->wait_done();
+    }
+    install_pending();
+  }
+
+  /// Land the finished fold's output (writer thread; job must be done).
+  /// The output segment splices in at the recorded install point — BELOW
+  /// every run that arrived after the enqueue snapshot, preserving recency
+  /// order — and the bookkeeping the synchronous fold does inline happens
+  /// here: stats mirror, spill observer (the durable tier's WAL barrier
+  /// thus runs on the writer thread before any reader can see the
+  /// segment), staleness credit, epoch bump. Dropping the job releases the
+  /// input refs: sources retire unless a snapshot still pins them.
+  void install_pending() {
+    std::shared_ptr<compact::FoldJob<K, V>> job = std::move(pend_job_);
+    const std::size_t target = pend_target_;
+    const std::size_t prior = pend_prior_segs_;
+    const std::uint64_t total_in = pend_total_in_;
+    const std::uint64_t seg_id = pend_seg_id_;
+    const std::uint64_t base_addr = pend_base_addr_;
+    const bool forced = pend_forced_;
+    pending_active_ = false;
+    ++mutation_epoch_;
+    cstats_->bg_fold_ns.fetch_add(job->fold_ns, std::memory_order_relaxed);
+    kern::RunBuf<K, V>& out = job->out;
+    // Stats mirror of the synchronous fold path.
+    stats_.duplicates_dropped +=
+        total_in - (out.size() + job->tombstones_dropped);
+    stats_.tombstones_dropped += job->tombstones_dropped;
+    last_collapse_final_dups_ = job->final_dups;
+    if (out.empty()) {
+      // Annihilated to nothing — the consumed spilled sources are still
+      // gone; report so the observer retires them (report_empty_fold's
+      // contract, with the id reserved at enqueue).
+      if (fold_observer_ != nullptr && !pend_consumed_ids_.empty()) {
+        fold_observer_->on_segment_spill(seg_id, target, nullptr, 0,
+                                         pend_consumed_ids_.data(),
+                                         pend_consumed_ids_.size());
+      }
+      pend_consumed_ids_.clear();
+      return;
+    }
+    const std::size_t out_n = out.size();
+    SegRef seg = snap::make_segment_prefiltered(
+        std::move(out.keys), std::move(out.vals), std::move(out.flags),
+        std::move(job->filter_words), seg_id, base_addr, mutation_epoch_);
+    const Seg& sref = *seg;
+    Level& lv = levels_[target];
+    assert(lv.real_count + out_n <= real_cap(target));
+    const std::size_t pos = cfg_.unsafe_break_install_order
+                                ? lv.segs.size()
+                                : std::min(prior, lv.segs.size());
+    lv.tomb_count += sref.tombs;
+    lv.segs.insert(lv.segs.begin() + static_cast<std::ptrdiff_t>(pos),
+                   std::move(seg));
+    lv.seg_stale.insert(lv.seg_stale.begin() + static_cast<std::ptrdiff_t>(pos),
+                        0);
+    lv.real_count += out_n;
+    lv.fills = static_cast<std::uint32_t>(
+        std::min<std::size_t>(lv.segs.size(), cfg_.growth - 1));
+    stats_.entries_merged += out_n;
+    if (fold_observer_ != nullptr && target >= spill_depth_) {
+      spill_items_.clear();
+      spill_items_.reserve(out_n);
+      for (std::size_t i = 0; i < out_n; ++i) {
+        spill_items_.push_back((sref.flags[i] & kFlagTombstone) != 0
+                                   ? Op<K, V>::del(sref.keys[i])
+                                   : Op<K, V>::put(sref.keys[i], sref.vals[i]));
+      }
+      fold_observer_->on_segment_spill(seg_id, target, spill_items_.data(),
+                                       spill_items_.size(),
+                                       pend_consumed_ids_.data(),
+                                       pend_consumed_ids_.size());
+    }
+    pend_consumed_ids_.clear();
+    // Staleness credit — the same estimator as the inline cascade; the
+    // tail exclusion covers the installed segment AND every newer arrival.
+    if (!forced && job->final_dups > 0) {
+      const std::uint64_t est = job->final_dups;
+      const K& lo = sref.min_key;
+      const K& hi = sref.max_key;
+      add_staleness(target, lo, hi, est,
+                    /*exclude_tail=*/lv.segs.size() - pos);
+      const std::size_t d = deepest_nonempty();
+      if (d > target && out_n * 4 >= levels_[d].real_count) {
+        add_staleness(d, lo, hi, est, /*exclude_tail=*/0);
+      }
+    }
+  }
+
+  /// Push level l's segments newest -> oldest (the snapshot/view priority
+  /// order), splicing an in-flight fold's inputs at its install position:
+  /// post-snapshot arrivals first (newest), then the fold's inputs, then
+  /// the segments that predate the fold — exactly the order the install
+  /// will freeze, so reads are coherent mid-flight without any barrier.
+  void push_level_segs(std::size_t l, std::vector<SegRef>& out) const {
+    const Level& lv = levels_[l];
+    if (pending_active_ && l == pend_target_) {
+      const std::size_t prior = std::min(pend_prior_segs_, lv.segs.size());
+      for (std::size_t j = lv.segs.size(); j-- > prior;) {
+        out.push_back(lv.segs[j]);
+      }
+      for (std::size_t j = pend_job_->inputs.size(); j-- > 0;) {
+        out.push_back(pend_job_->inputs[j]);
+      }
+      for (std::size_t j = prior; j-- > 0;) out.push_back(lv.segs[j]);
+      return;
+    }
+    for (std::size_t j = lv.segs.size(); j-- > 0;) out.push_back(lv.segs[j]);
+  }
+
   void put(const K& key, const V& value, bool tombstone) {
     ++mutation_epoch_;
+    poll_install();
     if (cfg_.staging_capacity > 0) {
       ensure_stage_base();
       if (stage_.keys.capacity() < cfg_.staging_capacity) {
@@ -1726,56 +2136,45 @@ class Gcola {
     merge_into(t, key, value, tombstone);
   }
 
-  /// Merge `newer` (takes precedence) with level l's real entries — read in
-  /// place, lookahead slots skipped inline, no extraction copy — into `out`.
-  void merge_level_into(const std::vector<Slot>& newer, std::size_t l,
-                        std::vector<Slot>& out) {
+  /// Extract level l's real entries (lookahead slots skipped) onto the
+  /// plane scratch cls_lvl_, so the cascade's per-level merges run on the
+  /// SIMD plane kernels instead of a scalar walk over 32-byte AoS slots.
+  /// Lookahead flags are shed here — the cascade re-derives the chains via
+  /// rebuild_lookahead. DAM accounting is the same single read of the
+  /// level's occupied region the in-place merge charged.
+  void extract_level_planes(std::size_t l) {
     const Level& lv = levels_[l];
     touch_region(l, lv.occ_begin,
                  static_cast<std::uint64_t>(lv.slots.size()) - lv.occ_begin,
                  /*write=*/false);
-    out.clear();
-    out.reserve(newer.size() + lv.real_count);
-    std::size_t a = 0;
-    std::uint32_t i = lv.occ_begin;
-    const std::uint32_t E = static_cast<std::uint32_t>(lv.slots.size());
-    while (true) {
-      while (i < E && lv.slots[i].is_lookahead()) ++i;
-      if (i >= E || a >= newer.size()) break;
+    cls_lvl_.clear();
+    cls_lvl_.reserve(lv.real_count);
+    for (std::size_t i = lv.occ_begin; i < lv.slots.size(); ++i) {
       const Slot& s = lv.slots[i];
-      if (newer[a].key < s.key) {
-        out.push_back(newer[a++]);
-      } else if (s.key < newer[a].key) {
-        out.push_back(s);
-        ++i;
-      } else {
-        out.push_back(newer[a++]);
-        ++i;  // shadowed older copy
-        ++stats_.duplicates_dropped;
-      }
-    }
-    while (a < newer.size()) out.push_back(newer[a++]);
-    for (; i < E; ++i) {
-      if (!lv.slots[i].is_lookahead()) out.push_back(lv.slots[i]);
+      if (s.is_lookahead()) continue;
+      cls_lvl_.push_back(s.key, s.value,
+                         static_cast<std::uint8_t>(s.flags & kFlagTombstone));
     }
   }
 
+  /// Deepest level holding data — COMMITTED data included: an in-flight
+  /// fold's output will land at pend_target_, so anything at least that
+  /// deep counts (tombstone-drop and trivial-move decisions must treat the
+  /// pending mass as already there).
   std::size_t deepest_nonempty() const noexcept {
     for (std::size_t l = levels_.size(); l-- > 0;) {
-      if (levels_[l].real_count > 0) return l;
+      if (levels_[l].real_count > 0) {
+        return pending_active_ ? std::max(l, pend_target_) : l;
+      }
     }
-    return 0;
+    return pending_active_ ? pend_target_ : 0;
   }
 
   void merge_into(std::size_t t, const K& key, const V& value, bool tombstone) {
-    std::vector<Slot>& acc = scratch_a_;
-    acc.clear();
-    Slot s{};
-    s.key = key;
-    s.value = value;
-    s.flags = tombstone ? kFlagTombstone : 0u;
-    acc.push_back(s);
-    cascade_into(t, acc);
+    cls_acc_.clear();
+    cls_acc_.push_back(
+        key, value, static_cast<std::uint8_t>(tombstone ? kFlagTombstone : 0u));
+    cascade_into_planes(t);
   }
 
   /// Tiered cascade: gather the segments of levels 0..t-1 plus `acc` as a
@@ -1808,8 +2207,13 @@ class Gcola {
       spans.push_back(s);
       total += s.n;
     }
+    // Never drop while a background fold targets this level: its output is
+    // OLDER than this cascade's data and installs below it, so older copies
+    // can still resurface (deepest_nonempty already counts the pending
+    // target; the explicit clause covers t == pend_target_ itself).
     const bool drop_tombstones =
-        t >= deepest_nonempty() && levels_[t].real_count == 0;
+        t >= deepest_nonempty() && levels_[t].real_count == 0 &&
+        !(pending_active_ && pend_target_ == t);
     // This fold IS a bottom compaction: the next deepest-level drain may
     // take the trivial move again.
     if (drop_tombstones) bottom_relocated_ = false;
@@ -1837,7 +2241,7 @@ class Gcola {
       const std::uint64_t est = last_collapse_final_dups_;
       const K& lo = tfold_buf_.keys.front();
       const K& hi = tfold_buf_.keys.back();
-      add_staleness(t, lo, hi, est, /*exclude_newest=*/true);
+      add_staleness(t, lo, hi, est, /*exclude_tail=*/1);
       // The arrival also shadows deeper data. Credit the deepest level —
       // where retention is bounded only by the forced folds — so small-g
       // geometries (one segment per level) see churn pressure too. Only
@@ -1849,7 +2253,7 @@ class Gcola {
       // keys of a whole generation — the honest sample.
       const std::size_t d = deepest_nonempty();
       if (d > t && tfold_buf_.size() * 4 >= levels_[d].real_count) {
-        add_staleness(d, lo, hi, est, /*exclude_newest=*/false);
+        add_staleness(d, lo, hi, est, /*exclude_tail=*/0);
       }
     }
   }
@@ -2075,20 +2479,24 @@ class Gcola {
     lv.fills = 0;
   }
 
-  /// Merge `acc` (the newest run: sorted, unique keys) together with levels
-  /// 0..t-1 into level t — the shared engine behind the single-op cascade
-  /// and insert_batch. `acc` must not alias scratch_b_ (the cascade's merge
-  /// target) or scratch_content_ (full_merge_into's output).
-  void cascade_into(std::size_t t, std::vector<Slot>& acc) {
+  /// Merge cls_acc_ (the newest run: sorted, unique keys, PLANE form)
+  /// together with levels 0..t-1 into level t — the shared engine behind
+  /// the single-op cascade, insert_batch, and the staging flush. The
+  /// per-level folds run on the vectorized plane kernels (newest-wins
+  /// merge_pair dispatch); only the final write into the target's slot
+  /// array returns to Slot form, because that is where the lookahead
+  /// chains live.
+  void cascade_into_planes(std::size_t t) {
     ++stats_.merges;
     // Cascade: fold in levels 0..t-1 from newest to oldest. CPU cost O(k);
     // transfer cost: each source level is read once, the target written once
     // (the paper's merge pattern).
-    std::vector<Slot>& tmp = scratch_b_;
     for (std::size_t l = 0; l < t; ++l) {
       if (levels_[l].real_count == 0) continue;
-      merge_level_into(acc, l, tmp);
-      acc.swap(tmp);
+      extract_level_planes(l);
+      stats_.duplicates_dropped +=
+          kern::merge_into(cls_lvl_.view(), cls_acc_.view(), cls_tmp_, isa_);
+      cls_acc_.swap(cls_tmp_);
     }
 
     Level& target = levels_[t];
@@ -2098,12 +2506,13 @@ class Gcola {
 
     // Prepend fast path: everything incoming sorts strictly before the
     // target's current occupied region, so nothing in the target moves.
-    if (cfg_.enable_prepend && target.occ_begin < target.slots.size() && !acc.empty() &&
-        acc.back().key < target.slots[target.occ_begin].key &&
-        acc.size() <= target.occ_begin) {
-      prepend_into(t, acc, drop_tombstones);
+    if (cfg_.enable_prepend && target.occ_begin < target.slots.size() &&
+        !cls_acc_.empty() &&
+        cls_acc_.keys.back() < target.slots[target.occ_begin].key &&
+        cls_acc_.size() <= target.occ_begin) {
+      prepend_into(t, cls_acc_, drop_tombstones);
     } else {
-      full_merge_into(t, acc, drop_tombstones);
+      full_merge_into(t, cls_acc_, drop_tombstones);
     }
 
     // Fullness tracks merge count AND occupancy: a batch cascade can deliver
@@ -2159,19 +2568,25 @@ class Gcola {
     run.resize(w);
   }
 
-  /// Write `incoming` immediately left of the target's occupied region.
-  void prepend_into(std::size_t t, std::vector<Slot>& incoming, bool drop_tombstones) {
+  /// Write `incoming` (plane form) immediately left of the target's
+  /// occupied region.
+  void prepend_into(std::size_t t, kern::RunBuf<K, V>& incoming,
+                    bool drop_tombstones) {
     if (drop_tombstones) strip_tombstones(incoming);
     ++stats_.prepend_merges;
     Level& lv = levels_[t];
-    const std::uint32_t new_begin = lv.occ_begin - static_cast<std::uint32_t>(incoming.size());
+    const std::uint32_t new_begin =
+        lv.occ_begin - static_cast<std::uint32_t>(incoming.size());
     // The first lookahead at-or-right of the new region is the old region's
     // leading lookahead chain head.
     const std::uint32_t old_first_ra =
         lv.occ_begin < lv.slots.size() ? lv.slots[lv.occ_begin].right_la : kNoIdx;
     std::uint32_t i = new_begin;
-    for (Slot& s : incoming) {
-      s.flags &= ~kFlagLookahead;
+    for (std::size_t r = 0; r < incoming.size(); ++r) {
+      Slot s{};
+      s.key = incoming.keys[r];
+      s.value = incoming.vals[r];
+      s.flags = incoming.flags[r] & kFlagTombstone;
       s.left_la = kNoIdx;  // no lookahead slots among the incoming entries
       s.right_la = old_first_ra;
       lv.slots[i++] = s;
@@ -2189,7 +2604,8 @@ class Gcola {
   /// lookahead slots interleaved before equal-key reals, so a sequential
   /// walk merges reals and re-emits lookahead slots in their final order
   /// without the extract / merge / interleave copies.
-  void full_merge_into(std::size_t t, std::vector<Slot>& incoming, bool drop_tombstones) {
+  void full_merge_into(std::size_t t, const kern::RunBuf<K, V>& incoming,
+                       bool drop_tombstones) {
     Level& lv = levels_[t];
     touch_region(t, lv.occ_begin,
                  static_cast<std::uint64_t>(lv.slots.size()) - lv.occ_begin,
@@ -2209,23 +2625,31 @@ class Gcola {
       content.push_back(s);
       ++reals;
     };
+    const auto push_incoming = [&] {
+      Slot s{};
+      s.key = incoming.keys[a];
+      s.value = incoming.vals[a];
+      s.flags = incoming.flags[a] & kFlagTombstone;
+      ++a;
+      push_real(s);
+    };
     while (i < E && a < incoming.size()) {
       const Slot& s = lv.slots[i];
       if (s.is_lookahead()) {
         // Equal keys keep the lookahead before the real it shadows.
-        if (s.key <= incoming[a].key) {
+        if (s.key <= incoming.keys[a]) {
           content.push_back(s);
           ++i;
         } else {
-          push_real(incoming[a++]);
+          push_incoming();
         }
-      } else if (incoming[a].key < s.key) {
-        push_real(incoming[a++]);
-      } else if (s.key < incoming[a].key) {
+      } else if (incoming.keys[a] < s.key) {
+        push_incoming();
+      } else if (s.key < incoming.keys[a]) {
         push_real(s);
         ++i;
       } else {
-        push_real(incoming[a++]);
+        push_incoming();
         ++i;  // shadowed older copy
         ++stats_.duplicates_dropped;
       }
@@ -2238,7 +2662,7 @@ class Gcola {
         push_real(s);
       }
     }
-    while (a < incoming.size()) push_real(incoming[a++]);
+    while (a < incoming.size()) push_incoming();
 
     write_level(t, content);
     lv.real_count = reals;
@@ -2382,7 +2806,43 @@ class Gcola {
   // Merge scratch, reused across inserts so the steady-state insert and
   // batch paths perform zero heap allocations (capacities grow to the
   // high-water mark of the deepest cascade seen, then stay).
-  std::vector<Slot> scratch_a_, scratch_b_, scratch_content_, scratch_batch_;
+  std::vector<Slot> scratch_a_, scratch_content_, scratch_batch_;
+  // Classic-cascade plane scratch: the widened incoming run (cls_acc_),
+  // the current level's extracted reals (cls_lvl_), and the merge target
+  // (cls_tmp_) — the per-level folds run on the SIMD plane kernels, only
+  // the final target write returns to Slot form.
+  kern::RunBuf<K, V> cls_acc_, cls_lvl_, cls_tmp_;
+  // -- background compaction state --------------------------------------------
+  // Aggregated compaction counters, relaxed atomics behind a shared_ptr:
+  // benches read them while workers add fold time, and the indirection
+  // keeps Gcola movable (the factory-return paths) where atomic members
+  // would not.
+  struct AtomicCompactionStats {
+    std::atomic<std::uint64_t> folds_deferred{0};
+    std::atomic<std::uint64_t> writer_assists{0};
+    std::atomic<std::uint64_t> queue_peak{0};
+    std::atomic<std::uint64_t> bg_fold_ns{0};
+  };
+  // Resolved at construction: tiered + compaction_threads > 0 + null
+  // memory model + no COSTREAM_COMPACTION=sync override.
+  bool bg_enabled_ = false;
+  // The single pending-fold slot. pend_target_ is the install level,
+  // pend_prior_segs_ the install index (segments below it predate the
+  // fold), pend_consumed_hi_ the exclusive top of the consumed level
+  // range, pend_total_in_ the PRE-dedup input mass (capacity accounting
+  // and item_count both need the physically-present figure).
+  bool pending_active_ = false;
+  std::shared_ptr<compact::FoldJob<K, V>> pend_job_;
+  std::size_t pend_target_ = 0;
+  std::size_t pend_prior_segs_ = 0;
+  std::size_t pend_consumed_hi_ = 0;
+  std::uint64_t pend_total_in_ = 0;
+  std::uint64_t pend_seg_id_ = 0;
+  std::uint64_t pend_base_addr_ = 0;
+  bool pend_forced_ = false;
+  std::vector<std::uint64_t> pend_consumed_ids_;
+  std::shared_ptr<AtomicCompactionStats> cstats_ =
+      std::make_shared<AtomicCompactionStats>();
 };
 
 /// The paper's headline configuration: growth 2, pointer density 0.1.

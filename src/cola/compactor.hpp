@@ -1,0 +1,459 @@
+// Background compaction engine: the process-shared executor that takes
+// tiered fold work off the mutating thread (cola.hpp enqueues, installs,
+// and keeps every STRUCTURAL mutation on the writer thread — the executor
+// only ever computes over immutable inputs).
+//
+// Division of labor. A FoldJob is a pure function over ref-counted
+// immutable segments (snap::Segment): the writer snapshots the fold's
+// input segment refs and enqueues; the job runs the same plane-kernel
+// newest-wins collapse the synchronous path uses (cola/kernels.hpp),
+// strips tombstones when the fold lands past all older data, and mints
+// the output's Bloom filter — all without touching the owning Gcola. The
+// writer installs the finished planes as a new segment at its next
+// mutation (an atomic-with-respect-to-readers segment-set swap + epoch
+// bump), so single-writer discipline is preserved end to end and the
+// durable tier's WAL-synced-before-install invariant holds for free: the
+// spill observer still fires on the writer thread, inside a mutator.
+//
+// Intra-fold parallelism. Large folds are cut at key pivots (taken from
+// the largest input run) into independent sub-ranges: every input span is
+// split at the pivots with a lower_bound per cut, so all copies of a key
+// land in the same sub-range and the newest-wins tie-break (higher span
+// index wins) is preserved per sub-range. Sub-merges run on the pool with
+// the SUBMITTING thread participating (it claims unclaimed sub-tasks), so
+// nested parallelism can never deadlock the pool.
+//
+// One pool per process. Every Gcola — including the S shards of a
+// ShardedDictionary — shares Pool::instance(), sized to the LARGEST
+// compaction_threads any structure asked for (capped at the hardware
+// thread count), so S shards with 2 compaction threads each contend for
+// one bounded pool instead of oversubscribing S*2 cores. The queue is
+// bounded; a saturated queue rejects the submit and the writer folds
+// inline (writer-assist backpressure — compaction debt can never grow
+// unboundedly). Forced folds (tombstone/staleness pressure) jump the
+// queue: they are the retention policy's correctness valve, not an
+// optimization.
+//
+// COSTREAM_COMPACTION=sync is the escape hatch: it clamps every structure
+// to inline folds, which must be (and is CI-verified to be) behaviorally
+// identical to background mode on the differential suites.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "cola/kernels.hpp"
+#include "common/filter.hpp"
+#include "common/simd.hpp"
+#include "common/snapshot.hpp"
+
+namespace costream::cola::compact {
+
+/// Process-wide escape hatch: COSTREAM_COMPACTION=sync forces every fold
+/// inline regardless of configuration (differential CI, bisection).
+inline bool sync_forced() noexcept {
+  static const bool v = [] {
+    const char* e = std::getenv("COSTREAM_COMPACTION");
+    return e != nullptr && std::string_view(e) == "sync";
+  }();
+  return v;
+}
+
+/// The process-shared compaction pool: grow-only worker set, bounded
+/// two-priority queue, and a cooperative batch runner for intra-fold
+/// sub-merges. Thread-safe; one instance per process (leaked on purpose —
+/// detached workers live until process exit, so no static-destruction
+/// join ordering problems).
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool* p = new Pool();  // intentionally leaked (reachable)
+    return *p;
+  }
+
+  /// Grow the worker set to at least n threads (capped at the hardware
+  /// thread count). Called from every Gcola constructor that enables
+  /// background compaction, so the pool is sized to the largest request.
+  void ensure_threads(unsigned n) {
+    if (n == 0) return;
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    n = std::min(n, hw);
+    std::lock_guard<std::mutex> lk(m_);
+    while (workers_ < n) {
+      spawn_worker();
+      ++workers_;
+    }
+  }
+
+  unsigned threads() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return workers_;
+  }
+
+  /// Enqueue a job runner. Returns false when there are no workers or the
+  /// queue is saturated — the caller must then run the work inline
+  /// (writer-assist backpressure). `forced` jobs (retention-pressure
+  /// folds) jump the queue and ignore the bound: there is at most one
+  /// in-flight fold per structure, so forced depth is bounded by the
+  /// number of live structures. `depth_out`, when non-null, receives the
+  /// queue depth right after the push (per-structure peak tracking).
+  bool submit(std::function<void()> fn, bool forced,
+              std::uint64_t* depth_out) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (workers_ == 0) return false;
+      if (!forced && q_.size() >= queue_cap()) return false;
+      if (forced) {
+        q_.push_front(std::move(fn));
+      } else {
+        q_.push_back(std::move(fn));
+      }
+      queue_peak_ = std::max<std::uint64_t>(queue_peak_, q_.size());
+      if (depth_out != nullptr) *depth_out = q_.size();
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Run `tasks` to completion using idle workers AND the calling thread:
+  /// the caller claims unclaimed tasks itself, so this completes even when
+  /// every worker is busy (including when the caller IS a worker running a
+  /// fold that fans out sub-merges — nested use cannot deadlock).
+  void run_batch(std::vector<std::function<void()>>& tasks) {
+    const std::size_t n = tasks.size();
+    if (n == 0) return;
+    if (n == 1) {
+      tasks[0]();
+      return;
+    }
+    auto batch = std::make_shared<Batch>();
+    batch->tasks = &tasks;
+    batch->n = n;
+    std::size_t helpers = 0;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      helpers = std::min<std::size_t>(workers_, n - 1);
+      for (std::size_t i = 0; i < helpers; ++i) {
+        // Front of the queue: sub-merges extend a fold already holding a
+        // worker; starving them behind whole queued folds inverts priority.
+        q_.push_front([batch] { batch->drain(); });
+      }
+      queue_peak_ = std::max<std::uint64_t>(queue_peak_, q_.size());
+    }
+    if (helpers > 0) cv_.notify_all();
+    batch->drain();
+    batch->wait();
+  }
+
+  /// High-water queue depth since process start (observability).
+  std::uint64_t queue_peak() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return queue_peak_;
+  }
+
+ private:
+  Pool() = default;
+
+  struct Batch {
+    std::vector<std::function<void()>>* tasks = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex m;
+    std::condition_variable cv;
+
+    void drain() {
+      for (std::size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+        (*tasks)[i]();
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+          std::lock_guard<std::mutex> lk(m);
+          cv.notify_all();
+        }
+      }
+    }
+    void wait() {
+      std::unique_lock<std::mutex> lk(m);
+      cv.wait(lk, [&] { return done.load(std::memory_order_acquire) >= n; });
+    }
+  };
+
+  std::size_t queue_cap() const { return 2 * workers_ + 2; }
+
+  void spawn_worker() {
+    std::thread([this] {
+      for (;;) {
+        std::function<void()> fn;
+        {
+          std::unique_lock<std::mutex> lk(m_);
+          cv_.wait(lk, [&] { return !q_.empty(); });
+          fn = std::move(q_.front());
+          q_.pop_front();
+        }
+        fn();
+      }
+    }).detach();
+  }
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> q_;
+  unsigned workers_ = 0;
+  std::uint64_t queue_peak_ = 0;
+};
+
+namespace detail {
+
+/// Serial newest-wins collapse of sorted spans (ordered oldest -> newest)
+/// into `out` — the same gather-then-pairwise-rounds shape the synchronous
+/// fold uses in cache, with caller-owned scratch so concurrent sub-merges
+/// never share buffers. `final_dups` receives the final round's drop count
+/// (the distinct-duplicated-keys sample the staleness estimator consumes).
+template <class K, class V>
+void collapse_spans_serial(const std::vector<kern::RunView<K, V>>& spans,
+                           std::size_t total, simd::Isa isa,
+                           kern::RunBuf<K, V>& out, kern::RunBuf<K, V>& tmp,
+                           std::vector<std::uint32_t>& runs,
+                           std::vector<std::uint32_t>& runs_scratch,
+                           std::uint64_t* final_dups) {
+  if (final_dups != nullptr) *final_dups = 0;
+  if (spans.empty()) {
+    out.clear();
+    return;
+  }
+  if (spans.size() == 1) {
+    out.assign(spans[0]);
+    return;
+  }
+  out.resize(total);
+  runs.clear();
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < spans.size(); i += 2) {
+    runs.push_back(static_cast<std::uint32_t>(w));
+    if (i + 1 >= spans.size()) {  // odd span out: carry over
+      std::copy_n(spans[i].keys, spans[i].n, out.keys.data() + w);
+      std::copy_n(spans[i].vals, spans[i].n, out.vals.data() + w);
+      std::copy_n(spans[i].flags, spans[i].n, out.flags.data() + w);
+      w += spans[i].n;
+      break;
+    }
+    w += kern::merge_pair_newest_wins(
+        spans[i].keys, spans[i].vals, spans[i].flags, spans[i].n,
+        spans[i + 1].keys, spans[i + 1].vals, spans[i + 1].flags,
+        spans[i + 1].n, out.keys.data() + w, out.vals.data() + w,
+        out.flags.data() + w, isa);
+  }
+  out.resize(w);
+  if (spans.size() <= 2 && final_dups != nullptr) *final_dups = total - w;
+  kern::collapse_runs(out, runs, tmp, runs_scratch, isa, final_dups);
+}
+
+}  // namespace detail
+
+// Folds at least this large consider the range-partitioned parallel merge
+// (elements; below it the partition bookkeeping costs more than it buys).
+inline constexpr std::size_t kParallelFoldCutoff = std::size_t{1} << 16;
+
+/// Newest-wins k-way fold of `spans` (ordered oldest -> newest, `total`
+/// elements in all) into `out`. When `ways > 1` and the fold is large, the
+/// key range is cut at pivots drawn from the largest span into up to
+/// `ways` disjoint sub-ranges — every span split at the same pivots by
+/// lower_bound, so all copies of a key share a sub-range and per-range
+/// span order (and therefore the newest-wins tie-break) is untouched —
+/// merged independently on the pool, and the output planes stitched back
+/// in key order. `final_dups` sums the sub-merges' distinct-duplicate
+/// samples (keys never straddle a cut, so the sum is the same statistic
+/// the serial fold reports).
+template <class K, class V>
+void fold_spans(const std::vector<kern::RunView<K, V>>& spans,
+                std::size_t total, unsigned ways, simd::Isa isa,
+                kern::RunBuf<K, V>& out, std::uint64_t* final_dups) {
+  kern::RunBuf<K, V> tmp;
+  std::vector<std::uint32_t> runs, runs_scratch;
+  if (ways <= 1 || total < kParallelFoldCutoff || spans.size() < 2) {
+    detail::collapse_spans_serial(spans, total, isa, out, tmp, runs,
+                                  runs_scratch, final_dups);
+    return;
+  }
+  // Pivots: evenly spaced keys of the largest span (the best single proxy
+  // for the fold's key distribution). Equal pivots collapse, so skewed
+  // inputs degrade to fewer, larger sub-ranges — never to wrong ones.
+  std::size_t largest = 0;
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].n > spans[largest].n) largest = i;
+  }
+  std::vector<K> pivots;
+  for (unsigned p = 1; p < ways; ++p) {
+    const K& k = spans[largest].keys[spans[largest].n * p / ways];
+    if (pivots.empty() || pivots.back() < k) pivots.push_back(k);
+  }
+  if (pivots.empty()) {
+    detail::collapse_spans_serial(spans, total, isa, out, tmp, runs,
+                                  runs_scratch, final_dups);
+    return;
+  }
+  const std::size_t parts = pivots.size() + 1;
+  // cuts[s][p]: first index of span s belonging to part p (cuts[s][0] = 0,
+  // cuts[s][parts] = n). lower_bound at each pivot sends every copy of the
+  // pivot key right, uniformly across spans.
+  std::vector<std::vector<std::size_t>> cuts(spans.size());
+  for (std::size_t s = 0; s < spans.size(); ++s) {
+    cuts[s].resize(parts + 1);
+    cuts[s][0] = 0;
+    cuts[s][parts] = spans[s].n;
+    for (std::size_t p = 0; p < pivots.size(); ++p) {
+      cuts[s][p + 1] = static_cast<std::size_t>(
+          std::lower_bound(spans[s].keys, spans[s].keys + spans[s].n,
+                           pivots[p]) -
+          spans[s].keys);
+    }
+  }
+  struct Part {
+    std::vector<kern::RunView<K, V>> spans;
+    std::size_t total = 0;
+    kern::RunBuf<K, V> out, tmp;
+    std::vector<std::uint32_t> runs, runs_scratch;
+    std::uint64_t dups = 0;
+  };
+  std::vector<Part> part(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    for (std::size_t s = 0; s < spans.size(); ++s) {
+      const std::size_t b = cuts[s][p], e = cuts[s][p + 1];
+      if (b == e) continue;  // empty sub-span; order of the rest is kept
+      part[p].spans.push_back(kern::RunView<K, V>{
+          spans[s].keys + b, spans[s].vals + b, spans[s].flags + b, e - b});
+      part[p].total += e - b;
+    }
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    Part* pp = &part[p];
+    tasks.push_back([pp, isa] {
+      detail::collapse_spans_serial(pp->spans, pp->total, isa, pp->out,
+                                    pp->tmp, pp->runs, pp->runs_scratch,
+                                    &pp->dups);
+    });
+  }
+  Pool::instance().run_batch(tasks);
+  std::size_t w = 0;
+  std::uint64_t dups = 0;
+  for (const Part& pp : part) {
+    w += pp.out.size();
+    dups += pp.dups;
+  }
+  out.resize(w);
+  std::size_t at = 0;
+  for (const Part& pp : part) {
+    std::copy_n(pp.out.keys.data(), pp.out.size(), out.keys.data() + at);
+    std::copy_n(pp.out.vals.data(), pp.out.size(), out.vals.data() + at);
+    std::copy_n(pp.out.flags.data(), pp.out.size(), out.flags.data() + at);
+    at += pp.out.size();
+  }
+  if (final_dups != nullptr) *final_dups = dups;
+}
+
+/// One deferred fold: immutable inputs snapshotted by the writer, outputs
+/// owned by the job, and a tiny claimed/done state machine so a saturated
+/// or impatient writer can claim the job and run it inline (writer
+/// assist) without racing the pool worker. The job NEVER touches the
+/// owning structure: it reads ref-counted segments and writes only its
+/// own buffers, so it is safe regardless of what the writer does —
+/// including destroying the structure (the pool's shared_ptr keeps the
+/// job alive; its segment refs keep the inputs alive).
+template <class K, class V>
+class FoldJob {
+ public:
+  // -- writer-filled inputs (immutable once enqueued) --
+  std::vector<snap::SegmentRef<K, V>> inputs;  // oldest -> newest
+  bool drop_tombstones = false;
+  bool mint_filter = false;
+  simd::Isa isa = simd::Isa::kScalar;
+  unsigned ways = 1;  // intra-fold sub-merge parallelism
+
+  // -- job-filled outputs (valid after done()) --
+  kern::RunBuf<K, V> out;
+  std::vector<std::uint64_t> filter_words;
+  std::uint64_t final_dups = 0;
+  std::uint64_t tombstones_dropped = 0;
+  std::uint64_t fold_ns = 0;
+
+  /// Exactly one runner wins the claim (pool worker vs assisting writer).
+  bool try_claim() {
+    int expected = 0;
+    return state_.compare_exchange_strong(expected, 1,
+                                          std::memory_order_acq_rel);
+  }
+
+  bool done() const {
+    return state_.load(std::memory_order_acquire) == 2;
+  }
+
+  /// Block until the (already claimed, by someone) job completes.
+  void wait_done() {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return state_.load(std::memory_order_acquire) == 2; });
+  }
+
+  /// Execute the fold. Caller must hold the claim.
+  void run() {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<kern::RunView<K, V>> spans;
+    spans.reserve(inputs.size());
+    std::size_t total = 0;
+    for (const snap::SegmentRef<K, V>& seg : inputs) {
+      spans.push_back(kern::RunView<K, V>{seg->keys.data(), seg->vals.data(),
+                                          seg->flags.data(), seg->size()});
+      total += seg->size();
+    }
+    fold_spans(spans, total, ways, isa, out, &final_dups);
+    if (drop_tombstones) strip();
+    if constexpr (filt::filter_hashable_v<K>) {
+      if (mint_filter && !out.empty()) {
+        filter_words = filt::build_filter(out.keys.data(), out.keys.size());
+      }
+    }
+    fold_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      state_.store(2, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  void strip() {
+    constexpr std::uint8_t kTomb =
+        static_cast<std::uint8_t>(snap::Item<K, V>::kFlagTombstone);
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < out.size(); ++r) {
+      if ((out.flags[r] & kTomb) != 0) {
+        ++tombstones_dropped;
+        continue;
+      }
+      out.keys[w] = out.keys[r];
+      out.vals[w] = out.vals[r];
+      out.flags[w] = out.flags[r];
+      ++w;
+    }
+    out.resize(w);
+  }
+
+  std::atomic<int> state_{0};  // 0 queued, 1 claimed/running, 2 done
+  std::mutex m_;
+  std::condition_variable cv_;
+};
+
+}  // namespace costream::cola::compact

@@ -156,6 +156,37 @@ SegmentRef<K, V> make_segment(std::vector<K>&& keys, std::vector<V>&& vals,
   return seg;
 }
 
+/// Variant taking a pre-minted Bloom filter: background compaction mints
+/// the filter inside the fold job (off the writer thread), so the install
+/// path must adopt it instead of re-scanning the keys. An empty `filter`
+/// installs no filter.
+template <class K, class V>
+SegmentRef<K, V> make_segment_prefiltered(std::vector<K>&& keys,
+                                          std::vector<V>&& vals,
+                                          std::vector<std::uint8_t>&& flags,
+                                          std::vector<std::uint64_t>&& filter,
+                                          std::uint64_t id,
+                                          std::uint64_t base_addr,
+                                          std::uint64_t epoch) {
+  if (keys.empty()) return nullptr;
+  auto seg = std::make_shared<Segment<K, V>>();
+  seg->keys = std::move(keys);
+  seg->vals = std::move(vals);
+  seg->flags = std::move(flags);
+  seg->min_key = seg->keys.front();
+  seg->max_key = seg->keys.back();
+  std::uint32_t tombs = 0;
+  for (const std::uint8_t f : seg->flags) {
+    tombs += (f & Item<K, V>::kFlagTombstone) != 0 ? 1u : 0u;
+  }
+  seg->tombs = tombs;
+  seg->id = id;
+  seg->base_addr = base_addr;
+  seg->epoch = epoch;
+  seg->filter = std::move(filter);
+  return seg;
+}
+
 /// Convenience overload from the AoS exchange form (copy-on-snapshot
 /// materialization and other cold producers): widens into planes.
 template <class K, class V>

@@ -15,6 +15,13 @@
 // These helpers return the bound WITHOUT the constant: callers (tests,
 // benches) compare measured transfers-per-op against `c * bound` for a
 // structure-specific constant c, the same shape the figure benches print.
+//
+// Background compaction (cola/compactor.hpp) does NOT change any bound
+// here: a deferred fold moves exactly the bytes the inline fold would
+// have moved, just on a pool thread. Under a counting memory model the
+// Gcola runs every fold inline (the engine self-disables for non-null
+// models), so modeled transfers/op are bit-identical with the engine on
+// or off — transfer_bounds_test relies on that equivalence.
 #pragma once
 
 #include <algorithm>

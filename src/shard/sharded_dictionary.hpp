@@ -14,6 +14,15 @@
 // single lock — the paper's single-writer amortized analysis holds verbatim
 // per shard at N/S scale (dam/bounds.hpp::sharded_insert_transfer_bound).
 //
+// Background compaction composes without oversubscription: shards with
+// ColaConfig::compaction_threads > 0 all submit folds to the ONE
+// process-wide pool (cola/compactor.hpp Pool::instance(), sized to the
+// max requested thread count, capped at hardware concurrency), so S
+// shards x c threads contend for max(c) workers, not S*c. A shard whose
+// fold is rejected by the bounded queue performs it inline on its own
+// worker thread (writer-assist), so per-shard FIFO semantics and the
+// facade's drain barriers are unchanged.
+//
 // Semantics (identical to the unsharded Dictionary contract):
 //   * A key lives in exactly one shard, so per-key operation order is the
 //     facade's submission order: runs enter a shard's ring FIFO and the

@@ -244,6 +244,13 @@ class DurableDictionary {
   /// failures are recorded and the disk live-set is left unchanged (the
   /// WAL still covers everything, so a missed spill costs nothing but the
   /// checkpoint that would have advanced covered_seqno).
+  ///
+  /// Background compaction keeps the WAL-synced-before-install invariant
+  /// for free: with compaction_threads > 0 the Gcola still fires this hook
+  /// on the MUTATING thread, at the moment the finished fold installs
+  /// (poll/assist) — never from a pool worker — so the WAL barrier below
+  /// runs before the spill file lands exactly as in the inline path, and
+  /// State needs no extra locking.
   struct Spiller final : Cola::FoldObserver {
     State* st = nullptr;
     bool full_state = false;  // checkpoint: segment replaces the live set

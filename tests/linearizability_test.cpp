@@ -123,6 +123,8 @@ struct HammerOptions {
   std::uint64_t find_quota = 100'000;
   std::uint64_t seed = 1;
   std::chrono::microseconds apply_delay{0};  // 0 = plain Gcola inner
+  unsigned compaction_threads = 0;  // > 0: shard inners defer deep folds
+                                    // to the shared background pool
   bool plant_bug = false;  // skip the pending overlay (self-test)
   bool writer_self_reads = false;  // writer probes its own acked puts
 };
@@ -281,8 +283,10 @@ HammerResult run_hammer(const HammerOptions& opt) {
         sc, [&](std::size_t) { return SlowCola(opt.apply_delay); });
     return run_hammer_on(d, opt);
   }
-  ShardedDictionary<cola::Gcola<>> d(sc, [](std::size_t) {
-    return cola::Gcola<>(cola::ingest_tuned(4, 24));
+  ShardedDictionary<cola::Gcola<>> d(sc, [&opt](std::size_t) {
+    cola::ColaConfig cfg = cola::ingest_tuned(4, 24);
+    cfg.compaction_threads = opt.compaction_threads;
+    return cola::Gcola<>(cfg);
   });
   return run_hammer_on(d, opt);
 }
@@ -337,6 +341,33 @@ TEST(Linearizability, HammerSlowWorkerWidensPendingWindows) {
   const auto res = run_hammer(opt);
   EXPECT_EQ(res.violations, 0u) << res.first_violation;
   EXPECT_EQ(res.drains_delta, 0u);
+}
+
+TEST(Linearizability, HammerBackgroundCompactionArms) {
+  // Background-compaction arms: shard workers defer deep folds to the
+  // shared process pool while R readers storm barrier-free finds —
+  // compaction_threads in {1, 2} x S in {1, 2, 4}. The envelope oracle
+  // must stay blind to whether a fold ran inline or installed later
+  // below post-snapshot arrivals; the quiescent sweep at the end also
+  // exercises drain_compaction() through the facade's drain barrier.
+  const std::uint64_t total = env_u64("LIN_HAMMER_FINDS", kDefaultTotalFinds);
+  const std::uint64_t per_arm = std::max<std::uint64_t>(total / 12, 10'000);
+  for (const unsigned c : {1u, 2u}) {
+    for (const std::size_t s : {1u, 2u, 4u}) {
+      HammerOptions opt;
+      opt.shards = s;
+      opt.readers = 4;
+      opt.seed = 7919 * (c * 8 + s);
+      opt.find_quota = per_arm;
+      opt.compaction_threads = c;
+      opt.writer_self_reads = true;
+      const auto res = run_hammer(opt);
+      EXPECT_EQ(res.violations, 0u) << "compaction_threads=" << c << " shards="
+                                    << s << ": " << res.first_violation;
+      EXPECT_EQ(res.drains_delta, 0u)
+          << "find() took a drain barrier (c=" << c << ", s=" << s << ")";
+    }
+  }
 }
 
 TEST(Linearizability, PlantedBugSelfTestOracleBites) {

@@ -695,6 +695,64 @@ TEST(MixedOpFuzz, ColaFilterSimdAblationCorners) {
   }, 900);
 }
 
+TEST(MixedOpFuzz, ColaBackgroundCompaction) {
+  // Background-compaction arms: deep tiered folds defer to the process
+  // pool and install below post-snapshot arrivals at a later mutation.
+  // The differential oracle (finds, ranges, cursors, held snapshots,
+  // invariants) must be blind to whether a fold ran inline or deferred.
+  // The deferred-install arm suppresses opportunistic installs so folds
+  // stay in flight across the longest possible mutation/read windows.
+  for (const unsigned c : {1u, 2u}) {
+    fuzz_config("cola-bg" + std::to_string(c), [c] {
+      cola::ColaConfig cfg = cola::ingest_tuned(8, 24);
+      cfg.compaction_threads = c;
+      return cola::Gcola<>(cfg);
+    });
+    fuzz_config("cola-bg" + std::to_string(c) + "-deferred-install", [c] {
+      cola::ColaConfig cfg = cola::ingest_tuned(2, 8);
+      cfg.compaction_threads = c;
+      cfg.unsafe_defer_install = true;
+      return cola::Gcola<>(cfg);
+    });
+  }
+  // Tight retention + background: forced tombstone folds become scheduled
+  // compactions with the forced priority class.
+  fuzz_config("cola-bg2-tight-threshold", [] {
+    cola::ColaConfig cfg = cola::ingest_tuned(8, 24);
+    cfg.compaction_threads = 2;
+    cfg.tombstone_threshold = 0.05;
+    return cola::Gcola<>(cfg);
+  });
+}
+
+TEST(MixedOpFuzz, BackgroundCompactionPlantedBugOracleBites) {
+  // Self-test for the compaction oracle: unsafe_break_install_order makes
+  // a finished fold install ABOVE segments that arrived after its snapshot
+  // point, so stale fold output shadows newer values — the differential
+  // harness must catch that as a divergence on some seed. If every seed
+  // passes, the fuzz arms above are toothless against install-ordering
+  // bugs and this suite must fail.
+  // g >= 3 is essential: with g = 2 a level holds at most one segment, so
+  // nothing can ever stack above an in-flight fold at its target level
+  // (level_committed_full blocks the arrival) and the bug has no window.
+  std::optional<Divergence> fail;
+  for (const unsigned g : {8u, 4u}) {
+    auto make = [g] {
+      cola::ColaConfig cfg = cola::ingest_tuned(g, 8);
+      cfg.compaction_threads = 1;
+      cfg.unsafe_defer_install = true;  // maximize arrivals above the fold
+      cfg.unsafe_break_install_order = true;
+      return cola::Gcola<>(cfg);
+    };
+    for (std::uint64_t seed = 1; seed <= 24 && !fail; ++seed) {
+      fail = replay_fresh(make, make_trace(seed, 2000, 400));
+    }
+    if (fail) break;
+  }
+  ASSERT_TRUE(fail.has_value())
+      << "oracle missed a broken fold install ordering";
+}
+
 TEST(MixedOpFuzz, ColaTightTombstoneThreshold) {
   // An aggressive retention bound exercises the forced bottom folds on
   // every erase-heavy stretch of the trace.
@@ -775,6 +833,29 @@ TEST(MixedOpFuzz, ShardedColaCascadeModes) {
                       });
                 },
                 900);
+  }
+}
+
+TEST(MixedOpFuzz, ShardedBackgroundCompaction) {
+  // compaction_threads in {1, 2} x S in {1, 2, 4}: shard worker threads
+  // submit folds to the ONE shared pool while the facade's barrier-free
+  // reads and held snapshots race the installs.
+  for (const std::size_t s : {1u, 2u, 4u}) {
+    for (const unsigned c : {1u, 2u}) {
+      fuzz_config("sharded-s" + std::to_string(s) + "-bg" + std::to_string(c),
+                  [s, c] {
+                    shard::ShardedConfig<> sc;
+                    sc.shards = s;
+                    sc.splitters = fuzz_splitters(s);
+                    return shard::ShardedDictionary<cola::Gcola<>>(
+                        sc, [c](std::size_t) {
+                          cola::ColaConfig cfg = cola::ingest_tuned(8, 24);
+                          cfg.compaction_threads = c;
+                          return cola::Gcola<>(cfg);
+                        });
+                  },
+                  900);
+    }
   }
 }
 
